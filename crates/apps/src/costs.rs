@@ -1,0 +1,149 @@
+//! Per-application inner-loop cost personas.
+//!
+//! The Skil skeleton layer charges its costs inside `skil-core` (the
+//! instantiated-code model). The two comparators charge the costs
+//! *their* implementations would incur:
+//!
+//! * **Parix-C** — hand-written message-passing C. Its inner loops avoid
+//!   the instantiation residue (no per-element function call, fused index
+//!   arithmetic), which is the paper's measured ≈ 20 % Skil-over-C gap on
+//!   equally optimized code.
+//! * **old Parix-C** — the older shortest-paths C program of Table 1,
+//!   "which does not use virtual topologies or asynchronous
+//!   communication"; its inner loop predates the optimized compiler
+//!   setup, making Skil *beat* it slightly.
+//! * **DPFL** — the data-parallel functional language of [7, 8]: every
+//!   element visit runs through closure application on boxed values plus
+//!   graph reduction (`CostModel::dpfl_elem_overhead`, ≈ 1750 cycles),
+//!   with boxed `Index` construction where the argument function takes an
+//!   index.
+
+use skil_runtime::CostModel;
+
+/// Skil (min, +) `gen_mult` kernel costs: the `min` and `+` argument
+/// functions are each one integer ALU operation after inlining.
+pub fn skil_minplus_kernel(c: &CostModel) -> u64 {
+    c.int_op
+}
+
+/// Optimized hand-written C inner loop for the (min, +) product:
+/// two operand loads, add, min, with index arithmetic strength-reduced
+/// into the loads (≈ 240 cycles; ≈ 1.2× below the Skil skeleton's 290).
+pub fn c_opt_minplus_inner(c: &CostModel) -> u64 {
+    2 * c.load + 2 * c.int_op + 20
+}
+
+/// The older C program's (min, +) inner loop: no strength reduction,
+/// array indexing recomputed per access (≈ 320 cycles).
+pub fn c_old_minplus_inner(c: &CostModel) -> u64 {
+    2 * c.load + 2 * c.int_op + c.index_calc + 30
+}
+
+/// DPFL (min, +) inner element: two boxed closure applications
+/// (`gen_add`, `gen_mult` take no `Index`, so no index boxing).
+pub fn dpfl_minplus_inner(c: &CostModel) -> u64 {
+    c.dpfl_elem_overhead() + 2 * c.int_op
+}
+
+/// Skil float matmul `gen_mult` kernel costs: `(+)` and `(*)` on floats.
+pub fn skil_matmul_add(c: &CostModel) -> u64 {
+    c.flt_add
+}
+
+/// See [`skil_matmul_add`].
+pub fn skil_matmul_mul(c: &CostModel) -> u64 {
+    c.flt_mul
+}
+
+/// Optimized hand-written C float-matmul inner loop (≈ 375 cycles vs.
+/// the skeleton's 450: the paper's "Skil times around 20 % slower than
+/// direct C times" on equally optimized code).
+pub fn c_opt_matmul_inner(c: &CostModel) -> u64 {
+    2 * c.load + c.flt_add + c.flt_mul - 5
+}
+
+/// Hand-written C Gaussian-elimination inner element: two loads,
+/// multiply, subtract, store (≈ 420 cycles).
+pub fn c_gauss_inner(c: &CostModel) -> u64 {
+    2 * c.load + c.flt_mul + c.flt_add + c.store
+}
+
+/// Skil `eliminate` active-element extra cost (beyond the `array_map`
+/// touch overhead): the same two-load/multiply/subtract/store arithmetic
+/// the hand-written C inner loop performs (≈ 420 cycles; touch + extra
+/// ≈ 710). Skil's measured penalty over C comes from the per-element
+/// touch overhead and the full-array passes, not from the arithmetic.
+pub fn skil_eliminate_extra(c: &CostModel) -> u64 {
+    c_gauss_inner(c)
+}
+
+/// Skil `eliminate` base kernel cost charged on *every* element: the
+/// `ix[0] == k || ix[1] < k` guard folds into the touch overhead's
+/// index bookkeeping.
+pub fn skil_eliminate_base(_c: &CostModel) -> u64 {
+    0
+}
+
+/// Skil `copy_pivot` base kernel cost: the partition-bounds test.
+pub fn skil_copy_pivot_base(c: &CostModel) -> u64 {
+    c.int_op
+}
+
+/// Skil `copy_pivot` extra cost on the processor owning the pivot row:
+/// two `array_get_elem` accesses and the normalizing division.
+pub fn skil_copy_pivot_extra(c: &CostModel) -> u64 {
+    2 * c.load + c.flt_div
+}
+
+/// DPFL per-element touch through an index-taking `map_f`
+/// (≈ 2550 cycles).
+pub fn dpfl_map_touch(c: &CostModel) -> u64 {
+    c.dpfl_elem_overhead() + c.dpfl_index_arg
+}
+
+/// DPFL `eliminate` active-element extra cost: boxed arithmetic through
+/// two more closure applications (≈ 1640 cycles).
+pub fn dpfl_eliminate_extra(c: &CostModel) -> u64 {
+    2 * c.dpfl_closure + 2 * c.dpfl_box + c.flt_mul + c.flt_add + c.int_op * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_magnitudes() {
+        // These are the anchors DESIGN.md §4 derives from the paper's
+        // tables; drifting them silently would invalidate EXPERIMENTS.md.
+        let c = CostModel::t800();
+        let skil_inner = 2 * c.load + c.index_calc + 2 * skil_minplus_kernel(&c);
+        assert_eq!(skil_inner, 290);
+        assert_eq!(c_opt_minplus_inner(&c), 240);
+        assert_eq!(c_old_minplus_inner(&c), 320);
+        assert_eq!(dpfl_minplus_inner(&c), 1890);
+        assert_eq!(c_gauss_inner(&c), 420);
+        let touch = c.call + 2 * c.load + c.store + c.index_calc;
+        assert_eq!(touch, 290);
+        assert_eq!(touch + skil_eliminate_base(&c) + skil_eliminate_extra(&c), 710);
+        assert_eq!(dpfl_map_touch(&c), 2550);
+    }
+
+    #[test]
+    fn ratios_match_paper_shape() {
+        let c = CostModel::t800();
+        let skil_inner = (2 * c.load + c.index_calc + 2 * skil_minplus_kernel(&c)) as f64;
+        // Skil ≈ 1.2x equally-optimized C
+        let r = skil_inner / c_opt_minplus_inner(&c) as f64;
+        assert!((1.15..1.3).contains(&r), "skil/c_opt = {r}");
+        // Skil slightly beats the old C
+        let r = skil_inner / c_old_minplus_inner(&c) as f64;
+        assert!((0.85..0.95).contains(&r), "skil/c_old = {r}");
+        // DPFL ≈ 6.5x Skil on pure compute
+        let r = dpfl_minplus_inner(&c) as f64 / skil_inner;
+        assert!((6.0..7.0).contains(&r), "dpfl/skil = {r}");
+        // float matmul: skeleton ≈ 1.2x optimized C
+        let skil_mm = (2 * c.load + c.index_calc + c.flt_add + c.flt_mul) as f64;
+        let r = skil_mm / c_opt_matmul_inner(&c) as f64;
+        assert!((1.15..1.25).contains(&r), "skil/c matmul = {r}");
+    }
+}

@@ -1,0 +1,335 @@
+//! The DPFL comparator: a model of the data-parallel functional language
+//! of \[7\] ("Efficient Distributed Memory Implementation of a Data
+//! Parallel Functional Language", PARLE '94) and \[8\], which the paper
+//! benchmarks the same skeletons against.
+//!
+//! The *algorithms* are identical to the Skil versions — same skeletons,
+//! same communication structure — but the execution model is functional:
+//!
+//! * arrays are **immutable**: `fmap` allocates a fresh result array
+//!   (so the `a`/`b` ping-pong copies of the imperative version are free
+//!   sharing here, but every map pays allocation);
+//! * every element visit runs through **closure application on boxed
+//!   values plus lazy-graph reduction** (`CostModel::dpfl_elem_overhead`);
+//! * argument functions that take an `Index` pay for constructing the
+//!   boxed index list (`dpfl_index_arg`);
+//! * messages pay the functional runtime's packing/boxing surcharge
+//!   (`dpfl_msg_extra`, `dpfl_per_byte_extra`).
+//!
+//! These four overheads reproduce the paper's measured ≈ 6× compute-bound
+//! gap and the smaller latency-bound gaps (Table 2's 8×8 column).
+
+use skil_array::{ArraySpec, DistArray, Index, Result};
+use skil_runtime::{Proc, Torus2d, Wire};
+
+/// An immutable DPFL array: a `DistArray` under functional discipline.
+#[derive(Debug, Clone)]
+pub struct FArray<T> {
+    inner: DistArray<T>,
+}
+
+impl<T> FArray<T> {
+    /// The underlying partition (read-only; DPFL arrays are immutable).
+    pub fn inner(&self) -> &DistArray<T> {
+        &self.inner
+    }
+
+    /// Local partition bounds.
+    pub fn part_bounds(&self) -> Result<skil_array::Bounds> {
+        self.inner.part_bounds()
+    }
+
+    /// Local element access (bounds-checked, local-only).
+    pub fn get(&self, ix: Index) -> Result<&T> {
+        self.inner.get(ix)
+    }
+}
+
+/// Extra cycles charged around one received or sent message by the
+/// functional runtime (graph packing plus per-byte boxing surcharge).
+fn msg_surcharge(proc: &Proc<'_>, bytes: usize) -> u64 {
+    proc.cost().dpfl_msg_extra + proc.cost().dpfl_per_byte_extra * bytes as u64
+}
+
+/// Create a DPFL array; the initializer takes an index, so index boxing
+/// applies.
+pub fn fcreate<T, F>(proc: &mut Proc<'_>, spec: ArraySpec, mut init: F) -> Result<FArray<T>>
+where
+    F: FnMut(Index) -> T,
+{
+    let inner = DistArray::create(proc, spec, &mut init)?;
+    let c = proc.cost();
+    let per_elem = c.dpfl_elem_overhead() + c.dpfl_index_arg;
+    proc.charge(per_elem * inner.local_len() as u64);
+    Ok(FArray { inner })
+}
+
+/// Functional map: allocates and returns a fresh array. `extra_f`
+/// reports data-dependent boxed-arithmetic cycles per element.
+pub fn fmap<T, U, F>(proc: &mut Proc<'_>, mut map_f: F, a: &FArray<T>) -> Result<FArray<U>>
+where
+    F: FnMut(&T, Index) -> (U, u64),
+{
+    let mut extra = 0u64;
+    let mut data = Vec::with_capacity(a.inner.local_len());
+    for (ix, v) in a.inner.iter_local() {
+        let (u, cycles) = map_f(v, ix);
+        extra += cycles;
+        data.push(u);
+    }
+    // Build the result as a new array with the same layout.
+    let mut iter = data.into_iter();
+    let spec = spec_of(&a.inner);
+    let inner = DistArray::create(proc, spec, |_| iter.next().expect("length matches"))?;
+    let c = proc.cost();
+    let per_elem = c.dpfl_elem_overhead() + c.dpfl_index_arg;
+    proc.charge(per_elem * inner.local_len() as u64 + extra);
+    Ok(FArray { inner })
+}
+
+fn spec_of<T>(a: &DistArray<T>) -> ArraySpec {
+    let shape = a.shape();
+    ArraySpec {
+        ndim: shape.ndim,
+        size: shape.size,
+        blocksize: [0, 0],
+        lowerbd: [-1, -1],
+        distr: a.layout().distr,
+        dist: a.layout().dist,
+    }
+}
+
+/// Functional fold: local convert+fold, tree reduce, tree broadcast —
+/// all through boxed closures, messages with the functional surcharge.
+pub fn ffold<T, U, FC, FF>(
+    proc: &mut Proc<'_>,
+    mut conv_f: FC,
+    mut fold_f: FF,
+    a: &FArray<T>,
+) -> Result<U>
+where
+    U: Wire + Clone,
+    FC: FnMut(&T, Index) -> U,
+    FF: FnMut(U, U) -> U,
+{
+    let c = proc.cost();
+    let conv_cost = c.dpfl_elem_overhead() + c.dpfl_index_arg;
+    let fold_cost = c.dpfl_closure + 2 * c.dpfl_box;
+    let mut acc: Option<U> = None;
+    let mut elems = 0u64;
+    for (ix, v) in a.inner.iter_local() {
+        let converted = conv_f(v, ix);
+        elems += 1;
+        acc = Some(match acc {
+            None => converted,
+            Some(prev) => fold_f(prev, converted),
+        });
+    }
+    let acc = acc.expect("ffold over empty partition");
+    proc.charge(conv_cost * elems + fold_cost * elems.saturating_sub(1));
+    // tree reduce + broadcast with functional message surcharges: the
+    // surcharge is charged per tree round locally.
+    let rounds = skil_runtime::BinomialTree::new(proc.nprocs(), 0).rounds() as u64;
+    let bytes = acc.to_bytes().len();
+    proc.charge(2 * rounds.min(2) * msg_surcharge(proc, bytes));
+    Ok(proc.allreduce(crate::tags::DPFL_FOLD, acc, fold_f, fold_cost))
+}
+
+/// Functional broadcast of the partition holding `ix`; returns the new
+/// (immutable) array every processor now holds.
+pub fn fbroadcast_part<T>(proc: &mut Proc<'_>, a: &FArray<T>, ix: Index) -> Result<FArray<T>>
+where
+    T: Wire + Clone,
+{
+    let root = a.inner.owner(ix)?;
+    let payload = if proc.id() == root { Some(a.inner.local_data().to_vec()) } else { None };
+    let bytes_est = a.inner.local_len() * std::mem::size_of::<T>();
+    // Sender-side packing and receiver-side unpacking of boxed graph
+    // nodes; every non-root both receives and may forward.
+    proc.charge(msg_surcharge(proc, bytes_est));
+    let received: Vec<T> = proc.broadcast(root, crate::tags::DPFL_BCAST, payload);
+    proc.charge(msg_surcharge(proc, bytes_est));
+    let mut iter = received.into_iter();
+    let inner = DistArray::create(proc, spec_of(&a.inner), |_| {
+        iter.next().expect("partition sizes agree")
+    })?;
+    let c = proc.cost();
+    proc.charge((c.dpfl_alloc_elem + c.dpfl_box) * inner.local_len() as u64);
+    Ok(FArray { inner })
+}
+
+/// Functional generic matrix multiplication: Gentleman's algorithm with
+/// boxed inner kernels (`gen_add`/`gen_mult` take no index, so no index
+/// boxing) and functional message surcharges on every rotation.
+pub fn fgen_mult<T, FA, FM>(
+    proc: &mut Proc<'_>,
+    a: &FArray<T>,
+    b: &FArray<T>,
+    mut gen_add: FA,
+    mut gen_mult: FM,
+    init: &FArray<T>,
+    inner_cycles: u64,
+) -> Result<FArray<T>>
+where
+    T: Wire + Clone,
+    FA: FnMut(T, T) -> T,
+    FM: FnMut(&T, &T) -> T,
+{
+    let grid = a.inner.layout().grid;
+    assert_eq!(grid[0], grid[1], "fgen_mult requires a square grid");
+    let s = grid[0];
+    let n = a.inner.shape().size[0];
+    assert_eq!(n % s, 0, "size divisible by grid side");
+    let nb = n / s;
+    let me = proc.id();
+    let [gr, gc] = a.inner.layout().grid_coords(me);
+    let torus = Torus2d::new(proc.mesh(), true);
+
+    let mut a_loc: Vec<T> = a.inner.local_data().to_vec();
+    let mut b_loc: Vec<T> = b.inner.local_data().to_vec();
+    let mut c_loc: Vec<T> = init.inner.local_data().to_vec();
+    // Immutable arrays: the working copies are fresh allocations.
+    let c = proc.cost();
+    proc.charge(3 * c.dpfl_alloc_elem * (nb * nb) as u64);
+    let bytes_est = nb * nb * std::mem::size_of::<T>();
+
+    // Alignment (one round-trip per operand, as in the Skil skeleton).
+    if s > 1 {
+        if gr > 0 {
+            let dst = a.inner.layout().proc_at([gr, (gc + s - gr % s) % s]);
+            let src = a.inner.layout().proc_at([gr, (gc + gr) % s]);
+            if dst != me {
+                proc.charge(msg_surcharge(proc, bytes_est));
+                proc.send(dst, crate::tags::DPFL_GEN_A + 0xFFFF, &a_loc);
+                a_loc = proc.recv(src, crate::tags::DPFL_GEN_A + 0xFFFF);
+                proc.charge(msg_surcharge(proc, bytes_est));
+            }
+        }
+        if gc > 0 {
+            let dst = a.inner.layout().proc_at([(gr + s - gc % s) % s, gc]);
+            let src = a.inner.layout().proc_at([(gr + gc) % s, gc]);
+            if dst != me {
+                proc.charge(msg_surcharge(proc, bytes_est));
+                proc.send(dst, crate::tags::DPFL_GEN_B + 0xFFFF, &b_loc);
+                b_loc = proc.recv(src, crate::tags::DPFL_GEN_B + 0xFFFF);
+                proc.charge(msg_surcharge(proc, bytes_est));
+            }
+        }
+    }
+
+    for step in 0..s {
+        for i in 0..nb {
+            for j in 0..nb {
+                let mut acc = c_loc[i * nb + j].clone();
+                for k in 0..nb {
+                    let prod = gen_mult(&a_loc[i * nb + k], &b_loc[k * nb + j]);
+                    acc = gen_add(acc, prod);
+                }
+                c_loc[i * nb + j] = acc;
+            }
+        }
+        proc.charge(inner_cycles * (nb * nb * nb) as u64);
+        if step + 1 == s || s == 1 {
+            break;
+        }
+        let (west, wh) = torus.west(me);
+        let (east, _) = torus.east(me);
+        let (north, nh) = torus.north(me);
+        let (south, _) = torus.south(me);
+        proc.charge(2 * msg_surcharge(proc, bytes_est));
+        proc.send_hops(west, wh, crate::tags::DPFL_GEN_A + step as u64, &a_loc);
+        proc.send_hops(north, nh, crate::tags::DPFL_GEN_B + step as u64, &b_loc);
+        a_loc = proc.recv(east, crate::tags::DPFL_GEN_A + step as u64);
+        b_loc = proc.recv(south, crate::tags::DPFL_GEN_B + step as u64);
+        proc.charge(2 * msg_surcharge(proc, bytes_est));
+    }
+
+    let mut iter = c_loc.into_iter();
+    let inner = DistArray::create(proc, spec_of(&a.inner), |_| iter.next().expect("len"))?;
+    Ok(FArray { inner })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skil_runtime::{CostModel, Distr, Machine, MachineConfig};
+
+    fn t800_machine(n: usize) -> Machine {
+        Machine::new(MachineConfig::procs(n).unwrap())
+    }
+
+    #[test]
+    fn fmap_allocates_fresh_and_charges_more_than_skil_map() {
+        let m = t800_machine(2);
+        let run = m.run(|p| {
+            let a = fcreate(p, ArraySpec::d1(8, Distr::Default), |ix| ix[0] as u64).unwrap();
+            let t0 = p.now();
+            let b = fmap(p, |&v: &u64, _| (v * 2, 0), &a).unwrap();
+            let fcost = p.now() - t0;
+            (b.inner().local_data().to_vec(), fcost)
+        });
+        assert_eq!(run.results[0].0, vec![0, 2, 4, 6]);
+        assert_eq!(run.results[1].0, vec![8, 10, 12, 14]);
+        let c = CostModel::t800();
+        let skil_touch = c.call + 2 * c.load + c.store + c.index_calc;
+        // DPFL map costs several times the Skil map per element
+        assert!(run.results[0].1 > 4 * skil_touch * 4);
+    }
+
+    #[test]
+    fn ffold_matches_values() {
+        let m = t800_machine(4);
+        let run = m.run(|p| {
+            let a = fcreate(p, ArraySpec::d1(16, Distr::Default), |ix| ix[0] as u64).unwrap();
+            ffold(p, |&v: &u64, _| v, |x, y| x + y, &a).unwrap()
+        });
+        assert!(run.results.iter().all(|&v| v == 120));
+    }
+
+    #[test]
+    fn fbroadcast_part_distributes() {
+        let m = t800_machine(4);
+        let run = m.run(|p| {
+            let a = fcreate(p, ArraySpec::d2(4, 3, Distr::Default), |ix| {
+                (ix[0] * 10 + ix[1]) as u32
+            })
+            .unwrap();
+            let b = fbroadcast_part(p, &a, [1, 0]).unwrap();
+            b.inner().local_data().to_vec()
+        });
+        for r in &run.results {
+            assert_eq!(r, &vec![10, 11, 12]);
+        }
+    }
+
+    #[test]
+    fn fgen_mult_matches_skil_gen_mult_values() {
+        let m = t800_machine(4);
+        let n = 4usize;
+        let run = m.run(|p| {
+            let a = fcreate(p, ArraySpec::d2(n, n, Distr::Torus2d), |ix| {
+                (ix[0] * n + ix[1]) as i64
+            })
+            .unwrap();
+            let b = fcreate(p, ArraySpec::d2(n, n, Distr::Torus2d), |ix| {
+                (ix[0] * 2 + ix[1] * 3) as i64
+            })
+            .unwrap();
+            let z = fcreate(p, ArraySpec::d2(n, n, Distr::Torus2d), |_| 0i64).unwrap();
+            let c = fgen_mult(p, &a, &b, |x, y| x + y, |x, y| x * y, &z, 100).unwrap();
+            c.inner()
+                .iter_local()
+                .map(|(ix, &v)| (ix[0], ix[1], v))
+                .collect::<Vec<_>>()
+        });
+        // sequential check
+        let av = |i: usize, j: usize| (i * n + j) as i64;
+        let bv = |i: usize, j: usize| (i * 2 + j * 3) as i64;
+        for result in &run.results {
+            for &(i, j, v) in result {
+                let want: i64 = (0..n).map(|k| av(i, k) * bv(k, j)).sum();
+                assert_eq!(v, want, "({i},{j})");
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Radix-2 FFT via the `divide&conquer` skeleton — the last of the
+//! algorithms the paper's introduction lists as sharing the d&c
+//! structure.
+//!
+//! A signal is a vector of interleaved (re, im) pairs; `split` separates
+//! even and odd samples, `join` applies the twiddle factors.
+
+use skil_core::{divide_conquer, DcOps, Kernel};
+use skil_runtime::Machine;
+
+use crate::outcome::{run_timed, AppOutcome};
+
+/// Interleaved complex vector: `[re0, im0, re1, im1, ...]`.
+pub type Signal = Vec<f64>;
+
+fn dft_naive(x: &Signal) -> Signal {
+    let n = x.len() / 2;
+    let mut out = vec![0.0; 2 * n];
+    for k in 0..n {
+        let (mut re, mut im) = (0.0, 0.0);
+        for (j, c) in x.chunks_exact(2).enumerate() {
+            let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+            let (s, co) = ang.sin_cos();
+            re += c[0] * co - c[1] * s;
+            im += c[0] * s + c[1] * co;
+        }
+        out[2 * k] = re;
+        out[2 * k + 1] = im;
+    }
+    out
+}
+
+fn split_even_odd(x: &Signal) -> Vec<Signal> {
+    let n = x.len() / 2;
+    let mut even = Vec::with_capacity(n);
+    let mut odd = Vec::with_capacity(n);
+    for (j, c) in x.chunks_exact(2).enumerate() {
+        if j % 2 == 0 {
+            even.extend_from_slice(c);
+        } else {
+            odd.extend_from_slice(c);
+        }
+    }
+    vec![even, odd]
+}
+
+fn combine(parts: Vec<Signal>) -> Signal {
+    let [e, o]: [Signal; 2] = parts.try_into().expect("FFT join needs two halves");
+    let h = e.len() / 2;
+    let n = 2 * h;
+    let mut out = vec![0.0; 2 * n];
+    for k in 0..h {
+        let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+        let (s, c) = ang.sin_cos();
+        let (tr, ti) = (c * o[2 * k] - s * o[2 * k + 1], s * o[2 * k] + c * o[2 * k + 1]);
+        out[2 * k] = e[2 * k] + tr;
+        out[2 * k + 1] = e[2 * k + 1] + ti;
+        out[2 * (k + h)] = e[2 * k] - tr;
+        out[2 * (k + h) + 1] = e[2 * k + 1] - ti;
+    }
+    out
+}
+
+/// FFT of a power-of-two-length signal on the machine (result from
+/// processor 0).
+pub fn fft_dc(machine: &Machine, x: Signal) -> AppOutcome<Signal> {
+    let n = x.len() / 2;
+    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length");
+    run_timed(
+        machine,
+        move |p| {
+            let cost = p.cost().clone();
+            let flop = (cost.flt_add + cost.flt_mul) / 2;
+            let mut ops = DcOps {
+                is_trivial: Kernel::new(|x: &Signal| x.len() <= 2 * 8, cost.int_op),
+                solve: Kernel::new(|x: &Signal| dft_naive(x), 8 * 8 * 8 * flop),
+                split: Kernel::new(|x: &Signal| split_even_odd(x), 2 * flop),
+                join: Kernel::new(combine, 10 * flop),
+            };
+            let problem = (p.id() == 0).then(|| x.clone());
+            let result = divide_conquer(p, problem, &mut ops).expect("d&c");
+            (p.now(), result.unwrap_or_default())
+        },
+        |parts| parts.into_iter().find(|v| !v.is_empty()).unwrap_or_default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::hash2;
+    use skil_runtime::{Machine, MachineConfig};
+
+    fn signal(n: usize) -> Signal {
+        (0..2 * n).map(|i| (hash2(3, i, 0) % 1000) as f64 / 500.0 - 1.0).collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let x = signal(64);
+        let expect = dft_naive(&x);
+        for procs in [1usize, 2, 4] {
+            let m = Machine::new(MachineConfig::procs(procs).unwrap());
+            let got = fft_dc(&m, x.clone()).value;
+            for (a, b) in got.iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-6, "p={procs}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let n = 128usize;
+        let x = signal(n);
+        let m = Machine::new(MachineConfig::procs(2).unwrap());
+        let f = fft_dc(&m, x.clone()).value;
+        let e_time: f64 = x.iter().map(|v| v * v).sum();
+        let e_freq: f64 = f.iter().map(|v| v * v).sum::<f64>() / n as f64;
+        assert!((e_time - e_freq).abs() < 1e-6 * e_time.max(1.0), "{e_time} vs {e_freq}");
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let n = 32usize;
+        let mut x = vec![0.0; 2 * n];
+        x[0] = 1.0;
+        let m = Machine::new(MachineConfig::procs(4).unwrap());
+        let f = fft_dc(&m, x).value;
+        for c in f.chunks_exact(2) {
+            assert!((c[0] - 1.0).abs() < 1e-9 && c[1].abs() < 1e-9, "{c:?}");
+        }
+    }
+}

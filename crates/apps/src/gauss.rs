@@ -1,0 +1,635 @@
+//! Gaussian (Gauss–Jordan) elimination (the paper's §4.2).
+//!
+//! Two Skil versions, exactly as benchmarked in the paper:
+//!
+//! * [`gauss_skil`] — **without** pivot search/exchange (the version of
+//!   Table 2, matching what had been implemented in DPFL);
+//! * [`gauss_skil_pivot`] — the complete program of §4.2 with
+//!   `array_fold` pivot search and `array_permute_rows` exchange
+//!   ("run-times were here about twice as long").
+//!
+//! Plus the hand-written message-passing C version and the DPFL version.
+
+use skil_array::{ArraySpec, DistArray, Index};
+use skil_core::{
+    array_broadcast_part, array_copy, array_create, array_fold, array_map_inplace_with_cost,
+    array_map_with_cost, array_permute_rows, switch_rows, Kernel,
+};
+use skil_runtime::{Distr, Machine};
+
+use crate::costs;
+use crate::dpfl::{fbroadcast_part, fcreate, fmap, FArray};
+use crate::outcome::{run_timed, AppOutcome};
+use crate::workload::gauss_elem;
+
+type Solution = AppOutcome<Vec<f64>>;
+
+/// Collect this processor's entries of the solution vector x from the
+/// result array's last column.
+fn local_solution(b: &DistArray<f64>, n: usize) -> Vec<(u32, f64)> {
+    b.iter_local()
+        .filter(|(ix, _)| ix[1] == n)
+        .map(|(ix, &v)| (ix[0] as u32, v))
+        .collect()
+}
+
+fn assemble_solution(parts: Vec<Vec<(u32, f64)>>, n: usize) -> Vec<f64> {
+    let mut x = vec![0.0; n];
+    for part in parts {
+        for (i, v) in part {
+            x[i as usize] = v;
+        }
+    }
+    x
+}
+
+/// Shared tail of the two Skil versions: copy-pivot, broadcast,
+/// eliminate — one `k` iteration after `b` holds the current matrix.
+#[allow(clippy::too_many_arguments)]
+fn skil_pivot_and_eliminate(
+    p: &mut skil_runtime::Proc<'_>,
+    k: usize,
+    n: usize,
+    b: &DistArray<f64>,
+    piv: &mut DistArray<f64>,
+    a: &mut DistArray<f64>,
+    rows_per_proc: usize,
+) {
+    let cost = p.cost().clone();
+
+    // array_map(copy_pivot(b, k), piv, piv): each processor fills its
+    // piv row with the (normalized) pivot row if it owns it.
+    let me = p.id();
+    array_map_inplace_with_cost(
+        p,
+        costs::skil_copy_pivot_base(&cost),
+        |v: &f64, ix: Index| {
+            let bds = b.part_bounds().expect("block bounds");
+            if ix[0] == me && bds.lower[0] <= k && k < bds.upper[0] {
+                let num = *b.get([k, ix[1]]).expect("local pivot row");
+                let den = *b.get([k, k]).expect("local pivot elem");
+                (num / den, costs::skil_copy_pivot_extra(&cost))
+            } else {
+                (*v, 0)
+            }
+        },
+        piv,
+    )
+    .expect("copy_pivot map");
+
+    // array_broadcast_part(piv, {k/(n/p), 0})
+    array_broadcast_part(p, piv, [k / rows_per_proc, 0]).expect("broadcast pivot row");
+
+    // array_map(eliminate(k, b, piv), b, a)
+    array_map_with_cost(
+        p,
+        costs::skil_eliminate_base(&cost),
+        |&v: &f64, ix: Index| {
+            if ix[0] == k || ix[1] < k {
+                (v, 0)
+            } else {
+                let aik = *b.get([ix[0], k]).expect("local");
+                let pkj = *piv.get([me, ix[1]]).expect("own piv row");
+                (v - aik * pkj, costs::skil_eliminate_extra(&cost))
+            }
+        },
+        b,
+        a,
+    )
+    .expect("eliminate map");
+    let _ = n;
+}
+
+/// Final normalization: each element of the last column is divided by
+/// the diagonal element of its row ("since the pivot elements were not
+/// normalized to 1").
+fn skil_normalize(
+    p: &mut skil_runtime::Proc<'_>,
+    a: &DistArray<f64>,
+    b: &mut DistArray<f64>,
+    n: usize,
+) {
+    let cost = p.cost().clone();
+    array_map_with_cost(
+        p,
+        cost.int_op,
+        |&v: &f64, ix: Index| {
+            if ix[1] == n {
+                let d = *a.get([ix[0], ix[0]]).expect("diagonal is local (row-block)");
+                (v / d, 2 * cost.load + cost.flt_div)
+            } else {
+                (v, 0)
+            }
+        },
+        a,
+        b,
+    )
+    .expect("normalize map");
+}
+
+/// The Table 2 Skil program: Gauss–Jordan **without** pivot
+/// search/exchange.
+pub fn gauss_skil(machine: &Machine, n: usize, seed: u64) -> Solution {
+    let p_count = machine.nprocs();
+    assert_eq!(n % p_count, 0, "n divisible by processor count (paper's assumption)");
+    run_timed(
+        machine,
+        |p| {
+            let cost = p.cost().clone();
+            let rows_per_proc = n / p.nprocs();
+            let spec = ArraySpec::d2(n, n + 1, Distr::Default);
+            let init = Kernel::new(
+                move |ix: Index| gauss_elem(seed, n, ix[0], ix[1]),
+                3 * cost.int_op,
+            );
+            let mut a = array_create(p, spec, init).expect("a");
+            let mut b =
+                array_create(p, spec, Kernel::new(|_| 0.0f64, cost.int_op)).expect("b");
+            let mut piv = array_create(
+                p,
+                ArraySpec::d2(p.nprocs(), n + 1, Distr::Default),
+                Kernel::new(|_| 0.0f64, cost.int_op),
+            )
+            .expect("piv");
+
+            for k in 0..n {
+                array_copy(p, &a, &mut b).expect("copy a->b");
+                skil_pivot_and_eliminate(p, k, n, &b, &mut piv, &mut a, rows_per_proc);
+            }
+            skil_normalize(p, &a, &mut b, n);
+            (p.now(), local_solution(&b, n))
+        },
+        |parts| assemble_solution(parts, n),
+    )
+}
+
+/// The complete §4.2 program, with `array_fold` pivot search and
+/// `array_permute_rows` row exchange.
+pub fn gauss_skil_pivot(machine: &Machine, n: usize, seed: u64) -> Solution {
+    let p_count = machine.nprocs();
+    assert_eq!(n % p_count, 0, "n divisible by processor count");
+    run_timed(
+        machine,
+        |p| {
+            let cost = p.cost().clone();
+            let rows_per_proc = n / p.nprocs();
+            let spec = ArraySpec::d2(n, n + 1, Distr::Default);
+            let init = Kernel::new(
+                move |ix: Index| gauss_elem(seed, n, ix[0], ix[1]),
+                3 * cost.int_op,
+            );
+            let mut a = array_create(p, spec, init).expect("a");
+            let mut b =
+                array_create(p, spec, Kernel::new(|_| 0.0f64, cost.int_op)).expect("b");
+            let mut piv = array_create(
+                p,
+                ArraySpec::d2(p.nprocs(), n + 1, Distr::Default),
+                Kernel::new(|_| 0.0f64, cost.int_op),
+            )
+            .expect("piv");
+
+            for k in 0..n {
+                // e = array_fold(make_elemrec, max_abs_in_col(k), a)
+                let e: (f64, u64) = array_fold(
+                    p,
+                    // make_elemrec: (value, row) — the column is encoded
+                    // by the fold's filter below
+                    Kernel::new(
+                        |&v: &f64, ix: Index| {
+                            if ix[1] == k {
+                                (v, ix[0] as u64)
+                            } else {
+                                (f64::NAN, u64::MAX) // not in column k
+                            }
+                        },
+                        2 * cost.int_op,
+                    ),
+                    // max_abs_in_col k, restricted to rows >= k
+                    Kernel::new(
+                        move |x: (f64, u64), y: (f64, u64)| {
+                            let xv = if x.1 != u64::MAX && x.1 >= k as u64 { x.0.abs() } else { -1.0 };
+                            let yv = if y.1 != u64::MAX && y.1 >= k as u64 { y.0.abs() } else { -1.0 };
+                            if yv > xv {
+                                y
+                            } else {
+                                x
+                            }
+                        },
+                        cost.int_op + cost.flt_add,
+                    ),
+                    &a,
+                )
+                .expect("pivot fold");
+                assert!(
+                    e.0.abs() > 0.0 && e.1 != u64::MAX,
+                    "matrix is singular (pivot column {k})"
+                );
+                let pivot_row = e.1 as usize;
+                if pivot_row != k {
+                    array_permute_rows(p, &a, switch_rows(pivot_row, k), &mut b)
+                        .expect("row exchange");
+                } else {
+                    array_copy(p, &a, &mut b).expect("copy a->b");
+                }
+                skil_pivot_and_eliminate(p, k, n, &b, &mut piv, &mut a, rows_per_proc);
+            }
+            skil_normalize(p, &a, &mut b, n);
+            (p.now(), local_solution(&b, n))
+        },
+        |parts| assemble_solution(parts, n),
+    )
+}
+
+/// Hand-written message-passing C version (no pivoting, like the Table 2
+/// comparator): per `k`, the owner normalizes the pivot row and
+/// tree-broadcasts only its `j >= k` tail; every processor eliminates
+/// its own rows in place — no full-array copies, no per-element argument
+/// functions.
+pub fn gauss_parix_c(machine: &Machine, n: usize, seed: u64) -> Solution {
+    let p_count = machine.nprocs();
+    assert_eq!(n % p_count, 0, "n divisible by processor count");
+    run_timed(
+        machine,
+        |p| {
+            let cost = p.cost().clone();
+            let nprocs = p.nprocs();
+            let rows = n / nprocs;
+            let cols = n + 1;
+            let me = p.id();
+            let row0 = me * rows;
+            let mut a: Vec<f64> = (0..rows * cols)
+                .map(|o| gauss_elem(seed, n, row0 + o / cols, o % cols))
+                .collect();
+            p.charge((3 * cost.int_op + cost.store) * (rows * cols) as u64);
+            let inner = costs::c_gauss_inner(&cost);
+
+            for k in 0..n {
+                let owner = k / rows;
+                // Normalized pivot-row tail (j >= k), sent by the owner
+                // to every other processor in a plain loop over the raw
+                // links — the simplest hand-written broadcast, whose
+                // transfers serialize on the owner's link (Θ(p · bytes)
+                // on the critical path). The Skil skeleton instead
+                // inherits Parix's tree-structured broadcast
+                // (Θ(log p) messages); this difference is why the
+                // paper's C program scales worse than Skil on large
+                // networks, letting the Table 2 slow-downs fall from
+                // ≈ 2.5 at 2×2 toward ≈ 1 at 8×8.
+                let tag = crate::tags::C_PIVOT + k as u64;
+                let pivrow: Vec<f64> = if me == owner {
+                    let lr = k - row0;
+                    let den = a[lr * cols + k];
+                    let tail: Vec<f64> =
+                        (k..cols).map(|j| a[lr * cols + j] / den).collect();
+                    p.charge((cost.load + cost.flt_div + cost.store) * tail.len() as u64);
+                    let bytes = (tail.len() * std::mem::size_of::<f64>()) as u64;
+                    for dst in 0..nprocs {
+                        if dst == me {
+                            continue;
+                        }
+                        // the owner's outgoing link is busy for the whole
+                        // transfer before the next send can start
+                        p.charge(bytes * cost.per_byte + cost.raw_link_overhead);
+                        p.send_raw(dst, 1, tag, &tail);
+                    }
+                    tail
+                } else {
+                    p.recv_raw(owner, tag)
+                };
+                // Eliminate local rows i != k, j >= k, in place.
+                for lr in 0..rows {
+                    let gi = row0 + lr;
+                    if gi == k {
+                        continue;
+                    }
+                    let f = a[lr * cols + k];
+                    if f == 0.0 {
+                        continue;
+                    }
+                    for j in k..cols {
+                        a[lr * cols + j] -= f * pivrow[j - k];
+                    }
+                    p.charge(inner * (cols - k) as u64 + 2 * cost.load);
+                }
+            }
+            // x_i = a[i][n] / a[i][i]
+            let sol: Vec<(u32, f64)> = (0..rows)
+                .map(|lr| {
+                    let gi = row0 + lr;
+                    ((gi) as u32, a[lr * cols + n] / a[lr * cols + gi])
+                })
+                .collect();
+            p.charge((2 * cost.load + cost.flt_div) * rows as u64);
+            (p.now(), sol)
+        },
+        |parts| assemble_solution(parts, n),
+    )
+}
+
+/// The DPFL version (no pivoting, per \[8\]): the same skeleton structure
+/// under the functional execution model. The `a`/`b` ping-pong copies
+/// are free (immutable sharing), but every map allocates and every
+/// element visit pays closure/boxing/graph costs.
+pub fn gauss_dpfl(machine: &Machine, n: usize, seed: u64) -> Solution {
+    let p_count = machine.nprocs();
+    assert_eq!(n % p_count, 0, "n divisible by processor count");
+    run_timed(
+        machine,
+        |p| {
+            let cost = p.cost().clone();
+            let rows_per_proc = n / p.nprocs();
+            let me = p.id();
+            let spec = ArraySpec::d2(n, n + 1, Distr::Default);
+            let mut a: FArray<f64> =
+                fcreate(p, spec, |ix| gauss_elem(seed, n, ix[0], ix[1])).expect("a");
+            let mut piv: FArray<f64> = fcreate(
+                p,
+                ArraySpec::d2(p.nprocs(), n + 1, Distr::Default),
+                |_| 0.0f64,
+            )
+            .expect("piv");
+
+            for k in 0..n {
+                // b = a: free sharing.
+                let b = a.clone();
+                // copy_pivot map over piv.
+                let piv_new = fmap(
+                    p,
+                    |v: &f64, ix: Index| {
+                        let bds = b.part_bounds().expect("bounds");
+                        if ix[0] == me && bds.lower[0] <= k && k < bds.upper[0] {
+                            let num = *b.get([k, ix[1]]).expect("local");
+                            let den = *b.get([k, k]).expect("local");
+                            (num / den, costs::dpfl_eliminate_extra(&cost))
+                        } else {
+                            (*v, 0)
+                        }
+                    },
+                    &piv,
+                )
+                .expect("copy_pivot");
+                piv = fbroadcast_part(p, &piv_new, [k / rows_per_proc, 0]).expect("bcast");
+                // eliminate map b -> a'
+                let piv_ref = &piv;
+                let b_ref = &b;
+                a = fmap(
+                    p,
+                    |&v: &f64, ix: Index| {
+                        if ix[0] == k || ix[1] < k {
+                            (v, 0)
+                        } else {
+                            let aik = *b_ref.get([ix[0], k]).expect("local");
+                            let pkj = *piv_ref.get([me, ix[1]]).expect("own row");
+                            (v - aik * pkj, costs::dpfl_eliminate_extra(&cost))
+                        }
+                    },
+                    &b,
+                )
+                .expect("eliminate");
+            }
+            // normalize
+            let a_ref = &a;
+            let b = fmap(
+                p,
+                |&v: &f64, ix: Index| {
+                    if ix[1] == n {
+                        let d = *a_ref.get([ix[0], ix[0]]).expect("diag");
+                        (v / d, costs::dpfl_eliminate_extra(&cost))
+                    } else {
+                        (v, 0)
+                    }
+                },
+                &a,
+            )
+            .expect("normalize");
+            let sol: Vec<(u32, f64)> = b
+                .inner()
+                .iter_local()
+                .filter(|(ix, _)| ix[1] == n)
+                .map(|(ix, &v)| (ix[0] as u32, v))
+                .collect();
+            (p.now(), sol)
+        },
+        |parts| assemble_solution(parts, n),
+    )
+}
+
+/// A pathological matrix that *requires* pivoting (zero on an early
+/// diagonal position), used to demonstrate the pivot version's point.
+pub fn needs_pivot_elem(n: usize, i: usize, j: usize) -> f64 {
+    if j == n {
+        (i + 1) as f64
+    } else if i == 0 && j == 0 {
+        0.0 // forces a row exchange at k = 0
+    } else if (i + 1) % n == j {
+        2.0 + i as f64
+    } else if i == j {
+        1.0 + n as f64
+    } else {
+        0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::seq_gauss_solve;
+    use skil_runtime::MachineConfig;
+
+    fn machine(p: usize) -> Machine {
+        Machine::new(MachineConfig::procs(p).unwrap())
+    }
+
+    fn close(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-6)
+    }
+
+    #[test]
+    fn skil_nopivot_solves() {
+        for p in [1, 2, 4] {
+            let n = 16;
+            let out = gauss_skil(&machine(p), n, 3);
+            assert!(close(&out.value, &seq_gauss_solve(3, n)), "p={p}");
+        }
+    }
+
+    #[test]
+    fn skil_pivot_solves() {
+        for p in [1, 2, 4] {
+            let n = 16;
+            let out = gauss_skil_pivot(&machine(p), n, 3);
+            assert!(close(&out.value, &seq_gauss_solve(3, n)), "p={p}");
+        }
+    }
+
+    #[test]
+    fn parix_c_solves() {
+        for p in [1, 2, 4] {
+            let n = 16;
+            let out = gauss_parix_c(&machine(p), n, 3);
+            assert!(close(&out.value, &seq_gauss_solve(3, n)), "p={p}");
+        }
+    }
+
+    #[test]
+    fn dpfl_solves() {
+        let n = 16;
+        let out = gauss_dpfl(&machine(4), n, 3);
+        assert!(close(&out.value, &seq_gauss_solve(3, n)));
+    }
+
+    #[test]
+    fn all_versions_agree() {
+        let n = 8;
+        let m = machine(2);
+        let a = gauss_skil(&m, n, 11).value;
+        let b = gauss_skil_pivot(&m, n, 11).value;
+        let c = gauss_parix_c(&m, n, 11).value;
+        let d = gauss_dpfl(&m, n, 11).value;
+        assert!(close(&a, &b));
+        assert!(close(&a, &c));
+        assert!(close(&a, &d));
+    }
+
+    #[test]
+    fn table2_shape_skil_between_c_and_dpfl() {
+        let n = 32;
+        let m = machine(4);
+        let skil = gauss_skil(&m, n, 1).sim_cycles;
+        let c = gauss_parix_c(&m, n, 1).sim_cycles;
+        let dpfl = gauss_dpfl(&m, n, 1).sim_cycles;
+        assert!(c < skil, "C {c} should beat Skil {skil}");
+        assert!(skil < dpfl, "Skil {skil} should beat DPFL {dpfl}");
+        let skil_over_c = skil as f64 / c as f64;
+        assert!((1.0..4.0).contains(&skil_over_c), "Skil/C = {skil_over_c}");
+    }
+
+    #[test]
+    fn pivot_version_costs_about_twice_nopivot() {
+        // §5.2: "the run-times were here about twice as long"
+        let n = 64;
+        let m = machine(4);
+        let nopiv = gauss_skil(&m, n, 1).sim_cycles;
+        let piv = gauss_skil_pivot(&m, n, 1).sim_cycles;
+        let ratio = piv as f64 / nopiv as f64;
+        assert!((1.4..3.2).contains(&ratio), "pivot/nopivot = {ratio}");
+    }
+
+    #[test]
+    fn pivot_version_handles_zero_diagonal() {
+        let n = 8;
+        let m = machine(2);
+        let out = run_timed(
+            &m,
+            |p| {
+                let cost = p.cost().clone();
+                let spec = ArraySpec::d2(n, n + 1, Distr::Default);
+                let init =
+                    Kernel::new(move |ix: Index| needs_pivot_elem(n, ix[0], ix[1]), 0);
+                let mut a = array_create(p, spec, init).expect("a");
+                let mut b =
+                    array_create(p, spec, Kernel::free(|_| 0.0f64)).expect("b");
+                let mut piv = array_create(
+                    p,
+                    ArraySpec::d2(p.nprocs(), n + 1, Distr::Default),
+                    Kernel::free(|_| 0.0f64),
+                )
+                .expect("piv");
+                let rows_per_proc = n / p.nprocs();
+                for k in 0..n {
+                    let e: (f64, u64) = array_fold(
+                        p,
+                        Kernel::free(|&v: &f64, ix: Index| {
+                            if ix[1] == k {
+                                (v, ix[0] as u64)
+                            } else {
+                                (f64::NAN, u64::MAX)
+                            }
+                        }),
+                        Kernel::free(move |x: (f64, u64), y: (f64, u64)| {
+                            let xv =
+                                if x.1 != u64::MAX && x.1 >= k as u64 { x.0.abs() } else { -1.0 };
+                            let yv =
+                                if y.1 != u64::MAX && y.1 >= k as u64 { y.0.abs() } else { -1.0 };
+                            if yv > xv {
+                                y
+                            } else {
+                                x
+                            }
+                        }),
+                        &a,
+                    )
+                    .expect("fold");
+                    let pivot_row = e.1 as usize;
+                    if pivot_row != k {
+                        array_permute_rows(p, &a, switch_rows(pivot_row, k), &mut b)
+                            .expect("permute");
+                    } else {
+                        array_copy(p, &a, &mut b).expect("copy");
+                    }
+                    skil_pivot_and_eliminate(p, k, n, &b, &mut piv, &mut a, rows_per_proc);
+                    let _ = &cost;
+                }
+                skil_normalize(p, &a, &mut b, n);
+                (p.now(), local_solution(&b, n))
+            },
+            |parts| assemble_solution(parts, n),
+        );
+        // residual check against the pathological matrix
+        for i in 0..n {
+            let mut lhs = 0.0;
+            for j in 0..n {
+                lhs += needs_pivot_elem(n, i, j) * out.value[j];
+            }
+            let rhs = needs_pivot_elem(n, i, n);
+            assert!((lhs - rhs).abs() < 1e-6, "row {i}: {lhs} != {rhs}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn pivot_version_detects_singular_matrix() {
+        let n = 4;
+        let m = machine(2);
+        // A matrix with an all-zero column is singular.
+        let _ = run_timed(
+            &m,
+            |p| {
+                let spec = ArraySpec::d2(n, n + 1, Distr::Default);
+                let init = Kernel::free(move |ix: Index| {
+                    if ix[1] == 1 {
+                        0.0
+                    } else {
+                        (ix[0] + ix[1]) as f64 + 1.0
+                    }
+                });
+                let a = array_create::<f64, _>(p, spec, init).expect("a");
+                // pivot fold on column 1 finds only zeros -> singular
+                let e: (f64, u64) = array_fold(
+                    p,
+                    Kernel::free(|&v: &f64, ix: Index| {
+                        if ix[1] == 1 {
+                            (v, ix[0] as u64)
+                        } else {
+                            (f64::NAN, u64::MAX)
+                        }
+                    }),
+                    Kernel::free(|x: (f64, u64), y: (f64, u64)| {
+                        let xv = if x.1 != u64::MAX { x.0.abs() } else { -1.0 };
+                        let yv = if y.1 != u64::MAX { y.0.abs() } else { -1.0 };
+                        if yv > xv {
+                            y
+                        } else {
+                            x
+                        }
+                    }),
+                    &a,
+                )
+                .expect("fold");
+                assert!(e.0.abs() > 0.0, "matrix is singular");
+                (p.now(), ())
+            },
+            |_| (),
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Adaptive numerical integration via the `divide&conquer` skeleton —
+//! one of the applications the paper's introduction names as sharing the
+//! d&c structure ("Strassen's matrix multiplication, polynomial
+//! evaluation, numerical integration, FFT etc.").
+//!
+//! The problem is an interval; `split` bisects it, `is_trivial` compares
+//! the trapezoid and midpoint estimates, `solve` returns the Simpson
+//! value, and `join` sums the sub-integrals.
+
+use skil_core::{divide_conquer, DcOps, Kernel};
+use skil_runtime::Machine;
+
+use crate::outcome::{run_timed, AppOutcome};
+
+/// The integrand family used by the example and tests: smooth but with
+/// a sharp feature at `x = c` so adaptivity matters.
+pub fn integrand(c: f64, x: f64) -> f64 {
+    1.0 / ((x - c) * (x - c) + 0.01) + x * x
+}
+
+/// The analytically known antiderivative (for verification).
+pub fn integral_exact(c: f64, a: f64, b: f64) -> f64 {
+    let part = |x: f64| ((x - c) / 0.1).atan() / 0.1 + x * x * x / 3.0;
+    part(b) - part(a)
+}
+
+fn simpson(c: f64, a: f64, b: f64) -> f64 {
+    let m = 0.5 * (a + b);
+    (b - a) / 6.0 * (integrand(c, a) + 4.0 * integrand(c, m) + integrand(c, b))
+}
+
+/// Integrate `integrand(c, ·)` over `[a, b]` to tolerance `tol` on the
+/// machine, via the parallel d&c skeleton. The result is taken from
+/// processor 0.
+pub fn integrate_dc(
+    machine: &Machine,
+    c: f64,
+    a: f64,
+    b: f64,
+    tol: f64,
+) -> AppOutcome<f64> {
+    run_timed(
+        machine,
+        |p| {
+            let cost = p.cost().clone();
+            let flop = cost.flt_add + cost.flt_mul;
+            let mut ops = DcOps {
+                // an interval is trivial when bisected Simpson agrees
+                // with plain Simpson to the (scaled) tolerance
+                is_trivial: Kernel::new(
+                    move |&(lo, hi, t): &(f64, f64, f64)| {
+                        let m = 0.5 * (lo + hi);
+                        let whole = simpson(c, lo, hi);
+                        let halves = simpson(c, lo, m) + simpson(c, m, hi);
+                        (whole - halves).abs() <= t || hi - lo < 1e-9
+                    },
+                    20 * flop,
+                ),
+                solve: Kernel::new(
+                    move |&(lo, hi, _): &(f64, f64, f64)| {
+                        let m = 0.5 * (lo + hi);
+                        simpson(c, lo, m) + simpson(c, m, hi)
+                    },
+                    20 * flop,
+                ),
+                split: Kernel::new(
+                    move |&(lo, hi, t): &(f64, f64, f64)| {
+                        let m = 0.5 * (lo + hi);
+                        vec![(lo, m, t / 2.0), (m, hi, t / 2.0)]
+                    },
+                    4 * flop,
+                ),
+                join: Kernel::new(|parts: Vec<f64>| parts.into_iter().sum(), 2 * flop),
+            };
+            let problem = (p.id() == 0).then_some((a, b, tol));
+            let result = divide_conquer(p, problem, &mut ops).expect("d&c");
+            (p.now(), result.unwrap_or(0.0))
+        },
+        |parts| parts.into_iter().fold(0.0, |acc, v| if v != 0.0 { v } else { acc }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skil_runtime::{Machine, MachineConfig};
+
+    #[test]
+    fn integrates_accurately_on_any_machine() {
+        let exact = integral_exact(0.3, 0.0, 2.0);
+        for procs in [1usize, 2, 4, 8] {
+            let m = Machine::new(MachineConfig::procs(procs).unwrap());
+            let out = integrate_dc(&m, 0.3, 0.0, 2.0, 1e-8);
+            assert!(
+                (out.value - exact).abs() < 1e-5,
+                "p={procs}: {} vs {exact}",
+                out.value
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_integration_is_faster_in_virtual_time() {
+        let t1 = integrate_dc(
+            &Machine::new(MachineConfig::procs(1).unwrap()),
+            0.3,
+            0.0,
+            2.0,
+            1e-10,
+        )
+        .sim_cycles;
+        let t8 = integrate_dc(
+            &Machine::new(MachineConfig::procs(8).unwrap()),
+            0.3,
+            0.0,
+            2.0,
+            1e-10,
+        )
+        .sim_cycles;
+        assert!(t8 * 2 < t1, "8 procs should be >2x faster: {t1} vs {t8}");
+    }
+
+    #[test]
+    fn adaptivity_focuses_on_the_feature() {
+        // with the sharp feature excluded, far fewer leaves are needed:
+        // the smooth region converges at a loose tolerance immediately
+        let m = Machine::new(MachineConfig::procs(1).unwrap());
+        let sharp = integrate_dc(&m, 1.0, 0.0, 2.0, 1e-8).sim_cycles;
+        let smooth = integrate_dc(&m, 50.0, 0.0, 2.0, 1e-8).sim_cycles;
+        assert!(smooth < sharp, "smooth {smooth} vs sharp {sharp}");
+    }
+}

@@ -1,0 +1,310 @@
+//! Jacobi relaxation for the Laplace equation — the application class
+//! behind the paper's §6 future work ("operations which require more
+//! than one element at a time", citing PDE solving in \[8\]) — in the same
+//! three guises as the §4 applications.
+//!
+//! * **Skil**: `halo_exchange` + `stencil_map` (the overlap extension);
+//! * **Parix-C**: hand-written edge-row exchange and in-place sweep;
+//! * **DPFL**: immutable arrays, boxed closures, functional message
+//!   layer.
+//!
+//! All three run the same fixed number of sweeps on the same grid and
+//! produce bitwise-identical results (verified in tests).
+
+use skil_array::{ArraySpec, DistArray, HaloArray, Index};
+use skil_core::{array_copy, array_create, halo_exchange, stencil_map, Kernel};
+use skil_runtime::{Distr, Machine};
+
+use crate::costs;
+use crate::outcome::{assemble_matrix, run_timed, AppOutcome};
+use crate::workload::hash2;
+
+type Grid = AppOutcome<Vec<f64>>;
+
+/// Initial temperature field: a hot top edge plus pseudo-random interior
+/// noise.
+pub fn initial(seed: u64, ix: Index) -> f64 {
+    if ix[0] == 0 {
+        100.0
+    } else {
+        (hash2(seed, ix[0], ix[1]) % 100) as f64 / 10.0
+    }
+}
+
+fn collect(
+    elapsed: u64,
+    a: &DistArray<f64>,
+) -> (u64, Vec<(u32, u32, f64)>) {
+    (
+        elapsed,
+        a.iter_local().map(|(ix, &v)| (ix[0] as u32, ix[1] as u32, v)).collect(),
+    )
+}
+
+/// The Skil version: ghost rows via `halo_exchange`, one `stencil_map`
+/// per sweep, ping-ponging two arrays.
+pub fn jacobi_skil(
+    machine: &Machine,
+    rows: usize,
+    cols: usize,
+    sweeps: usize,
+    seed: u64,
+) -> Grid {
+    run_timed(
+        machine,
+        |p| {
+            let cost = p.cost().clone();
+            let spec = ArraySpec::d2(rows, cols, Distr::Default);
+            let a = array_create(
+                p,
+                spec,
+                Kernel::new(move |ix: Index| initial(seed, ix), 3 * cost.int_op),
+            )
+            .expect("create");
+            let mut h = HaloArray::new(a, 1).expect("halo");
+            let mut out =
+                array_create(p, spec, Kernel::new(|_| 0.0f64, cost.int_op)).expect("create");
+            // per-element stencil cost: four array accesses, three adds,
+            // one multiply-by-0.25, plus the boundary guard
+            let stencil_cycles = 4 * 2 * cost.load + 3 * cost.flt_add + cost.flt_mul;
+            for _ in 0..sweeps {
+                halo_exchange(p, &mut h).expect("exchange");
+                stencil_map(
+                    p,
+                    Kernel::new(
+                        move |h: &HaloArray<f64>, ix: Index| {
+                            if ix[0] == 0
+                                || ix[0] == rows - 1
+                                || ix[1] == 0
+                                || ix[1] == cols - 1
+                            {
+                                *h.get(ix).expect("boundary local")
+                            } else {
+                                0.25 * (h.get([ix[0] - 1, ix[1]]).expect("halo")
+                                    + h.get([ix[0] + 1, ix[1]]).expect("halo")
+                                    + h.get([ix[0], ix[1] - 1]).expect("local")
+                                    + h.get([ix[0], ix[1] + 1]).expect("local"))
+                            }
+                        },
+                        stencil_cycles,
+                    ),
+                    &h,
+                    &mut out,
+                )
+                .expect("stencil");
+                array_copy(p, &out, h.inner_mut()).expect("swap");
+            }
+            collect(p.now(), h.inner())
+        },
+        |parts| assemble_matrix(parts, rows, cols),
+    )
+}
+
+/// Hand-written message-passing version: raw edge-row exchange with the
+/// neighbours, in-place sweep with a tight loop, explicit double buffer.
+pub fn jacobi_parix_c(
+    machine: &Machine,
+    rows: usize,
+    cols: usize,
+    sweeps: usize,
+    seed: u64,
+) -> Grid {
+    run_timed(
+        machine,
+        |p| {
+            let cost = p.cost().clone();
+            let nprocs = p.nprocs();
+            let me = p.id();
+            let chunk = rows.div_ceil(nprocs);
+            let lo = (me * chunk).min(rows);
+            let hi = ((me + 1) * chunk).min(rows);
+            let nloc = hi - lo;
+            let mut cur: Vec<f64> =
+                (0..nloc * cols).map(|o| initial(seed, [lo + o / cols, o % cols])).collect();
+            let mut nxt = cur.clone();
+            p.charge((3 * cost.int_op + cost.store) * (nloc * cols) as u64);
+            // four neighbour loads, three adds, one multiply, store
+            let inner = 4 * cost.load + 3 * cost.flt_add + cost.flt_mul + cost.store;
+
+            let north = (me > 0 && lo > 0).then(|| me - 1);
+            let south = (me + 1 < nprocs && hi < rows).then(|| me + 1);
+            for sweep in 0..sweeps {
+                let tag = crate::tags::C_PIVOT + 0x100 + sweep as u64;
+                // exchange edge rows over the raw links
+                if nloc > 0 {
+                    if let Some(n) = north {
+                        p.send_raw(n, 1, tag, &cur[..cols].to_vec());
+                    }
+                    if let Some(s) = south {
+                        p.send_raw(s, 1, tag + 0x1000, &cur[(nloc - 1) * cols..].to_vec());
+                    }
+                }
+                let ghost_n: Option<Vec<f64>> =
+                    north.map(|n| p.recv_raw(n, tag + 0x1000));
+                let ghost_s: Option<Vec<f64>> = south.map(|s| p.recv_raw(s, tag));
+
+                let at = |r: isize, c: usize, cur: &[f64]| -> f64 {
+                    if r < 0 {
+                        ghost_n.as_ref().expect("north ghost")[c]
+                    } else if r as usize >= nloc {
+                        ghost_s.as_ref().expect("south ghost")[c]
+                    } else {
+                        cur[r as usize * cols + c]
+                    }
+                };
+                for lr in 0..nloc {
+                    let gr = lo + lr;
+                    for c in 0..cols {
+                        nxt[lr * cols + c] =
+                            if gr == 0 || gr == rows - 1 || c == 0 || c == cols - 1 {
+                                cur[lr * cols + c]
+                            } else {
+                                0.25 * (at(lr as isize - 1, c, &cur)
+                                    + at(lr as isize + 1, c, &cur)
+                                    + cur[lr * cols + c - 1]
+                                    + cur[lr * cols + c + 1])
+                            };
+                    }
+                }
+                p.charge(inner * (nloc * cols) as u64);
+                std::mem::swap(&mut cur, &mut nxt);
+            }
+            let local: Vec<(u32, u32, f64)> = (0..nloc * cols)
+                .map(|o| ((lo + o / cols) as u32, (o % cols) as u32, cur[o]))
+                .collect();
+            (p.now(), local)
+        },
+        |parts| assemble_matrix(parts, rows, cols),
+    )
+}
+
+/// The DPFL model: per sweep, the functional runtime exchanges boundary
+/// rows with its message surcharge and rebuilds the whole (immutable)
+/// grid through boxed closure applications.
+pub fn jacobi_dpfl(
+    machine: &Machine,
+    rows: usize,
+    cols: usize,
+    sweeps: usize,
+    seed: u64,
+) -> Grid {
+    run_timed(
+        machine,
+        |p| {
+            let cost = p.cost().clone();
+            let spec = ArraySpec::d2(rows, cols, Distr::Default);
+            let a = array_create(p, spec, Kernel::free(move |ix: Index| initial(seed, ix)))
+                .expect("create");
+            // DPFL creation cost
+            p.charge(
+                (cost.dpfl_elem_overhead() + cost.dpfl_index_arg) * a.local_len() as u64,
+            );
+            let mut h = HaloArray::new(a, 1).expect("halo");
+            let mut out =
+                array_create(p, spec, Kernel::free(|_| 0.0f64)).expect("create");
+            let touch = costs::dpfl_map_touch(&cost);
+            let active = 4 * cost.dpfl_box + 3 * cost.flt_add + cost.flt_mul
+                + 2 * cost.dpfl_closure;
+            for _ in 0..sweeps {
+                // functional message layer surcharge on the exchange
+                p.charge(2 * (cost.dpfl_msg_extra
+                    + cost.dpfl_per_byte_extra * (cols * 8) as u64));
+                halo_exchange(p, &mut h).expect("exchange");
+                stencil_map(
+                    p,
+                    Kernel::new(
+                        move |h: &HaloArray<f64>, ix: Index| {
+                            if ix[0] == 0
+                                || ix[0] == rows - 1
+                                || ix[1] == 0
+                                || ix[1] == cols - 1
+                            {
+                                *h.get(ix).expect("boundary local")
+                            } else {
+                                0.25 * (h.get([ix[0] - 1, ix[1]]).expect("halo")
+                                    + h.get([ix[0] + 1, ix[1]]).expect("halo")
+                                    + h.get([ix[0], ix[1] - 1]).expect("local")
+                                    + h.get([ix[0], ix[1] + 1]).expect("local"))
+                            }
+                        },
+                        touch + active,
+                    ),
+                    &h,
+                    &mut out,
+                )
+                .expect("stencil");
+                // immutable ping-pong: sharing, but a fresh allocation
+                p.charge(cost.dpfl_alloc_elem * out.local_len() as u64);
+                array_copy(p, &out, h.inner_mut()).expect("swap");
+            }
+            collect(p.now(), h.inner())
+        },
+        |parts| assemble_matrix(parts, rows, cols),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skil_runtime::MachineConfig;
+
+    fn machine(n: usize) -> Machine {
+        Machine::new(MachineConfig::procs(n).unwrap())
+    }
+
+    fn seq_jacobi(rows: usize, cols: usize, sweeps: usize, seed: u64) -> Vec<f64> {
+        let mut cur: Vec<f64> =
+            (0..rows * cols).map(|o| initial(seed, [o / cols, o % cols])).collect();
+        for _ in 0..sweeps {
+            let mut nxt = cur.clone();
+            for r in 1..rows - 1 {
+                for c in 1..cols - 1 {
+                    nxt[r * cols + c] = 0.25
+                        * (cur[(r - 1) * cols + c]
+                            + cur[(r + 1) * cols + c]
+                            + cur[r * cols + c - 1]
+                            + cur[r * cols + c + 1]);
+                }
+            }
+            cur = nxt;
+        }
+        cur
+    }
+
+    #[test]
+    fn all_versions_match_sequential() {
+        let (rows, cols, sweeps, seed) = (16, 8, 10, 3);
+        let expect = seq_jacobi(rows, cols, sweeps, seed);
+        for procs in [1usize, 2, 4] {
+            let m = machine(procs);
+            let close = |g: &[f64]| g.iter().zip(&expect).all(|(a, b)| (a - b).abs() < 1e-12);
+            assert!(close(&jacobi_skil(&m, rows, cols, sweeps, seed).value), "skil p={procs}");
+            assert!(
+                close(&jacobi_parix_c(&m, rows, cols, sweeps, seed).value),
+                "c p={procs}"
+            );
+            assert!(close(&jacobi_dpfl(&m, rows, cols, sweeps, seed).value), "dpfl p={procs}");
+        }
+    }
+
+    #[test]
+    fn timing_shape_matches_the_papers_pattern() {
+        let m = machine(4);
+        let (rows, cols, sweeps, seed) = (64, 64, 20, 1);
+        let skil = jacobi_skil(&m, rows, cols, sweeps, seed).sim_cycles as f64;
+        let c = jacobi_parix_c(&m, rows, cols, sweeps, seed).sim_cycles as f64;
+        let dpfl = jacobi_dpfl(&m, rows, cols, sweeps, seed).sim_cycles as f64;
+        let skil_over_c = skil / c;
+        let dpfl_over_skil = dpfl / skil;
+        assert!((1.0..2.5).contains(&skil_over_c), "Skil/C = {skil_over_c}");
+        assert!((3.0..8.0).contains(&dpfl_over_skil), "DPFL/Skil = {dpfl_over_skil}");
+    }
+
+    #[test]
+    fn halo_version_scales() {
+        let (rows, cols, sweeps, seed) = (128, 64, 10, 1);
+        let t1 = jacobi_skil(&machine(1), rows, cols, sweeps, seed).sim_cycles;
+        let t8 = jacobi_skil(&machine(8), rows, cols, sweeps, seed).sim_cycles;
+        assert!(t8 * 4 < t1, "t1={t1} t8={t8}");
+    }
+}

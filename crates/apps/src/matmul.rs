@@ -1,0 +1,182 @@
+//! Classical dense matrix multiplication — the paper's §5.1 aside:
+//! "We have done the comparison between equally optimized C and Skil
+//! versions of the matrix multiplication algorithm, and obtained Skil
+//! times around 20 % slower than direct C times."
+
+use skil_array::{ArraySpec, Index};
+use skil_core::{array_create, array_gen_mult, Kernel};
+use skil_runtime::{Distr, Machine, Torus2d};
+
+use crate::costs;
+use crate::outcome::{assemble_matrix, run_timed, AppOutcome};
+use crate::workload::mat_elem;
+
+type Product = AppOutcome<Vec<f64>>;
+
+/// Skil version: one `array_gen_mult` with `(+)` and `(*)`.
+pub fn matmul_skil(machine: &Machine, n: usize, seed: u64) -> Product {
+    run_timed(
+        machine,
+        |p| {
+            let c = p.cost().clone();
+            let spec = ArraySpec::d2(n, n, Distr::Torus2d);
+            let a = array_create(
+                p,
+                spec,
+                Kernel::new(move |ix: Index| mat_elem(seed, ix[0], ix[1]), 3 * c.int_op),
+            )
+            .expect("a");
+            let b = array_create(
+                p,
+                spec,
+                Kernel::new(move |ix: Index| mat_elem(seed + 1, ix[0], ix[1]), 3 * c.int_op),
+            )
+            .expect("b");
+            let mut cc =
+                array_create(p, spec, Kernel::new(|_| 0.0f64, c.int_op)).expect("c");
+            array_gen_mult(
+                p,
+                &a,
+                &b,
+                Kernel::new(|x: f64, y: f64| x + y, costs::skil_matmul_add(&c)),
+                Kernel::new(|x: &f64, y: &f64| x * y, costs::skil_matmul_mul(&c)),
+                &mut cc,
+            )
+            .expect("gen_mult");
+            let local: Vec<(u32, u32, f64)> = cc
+                .iter_local()
+                .map(|(ix, &v)| (ix[0] as u32, ix[1] as u32, v))
+                .collect();
+            (p.now(), local)
+        },
+        |parts| assemble_matrix(parts, n, n),
+    )
+}
+
+/// Equally optimized hand-written C: the same Cannon algorithm with
+/// asynchronous sends and the virtual torus, but a tighter inner loop
+/// and no skeleton-layer overheads.
+pub fn matmul_c_opt(machine: &Machine, n: usize, seed: u64) -> Product {
+    run_timed(
+        machine,
+        |p| {
+            let cost = p.cost().clone();
+            let mesh = p.mesh();
+            assert_eq!(mesh.rows, mesh.cols, "matmul needs a square machine");
+            let s = mesh.rows;
+            assert_eq!(n % s, 0);
+            let nb = n / s;
+            let me = p.id();
+            let (gr, gc) = mesh.coords(me);
+            let torus = Torus2d::new(mesh, true);
+            let inner = costs::c_opt_matmul_inner(&cost);
+
+            let mut a_loc: Vec<f64> = (0..nb * nb)
+                .map(|o| mat_elem(seed, gr * nb + o / nb, gc * nb + o % nb))
+                .collect();
+            let mut b_loc: Vec<f64> = (0..nb * nb)
+                .map(|o| mat_elem(seed + 1, gr * nb + o / nb, gc * nb + o % nb))
+                .collect();
+            let mut c_loc = vec![0.0f64; nb * nb];
+            p.charge((3 * cost.int_op + cost.store) * 2 * (nb * nb) as u64);
+            p.charge(cost.store * (nb * nb) as u64);
+
+            if s > 1 {
+                if gr > 0 {
+                    let dst = mesh.id(gr, (gc + s - gr % s) % s);
+                    let src = mesh.id(gr, (gc + gr) % s);
+                    if dst != me {
+                        let hops = 2 * wrapped(gc, (gc + s - gr % s) % s, s);
+                        p.send_hops(dst, hops, crate::tags::C_GEN_A + 0xFFFF, &a_loc);
+                        a_loc = p.recv(src, crate::tags::C_GEN_A + 0xFFFF);
+                    }
+                }
+                if gc > 0 {
+                    let dst = mesh.id((gr + s - gc % s) % s, gc);
+                    let src = mesh.id((gr + gc) % s, gc);
+                    if dst != me {
+                        let hops = 2 * wrapped(gr, (gr + s - gc % s) % s, s);
+                        p.send_hops(dst, hops, crate::tags::C_GEN_B + 0xFFFF, &b_loc);
+                        b_loc = p.recv(src, crate::tags::C_GEN_B + 0xFFFF);
+                    }
+                }
+            }
+
+            for step in 0..s {
+                for i in 0..nb {
+                    for k in 0..nb {
+                        let aik = a_loc[i * nb + k];
+                        for j in 0..nb {
+                            c_loc[i * nb + j] += aik * b_loc[k * nb + j];
+                        }
+                    }
+                }
+                p.charge(inner * (nb * nb * nb) as u64);
+                if step + 1 == s || s == 1 {
+                    break;
+                }
+                let (west, wh) = torus.west(me);
+                let (east, _) = torus.east(me);
+                let (north, nh) = torus.north(me);
+                let (south, _) = torus.south(me);
+                p.send_hops(west, wh, crate::tags::C_GEN_A + step as u64, &a_loc);
+                p.send_hops(north, nh, crate::tags::C_GEN_B + step as u64, &b_loc);
+                a_loc = p.recv(east, crate::tags::C_GEN_A + step as u64);
+                b_loc = p.recv(south, crate::tags::C_GEN_B + step as u64);
+            }
+
+            let local: Vec<(u32, u32, f64)> = (0..nb * nb)
+                .map(|o| ((gr * nb + o / nb) as u32, (gc * nb + o % nb) as u32, c_loc[o]))
+                .collect();
+            (p.now(), local)
+        },
+        |parts| assemble_matrix(parts, n, n),
+    )
+}
+
+fn wrapped(a: usize, b: usize, n: usize) -> usize {
+    let d = a.abs_diff(b);
+    d.min(n - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::seq_matmul;
+    use skil_runtime::MachineConfig;
+
+    fn machine(side: usize) -> Machine {
+        Machine::new(MachineConfig::square(side).unwrap())
+    }
+
+    fn close(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-6)
+    }
+
+    #[test]
+    fn skil_matches_sequential() {
+        for (side, n) in [(1, 4), (2, 8)] {
+            let out = matmul_skil(&machine(side), n, 5);
+            assert!(close(&out.value, &seq_matmul(5, n)), "side={side}");
+        }
+    }
+
+    #[test]
+    fn c_matches_sequential() {
+        let out = matmul_c_opt(&machine(2), 8, 5);
+        assert!(close(&out.value, &seq_matmul(5, 8)));
+    }
+
+    #[test]
+    fn skil_about_20_percent_slower_than_c() {
+        let m = machine(2);
+        let n = 32;
+        let skil = matmul_skil(&m, n, 5).sim_cycles;
+        let c = matmul_c_opt(&m, n, 5).sim_cycles;
+        let ratio = skil as f64 / c as f64;
+        assert!(
+            (1.05..1.4).contains(&ratio),
+            "Skil/C = {ratio}, paper reports ≈ 1.2"
+        );
+    }
+}

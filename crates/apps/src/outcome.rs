@@ -1,0 +1,92 @@
+//! Common result plumbing for the application runners.
+
+use skil_runtime::{Machine, RunReport};
+
+/// The outcome of one simulated application run: the verified value
+/// (assembled on the host from per-processor contributions), the
+/// application's simulated time (excluding host-side result assembly),
+/// and the full machine report.
+#[derive(Debug, Clone)]
+pub struct AppOutcome<T> {
+    /// Assembled result (e.g. the full distance matrix or solution
+    /// vector).
+    pub value: T,
+    /// Simulated cycles of the slowest processor at the measurement
+    /// point.
+    pub sim_cycles: u64,
+    /// `sim_cycles` in seconds under the machine's clock.
+    pub sim_seconds: f64,
+    /// Per-processor detail.
+    pub report: RunReport,
+}
+
+/// A per-processor timed contribution: the processor's clock when it
+/// finished the measured section, plus its share of the result.
+pub type Timed<V> = (u64, V);
+
+/// Run an SPMD program that returns `(elapsed_cycles, local_part)` per
+/// processor and assemble the parts with `assemble`.
+pub fn run_timed<V, T, F, A>(machine: &Machine, program: F, assemble: A) -> AppOutcome<T>
+where
+    V: Send,
+    F: Fn(&mut skil_runtime::Proc<'_>) -> Timed<V> + Sync,
+    A: FnOnce(Vec<V>) -> T,
+{
+    let run = machine.run(program);
+    let mut cycles = 0u64;
+    let mut parts = Vec::with_capacity(run.results.len());
+    for (c, v) in run.results {
+        cycles = cycles.max(c);
+        parts.push(v);
+    }
+    AppOutcome {
+        value: assemble(parts),
+        sim_cycles: cycles,
+        sim_seconds: machine.config().cost.seconds(cycles),
+        report: run.report,
+    }
+}
+
+/// Assemble a full `rows x cols` matrix from per-processor
+/// `(row, col, value)` triples.
+pub fn assemble_matrix<T: Clone + Default>(
+    parts: Vec<Vec<(u32, u32, T)>>,
+    rows: usize,
+    cols: usize,
+) -> Vec<T> {
+    let mut m = vec![T::default(); rows * cols];
+    for part in parts {
+        for (r, c, v) in part {
+            m[r as usize * cols + c as usize] = v;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skil_runtime::MachineConfig;
+
+    #[test]
+    fn run_timed_takes_max_cycles() {
+        let m = Machine::new(MachineConfig::procs(4).unwrap());
+        let out = run_timed(
+            &m,
+            |p| {
+                p.charge(100 * (p.id() as u64 + 1));
+                (p.now(), p.id())
+            },
+            |parts| parts,
+        );
+        assert_eq!(out.sim_cycles, 400);
+        assert_eq!(out.value, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn assemble_matrix_places_triples() {
+        let parts = vec![vec![(0u32, 0u32, 5i64)], vec![(1, 1, 7)]];
+        let m = assemble_matrix(parts, 2, 2);
+        assert_eq!(m, vec![5, 0, 0, 7]);
+    }
+}

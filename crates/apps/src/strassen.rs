@@ -1,0 +1,159 @@
+//! Strassen's matrix multiplication via the `divide&conquer` skeleton —
+//! named by the paper's introduction as an algorithm with the d&c
+//! structure that the same skeleton implements "only by using different
+//! customizing argument functions".
+
+use skil_core::{divide_conquer, DcOps, Kernel};
+use skil_runtime::Machine;
+
+use crate::outcome::{run_timed, AppOutcome};
+
+/// A problem instance: two row-major `n x n` matrices.
+type Problem = (u64, Vec<f64>, Vec<f64>);
+
+fn quadrants(n: usize, m: &[f64]) -> [Vec<f64>; 4] {
+    let h = n / 2;
+    let mut q = [vec![0.0; h * h], vec![0.0; h * h], vec![0.0; h * h], vec![0.0; h * h]];
+    for i in 0..h {
+        for j in 0..h {
+            q[0][i * h + j] = m[i * n + j];
+            q[1][i * h + j] = m[i * n + j + h];
+            q[2][i * h + j] = m[(i + h) * n + j];
+            q[3][i * h + j] = m[(i + h) * n + j + h];
+        }
+    }
+    q
+}
+
+fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+fn classical(n: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// `is_trivial`: cut over to the classical product for small blocks.
+const CUTOFF: u64 = 16;
+
+/// Strassen's seven subproducts of one splitting step.
+fn split(problem: &Problem) -> Vec<Problem> {
+    let (n, a, b) = problem;
+    let n = *n as usize;
+    let h = (n / 2) as u64;
+    let [a11, a12, a21, a22] = quadrants(n, a);
+    let [b11, b12, b21, b22] = quadrants(n, b);
+    vec![
+        (h, add(&a11, &a22), add(&b11, &b22)), // M1
+        (h, add(&a21, &a22), b11.clone()),     // M2
+        (h, a11.clone(), sub(&b12, &b22)),     // M3
+        (h, a22.clone(), sub(&b21, &b11)),     // M4
+        (h, add(&a11, &a12), b22.clone()),     // M5
+        (h, sub(&a21, &a11), add(&b11, &b12)), // M6
+        (h, sub(&a12, &a22), add(&b21, &b22)), // M7
+    ]
+}
+
+/// Recombine the seven sub-products into the full product.
+fn join(parts: Vec<Vec<f64>>) -> Vec<f64> {
+    let h = (parts[0].len() as f64).sqrt() as usize;
+    let n = 2 * h;
+    let [m1, m2, m3, m4, m5, m6, m7]: [Vec<f64>; 7] =
+        parts.try_into().expect("Strassen join needs exactly 7 parts");
+    let c11 = add(&sub(&add(&m1, &m4), &m5), &m7);
+    let c12 = add(&m3, &m5);
+    let c21 = add(&m2, &m4);
+    let c22 = add(&add(&sub(&m1, &m2), &m3), &m6);
+    let mut c = vec![0.0; n * n];
+    for i in 0..h {
+        for j in 0..h {
+            c[i * n + j] = c11[i * h + j];
+            c[i * n + j + h] = c12[i * h + j];
+            c[(i + h) * n + j] = c21[i * h + j];
+            c[(i + h) * n + j + h] = c22[i * h + j];
+        }
+    }
+    c
+}
+
+/// Multiply two `n x n` matrices (n a power of two) by Strassen's
+/// algorithm on the machine; the product is taken from processor 0.
+pub fn strassen_dc(
+    machine: &Machine,
+    n: usize,
+    a: Vec<f64>,
+    b: Vec<f64>,
+) -> AppOutcome<Vec<f64>> {
+    assert!(n.is_power_of_two(), "Strassen needs a power-of-two size");
+    run_timed(
+        machine,
+        move |p| {
+            let cost = p.cost().clone();
+            let flop = (cost.flt_add + cost.flt_mul) / 2;
+            let mut ops = DcOps {
+                is_trivial: Kernel::new(|&(n, _, _): &Problem| n <= CUTOFF, cost.int_op),
+                solve: Kernel::new(
+                    |(n, a, b): &Problem| classical(*n as usize, a, b),
+                    2 * CUTOFF * CUTOFF * CUTOFF * flop,
+                ),
+                split: Kernel::new(split, 10 * (n * n / 4) as u64 * flop),
+                join: Kernel::new(join, 8 * (n * n / 4) as u64 * flop),
+            };
+            let problem = (p.id() == 0).then(|| (n as u64, a.clone(), b.clone()));
+            let result = divide_conquer(p, problem, &mut ops).expect("d&c");
+            (p.now(), result.unwrap_or_default())
+        },
+        |parts| parts.into_iter().find(|v| !v.is_empty()).unwrap_or_default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::mat_elem;
+    use skil_runtime::{Machine, MachineConfig};
+
+    fn inputs(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let a = (0..n * n).map(|k| mat_elem(1, k / n, k % n)).collect();
+        let b = (0..n * n).map(|k| mat_elem(2, k / n, k % n)).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn matches_classical_product() {
+        let n = 64;
+        let (a, b) = inputs(n);
+        let expect = classical(n, &a, &b);
+        for procs in [1usize, 2, 4] {
+            let m = Machine::new(MachineConfig::procs(procs).unwrap());
+            let out = strassen_dc(&m, n, a.clone(), b.clone());
+            for (x, y) in out.value.iter().zip(&expect) {
+                assert!((x - y).abs() < 1e-6, "p={procs}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_strassen_speeds_up() {
+        let n = 128;
+        let (a, b) = inputs(n);
+        let t1 = strassen_dc(&Machine::new(MachineConfig::procs(1).unwrap()), n, a.clone(), b.clone())
+            .sim_cycles;
+        let t8 = strassen_dc(&Machine::new(MachineConfig::procs(8).unwrap()), n, a, b)
+            .sim_cycles;
+        assert!(t8 * 2 < t1, "t1={t1} t8={t8}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Message tags used by the hand-written comparators (disjoint from the
+//! skeleton tag spaces in `skil-core::tags`).
+
+/// DPFL fold reduction/broadcast.
+pub const DPFL_FOLD: u64 = 0x2100_0000;
+/// DPFL partition broadcast.
+pub const DPFL_BCAST: u64 = 0x2200_0000;
+/// DPFL gen_mult first-operand traffic.
+pub const DPFL_GEN_A: u64 = 0x2300_0000;
+/// DPFL gen_mult second-operand traffic.
+pub const DPFL_GEN_B: u64 = 0x2400_0000;
+/// Parix-C Cannon first-operand traffic.
+pub const C_GEN_A: u64 = 0x2500_0000;
+/// Parix-C Cannon second-operand traffic.
+pub const C_GEN_B: u64 = 0x2600_0000;
+/// Parix-C Gaussian pivot-row broadcast.
+pub const C_PIVOT: u64 = 0x2700_0000;

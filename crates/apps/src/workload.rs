@@ -1,0 +1,226 @@
+//! Deterministic workload generators.
+//!
+//! Every generator is a pure function of a seed and the element index, so
+//! each simulated processor can initialize its own partition without
+//! communication — exactly how the paper's `init_f` argument to
+//! `array_create` works.
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash an (i, j) pair under a seed.
+#[inline]
+pub fn hash2(seed: u64, i: usize, j: usize) -> u64 {
+    splitmix64(seed ^ splitmix64((i as u64) << 32 | (j as u64 & 0xFFFF_FFFF)))
+}
+
+/// "Infinity" for (min, +) shortest paths: large enough that no real path
+/// reaches it, small enough that `INF + weight` cannot overflow.
+pub const INF: u64 = u64::MAX / 4;
+
+/// Edge weight of the shortest-paths input graph: 0 on the diagonal,
+/// otherwise a weight in `1..=99` (dense graph with non-negative integer
+/// weights, as in the paper's §4.1).
+pub fn edge_weight(seed: u64, i: usize, j: usize) -> u64 {
+    if i == j {
+        0
+    } else {
+        hash2(seed, i, j) % 99 + 1
+    }
+}
+
+/// Element of a well-conditioned dense test matrix for Gaussian
+/// elimination: diagonally dominant so the no-pivot variant is stable.
+pub fn gauss_elem(seed: u64, n: usize, i: usize, j: usize) -> f64 {
+    if j == n {
+        // right-hand-side column b
+        (hash2(seed ^ 0xB, i, j) % 1000) as f64 / 10.0 - 50.0
+    } else if i == j {
+        // dominant diagonal
+        n as f64 + (hash2(seed, i, j) % 100) as f64 / 10.0 + 1.0
+    } else {
+        (hash2(seed, i, j) % 200) as f64 / 100.0 - 1.0
+    }
+}
+
+/// Element of a generic dense float matrix (for matrix multiplication).
+pub fn mat_elem(seed: u64, i: usize, j: usize) -> f64 {
+    (hash2(seed, i, j) % 2000) as f64 / 100.0 - 10.0
+}
+
+/// A deterministic pseudo-random integer list (for quicksort).
+pub fn int_list(seed: u64, len: usize) -> Vec<i64> {
+    (0..len).map(|i| (hash2(seed, i, 0) % 100_000) as i64 - 50_000).collect()
+}
+
+/// Smallest multiple of `d` that is `>= n` — the paper's rule for
+/// indivisible problem sizes ("the next highest value divisible by
+/// sqrt(p) was taken, e.g. n = 201 for sqrt(p) = 3").
+pub fn round_up_to_multiple(n: usize, d: usize) -> usize {
+    n.div_ceil(d) * d
+}
+
+/// `ceil(log2(n))` — the paper's iteration count for shortest paths.
+pub fn ceil_log2(n: usize) -> usize {
+    assert!(n > 0);
+    (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+// ---------------------------------------------------------------------
+// Sequential reference implementations (used by tests and examples).
+// ---------------------------------------------------------------------
+
+/// Sequential all-pairs shortest paths by repeated (min, +) squaring —
+/// the same algorithm the parallel versions run.
+pub fn seq_shortest_paths(seed: u64, n: usize) -> Vec<u64> {
+    let mut a: Vec<u64> = (0..n * n).map(|k| edge_weight(seed, k / n, k % n)).collect();
+    for _ in 0..ceil_log2(n) {
+        let mut c = vec![INF; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                let aik = a[i * n + k];
+                if aik >= INF {
+                    continue;
+                }
+                for j in 0..n {
+                    let cand = aik.saturating_add(a[k * n + j]);
+                    if cand < c[i * n + j] {
+                        c[i * n + j] = cand;
+                    }
+                }
+            }
+        }
+        a = c;
+    }
+    a
+}
+
+/// Sequential Gauss–Jordan solve of the system embedded by
+/// [`gauss_elem`]; returns x.
+pub fn seq_gauss_solve(seed: u64, n: usize) -> Vec<f64> {
+    let cols = n + 1;
+    let mut a: Vec<f64> =
+        (0..n * cols).map(|k| gauss_elem(seed, n, k / cols, k % cols)).collect();
+    for k in 0..n {
+        let akk = a[k * cols + k];
+        assert!(akk.abs() > 1e-12, "matrix is singular");
+        for i in 0..n {
+            if i == k {
+                continue;
+            }
+            let f = a[i * cols + k] / akk;
+            for j in k..cols {
+                a[i * cols + j] -= f * a[k * cols + j];
+            }
+        }
+    }
+    (0..n).map(|i| a[i * cols + n] / a[i * cols + i]).collect()
+}
+
+/// Sequential dense matrix product of the [`mat_elem`] matrices
+/// (`seed` and `seed+1`).
+pub fn seq_matmul(seed: u64, n: usize) -> Vec<f64> {
+    let a: Vec<f64> = (0..n * n).map(|k| mat_elem(seed, k / n, k % n)).collect();
+    let b: Vec<f64> = (0..n * n).map(|k| mat_elem(seed + 1, k / n, k % n)).collect();
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(edge_weight(1, 3, 4), edge_weight(1, 3, 4));
+        assert_ne!(hash2(1, 2, 3), hash2(1, 3, 2));
+        assert_eq!(edge_weight(7, 5, 5), 0);
+        let w = edge_weight(7, 5, 6);
+        assert!((1..=99).contains(&w));
+    }
+
+    #[test]
+    fn round_up_rule_matches_paper() {
+        assert_eq!(round_up_to_multiple(200, 3), 201); // paper's example
+        assert_eq!(round_up_to_multiple(200, 2), 200);
+        assert_eq!(round_up_to_multiple(200, 6), 204);
+        assert_eq!(round_up_to_multiple(200, 7), 203);
+        assert_eq!(round_up_to_multiple(200, 8), 200);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(200), 8);
+        assert_eq!(ceil_log2(256), 8);
+        assert_eq!(ceil_log2(257), 9);
+    }
+
+    #[test]
+    fn seq_shortest_paths_small() {
+        // hand-checkable 3-node graph via direct (min,+) closure
+        let n = 4;
+        let d = seq_shortest_paths(42, n);
+        // diagonal is zero
+        for i in 0..n {
+            assert_eq!(d[i * n + i], 0);
+        }
+        // triangle inequality holds in the closure
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    assert!(d[i * n + j] <= d[i * n + k] + d[k * n + j]);
+                }
+            }
+        }
+        // never exceeds the direct edge
+        for i in 0..n {
+            for j in 0..n {
+                assert!(d[i * n + j] <= edge_weight(42, i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn seq_gauss_solves_the_system() {
+        let n = 8;
+        let x = seq_gauss_solve(5, n);
+        // residual check
+        for i in 0..n {
+            let mut lhs = 0.0;
+            for j in 0..n {
+                lhs += gauss_elem(5, n, i, j) * x[j];
+            }
+            let rhs = gauss_elem(5, n, i, n);
+            assert!((lhs - rhs).abs() < 1e-8, "row {i}: {lhs} != {rhs}");
+        }
+    }
+
+    #[test]
+    fn seq_matmul_identityish() {
+        let c = seq_matmul(9, 4);
+        assert_eq!(c.len(), 16);
+        // spot-check one element against a direct computation
+        let mut acc = 0.0;
+        for k in 0..4 {
+            acc += mat_elem(9, 1, k) * mat_elem(10, k, 2);
+        }
+        assert!((c[1 * 4 + 2] - acc).abs() < 1e-12);
+    }
+}

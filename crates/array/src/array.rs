@@ -1,0 +1,417 @@
+//! The `pardata array <$t>` data structure.
+//!
+//! Each processor holds one partition: its elements plus the local bounds
+//! (the paper: "each processor thus gets one block (partition) of the
+//! array, which, apart from its elements, contains the local bounds").
+//! Element access is local-only — "remote accessing of single array
+//! elements easily leads to very inefficient programs" — and non-local
+//! access is a checked error; non-local data moves only through
+//! skeletons.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::{ArrayError, Result};
+use crate::layout::{Distribution, Layout};
+use crate::shape::{Bounds, Index, Shape};
+use skil_runtime::{Distr, Proc};
+
+/// Process-global counter assigning every created array a unique identity,
+/// used to enforce the paper's distinctness preconditions
+/// (`array_gen_mult(a, a, ...)` "is not allowed").
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
+/// The local partition of a distributed array, as held by one processor.
+///
+/// In SPMD style every processor constructs "the same" array; the
+/// entirety of the per-processor partitions *is* the distributed array.
+/// The `uid` is agreed to be identical across processors because every
+/// processor performs the same sequence of creations (checked cheaply by
+/// the skeletons via shape conformance).
+#[derive(Debug, Clone)]
+pub struct DistArray<T> {
+    uid: u64,
+    layout: Layout,
+    me: usize,
+    nprocs: usize,
+    bounds: Option<Bounds>,
+    data: Vec<T>,
+}
+
+/// Specification for creating a distributed array; mirrors the parameter
+/// list of the paper's `array_create` skeleton.
+#[derive(Debug, Clone, Copy)]
+pub struct ArraySpec {
+    /// Number of dimensions (1 or 2).
+    pub ndim: usize,
+    /// Global sizes (`size[1]` ignored for 1-D arrays).
+    pub size: [usize; 2],
+    /// Partition sizes; a zero component is derived ("lets the skeleton
+    /// fill in an appropriate value").
+    pub blocksize: [usize; 2],
+    /// Lowest local index; a negative component is derived. Explicit
+    /// values must agree with the grid tiling.
+    pub lowerbd: [i64; 2],
+    /// Virtual topology to map onto.
+    pub distr: Distr,
+    /// Element-to-processor mapping (the paper's version always `Block`).
+    pub dist: Distribution,
+}
+
+impl ArraySpec {
+    /// A 1-D block-distributed array of length `n`.
+    pub fn d1(n: usize, distr: Distr) -> Self {
+        ArraySpec {
+            ndim: 1,
+            size: [n, 1],
+            blocksize: [0, 0],
+            lowerbd: [-1, -1],
+            distr,
+            dist: Distribution::Block,
+        }
+    }
+
+    /// A 2-D block-distributed array of `rows x cols`.
+    pub fn d2(rows: usize, cols: usize, distr: Distr) -> Self {
+        ArraySpec {
+            ndim: 2,
+            size: [rows, cols],
+            blocksize: [0, 0],
+            lowerbd: [-1, -1],
+            distr,
+            dist: Distribution::Block,
+        }
+    }
+
+    /// Override the distribution rule (cyclic / block-cyclic).
+    pub fn with_dist(mut self, dist: Distribution) -> Self {
+        self.dist = dist;
+        self
+    }
+
+    /// Override the block size.
+    pub fn with_blocksize(mut self, blocksize: [usize; 2]) -> Self {
+        self.blocksize = blocksize;
+        self
+    }
+}
+
+impl<T> DistArray<T> {
+    /// Build the local partition, initializing every local element with
+    /// `init(ix)`. This is the data part of the `array_create` skeleton;
+    /// cost accounting lives in `skil-core`.
+    pub fn create<F>(proc: &Proc<'_>, spec: ArraySpec, mut init: F) -> Result<Self>
+    where
+        F: FnMut(Index) -> T,
+    {
+        let shape = match spec.ndim {
+            1 => Shape::d1(spec.size[0]),
+            2 => Shape::d2(spec.size[0], spec.size[1]),
+            n => return Err(ArrayError::BadSpec(format!("ndim {n} not in 1..=2"))),
+        };
+        let grid = Layout::default_grid(shape, spec.distr, proc.mesh());
+        let layout = Layout::new(shape, grid, spec.distr, spec.dist, spec.blocksize)?;
+        let me = proc.id();
+        let bounds = layout.part_bounds(me).ok();
+        if let (Some(b), Distribution::Block) = (&bounds, spec.dist) {
+            for d in 0..2 {
+                if spec.lowerbd[d] >= 0 && spec.lowerbd[d] as usize != b.lower[d] {
+                    return Err(ArrayError::BadSpec(format!(
+                        "explicit lower bound {} in dimension {d} conflicts with the \
+                         grid tiling (expected {})",
+                        spec.lowerbd[d], b.lower[d]
+                    )));
+                }
+            }
+        }
+        let mut data = Vec::with_capacity(layout.local_count(me));
+        for ix in layout.local_indices(me) {
+            data.push(init(ix));
+        }
+        Ok(DistArray {
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+            layout,
+            me,
+            nprocs: proc.nprocs(),
+            bounds,
+            data,
+        })
+    }
+
+    /// This array's creation identity (for distinctness checks).
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// The placement of the array.
+    pub fn layout(&self) -> &Layout {
+        self.layout_ref()
+    }
+
+    fn layout_ref(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Global shape.
+    pub fn shape(&self) -> Shape {
+        self.layout.shape
+    }
+
+    /// The processor holding this partition.
+    pub fn proc_id(&self) -> usize {
+        self.me
+    }
+
+    /// Number of processors the array spans.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The local partition bounds (`array_part_bounds`). Errors for
+    /// non-block distributions, which have no contiguous bounds.
+    pub fn part_bounds(&self) -> Result<Bounds> {
+        self.bounds.ok_or(ArrayError::RequiresBlock("array_part_bounds"))
+    }
+
+    /// Number of locally held elements.
+    pub fn local_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read a **local** element (`array_get_elem`). Non-local indices are
+    /// a checked error, as the paper prescribes.
+    pub fn get(&self, ix: Index) -> Result<&T> {
+        match self.layout.local_offset(self.me, ix) {
+            Ok(off) => Ok(&self.data[off]),
+            Err(_) if !self.layout.shape.contains(ix) => {
+                Err(ArrayError::OutOfRange { ix, size: self.layout.shape.size })
+            }
+            Err(_) => Err(ArrayError::NonLocalAccess {
+                ix,
+                bounds: self.bounds.unwrap_or(Bounds { lower: [0, 0], upper: [0, 0] }),
+                proc: self.me,
+            }),
+        }
+    }
+
+    /// Overwrite a **local** element (`array_put_elem`).
+    pub fn put(&mut self, ix: Index, val: T) -> Result<()> {
+        match self.layout.local_offset(self.me, ix) {
+            Ok(off) => {
+                self.data[off] = val;
+                Ok(())
+            }
+            Err(_) if !self.layout.shape.contains(ix) => {
+                Err(ArrayError::OutOfRange { ix, size: self.layout.shape.size })
+            }
+            Err(_) => Err(ArrayError::NonLocalAccess {
+                ix,
+                bounds: self.bounds.unwrap_or(Bounds { lower: [0, 0], upper: [0, 0] }),
+                proc: self.me,
+            }),
+        }
+    }
+
+    /// Whether `ix` is held locally.
+    pub fn is_local(&self, ix: Index) -> bool {
+        self.layout.local_offset(self.me, ix).is_ok()
+    }
+
+    /// The processor owning global index `ix`.
+    pub fn owner(&self, ix: Index) -> Result<usize> {
+        self.layout.owner(ix)
+    }
+
+    /// Iterate local elements with their global indices, in storage
+    /// order. (Skeleton implementation detail — user code goes through
+    /// skeletons.)
+    pub fn iter_local(&self) -> impl Iterator<Item = (Index, &T)> + '_ {
+        self.layout.local_indices(self.me).zip(self.data.iter())
+    }
+
+    /// Mutably iterate local elements with their global indices.
+    pub fn iter_local_mut(&mut self) -> impl Iterator<Item = (Index, &mut T)> + '_ {
+        self.layout.local_indices(self.me).zip(self.data.iter_mut())
+    }
+
+    /// Raw local storage (skeletons only).
+    pub fn local_data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Raw mutable local storage (skeletons only).
+    pub fn local_data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Replace the local storage wholesale (skeletons only; length must
+    /// match).
+    pub fn replace_local_data(&mut self, data: Vec<T>) -> Result<()> {
+        if data.len() != self.data.len() {
+            return Err(ArrayError::PartitionMismatch(format!(
+                "replacement has {} elements, partition holds {}",
+                data.len(),
+                self.data.len()
+            )));
+        }
+        self.data = data;
+        Ok(())
+    }
+
+    /// Whether two arrays may be used together in element-wise skeletons.
+    pub fn conformable<U>(&self, other: &DistArray<U>) -> bool {
+        self.layout.conformable(&other.layout)
+    }
+
+    /// Check the paper's distinctness requirement; `op` names the
+    /// offending skeleton in the error.
+    pub fn check_distinct<U>(&self, other: &DistArray<U>, op: &'static str) -> Result<()> {
+        if self.uid == other.uid {
+            Err(ArrayError::AliasedArrays(op))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skil_runtime::{Machine, MachineConfig};
+
+    fn on_machine<R: Send>(
+        n: usize,
+        f: impl Fn(&mut Proc<'_>) -> R + Sync,
+    ) -> Vec<R> {
+        Machine::new(MachineConfig::procs(n).unwrap()).run(f).results
+    }
+
+    #[test]
+    fn create_initializes_by_index() {
+        let results = on_machine(4, |p| {
+            let a = DistArray::create(p, ArraySpec::d1(8, Distr::Default), |ix| ix[0] as u64 * 10)
+                .unwrap();
+            let b = a.part_bounds().unwrap();
+            (b.lower[0], b.upper[0], a.local_data().to_vec())
+        });
+        assert_eq!(results[0], (0, 2, vec![0, 10]));
+        assert_eq!(results[3], (6, 8, vec![60, 70]));
+    }
+
+    #[test]
+    fn torus_distribution_uses_mesh_grid() {
+        let results = on_machine(4, |p| {
+            let a = DistArray::create(p, ArraySpec::d2(4, 4, Distr::Torus2d), |_| 0u8).unwrap();
+            a.part_bounds().unwrap()
+        });
+        // mesh is 2x2, so partitions are 2x2 blocks
+        assert_eq!(results[0], Bounds { lower: [0, 0], upper: [2, 2] });
+        assert_eq!(results[1], Bounds { lower: [0, 2], upper: [2, 4] });
+        assert_eq!(results[2], Bounds { lower: [2, 0], upper: [4, 2] });
+        assert_eq!(results[3], Bounds { lower: [2, 2], upper: [4, 4] });
+    }
+
+    #[test]
+    fn default_distribution_is_row_block() {
+        let results = on_machine(4, |p| {
+            let a = DistArray::create(p, ArraySpec::d2(8, 5, Distr::Default), |_| 0u8).unwrap();
+            a.part_bounds().unwrap()
+        });
+        for (id, b) in results.iter().enumerate() {
+            assert_eq!(b.lower, [id * 2, 0]);
+            assert_eq!(b.upper, [id * 2 + 2, 5]);
+        }
+    }
+
+    #[test]
+    fn local_access_works_remote_access_errors() {
+        let results = on_machine(2, |p| {
+            let mut a =
+                DistArray::create(p, ArraySpec::d1(4, Distr::Default), |ix| ix[0] as i32).unwrap();
+            let local_ix = [p.id() * 2, 0];
+            let remote_ix = [(1 - p.id()) * 2, 0];
+            a.put(local_ix, 99).unwrap();
+            let local_ok = *a.get(local_ix).unwrap() == 99;
+            let remote_err = matches!(
+                a.get(remote_ix),
+                Err(ArrayError::NonLocalAccess { .. })
+            ) && matches!(
+                a.put(remote_ix, 0),
+                Err(ArrayError::NonLocalAccess { .. })
+            );
+            (local_ok, remote_err)
+        });
+        assert!(results.iter().all(|&(l, r)| l && r));
+    }
+
+    #[test]
+    fn out_of_range_access_is_distinct_error() {
+        let results = on_machine(2, |p| {
+            let a = DistArray::create(p, ArraySpec::d1(4, Distr::Default), |_| 0u8).unwrap();
+            matches!(a.get([99, 0]), Err(ArrayError::OutOfRange { .. }))
+        });
+        assert!(results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn uids_distinguish_arrays() {
+        let results = on_machine(1, |p| {
+            let a = DistArray::create(p, ArraySpec::d1(4, Distr::Default), |_| 0u8).unwrap();
+            let b = DistArray::create(p, ArraySpec::d1(4, Distr::Default), |_| 0u8).unwrap();
+            (
+                a.check_distinct(&b, "op").is_ok(),
+                a.check_distinct(&a, "op").is_err(),
+                a.conformable(&b),
+            )
+        });
+        assert_eq!(results[0], (true, true, true));
+    }
+
+    #[test]
+    fn cyclic_arrays_support_local_iteration_not_bounds() {
+        let results = on_machine(2, |p| {
+            let spec = ArraySpec::d1(7, Distr::Default).with_dist(Distribution::Cyclic);
+            let a = DistArray::create(p, spec, |ix| ix[0] as u32).unwrap();
+            let vals: Vec<u32> = a.iter_local().map(|(_, &v)| v).collect();
+            (a.part_bounds().is_err(), vals)
+        });
+        assert_eq!(results[0].1, vec![0, 2, 4, 6]);
+        assert_eq!(results[1].1, vec![1, 3, 5]);
+        assert!(results[0].0 && results[1].0);
+    }
+
+    #[test]
+    fn explicit_conflicting_lowerbd_rejected() {
+        let results = on_machine(2, |p| {
+            let mut spec = ArraySpec::d1(4, Distr::Default);
+            spec.lowerbd = [1, -1]; // wrong for both processors (0 and 2)
+            DistArray::create(p, spec, |_| 0u8).is_err()
+        });
+        assert!(results.iter().all(|&e| e));
+    }
+
+    #[test]
+    fn iter_local_mut_updates_in_place() {
+        let results = on_machine(2, |p| {
+            let mut a =
+                DistArray::create(p, ArraySpec::d1(6, Distr::Default), |ix| ix[0] as u64).unwrap();
+            for (ix, v) in a.iter_local_mut() {
+                *v += ix[0] as u64;
+            }
+            a.local_data().to_vec()
+        });
+        assert_eq!(results[0], vec![0, 2, 4]);
+        assert_eq!(results[1], vec![6, 8, 10]);
+    }
+
+    #[test]
+    fn replace_local_data_validates_length() {
+        let results = on_machine(1, |p| {
+            let mut a =
+                DistArray::create(p, ArraySpec::d1(3, Distr::Default), |_| 0u8).unwrap();
+            let bad = a.replace_local_data(vec![1, 2]).is_err();
+            a.replace_local_data(vec![7, 8, 9]).unwrap();
+            (bad, a.local_data().to_vec())
+        });
+        assert_eq!(results[0], (true, vec![7, 8, 9]));
+    }
+}

@@ -1,0 +1,162 @@
+//! A distributed *dynamic* sequence — the `pardata` flexibility claim in
+//! action.
+//!
+//! The paper stresses that `pardata` "allow\[s\] any distributed data
+//! structure to be defined, as long as it is 'homogeneous'", and its
+//! companion \[2\] ("Using Algorithmic Skeletons with Dynamic Data
+//! Structures") treats structures whose elements move and whose local
+//! sizes change. [`DistList`] is such a structure: each processor holds a
+//! locally-sized segment of a global sequence; skeletons in `skil-core`
+//! filter it (shrinking segments unevenly) and rebalance it (migrating
+//! flattened elements).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::{ArrayError, Result};
+use skil_runtime::Proc;
+
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
+/// The local segment of a distributed sequence. Unlike `DistArray`, the
+/// segment length is dynamic: skeletons may shrink or grow it, and the
+/// *global* ordering is the concatenation of segments by processor id.
+#[derive(Debug, Clone)]
+pub struct DistList<T> {
+    uid: u64,
+    me: usize,
+    nprocs: usize,
+    data: Vec<T>,
+}
+
+impl<T> DistList<T> {
+    /// Create the list with `init(global_index)` over an initially
+    /// block-wise distribution of `n` elements.
+    pub fn create<F>(proc: &Proc<'_>, n: usize, mut init: F) -> Result<Self>
+    where
+        F: FnMut(usize) -> T,
+    {
+        let nprocs = proc.nprocs();
+        let me = proc.id();
+        let chunk = n.div_ceil(nprocs.max(1));
+        let lo = (me * chunk).min(n);
+        let hi = ((me + 1) * chunk).min(n);
+        Ok(DistList {
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+            me,
+            nprocs,
+            data: (lo..hi).map(&mut init).collect(),
+        })
+    }
+
+    /// Wrap an existing local segment (skeletons only).
+    pub fn from_local(proc: &Proc<'_>, data: Vec<T>) -> Self {
+        DistList {
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+            me: proc.id(),
+            nprocs: proc.nprocs(),
+            data,
+        }
+    }
+
+    /// Creation identity.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Owning processor of this segment.
+    pub fn proc_id(&self) -> usize {
+        self.me
+    }
+
+    /// Number of processors the list spans.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Local segment length (varies per processor).
+    pub fn local_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Local elements.
+    pub fn local_data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Local elements, mutable (skeletons only).
+    pub fn local_data_mut(&mut self) -> &mut Vec<T> {
+        &mut self.data
+    }
+
+    /// Replace the local segment (skeletons only). Any length is valid —
+    /// that is the point of a dynamic structure.
+    pub fn replace_local(&mut self, data: Vec<T>) {
+        self.data = data;
+    }
+
+    /// Imbalance check used by tests and the rebalance skeleton: the
+    /// largest segment may exceed the smallest by at most one after a
+    /// rebalance of total size `total`.
+    pub fn balanced_len(total: usize, nprocs: usize, id: usize) -> usize {
+        let base = total / nprocs;
+        let extra = total % nprocs;
+        base + usize::from(id < extra)
+    }
+
+    /// Validate that two lists live on the same machine shape.
+    pub fn conformable<U>(&self, other: &DistList<U>) -> Result<()> {
+        if self.nprocs != other.nprocs {
+            return Err(ArrayError::NotConformable("DistList machine shapes differ".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skil_runtime::{Machine, MachineConfig};
+
+    #[test]
+    fn create_distributes_blockwise() {
+        let m = Machine::new(MachineConfig::procs(3).unwrap());
+        let run = m.run(|p| {
+            let l = DistList::create(p, 10, |i| i as u64).unwrap();
+            l.local_data().to_vec()
+        });
+        assert_eq!(run.results[0], vec![0, 1, 2, 3]);
+        assert_eq!(run.results[1], vec![4, 5, 6, 7]);
+        assert_eq!(run.results[2], vec![8, 9]);
+    }
+
+    #[test]
+    fn create_smaller_than_machine() {
+        let m = Machine::new(MachineConfig::procs(4).unwrap());
+        let run = m.run(|p| {
+            let l = DistList::create(p, 2, |i| i as u64).unwrap();
+            l.local_len()
+        });
+        assert_eq!(run.results, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn balanced_len_splits_remainder() {
+        assert_eq!(DistList::<u8>::balanced_len(10, 4, 0), 3);
+        assert_eq!(DistList::<u8>::balanced_len(10, 4, 1), 3);
+        assert_eq!(DistList::<u8>::balanced_len(10, 4, 2), 2);
+        assert_eq!(DistList::<u8>::balanced_len(10, 4, 3), 2);
+        let total: usize = (0..4).map(|id| DistList::<u8>::balanced_len(10, 4, id)).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn replace_local_accepts_any_length() {
+        let m = Machine::new(MachineConfig::procs(2).unwrap());
+        let run = m.run(|p| {
+            let mut l = DistList::create(p, 4, |i| i as u64).unwrap();
+            l.replace_local(vec![9; p.id() * 5]);
+            l.local_len()
+        });
+        assert_eq!(run.results, vec![0, 5]);
+    }
+}

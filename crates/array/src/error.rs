@@ -1,0 +1,105 @@
+//! Errors for distributed-array operations.
+
+use crate::shape::{Bounds, Index};
+use std::fmt;
+
+/// Errors raised by `DistArray` operations and the skeletons above them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrayError {
+    /// An element access named an index outside the local partition.
+    /// The paper: `array_get_elem`/`array_put_elem` "can only be used to
+    /// access local elements".
+    NonLocalAccess {
+        /// The requested global index.
+        ix: Index,
+        /// The local partition bounds on this processor.
+        bounds: Bounds,
+        /// This processor's id.
+        proc: usize,
+    },
+    /// A global index lies outside the array altogether.
+    OutOfRange {
+        /// The requested global index.
+        ix: Index,
+        /// The global array size.
+        size: Index,
+    },
+    /// Two arrays that must be conformable (same shape & distribution)
+    /// are not.
+    NotConformable(String),
+    /// The array specification was invalid (zero sizes, bad dimension
+    /// count, explicit block sizes that do not tile the array, ...).
+    BadSpec(String),
+    /// The operation requires a block-distributed array.
+    RequiresBlock(&'static str),
+    /// The operation requires a particular virtual topology / grid shape.
+    BadTopology(String),
+    /// `array_permute_rows` was given a non-bijective permutation
+    /// ("otherwise a run-time error occurs").
+    NotBijective {
+        /// A row index that is hit zero or several times.
+        row: usize,
+    },
+    /// The same array was passed in two roles that must be distinct
+    /// (`array_gen_mult(a, a, ...)` is rejected by the paper).
+    AliasedArrays(&'static str),
+    /// Partition shapes differ where they must agree (e.g.
+    /// `array_broadcast_part` between ragged partitions).
+    PartitionMismatch(String),
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayError::NonLocalAccess { ix, bounds, proc } => write!(
+                f,
+                "non-local element access at {ix:?} on processor {proc} \
+                 (local partition {bounds:?}); use a skeleton for remote data"
+            ),
+            ArrayError::OutOfRange { ix, size } => {
+                write!(f, "index {ix:?} outside array of size {size:?}")
+            }
+            ArrayError::NotConformable(msg) => write!(f, "arrays not conformable: {msg}"),
+            ArrayError::BadSpec(msg) => write!(f, "bad array specification: {msg}"),
+            ArrayError::RequiresBlock(op) => {
+                write!(f, "{op} requires a block-wise distributed array")
+            }
+            ArrayError::BadTopology(msg) => write!(f, "bad topology for operation: {msg}"),
+            ArrayError::NotBijective { row } => write!(
+                f,
+                "permutation function is not bijective (row {row} not hit exactly once)"
+            ),
+            ArrayError::AliasedArrays(op) => {
+                write!(f, "{op}: argument arrays must be distinct")
+            }
+            ArrayError::PartitionMismatch(msg) => write!(f, "partition mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, ArrayError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        let e = ArrayError::NonLocalAccess {
+            ix: [3, 4],
+            bounds: Bounds { lower: [0, 0], upper: [2, 2] },
+            proc: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("processor 1"));
+        assert!(s.contains("[3, 4]"));
+
+        assert!(ArrayError::NotBijective { row: 7 }.to_string().contains("row 7"));
+        assert!(ArrayError::AliasedArrays("array_gen_mult")
+            .to_string()
+            .contains("array_gen_mult"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Overlapping partitions (halos / ghost rows).
+//!
+//! The paper's §6 names this as future work: "it should be possible to
+//! define overlapping areas for the single partitions, in order to reduce
+//! communication in operations which require more than one element at a
+//! time", e.g. PDE solvers and image processing. A [`HaloArray`] wraps a
+//! row-block 2-D array with `width` ghost rows above and below the local
+//! partition; the `halo_exchange` skeleton in `skil-core` refreshes them
+//! from the neighbouring processors.
+
+use crate::array::DistArray;
+use crate::error::{ArrayError, Result};
+use crate::layout::Distribution;
+use crate::shape::Index;
+
+/// A row-block distributed 2-D array extended with ghost rows.
+#[derive(Debug, Clone)]
+pub struct HaloArray<T> {
+    inner: DistArray<T>,
+    width: usize,
+    /// Ghost rows `lower-width .. lower` (row-major), empty entries for
+    /// the global top partition.
+    north: Vec<T>,
+    /// Ghost rows `upper .. upper+width`.
+    south: Vec<T>,
+}
+
+impl<T> HaloArray<T> {
+    /// Wrap a 2-D, row-block distributed array with `width` ghost rows.
+    pub fn new(inner: DistArray<T>, width: usize) -> Result<Self> {
+        if inner.shape().ndim != 2 {
+            return Err(ArrayError::BadSpec("halo requires a 2-D array".into()));
+        }
+        if !matches!(inner.layout().dist, Distribution::Block) {
+            return Err(ArrayError::RequiresBlock("halo"));
+        }
+        if inner.layout().grid[1] != 1 {
+            return Err(ArrayError::BadTopology(
+                "halo requires a row-block distribution (grid [p, 1])".into(),
+            ));
+        }
+        if width == 0 {
+            return Err(ArrayError::BadSpec("halo width must be positive".into()));
+        }
+        Ok(HaloArray { inner, width, north: Vec::new(), south: Vec::new() })
+    }
+
+    /// Ghost-region width in rows.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The wrapped array.
+    pub fn inner(&self) -> &DistArray<T> {
+        &self.inner
+    }
+
+    /// The wrapped array, mutably.
+    pub fn inner_mut(&mut self) -> &mut DistArray<T> {
+        &mut self.inner
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> DistArray<T> {
+        self.inner
+    }
+
+    /// Rows this partition would need from its north neighbour: the
+    /// neighbour's last `width` rows. Returns the local rows a neighbour
+    /// asks of *us* when we are their south source.
+    pub fn south_edge_rows(&self) -> Result<Vec<&T>> {
+        let b = self.inner.part_bounds()?;
+        let cols = b.extent()[1];
+        let rows = b.extent()[0];
+        let take = self.width.min(rows);
+        let start = (rows - take) * cols;
+        Ok(self.inner.local_data()[start..].iter().collect())
+    }
+
+    /// The local first `width` rows (what our south neighbour needs).
+    pub fn north_edge_rows(&self) -> Result<Vec<&T>> {
+        let b = self.inner.part_bounds()?;
+        let cols = b.extent()[1];
+        let rows = b.extent()[0];
+        let take = self.width.min(rows);
+        Ok(self.inner.local_data()[..take * cols].iter().collect())
+    }
+
+    /// Install the ghost rows received from the north neighbour.
+    pub fn set_north(&mut self, rows: Vec<T>) -> Result<()> {
+        self.check_ghost_len(&rows)?;
+        self.north = rows;
+        Ok(())
+    }
+
+    /// Install the ghost rows received from the south neighbour.
+    pub fn set_south(&mut self, rows: Vec<T>) -> Result<()> {
+        self.check_ghost_len(&rows)?;
+        self.south = rows;
+        Ok(())
+    }
+
+    fn check_ghost_len(&self, rows: &[T]) -> Result<()> {
+        let b = self.inner.part_bounds()?;
+        let cols = b.extent()[1];
+        if !rows.len().is_multiple_of(cols.max(1)) || rows.len() / cols.max(1) > self.width {
+            return Err(ArrayError::PartitionMismatch(format!(
+                "ghost region of {} elements does not form <= {} rows of {} columns",
+                rows.len(),
+                self.width,
+                cols
+            )));
+        }
+        Ok(())
+    }
+
+    /// Read an element that may live in the local partition **or** in the
+    /// installed ghost rows. Anything further away is still a checked
+    /// non-local access.
+    pub fn get(&self, ix: Index) -> Result<&T> {
+        if self.inner.is_local(ix) {
+            return self.inner.get(ix);
+        }
+        let b = self.inner.part_bounds()?;
+        let cols = b.extent()[1];
+        if !self.inner.shape().contains(ix) {
+            return Err(ArrayError::OutOfRange { ix, size: self.inner.shape().size });
+        }
+        if ix[1] >= b.lower[1] && ix[1] < b.upper[1] {
+            // north ghost: rows [lower-width, lower)
+            if ix[0] < b.lower[0] && b.lower[0] - ix[0] <= self.width {
+                let nrows = self.north.len() / cols.max(1);
+                let row_in_ghost =
+                    nrows - (b.lower[0] - ix[0]); // ghost stores rows in global order
+                if self.north.len() >= (b.lower[0] - ix[0]) * cols {
+                    return Ok(&self.north[row_in_ghost * cols + (ix[1] - b.lower[1])]);
+                }
+            }
+            // south ghost: rows [upper, upper+width)
+            if ix[0] >= b.upper[0] && ix[0] - b.upper[0] < self.width {
+                let row_in_ghost = ix[0] - b.upper[0];
+                if self.south.len() > row_in_ghost * cols {
+                    return Ok(&self.south[row_in_ghost * cols + (ix[1] - b.lower[1])]);
+                }
+            }
+        }
+        Err(ArrayError::NonLocalAccess { ix, bounds: b, proc: self.inner.proc_id() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArraySpec;
+    use skil_runtime::{Distr, Machine, MachineConfig, Proc};
+
+    fn on_machine<R: Send>(n: usize, f: impl Fn(&mut Proc<'_>) -> R + Sync) -> Vec<R> {
+        Machine::new(MachineConfig::procs(n).unwrap()).run(f).results
+    }
+
+    fn make(p: &Proc<'_>, rows: usize, cols: usize, width: usize) -> HaloArray<u64> {
+        let a = DistArray::create(p, ArraySpec::d2(rows, cols, Distr::Default), |ix| {
+            (ix[0] * 100 + ix[1]) as u64
+        })
+        .unwrap();
+        HaloArray::new(a, width).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_arrays() {
+        let results = on_machine(2, |p| {
+            let d1 = DistArray::create(p, ArraySpec::d1(4, Distr::Default), |_| 0u8).unwrap();
+            let e1 = HaloArray::new(d1, 1).is_err();
+            let d2 =
+                DistArray::create(p, ArraySpec::d2(4, 4, Distr::Default), |_| 0u8).unwrap();
+            let e2 = HaloArray::new(d2, 0).is_err();
+            (e1, e2)
+        });
+        assert!(results.iter().all(|&(a, b)| a && b));
+    }
+
+    #[test]
+    fn edge_rows_extracted() {
+        let results = on_machine(2, |p| {
+            let h = make(p, 4, 3, 1);
+            let north: Vec<u64> = h.north_edge_rows().unwrap().into_iter().copied().collect();
+            let south: Vec<u64> = h.south_edge_rows().unwrap().into_iter().copied().collect();
+            (north, south)
+        });
+        // proc 0 holds rows 0..2, proc 1 rows 2..4
+        assert_eq!(results[0].0, vec![0, 1, 2]); // row 0
+        assert_eq!(results[0].1, vec![100, 101, 102]); // row 1
+        assert_eq!(results[1].0, vec![200, 201, 202]); // row 2
+        assert_eq!(results[1].1, vec![300, 301, 302]); // row 3
+    }
+
+    #[test]
+    fn ghost_access_after_install() {
+        let results = on_machine(2, |p| {
+            let mut h = make(p, 4, 3, 1);
+            if p.id() == 1 {
+                // pretend we received row 1 from the north neighbour
+                h.set_north(vec![100, 101, 102]).unwrap();
+                let v = *h.get([1, 1]).unwrap();
+                let own = *h.get([2, 0]).unwrap();
+                let too_far = h.get([0, 0]).is_err();
+                Some((v, own, too_far))
+            } else {
+                None
+            }
+        });
+        assert_eq!(results[1], Some((101, 200, true)));
+    }
+
+    #[test]
+    fn ghost_len_validated() {
+        let results = on_machine(2, |p| {
+            let mut h = make(p, 4, 3, 1);
+            (h.set_north(vec![1, 2]).is_err(), h.set_south(vec![1, 2, 3, 4, 5, 6]).is_err())
+        });
+        // 2 elements is not a whole row; 6 elements is 2 rows > width 1
+        assert!(results.iter().all(|&(a, b)| a && b));
+    }
+
+    #[test]
+    fn south_ghost_read() {
+        let results = on_machine(2, |p| {
+            if p.id() == 0 {
+                let mut h = make(p, 4, 3, 1);
+                h.set_south(vec![200, 201, 202]).unwrap();
+                Some(*h.get([2, 2]).unwrap())
+            } else {
+                None
+            }
+        });
+        assert_eq!(results[0], Some(202));
+    }
+}

@@ -1,0 +1,461 @@
+//! Distribution layouts: which processor owns which elements.
+//!
+//! The paper distributes arrays "only block-wise onto processors"; its
+//! §6 names cyclic and block-cyclic distributions as future work. All
+//! three are implemented here. A [`Layout`] is pure data — ownership and
+//! local-addressing arithmetic with no machine attached — so it can be
+//! tested exhaustively.
+
+use crate::error::{ArrayError, Result};
+use crate::shape::{Bounds, Index, Shape};
+use skil_runtime::{Distr, Mesh};
+
+/// How elements map to the process grid along each dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// One contiguous block per processor and dimension (the paper's only
+    /// distribution).
+    Block,
+    /// Round-robin single elements (future work §6).
+    Cyclic,
+    /// Round-robin blocks of the given per-dimension size (future work
+    /// §6).
+    BlockCyclic {
+        /// Cycle block extent per dimension.
+        block: [usize; 2],
+    },
+}
+
+/// The complete placement of a distributed array on a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Global shape.
+    pub shape: Shape,
+    /// Process grid `[rows, cols]`; `rows * cols` equals the processor
+    /// count.
+    pub grid: [usize; 2],
+    /// Virtual topology the array is mapped onto.
+    pub distr: Distr,
+    /// Element-to-processor mapping rule.
+    pub dist: Distribution,
+    /// Per-dimension block extent. For `Block` this is the partition
+    /// extent; for `BlockCyclic` the cycle block; 1 for `Cyclic`.
+    pub block: [usize; 2],
+}
+
+fn ceil_div(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+impl Layout {
+    /// Choose the process grid the paper's skeletons use for a given
+    /// virtual topology: 2-D arrays on a torus live on the mesh-shaped
+    /// grid (as `array_gen_mult` needs); everything else is distributed
+    /// row-block over processor ids (as the Gaussian elimination example
+    /// needs — "divided into p parts, each containing n/p rows").
+    pub fn default_grid(shape: Shape, distr: Distr, mesh: Mesh) -> [usize; 2] {
+        match (shape.ndim, distr) {
+            (2, Distr::Torus2d) => [mesh.rows, mesh.cols],
+            _ => [mesh.procs(), 1],
+        }
+    }
+
+    /// Build a layout, deriving block sizes where the caller passed 0
+    /// (the paper: "passing a zero value for a component lets the
+    /// skeleton fill in an appropriate value").
+    pub fn new(
+        shape: Shape,
+        grid: [usize; 2],
+        distr: Distr,
+        dist: Distribution,
+        blocksize: [usize; 2],
+    ) -> Result<Layout> {
+        if shape.ndim == 0 || shape.ndim > 2 {
+            return Err(ArrayError::BadSpec(format!("ndim {} not in 1..=2", shape.ndim)));
+        }
+        if shape.size[0] == 0 || shape.size[1] == 0 {
+            return Err(ArrayError::BadSpec("zero-sized dimension".into()));
+        }
+        if grid[0] == 0 || grid[1] == 0 {
+            return Err(ArrayError::BadSpec("degenerate process grid".into()));
+        }
+        if shape.ndim == 1 && grid[1] != 1 {
+            return Err(ArrayError::BadSpec("1-D array on a 2-D grid".into()));
+        }
+        let block = match dist {
+            Distribution::Block => {
+                let mut b = [0usize; 2];
+                for d in 0..2 {
+                    let derived = ceil_div(shape.size[d], grid[d]);
+                    b[d] = if blocksize[d] == 0 { derived } else { blocksize[d] };
+                    if b[d] * grid[d] < shape.size[d] {
+                        return Err(ArrayError::BadSpec(format!(
+                            "block size {} x grid {} cannot tile dimension {} of size {}",
+                            b[d], grid[d], d, shape.size[d]
+                        )));
+                    }
+                }
+                b
+            }
+            Distribution::Cyclic => [1, 1],
+            Distribution::BlockCyclic { block } => {
+                if block[0] == 0 || block[1] == 0 {
+                    return Err(ArrayError::BadSpec("zero block-cyclic block".into()));
+                }
+                block
+            }
+        };
+        Ok(Layout { shape, grid, distr, dist, block })
+    }
+
+    /// Number of processors the layout spans.
+    pub fn nprocs(&self) -> usize {
+        self.grid[0] * self.grid[1]
+    }
+
+    /// Grid coordinates of processor `id` (row-major over the grid).
+    pub fn grid_coords(&self, id: usize) -> [usize; 2] {
+        [id / self.grid[1], id % self.grid[1]]
+    }
+
+    /// Processor id at grid coordinates.
+    pub fn proc_at(&self, g: [usize; 2]) -> usize {
+        g[0] * self.grid[1] + g[1]
+    }
+
+    fn owner_coord(&self, d: usize, i: usize) -> usize {
+        match self.dist {
+            Distribution::Block => (i / self.block[d]).min(self.grid[d] - 1),
+            Distribution::Cyclic => i % self.grid[d],
+            Distribution::BlockCyclic { .. } => (i / self.block[d]) % self.grid[d],
+        }
+    }
+
+    /// The processor owning global index `ix`.
+    pub fn owner(&self, ix: Index) -> Result<usize> {
+        if !self.shape.contains(ix) {
+            return Err(ArrayError::OutOfRange { ix, size: self.shape.size });
+        }
+        Ok(self.proc_at([self.owner_coord(0, ix[0]), self.owner_coord(1, ix[1])]))
+    }
+
+    /// Number of locally owned indices along dimension `d` for grid
+    /// coordinate `g`.
+    fn local_len(&self, d: usize, g: usize) -> usize {
+        let n = self.shape.size[d];
+        match self.dist {
+            Distribution::Block => {
+                let lo = (g * self.block[d]).min(n);
+                let hi = ((g + 1) * self.block[d]).min(n);
+                hi - lo
+            }
+            Distribution::Cyclic => {
+                let p = self.grid[d];
+                n / p + usize::from(n % p > g)
+            }
+            Distribution::BlockCyclic { .. } => {
+                let b = self.block[d];
+                let stride = b * self.grid[d];
+                let full = (n / stride) * b;
+                let rem = n % stride;
+                let extra = rem.saturating_sub(g * b).min(b);
+                full + extra
+            }
+        }
+    }
+
+    /// Extent of processor `id`'s local storage (rows, cols).
+    pub fn local_extent(&self, id: usize) -> [usize; 2] {
+        let g = self.grid_coords(id);
+        [self.local_len(0, g[0]), self.local_len(1, g[1])]
+    }
+
+    /// Number of elements processor `id` stores.
+    pub fn local_count(&self, id: usize) -> usize {
+        let e = self.local_extent(id);
+        e[0] * e[1]
+    }
+
+    /// Partition bounds — defined only for block distributions.
+    pub fn part_bounds(&self, id: usize) -> Result<Bounds> {
+        match self.dist {
+            Distribution::Block => {
+                let g = self.grid_coords(id);
+                let mut lower = [0usize; 2];
+                let mut upper = [0usize; 2];
+                for d in 0..2 {
+                    lower[d] = (g[d] * self.block[d]).min(self.shape.size[d]);
+                    upper[d] = ((g[d] + 1) * self.block[d]).min(self.shape.size[d]);
+                }
+                Ok(Bounds { lower, upper })
+            }
+            _ => Err(ArrayError::RequiresBlock("part_bounds")),
+        }
+    }
+
+    /// Local coordinate of a globally owned index along dimension `d`.
+    fn local_coord(&self, d: usize, i: usize) -> usize {
+        match self.dist {
+            Distribution::Block => i - (i / self.block[d]).min(self.grid[d] - 1) * self.block[d],
+            Distribution::Cyclic => i / self.grid[d],
+            Distribution::BlockCyclic { .. } => {
+                let b = self.block[d];
+                (i / (b * self.grid[d])) * b + i % b
+            }
+        }
+    }
+
+    /// Row-major local offset of `ix` on its owner.
+    pub fn local_offset(&self, id: usize, ix: Index) -> Result<usize> {
+        let owner = self.owner(ix)?;
+        if owner != id {
+            // Callers translate this into NonLocalAccess with bounds.
+            return Err(ArrayError::OutOfRange { ix, size: self.shape.size });
+        }
+        let e = self.local_extent(id);
+        Ok(self.local_coord(0, ix[0]) * e[1] + self.local_coord(1, ix[1]))
+    }
+
+    /// Global index of dimension-`d` local coordinate `l` on grid
+    /// coordinate `g`.
+    fn global_coord(&self, d: usize, g: usize, l: usize) -> usize {
+        match self.dist {
+            Distribution::Block => g * self.block[d] + l,
+            Distribution::Cyclic => l * self.grid[d] + g,
+            Distribution::BlockCyclic { .. } => {
+                let b = self.block[d];
+                (l / b) * b * self.grid[d] + g * b + l % b
+            }
+        }
+    }
+
+    /// Iterate processor `id`'s owned global indices in local row-major
+    /// (storage) order.
+    pub fn local_indices(&self, id: usize) -> impl Iterator<Item = Index> + '_ {
+        let g = self.grid_coords(id);
+        let e = self.local_extent(id);
+        let this = *self;
+        (0..e[0]).flat_map(move |lr| {
+            let gr = this.global_coord(0, g[0], lr);
+            (0..e[1]).map(move |lc| [gr, this.global_coord(1, g[1], lc)])
+        })
+    }
+
+    /// Whether two layouts place elements identically (required by
+    /// element-wise skeletons such as `array_map`).
+    pub fn conformable(&self, other: &Layout) -> bool {
+        self.shape == other.shape
+            && self.grid == other.grid
+            && self.dist == other.dist
+            && self.block == other.block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skil_runtime::Mesh;
+
+    fn block_layout(rows: usize, cols: usize, grid: [usize; 2]) -> Layout {
+        Layout::new(Shape::d2(rows, cols), grid, Distr::Default, Distribution::Block, [0, 0])
+            .unwrap()
+    }
+
+    #[test]
+    fn default_grid_rules() {
+        let mesh = Mesh::new(4, 4).unwrap();
+        assert_eq!(Layout::default_grid(Shape::d2(8, 8), Distr::Torus2d, mesh), [4, 4]);
+        assert_eq!(Layout::default_grid(Shape::d2(8, 8), Distr::Default, mesh), [16, 1]);
+        assert_eq!(Layout::default_grid(Shape::d1(8), Distr::Torus2d, mesh), [16, 1]);
+    }
+
+    #[test]
+    fn block_even_partitioning() {
+        let l = block_layout(8, 8, [4, 1]);
+        assert_eq!(l.block, [2, 8]);
+        for id in 0..4 {
+            let b = l.part_bounds(id).unwrap();
+            assert_eq!(b.lower, [id * 2, 0]);
+            assert_eq!(b.upper, [id * 2 + 2, 8]);
+            assert_eq!(l.local_count(id), 16);
+        }
+    }
+
+    #[test]
+    fn block_ragged_last_partition() {
+        let l = Layout::new(Shape::d1(10), [4, 1], Distr::Default, Distribution::Block, [0, 0])
+            .unwrap();
+        assert_eq!(l.block[0], 3);
+        assert_eq!(l.local_count(0), 3);
+        assert_eq!(l.local_count(3), 1);
+        let total: usize = (0..4).map(|id| l.local_count(id)).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn explicit_blocksize_respected_and_validated() {
+        let l = Layout::new(Shape::d1(8), [4, 1], Distr::Default, Distribution::Block, [4, 0]);
+        let l = l.unwrap();
+        assert_eq!(l.local_count(0), 4);
+        assert_eq!(l.local_count(1), 4);
+        assert_eq!(l.local_count(2), 0);
+        // too-small explicit block cannot tile
+        assert!(Layout::new(
+            Shape::d1(8),
+            [2, 1],
+            Distr::Default,
+            Distribution::Block,
+            [3, 0]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn every_element_has_exactly_one_owner() {
+        let layouts = vec![
+            block_layout(7, 9, [2, 2]),
+            Layout::new(Shape::d2(7, 9), [2, 2], Distr::Default, Distribution::Cyclic, [0, 0])
+                .unwrap(),
+            Layout::new(
+                Shape::d2(7, 9),
+                [2, 2],
+                Distr::Default,
+                Distribution::BlockCyclic { block: [2, 3] },
+                [0, 0],
+            )
+            .unwrap(),
+        ];
+        for l in layouts {
+            let mut counts = vec![0usize; l.nprocs()];
+            for r in 0..7 {
+                for c in 0..9 {
+                    counts[l.owner([r, c]).unwrap()] += 1;
+                }
+            }
+            let by_local: Vec<usize> = (0..l.nprocs()).map(|id| l.local_count(id)).collect();
+            assert_eq!(counts, by_local, "{:?}", l.dist);
+            assert_eq!(counts.iter().sum::<usize>(), 63);
+        }
+    }
+
+    #[test]
+    fn local_indices_match_ownership_and_offsets() {
+        let layouts = vec![
+            block_layout(6, 6, [2, 2]),
+            Layout::new(Shape::d2(6, 6), [2, 2], Distr::Default, Distribution::Cyclic, [0, 0])
+                .unwrap(),
+            Layout::new(
+                Shape::d2(6, 6),
+                [2, 2],
+                Distr::Default,
+                Distribution::BlockCyclic { block: [2, 2] },
+                [0, 0],
+            )
+            .unwrap(),
+        ];
+        for l in layouts {
+            for id in 0..l.nprocs() {
+                for (off, ix) in l.local_indices(id).enumerate() {
+                    assert_eq!(l.owner(ix).unwrap(), id, "{:?} ix={ix:?}", l.dist);
+                    assert_eq!(l.local_offset(id, ix).unwrap(), off, "{:?} ix={ix:?}", l.dist);
+                }
+                assert_eq!(l.local_indices(id).count(), l.local_count(id));
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_round_robin_1d() {
+        let l = Layout::new(Shape::d1(10), [3, 1], Distr::Default, Distribution::Cyclic, [0, 0])
+            .unwrap();
+        assert_eq!(l.owner([0, 0]).unwrap(), 0);
+        assert_eq!(l.owner([1, 0]).unwrap(), 1);
+        assert_eq!(l.owner([2, 0]).unwrap(), 2);
+        assert_eq!(l.owner([3, 0]).unwrap(), 0);
+        assert_eq!(l.local_count(0), 4);
+        assert_eq!(l.local_count(1), 3);
+        assert_eq!(l.local_count(2), 3);
+        assert!(l.part_bounds(0).is_err());
+    }
+
+    #[test]
+    fn block_cyclic_1d_pattern() {
+        let l = Layout::new(
+            Shape::d1(12),
+            [2, 1],
+            Distr::Default,
+            Distribution::BlockCyclic { block: [2, 1] },
+            [0, 0],
+        )
+        .unwrap();
+        // blocks of 2: [0,1]->p0 [2,3]->p1 [4,5]->p0 ...
+        let owners: Vec<usize> = (0..12).map(|i| l.owner([i, 0]).unwrap()).collect();
+        assert_eq!(owners, vec![0, 0, 1, 1, 0, 0, 1, 1, 0, 0, 1, 1]);
+        assert_eq!(l.local_count(0), 6);
+        assert_eq!(l.local_count(1), 6);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let l = block_layout(4, 4, [2, 2]);
+        assert!(matches!(l.owner([4, 0]), Err(ArrayError::OutOfRange { .. })));
+        assert!(matches!(l.owner([0, 4]), Err(ArrayError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn conformable_rules() {
+        let a = block_layout(4, 4, [2, 2]);
+        let b = block_layout(4, 4, [2, 2]);
+        let c = block_layout(4, 4, [4, 1]);
+        assert!(a.conformable(&b));
+        assert!(!a.conformable(&c));
+        let cyc =
+            Layout::new(Shape::d2(4, 4), [2, 2], Distr::Default, Distribution::Cyclic, [0, 0])
+                .unwrap();
+        assert!(!a.conformable(&cyc));
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        assert!(Layout::new(
+            Shape { ndim: 3, size: [2, 2] },
+            [1, 1],
+            Distr::Default,
+            Distribution::Block,
+            [0, 0]
+        )
+        .is_err());
+        assert!(Layout::new(
+            Shape::d2(0, 4),
+            [1, 1],
+            Distr::Default,
+            Distribution::Block,
+            [0, 0]
+        )
+        .is_err());
+        assert!(Layout::new(
+            Shape::d1(4),
+            [2, 2],
+            Distr::Default,
+            Distribution::Block,
+            [0, 0]
+        )
+        .is_err(), "1-D array on 2-D grid");
+        assert!(Layout::new(
+            Shape::d1(4),
+            [0, 1],
+            Distr::Default,
+            Distribution::Block,
+            [0, 0]
+        )
+        .is_err());
+        assert!(Layout::new(
+            Shape::d1(4),
+            [2, 1],
+            Distr::Default,
+            Distribution::BlockCyclic { block: [0, 1] },
+            [0, 0]
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Indices, sizes and partition bounds.
+//!
+//! The paper's `Index` and `Size` are "'classical' arrays with `dim`
+//! elements". We fix the maximum dimensionality at 2 (all of the paper's
+//! arrays are 1- or 2-dimensional); a 1-D index stores 0 in its second
+//! component.
+
+/// A (up to 2-D) global element index: `[row, col]`; 1-D arrays use
+/// `[i, 0]`.
+pub type Index = [usize; 2];
+
+/// Build a 1-D index.
+#[inline]
+pub fn idx1(i: usize) -> Index {
+    [i, 0]
+}
+
+/// Build a 2-D index.
+#[inline]
+pub fn idx2(i: usize, j: usize) -> Index {
+    [i, j]
+}
+
+/// The global shape of a distributed array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shape {
+    /// Number of dimensions (1 or 2).
+    pub ndim: usize,
+    /// Global extent per dimension; `size[1] == 1` for 1-D arrays.
+    pub size: Index,
+}
+
+impl Shape {
+    /// A 1-D shape of length `n`.
+    pub fn d1(n: usize) -> Self {
+        Shape { ndim: 1, size: [n, 1] }
+    }
+
+    /// A 2-D shape of `rows x cols`.
+    pub fn d2(rows: usize, cols: usize) -> Self {
+        Shape { ndim: 2, size: [rows, cols] }
+    }
+
+    /// Total number of elements.
+    pub fn count(&self) -> usize {
+        self.size[0] * self.size[1]
+    }
+
+    /// Whether `ix` lies inside the array.
+    pub fn contains(&self, ix: Index) -> bool {
+        ix[0] < self.size[0] && ix[1] < self.size[1]
+    }
+}
+
+/// The bounds of one processor's partition: `lower` inclusive, `upper`
+/// exclusive, per dimension. This is what the paper's
+/// `array_part_bounds` macro exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bounds {
+    /// Inclusive lower corner.
+    pub lower: Index,
+    /// Exclusive upper corner.
+    pub upper: Index,
+}
+
+impl Bounds {
+    /// Whether the partition contains `ix`.
+    pub fn contains(&self, ix: Index) -> bool {
+        (0..2).all(|d| self.lower[d] <= ix[d] && ix[d] < self.upper[d])
+    }
+
+    /// Partition extent per dimension.
+    pub fn extent(&self) -> Index {
+        [
+            self.upper[0].saturating_sub(self.lower[0]),
+            self.upper[1].saturating_sub(self.lower[1]),
+        ]
+    }
+
+    /// Number of elements in the partition.
+    pub fn count(&self) -> usize {
+        let e = self.extent();
+        e[0] * e[1]
+    }
+
+    /// Row-major offset of a contained global index within the partition.
+    pub fn offset(&self, ix: Index) -> usize {
+        debug_assert!(self.contains(ix));
+        let e = self.extent();
+        (ix[0] - self.lower[0]) * e[1] + (ix[1] - self.lower[1])
+    }
+
+    /// Global index of the row-major local `offset`.
+    pub fn index_of_offset(&self, offset: usize) -> Index {
+        let e = self.extent();
+        debug_assert!(offset < self.count());
+        [self.lower[0] + offset / e[1], self.lower[1] + offset % e[1]]
+    }
+
+    /// Iterate all contained global indices in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Index> + '_ {
+        let this = *self;
+        (0..this.count()).map(move |o| this.index_of_offset(o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        let s = Shape::d1(10);
+        assert_eq!(s.count(), 10);
+        assert!(s.contains([9, 0]));
+        assert!(!s.contains([10, 0]));
+        assert!(!s.contains([0, 1]));
+
+        let s = Shape::d2(3, 4);
+        assert_eq!(s.count(), 12);
+        assert!(s.contains([2, 3]));
+        assert!(!s.contains([3, 0]));
+    }
+
+    #[test]
+    fn bounds_offsets_roundtrip() {
+        let b = Bounds { lower: [2, 3], upper: [5, 7] };
+        assert_eq!(b.extent(), [3, 4]);
+        assert_eq!(b.count(), 12);
+        for o in 0..b.count() {
+            let ix = b.index_of_offset(o);
+            assert!(b.contains(ix));
+            assert_eq!(b.offset(ix), o);
+        }
+        assert!(!b.contains([1, 3]));
+        assert!(!b.contains([2, 7]));
+    }
+
+    #[test]
+    fn bounds_iter_row_major() {
+        let b = Bounds { lower: [0, 0], upper: [2, 2] };
+        let v: Vec<Index> = b.iter().collect();
+        assert_eq!(v, vec![[0, 0], [0, 1], [1, 0], [1, 1]]);
+    }
+
+    #[test]
+    fn empty_bounds() {
+        let b = Bounds { lower: [3, 3], upper: [3, 5] };
+        assert_eq!(b.count(), 0);
+        assert_eq!(b.iter().count(), 0);
+        assert!(!b.contains([3, 3]));
+    }
+
+    #[test]
+    fn idx_helpers() {
+        assert_eq!(idx1(5), [5, 0]);
+        assert_eq!(idx2(3, 4), [3, 4]);
+    }
+}

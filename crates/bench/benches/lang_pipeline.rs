@@ -1,0 +1,64 @@
+//! Criterion benches of the language front end: lexing/parsing, type
+//! checking + instantiation, C emission, and full compile+run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skil_lang::{check, instantiate, parser};
+use skil_runtime::{Machine, MachineConfig};
+
+const SHPATHS: &str = "\
+int n() { return 8; }\n\
+int init_f(Index ix) {\n\
+  if (ix[0] == ix[1]) { return 0; }\n\
+  return (ix[0] * 5 + ix[1] * 3) % 9 + 1;\n\
+}\n\
+int zero(Index ix) { return 0; }\n\
+int inf(Index ix) { return int_max; }\n\
+int conv(int v, Index ix) { return v; }\n\
+void main() {\n\
+  array<int> a = array_create(2, {n(), n()}, {0,0}, {0-1,0-1}, init_f, DISTR_TORUS2D);\n\
+  array<int> b = array_create(2, {n(), n()}, {0,0}, {0-1,0-1}, zero, DISTR_TORUS2D);\n\
+  array<int> c = array_create(2, {n(), n()}, {0,0}, {0-1,0-1}, inf, DISTR_TORUS2D);\n\
+  int i;\n\
+  for (i = 0 ; i < log2i(n()) ; i = i + 1) {\n\
+    array_copy(a, b);\n\
+    array_gen_mult(a, b, min, (+), c);\n\
+    array_copy(c, a);\n\
+  }\n\
+  int s = array_fold(conv, (+), a);\n\
+  if (procId == 0) { print(s); }\n\
+}\n";
+
+fn bench_front_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lang_front_end");
+    g.bench_function("parse", |b| b.iter(|| parser::parse(SHPATHS).unwrap()));
+    g.bench_function("check", |b| {
+        let ast = parser::parse(SHPATHS).unwrap();
+        b.iter(|| check::check(&ast).unwrap())
+    });
+    g.bench_function("instantiate", |b| {
+        let ast = parser::parse(SHPATHS).unwrap();
+        b.iter(|| {
+            let mut ck = check::check(&ast).unwrap();
+            instantiate::instantiate(&mut ck).unwrap()
+        })
+    });
+    g.bench_function("emit_c", |b| {
+        let compiled = skil_lang::compile(SHPATHS).unwrap();
+        b.iter(|| compiled.emit_c())
+    });
+    g.finish();
+}
+
+fn bench_compile_and_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lang_run");
+    g.sample_size(10);
+    g.bench_function("shpaths_n8_2x2", |b| {
+        let compiled = skil_lang::compile(SHPATHS).unwrap();
+        let m = Machine::new(MachineConfig::square(2).unwrap());
+        b.iter(|| compiled.run(&m).report.sim_cycles)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_front_end, bench_compile_and_run);
+criterion_main!(benches);

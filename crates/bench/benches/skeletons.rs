@@ -1,0 +1,180 @@
+//! Criterion micro-benchmarks of the individual skeletons (host-side
+//! simulator throughput). The *simulated* T800 times are produced by the
+//! table binaries; these benches track the cost of running the
+//! simulation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skil_array::{ArraySpec, Index};
+use skil_core::{
+    array_broadcast_part, array_copy, array_create, array_fold, array_gen_mult, array_map,
+    array_permute_rows, Kernel,
+};
+use skil_runtime::{Distr, Machine, MachineConfig};
+
+fn bench_map(c: &mut Criterion) {
+    let mut g = c.benchmark_group("skeleton_map");
+    for procs in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, &procs| {
+            let m = Machine::new(MachineConfig::procs(procs).unwrap());
+            b.iter(|| {
+                m.run(|p| {
+                    let a = array_create(
+                        p,
+                        ArraySpec::d1(4096, Distr::Default),
+                        Kernel::free(|ix: Index| ix[0] as u64),
+                    )
+                    .unwrap();
+                    let mut out = array_create(
+                        p,
+                        ArraySpec::d1(4096, Distr::Default),
+                        Kernel::free(|_| 0u64),
+                    )
+                    .unwrap();
+                    array_map(p, Kernel::free(|&v: &u64, _| v * 3 + 1), &a, &mut out).unwrap();
+                    out.local_data().iter().sum::<u64>()
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("skeleton_fold");
+    for procs in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, &procs| {
+            let m = Machine::new(MachineConfig::procs(procs).unwrap());
+            b.iter(|| {
+                m.run(|p| {
+                    let a = array_create(
+                        p,
+                        ArraySpec::d1(4096, Distr::Default),
+                        Kernel::free(|ix: Index| ix[0] as u64),
+                    )
+                    .unwrap();
+                    array_fold(
+                        p,
+                        Kernel::free(|&v: &u64, _| v),
+                        Kernel::free(|x: u64, y: u64| x + y),
+                        &a,
+                    )
+                    .unwrap()
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_gen_mult(c: &mut Criterion) {
+    let mut g = c.benchmark_group("skeleton_gen_mult");
+    g.sample_size(10);
+    for (side, n) in [(1usize, 32usize), (2, 32), (2, 64)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{side}x{side}_n{n}")),
+            &(side, n),
+            |b, &(side, n)| {
+                let m = Machine::new(MachineConfig::square(side).unwrap());
+                b.iter(|| {
+                    m.run(|p| {
+                        let a = array_create(
+                            p,
+                            ArraySpec::d2(n, n, Distr::Torus2d),
+                            Kernel::free(|ix: Index| (ix[0] + ix[1]) as i64),
+                        )
+                        .unwrap();
+                        let bb = array_create(
+                            p,
+                            ArraySpec::d2(n, n, Distr::Torus2d),
+                            Kernel::free(|ix: Index| (ix[0] * 2 + ix[1]) as i64),
+                        )
+                        .unwrap();
+                        let mut cc = array_create(
+                            p,
+                            ArraySpec::d2(n, n, Distr::Torus2d),
+                            Kernel::free(|_| 0i64),
+                        )
+                        .unwrap();
+                        array_gen_mult(
+                            p,
+                            &a,
+                            &bb,
+                            Kernel::free(|x: i64, y: i64| x + y),
+                            Kernel::free(|x: &i64, y: &i64| x * y),
+                            &mut cc,
+                        )
+                        .unwrap();
+                        cc.local_data().iter().sum::<i64>()
+                    })
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_comm_skeletons(c: &mut Criterion) {
+    let mut g = c.benchmark_group("skeleton_comm");
+    g.sample_size(20);
+    g.bench_function("broadcast_part_16", |b| {
+        let m = Machine::new(MachineConfig::procs(16).unwrap());
+        b.iter(|| {
+            m.run(|p| {
+                let mut a = array_create(
+                    p,
+                    ArraySpec::d2(16, 64, Distr::Default),
+                    Kernel::free(|ix: Index| (ix[0] * 64 + ix[1]) as u64),
+                )
+                .unwrap();
+                array_broadcast_part(p, &mut a, [5, 0]).unwrap();
+                a.local_data()[0]
+            })
+        });
+    });
+    g.bench_function("permute_rows_8", |b| {
+        let m = Machine::new(MachineConfig::procs(8).unwrap());
+        b.iter(|| {
+            m.run(|p| {
+                let a = array_create(
+                    p,
+                    ArraySpec::d2(64, 16, Distr::Default),
+                    Kernel::free(|ix: Index| (ix[0] * 16 + ix[1]) as u64),
+                )
+                .unwrap();
+                let mut out = array_create(
+                    p,
+                    ArraySpec::d2(64, 16, Distr::Default),
+                    Kernel::free(|_| 0u64),
+                )
+                .unwrap();
+                array_permute_rows(p, &a, |r| 63 - r, &mut out).unwrap();
+                out.local_data()[0]
+            })
+        });
+    });
+    g.bench_function("copy_16", |b| {
+        let m = Machine::new(MachineConfig::procs(16).unwrap());
+        b.iter(|| {
+            m.run(|p| {
+                let a = array_create(
+                    p,
+                    ArraySpec::d1(65536, Distr::Default),
+                    Kernel::free(|ix: Index| ix[0] as u64),
+                )
+                .unwrap();
+                let mut out = array_create(
+                    p,
+                    ArraySpec::d1(65536, Distr::Default),
+                    Kernel::free(|_| 0u64),
+                )
+                .unwrap();
+                array_copy(p, &a, &mut out).unwrap();
+                out.local_data()[0]
+            })
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_map, bench_fold, bench_gen_mult, bench_comm_skeletons);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion benches of the Table 1 workload (shortest paths) at a
+//! reduced size, one per compared system. Besides host throughput, the
+//! full-size simulated numbers come from the `table1` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skil_apps::{shpaths_c_old, shpaths_c_opt, shpaths_dpfl, shpaths_skil};
+use skil_runtime::{Machine, MachineConfig};
+
+fn bench_shpaths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_shpaths_n48_2x2");
+    g.sample_size(10);
+    let m = Machine::new(MachineConfig::square(2).unwrap());
+    let n = 48;
+    g.bench_function("skil", |b| b.iter(|| shpaths_skil(&m, n, 1).sim_cycles));
+    g.bench_function("dpfl", |b| b.iter(|| shpaths_dpfl(&m, n, 1).sim_cycles));
+    g.bench_function("c_old", |b| b.iter(|| shpaths_c_old(&m, n, 1).sim_cycles));
+    g.bench_function("c_opt", |b| b.iter(|| shpaths_c_opt(&m, n, 1).sim_cycles));
+    g.finish();
+}
+
+criterion_group!(benches, bench_shpaths);
+criterion_main!(benches);

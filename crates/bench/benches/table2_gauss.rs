@@ -1,0 +1,21 @@
+//! Criterion benches of the Table 2 workload (Gaussian elimination) at a
+//! reduced size, one per compared system plus the pivoting variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skil_apps::{gauss_dpfl, gauss_parix_c, gauss_skil, gauss_skil_pivot};
+use skil_runtime::{Machine, MachineConfig};
+
+fn bench_gauss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_gauss_n64_2x2");
+    g.sample_size(10);
+    let m = Machine::new(MachineConfig::mesh(2, 2).unwrap());
+    let n = 64;
+    g.bench_function("skil", |b| b.iter(|| gauss_skil(&m, n, 1).sim_cycles));
+    g.bench_function("skil_pivot", |b| b.iter(|| gauss_skil_pivot(&m, n, 1).sim_cycles));
+    g.bench_function("dpfl", |b| b.iter(|| gauss_dpfl(&m, n, 1).sim_cycles));
+    g.bench_function("parix_c", |b| b.iter(|| gauss_parix_c(&m, n, 1).sim_cycles));
+    g.finish();
+}
+
+criterion_group!(benches, bench_gauss);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! # skil-bench
+//!
+//! The reproduction harness: one binary per table/figure of the paper's
+//! §5 plus Criterion micro-benchmarks of the simulator itself.
+//!
+//! * `table1` — shortest paths, Skil vs. DPFL vs. old Parix-C;
+//! * `table2` — Gaussian elimination (no-pivot), Skil absolute times,
+//!   DPFL/Skil speed-ups, Skil/Parix-C slow-downs;
+//! * `figure1` — the Table 2 ratios plotted against processors;
+//! * `matmul20` — the §5.1 "equally optimized" matmul comparison;
+//! * `gauss_pivot_ratio` — the §5.2 complete-vs-reduced gauss factor.
+//!
+//! Every binary prints the paper's reported numbers next to the
+//! simulated ones so the shape comparison is immediate.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod paper;
+pub mod table;
+
+pub use experiments::*;

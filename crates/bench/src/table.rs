@@ -1,0 +1,97 @@
+//! Plain-text table and ASCII-plot helpers for the reproduction
+//! binaries.
+
+/// Format a float with sensible width for table cells.
+pub fn f(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:8.2}")
+    } else {
+        format!("{v:8.3}")
+    }
+}
+
+/// Format an optional float; `-` for absent (matching the paper's
+/// missing cells).
+pub fn fo(v: Option<f64>) -> String {
+    match v {
+        Some(v) => f(v),
+        None => format!("{:>8}", "-"),
+    }
+}
+
+/// Print a header + separator.
+pub fn header(cols: &[&str]) {
+    let line: Vec<String> = cols.iter().map(|c| format!("{c:>10}")).collect();
+    println!("{}", line.join(" "));
+    println!("{}", "-".repeat(11 * cols.len()));
+}
+
+/// Print one row of right-aligned cells.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>10}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// A very small ASCII scatter/line plot: one series of (x, y) per label.
+pub fn ascii_plot(title: &str, series: &[(String, Vec<(f64, f64)>)], width: usize, height: usize) {
+    println!("\n{title}");
+    let all: Vec<(f64, f64)> =
+        series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    if all.is_empty() {
+        println!("  (no data)");
+        return;
+    }
+    let (xmin, xmax) = all
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)));
+    let (ymin, ymax) = all
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| (lo.min(y), hi.max(y.max(0.0))));
+    let ymin = ymin.min(0.0);
+    let xspan = (xmax - xmin).max(1e-9);
+    let yspan = (ymax - ymin).max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    let marks = ['o', '+', 'x', '*', '#', '@'];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        for &(x, y) in pts {
+            let cx = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+            let cy = (((y - ymin) / yspan) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = mark;
+        }
+    }
+    println!("  {ymax:8.2} +{}", "-".repeat(width));
+    for (i, line) in grid.iter().enumerate() {
+        let label = if i == height - 1 { format!("{ymin:8.2}") } else { " ".repeat(8) };
+        println!("  {label} |{}", line.iter().collect::<String>());
+    }
+    println!("  {:8} +{}", "", "-".repeat(width));
+    println!("  {:8}  {:<w$.0}{:>r$.0}", "", xmin, xmax, w = width / 2, r = width - width / 2);
+    for (si, (label, _)) in series.iter().enumerate() {
+        println!("    {} {}", marks[si % marks.len()], label);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert_eq!(f(234.29).trim(), "234.29");
+        assert_eq!(f(2.061).trim(), "2.061");
+        assert_eq!(fo(None).trim(), "-");
+        assert_eq!(fo(Some(1.5)).trim(), "1.500");
+    }
+
+    #[test]
+    fn plot_does_not_panic() {
+        ascii_plot(
+            "test",
+            &[("a".into(), vec![(1.0, 1.0), (2.0, 4.0)]), ("b".into(), vec![(1.0, 2.0)])],
+            40,
+            10,
+        );
+        ascii_plot("empty", &[], 40, 10);
+    }
+}

@@ -1,0 +1,250 @@
+//! Skeletons over the dynamic distributed sequence ([`DistList`]) — the
+//! companion paper's theme (\[2\]): when elements of a distributed dynamic
+//! structure move between processors, the skeleton flattens the *data*,
+//! never pointers.
+
+use skil_array::{DistList, Result};
+use skil_runtime::{Proc, Wire};
+
+use crate::kernel::Kernel;
+use crate::map::map_elem_overhead;
+use crate::tags;
+
+/// Apply `f` to every element in place (purely local).
+pub fn dl_map<T, F>(proc: &mut Proc<'_>, map_f: Kernel<F>, l: &mut DistList<T>) -> Result<()>
+where
+    F: FnMut(&T) -> T,
+{
+    let mut f = map_f.f;
+    let n = l.local_len() as u64;
+    for v in l.local_data_mut().iter_mut() {
+        *v = f(v);
+    }
+    proc.charge((map_elem_overhead(proc) + map_f.cycles) * n);
+    Ok(())
+}
+
+/// Keep only the elements satisfying `pred`; segment sizes become uneven
+/// (run [`dl_rebalance`] to even them out again).
+pub fn dl_filter<T, F>(proc: &mut Proc<'_>, pred: Kernel<F>, l: &mut DistList<T>) -> Result<()>
+where
+    F: FnMut(&T) -> bool,
+{
+    let mut f = pred.f;
+    let n = l.local_len() as u64;
+    l.local_data_mut().retain(|v| f(v));
+    proc.charge((map_elem_overhead(proc) + pred.cycles) * n);
+    Ok(())
+}
+
+/// Combine all elements of the list; the result is known to every
+/// processor. Empty segments contribute nothing.
+pub fn dl_reduce<T, F>(proc: &mut Proc<'_>, fold_f: Kernel<F>, l: &DistList<T>) -> Result<Option<T>>
+where
+    T: Wire + Clone,
+    F: FnMut(T, T) -> T,
+{
+    let mut f = fold_f.f;
+    let c = proc.cost();
+    let op_cost = c.call + c.load + fold_f.cycles;
+    let mut acc: Option<T> = None;
+    for v in l.local_data() {
+        acc = Some(match acc {
+            None => v.clone(),
+            Some(prev) => f(prev, v.clone()),
+        });
+    }
+    proc.charge(op_cost * (l.local_len() as u64).saturating_sub(1));
+    Ok(proc.allreduce(
+        tags::FOLD + 0x10,
+        acc,
+        |x, y| match (x, y) {
+            (Some(a), Some(b)) => Some(f(a, b)),
+            (a, None) => a,
+            (None, b) => b,
+        },
+        op_cost,
+    ))
+}
+
+/// Total number of elements across all processors (known everywhere).
+pub fn dl_len<T>(proc: &mut Proc<'_>, l: &DistList<T>) -> usize {
+    proc.allreduce(tags::FOLD + 0x11, l.local_len() as u64, |a, b| a + b, 0) as usize
+}
+
+/// Redistribute the elements so segment sizes differ by at most one,
+/// preserving the global order. Elements that change processors are
+/// flattened into messages — never moved as pointers, per \[2\].
+pub fn dl_rebalance<T>(proc: &mut Proc<'_>, l: &mut DistList<T>) -> Result<()>
+where
+    T: Wire + Clone,
+{
+    let me = proc.id();
+    let nprocs = proc.nprocs();
+    // 1. every processor learns every segment length
+    let lens: Vec<u64> = proc.allreduce(
+        tags::FOLD + 0x12,
+        vec![(me as u64, l.local_len() as u64)],
+        |mut a, b| {
+            a.extend(b);
+            a
+        },
+        0,
+    )
+    .into_iter()
+    .fold(vec![0u64; nprocs], |mut acc, (id, len)| {
+        acc[id as usize] = len;
+        acc
+    });
+    let total: u64 = lens.iter().sum();
+    let my_start: u64 = lens[..me].iter().sum();
+
+    // 2. target layout: balanced_len per processor, in id order
+    let target_start = |id: usize| -> u64 {
+        (0..id).map(|j| DistList::<T>::balanced_len(total as usize, nprocs, j) as u64).sum()
+    };
+
+    // 3. send each local run of elements to its target owner
+    let c = proc.cost().clone();
+    let mut outgoing: Vec<Vec<T>> = (0..nprocs).map(|_| Vec::new()).collect();
+    for (off, v) in l.local_data().iter().enumerate() {
+        let g = my_start + off as u64;
+        // find the destination: the unique id with
+        // target_start(id) <= g < target_start(id+1)
+        let mut dst = 0usize;
+        for id in 0..nprocs {
+            if target_start(id) <= g {
+                dst = id;
+            }
+        }
+        outgoing[dst].push(v.clone());
+    }
+    proc.charge(c.int_op * l.local_len() as u64);
+    for (dst, seg) in outgoing.iter().enumerate() {
+        if dst != me {
+            proc.send(dst, tags::FOLD + 0x13, seg);
+        }
+    }
+
+    // 4. receive segments in id order and rebuild the local segment
+    let mut new_local: Vec<T> = Vec::new();
+    for src in 0..nprocs {
+        let seg: Vec<T> = if src == me {
+            outgoing[me].clone()
+        } else {
+            // every processor sends to every other (possibly empty), so
+            // receives are fully deterministic
+            proc.recv(src, tags::FOLD + 0x13)
+        };
+        new_local.extend(seg);
+    }
+    proc.charge(c.memcpy_elem * new_local.len() as u64);
+    debug_assert_eq!(
+        new_local.len(),
+        DistList::<T>::balanced_len(total as usize, nprocs, me)
+    );
+    l.replace_local(new_local);
+    Ok(())
+}
+
+/// Gather the whole sequence at `root` (in global order); `None`
+/// elsewhere.
+pub fn dl_gather<T>(proc: &mut Proc<'_>, root: usize, l: &DistList<T>) -> Option<Vec<T>>
+where
+    T: Wire + Clone,
+{
+    let parts = proc.gather(root, tags::FOLD + 0x14, l.local_data().to_vec());
+    parts.map(|segs| segs.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skil_array::DistList;
+    use skil_runtime::{CostModel, Machine, MachineConfig};
+
+    fn zero_machine(n: usize) -> Machine {
+        Machine::new(MachineConfig::procs(n).unwrap().with_cost(CostModel::zero()))
+    }
+
+    #[test]
+    fn filter_then_rebalance_preserves_order_and_balances() {
+        for procs in [1usize, 2, 3, 4, 8] {
+            let m = zero_machine(procs);
+            let run = m.run(|p| {
+                let mut l = DistList::create(p, 40, |i| i as u64).unwrap();
+                dl_filter(p, Kernel::free(|&v: &u64| v % 3 == 0), &mut l).unwrap();
+                dl_rebalance(p, &mut l).unwrap();
+                let total = dl_len(p, &l);
+                let local = l.local_len();
+                let gathered = dl_gather(p, 0, &l);
+                (total, local, gathered)
+            });
+            let expect: Vec<u64> = (0..40).filter(|v| v % 3 == 0).collect();
+            assert_eq!(run.results[0].0, expect.len(), "procs={procs}");
+            assert_eq!(run.results[0].2.as_ref().unwrap(), &expect, "procs={procs}");
+            // balanced: sizes differ by at most one
+            let sizes: Vec<usize> = run.results.iter().map(|r| r.1).collect();
+            let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(mx - mn <= 1, "procs={procs} sizes={sizes:?}");
+        }
+    }
+
+    #[test]
+    fn map_and_reduce() {
+        let m = zero_machine(4);
+        let run = m.run(|p| {
+            let mut l = DistList::create(p, 16, |i| i as u64).unwrap();
+            dl_map(p, Kernel::free(|&v: &u64| v * 2), &mut l).unwrap();
+            dl_reduce(p, Kernel::free(|a: u64, b: u64| a + b), &l).unwrap()
+        });
+        let expect: u64 = (0..16u64).map(|v| v * 2).sum();
+        assert!(run.results.iter().all(|r| *r == Some(expect)));
+    }
+
+    #[test]
+    fn reduce_of_fully_filtered_list_is_none() {
+        let m = zero_machine(3);
+        let run = m.run(|p| {
+            let mut l = DistList::create(p, 9, |i| i as u64).unwrap();
+            dl_filter(p, Kernel::free(|_: &u64| false), &mut l).unwrap();
+            dl_reduce(p, Kernel::free(|a: u64, b: u64| a + b), &l).unwrap()
+        });
+        assert!(run.results.iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn rebalance_moves_everything_from_one_proc() {
+        let m = zero_machine(4);
+        let run = m.run(|p| {
+            // start with all 8 elements on processor 0
+            let mut l = DistList::from_local(
+                p,
+                if p.id() == 0 { (0..8u64).collect() } else { vec![] },
+            );
+            dl_rebalance(p, &mut l).unwrap();
+            l.local_data().to_vec()
+        });
+        assert_eq!(run.results[0], vec![0, 1]);
+        assert_eq!(run.results[1], vec![2, 3]);
+        assert_eq!(run.results[2], vec![4, 5]);
+        assert_eq!(run.results[3], vec![6, 7]);
+    }
+
+    #[test]
+    fn gather_respects_global_order_after_growth() {
+        let m = zero_machine(2);
+        let run = m.run(|p| {
+            let mut l = DistList::create(p, 6, |i| i as u64).unwrap();
+            // duplicate every local element (local growth)
+            let doubled: Vec<u64> =
+                l.local_data().iter().flat_map(|&v| [v, v + 100]).collect();
+            l.replace_local(doubled);
+            dl_gather(p, 0, &l)
+        });
+        assert_eq!(
+            run.results[0].as_ref().unwrap(),
+            &vec![0, 100, 1, 101, 2, 102, 3, 103, 4, 104, 5, 105]
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Halo exchange and stencil map — the paper's §6 "overlapping areas"
+//! future work, exercised by the Jacobi/PDE example.
+
+use skil_array::{ArrayError, DistArray, HaloArray, Index, Result};
+use skil_runtime::{Proc, Wire};
+
+use crate::kernel::Kernel;
+use crate::map::map_elem_overhead;
+use crate::tags;
+
+/// Refresh the ghost rows of a [`HaloArray`] from the row-block
+/// neighbours. The global top and bottom partitions keep empty ghost
+/// regions (non-periodic boundaries).
+pub fn halo_exchange<T>(proc: &mut Proc<'_>, h: &mut HaloArray<T>) -> Result<()>
+where
+    T: Wire + Clone,
+{
+    let t0 = proc.now();
+    let bounds = h.inner().part_bounds()?;
+    let grid_rows = h.inner().layout().grid[0];
+    let me_row = h.inner().layout().grid_coords(h.inner().proc_id())[0];
+
+    // Identify neighbours in grid-row order; with grid [p, 1] the grid
+    // row is the processor id.
+    let north = (me_row > 0).then(|| h.inner().layout().proc_at([me_row - 1, 0]));
+    let south =
+        (me_row + 1 < grid_rows).then(|| h.inner().layout().proc_at([me_row + 1, 0]));
+
+    // Empty partitions (ragged tails) neither send nor receive.
+    let have_rows = bounds.extent()[0] > 0;
+
+    // Post sends first (asynchronous), then receive.
+    if have_rows {
+        if let Some(n) = north {
+            let edge: Vec<T> = h.north_edge_rows()?.into_iter().cloned().collect();
+            proc.send(n, tags::HALO_N, &edge);
+        }
+        if let Some(s) = south {
+            let edge: Vec<T> = h.south_edge_rows()?.into_iter().cloned().collect();
+            proc.send(s, tags::HALO_S, &edge);
+        }
+    }
+    let mut moved = 0u64;
+    if let Some(n) = north {
+        let rows: Vec<T> = proc.recv(n, tags::HALO_S);
+        moved += rows.len() as u64;
+        h.set_north(rows)?;
+    }
+    if let Some(s) = south {
+        let rows: Vec<T> = proc.recv(s, tags::HALO_N);
+        moved += rows.len() as u64;
+        h.set_south(rows)?;
+    }
+    proc.charge(proc.cost().memcpy_elem * moved);
+    proc.trace_event("halo", t0);
+    Ok(())
+}
+
+/// Map over all local elements with access to the halo'd neighbourhood:
+/// `stencil_f` receives the halo array (for `get` within the overlap)
+/// and the element's index. Results go to a conformable target array.
+pub fn stencil_map<T, U, F>(
+    proc: &mut Proc<'_>,
+    stencil_f: Kernel<F>,
+    h: &HaloArray<T>,
+    to: &mut DistArray<U>,
+) -> Result<()>
+where
+    F: FnMut(&HaloArray<T>, Index) -> U,
+{
+    if !h.inner().conformable(to) {
+        return Err(ArrayError::NotConformable("stencil_map operands".into()));
+    }
+    let mut f = stencil_f.f;
+    let t0 = proc.now();
+    let n = h.inner().local_len() as u64;
+    let layout = *h.inner().layout();
+    {
+        let dst = to.local_data_mut();
+        for (off, ix) in layout.local_indices(h.inner().proc_id()).enumerate() {
+            dst[off] = f(h, ix);
+        }
+    }
+    proc.charge((map_elem_overhead(proc) + stencil_f.cycles) * n);
+    proc.trace_event("stencil", t0);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::create::array_create;
+    use skil_array::ArraySpec;
+    use skil_runtime::{CostModel, Distr, Machine, MachineConfig};
+
+    #[test]
+    fn exchange_installs_neighbour_rows() {
+        let m = Machine::new(MachineConfig::procs(4).unwrap().with_cost(CostModel::zero()));
+        let run = m.run(|p| {
+            let a = array_create(
+                p,
+                ArraySpec::d2(8, 3, Distr::Default),
+                Kernel::free(|ix: Index| (ix[0] * 10 + ix[1]) as u64),
+            )
+            .unwrap();
+            let mut h = HaloArray::new(a, 1).unwrap();
+            halo_exchange(p, &mut h).unwrap();
+            let b = h.inner().part_bounds().unwrap();
+            let north_ok = if b.lower[0] > 0 {
+                *h.get([b.lower[0] - 1, 1]).unwrap() == ((b.lower[0] - 1) * 10 + 1) as u64
+            } else {
+                h.get([0usize.wrapping_sub(1), 1]).is_err()
+            };
+            let south_ok = if b.upper[0] < 8 {
+                *h.get([b.upper[0], 2]).unwrap() == (b.upper[0] * 10 + 2) as u64
+            } else {
+                true
+            };
+            (north_ok, south_ok)
+        });
+        assert!(run.results.iter().all(|&(n, s)| n && s), "{:?}", run.results);
+    }
+
+    #[test]
+    fn jacobi_stencil_step_matches_sequential() {
+        let rows = 8usize;
+        let cols = 4usize;
+        let init = |ix: Index| ((ix[0] * 13 + ix[1] * 7) % 17) as f64;
+        let m = Machine::new(MachineConfig::procs(4).unwrap().with_cost(CostModel::zero()));
+        let run = m.run(|p| {
+            let a = array_create(p, ArraySpec::d2(rows, cols, Distr::Default), Kernel::free(init))
+                .unwrap();
+            let mut h = HaloArray::new(a, 1).unwrap();
+            halo_exchange(p, &mut h).unwrap();
+            let mut out = array_create(
+                p,
+                ArraySpec::d2(rows, cols, Distr::Default),
+                Kernel::free(|_| 0.0f64),
+            )
+            .unwrap();
+            stencil_map(
+                p,
+                Kernel::free(move |h: &HaloArray<f64>, ix: Index| {
+                    // 4-point Jacobi with boundary elements frozen
+                    if ix[0] == 0 || ix[0] == rows - 1 || ix[1] == 0 || ix[1] == cols - 1 {
+                        *h.get(ix).unwrap()
+                    } else {
+                        let n = *h.get([ix[0] - 1, ix[1]]).unwrap();
+                        let s = *h.get([ix[0] + 1, ix[1]]).unwrap();
+                        let w = *h.get([ix[0], ix[1] - 1]).unwrap();
+                        let e = *h.get([ix[0], ix[1] + 1]).unwrap();
+                        (n + s + w + e) / 4.0
+                    }
+                }),
+                &h,
+                &mut out,
+            )
+            .unwrap();
+            out.iter_local()
+                .map(|(ix, &v)| (ix[0] as u64, ix[1] as u64, v))
+                .collect::<Vec<_>>()
+        });
+        // sequential reference
+        let mut grid = vec![0.0f64; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                grid[r * cols + c] = init([r, c]);
+            }
+        }
+        let mut expect = grid.clone();
+        for r in 1..rows - 1 {
+            for c in 1..cols - 1 {
+                expect[r * cols + c] = (grid[(r - 1) * cols + c]
+                    + grid[(r + 1) * cols + c]
+                    + grid[r * cols + c - 1]
+                    + grid[r * cols + c + 1])
+                    / 4.0;
+            }
+        }
+        for result in &run.results {
+            for &(r, c, v) in result {
+                let want = expect[(r as usize) * cols + c as usize];
+                assert!((v - want).abs() < 1e-12, "({r},{c}): {v} != {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn halo_reduces_messages_vs_per_element() {
+        // the paper's motivation: one ghost-row exchange instead of one
+        // message per boundary element
+        let m = Machine::new(MachineConfig::procs(2).unwrap());
+        let run = m.run(|p| {
+            let a = array_create(
+                p,
+                ArraySpec::d2(4, 64, Distr::Default),
+                Kernel::free(|_| 0.0f64),
+            )
+            .unwrap();
+            let mut h = HaloArray::new(a, 1).unwrap();
+            halo_exchange(p, &mut h).unwrap();
+            p.stats().sends
+        });
+        // exactly one edge message per neighbour
+        assert_eq!(run.results, vec![1, 1]);
+    }
+}

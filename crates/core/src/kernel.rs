@@ -1,0 +1,44 @@
+//! Customizing argument functions and their cost annotations.
+//!
+//! Skeletons are parameterized with *argument functions* (the paper's
+//! `map_f`, `fold_f`, `gen_add`, ...). In the simulator a function is a
+//! real Rust closure plus a **virtual-cycle cost per invocation**, so the
+//! skeleton can both compute correct values and charge the calibrated
+//! time. [`Kernel`] pairs the two.
+
+/// An argument function with its per-invocation virtual cost.
+#[derive(Debug, Clone, Copy)]
+pub struct Kernel<F> {
+    /// The function itself.
+    pub f: F,
+    /// Virtual cycles charged per invocation, *in addition to* the
+    /// skeleton's own per-element overhead.
+    pub cycles: u64,
+}
+
+impl<F> Kernel<F> {
+    /// Wrap a function with an explicit per-call cost.
+    pub fn new(f: F, cycles: u64) -> Self {
+        Kernel { f, cycles }
+    }
+
+    /// A zero-cost function (useful in tests and for value-only runs).
+    pub fn free(f: F) -> Self {
+        Kernel { f, cycles: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_carries_cost_and_function() {
+        let k = Kernel::new(|x: u32| x + 1, 42);
+        assert_eq!(k.cycles, 42);
+        assert_eq!((k.f)(1), 2);
+        let z = Kernel::free(|x: u32| x * 2);
+        assert_eq!(z.cycles, 0);
+        assert_eq!((z.f)(3), 6);
+    }
+}

@@ -1,0 +1,347 @@
+//! `array_map` and variants.
+//!
+//! "array_map applies a given function to all elements of an array, and
+//! puts the results into another array. However, the two arrays can be
+//! identical; in this case the skeleton does an in-situ replacement."
+//! The result is written into an existing array rather than returned,
+//! avoiding a temporary — the efficiency improvement the paper notes is
+//! impossible in side-effect-free functional hosts.
+
+use skil_array::{ArrayError, DistArray, Index, Result};
+use skil_runtime::Proc;
+
+use crate::kernel::Kernel;
+
+/// Per-element cycle overhead of an instantiated `array_map` loop:
+/// the residual call to the (inlined-into-instance) argument function,
+/// loading the element and the `Index`, index bookkeeping, and storing
+/// the result. Calibrated so that "touching" an element through a map
+/// costs ≈ 290 cycles on the T800 model (see `DESIGN.md` §4).
+pub(crate) fn map_elem_overhead(p: &Proc<'_>) -> u64 {
+    let c = p.cost();
+    c.call + 2 * c.load + c.store + c.index_calc
+}
+
+/// Apply `map_f` to all elements of `from`, writing results into `to`
+/// (`void array_map($t2 map_f($t1, Index), array<$t1> from,
+/// array<$t2> to)`). The arrays must be conformable; element types may
+/// differ.
+///
+/// ```
+/// use skil_array::{ArraySpec, Index};
+/// use skil_core::{array_create, array_map, Kernel};
+/// use skil_runtime::{Distr, Machine, MachineConfig};
+///
+/// let machine = Machine::new(MachineConfig::procs(2).unwrap());
+/// let run = machine.run(|p| {
+///     let a = array_create(p, ArraySpec::d1(8, Distr::Default),
+///                          Kernel::free(|ix: Index| ix[0] as u64)).unwrap();
+///     let mut b = array_create(p, ArraySpec::d1(8, Distr::Default),
+///                              Kernel::free(|_| 0u64)).unwrap();
+///     array_map(p, Kernel::free(|&v: &u64, _| v * v), &a, &mut b).unwrap();
+///     b.local_data().iter().sum::<u64>()
+/// });
+/// assert_eq!(run.results.iter().sum::<u64>(), (0..8u64).map(|v| v * v).sum());
+/// ```
+pub fn array_map<T, U, F>(
+    proc: &mut Proc<'_>,
+    map_f: Kernel<F>,
+    from: &DistArray<T>,
+    to: &mut DistArray<U>,
+) -> Result<()>
+where
+    F: FnMut(&T, Index) -> U,
+{
+    if !from.conformable(to) {
+        return Err(ArrayError::NotConformable(format!(
+            "array_map over {:?} -> {:?}",
+            from.shape(),
+            to.shape()
+        )));
+    }
+    let mut f = map_f.f;
+    let t0 = proc.now();
+    let n = from.local_len() as u64;
+    {
+        let src = from.local_data();
+        let dst = to.local_data_mut();
+        for (off, ix) in from.layout().local_indices(from.proc_id()).enumerate() {
+            dst[off] = f(&src[off], ix);
+        }
+    }
+    proc.charge((map_elem_overhead(proc) + map_f.cycles) * n);
+    proc.trace_event("map", t0);
+    Ok(())
+}
+
+/// In-situ `array_map` — the paper's "the two arrays can be identical"
+/// case, expressed as a single mutable borrow.
+pub fn array_map_inplace<T, F>(
+    proc: &mut Proc<'_>,
+    map_f: Kernel<F>,
+    arr: &mut DistArray<T>,
+) -> Result<()>
+where
+    F: FnMut(&T, Index) -> T,
+{
+    let mut f = map_f.f;
+    let n = arr.local_len() as u64;
+    for (ix, v) in arr.iter_local_mut() {
+        *v = f(v, ix);
+    }
+    proc.charge((map_elem_overhead(proc) + map_f.cycles) * n);
+    Ok(())
+}
+
+/// `array_map` whose argument function additionally reports a
+/// data-dependent extra cost per element (e.g. the Gaussian `eliminate`
+/// function, which computes only right of the pivot column).
+pub fn array_map_with_cost<T, U, F>(
+    proc: &mut Proc<'_>,
+    base_cycles: u64,
+    mut map_f: F,
+    from: &DistArray<T>,
+    to: &mut DistArray<U>,
+) -> Result<()>
+where
+    F: FnMut(&T, Index) -> (U, u64),
+{
+    if !from.conformable(to) {
+        return Err(ArrayError::NotConformable(format!(
+            "array_map_with_cost over {:?} -> {:?}",
+            from.shape(),
+            to.shape()
+        )));
+    }
+    let mut extra = 0u64;
+    let t0 = proc.now();
+    let n = from.local_len() as u64;
+    {
+        let src = from.local_data();
+        let dst = to.local_data_mut();
+        for (off, ix) in from.layout().local_indices(from.proc_id()).enumerate() {
+            let (v, cycles) = map_f(&src[off], ix);
+            dst[off] = v;
+            extra += cycles;
+        }
+    }
+    proc.charge((map_elem_overhead(proc) + base_cycles) * n + extra);
+    proc.trace_event("map", t0);
+    Ok(())
+}
+
+/// In-situ `array_map` with data-dependent extra costs (the Gaussian
+/// `copy_pivot` pattern: most elements are left unchanged, the pivot
+/// owner's row pays for accesses and a division).
+pub fn array_map_inplace_with_cost<T, F>(
+    proc: &mut Proc<'_>,
+    base_cycles: u64,
+    mut map_f: F,
+    arr: &mut DistArray<T>,
+) -> Result<()>
+where
+    F: FnMut(&T, Index) -> (T, u64),
+{
+    let mut extra = 0u64;
+    let n = arr.local_len() as u64;
+    for (ix, v) in arr.iter_local_mut() {
+        let (nv, cycles) = map_f(v, ix);
+        *v = nv;
+        extra += cycles;
+    }
+    proc.charge((map_elem_overhead(proc) + base_cycles) * n + extra);
+    Ok(())
+}
+
+/// Element-wise combination of two arrays (a natural extension the
+/// paper's skeleton set implies; `zip_f` sees both elements and the
+/// index).
+pub fn array_zip<A, B, U, F>(
+    proc: &mut Proc<'_>,
+    zip_f: Kernel<F>,
+    a: &DistArray<A>,
+    b: &DistArray<B>,
+    to: &mut DistArray<U>,
+) -> Result<()>
+where
+    F: FnMut(&A, &B, Index) -> U,
+{
+    if !a.conformable(b) || !a.conformable(to) {
+        return Err(ArrayError::NotConformable("array_zip operands".into()));
+    }
+    let mut f = zip_f.f;
+    let n = a.local_len() as u64;
+    {
+        let sa = a.local_data();
+        let sb = b.local_data();
+        let dst = to.local_data_mut();
+        for (off, ix) in a.layout().local_indices(a.proc_id()).enumerate() {
+            dst[off] = f(&sa[off], &sb[off], ix);
+        }
+    }
+    // One extra operand load per element compared to plain map.
+    proc.charge((map_elem_overhead(proc) + proc.cost().load + zip_f.cycles) * n);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::create::array_create;
+    use skil_array::ArraySpec;
+    use skil_runtime::{CostModel, Distr, Machine, MachineConfig, Proc};
+
+    fn zero_machine(n: usize) -> Machine {
+        Machine::new(MachineConfig::procs(n).unwrap().with_cost(CostModel::zero()))
+    }
+
+    fn gather_1d<T: Clone + Send + skil_runtime::Wire>(
+        p: &mut Proc<'_>,
+        a: &DistArray<T>,
+    ) -> Option<Vec<T>> {
+        // test helper: gather local data at proc 0 in id order
+        let local: Vec<T> = a.local_data().to_vec();
+        p.gather(0, 0x7777, local).map(|parts| parts.into_iter().flatten().collect())
+    }
+
+    #[test]
+    fn map_applies_with_index() {
+        let m = zero_machine(4);
+        let run = m.run(|p| {
+            let a = array_create(
+                p,
+                ArraySpec::d1(8, Distr::Default),
+                Kernel::free(|ix: Index| ix[0] as u64),
+            )
+            .unwrap();
+            let mut b = array_create(p, ArraySpec::d1(8, Distr::Default), Kernel::free(|_| 0u64))
+                .unwrap();
+            array_map(p, Kernel::free(|&v: &u64, ix: Index| v * 2 + ix[0] as u64), &a, &mut b)
+                .unwrap();
+            gather_1d(p, &b)
+        });
+        assert_eq!(
+            run.results[0].as_deref(),
+            Some(&[0u64, 3, 6, 9, 12, 15, 18, 21][..])
+        );
+    }
+
+    #[test]
+    fn map_rejects_nonconformable() {
+        let m = zero_machine(2);
+        let run = m.run(|p| {
+            let a = array_create(p, ArraySpec::d1(8, Distr::Default), Kernel::free(|_| 0u8))
+                .unwrap();
+            let mut b =
+                array_create(p, ArraySpec::d1(6, Distr::Default), Kernel::free(|_| 0u8)).unwrap();
+            array_map(p, Kernel::free(|&v: &u8, _| v), &a, &mut b).is_err()
+        });
+        assert!(run.results.iter().all(|&e| e));
+    }
+
+    #[test]
+    fn map_changes_element_type() {
+        let m = zero_machine(2);
+        let run = m.run(|p| {
+            // the paper's threshold example: float array -> int array
+            let a = array_create(
+                p,
+                ArraySpec::d1(6, Distr::Default),
+                Kernel::free(|ix: Index| ix[0] as f64),
+            )
+            .unwrap();
+            let mut b =
+                array_create(p, ArraySpec::d1(6, Distr::Default), Kernel::free(|_| 0i64)).unwrap();
+            let t = 3.0;
+            // above_thresh, partially applied to the threshold t
+            array_map(
+                p,
+                Kernel::free(move |&v: &f64, _ix: Index| i64::from(v >= t)),
+                &a,
+                &mut b,
+            )
+            .unwrap();
+            gather_1d(p, &b)
+        });
+        assert_eq!(run.results[0].as_deref(), Some(&[0i64, 0, 0, 1, 1, 1][..]));
+    }
+
+    #[test]
+    fn map_inplace_replaces() {
+        let m = zero_machine(2);
+        let run = m.run(|p| {
+            let mut a = array_create(
+                p,
+                ArraySpec::d1(4, Distr::Default),
+                Kernel::free(|ix: Index| ix[0] as i64),
+            )
+            .unwrap();
+            array_map_inplace(p, Kernel::free(|&v: &i64, _| -v), &mut a).unwrap();
+            gather_1d(p, &a)
+        });
+        assert_eq!(run.results[0].as_deref(), Some(&[0i64, -1, -2, -3][..]));
+    }
+
+    #[test]
+    fn map_cost_accounting() {
+        let cfg = MachineConfig::procs(2).unwrap().with_cost(CostModel::free_comm());
+        let c = cfg.cost.clone();
+        let m = Machine::new(cfg);
+        let run = m.run(|p| {
+            let a = array_create(p, ArraySpec::d1(8, Distr::Default), Kernel::free(|_| 1u64))
+                .unwrap();
+            let mut b =
+                array_create(p, ArraySpec::d1(8, Distr::Default), Kernel::free(|_| 0u64)).unwrap();
+            let before = p.now();
+            array_map(p, Kernel::new(|&v: &u64, _| v, 11), &a, &mut b).unwrap();
+            p.now() - before
+        });
+        let overhead = c.call + 2 * c.load + c.store + c.index_calc;
+        assert_eq!(run.results[0], (overhead + 11) * 4);
+    }
+
+    #[test]
+    fn map_with_cost_charges_extra() {
+        let cfg = MachineConfig::procs(1).unwrap().with_cost(CostModel::free_comm());
+        let c = cfg.cost.clone();
+        let m = Machine::new(cfg);
+        let run = m.run(|p| {
+            let a = array_create(p, ArraySpec::d1(4, Distr::Default), Kernel::free(|_| 1u64))
+                .unwrap();
+            let mut b =
+                array_create(p, ArraySpec::d1(4, Distr::Default), Kernel::free(|_| 0u64)).unwrap();
+            let before = p.now();
+            array_map_with_cost(
+                p,
+                0,
+                |&v: &u64, ix: Index| if ix[0] % 2 == 0 { (v, 100) } else { (v, 0) },
+                &a,
+                &mut b,
+            )
+            .unwrap();
+            p.now() - before
+        });
+        let overhead = c.call + 2 * c.load + c.store + c.index_calc;
+        assert_eq!(run.results[0], overhead * 4 + 200);
+    }
+
+    #[test]
+    fn zip_combines_two_arrays() {
+        let m = zero_machine(2);
+        let run = m.run(|p| {
+            let a = array_create(
+                p,
+                ArraySpec::d1(4, Distr::Default),
+                Kernel::free(|ix: Index| ix[0] as u64),
+            )
+            .unwrap();
+            let b = array_create(p, ArraySpec::d1(4, Distr::Default), Kernel::free(|_| 10u64))
+                .unwrap();
+            let mut c =
+                array_create(p, ArraySpec::d1(4, Distr::Default), Kernel::free(|_| 0u64)).unwrap();
+            array_zip(p, Kernel::free(|&x: &u64, &y: &u64, _| x + y), &a, &b, &mut c).unwrap();
+            gather_1d(p, &c)
+        });
+        assert_eq!(run.results[0].as_deref(), Some(&[10u64, 11, 12, 13][..]));
+    }
+}

@@ -1,0 +1,178 @@
+//! `array_scan`: parallel prefix combination — a natural companion to
+//! `array_fold` (not in the paper's §3 list, provided as an extension in
+//! the spirit of its §6 "new skeletons must be designed").
+
+use skil_array::{ArrayError, DistArray, Result};
+use skil_runtime::{Proc, Wire};
+
+use crate::kernel::Kernel;
+use crate::tags;
+
+/// Inclusive prefix combine in global row-major index order:
+/// `to[i] = from[0] (op) from[1] (op) ... (op) from[i]`.
+///
+/// Requires a block distribution over the processor sequence (grid
+/// `[p, 1]`), so partition order equals global order. The combine
+/// function should be associative.
+pub fn array_scan<T, F>(
+    proc: &mut Proc<'_>,
+    scan_f: Kernel<F>,
+    from: &DistArray<T>,
+    to: &mut DistArray<T>,
+) -> Result<()>
+where
+    T: Wire + Clone,
+    F: FnMut(T, T) -> T,
+{
+    if !from.conformable(to) {
+        return Err(ArrayError::NotConformable("array_scan operands".into()));
+    }
+    if from.layout().grid[1] != 1 {
+        return Err(ArrayError::BadTopology(
+            "array_scan requires a row-block distribution (grid [p, 1])".into(),
+        ));
+    }
+    let mut f = scan_f.f;
+    let t0 = proc.now();
+    let c = proc.cost().clone();
+    let op_cost = c.call + c.load + scan_f.cycles;
+    let n_local = from.local_len() as u64;
+
+    // 1. local inclusive scan
+    let mut acc: Option<T> = None;
+    {
+        let src = from.local_data();
+        let dst = to.local_data_mut();
+        for (off, v) in src.iter().enumerate() {
+            let next = match acc.take() {
+                None => v.clone(),
+                Some(prev) => f(prev, v.clone()),
+            };
+            dst[off] = next.clone();
+            acc = Some(next);
+        }
+    }
+    proc.charge((op_cost + c.store) * n_local);
+
+    // 2. exclusive prefix of the partition totals across processors:
+    //    processor i needs the combination of totals 0..i. Walk up the
+    //    processor chain (deterministic, O(p) latency like the paper's
+    //    broadcast chain alternatives; fine for p <= 64).
+    let me = proc.id();
+    let nprocs = proc.nprocs();
+    let mut carry: Option<T> = None;
+    if me > 0 {
+        let incoming: Option<T> = proc.recv(me - 1, tags::SCAN);
+        carry = incoming;
+    }
+    if me + 1 < nprocs {
+        // forward carry (+) my total
+        let my_total = to.local_data().last().cloned();
+        let outgoing = match (carry.clone(), my_total) {
+            (Some(c0), Some(t)) => {
+                proc.charge(op_cost);
+                Some(f(c0, t))
+            }
+            (None, t) => t,
+            (c0, None) => c0,
+        };
+        proc.send(me + 1, tags::SCAN, &outgoing);
+    }
+
+    // 3. apply the carry to the local partition
+    if let Some(c0) = carry {
+        for v in to.local_data_mut() {
+            *v = f(c0.clone(), v.clone());
+        }
+        proc.charge((op_cost + c.store) * n_local);
+    }
+    proc.trace_event("scan", t0);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::create::array_create;
+    use skil_array::{ArraySpec, Index};
+    use skil_runtime::{CostModel, Distr, Machine, MachineConfig};
+
+    fn zero_machine(n: usize) -> Machine {
+        Machine::new(MachineConfig::procs(n).unwrap().with_cost(CostModel::zero()))
+    }
+
+    #[test]
+    fn prefix_sum_matches_sequential() {
+        for p in [1usize, 2, 4, 8] {
+            let m = zero_machine(p);
+            let run = m.run(|proc| {
+                let a = array_create(
+                    proc,
+                    ArraySpec::d1(32, Distr::Default),
+                    Kernel::free(|ix: Index| (ix[0] + 1) as u64),
+                )
+                .unwrap();
+                let mut b = array_create(
+                    proc,
+                    ArraySpec::d1(32, Distr::Default),
+                    Kernel::free(|_| 0u64),
+                )
+                .unwrap();
+                array_scan(proc, Kernel::free(|x: u64, y: u64| x + y), &a, &mut b).unwrap();
+                b.iter_local().map(|(ix, &v)| (ix[0], v)).collect::<Vec<_>>()
+            });
+            for part in run.results {
+                for (i, v) in part {
+                    let want: u64 = (1..=(i as u64 + 1)).sum();
+                    assert_eq!(v, want, "p={p} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_with_max_operator() {
+        let m = zero_machine(4);
+        let run = m.run(|proc| {
+            let a = array_create(
+                proc,
+                ArraySpec::d1(16, Distr::Default),
+                Kernel::free(|ix: Index| ((ix[0] * 7) % 11) as u64),
+            )
+            .unwrap();
+            let mut b =
+                array_create(proc, ArraySpec::d1(16, Distr::Default), Kernel::free(|_| 0u64))
+                    .unwrap();
+            array_scan(proc, Kernel::free(u64::max), &a, &mut b).unwrap();
+            b.iter_local().map(|(ix, &v)| (ix[0], v)).collect::<Vec<_>>()
+        });
+        let vals: Vec<u64> = (0..16).map(|i| ((i * 7) % 11) as u64).collect();
+        for part in run.results {
+            for (i, v) in part {
+                let want = *vals[..=i].iter().max().unwrap();
+                assert_eq!(v, want);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_rejects_non_row_block() {
+        let m = zero_machine(4);
+        let run = m.run(|proc| {
+            let a = array_create(
+                proc,
+                ArraySpec::d2(4, 4, Distr::Torus2d),
+                Kernel::free(|_| 0u64),
+            )
+            .unwrap();
+            let mut b = array_create(
+                proc,
+                ArraySpec::d2(4, 4, Distr::Torus2d),
+                Kernel::free(|_| 0u64),
+            )
+            .unwrap();
+            array_scan(proc, Kernel::free(|x: u64, y: u64| x + y), &a, &mut b).is_err()
+        });
+        assert!(run.results.iter().all(|&e| e));
+    }
+}

@@ -1,0 +1,445 @@
+//! Process-parallel skeletons: `farm` and `divide&conquer`.
+//!
+//! The paper's introduction presents `d&c` as the canonical higher-order
+//! skeleton (with `quicksort` as the instance) and names `map`, `farm`
+//! and `divide&conquer` as classical examples. Skil's emphasis is on the
+//! data-parallel array skeletons, but "both types can be integrated", so
+//! the task-parallel pair is provided here.
+//!
+//! Both skeletons are deterministic: the farm distributes tasks
+//! round-robin, and `divide&conquer` splits the processor range
+//! recursively, so every message has a statically known source.
+
+use skil_array::Result;
+use skil_runtime::{Proc, Wire};
+
+use crate::kernel::Kernel;
+use crate::tags;
+
+/// Static task farm: `master` scatters its task list round-robin over
+/// all processors, everyone applies `worker`, and the master reassembles
+/// the results in task order. Returns `Some(results)` at the master,
+/// `None` elsewhere.
+///
+/// ```
+/// use skil_core::{farm, Kernel};
+/// use skil_runtime::{Machine, MachineConfig};
+///
+/// let machine = Machine::new(MachineConfig::procs(3).unwrap());
+/// let run = machine.run(|p| {
+///     let tasks = (p.id() == 0).then(|| (0u64..10).collect::<Vec<_>>());
+///     farm(p, 0, tasks, Kernel::free(|&t: &u64| t * t)).unwrap()
+/// });
+/// assert_eq!(run.results[0].as_ref().unwrap()[3], 9);
+/// ```
+pub fn farm<T, R, F>(
+    proc: &mut Proc<'_>,
+    master: usize,
+    tasks: Option<Vec<T>>,
+    worker: Kernel<F>,
+) -> Result<Option<Vec<R>>>
+where
+    T: Wire,
+    R: Wire + Clone,
+    F: FnMut(&T) -> R,
+{
+    let n = proc.nprocs();
+    let me = proc.id();
+    let mut work = worker.f;
+    let c = proc.cost();
+    let per_task = c.call + worker.cycles;
+
+    // Scatter: one message per worker with its whole round-robin share.
+    let my_tasks: Vec<T> = if me == master {
+        let tasks = tasks.expect("farm master must supply the tasks");
+        let mut shares: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, t) in tasks.into_iter().enumerate() {
+            shares[i % n].push(t);
+        }
+        let mut mine = Vec::new();
+        for (id, share) in shares.into_iter().enumerate() {
+            if id == me {
+                mine = share;
+            } else {
+                proc.send(id, tags::FARM, &share);
+            }
+        }
+        mine
+    } else {
+        assert!(tasks.is_none(), "non-master processor supplied farm tasks");
+        proc.recv(master, tags::FARM)
+    };
+
+    let mut my_results = Vec::with_capacity(my_tasks.len());
+    for t in &my_tasks {
+        my_results.push(work(t));
+        proc.charge(per_task);
+    }
+
+    // Gather: workers return their share; the master interleaves.
+    if me == master {
+        let mut shares: Vec<Vec<R>> = (0..n).map(|_| Vec::new()).collect();
+        let total: usize = my_results.len()
+            + (0..n)
+                .filter(|&id| id != me)
+                .map(|id| {
+                    let share: Vec<R> = proc.recv(id, tags::FARM + 1);
+                    let len = share.len();
+                    shares[id] = share;
+                    len
+                })
+                .sum::<usize>();
+        shares[me] = my_results;
+        let mut out = Vec::with_capacity(total);
+        let mut cursors = vec![0usize; n];
+        for i in 0..total {
+            let id = i % n;
+            out.push(shares[id][cursors[id]].clone());
+            cursors[id] += 1;
+        }
+        Ok(Some(out))
+    } else {
+        proc.send(master, tags::FARM + 1, &my_results);
+        Ok(None)
+    }
+}
+
+/// The customizing functions of [`divide_conquer`], bundled with their
+/// per-invocation costs — the paper's `is_trivial`, `solve`, `split` and
+/// `join` arguments.
+pub struct DcOps<FT, FS, FSp, FJ> {
+    /// Tests whether a problem is simple enough to solve directly.
+    pub is_trivial: Kernel<FT>,
+    /// Solves a trivial problem.
+    pub solve: Kernel<FS>,
+    /// Divides a problem into a list of subproblems.
+    pub split: Kernel<FSp>,
+    /// Combines a list of sub-solutions into a new (sub)solution.
+    pub join: Kernel<FJ>,
+}
+
+/// Parallel divide&conquer: the problem enters at processor 0, the
+/// processor range halves recursively (subproblems split between the
+/// halves), and leaves recurse sequentially. Returns `Some(solution)` at
+/// processor 0, `None` elsewhere.
+///
+/// This is the paper's
+/// `$b d&c(int is_trivial($a), $b solve($a), list<$a> split($a),
+/// $b join(list<$b>), $a problem)` with the parallel implementation the
+/// functional definition deliberately leaves open.
+pub fn divide_conquer<P, S, FT, FS, FSp, FJ>(
+    proc: &mut Proc<'_>,
+    problem: Option<P>,
+    ops: &mut DcOps<FT, FS, FSp, FJ>,
+) -> Result<Option<S>>
+where
+    P: Wire,
+    S: Wire,
+    FT: FnMut(&P) -> bool,
+    FS: FnMut(&P) -> S,
+    FSp: FnMut(&P) -> Vec<P>,
+    FJ: FnMut(Vec<S>) -> S,
+{
+    let n = proc.nprocs();
+    let me = proc.id();
+    if me == 0 {
+        let problem = problem.expect("divide_conquer: processor 0 must supply the problem");
+        let results = dc_range(proc, 0, n, vec![problem], 0, ops);
+        release(proc, 0, n, 0);
+        let mut results = results;
+        debug_assert_eq!(results.len(), 1);
+        Ok(Some(results.remove(0)))
+    } else {
+        assert!(problem.is_none(), "divide_conquer: only processor 0 supplies the problem");
+        // Descend to the level where this processor heads the remote
+        // half, then serve batches from the head of the parent range.
+        let (mut lo, mut hi, mut depth) = (0usize, n, 0u64);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo).div_ceil(2);
+            if me == mid {
+                serve(proc, lo, mid, hi, depth, ops);
+                return Ok(None);
+            }
+            if me < mid {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            depth += 1;
+        }
+        Ok(None)
+    }
+}
+
+/// Solve a batch of problems as head of the processor range `[lo, hi)`.
+fn dc_range<P, S, FT, FS, FSp, FJ>(
+    proc: &mut Proc<'_>,
+    lo: usize,
+    hi: usize,
+    problems: Vec<P>,
+    depth: u64,
+    ops: &mut DcOps<FT, FS, FSp, FJ>,
+) -> Vec<S>
+where
+    P: Wire,
+    S: Wire,
+    FT: FnMut(&P) -> bool,
+    FS: FnMut(&P) -> S,
+    FSp: FnMut(&P) -> Vec<P>,
+    FJ: FnMut(Vec<S>) -> S,
+{
+    if hi - lo == 1 {
+        return problems.iter().map(|p| dc_seq(proc, p, ops)).collect();
+    }
+    let mid = lo + (hi - lo).div_ceil(2);
+    let mut results = Vec::with_capacity(problems.len());
+    for p in &problems {
+        proc.charge(proc.cost().call + ops.is_trivial.cycles);
+        if (ops.is_trivial.f)(p) {
+            proc.charge(proc.cost().call + ops.solve.cycles);
+            results.push((ops.solve.f)(p));
+            // The remote half still expects one batch per problem.
+            proc.send(mid, tags::DC_DOWN + depth, &Option::<Vec<P>>::Some(vec![]));
+            let _: Vec<S> = proc.recv(mid, tags::DC_UP + depth);
+            continue;
+        }
+        proc.charge(proc.cost().call + ops.split.cycles);
+        let mut parts = (ops.split.f)(p);
+        let local_n = parts.len().div_ceil(2);
+        let remote: Vec<P> = parts.split_off(local_n);
+        proc.send(mid, tags::DC_DOWN + depth, &Some(remote));
+        let mut sub = dc_range(proc, lo, mid, parts, depth + 1, ops);
+        let remote_sub: Vec<S> = proc.recv(mid, tags::DC_UP + depth);
+        sub.extend(remote_sub);
+        proc.charge(proc.cost().call + ops.join.cycles);
+        results.push((ops.join.f)(sub));
+    }
+    results
+}
+
+/// Tell the idle half-range heads below `[lo, hi)` that the computation
+/// is over.
+fn release(proc: &mut Proc<'_>, lo: usize, hi: usize, depth: u64) {
+    if hi - lo <= 1 {
+        return;
+    }
+    let mid = lo + (hi - lo).div_ceil(2);
+    proc.send(mid, tags::DC_DOWN + depth, &Option::<Vec<u8>>::None);
+    release(proc, lo, mid, depth + 1);
+}
+
+/// Serve batches from the parent-range head until released.
+fn serve<P, S, FT, FS, FSp, FJ>(
+    proc: &mut Proc<'_>,
+    parent: usize,
+    lo: usize,
+    hi: usize,
+    depth: u64,
+    ops: &mut DcOps<FT, FS, FSp, FJ>,
+) where
+    P: Wire,
+    S: Wire,
+    FT: FnMut(&P) -> bool,
+    FS: FnMut(&P) -> S,
+    FSp: FnMut(&P) -> Vec<P>,
+    FJ: FnMut(Vec<S>) -> S,
+{
+    loop {
+        let batch: Option<Vec<P>> = proc.recv(parent, tags::DC_DOWN + depth);
+        match batch {
+            None => {
+                release(proc, lo, hi, depth + 1);
+                return;
+            }
+            Some(parts) => {
+                let results: Vec<S> = dc_range(proc, lo, hi, parts, depth + 1, ops);
+                proc.send(parent, tags::DC_UP + depth, &results);
+            }
+        }
+    }
+}
+
+/// Sequential divide&conquer — the leaf (and reference) implementation;
+/// mirrors the functional definition in the paper's introduction.
+pub fn dc_seq<P, S, FT, FS, FSp, FJ>(
+    proc: &mut Proc<'_>,
+    problem: &P,
+    ops: &mut DcOps<FT, FS, FSp, FJ>,
+) -> S
+where
+    FT: FnMut(&P) -> bool,
+    FS: FnMut(&P) -> S,
+    FSp: FnMut(&P) -> Vec<P>,
+    FJ: FnMut(Vec<S>) -> S,
+{
+    proc.charge(proc.cost().call + ops.is_trivial.cycles);
+    if (ops.is_trivial.f)(problem) {
+        proc.charge(proc.cost().call + ops.solve.cycles);
+        return (ops.solve.f)(problem);
+    }
+    proc.charge(proc.cost().call + ops.split.cycles);
+    let parts = (ops.split.f)(problem);
+    let subs: Vec<S> = parts.iter().map(|sp| dc_seq(proc, sp, ops)).collect();
+    proc.charge(proc.cost().call + ops.join.cycles);
+    (ops.join.f)(subs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skil_runtime::{CostModel, Machine, MachineConfig};
+
+    fn zero_machine(n: usize) -> Machine {
+        Machine::new(MachineConfig::procs(n).unwrap().with_cost(CostModel::zero()))
+    }
+
+    #[test]
+    fn farm_preserves_task_order() {
+        for n in [1, 2, 3, 4, 8] {
+            let m = zero_machine(n);
+            let run = m.run(|p| {
+                let tasks =
+                    (p.id() == 0).then(|| (0u64..17).collect::<Vec<_>>());
+                farm(p, 0, tasks, Kernel::free(|&t: &u64| t * t)).unwrap()
+            });
+            let expect: Vec<u64> = (0..17).map(|t| t * t).collect();
+            assert_eq!(run.results[0].as_deref(), Some(&expect[..]), "n={n}");
+            assert!(run.results[1..].iter().all(|r| r.is_none()));
+        }
+    }
+
+    #[test]
+    fn farm_empty_task_list() {
+        let m = zero_machine(3);
+        let run = m.run(|p| {
+            let tasks = (p.id() == 0).then(Vec::<u64>::new);
+            farm(p, 0, tasks, Kernel::free(|&t: &u64| t)).unwrap()
+        });
+        assert_eq!(run.results[0].as_deref(), Some(&[][..]));
+    }
+
+    #[test]
+    fn farm_nonzero_master() {
+        let m = zero_machine(4);
+        let run = m.run(|p| {
+            let tasks = (p.id() == 2).then(|| vec![1u64, 2, 3]);
+            farm(p, 2, tasks, Kernel::free(|&t: &u64| t + 100)).unwrap()
+        });
+        assert_eq!(run.results[2].as_deref(), Some(&[101u64, 102, 103][..]));
+    }
+
+    fn quicksort_ops() -> DcOps<
+        impl FnMut(&Vec<i64>) -> bool,
+        impl FnMut(&Vec<i64>) -> Vec<i64>,
+        impl FnMut(&Vec<i64>) -> Vec<Vec<i64>>,
+        impl FnMut(Vec<Vec<i64>>) -> Vec<i64>,
+    > {
+        DcOps {
+            // is_simple: empty or singleton list
+            is_trivial: Kernel::free(|l: &Vec<i64>| l.len() <= 1),
+            // ident
+            solve: Kernel::free(|l: &Vec<i64>| l.clone()),
+            // divide by pivot into (smaller, [pivot], greater-or-equal)
+            split: Kernel::free(|l: &Vec<i64>| {
+                let pivot = l[0];
+                let smaller: Vec<i64> = l[1..].iter().copied().filter(|&x| x < pivot).collect();
+                let geq: Vec<i64> = l[1..].iter().copied().filter(|&x| x >= pivot).collect();
+                vec![smaller, vec![pivot], geq]
+            }),
+            // concat
+            join: Kernel::free(|parts: Vec<Vec<i64>>| parts.concat()),
+        }
+    }
+
+    #[test]
+    fn quicksort_via_dc_sequential() {
+        let m = zero_machine(1);
+        let run = m.run(|p| {
+            let data: Vec<i64> = (0..40).map(|i| (i * 37 % 23) - 11).collect();
+            dc_seq(p, &data, &mut quicksort_ops())
+        });
+        let mut expect: Vec<i64> = (0..40).map(|i| (i * 37 % 23) - 11).collect();
+        expect.sort();
+        assert_eq!(run.results[0], expect);
+    }
+
+    #[test]
+    fn quicksort_via_dc_parallel() {
+        for n in [1, 2, 3, 4, 6, 8] {
+            let m = zero_machine(n);
+            let run = m.run(|p| {
+                let data: Vec<i64> =
+                    (0..64).map(|i| ((i * 53) % 41) as i64 - 20).collect();
+                let problem = (p.id() == 0).then_some(data);
+                divide_conquer(p, problem, &mut quicksort_ops()).unwrap()
+            });
+            let mut expect: Vec<i64> = (0..64).map(|i| ((i * 53) % 41) as i64 - 20).collect();
+            expect.sort();
+            assert_eq!(run.results[0].as_deref(), Some(&expect[..]), "n={n}");
+            assert!(run.results[1..].iter().all(|r| r.is_none()), "n={n}");
+        }
+    }
+
+    #[test]
+    fn dc_trivial_problem_at_root() {
+        let m = zero_machine(4);
+        let run = m.run(|p| {
+            let problem = (p.id() == 0).then(|| vec![7i64]);
+            divide_conquer(p, problem, &mut quicksort_ops()).unwrap()
+        });
+        assert_eq!(run.results[0].as_deref(), Some(&[7i64][..]));
+    }
+
+    #[test]
+    fn dc_sum_tree() {
+        // summation d&c: split a range in two, join by addition
+        let m = zero_machine(4);
+        let run = m.run(|p| {
+            let problem = (p.id() == 0).then_some((0u64, 1000u64));
+            let mut ops = DcOps {
+                is_trivial: Kernel::free(|&(a, b): &(u64, u64)| b - a <= 10),
+                solve: Kernel::free(|&(a, b): &(u64, u64)| (a..b).sum::<u64>()),
+                split: Kernel::free(|&(a, b): &(u64, u64)| {
+                    let mid = (a + b) / 2;
+                    vec![(a, mid), (mid, b)]
+                }),
+                join: Kernel::free(|parts: Vec<u64>| parts.into_iter().sum()),
+            };
+            divide_conquer(p, problem, &mut ops).unwrap()
+        });
+        assert_eq!(run.results[0], Some((0..1000).sum::<u64>()));
+    }
+
+    #[test]
+    fn dc_parallel_beats_sequential_in_virtual_time() {
+        let cost = CostModel::free_comm();
+        let time = |n: usize| {
+            let m = Machine::new(MachineConfig::procs(n).unwrap().with_cost(cost.clone()));
+            m.run(|p| {
+                let problem = (p.id() == 0).then_some((0u64, 4096u64));
+                let mut ops = DcOps {
+                    is_trivial: Kernel::new(|&(a, b): &(u64, u64)| b - a <= 16, 10),
+                    // an artificially expensive leaf
+                    solve: Kernel::new(|&(a, b): &(u64, u64)| (a..b).sum::<u64>(), 50_000),
+                    split: Kernel::new(
+                        |&(a, b): &(u64, u64)| {
+                            let mid = (a + b) / 2;
+                            vec![(a, mid), (mid, b)]
+                        },
+                        100,
+                    ),
+                    join: Kernel::new(|parts: Vec<u64>| parts.into_iter().sum(), 100),
+                };
+                divide_conquer(p, problem, &mut ops).unwrap()
+            })
+            .report
+            .sim_cycles
+        };
+        let t1 = time(1);
+        let t8 = time(8);
+        assert!(
+            t8 * 3 < t1,
+            "8 processors should give >3x on leaf-heavy d&c: t1={t1} t8={t8}"
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! `array_transpose` — an extension skeleton in the spirit of the
+//! paper's §6 ("new skeletons ... must be designed and implemented"):
+//! the all-to-all data motion that dense linear algebra needs next after
+//! `array_gen_mult`.
+
+use skil_array::{ArrayError, DistArray, Result};
+use skil_runtime::{Proc, Wire};
+
+use crate::tags;
+
+/// Transpose a square 2-D array into `to` (`to[j, i] = from[i, j]`).
+/// Both arrays must share a block layout; every processor exchanges the
+/// intersection of its partition with every peer's transposed partition
+/// (a deterministic all-to-all).
+pub fn array_transpose<T>(
+    proc: &mut Proc<'_>,
+    from: &DistArray<T>,
+    to: &mut DistArray<T>,
+) -> Result<()>
+where
+    T: Wire + Clone,
+{
+    if !from.conformable(to) {
+        return Err(ArrayError::NotConformable("array_transpose operands".into()));
+    }
+    from.check_distinct(to, "array_transpose")?;
+    let shape = from.shape();
+    if shape.ndim != 2 || shape.size[0] != shape.size[1] {
+        return Err(ArrayError::BadSpec("array_transpose requires a square matrix".into()));
+    }
+    let t0 = proc.now();
+    let me = proc.id();
+    let nprocs = proc.nprocs();
+    let layout = *from.layout();
+    let my_bounds = from.part_bounds()?;
+    let c = proc.cost().clone();
+
+    // Send phase: for each peer, ship the local elements whose
+    // transposed position lands in that peer's partition, as
+    // (row, col, value) triples in deterministic order.
+    let mut kept: Vec<([usize; 2], T)> = Vec::new();
+    let mut outgoing: Vec<Vec<(u64, u64, T)>> = (0..nprocs).map(|_| Vec::new()).collect();
+    for (ix, v) in from.iter_local() {
+        let tix = [ix[1], ix[0]];
+        let owner = layout.owner(tix)?;
+        if owner == me {
+            kept.push((tix, v.clone()));
+        } else {
+            outgoing[owner].push((tix[0] as u64, tix[1] as u64, v.clone()));
+        }
+    }
+    proc.charge(c.index_calc * from.local_len() as u64);
+    for (dst, batch) in outgoing.iter().enumerate() {
+        if dst != me {
+            proc.send(dst, tags::ROTATE + 1, batch);
+        }
+    }
+
+    // Local placements first.
+    let moved = kept.len() as u64;
+    for (tix, v) in kept {
+        to.put(tix, v).expect("transposed index is local");
+    }
+
+    // Receive phase: one batch from every peer (possibly empty).
+    let mut received = 0u64;
+    for src in 0..nprocs {
+        if src == me {
+            continue;
+        }
+        let batch: Vec<(u64, u64, T)> = proc.recv(src, tags::ROTATE + 1);
+        for (r, cc, v) in batch {
+            let ix = [r as usize, cc as usize];
+            debug_assert!(my_bounds.contains(ix));
+            to.put(ix, v).expect("received index is local");
+            received += 1;
+        }
+    }
+    proc.charge(c.memcpy_elem * (moved + received));
+    proc.trace_event("transpose", t0);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::create::array_create;
+    use crate::kernel::Kernel;
+    use skil_array::{ArraySpec, Index};
+    use skil_runtime::{CostModel, Distr, Machine, MachineConfig};
+
+    fn check_transpose(procs: usize, n: usize, distr: Distr) {
+        let m = Machine::new(MachineConfig::procs(procs).unwrap().with_cost(CostModel::zero()));
+        let run = m.run(|p| {
+            let a = array_create(
+                p,
+                ArraySpec::d2(n, n, distr),
+                Kernel::free(|ix: Index| (ix[0] * 100 + ix[1]) as u64),
+            )
+            .unwrap();
+            let mut b = array_create(p, ArraySpec::d2(n, n, distr), Kernel::free(|_| 0u64))
+                .unwrap();
+            array_transpose(p, &a, &mut b).unwrap();
+            b.iter_local().map(|(ix, &v)| (ix[0], ix[1], v)).collect::<Vec<_>>()
+        });
+        for part in run.results {
+            for (i, j, v) in part {
+                assert_eq!(v, (j * 100 + i) as u64, "procs={procs} ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn transposes_row_block() {
+        for procs in [1usize, 2, 4, 8] {
+            check_transpose(procs, 8, Distr::Default);
+        }
+    }
+
+    #[test]
+    fn transposes_torus_blocks() {
+        check_transpose(4, 8, Distr::Torus2d);
+        check_transpose(9, 9, Distr::Torus2d);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let m = Machine::new(MachineConfig::procs(4).unwrap().with_cost(CostModel::zero()));
+        let run = m.run(|p| {
+            let a = array_create(
+                p,
+                ArraySpec::d2(8, 8, Distr::Default),
+                Kernel::free(|ix: Index| (ix[0] * 8 + ix[1]) as u64),
+            )
+            .unwrap();
+            let mut b = array_create(p, ArraySpec::d2(8, 8, Distr::Default), Kernel::free(|_| 0u64))
+                .unwrap();
+            let mut c = array_create(p, ArraySpec::d2(8, 8, Distr::Default), Kernel::free(|_| 0u64))
+                .unwrap();
+            array_transpose(p, &a, &mut b).unwrap();
+            array_transpose(p, &b, &mut c).unwrap();
+            (a.local_data().to_vec(), c.local_data().to_vec())
+        });
+        for (orig, round) in run.results {
+            assert_eq!(orig, round);
+        }
+    }
+
+    #[test]
+    fn rejects_non_square_and_aliased() {
+        let m = Machine::new(MachineConfig::procs(2).unwrap().with_cost(CostModel::zero()));
+        let run = m.run(|p| {
+            let a = array_create(p, ArraySpec::d2(4, 6, Distr::Default), Kernel::free(|_| 0u8))
+                .unwrap();
+            let mut b =
+                array_create(p, ArraySpec::d2(4, 6, Distr::Default), Kernel::free(|_| 0u8))
+                    .unwrap();
+            let non_square = array_transpose(p, &a, &mut b).is_err();
+            let sq = array_create(p, ArraySpec::d2(4, 4, Distr::Default), Kernel::free(|_| 0u8))
+                .unwrap();
+            let mut alias = sq.clone();
+            let aliased = matches!(
+                array_transpose(p, &sq, &mut alias),
+                Err(ArrayError::AliasedArrays(_))
+            );
+            (non_square, aliased)
+        });
+        assert!(run.results.iter().all(|&(a, b)| a && b));
+    }
+}

@@ -1,0 +1,123 @@
+//! `skilc` — the Skil compiler driver.
+//!
+//! ```text
+//! skilc <file.skil>                  type-check and emit C to stdout
+//! skilc --run <file.skil>            run on a simulated 2x2 mesh
+//! skilc --run --mesh RxC <file.skil> choose the machine shape
+//! skilc --check <file.skil>          parse + type check only
+//! skilc --run --trace <file.skil>    also print a virtual-time timeline
+//! ```
+
+use skil_lang::compile;
+use skil_runtime::{Machine, MachineConfig};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: skilc [--check | --run [--mesh RxC] [--trace]] <file.skil>\n\
+         \n\
+         default: emit the instantiated first-order C to stdout\n\
+         --check: stop after the polymorphic type check\n\
+         --run:   execute SPMD on a simulated transputer mesh (default 2x2)\n\
+         --mesh:  machine shape for --run, e.g. --mesh 4x4 or --mesh 8x4"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check_only = false;
+    let mut run = false;
+    let mut trace = false;
+    let mut mesh = (2usize, 2usize);
+    let mut file: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => check_only = true,
+            "--run" => run = true,
+            "--trace" => trace = true,
+            "--mesh" => {
+                i += 1;
+                let Some(spec) = args.get(i) else { return usage() };
+                let Some((r, c)) = spec.split_once('x') else { return usage() };
+                match (r.parse(), c.parse()) {
+                    (Ok(r), Ok(c)) => mesh = (r, c),
+                    _ => return usage(),
+                }
+            }
+            "--help" | "-h" => return usage(),
+            other if !other.starts_with('-') && file.is_none() => {
+                file = Some(other.to_string());
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let Some(file) = file else { return usage() };
+
+    let src = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("skilc: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let compiled = match compile(&src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("skilc: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if check_only {
+        eprintln!(
+            "skilc: {file}: ok ({} instances, {} structs)",
+            compiled.fo.funcs.len(),
+            compiled.fo.structs.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if run {
+        let cfg = match MachineConfig::mesh(mesh.0, mesh.1) {
+            Ok(c) => {
+                if trace {
+                    c.with_trace()
+                } else {
+                    c
+                }
+            }
+            Err(e) => {
+                eprintln!("skilc: bad mesh: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let machine = Machine::new(cfg);
+        // Skil runtime errors panic inside the simulation (poisoning the
+        // machine); the panic propagates here with the diagnostic.
+        let run_result = compiled.run(&machine);
+        for (id, lines) in run_result.results.iter().enumerate() {
+            for line in lines {
+                println!("[proc {id}] {line}");
+            }
+        }
+        eprintln!(
+            "skilc: simulated {:.6} s on {} T800s ({} cycles, {} messages)",
+            run_result.report.sim_seconds,
+            machine.nprocs(),
+            run_result.report.sim_cycles,
+            run_result.report.total_msgs()
+        );
+        if trace {
+            eprint!("{}", run_result.report.render_timeline(64));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    print!("{}", compiled.emit_c());
+    ExitCode::SUCCESS
+}

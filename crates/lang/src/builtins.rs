@@ -1,0 +1,263 @@
+//! Built-in functions, skeletons and constants of the Skil language.
+
+use crate::types::{Scheme, Ty};
+use std::collections::HashMap;
+
+/// Base id for the generic variables used in builtin schemes (replaced by
+/// fresh variables at every instantiation, so the ids never leak).
+const G: u32 = 1_000_000;
+
+fn v(i: u32) -> Ty {
+    Ty::Var(G + i)
+}
+
+fn arr(t: Ty) -> Ty {
+    Ty::Pardata("array".into(), vec![t])
+}
+
+fn list(t: Ty) -> Ty {
+    Ty::List(Box::new(t))
+}
+
+fn fun(args: Vec<Ty>, ret: Ty) -> Ty {
+    Ty::Fun(args, Box::new(ret))
+}
+
+fn scheme(nvars: u32, ty: Ty) -> Scheme {
+    Scheme { vars: (0..nvars).map(|i| G + i).collect(), ty }
+}
+
+/// The names of the data-parallel skeletons (calls to these become
+/// `FoExpr::Skel` after instantiation).
+pub const SKELETONS: [&str; 11] = [
+    "array_create",
+    "array_destroy",
+    "array_map",
+    "array_fold",
+    "array_copy",
+    "array_broadcast_part",
+    "array_permute_rows",
+    "array_gen_mult",
+    "array_scan",
+    "dc",
+    "farm",
+];
+
+/// Scalar intrinsics (first-order, interpreted directly).
+pub const INTRINSICS: [&str; 21] = [
+    "array_get_elem",
+    "array_put_elem",
+    "array_part_bounds",
+    "nil",
+    "cons",
+    "head",
+    "tail",
+    "len",
+    "append",
+    "abs",
+    "fabs",
+    "min",
+    "max",
+    "fmin",
+    "fmax",
+    "sqrt",
+    "itof",
+    "ftoi",
+    "log2i",
+    "print",
+    "error",
+];
+
+/// Type schemes of every builtin function.
+pub fn builtin_schemes() -> HashMap<String, Scheme> {
+    let mut m = HashMap::new();
+    let mut add = |name: &str, s: Scheme| {
+        m.insert(name.to_string(), s);
+    };
+
+    // --- skeletons (paper §3) ---
+    add(
+        "array_create",
+        scheme(
+            1,
+            fun(
+                vec![
+                    Ty::Int,              // dim
+                    Ty::Index,            // size
+                    Ty::Index,            // blocksize
+                    Ty::Index,            // lowerbd
+                    fun(vec![Ty::Index], v(0)), // init_elem
+                    Ty::Int,              // distr
+                ],
+                arr(v(0)),
+            ),
+        ),
+    );
+    add("array_destroy", scheme(1, fun(vec![arr(v(0))], Ty::Void)));
+    add(
+        "array_map",
+        scheme(
+            2,
+            fun(
+                vec![fun(vec![v(0), Ty::Index], v(1)), arr(v(0)), arr(v(1))],
+                Ty::Void,
+            ),
+        ),
+    );
+    add(
+        "array_fold",
+        scheme(
+            2,
+            fun(
+                vec![
+                    fun(vec![v(0), Ty::Index], v(1)),
+                    fun(vec![v(1), v(1)], v(1)),
+                    arr(v(0)),
+                ],
+                v(1),
+            ),
+        ),
+    );
+    add("array_copy", scheme(1, fun(vec![arr(v(0)), arr(v(0))], Ty::Void)));
+    add("array_broadcast_part", scheme(1, fun(vec![arr(v(0)), Ty::Index], Ty::Void)));
+    add(
+        "array_permute_rows",
+        scheme(
+            1,
+            fun(
+                vec![arr(v(0)), fun(vec![Ty::Int], Ty::Int), arr(v(0))],
+                Ty::Void,
+            ),
+        ),
+    );
+    add(
+        "array_gen_mult",
+        scheme(
+            1,
+            fun(
+                vec![
+                    arr(v(0)),
+                    arr(v(0)),
+                    fun(vec![v(0), v(0)], v(0)),
+                    fun(vec![v(0), v(0)], v(0)),
+                    arr(v(0)),
+                ],
+                Ty::Void,
+            ),
+        ),
+    );
+
+    add(
+        "array_scan",
+        scheme(
+            1,
+            fun(vec![fun(vec![v(0), v(0)], v(0)), arr(v(0)), arr(v(0))], Ty::Void),
+        ),
+    );
+
+    // --- task-parallel skeletons (the paper's introduction) ---
+    // $b d&c(int is_trivial($a), $b solve($a), list<$a> split($a),
+    //        $b join(list<$b>), $a problem)
+    add(
+        "dc",
+        scheme(
+            2,
+            fun(
+                vec![
+                    fun(vec![v(0)], Ty::Int),
+                    fun(vec![v(0)], v(1)),
+                    fun(vec![v(0)], list(v(0))),
+                    fun(vec![list(v(1))], v(1)),
+                    v(0),
+                ],
+                v(1),
+            ),
+        ),
+    );
+    add(
+        "farm",
+        scheme(
+            2,
+            fun(vec![fun(vec![v(0)], v(1)), list(v(0))], list(v(1))),
+        ),
+    );
+
+    // --- lists ---
+    add("nil", scheme(1, fun(vec![], list(v(0)))));
+    add("cons", scheme(1, fun(vec![v(0), list(v(0))], list(v(0)))));
+    add("head", scheme(1, fun(vec![list(v(0))], v(0))));
+    add("tail", scheme(1, fun(vec![list(v(0))], list(v(0)))));
+    add("len", scheme(1, fun(vec![list(v(0))], Ty::Int)));
+    add("append", scheme(1, fun(vec![list(v(0)), list(v(0))], list(v(0)))));
+
+    // --- local element access (the paper's macros) ---
+    add("array_get_elem", scheme(1, fun(vec![arr(v(0)), Ty::Index], v(0))));
+    add("array_put_elem", scheme(1, fun(vec![arr(v(0)), Ty::Index, v(0)], Ty::Void)));
+    add("array_part_bounds", scheme(1, fun(vec![arr(v(0))], Ty::Bounds)));
+
+    // --- scalar intrinsics ---
+    add("abs", scheme(0, fun(vec![Ty::Int], Ty::Int)));
+    add("fabs", scheme(0, fun(vec![Ty::Float], Ty::Float)));
+    add("min", scheme(0, fun(vec![Ty::Int, Ty::Int], Ty::Int)));
+    add("max", scheme(0, fun(vec![Ty::Int, Ty::Int], Ty::Int)));
+    add("fmin", scheme(0, fun(vec![Ty::Float, Ty::Float], Ty::Float)));
+    add("fmax", scheme(0, fun(vec![Ty::Float, Ty::Float], Ty::Float)));
+    add("sqrt", scheme(0, fun(vec![Ty::Float], Ty::Float)));
+    add("itof", scheme(0, fun(vec![Ty::Int], Ty::Float)));
+    add("ftoi", scheme(0, fun(vec![Ty::Float], Ty::Int)));
+    add("log2i", scheme(0, fun(vec![Ty::Int], Ty::Int)));
+    add("print", scheme(1, fun(vec![v(0)], Ty::Void)));
+    add("error", scheme(0, fun(vec![Ty::Int], Ty::Void)));
+    m
+}
+
+/// Built-in constants and their types.
+pub fn builtin_consts() -> HashMap<String, Ty> {
+    let mut m = HashMap::new();
+    for name in ["procId", "nProcs", "int_max", "DISTR_DEFAULT", "DISTR_RING", "DISTR_TORUS2D"]
+    {
+        m.insert(name.to_string(), Ty::Int);
+    }
+    m.insert("flt_max".into(), Ty::Float);
+    m
+}
+
+/// Values of the distribution constants (shared with the interpreter).
+pub const DISTR_DEFAULT: i64 = 0;
+/// Ring virtual topology.
+pub const DISTR_RING: i64 = 1;
+/// 2-D torus virtual topology.
+pub const DISTR_TORUS2D: i64 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_skeletons_have_schemes() {
+        let m = builtin_schemes();
+        for s in SKELETONS {
+            assert!(m.contains_key(s), "{s}");
+        }
+        for s in INTRINSICS {
+            assert!(m.contains_key(s), "{s}");
+        }
+    }
+
+    #[test]
+    fn gen_mult_scheme_shape() {
+        let m = builtin_schemes();
+        let s = &m["array_gen_mult"];
+        assert_eq!(s.vars.len(), 1);
+        let Ty::Fun(params, ret) = &s.ty else { panic!() };
+        assert_eq!(params.len(), 5);
+        assert_eq!(**ret, Ty::Void);
+    }
+
+    #[test]
+    fn consts_present() {
+        let c = builtin_consts();
+        assert_eq!(c["procId"], Ty::Int);
+        assert_eq!(c["DISTR_TORUS2D"], Ty::Int);
+    }
+}

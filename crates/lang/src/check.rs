@@ -1,0 +1,718 @@
+//! The polymorphic type checker.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::builtins::{builtin_consts, builtin_schemes};
+use crate::diag::{Diag, Phase, Pos, Result};
+use crate::types::{check_pardata_rules, Scheme, Ty, TypeDefs, Unifier};
+
+/// Lexical scopes for local variables.
+#[derive(Debug, Default)]
+pub struct Scopes(Vec<HashMap<String, Ty>>);
+
+impl Scopes {
+    /// Enter a scope.
+    pub fn push(&mut self) {
+        self.0.push(HashMap::new());
+    }
+
+    /// Leave a scope.
+    pub fn pop(&mut self) {
+        self.0.pop();
+    }
+
+    /// Declare a variable in the innermost scope.
+    pub fn declare(&mut self, name: &str, ty: Ty) {
+        self.0.last_mut().expect("scope").insert(name.to_string(), ty);
+    }
+
+    /// Look a variable up, innermost first.
+    pub fn lookup(&self, name: &str) -> Option<&Ty> {
+        self.0.iter().rev().find_map(|s| s.get(name))
+    }
+}
+
+/// The checked program environment, consumed by the instantiation pass.
+pub struct Checked {
+    /// Struct and pardata definitions.
+    pub defs: TypeDefs,
+    /// Every function's type scheme (builtins + user functions).
+    pub funcs: HashMap<String, Scheme>,
+    /// Builtin constants.
+    pub consts: HashMap<String, Ty>,
+    /// User function ASTs by name.
+    pub user_funcs: HashMap<String, Func>,
+    /// The unifier (carried into instantiation for local inference).
+    pub uni: Unifier,
+}
+
+fn contains_pardata(ty: &Ty) -> bool {
+    match ty {
+        Ty::Pardata(_, _) => true,
+        Ty::List(t) => contains_pardata(t),
+        Ty::Struct(_, args) => args.iter().any(contains_pardata),
+        Ty::Fun(args, ret) => args.iter().any(contains_pardata) || contains_pardata(ret),
+        _ => false,
+    }
+}
+
+/// Type-check a parsed program.
+pub fn check(prog: &Program) -> Result<Checked> {
+    let mut defs = TypeDefs::default();
+    defs.pardatas.insert("array".to_string(), 1);
+    let mut user_funcs: HashMap<String, Func> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+
+    // Pass 1: collect type definitions and function ASTs.
+    for item in &prog.items {
+        match item {
+            Item::Pardata { name, arity, pos } => {
+                if name == "array" {
+                    if *arity != 1 {
+                        return Err(Diag::new(
+                            Phase::Type,
+                            *pos,
+                            "the built-in pardata `array` has exactly one type parameter",
+                        ));
+                    }
+                    continue; // re-declaration of the builtin prototype
+                }
+                if defs.pardatas.insert(name.clone(), *arity).is_some() {
+                    return Err(Diag::new(Phase::Type, *pos, format!("duplicate pardata `{name}`")));
+                }
+            }
+            Item::Struct { name, params, fields, pos } => {
+                if defs
+                    .structs
+                    .insert(name.clone(), (params.clone(), fields.clone()))
+                    .is_some()
+                {
+                    return Err(Diag::new(Phase::Type, *pos, format!("duplicate struct `{name}`")));
+                }
+            }
+            Item::Func(f) => {
+                if user_funcs.insert(f.name.clone(), f.clone()).is_some() {
+                    return Err(Diag::new(
+                        Phase::Type,
+                        f.pos,
+                        format!("duplicate function `{}`", f.name),
+                    ));
+                }
+                order.push(f.name.clone());
+            }
+        }
+    }
+
+    let mut uni = Unifier::default();
+    let mut funcs = builtin_schemes();
+    let consts = builtin_consts();
+
+    // Pass 1.5: struct fields may not contain pardata types (the paper's
+    // composition rule — local structures are copied and flattened, a
+    // distributed structure cannot live inside them).
+    for (name, (params, fields)) in defs.structs.clone() {
+        let mut var_map: HashMap<String, Ty> =
+            params.iter().map(|p| (p.clone(), uni.fresh())).collect();
+        for (fname, fty) in &fields {
+            let t = defs.lower(fty, &mut var_map, &mut uni, false, Pos::default())?;
+            if contains_pardata(&uni.resolve(&t)) {
+                return Err(Diag::new(
+                    Phase::Type,
+                    Pos::default(),
+                    format!(
+                        "field `{fname}` of struct `{name}` has a pardata type; \
+                         distributed structures may not be components of other \
+                         data structures"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Pass 2: lower all signatures (enables mutual recursion).
+    let mut sig_vars: HashMap<String, Vec<(String, u32)>> = HashMap::new();
+    for name in &order {
+        let f = &user_funcs[name];
+        if funcs.contains_key(name) {
+            return Err(Diag::new(
+                Phase::Type,
+                f.pos,
+                format!("`{name}` shadows a built-in function"),
+            ));
+        }
+        let mut var_map = HashMap::new();
+        let mut params = Vec::new();
+        for p in &f.params {
+            params.push(defs.lower(&p.ty, &mut var_map, &mut uni, true, p.pos)?);
+        }
+        let ret = defs.lower(&f.ret, &mut var_map, &mut uni, true, f.pos)?;
+        let vars: Vec<(String, u32)> = var_map
+            .iter()
+            .map(|(n, t)| match t {
+                Ty::Var(v) => (n.clone(), *v),
+                _ => unreachable!("open lowering introduces vars"),
+            })
+            .collect();
+        funcs.insert(
+            name.clone(),
+            Scheme { vars: vars.iter().map(|(_, v)| *v).collect(), ty: Ty::Fun(params, Box::new(ret)) },
+        );
+        sig_vars.insert(name.clone(), vars);
+    }
+
+    // Pass 3: check bodies.
+    let mut checked = Checked { defs, funcs, consts, user_funcs, uni };
+    for name in &order {
+        checked.check_func(name, &sig_vars[name])?;
+    }
+
+    // main must exist with signature `void main()`.
+    match checked.funcs.get("main") {
+        Some(s) => {
+            let Ty::Fun(params, ret) = &s.ty else {
+                return Err(Diag::new(Phase::Type, Pos::default(), "main is not a function"));
+            };
+            if !params.is_empty() || checked.uni.resolve(ret) != Ty::Void {
+                return Err(Diag::new(
+                    Phase::Type,
+                    Pos::default(),
+                    "main must have the signature `void main()`",
+                ));
+            }
+        }
+        None => {
+            return Err(Diag::new(Phase::Type, Pos::default(), "program has no `main` function"))
+        }
+    }
+    Ok(checked)
+}
+
+impl Checked {
+    fn check_func(&mut self, name: &str, sig_vars: &[(String, u32)]) -> Result<()> {
+        let f = self.user_funcs[name].clone();
+        let scheme = self.funcs[name].clone();
+        let Ty::Fun(params, ret) = &scheme.ty else { unreachable!() };
+        let mut scopes = Scopes::default();
+        scopes.push();
+        for (p, ty) in f.params.iter().zip(params) {
+            scopes.declare(&p.name, ty.clone());
+        }
+        let ret = (**ret).clone();
+        self.check_block(&f.body, &mut scopes, &ret)?;
+
+        // The body must not constrain the signature's type variables
+        // ("skeletons depend only on the structure of the problem, not on
+        // particular data types").
+        let mut seen = Vec::new();
+        for (vname, vid) in sig_vars {
+            match self.uni.resolve(&Ty::Var(*vid)) {
+                Ty::Var(w) => {
+                    if seen.contains(&w) {
+                        return Err(Diag::new(
+                            Phase::Type,
+                            f.pos,
+                            format!(
+                                "type variable ${vname} of `{name}` is forced equal to \
+                                 another signature variable by the body"
+                            ),
+                        ));
+                    }
+                    seen.push(w);
+                }
+                concrete => {
+                    return Err(Diag::new(
+                        Phase::Type,
+                        f.pos,
+                        format!(
+                            "type variable ${vname} of `{name}` is constrained to `{concrete}` \
+                             by the body; use a monomorphic signature instead"
+                        ),
+                    ))
+                }
+            }
+        }
+
+        // Pardata composition rules on the (resolved) signature.
+        for ty in params {
+            check_pardata_rules(&self.uni.resolve(ty), f.pos)?;
+        }
+        Ok(())
+    }
+
+    fn check_block(&mut self, b: &Block, scopes: &mut Scopes, ret: &Ty) -> Result<()> {
+        scopes.push();
+        for s in &b.0 {
+            self.check_stmt(s, scopes, ret)?;
+        }
+        scopes.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, s: &Stmt, scopes: &mut Scopes, ret: &Ty) -> Result<()> {
+        match s {
+            Stmt::Decl { ty, name, init, pos } => {
+                let mut no_new_vars = HashMap::new();
+                let t = self.defs.lower(ty, &mut no_new_vars, &mut self.uni, false, *pos)?;
+                check_pardata_rules(&t, *pos)?;
+                if let Some(e) = init {
+                    let it = self.infer_expr(e, scopes)?;
+                    self.uni.unify(&t, &it, *pos)?;
+                }
+                scopes.declare(name, t);
+                Ok(())
+            }
+            Stmt::Assign { name, value, pos } => {
+                let vt = scopes
+                    .lookup(name)
+                    .cloned()
+                    .ok_or_else(|| {
+                        Diag::new(Phase::Type, *pos, format!("assignment to undeclared `{name}`"))
+                    })?;
+                let et = self.infer_expr(value, scopes)?;
+                self.uni.unify(&vt, &et, *pos)
+            }
+            Stmt::If { cond, then, els } => {
+                let ct = self.infer_expr(cond, scopes)?;
+                self.uni.unify(&ct, &Ty::Int, cond.pos())?;
+                self.check_block(then, scopes, ret)?;
+                if let Some(e) = els {
+                    self.check_block(e, scopes, ret)?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let ct = self.infer_expr(cond, scopes)?;
+                self.uni.unify(&ct, &Ty::Int, cond.pos())?;
+                self.check_block(body, scopes, ret)
+            }
+            Stmt::For { init, cond, step, body } => {
+                scopes.push();
+                if let Some(i) = init {
+                    self.check_stmt(i, scopes, ret)?;
+                }
+                if let Some(c) = cond {
+                    let ct = self.infer_expr(c, scopes)?;
+                    self.uni.unify(&ct, &Ty::Int, c.pos())?;
+                }
+                if let Some(st) = step {
+                    self.check_stmt(st, scopes, ret)?;
+                }
+                self.check_block(body, scopes, ret)?;
+                scopes.pop();
+                Ok(())
+            }
+            Stmt::Return { value, pos } => match value {
+                Some(e) => {
+                    let t = self.infer_expr(e, scopes)?;
+                    self.uni.unify(ret, &t, *pos)
+                }
+                None => self.uni.unify(ret, &Ty::Void, *pos),
+            },
+            Stmt::Expr(e) => {
+                self.infer_expr(e, scopes)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Infer an expression's type (also used by the instantiation pass).
+    pub fn infer_expr(&mut self, e: &Expr, scopes: &Scopes) -> Result<Ty> {
+        match e {
+            Expr::Int(_, _) => Ok(Ty::Int),
+            Expr::Float(_, _) => Ok(Ty::Float),
+            Expr::Var(name, pos) => {
+                if let Some(t) = scopes.lookup(name) {
+                    return Ok(t.clone());
+                }
+                if let Some(t) = self.consts.get(name) {
+                    return Ok(t.clone());
+                }
+                if let Some(s) = self.funcs.get(name) {
+                    let s = s.clone();
+                    return Ok(self.uni.instantiate(&s));
+                }
+                Err(Diag::new(Phase::Type, *pos, format!("unknown identifier `{name}`")))
+            }
+            Expr::OpSection(op, _pos) => {
+                let a = self.uni.fresh();
+                match op.as_str() {
+                    "+" | "-" | "*" | "/" | "%" => {
+                        Ok(Ty::Fun(vec![a.clone(), a.clone()], Box::new(a)))
+                    }
+                    _ => Ok(Ty::Fun(vec![a.clone(), a], Box::new(Ty::Int))),
+                }
+            }
+            Expr::Call { callee, args, pos } => {
+                let ct = self.infer_expr(callee, scopes)?;
+                let ct = self.uni.resolve(&ct);
+                let Ty::Fun(params, ret) = ct else {
+                    return Err(Diag::new(
+                        Phase::Type,
+                        *pos,
+                        format!("call of a non-function value of type `{ct}`"),
+                    ));
+                };
+                if args.len() > params.len() {
+                    return Err(Diag::new(
+                        Phase::Type,
+                        *pos,
+                        format!(
+                            "too many arguments: function takes {}, got {}",
+                            params.len(),
+                            args.len()
+                        ),
+                    ));
+                }
+                for (a, p) in args.iter().zip(&params) {
+                    let at = self.infer_expr(a, scopes)?;
+                    self.uni.unify(p, &at, a.pos())?;
+                }
+                if args.len() == params.len() {
+                    Ok(*ret)
+                } else {
+                    // partial application (currying)
+                    Ok(Ty::Fun(params[args.len()..].to_vec(), ret))
+                }
+            }
+            Expr::Binary { op, lhs, rhs, pos } => {
+                let lt = self.infer_expr(lhs, scopes)?;
+                let rt = self.infer_expr(rhs, scopes)?;
+                self.uni.unify(&lt, &rt, *pos)?;
+                match op.as_str() {
+                    "+" | "-" | "*" | "/" => {
+                        self.require_numeric(&lt, *pos)?;
+                        Ok(lt)
+                    }
+                    "%" => {
+                        self.uni.unify(&lt, &Ty::Int, *pos)?;
+                        Ok(Ty::Int)
+                    }
+                    "==" | "!=" | "<" | "<=" | ">" | ">=" => {
+                        self.require_numeric(&lt, *pos)?;
+                        Ok(Ty::Int)
+                    }
+                    "&&" | "||" => {
+                        self.uni.unify(&lt, &Ty::Int, *pos)?;
+                        Ok(Ty::Int)
+                    }
+                    other => {
+                        Err(Diag::new(Phase::Type, *pos, format!("unknown operator `{other}`")))
+                    }
+                }
+            }
+            Expr::Unary { op, expr, pos } => {
+                let t = self.infer_expr(expr, scopes)?;
+                match op.as_str() {
+                    "-" => {
+                        self.require_numeric(&t, *pos)?;
+                        Ok(t)
+                    }
+                    _ => {
+                        self.uni.unify(&t, &Ty::Int, *pos)?;
+                        Ok(Ty::Int)
+                    }
+                }
+            }
+            Expr::Field { expr, field, pos } => {
+                let t = self.infer_expr(expr, scopes)?;
+                match self.uni.resolve(&t) {
+                    Ty::Bounds => match field.as_str() {
+                        "lowerBd" | "upperBd" => Ok(Ty::Index),
+                        other => Err(Diag::new(
+                            Phase::Type,
+                            *pos,
+                            format!("Bounds has fields `lowerBd`/`upperBd`, not `{other}`"),
+                        )),
+                    },
+                    Ty::Struct(name, args) => {
+                        let (params, fields) = self.defs.structs[&name].clone();
+                        let (_, fty) =
+                            fields.iter().find(|(n, _)| n == field).ok_or_else(|| {
+                                Diag::new(
+                                    Phase::Type,
+                                    *pos,
+                                    format!("struct `{name}` has no field `{field}`"),
+                                )
+                            })?;
+                        let mut var_map: HashMap<String, Ty> = params
+                            .iter()
+                            .cloned()
+                            .zip(args.iter().cloned())
+                            .collect();
+                        self.defs.lower(fty, &mut var_map, &mut self.uni, false, *pos)
+                    }
+                    other => Err(Diag::new(
+                        Phase::Type,
+                        *pos,
+                        format!("field access on non-struct type `{other}`"),
+                    )),
+                }
+            }
+            Expr::IndexAt { expr, index, pos } => {
+                let t = self.infer_expr(expr, scopes)?;
+                self.uni.unify(&t, &Ty::Index, *pos)?;
+                let it = self.infer_expr(index, scopes)?;
+                self.uni.unify(&it, &Ty::Int, *pos)?;
+                Ok(Ty::Int)
+            }
+            Expr::BraceList { elems, pos } => {
+                if elems.is_empty() || elems.len() > 2 {
+                    return Err(Diag::new(
+                        Phase::Type,
+                        *pos,
+                        "Index literals have one or two components",
+                    ));
+                }
+                for e in elems {
+                    let t = self.infer_expr(e, scopes)?;
+                    self.uni.unify(&t, &Ty::Int, e.pos())?;
+                }
+                Ok(Ty::Index)
+            }
+            Expr::StructLit { name, fields, pos } => {
+                let Some((params, def_fields)) = self.defs.structs.get(name).cloned() else {
+                    return Err(Diag::new(Phase::Type, *pos, format!("unknown struct `{name}`")));
+                };
+                if fields.len() != def_fields.len() {
+                    return Err(Diag::new(
+                        Phase::Type,
+                        *pos,
+                        format!(
+                            "struct `{name}` has {} fields, literal provides {}",
+                            def_fields.len(),
+                            fields.len()
+                        ),
+                    ));
+                }
+                let mut var_map: HashMap<String, Ty> =
+                    params.iter().map(|p| (p.clone(), self.uni.fresh())).collect();
+                for (e, (_, fty)) in fields.iter().zip(&def_fields) {
+                    let want = self.defs.lower(fty, &mut var_map, &mut self.uni, false, *pos)?;
+                    let got = self.infer_expr(e, scopes)?;
+                    self.uni.unify(&want, &got, e.pos())?;
+                }
+                let args = params.iter().map(|p| var_map[p].clone()).collect();
+                Ok(Ty::Struct(name.clone(), args))
+            }
+        }
+    }
+
+    fn require_numeric(&mut self, t: &Ty, pos: Pos) -> Result<()> {
+        match self.uni.resolve(t) {
+            Ty::Int | Ty::Float | Ty::Var(_) => Ok(()),
+            other => Err(Diag::new(
+                Phase::Type,
+                pos,
+                format!("arithmetic on non-numeric type `{other}`"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ok(src: &str) {
+        let p = parse(src).unwrap();
+        if let Err(e) = check(&p) {
+            panic!("expected well-typed, got: {e}\n{src}");
+        }
+    }
+
+    fn bad(src: &str) -> String {
+        let p = parse(src).unwrap();
+        match check(&p) {
+            Ok(_) => panic!("expected a type error\n{src}"),
+            Err(e) => e.to_string(),
+        }
+    }
+
+    #[test]
+    fn minimal_main() {
+        ok("void main() { int x = 1; x = x + 2; }");
+    }
+
+    #[test]
+    fn requires_main() {
+        let e = bad("int f() { return 1; }");
+        assert!(e.contains("main"));
+    }
+
+    #[test]
+    fn arithmetic_types() {
+        ok("void main() { float y = 1.5; y = y * 2.0; }");
+        let e = bad("void main() { int x = 1.5; }");
+        assert!(e.contains("mismatch"));
+        let e = bad("void main() { float y = 1.0 + 1; }");
+        assert!(e.contains("mismatch"));
+        bad("void main() { float y = 1.5 % 2.0; }");
+    }
+
+    #[test]
+    fn undeclared_and_unknown() {
+        assert!(bad("void main() { x = 1; }").contains("undeclared"));
+        assert!(bad("void main() { int x = nope; }").contains("unknown identifier"));
+    }
+
+    #[test]
+    fn polymorphic_user_function() {
+        ok("$a ident($a x) { return x; }\n\
+            void main() { int i = ident(3); float f = ident(2.5); }");
+    }
+
+    #[test]
+    fn body_may_not_constrain_type_vars() {
+        let e = bad("$a bad($a x) { return x + 1; }\nvoid main() { }");
+        assert!(e.contains("constrained"), "{e}");
+    }
+
+    #[test]
+    fn hof_with_functional_param() {
+        ok("$b apply($b f($a), $a x) { return f(x); }\n\
+            int inc(int x) { return x + 1; }\n\
+            void main() { int y = apply(inc, 41); }");
+    }
+
+    #[test]
+    fn partial_application_types() {
+        ok("int addthree(int a, int b, int c) { return a + b + c; }\n\
+            int apply2(int f(int, int), int x, int y) { return f(x, y); }\n\
+            void main() { int r = apply2(addthree(1), 2, 3); }");
+    }
+
+    #[test]
+    fn operator_sections() {
+        ok("$t fold2($t f($t, $t), $t a, $t b) { return f(a, b); }\n\
+            void main() { int s = fold2((+), 1, 2); float p = fold2((*), 1.5, 2.0); }");
+    }
+
+    #[test]
+    fn skeleton_signatures() {
+        ok("float init_f(Index ix) { return itof(ix[0]); }\n\
+            void main() {\n\
+              array<float> a;\n\
+              a = array_create(1, {8, 1}, {0, 0}, {0 - 1, 0 - 1}, init_f, DISTR_DEFAULT);\n\
+              array_destroy(a);\n\
+            }");
+    }
+
+    #[test]
+    fn map_with_partial_application_types() {
+        // the paper's threshold example, types end to end
+        ok("int above_thresh(float thresh, float elem, Index ix) { return elem >= thresh; }\n\
+            float init_f(Index ix) { return itof(ix[0]); }\n\
+            int zero(Index ix) { return 0; }\n\
+            void main() {\n\
+              array<float> a = array_create(1, {8,1}, {0,0}, {0-1,0-1}, init_f, DISTR_DEFAULT);\n\
+              array<int> b = array_create(1, {8,1}, {0,0}, {0-1,0-1}, zero, DISTR_DEFAULT);\n\
+              float t = 3.0;\n\
+              array_map(above_thresh(t), a, b);\n\
+            }");
+    }
+
+    #[test]
+    fn map_type_mismatch_rejected() {
+        let e = bad(
+            "int above(float t, float e, Index ix) { return 1; }\n\
+             int zero(Index ix) { return 0; }\n\
+             void main() {\n\
+               array<int> a = array_create(1, {8,1}, {0,0}, {0-1,0-1}, zero, DISTR_DEFAULT);\n\
+               array<int> b = array_create(1, {8,1}, {0,0}, {0-1,0-1}, zero, DISTR_DEFAULT);\n\
+               float t = 3.0;\n\
+               array_map(above(t), a, b);\n\
+             }",
+        );
+        assert!(e.contains("mismatch"), "{e}");
+    }
+
+    #[test]
+    fn structs_and_fields() {
+        ok("struct elemrec { float val; int row; int col; };\n\
+            void main() {\n\
+              elemrec e = elemrec{1.5, 2, 3};\n\
+              float v = e.val;\n\
+              int r = e.row + e.col;\n\
+            }");
+        let e = bad(
+            "struct elemrec { float val; };\n\
+             void main() { elemrec e = elemrec{1.5}; int v = e.val; }",
+        );
+        assert!(e.contains("mismatch"));
+        let e = bad(
+            "struct elemrec { float val; };\n\
+             void main() { elemrec e = elemrec{1.5}; float v = e.bogus; }",
+        );
+        assert!(e.contains("no field"));
+    }
+
+    #[test]
+    fn polymorphic_struct() {
+        ok("struct pair<$a, $b> { $a fst; $b snd; };\n\
+            void main() {\n\
+              pair<int, float> p = pair{1, 2.5};\n\
+              int x = p.fst;\n\
+              float y = p.snd;\n\
+            }");
+    }
+
+    #[test]
+    fn bounds_fields() {
+        ok("int zero(Index ix) { return 0; }\n\
+            void main() {\n\
+              array<int> a = array_create(2, {4,4}, {0,0}, {0-1,0-1}, zero, DISTR_DEFAULT);\n\
+              Bounds bds = array_part_bounds(a);\n\
+              int lo = bds->lowerBd[0];\n\
+              int hi = bds.upperBd[1];\n\
+            }");
+    }
+
+    #[test]
+    fn pardata_struct_field_rejected() {
+        let e = bad(
+            "struct holder { array<int> a; int n; };\n\
+             void main() { }",
+        );
+        assert!(e.contains("component"), "{e}");
+    }
+
+    #[test]
+    fn nested_pardata_rejected() {
+        let e = bad(
+            "int zero(Index ix) { return 0; }\n\
+             void main() { array< array<int> > a; }",
+        );
+        assert!(e.contains("component"), "{e}");
+    }
+
+    #[test]
+    fn local_access_types() {
+        ok("int zero(Index ix) { return 0; }\n\
+            void main() {\n\
+              array<int> a = array_create(1, {8,1}, {0,0}, {0-1,0-1}, zero, DISTR_DEFAULT);\n\
+              int v = array_get_elem(a, {0, 0});\n\
+              array_put_elem(a, {0, 0}, v + 1);\n\
+            }");
+    }
+
+    #[test]
+    fn shadowing_builtin_rejected() {
+        let e = bad("int array_map(int x) { return x; }\nvoid main() { }");
+        assert!(e.contains("shadows"));
+    }
+
+    #[test]
+    fn fold_result_type() {
+        ok("struct rec { float v; int r; };\n\
+            rec conv(float x, Index ix) { return rec{x, ix[0]}; }\n\
+            rec pick(rec a, rec b) { if (a.v >= b.v) { return a; } return b; }\n\
+            float init_f(Index ix) { return itof(ix[0]); }\n\
+            void main() {\n\
+              array<float> a = array_create(1, {8,1}, {0,0}, {0-1,0-1}, init_f, DISTR_DEFAULT);\n\
+              rec best = array_fold(conv, pick, a);\n\
+              print(best.r);\n\
+            }");
+    }
+}

@@ -1,0 +1,540 @@
+//! The first-order intermediate representation — what the instantiation
+//! procedure produces.
+//!
+//! After instantiation there are **no** higher-order functions, partial
+//! applications, operator sections, or type variables left: only
+//! monomorphic first-order functions. Skeleton calls carry references to
+//! first-order argument-function *instances* plus the lifted arguments of
+//! former partial applications — the paper's calling convention after
+//! "inlining and lifting".
+
+use skil_runtime::CostModel;
+
+/// A monomorphic first-order type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FoTy {
+    /// `int`.
+    Int,
+    /// `float`.
+    Float,
+    /// `void`.
+    Void,
+    /// `Index` / `Size`.
+    Index,
+    /// Partition bounds.
+    Bounds,
+    /// A monomorphized struct instance, by instance name.
+    Struct(String),
+    /// `list<T>`.
+    List(Box<FoTy>),
+    /// `array<T>`.
+    Array(Box<FoTy>),
+}
+
+impl FoTy {
+    /// C-ish type name (for instance mangling and emission).
+    pub fn cname(&self) -> String {
+        match self {
+            FoTy::Int => "int".into(),
+            FoTy::Float => "float".into(),
+            FoTy::Void => "void".into(),
+            FoTy::Index => "Index".into(),
+            FoTy::Bounds => "Bounds".into(),
+            FoTy::Struct(n) => n.clone(),
+            FoTy::List(t) => format!("{}_list", t.cname()),
+            FoTy::Array(t) => format!("{}array", t.cname()),
+        }
+    }
+}
+
+/// A monomorphized struct definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoStruct {
+    /// Instance name (e.g. `elemrec` or `pair_int_float`).
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<(String, FoTy)>,
+}
+
+/// A reference to a first-order argument-function instance, with the
+/// lifted arguments a former partial application supplies. The skeleton
+/// calls `func(lifted..., element args...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnInst {
+    /// Instance name.
+    pub func: String,
+    /// Lifted argument expressions, evaluated at the skeleton call site.
+    pub lifted: Vec<FoExpr>,
+}
+
+/// The data-parallel skeletons a program can invoke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkelOp {
+    /// `array_create`.
+    Create,
+    /// `array_destroy`.
+    Destroy,
+    /// `array_map`.
+    Map,
+    /// `array_fold`.
+    Fold,
+    /// `array_copy`.
+    Copy,
+    /// `array_broadcast_part`.
+    BroadcastPart,
+    /// `array_permute_rows`.
+    PermuteRows,
+    /// `array_gen_mult`.
+    GenMult,
+    /// `array_scan` (extension skeleton).
+    Scan,
+    /// The paper's introduction `d&c` skeleton.
+    Dc,
+    /// The task farm.
+    Farm,
+}
+
+impl SkelOp {
+    /// Skeleton name, as in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SkelOp::Create => "array_create",
+            SkelOp::Destroy => "array_destroy",
+            SkelOp::Map => "array_map",
+            SkelOp::Fold => "array_fold",
+            SkelOp::Copy => "array_copy",
+            SkelOp::BroadcastPart => "array_broadcast_part",
+            SkelOp::PermuteRows => "array_permute_rows",
+            SkelOp::GenMult => "array_gen_mult",
+            SkelOp::Scan => "array_scan",
+            SkelOp::Dc => "dc",
+            SkelOp::Farm => "farm",
+        }
+    }
+}
+
+/// Binary operators (monomorphic; `float` distinguishes the arithmetic
+/// family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// Parse from the surface lexeme.
+    pub fn from_str(op: &str) -> Option<BinOp> {
+        Some(match op {
+            "+" => BinOp::Add,
+            "-" => BinOp::Sub,
+            "*" => BinOp::Mul,
+            "/" => BinOp::Div,
+            "%" => BinOp::Rem,
+            "==" => BinOp::Eq,
+            "!=" => BinOp::Ne,
+            "<" => BinOp::Lt,
+            "<=" => BinOp::Le,
+            ">" => BinOp::Gt,
+            ">=" => BinOp::Ge,
+            "&&" => BinOp::And,
+            "||" => BinOp::Or,
+            _ => return None,
+        })
+    }
+
+    /// Surface lexeme.
+    pub fn lexeme(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// A first-order expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FoExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Local variable or parameter.
+    Var(String),
+    /// Call of a first-order instance.
+    Call(String, Vec<FoExpr>),
+    /// Scalar intrinsic (`abs`, `array_get_elem`, `procId`, ...).
+    Intrinsic(String, Vec<FoExpr>),
+    /// Skeleton invocation.
+    Skel {
+        /// Which skeleton.
+        op: SkelOp,
+        /// First-order argument-function instances (in skeleton
+        /// parameter order).
+        fns: Vec<FnInst>,
+        /// Value arguments (arrays, indices, scalars), in skeleton
+        /// parameter order with the functional slots removed.
+        args: Vec<FoExpr>,
+        /// The array element type.
+        elem: FoTy,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Operates on floats.
+        float: bool,
+        /// Left operand.
+        lhs: Box<FoExpr>,
+        /// Right operand.
+        rhs: Box<FoExpr>,
+    },
+    /// Unary negation / logical not.
+    Unary {
+        /// `-` or `!`.
+        neg: bool,
+        /// Operates on floats.
+        float: bool,
+        /// Operand.
+        expr: Box<FoExpr>,
+    },
+    /// Struct field access by resolved field position.
+    Field {
+        /// Struct expression.
+        expr: Box<FoExpr>,
+        /// Field index.
+        index: usize,
+        /// Field name (for emission).
+        name: String,
+    },
+    /// `Index` component access.
+    IndexAt {
+        /// Index expression.
+        expr: Box<FoExpr>,
+        /// Component.
+        index: Box<FoExpr>,
+    },
+    /// Build an `Index` value.
+    MakeIndex(Vec<FoExpr>),
+    /// Build a struct value (fields in declaration order).
+    MakeStruct(String, Vec<FoExpr>),
+}
+
+/// A first-order statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FoStmt {
+    /// Variable declaration.
+    Decl {
+        /// Name.
+        name: String,
+        /// Monomorphic type.
+        ty: FoTy,
+        /// Optional initializer.
+        init: Option<FoExpr>,
+    },
+    /// Assignment.
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Value.
+        value: FoExpr,
+    },
+    /// Conditional.
+    If {
+        /// Condition.
+        cond: FoExpr,
+        /// Then branch.
+        then: Vec<FoStmt>,
+        /// Else branch.
+        els: Vec<FoStmt>,
+    },
+    /// While loop.
+    While {
+        /// Condition.
+        cond: FoExpr,
+        /// Body.
+        body: Vec<FoStmt>,
+    },
+    /// For loop (kept structured for C emission).
+    For {
+        /// Initializer.
+        init: Option<Box<FoStmt>>,
+        /// Condition.
+        cond: Option<FoExpr>,
+        /// Step.
+        step: Option<Box<FoStmt>>,
+        /// Body.
+        body: Vec<FoStmt>,
+    },
+    /// Return.
+    Return(Option<FoExpr>),
+    /// Expression statement.
+    Expr(FoExpr),
+}
+
+/// A first-order monomorphic function instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoFunc {
+    /// Instance name (`above_thresh_1`, `op_add_int`, ...).
+    pub name: String,
+    /// The source function it was instantiated from.
+    pub origin: String,
+    /// Value parameters, lifted parameters appended.
+    pub params: Vec<(String, FoTy)>,
+    /// Return type.
+    pub ret: FoTy,
+    /// Body.
+    pub body: Vec<FoStmt>,
+}
+
+/// The complete instantiated program.
+#[derive(Debug, Clone, Default)]
+pub struct FoProgram {
+    /// Monomorphized structs.
+    pub structs: Vec<FoStruct>,
+    /// Function instances; `main` is among them.
+    pub funcs: Vec<FoFunc>,
+}
+
+impl FoProgram {
+    /// Find a function instance by name.
+    pub fn func(&self, name: &str) -> Option<&FoFunc> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Find a struct instance by name.
+    pub fn struct_def(&self, name: &str) -> Option<&FoStruct> {
+        self.structs.iter().find(|s| s.name == name)
+    }
+
+    /// True when no expression anywhere contains a higher-order construct
+    /// (used by tests to assert the instantiation postcondition).
+    pub fn is_first_order(&self) -> bool {
+        // By construction FoExpr cannot express closures; what remains to
+        // check is that every called instance exists.
+        fn expr_ok(e: &FoExpr, prog: &FoProgram) -> bool {
+            match e {
+                FoExpr::Call(name, args) => {
+                    prog.func(name).is_some() && args.iter().all(|a| expr_ok(a, prog))
+                }
+                FoExpr::Skel { fns, args, .. } => {
+                    fns.iter().all(|fi| {
+                        prog.func(&fi.func).is_some()
+                            && fi.lifted.iter().all(|l| expr_ok(l, prog))
+                    }) && args.iter().all(|a| expr_ok(a, prog))
+                }
+                FoExpr::Intrinsic(_, args) => args.iter().all(|a| expr_ok(a, prog)),
+                FoExpr::Binary { lhs, rhs, .. } => expr_ok(lhs, prog) && expr_ok(rhs, prog),
+                FoExpr::Unary { expr, .. } => expr_ok(expr, prog),
+                FoExpr::Field { expr, .. } => expr_ok(expr, prog),
+                FoExpr::IndexAt { expr, index } => expr_ok(expr, prog) && expr_ok(index, prog),
+                FoExpr::MakeIndex(es) | FoExpr::MakeStruct(_, es) => {
+                    es.iter().all(|e| expr_ok(e, prog))
+                }
+                _ => true,
+            }
+        }
+        fn stmt_ok(s: &FoStmt, prog: &FoProgram) -> bool {
+            match s {
+                FoStmt::Decl { init, .. } => init.as_ref().is_none_or(|e| expr_ok(e, prog)),
+                FoStmt::Assign { value, .. } => expr_ok(value, prog),
+                FoStmt::If { cond, then, els } => {
+                    expr_ok(cond, prog)
+                        && then.iter().all(|s| stmt_ok(s, prog))
+                        && els.iter().all(|s| stmt_ok(s, prog))
+                }
+                FoStmt::While { cond, body } => {
+                    expr_ok(cond, prog) && body.iter().all(|s| stmt_ok(s, prog))
+                }
+                FoStmt::For { init, cond, step, body } => {
+                    init.as_deref().is_none_or(|s| stmt_ok(s, prog))
+                        && cond.as_ref().is_none_or(|e| expr_ok(e, prog))
+                        && step.as_deref().is_none_or(|s| stmt_ok(s, prog))
+                        && body.iter().all(|s| stmt_ok(s, prog))
+                }
+                FoStmt::Return(e) => e.as_ref().is_none_or(|e| expr_ok(e, prog)),
+                FoStmt::Expr(e) => expr_ok(e, prog),
+            }
+        }
+        self.funcs.iter().all(|f| f.body.iter().all(|s| stmt_ok(s, self)))
+    }
+}
+
+/// Estimate the virtual-cycle cost of one invocation of an instance —
+/// used as the `Kernel` cost when the instance customizes a skeleton.
+/// Straight-line sum; branches take the costlier side; loop bodies are
+/// counted once (argument functions are almost always loop-free).
+pub fn static_cost(f: &FoFunc, c: &CostModel) -> u64 {
+    fn expr(e: &FoExpr, c: &CostModel) -> u64 {
+        match e {
+            FoExpr::Int(_) | FoExpr::Float(_) => 0,
+            FoExpr::Var(_) => c.load,
+            FoExpr::Call(_, args) => {
+                c.call + args.iter().map(|a| expr(a, c)).sum::<u64>()
+            }
+            FoExpr::Intrinsic(name, args) => {
+                let base = match name.as_str() {
+                    "array_get_elem" => 2 * c.load,
+                    "array_put_elem" => 2 * c.load + c.store,
+                    "array_part_bounds" => 2 * c.load,
+                    "sqrt" => c.flt_div,
+                    "fabs" | "fmin" | "fmax" => c.flt_add,
+                    "print" | "error" => c.call,
+                    _ => c.int_op,
+                };
+                base + args.iter().map(|a| expr(a, c)).sum::<u64>()
+            }
+            FoExpr::Skel { .. } => c.call, // nested skeletons are rejected at run time
+            FoExpr::Binary { op, float, lhs, rhs } => {
+                let opc = if *float {
+                    match op {
+                        BinOp::Mul => c.flt_mul,
+                        BinOp::Div => c.flt_div,
+                        _ => c.flt_add,
+                    }
+                } else {
+                    c.int_op
+                };
+                opc + expr(lhs, c) + expr(rhs, c)
+            }
+            FoExpr::Unary { float, expr: e, .. } => {
+                (if *float { c.flt_add } else { c.int_op }) + expr(e, c)
+            }
+            FoExpr::Field { expr: e, .. } => c.load + expr(e, c),
+            FoExpr::IndexAt { expr: e, index } => c.load + expr(e, c) + expr(index, c),
+            FoExpr::MakeIndex(es) => {
+                2 * c.store + es.iter().map(|e| expr(e, c)).sum::<u64>()
+            }
+            FoExpr::MakeStruct(_, es) => {
+                es.len() as u64 * c.store + es.iter().map(|e| expr(e, c)).sum::<u64>()
+            }
+        }
+    }
+    fn stmts(ss: &[FoStmt], c: &CostModel) -> u64 {
+        ss.iter().map(|s| stmt(s, c)).sum()
+    }
+    fn stmt(s: &FoStmt, c: &CostModel) -> u64 {
+        match s {
+            FoStmt::Decl { init, .. } => {
+                c.store + init.as_ref().map_or(0, |e| expr(e, c))
+            }
+            FoStmt::Assign { value, .. } => c.store + expr(value, c),
+            FoStmt::If { cond, then, els } => {
+                c.int_op + expr(cond, c) + stmts(then, c).max(stmts(els, c))
+            }
+            FoStmt::While { cond, body } => c.int_op + expr(cond, c) + stmts(body, c),
+            FoStmt::For { init, cond, step, body } => {
+                init.as_deref().map_or(0, |s| stmt(s, c))
+                    + cond.as_ref().map_or(0, |e| expr(e, c))
+                    + step.as_deref().map_or(0, |s| stmt(s, c))
+                    + stmts(body, c)
+            }
+            FoStmt::Return(e) => e.as_ref().map_or(0, |e| expr(e, c)),
+            FoStmt::Expr(e) => expr(e, c),
+        }
+    }
+    stmts(&f.body, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn foty_names() {
+        assert_eq!(FoTy::Int.cname(), "int");
+        assert_eq!(FoTy::Array(Box::new(FoTy::Float)).cname(), "floatarray");
+        assert_eq!(FoTy::Struct("elemrec".into()).cname(), "elemrec");
+    }
+
+    #[test]
+    fn binop_roundtrip() {
+        for op in ["+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"] {
+            let b = BinOp::from_str(op).unwrap();
+            assert_eq!(b.lexeme(), op);
+        }
+        assert!(BinOp::from_str("**").is_none());
+    }
+
+    #[test]
+    fn static_cost_counts_ops() {
+        let c = CostModel::t800();
+        let f = FoFunc {
+            name: "f".into(),
+            origin: "f".into(),
+            params: vec![("x".into(), FoTy::Int)],
+            ret: FoTy::Int,
+            body: vec![FoStmt::Return(Some(FoExpr::Binary {
+                op: BinOp::Add,
+                float: false,
+                lhs: Box::new(FoExpr::Var("x".into())),
+                rhs: Box::new(FoExpr::Int(1)),
+            }))],
+        };
+        assert_eq!(static_cost(&f, &c), c.int_op + c.load);
+    }
+
+    #[test]
+    fn static_cost_takes_max_branch() {
+        let c = CostModel::t800();
+        let heavy = FoStmt::Expr(FoExpr::Binary {
+            op: BinOp::Mul,
+            float: true,
+            lhs: Box::new(FoExpr::Var("x".into())),
+            rhs: Box::new(FoExpr::Var("y".into())),
+        });
+        let light = FoStmt::Expr(FoExpr::Int(0));
+        let f = FoFunc {
+            name: "f".into(),
+            origin: "f".into(),
+            params: vec![],
+            ret: FoTy::Void,
+            body: vec![FoStmt::If {
+                cond: FoExpr::Var("c".into()),
+                then: vec![heavy],
+                els: vec![light],
+            }],
+        };
+        let expect = c.int_op + c.load + (c.flt_mul + 2 * c.load);
+        assert_eq!(static_cost(&f, &c), expect);
+    }
+
+    #[test]
+    fn empty_program_is_first_order() {
+        assert!(FoProgram::default().is_first_order());
+    }
+}

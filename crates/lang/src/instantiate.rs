@@ -1,0 +1,1413 @@
+//! Translation by instantiation — the paper's core compiler technique
+//! (\[1\], "Translation by Instantiation: Integrating Functional Features
+//! into an Imperative Language").
+//!
+//! A (polymorphic) higher-order function is translated into one or more
+//! specialized first-order monomorphic functions:
+//!
+//! * functional arguments of HOFs are bound into the specialized instance
+//!   (the skeleton calls the argument-function instance directly);
+//! * partial applications are translated by **lifting** their arguments:
+//!   the lifted values become extra parameters of the instance and travel
+//!   with the call;
+//! * a polymorphic function becomes one monomorphic instance per distinct
+//!   use, as determined by its calls.
+//!
+//! The classical alternative — closures — "causes important run-time
+//! overheads"; instantiation produces code that "differ\[s\] only little
+//! from the hand-written versions".
+//!
+//! Restriction (as in the paper): functional arguments must be statically
+//! resolvable — a function name, an operator section, or a partial
+//! application of those. Function-valued *results* would require
+//! eta-expansion at the call site and are rejected with a diagnostic.
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, Func, Stmt, TypeExpr};
+use crate::builtins::{INTRINSICS, SKELETONS};
+use crate::check::{Checked, Scopes};
+use crate::diag::{Diag, Phase, Pos, Result};
+use crate::fo::*;
+use crate::types::{Ty, TypeDefs, Unifier};
+
+/// What a functional value ultimately names.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// A user-defined function.
+    User(String),
+    /// An operator section, monomorphized at the given operand type.
+    Op(String, FoTy),
+    /// A scalar builtin (e.g. `min` used as a folding function).
+    Intrinsic(String),
+}
+
+/// One element of a partial application's argument prefix.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PrefixItem {
+    /// A lifted value argument of the given type.
+    Val(FoTy),
+    /// A functional argument, itself resolved.
+    Fn(FnSig),
+}
+
+/// The static identity of a functional value: the target plus the shape
+/// of the applied prefix. Two functional arguments with equal `FnSig`s
+/// share one instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FnSig {
+    /// The named target.
+    pub target: Target,
+    /// Already-applied argument prefix.
+    pub prefix: Vec<PrefixItem>,
+}
+
+impl FnSig {
+    /// The lifted value types, flattened in evaluation order.
+    pub fn flat_val_tys(&self) -> Vec<FoTy> {
+        let mut out = Vec::new();
+        for it in &self.prefix {
+            match it {
+                PrefixItem::Val(t) => out.push(t.clone()),
+                PrefixItem::Fn(s) => out.extend(s.flat_val_tys()),
+            }
+        }
+        out
+    }
+}
+
+/// A resolved functional value at a specific call site: identity plus
+/// the lifted argument expressions (flattened, matching
+/// [`FnSig::flat_val_tys`]).
+#[derive(Debug, Clone)]
+pub struct FnVal {
+    /// Static identity.
+    pub sig: FnSig,
+    /// Lifted argument expressions.
+    pub lifted: Vec<FoExpr>,
+}
+
+type InstKey = (String, Vec<FoTy>, Vec<FnSig>);
+
+/// Run the instantiation procedure on a checked program.
+pub fn instantiate(ck: &mut Checked) -> Result<FoProgram> {
+    let mut inst = Instantiator {
+        ck,
+        memo: HashMap::new(),
+        synth_memo: HashMap::new(),
+        struct_memo: HashMap::new(),
+        counters: HashMap::new(),
+        out: FoProgram::default(),
+    };
+    let name = inst.request_instance("main", vec![], vec![], Pos::default())?;
+    debug_assert_eq!(name, "main");
+    Ok(inst.out)
+}
+
+struct Instantiator<'a> {
+    ck: &'a mut Checked,
+    memo: HashMap<InstKey, String>,
+    synth_memo: HashMap<(Target, usize, Vec<FoTy>), String>,
+    struct_memo: HashMap<(String, Vec<FoTy>), String>,
+    counters: HashMap<String, usize>,
+    out: FoProgram,
+}
+
+/// Per-instance translation context.
+struct Ctx {
+    /// `$name` -> concrete type for this instance.
+    var_map: HashMap<String, Ty>,
+    /// Functional parameter bindings.
+    fn_bindings: HashMap<String, FnVal>,
+    /// Local value scopes (shared with the checker's inference).
+    scopes: Scopes,
+    /// The instance's return type.
+    ret: Ty,
+}
+
+impl<'a> Instantiator<'a> {
+    fn fresh_name(&mut self, base: &str) -> String {
+        let n = self.counters.entry(base.to_string()).or_insert(0);
+        *n += 1;
+        format!("{base}_{n}")
+    }
+
+    fn err<T>(&self, pos: Pos, msg: impl Into<String>) -> Result<T> {
+        Err(Diag::new(Phase::Instantiate, pos, msg.into()))
+    }
+
+    // ------------------------------------------------------------------
+    // types
+    // ------------------------------------------------------------------
+
+    fn foty(&mut self, ty: &Ty, pos: Pos) -> Result<FoTy> {
+        let ty = self.ck.uni.resolve(ty);
+        match ty {
+            Ty::Int => Ok(FoTy::Int),
+            Ty::Float => Ok(FoTy::Float),
+            Ty::Void => Ok(FoTy::Void),
+            Ty::Index => Ok(FoTy::Index),
+            Ty::Bounds => Ok(FoTy::Bounds),
+            Ty::Var(_) => self.err(
+                pos,
+                "type is not determined by this call; the instantiation procedure \
+                 requires every instance to be fully monomorphic",
+            ),
+            Ty::Fun(_, _) => self.err(
+                pos,
+                "a function-typed value survives to a first-order position; \
+                 function results require eta-expansion, which Skil restricts away",
+            ),
+            Ty::List(t) => Ok(FoTy::List(Box::new(self.foty(&t, pos)?))),
+            Ty::Pardata(n, args) => {
+                if n != "array" {
+                    return self.err(
+                        pos,
+                        format!("pardata `{n}` has no implementation linked into this build"),
+                    );
+                }
+                let el = self.foty(&args[0], pos)?;
+                Ok(FoTy::Array(Box::new(el)))
+            }
+            Ty::Struct(n, args) => {
+                let name = self.struct_instance(&n, &args, pos)?;
+                Ok(FoTy::Struct(name))
+            }
+        }
+    }
+
+    fn ty_of(&self, t: &FoTy) -> Ty {
+        match t {
+            FoTy::Int => Ty::Int,
+            FoTy::Float => Ty::Float,
+            FoTy::Void => Ty::Void,
+            FoTy::Index => Ty::Index,
+            FoTy::Bounds => Ty::Bounds,
+            FoTy::List(el) => Ty::List(Box::new(self.ty_of(el))),
+            FoTy::Array(el) => Ty::Pardata("array".into(), vec![self.ty_of(el)]),
+            FoTy::Struct(inst) => {
+                // struct instances are looked up by their original name +
+                // argument types, memoized below
+                let ((orig, args), _) = self
+                    .struct_memo
+                    .iter()
+                    .find(|(_, v)| *v == inst)
+                    .expect("struct instance registered");
+                Ty::Struct(orig.clone(), args.iter().map(|a| self.ty_of(a)).collect())
+            }
+        }
+    }
+
+    fn struct_instance(&mut self, name: &str, args: &[Ty], pos: Pos) -> Result<String> {
+        let fo_args: Vec<FoTy> =
+            args.iter().map(|a| self.foty(a, pos)).collect::<Result<Vec<_>>>()?;
+        let key = (name.to_string(), fo_args.clone());
+        if let Some(n) = self.struct_memo.get(&key) {
+            return Ok(n.clone());
+        }
+        let inst_name = if fo_args.is_empty() {
+            name.to_string()
+        } else {
+            let suffix: Vec<String> = fo_args.iter().map(|t| t.cname()).collect();
+            format!("{name}_{}", suffix.join("_"))
+        };
+        self.struct_memo.insert(key, inst_name.clone());
+        let (params, fields) = self.ck.defs.structs[name].clone();
+        let mut var_map: HashMap<String, Ty> =
+            params.iter().cloned().zip(args.iter().cloned()).collect();
+        let mut fo_fields = Vec::new();
+        for (fname, fty) in &fields {
+            let t = lower(&self.ck.defs, fty, &mut var_map, &mut self.ck.uni, false, pos)?;
+            fo_fields.push((fname.clone(), self.foty(&t, pos)?));
+        }
+        self.out.structs.push(FoStruct { name: inst_name.clone(), fields: fo_fields });
+        Ok(inst_name)
+    }
+
+    fn struct_field_index(&self, inst: &str, field: &str, pos: Pos) -> Result<usize> {
+        let def = self.out.struct_def(inst).expect("struct instance exists");
+        def.fields
+            .iter()
+            .position(|(n, _)| n == field)
+            .ok_or_else(|| {
+                Diag::new(Phase::Instantiate, pos, format!("struct `{inst}` has no field `{field}`"))
+            })
+    }
+
+    // ------------------------------------------------------------------
+    // instances
+    // ------------------------------------------------------------------
+
+    /// Specialize user function `fname` for concrete value-parameter
+    /// types and functional bindings; returns the instance name.
+    fn request_instance(
+        &mut self,
+        fname: &str,
+        value_tys: Vec<FoTy>,
+        fn_sigs: Vec<FnSig>,
+        pos: Pos,
+    ) -> Result<String> {
+        let key: InstKey = (fname.to_string(), value_tys.clone(), fn_sigs.clone());
+        if let Some(n) = self.memo.get(&key) {
+            return Ok(n.clone());
+        }
+        let inst_name =
+            if fname == "main" { "main".to_string() } else { self.fresh_name(fname) };
+        self.memo.insert(key, inst_name.clone());
+
+        let f: Func = self
+            .ck
+            .user_funcs
+            .get(fname)
+            .cloned()
+            .ok_or_else(|| Diag::new(Phase::Instantiate, pos, format!("unknown function `{fname}`")))?;
+
+        // Lower the signature with instance-fresh type variables.
+        let mut var_map: HashMap<String, Ty> = HashMap::new();
+        let mut param_tys = Vec::new();
+        for p in &f.params {
+            param_tys.push(lower(&self.ck.defs, &p.ty, &mut var_map, &mut self.ck.uni, true, p.pos)?);
+        }
+        let ret = lower(&self.ck.defs, &f.ret, &mut var_map, &mut self.ck.uni, true, f.pos)?;
+
+        // Bind value parameters to the requested concrete types and
+        // functional parameters to their targets' applied types.
+        let mut ctx = Ctx {
+            var_map,
+            fn_bindings: HashMap::new(),
+            scopes: Scopes::default(),
+            ret: ret.clone(),
+        };
+        ctx.scopes.push();
+
+        let mut fo_params: Vec<(String, FoTy)> = Vec::new();
+        let mut vt = value_tys.iter();
+        let mut fs = fn_sigs.iter();
+        for (p, pty) in f.params.iter().zip(&param_tys) {
+            if matches!(p.ty, TypeExpr::Fun(_, _)) {
+                let sig = fs
+                    .next()
+                    .ok_or_else(|| {
+                        Diag::new(
+                            Phase::Instantiate,
+                            p.pos,
+                            format!("missing functional binding for parameter `{}`", p.name),
+                        )
+                    })?
+                    .clone();
+                // Unify the parameter's function type with the target's
+                // applied type so element types become concrete inside.
+                let applied = self.sig_applied_ty(&sig, p.pos)?;
+                self.ck.uni.unify(pty, &applied, p.pos)?;
+                // Lifted values become extra instance parameters.
+                let mut lifted_exprs = Vec::new();
+                for (i, lt) in sig.flat_val_tys().iter().enumerate() {
+                    let lname = format!("{}__l{i}", p.name);
+                    fo_params.push((lname.clone(), lt.clone()));
+                    ctx.scopes.declare(&lname, self.ty_of(lt));
+                    lifted_exprs.push(FoExpr::Var(lname));
+                }
+                ctx.scopes.declare(&p.name, pty.clone());
+                ctx.fn_bindings.insert(p.name.clone(), FnVal { sig, lifted: lifted_exprs });
+            } else {
+                let want = vt.next().ok_or_else(|| {
+                    Diag::new(
+                        Phase::Instantiate,
+                        p.pos,
+                        format!("missing value type for parameter `{}`", p.name),
+                    )
+                })?;
+                self.ck.uni.unify(pty, &self.ty_of(want), p.pos)?;
+                fo_params.push((p.name.clone(), want.clone()));
+                ctx.scopes.declare(&p.name, pty.clone());
+            }
+        }
+
+        let body = self.tr_block(&f.body.0, &mut ctx)?;
+        let ret_fo = self.foty(&ret, f.pos)?;
+        self.out.funcs.push(FoFunc {
+            name: inst_name.clone(),
+            origin: fname.to_string(),
+            params: fo_params,
+            ret: ret_fo,
+            body,
+        });
+        Ok(inst_name)
+    }
+
+    /// The (curried) type a functional value presents after its prefix
+    /// has been applied.
+    fn sig_applied_ty(&mut self, sig: &FnSig, pos: Pos) -> Result<Ty> {
+        match &sig.target {
+            Target::User(h) => {
+                let scheme = self.ck.funcs[h].clone();
+                let t = self.ck.uni.instantiate(&scheme);
+                let Ty::Fun(ptys, rty) = t else {
+                    return self.err(pos, format!("`{h}` is not a function"));
+                };
+                let l = sig.prefix.len();
+                if l > ptys.len() {
+                    return self.err(pos, format!("over-applied prefix for `{h}`"));
+                }
+                for (item, pty) in sig.prefix.iter().zip(&ptys) {
+                    match item {
+                        PrefixItem::Val(ft) => {
+                            let want = self.ty_of(ft);
+                            self.ck.uni.unify(pty, &want, pos)?;
+                        }
+                        PrefixItem::Fn(inner) => {
+                            let applied = self.sig_applied_ty(inner, pos)?;
+                            self.ck.uni.unify(pty, &applied, pos)?;
+                        }
+                    }
+                }
+                Ok(Ty::Fun(ptys[l..].to_vec(), rty))
+            }
+            Target::Op(op, ft) => {
+                let a = self.ty_of(ft);
+                let ret = match op.as_str() {
+                    "+" | "-" | "*" | "/" | "%" => a.clone(),
+                    _ => Ty::Int,
+                };
+                let l = sig.prefix.len();
+                let params = [a.clone(), a];
+                Ok(Ty::Fun(params[l..].to_vec(), Box::new(ret)))
+            }
+            Target::Intrinsic(name) => {
+                let scheme = self.ck.funcs[name].clone();
+                let t = self.ck.uni.instantiate(&scheme);
+                let Ty::Fun(ptys, rty) = t else {
+                    return self.err(pos, format!("`{name}` is not a function"));
+                };
+                let l = sig.prefix.len();
+                for (item, pty) in sig.prefix.iter().zip(&ptys) {
+                    if let PrefixItem::Val(ft) = item {
+                        let want = self.ty_of(ft);
+                        self.ck.uni.unify(pty, &want, pos)?;
+                    }
+                }
+                Ok(Ty::Fun(ptys[l..].to_vec(), rty))
+            }
+        }
+    }
+
+    /// The first-order instance a [`FnSig`] calls into, given the types
+    /// of the remaining (element) arguments.
+    fn instance_for_sig(
+        &mut self,
+        sig: &FnSig,
+        remaining_tys: &[Ty],
+        pos: Pos,
+    ) -> Result<String> {
+        match &sig.target {
+            Target::User(h) => {
+                let h = h.clone();
+                let ast = self.ck.user_funcs[&h].clone();
+                let mut value_tys = Vec::new();
+                let mut fn_sigs = Vec::new();
+                let mut rem = remaining_tys.iter();
+                for (i, p) in ast.params.iter().enumerate() {
+                    if i < sig.prefix.len() {
+                        match &sig.prefix[i] {
+                            PrefixItem::Val(t) => value_tys.push(t.clone()),
+                            PrefixItem::Fn(s) => fn_sigs.push(s.clone()),
+                        }
+                    } else {
+                        if matches!(p.ty, TypeExpr::Fun(_, _)) {
+                            return self.err(
+                                pos,
+                                format!(
+                                    "functional parameter `{}` of `{h}` is not covered by \
+                                     the partial application prefix",
+                                    p.name
+                                ),
+                            );
+                        }
+                        let t = rem.next().ok_or_else(|| {
+                            Diag::new(
+                                Phase::Instantiate,
+                                pos,
+                                format!("arity mismatch instantiating `{h}`"),
+                            )
+                        })?;
+                        value_tys.push(self.foty(t, pos)?);
+                    }
+                }
+                self.request_instance(&h, value_tys, fn_sigs, pos)
+            }
+            Target::Op(op, ft) => self.synth_op(op.clone(), ft.clone(), sig.prefix.len(), pos),
+            Target::Intrinsic(name) => {
+                self.synth_intrinsic(name.clone(), sig, remaining_tys, pos)
+            }
+        }
+    }
+
+    /// Synthesize the first-order function an operator section denotes
+    /// (the paper's `(op)` conversion), e.g. `op_add_int(a, b)`.
+    fn synth_op(&mut self, op: String, ft: FoTy, lifted: usize, pos: Pos) -> Result<String> {
+        let key = (Target::Op(op.clone(), ft.clone()), lifted, vec![]);
+        if let Some(n) = self.synth_memo.get(&key) {
+            return Ok(n.clone());
+        }
+        let float = ft == FoTy::Float;
+        let bop = BinOp::from_str(&op)
+            .ok_or_else(|| Diag::new(Phase::Instantiate, pos, format!("bad operator `{op}`")))?;
+        let opname = match bop {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::Eq => "eq",
+            BinOp::Ne => "ne",
+            BinOp::Lt => "lt",
+            BinOp::Le => "le",
+            BinOp::Gt => "gt",
+            BinOp::Ge => "ge",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        };
+        let name = self.fresh_name(&format!("op_{opname}_{}", ft.cname()));
+        self.synth_memo.insert(key, name.clone());
+        let ret = if matches!(
+            bop,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        ) {
+            FoTy::Int
+        } else {
+            ft.clone()
+        };
+        // parameters: lifted prefix values, then the remaining operands
+        let mut params = Vec::new();
+        for i in 0..2 {
+            params.push((format!("x{i}"), ft.clone()));
+        }
+        let _ = lifted; // lifted operands are simply the leading params
+        let body = vec![FoStmt::Return(Some(FoExpr::Binary {
+            op: bop,
+            float,
+            lhs: Box::new(FoExpr::Var("x0".into())),
+            rhs: Box::new(FoExpr::Var("x1".into())),
+        }))];
+        self.out.funcs.push(FoFunc {
+            name: name.clone(),
+            origin: format!("({op})"),
+            params,
+            ret,
+            body,
+        });
+        Ok(name)
+    }
+
+    /// Synthesize a wrapper instance for a scalar builtin used as a
+    /// functional argument (e.g. `min` as a folding function).
+    fn synth_intrinsic(
+        &mut self,
+        name: String,
+        sig: &FnSig,
+        remaining_tys: &[Ty],
+        pos: Pos,
+    ) -> Result<String> {
+        let rem: Vec<FoTy> =
+            remaining_tys.iter().map(|t| self.foty(t, pos)).collect::<Result<Vec<_>>>()?;
+        let key = (Target::Intrinsic(name.clone()), sig.prefix.len(), rem.clone());
+        if let Some(n) = self.synth_memo.get(&key) {
+            return Ok(n.clone());
+        }
+        let applied = self.sig_applied_ty(sig, pos)?;
+        let Ty::Fun(ptys, rty) = applied else {
+            return self.err(pos, format!("`{name}` is not applicable"));
+        };
+        let wname = self.fresh_name(&format!("{name}_w"));
+        self.synth_memo.insert(key, wname.clone());
+        let mut params = Vec::new();
+        let mut args = Vec::new();
+        let lifted = sig.flat_val_tys();
+        for (i, lt) in lifted.iter().enumerate() {
+            params.push((format!("l{i}"), lt.clone()));
+            args.push(FoExpr::Var(format!("l{i}")));
+        }
+        for (i, pt) in ptys.iter().enumerate() {
+            let t = self.foty(pt, pos)?;
+            params.push((format!("x{i}"), t));
+            args.push(FoExpr::Var(format!("x{i}")));
+        }
+        let ret = self.foty(&rty, pos)?;
+        let body = vec![FoStmt::Return(Some(FoExpr::Intrinsic(name.clone(), args)))];
+        self.out.funcs.push(FoFunc { name: wname.clone(), origin: name, params, ret, body });
+        Ok(wname)
+    }
+
+    // ------------------------------------------------------------------
+    // functional-argument resolution
+    // ------------------------------------------------------------------
+
+    /// Resolve a functional argument expression to its static identity
+    /// plus lifted argument expressions. `expected` is the (resolved)
+    /// function type the context requires.
+    fn resolve_fn_val(&mut self, e: &Expr, expected: &Ty, ctx: &mut Ctx) -> Result<FnVal> {
+        // flatten curried application chains
+        let mut base = e;
+        let mut arg_groups: Vec<&Vec<Expr>> = Vec::new();
+        while let Expr::Call { callee, args, .. } = base {
+            arg_groups.push(args);
+            base = callee;
+        }
+        arg_groups.reverse();
+        let prefix_args: Vec<&Expr> = arg_groups.into_iter().flatten().collect();
+        let pos = e.pos();
+
+        match base {
+            Expr::Var(name, _) if ctx.fn_bindings.contains_key(name) => {
+                let binding = ctx.fn_bindings[name].clone();
+                if prefix_args.is_empty() {
+                    let applied = self.sig_applied_ty(&binding.sig, pos)?;
+                    self.ck.uni.unify(&applied, expected, pos)?;
+                    return Ok(binding);
+                }
+                // further partial application of a functional parameter:
+                // extend the prefix
+                let mut sig = binding.sig.clone();
+                let mut lifted = binding.lifted.clone();
+                let applied = self.sig_applied_ty(&sig, pos)?;
+                let Ty::Fun(ptys, rty) = applied else {
+                    return self.err(pos, "over-application of functional parameter");
+                };
+                if prefix_args.len() > ptys.len() {
+                    return self.err(pos, "over-application of functional parameter");
+                }
+                for (a, pty) in prefix_args.iter().zip(&ptys) {
+                    let at = self.ck.infer_expr(a, &ctx.scopes)?;
+                    self.ck.uni.unify(pty, &at, a.pos())?;
+                    let ft = self.foty(&at, a.pos())?;
+                    sig.prefix.push(PrefixItem::Val(ft));
+                    let fo = self.tr_expr(a, ctx)?;
+                    lifted.push(fo);
+                }
+                let rest = Ty::Fun(ptys[prefix_args.len()..].to_vec(), rty);
+                self.ck.uni.unify(&rest, expected, pos)?;
+                Ok(FnVal { sig, lifted })
+            }
+            Expr::Var(name, _) if self.ck.user_funcs.contains_key(name) => {
+                let h = name.clone();
+                let ast = self.ck.user_funcs[&h].clone();
+                let scheme = self.ck.funcs[&h].clone();
+                let t = self.ck.uni.instantiate(&scheme);
+                let Ty::Fun(ptys, rty) = t else {
+                    return self.err(pos, format!("`{h}` is not a function"));
+                };
+                if prefix_args.len() > ptys.len() {
+                    return self.err(pos, format!("too many arguments to `{h}`"));
+                }
+                // the remaining signature must match the expectation
+                let rest =
+                    Ty::Fun(ptys[prefix_args.len()..].to_vec(), rty);
+                self.ck.uni.unify(&rest, expected, pos)?;
+                let mut prefix = Vec::new();
+                let mut lifted = Vec::new();
+                for (i, a) in prefix_args.iter().enumerate() {
+                    if matches!(ast.params[i].ty, TypeExpr::Fun(_, _)) {
+                        let want = self.ck.uni.resolve(&ptys[i]);
+                        let inner = self.resolve_fn_val(a, &want, ctx)?;
+                        lifted.extend(inner.lifted.clone());
+                        prefix.push(PrefixItem::Fn(inner.sig));
+                    } else {
+                        let at = self.ck.infer_expr(a, &ctx.scopes)?;
+                        self.ck.uni.unify(&ptys[i], &at, a.pos())?;
+                        let ft = self.foty(&at, a.pos())?;
+                        prefix.push(PrefixItem::Val(ft));
+                        lifted.push(self.tr_expr(a, ctx)?);
+                    }
+                }
+                Ok(FnVal { sig: FnSig { target: Target::User(h), prefix }, lifted })
+            }
+            Expr::Var(name, _) if INTRINSICS.contains(&name.as_str()) => {
+                let scheme = self.ck.funcs[name].clone();
+                let t = self.ck.uni.instantiate(&scheme);
+                let Ty::Fun(ptys, rty) = t else {
+                    return self.err(pos, format!("`{name}` is not a function"));
+                };
+                let rest = Ty::Fun(ptys[prefix_args.len().min(ptys.len())..].to_vec(), rty);
+                self.ck.uni.unify(&rest, expected, pos)?;
+                let mut prefix = Vec::new();
+                let mut lifted = Vec::new();
+                for (a, pty) in prefix_args.iter().zip(&ptys) {
+                    let at = self.ck.infer_expr(a, &ctx.scopes)?;
+                    self.ck.uni.unify(pty, &at, a.pos())?;
+                    prefix.push(PrefixItem::Val(self.foty(&at, a.pos())?));
+                    lifted.push(self.tr_expr(a, ctx)?);
+                }
+                Ok(FnVal {
+                    sig: FnSig { target: Target::Intrinsic(name.clone()), prefix },
+                    lifted,
+                })
+            }
+            Expr::OpSection(op, _) => {
+                // operand type from the expectation
+                let a = self.ck.uni.fresh();
+                let full = match op.as_str() {
+                    "+" | "-" | "*" | "/" | "%" => {
+                        Ty::Fun(vec![a.clone(), a.clone()], Box::new(a.clone()))
+                    }
+                    _ => Ty::Fun(vec![a.clone(), a.clone()], Box::new(Ty::Int)),
+                };
+                let Ty::Fun(ptys, rty) = full else { unreachable!() };
+                let rest = Ty::Fun(ptys[prefix_args.len().min(2)..].to_vec(), rty);
+                self.ck.uni.unify(&rest, expected, pos)?;
+                let mut prefix = Vec::new();
+                let mut lifted = Vec::new();
+                for arg in &prefix_args {
+                    let at = self.ck.infer_expr(arg, &ctx.scopes)?;
+                    self.ck.uni.unify(&a, &at, arg.pos())?;
+                    prefix.push(PrefixItem::Val(self.foty(&at, arg.pos())?));
+                    lifted.push(self.tr_expr(arg, ctx)?);
+                }
+                let ft = self.foty(&a, pos)?;
+                Ok(FnVal { sig: FnSig { target: Target::Op(op.clone(), ft), prefix }, lifted })
+            }
+            other => self.err(
+                other.pos(),
+                "a functional argument must be a function name, an operator section, \
+                 or a partial application of those (the Skil instantiation restriction)",
+            ),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // body translation
+    // ------------------------------------------------------------------
+
+    fn tr_block(&mut self, stmts: &[Stmt], ctx: &mut Ctx) -> Result<Vec<FoStmt>> {
+        ctx.scopes.push();
+        let out = stmts.iter().map(|s| self.tr_stmt(s, ctx)).collect::<Result<Vec<_>>>();
+        ctx.scopes.pop();
+        out
+    }
+
+    fn tr_stmt(&mut self, s: &Stmt, ctx: &mut Ctx) -> Result<FoStmt> {
+        match s {
+            Stmt::Decl { ty, name, init, pos } => {
+                let t = lower(&self.ck.defs, ty, &mut ctx.var_map, &mut self.ck.uni, false, *pos)?;
+                let fo_init = match init {
+                    Some(e) => {
+                        let it = self.ck.infer_expr(e, &ctx.scopes)?;
+                        self.ck.uni.unify(&t, &it, *pos)?;
+                        Some(self.tr_expr(e, ctx)?)
+                    }
+                    None => None,
+                };
+                ctx.scopes.declare(name, t.clone());
+                Ok(FoStmt::Decl { name: name.clone(), ty: self.foty(&t, *pos)?, init: fo_init })
+            }
+            Stmt::Assign { name, value, pos } => {
+                let vt = ctx
+                    .scopes
+                    .lookup(name)
+                    .cloned()
+                    .ok_or_else(|| {
+                        Diag::new(Phase::Instantiate, *pos, format!("undeclared `{name}`"))
+                    })?;
+                let et = self.ck.infer_expr(value, &ctx.scopes)?;
+                self.ck.uni.unify(&vt, &et, *pos)?;
+                Ok(FoStmt::Assign { name: name.clone(), value: self.tr_expr(value, ctx)? })
+            }
+            Stmt::If { cond, then, els } => {
+                let ct = self.ck.infer_expr(cond, &ctx.scopes)?;
+                self.ck.uni.unify(&ct, &Ty::Int, cond.pos())?;
+                Ok(FoStmt::If {
+                    cond: self.tr_expr(cond, ctx)?,
+                    then: self.tr_block(&then.0, ctx)?,
+                    els: match els {
+                        Some(b) => self.tr_block(&b.0, ctx)?,
+                        None => vec![],
+                    },
+                })
+            }
+            Stmt::While { cond, body } => {
+                let ct = self.ck.infer_expr(cond, &ctx.scopes)?;
+                self.ck.uni.unify(&ct, &Ty::Int, cond.pos())?;
+                Ok(FoStmt::While {
+                    cond: self.tr_expr(cond, ctx)?,
+                    body: self.tr_block(&body.0, ctx)?,
+                })
+            }
+            Stmt::For { init, cond, step, body } => {
+                ctx.scopes.push();
+                let fo_init = match init {
+                    Some(s) => Some(Box::new(self.tr_stmt(s, ctx)?)),
+                    None => None,
+                };
+                let fo_cond = match cond {
+                    Some(c) => {
+                        let ct = self.ck.infer_expr(c, &ctx.scopes)?;
+                        self.ck.uni.unify(&ct, &Ty::Int, c.pos())?;
+                        Some(self.tr_expr(c, ctx)?)
+                    }
+                    None => None,
+                };
+                let fo_step = match step {
+                    Some(s) => Some(Box::new(self.tr_stmt(s, ctx)?)),
+                    None => None,
+                };
+                let fo_body = self.tr_block(&body.0, ctx)?;
+                ctx.scopes.pop();
+                Ok(FoStmt::For { init: fo_init, cond: fo_cond, step: fo_step, body: fo_body })
+            }
+            Stmt::Return { value, pos } => match value {
+                Some(e) => {
+                    let t = self.ck.infer_expr(e, &ctx.scopes)?;
+                    let ret = ctx.ret.clone();
+                    self.ck.uni.unify(&ret, &t, *pos)?;
+                    Ok(FoStmt::Return(Some(self.tr_expr(e, ctx)?)))
+                }
+                None => Ok(FoStmt::Return(None)),
+            },
+            Stmt::Expr(e) => Ok(FoStmt::Expr(self.tr_expr(e, ctx)?)),
+        }
+    }
+
+    fn tr_expr(&mut self, e: &Expr, ctx: &mut Ctx) -> Result<FoExpr> {
+        match e {
+            Expr::Int(v, _) => Ok(FoExpr::Int(*v)),
+            Expr::Float(v, _) => Ok(FoExpr::Float(*v)),
+            Expr::Var(name, pos) => {
+                if ctx.fn_bindings.contains_key(name) {
+                    return self.err(
+                        *pos,
+                        format!("functional parameter `{name}` used as a value"),
+                    );
+                }
+                if ctx.scopes.lookup(name).is_some() {
+                    return Ok(FoExpr::Var(name.clone()));
+                }
+                if self.ck.consts.contains_key(name) {
+                    return Ok(FoExpr::Intrinsic(name.clone(), vec![]));
+                }
+                self.err(*pos, format!("`{name}` is not a value in this context"))
+            }
+            Expr::Call { pos, .. } => self.tr_call(e, *pos, ctx),
+            Expr::OpSection(_, pos) => self.err(
+                *pos,
+                "an operator section is only meaningful as a functional argument",
+            ),
+            Expr::Binary { op, lhs, rhs, pos } => {
+                let lt = self.ck.infer_expr(lhs, &ctx.scopes)?;
+                let float = matches!(self.ck.uni.resolve(&lt), Ty::Float);
+                let bop = BinOp::from_str(op)
+                    .ok_or_else(|| Diag::new(Phase::Instantiate, *pos, "bad operator"))?;
+                Ok(FoExpr::Binary {
+                    op: bop,
+                    float,
+                    lhs: Box::new(self.tr_expr(lhs, ctx)?),
+                    rhs: Box::new(self.tr_expr(rhs, ctx)?),
+                })
+            }
+            Expr::Unary { op, expr, .. } => {
+                let t = self.ck.infer_expr(expr, &ctx.scopes)?;
+                let float = matches!(self.ck.uni.resolve(&t), Ty::Float);
+                Ok(FoExpr::Unary {
+                    neg: op == "-",
+                    float,
+                    expr: Box::new(self.tr_expr(expr, ctx)?),
+                })
+            }
+            Expr::Field { expr, field, pos } => {
+                let t = self.ck.infer_expr(expr, &ctx.scopes)?;
+                match self.ck.uni.resolve(&t) {
+                    Ty::Bounds => {
+                        let idx = match field.as_str() {
+                            "lowerBd" => 0,
+                            "upperBd" => 1,
+                            _ => return self.err(*pos, format!("bad Bounds field `{field}`")),
+                        };
+                        Ok(FoExpr::Field {
+                            expr: Box::new(self.tr_expr(expr, ctx)?),
+                            index: idx,
+                            name: field.clone(),
+                        })
+                    }
+                    Ty::Struct(name, args) => {
+                        let inst = self.struct_instance(&name, &args, *pos)?;
+                        let idx = self.struct_field_index(&inst, field, *pos)?;
+                        Ok(FoExpr::Field {
+                            expr: Box::new(self.tr_expr(expr, ctx)?),
+                            index: idx,
+                            name: field.clone(),
+                        })
+                    }
+                    other => self.err(*pos, format!("field access on `{other}`")),
+                }
+            }
+            Expr::IndexAt { expr, index, .. } => Ok(FoExpr::IndexAt {
+                expr: Box::new(self.tr_expr(expr, ctx)?),
+                index: Box::new(self.tr_expr(index, ctx)?),
+            }),
+            Expr::BraceList { elems, .. } => {
+                let es =
+                    elems.iter().map(|e| self.tr_expr(e, ctx)).collect::<Result<Vec<_>>>()?;
+                Ok(FoExpr::MakeIndex(es))
+            }
+            Expr::StructLit { name, fields, pos } => {
+                let t = self.ck.infer_expr(e, &ctx.scopes)?;
+                let Ty::Struct(_, args) = self.ck.uni.resolve(&t) else {
+                    return self.err(*pos, "struct literal did not resolve");
+                };
+                let inst = self.struct_instance(name, &args, *pos)?;
+                let es =
+                    fields.iter().map(|f| self.tr_expr(f, ctx)).collect::<Result<Vec<_>>>()?;
+                Ok(FoExpr::MakeStruct(inst, es))
+            }
+        }
+    }
+
+    fn tr_call(&mut self, e: &Expr, pos: Pos, ctx: &mut Ctx) -> Result<FoExpr> {
+        // flatten currying
+        let mut base = e;
+        let mut arg_groups: Vec<&Vec<Expr>> = Vec::new();
+        while let Expr::Call { callee, args, .. } = base {
+            arg_groups.push(args);
+            base = callee;
+        }
+        arg_groups.reverse();
+        let args: Vec<&Expr> = arg_groups.into_iter().flatten().collect();
+
+        match base {
+            Expr::Var(name, _) if ctx.fn_bindings.contains_key(name) => {
+                // call through a functional parameter: direct call of the
+                // bound instance with lifted arguments prepended
+                let binding = ctx.fn_bindings[name].clone();
+                let applied = self.sig_applied_ty(&binding.sig, pos)?;
+                let Ty::Fun(ptys, _) = applied else {
+                    return self.err(pos, "functional parameter is not applicable");
+                };
+                if args.len() != ptys.len() {
+                    return self.err(
+                        pos,
+                        format!(
+                            "call through `{name}` needs {} arguments, got {} \
+                             (partial results require eta-expansion)",
+                            ptys.len(),
+                            args.len()
+                        ),
+                    );
+                }
+                let mut remaining_tys = Vec::new();
+                let mut fo_args = binding.lifted.clone();
+                for (a, pty) in args.iter().zip(&ptys) {
+                    let at = self.ck.infer_expr(a, &ctx.scopes)?;
+                    self.ck.uni.unify(pty, &at, a.pos())?;
+                    remaining_tys.push(self.ck.uni.resolve(&at));
+                    fo_args.push(self.tr_expr(a, ctx)?);
+                }
+                let inst = self.instance_for_sig(&binding.sig, &remaining_tys, pos)?;
+                Ok(FoExpr::Call(inst, fo_args))
+            }
+            Expr::Var(name, _) if SKELETONS.contains(&name.as_str()) => {
+                self.tr_skeleton(name, &args, pos, ctx)
+            }
+            Expr::Var(name, _) if self.ck.user_funcs.contains_key(name) => {
+                let h = name.clone();
+                let ast = self.ck.user_funcs[&h].clone();
+                if args.len() != ast.params.len() {
+                    return self.err(
+                        pos,
+                        format!(
+                            "partial application of `{h}` outside an argument position \
+                             (would require a closure; Skil instantiates instead)"
+                        ),
+                    );
+                }
+                let scheme = self.ck.funcs[&h].clone();
+                let t = self.ck.uni.instantiate(&scheme);
+                let Ty::Fun(ptys, _) = t else {
+                    return self.err(pos, format!("`{h}` is not a function"));
+                };
+                let mut value_tys = Vec::new();
+                let mut fn_sigs = Vec::new();
+                let mut fo_args = Vec::new();
+                for ((a, p), pty) in args.iter().zip(&ast.params).zip(&ptys) {
+                    if matches!(p.ty, TypeExpr::Fun(_, _)) {
+                        let want = self.ck.uni.resolve(pty);
+                        let fv = self.resolve_fn_val(a, &want, ctx)?;
+                        fo_args.extend(fv.lifted.clone());
+                        fn_sigs.push(fv.sig);
+                    } else {
+                        let at = self.ck.infer_expr(a, &ctx.scopes)?;
+                        self.ck.uni.unify(pty, &at, a.pos())?;
+                        value_tys.push(self.foty(&at, a.pos())?);
+                        fo_args.push(self.tr_expr(a, ctx)?);
+                    }
+                }
+                // re-order: value args and lifted args interleave in
+                // parameter order — rebuild in one pass
+                let mut fo_args2 = Vec::new();
+                let mut vi = 0usize;
+                let mut li = 0usize;
+                let mut lifted_per_fn: Vec<usize> =
+                    fn_sigs.iter().map(|s| s.flat_val_tys().len()).collect();
+                lifted_per_fn.reverse();
+                // simpler: walk params again, consuming from fo_args in
+                // the same order we pushed them
+                let mut cursor = 0usize;
+                for p in &ast.params {
+                    if matches!(p.ty, TypeExpr::Fun(_, _)) {
+                        let n = fn_sigs[li].flat_val_tys().len();
+                        li += 1;
+                        for _ in 0..n {
+                            fo_args2.push(fo_args[cursor].clone());
+                            cursor += 1;
+                        }
+                    } else {
+                        fo_args2.push(fo_args[cursor].clone());
+                        cursor += 1;
+                        vi += 1;
+                    }
+                }
+                let _ = vi;
+                let inst = self.request_instance(&h, value_tys, fn_sigs, pos)?;
+                Ok(FoExpr::Call(inst, fo_args2))
+            }
+            Expr::Var(name, _) if INTRINSICS.contains(&name.as_str()) => {
+                // scalar intrinsic call; validate via inference
+                let _ = self.ck.infer_expr(e, &ctx.scopes)?;
+                let fo =
+                    args.iter().map(|a| self.tr_expr(a, ctx)).collect::<Result<Vec<_>>>()?;
+                Ok(FoExpr::Intrinsic(name.clone(), fo))
+            }
+            Expr::OpSection(op, _) => {
+                if args.len() != 2 {
+                    return self.err(
+                        pos,
+                        "a partially applied operator section is only meaningful as a \
+                         functional argument",
+                    );
+                }
+                let lt = self.ck.infer_expr(args[0], &ctx.scopes)?;
+                let rt = self.ck.infer_expr(args[1], &ctx.scopes)?;
+                self.ck.uni.unify(&lt, &rt, pos)?;
+                let float = matches!(self.ck.uni.resolve(&lt), Ty::Float);
+                let bop = BinOp::from_str(op)
+                    .ok_or_else(|| Diag::new(Phase::Instantiate, pos, "bad operator"))?;
+                Ok(FoExpr::Binary {
+                    op: bop,
+                    float,
+                    lhs: Box::new(self.tr_expr(args[0], ctx)?),
+                    rhs: Box::new(self.tr_expr(args[1], ctx)?),
+                })
+            }
+            other => self.err(other.pos(), "uncallable expression"),
+        }
+    }
+
+    fn tr_skeleton(
+        &mut self,
+        name: &str,
+        args: &[&Expr],
+        pos: Pos,
+        ctx: &mut Ctx,
+    ) -> Result<FoExpr> {
+        let (op, fn_positions): (SkelOp, &[usize]) = match name {
+            "array_create" => (SkelOp::Create, &[4]),
+            "array_destroy" => (SkelOp::Destroy, &[]),
+            "array_map" => (SkelOp::Map, &[0]),
+            "array_fold" => (SkelOp::Fold, &[0, 1]),
+            "array_copy" => (SkelOp::Copy, &[]),
+            "array_broadcast_part" => (SkelOp::BroadcastPart, &[]),
+            "array_permute_rows" => (SkelOp::PermuteRows, &[1]),
+            "array_gen_mult" => (SkelOp::GenMult, &[2, 3]),
+            "array_scan" => (SkelOp::Scan, &[0]),
+            "dc" => (SkelOp::Dc, &[0, 1, 2, 3]),
+            "farm" => (SkelOp::Farm, &[0]),
+            _ => return self.err(pos, format!("unknown skeleton `{name}`")),
+        };
+        let scheme = self.ck.funcs[name].clone();
+        let t = self.ck.uni.instantiate(&scheme);
+        let Ty::Fun(ptys, _) = t else { unreachable!("skeleton schemes are functions") };
+        if args.len() != ptys.len() {
+            return self.err(
+                pos,
+                format!("{name} takes {} arguments, got {}", ptys.len(), args.len()),
+            );
+        }
+        // value args first (so array element types are known), then
+        // functional args
+        let mut fo_args = vec![None::<FoExpr>; args.len()];
+        for (i, (a, pty)) in args.iter().zip(&ptys).enumerate() {
+            if fn_positions.contains(&i) {
+                continue;
+            }
+            let at = self.ck.infer_expr(a, &ctx.scopes)?;
+            self.ck.uni.unify(pty, &at, a.pos())?;
+            fo_args[i] = Some(self.tr_expr(a, ctx)?);
+        }
+        let mut fns = Vec::new();
+        for &i in fn_positions {
+            let want = self.ck.uni.resolve(&ptys[i]);
+            let fv = self.resolve_fn_val(args[i], &want, ctx)?;
+            let Ty::Fun(rem_ptys, _) = self.ck.uni.resolve(&ptys[i]) else {
+                return self.err(pos, "skeleton functional parameter is not a function");
+            };
+            let rem: Vec<Ty> = rem_ptys.iter().map(|t| self.ck.uni.resolve(t)).collect();
+            let inst = self.instance_for_sig(&fv.sig, &rem, pos)?;
+            fns.push(FnInst { func: inst, lifted: fv.lifted });
+        }
+        // the element type: from the first array-typed parameter, or —
+        // for array_create, which has none — from the initializer's
+        // return type
+        let mut elem = FoTy::Void;
+        for pty in &ptys {
+            if let Ty::Pardata(n, targs) = self.ck.uni.resolve(pty) {
+                if n == "array" {
+                    elem = self.foty(&targs[0], pos)?;
+                    break;
+                }
+            }
+        }
+        if op == SkelOp::Create {
+            if let Ty::Fun(_, rty) = self.ck.uni.resolve(&ptys[4]) {
+                elem = self.foty(&rty, pos)?;
+            }
+        }
+        let args_flat: Vec<FoExpr> = fo_args.into_iter().flatten().collect();
+        Ok(FoExpr::Skel { op, fns, args: args_flat, elem })
+    }
+}
+
+/// Wrapper around `TypeDefs::lower` (free function to satisfy borrow
+/// splitting).
+fn lower(
+    defs: &TypeDefs,
+    te: &TypeExpr,
+    var_map: &mut HashMap<String, Ty>,
+    uni: &mut Unifier,
+    open: bool,
+    pos: Pos,
+) -> Result<Ty> {
+    defs.lower(te, var_map, uni, open, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check;
+    use crate::parser::parse;
+
+    fn compile(src: &str) -> FoProgram {
+        let prog = parse(src).unwrap();
+        let mut ck = check(&prog).unwrap();
+        match instantiate(&mut ck) {
+            Ok(p) => p,
+            Err(e) => panic!("instantiation failed: {e}\n{src}"),
+        }
+    }
+
+    #[test]
+    fn monomorphic_passthrough() {
+        let p = compile(
+            "int inc(int x) { return x + 1; }\n\
+             void main() { int y = inc(41); print(y); }",
+        );
+        assert!(p.is_first_order());
+        assert!(p.func("main").is_some());
+        assert!(p.func("inc_1").is_some());
+    }
+
+    #[test]
+    fn polymorphic_function_gets_one_instance_per_type() {
+        let p = compile(
+            "$a ident($a x) { return x; }\n\
+             void main() { int i = ident(3); float f = ident(2.5); int j = ident(4); }",
+        );
+        let idents: Vec<&FoFunc> =
+            p.funcs.iter().filter(|f| f.origin == "ident").collect();
+        assert_eq!(idents.len(), 2, "int and float instances only");
+        let tys: Vec<&FoTy> = idents.iter().map(|f| &f.params[0].1).collect();
+        assert!(tys.contains(&&FoTy::Int));
+        assert!(tys.contains(&&FoTy::Float));
+    }
+
+    #[test]
+    fn hof_with_plain_function_argument() {
+        let p = compile(
+            "int inc(int x) { return x + 1; }\n\
+             int apply(int f(int), int x) { return f(x); }\n\
+             void main() { int y = apply(inc, 41); }",
+        );
+        assert!(p.is_first_order());
+        // apply's instance has one value parameter (x), no functional one
+        let a = p.funcs.iter().find(|f| f.origin == "apply").unwrap();
+        assert_eq!(a.params.len(), 1);
+        // and its body calls the inc instance directly
+        let inc = p.funcs.iter().find(|f| f.origin == "inc").unwrap();
+        let FoStmt::Return(Some(FoExpr::Call(callee, _))) = &a.body[0] else {
+            panic!("{:?}", a.body)
+        };
+        assert_eq!(callee, &inc.name);
+    }
+
+    #[test]
+    fn partial_application_lifts_arguments() {
+        // the paper's above_thresh example: t is lifted into the
+        // instance's parameter list
+        let p = compile(
+            "int above_thresh(float thresh, float elem, Index ix) { return elem >= thresh; }\n\
+             float init_f(Index ix) { return itof(ix[0]); }\n\
+             int zero(Index ix) { return 0; }\n\
+             void main() {\n\
+               array<float> a = array_create(1, {8,1}, {0,0}, {0-1,0-1}, init_f, DISTR_DEFAULT);\n\
+               array<int> b = array_create(1, {8,1}, {0,0}, {0-1,0-1}, zero, DISTR_DEFAULT);\n\
+               float t = 3.0;\n\
+               array_map(above_thresh(t), a, b);\n\
+             }",
+        );
+        assert!(p.is_first_order());
+        let main = p.func("main").unwrap();
+        // find the map skeleton call
+        fn find_map(stmts: &[FoStmt]) -> Option<(&FnInst, &FoTy)> {
+            for s in stmts {
+                if let FoStmt::Expr(FoExpr::Skel { op: SkelOp::Map, fns, elem, .. }) = s {
+                    return Some((&fns[0], elem));
+                }
+            }
+            None
+        }
+        let (fi, _elem) = find_map(&main.body).expect("map call present");
+        assert_eq!(fi.lifted.len(), 1, "t is lifted");
+        assert_eq!(fi.lifted[0], FoExpr::Var("t".into()));
+        // the instance takes (thresh, elem, ix)
+        let inst = p.func(&fi.func).unwrap();
+        assert_eq!(inst.origin, "above_thresh");
+        assert_eq!(inst.params.len(), 3);
+        assert_eq!(inst.params[0].1, FoTy::Float);
+    }
+
+    #[test]
+    fn operator_sections_become_synth_functions() {
+        let p = compile(
+            "float initf(Index ix) { return itof(ix[0]); }\n\
+             void main() {\n\
+               array<float> a = array_create(2, {4,4}, {0,0}, {0-1,0-1}, initf, DISTR_TORUS2D);\n\
+               array<float> b = array_create(2, {4,4}, {0,0}, {0-1,0-1}, initf, DISTR_TORUS2D);\n\
+               array<float> c = array_create(2, {4,4}, {0,0}, {0-1,0-1}, initf, DISTR_TORUS2D);\n\
+               array_gen_mult(a, b, (+), (*), c);\n\
+             }",
+        );
+        assert!(p.is_first_order());
+        let add = p.funcs.iter().find(|f| f.name.starts_with("op_add_float")).unwrap();
+        assert_eq!(add.params.len(), 2);
+        let mul = p.funcs.iter().find(|f| f.name.starts_with("op_mul_float")).unwrap();
+        assert_eq!(mul.ret, FoTy::Float);
+    }
+
+    #[test]
+    fn intrinsic_as_fold_function_gets_wrapper() {
+        let p = compile(
+            "int initf(Index ix) { return ix[0]; }\n\
+             int conv(int x, Index ix) { return x; }\n\
+             void main() {\n\
+               array<int> a = array_create(1, {8,1}, {0,0}, {0-1,0-1}, initf, DISTR_DEFAULT);\n\
+               int m = array_fold(conv, min, a);\n\
+               print(m);\n\
+             }",
+        );
+        assert!(p.is_first_order());
+        assert!(p.funcs.iter().any(|f| f.name.starts_with("min_w")));
+    }
+
+    #[test]
+    fn fn_param_passed_through_hofs() {
+        // apply passes its functional parameter onward — the paper's
+        // d&c recursion pattern in miniature
+        let p = compile(
+            "int inc(int x) { return x + 1; }\n\
+             int apply(int f(int), int x) { return f(x); }\n\
+             int twice(int g(int), int x) { return apply(g, apply(g, x)); }\n\
+             void main() { int y = twice(inc, 40); print(y); }",
+        );
+        assert!(p.is_first_order());
+        // twice's instance exists and apply's instance is shared
+        assert_eq!(p.funcs.iter().filter(|f| f.origin == "apply").count(), 1);
+    }
+
+    #[test]
+    fn recursive_function_instantiates_once() {
+        let p = compile(
+            "int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }\n\
+             void main() { print(fact(5)); }",
+        );
+        assert_eq!(p.funcs.iter().filter(|f| f.origin == "fact").count(), 1);
+    }
+
+    #[test]
+    fn partial_application_outside_argument_position_rejected() {
+        let prog = parse(
+            "int add(int a, int b) { return a + b; }\n\
+             void main() { int x = add(1); }",
+        )
+        .unwrap();
+        // the type checker accepts this (x would have a function type is
+        // rejected there, actually) — either phase may reject
+        let res = check(&prog).and_then(|mut ck| instantiate(&mut ck));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn structs_are_monomorphized() {
+        let p = compile(
+            "struct pair<$a, $b> { $a fst; $b snd; };\n\
+             void main() {\n\
+               pair<int, float> p = pair{1, 2.5};\n\
+               pair<float, float> q = pair{0.5, 2.5};\n\
+               print(p.fst);\n\
+               print(q.snd);\n\
+             }",
+        );
+        assert!(p.struct_def("pair_int_float").is_some());
+        assert!(p.struct_def("pair_float_float").is_some());
+    }
+
+    #[test]
+    fn skeleton_call_shapes() {
+        let p = compile(
+            "float initf(Index ix) { return itof(ix[0] + ix[1]); }\n\
+             int permf(int r) { return r; }\n\
+             float square(float v, Index ix) { return v * v; }\n\
+             float addf(float a, float b) { return a + b; }\n\
+             float conv(float v, Index ix) { return v; }\n\
+             void main() {\n\
+               array<float> a = array_create(2, {4,4}, {0,0}, {0-1,0-1}, initf, DISTR_DEFAULT);\n\
+               array<float> b = array_create(2, {4,4}, {0,0}, {0-1,0-1}, initf, DISTR_DEFAULT);\n\
+               array_map(square, a, b);\n\
+               array_copy(a, b);\n\
+               array_broadcast_part(b, {0, 0});\n\
+               array_permute_rows(a, permf, b);\n\
+               float s = array_fold(conv, addf, a);\n\
+               print(s);\n\
+               array_destroy(a);\n\
+               array_destroy(b);\n\
+             }",
+        );
+        assert!(p.is_first_order());
+        let main = p.func("main").unwrap();
+        let mut ops = Vec::new();
+        for s in &main.body {
+            match s {
+                FoStmt::Expr(FoExpr::Skel { op, .. }) => ops.push(*op),
+                FoStmt::Decl { init: Some(FoExpr::Skel { op, .. }), .. } => ops.push(*op),
+                _ => {}
+            }
+        }
+        assert_eq!(
+            ops,
+            vec![
+                SkelOp::Create,
+                SkelOp::Create,
+                SkelOp::Map,
+                SkelOp::Copy,
+                SkelOp::BroadcastPart,
+                SkelOp::PermuteRows,
+                SkelOp::Fold,
+                SkelOp::Destroy,
+                SkelOp::Destroy,
+            ]
+        );
+    }
+
+    #[test]
+    fn shared_instances_are_deduplicated() {
+        let p = compile(
+            "float f(float v, Index ix) { return v + 1.0; }\n\
+             float initf(Index ix) { return 0.0; }\n\
+             void main() {\n\
+               array<float> a = array_create(1, {8,1}, {0,0}, {0-1,0-1}, initf, DISTR_DEFAULT);\n\
+               array<float> b = array_create(1, {8,1}, {0,0}, {0-1,0-1}, initf, DISTR_DEFAULT);\n\
+               array_map(f, a, b);\n\
+               array_map(f, b, a);\n\
+             }",
+        );
+        assert_eq!(p.funcs.iter().filter(|f| f.origin == "f").count(), 1);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::check::check;
+    use crate::parser::parse;
+
+    fn compile(src: &str) -> FoProgram {
+        let prog = parse(src).unwrap();
+        let mut ck = check(&prog).unwrap();
+        instantiate(&mut ck).unwrap_or_else(|e| panic!("instantiation failed: {e}\n{src}"))
+    }
+
+    #[test]
+    fn functional_parameter_partially_applied_onward() {
+        // `both` receives a binary functional parameter and passes it
+        // onward *partially applied* — the binding's prefix grows
+        let p = compile(
+            "int add(int a, int b) { return a + b; }\n\
+             int apply1(int f(int), int x) { return f(x); }\n\
+             int both(int g(int, int), int x) { return apply1(g(10), x); }\n\
+             void main() { print(both(add, 32)); }",
+        );
+        assert!(p.is_first_order());
+        // apply1's instance carries the lifted argument as a parameter
+        let a1 = p.funcs.iter().find(|f| f.origin == "apply1").unwrap();
+        assert_eq!(a1.params.len(), 2, "lifted arg + x: {:?}", a1.params);
+    }
+
+    #[test]
+    fn deep_currying_in_value_position() {
+        let p = compile(
+            "int add3(int a, int b, int c) { return a + b + c; }\n\
+             void main() { print(add3(1)(2)(3)); }",
+        );
+        assert!(p.is_first_order());
+        // flattened into one full application
+        let main = p.func("main").unwrap();
+        let has_flat_call = format!("{:?}", main.body).contains("add3_1");
+        assert!(has_flat_call, "{:?}", main.body);
+    }
+
+    #[test]
+    fn same_function_with_and_without_partial_application() {
+        let p = compile(
+            "int addk(int k, int v, Index ix) { return v + k; }\n\
+             int initf(Index ix) { return ix[0]; }\n\
+             void main() {\n\
+               array<int> a = array_create(1, {8,1}, {0,0}, {0-1,0-1}, initf, DISTR_DEFAULT);\n\
+               array<int> b = array_create(1, {8,1}, {0,0}, {0-1,0-1}, initf, DISTR_DEFAULT);\n\
+               int k = 5;\n\
+               array_map(addk(k), a, b);\n\
+               array_map(addk(7 + k), b, a);\n\
+             }",
+        );
+        // both call sites share one monomorphic instance of addk
+        assert_eq!(p.funcs.iter().filter(|f| f.origin == "addk").count(), 1);
+    }
+
+    #[test]
+    fn instances_differ_when_bindings_differ() {
+        let p = compile(
+            "int inc(int x) { return x + 1; }\n\
+             int dec(int x) { return x - 1; }\n\
+             int apply(int f(int), int x) { return f(x); }\n\
+             void main() { print(apply(inc, 1)); print(apply(dec, 1)); }",
+        );
+        // one apply instance per functional binding
+        assert_eq!(p.funcs.iter().filter(|f| f.origin == "apply").count(), 2);
+    }
+
+    #[test]
+    fn mutual_recursion_instantiates() {
+        let p = compile(
+            "int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }\n\
+             int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }\n\
+             void main() { print(is_even(10)); }",
+        );
+        assert!(p.is_first_order());
+        assert_eq!(p.funcs.iter().filter(|f| f.origin == "is_even").count(), 1);
+        assert_eq!(p.funcs.iter().filter(|f| f.origin == "is_odd").count(), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! # skil-lang
+//!
+//! The **Skil language front end**: "an imperative language enhanced with
+//! higher-order functions and currying, as well as with a polymorphic
+//! type system", compiled by *instantiation* into first-order
+//! monomorphic code and executed SPMD on the simulated machine.
+//!
+//! The pipeline mirrors the paper's §2:
+//!
+//! 1. [`parser::parse`] — a C-subset grammar extended with type
+//!    variables (`$t`), functional parameters (`int is_trivial($a)`),
+//!    currying/partial application (`above_thresh(t)`), operator sections
+//!    (`(+)`, `(*)(2)`), the `pardata` construct, and `Index`/`Size`
+//!    literals (`{n, n}`).
+//! 2. [`check::check`] — polymorphic type checking, including the
+//!    pardata composition rules ("distributed data structures may not be
+//!    nested"; type variables inside other data types may not become
+//!    pardata).
+//! 3. [`instantiate::instantiate`] — **translation by instantiation**:
+//!    functional arguments are inlined into specialized instances,
+//!    partial-application arguments are lifted into parameters, and
+//!    polymorphic functions are monomorphized; the result
+//!    ([`fo::FoProgram`]) contains no functional features at all.
+//! 4. Either [`emit_c::emit_c`] — pretty-print the first-order program as
+//!    the C the paper's compiler would hand to its back end — or
+//!    [`interp::run_program`] — execute it SPMD on a
+//!    [`skil_runtime::Machine`], with skeleton calls dispatched to
+//!    `skil-core` and virtual cycles charged per IR operation.
+//!
+//! ```
+//! use skil_lang::compile;
+//! use skil_runtime::{Machine, MachineConfig};
+//!
+//! let program = compile(
+//!     "int initf(Index ix) { return ix[0] + ix[1]; }\n\
+//!      int conv(int v, Index ix) { return v; }\n\
+//!      void main() {\n\
+//!        array<int> a = array_create(1, {16,1}, {0,0}, {0-1,0-1}, initf, DISTR_DEFAULT);\n\
+//!        int total = array_fold(conv, (+), a);\n\
+//!        if (procId == 0) { print(total); }\n\
+//!      }",
+//! )
+//! .expect("compiles");
+//! let machine = Machine::new(MachineConfig::procs(4).unwrap());
+//! let run = program.run(&machine);
+//! assert_eq!(run.results[0], vec!["120".to_string()]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builtins;
+pub mod check;
+pub mod diag;
+pub mod emit_c;
+pub mod fo;
+pub mod instantiate;
+pub mod interp;
+pub mod parser;
+pub mod token;
+pub mod types;
+pub mod value;
+
+use skil_runtime::{Machine, Run};
+
+pub use diag::{Diag, Phase, Pos};
+pub use fo::FoProgram;
+pub use value::Value;
+
+/// A compiled Skil program: parsed, type-checked, and instantiated.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The instantiated first-order program.
+    pub fo: FoProgram,
+}
+
+/// Compile Skil source through the full front end.
+pub fn compile(src: &str) -> diag::Result<Compiled> {
+    let prog = parser::parse(src)?;
+    let mut ck = check::check(&prog)?;
+    let fo = instantiate::instantiate(&mut ck)?;
+    Ok(Compiled { fo })
+}
+
+impl Compiled {
+    /// Emit the program as the C-like code the paper's compiler would
+    /// produce.
+    pub fn emit_c(&self) -> String {
+        emit_c::emit_c(&self.fo)
+    }
+
+    /// Execute the program SPMD on a machine; each processor's `print`
+    /// output is returned in `results`.
+    pub fn run(&self, machine: &Machine) -> Run<Vec<String>> {
+        interp::run_program(&self.fo, machine)
+    }
+}

@@ -1,0 +1,490 @@
+//! The semantic type representation and unification.
+//!
+//! Skil's polymorphic type system: type variables (`$t`), the scalar C
+//! types of the subset, nominal (possibly parameterized) structs, hidden
+//! `pardata` types, and n-ary curried function types. "Polymorphism can
+//! be simulated in C by using void pointers and casting. ... Our approach
+//! leads however to safer programs, as a polymorphic type checking is
+//! performed."
+
+use crate::ast::TypeExpr;
+use crate::diag::{Diag, Phase, Pos, Result};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A semantic type. Unification variables are numbered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ty {
+    /// `int` (C `int`/`unsigned`; also the boolean type).
+    Int,
+    /// `float` / `double`.
+    Float,
+    /// `void`.
+    Void,
+    /// The `Index`/`Size` builtin (a `dim`-element index vector).
+    Index,
+    /// The partition bounds record returned by `array_part_bounds`.
+    Bounds,
+    /// A unification variable.
+    Var(u32),
+    /// A cons list `list<$t>` (the paper's d&c skeleton works on lists).
+    List(Box<Ty>),
+    /// A `pardata` type with its type arguments (e.g. `array<float>`).
+    Pardata(String, Vec<Ty>),
+    /// A nominal struct instance.
+    Struct(String, Vec<Ty>),
+    /// An n-ary function; application is curried.
+    Fun(Vec<Ty>, Box<Ty>),
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int => write!(f, "int"),
+            Ty::Float => write!(f, "float"),
+            Ty::Void => write!(f, "void"),
+            Ty::Index => write!(f, "Index"),
+            Ty::Bounds => write!(f, "Bounds"),
+            Ty::Var(v) => write!(f, "${v}"),
+            Ty::List(t) => write!(f, "list<{t}>"),
+            Ty::Pardata(n, args) | Ty::Struct(n, args) => {
+                write!(f, "{n}")?;
+                if !args.is_empty() {
+                    write!(f, "<")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ">")?;
+                }
+                Ok(())
+            }
+            Ty::Fun(args, ret) => {
+                write!(f, "(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ") -> {ret}")
+            }
+        }
+    }
+}
+
+/// A polymorphic type scheme: `forall vars . ty`.
+#[derive(Debug, Clone)]
+pub struct Scheme {
+    /// Universally quantified variables.
+    pub vars: Vec<u32>,
+    /// The body.
+    pub ty: Ty,
+}
+
+impl Scheme {
+    /// A monomorphic scheme.
+    pub fn mono(ty: Ty) -> Scheme {
+        Scheme { vars: vec![], ty }
+    }
+}
+
+/// The unifier: fresh-variable supply plus substitution.
+#[derive(Debug, Default)]
+pub struct Unifier {
+    next: u32,
+    subst: HashMap<u32, Ty>,
+}
+
+impl Unifier {
+    /// A fresh unification variable.
+    pub fn fresh(&mut self) -> Ty {
+        let v = self.next;
+        self.next += 1;
+        Ty::Var(v)
+    }
+
+    /// Instantiate a scheme with fresh variables.
+    pub fn instantiate(&mut self, s: &Scheme) -> Ty {
+        let mut map = HashMap::new();
+        for &v in &s.vars {
+            let f = self.fresh();
+            map.insert(v, f);
+        }
+        subst_vars(&s.ty, &map)
+    }
+
+    /// Resolve a type to its current representative (shallow for vars,
+    /// deep for structure).
+    pub fn resolve(&self, ty: &Ty) -> Ty {
+        match ty {
+            Ty::Var(v) => match self.subst.get(v) {
+                Some(t) => self.resolve(&t.clone()),
+                None => Ty::Var(*v),
+            },
+            Ty::List(t) => Ty::List(Box::new(self.resolve(t))),
+            Ty::Pardata(n, args) => {
+                Ty::Pardata(n.clone(), args.iter().map(|a| self.resolve(a)).collect())
+            }
+            Ty::Struct(n, args) => {
+                Ty::Struct(n.clone(), args.iter().map(|a| self.resolve(a)).collect())
+            }
+            Ty::Fun(args, ret) => Ty::Fun(
+                args.iter().map(|a| self.resolve(a)).collect(),
+                Box::new(self.resolve(ret)),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    fn occurs(&self, v: u32, ty: &Ty) -> bool {
+        match self.resolve(ty) {
+            Ty::Var(w) => w == v,
+            Ty::List(t) => self.occurs(v, &t),
+            Ty::Pardata(_, args) | Ty::Struct(_, args) => {
+                args.iter().any(|a| self.occurs(v, a))
+            }
+            Ty::Fun(args, ret) => args.iter().any(|a| self.occurs(v, a)) || self.occurs(v, &ret),
+            _ => false,
+        }
+    }
+
+    /// Unify two types, extending the substitution.
+    pub fn unify(&mut self, a: &Ty, b: &Ty, pos: Pos) -> Result<()> {
+        let a = self.resolve(a);
+        let b = self.resolve(b);
+        match (&a, &b) {
+            (Ty::Var(v), _) => {
+                if a == b {
+                    return Ok(());
+                }
+                if self.occurs(*v, &b) {
+                    return Err(Diag::new(Phase::Type, pos, format!("infinite type: {a} = {b}")));
+                }
+                self.subst.insert(*v, b);
+                Ok(())
+            }
+            (_, Ty::Var(_)) => self.unify(&b, &a, pos),
+            (Ty::Int, Ty::Int)
+            | (Ty::Float, Ty::Float)
+            | (Ty::Void, Ty::Void)
+            | (Ty::Index, Ty::Index)
+            | (Ty::Bounds, Ty::Bounds) => Ok(()),
+            (Ty::List(t1), Ty::List(t2)) => self.unify(t1, t2, pos),
+            (Ty::Pardata(n1, a1), Ty::Pardata(n2, a2)) | (Ty::Struct(n1, a1), Ty::Struct(n2, a2))
+                if n1 == n2 && a1.len() == a2.len() =>
+            {
+                for (x, y) in a1.iter().zip(a2) {
+                    self.unify(x, y, pos)?;
+                }
+                Ok(())
+            }
+            (Ty::Fun(p1, r1), Ty::Fun(p2, r2)) if p1.len() == p2.len() => {
+                for (x, y) in p1.iter().zip(p2) {
+                    self.unify(x, y, pos)?;
+                }
+                self.unify(r1, r2, pos)
+            }
+            _ => Err(Diag::new(
+                Phase::Type,
+                pos,
+                format!("type mismatch: expected {a}, found {b}"),
+            )),
+        }
+    }
+
+    /// Free variables of a resolved type.
+    pub fn free_vars(&self, ty: &Ty, out: &mut Vec<u32>) {
+        match self.resolve(ty) {
+            Ty::Var(v)
+                if !out.contains(&v) => {
+                    out.push(v);
+                }
+            Ty::List(t) => self.free_vars(&t, out),
+            Ty::Pardata(_, args) | Ty::Struct(_, args) => {
+                for a in &args {
+                    self.free_vars(a, out);
+                }
+            }
+            Ty::Fun(args, ret) => {
+                for a in &args {
+                    self.free_vars(a, out);
+                }
+                self.free_vars(&ret, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn subst_vars(ty: &Ty, map: &HashMap<u32, Ty>) -> Ty {
+    match ty {
+        Ty::Var(v) => map.get(v).cloned().unwrap_or(Ty::Var(*v)),
+        Ty::List(t) => Ty::List(Box::new(subst_vars(t, map))),
+        Ty::Pardata(n, args) => {
+            Ty::Pardata(n.clone(), args.iter().map(|a| subst_vars(a, map)).collect())
+        }
+        Ty::Struct(n, args) => {
+            Ty::Struct(n.clone(), args.iter().map(|a| subst_vars(a, map)).collect())
+        }
+        Ty::Fun(args, ret) => Ty::Fun(
+            args.iter().map(|a| subst_vars(a, map)).collect(),
+            Box::new(subst_vars(ret, map)),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Declared type-constructor environment: structs and pardatas.
+#[derive(Debug, Clone, Default)]
+pub struct TypeDefs {
+    /// struct name -> (type parameter names, fields).
+    pub structs: HashMap<String, (Vec<String>, Vec<(String, TypeExpr)>)>,
+    /// pardata name -> arity.
+    pub pardatas: HashMap<String, usize>,
+}
+
+impl TypeDefs {
+    /// Convert a surface type into a semantic type, mapping `$`-variables
+    /// through `var_map` (extended on first sight when `open` is set).
+    pub fn lower(
+        &self,
+        te: &TypeExpr,
+        var_map: &mut HashMap<String, Ty>,
+        uni: &mut Unifier,
+        open: bool,
+        pos: Pos,
+    ) -> Result<Ty> {
+        match te {
+            TypeExpr::Var(v) => {
+                if let Some(t) = var_map.get(v) {
+                    Ok(t.clone())
+                } else if open {
+                    let t = uni.fresh();
+                    var_map.insert(v.clone(), t.clone());
+                    Ok(t)
+                } else {
+                    Err(Diag::new(Phase::Type, pos, format!("unbound type variable ${v}")))
+                }
+            }
+            TypeExpr::Fun(args, ret) => {
+                let args = args
+                    .iter()
+                    .map(|a| self.lower(a, var_map, uni, open, pos))
+                    .collect::<Result<Vec<_>>>()?;
+                let ret = self.lower(ret, var_map, uni, open, pos)?;
+                Ok(Ty::Fun(args, Box::new(ret)))
+            }
+            TypeExpr::Named(name, args) => {
+                let args_t = args
+                    .iter()
+                    .map(|a| self.lower(a, var_map, uni, open, pos))
+                    .collect::<Result<Vec<_>>>()?;
+                match (name.as_str(), args_t.len()) {
+                    ("list", 1) => Ok(Ty::List(Box::new(args_t.into_iter().next().expect("one arg")))),
+                    ("int", 0) | ("uint", 0) | ("unsigned", 0) | ("char", 0) => Ok(Ty::Int),
+                    ("float", 0) | ("double", 0) => Ok(Ty::Float),
+                    ("void", 0) => Ok(Ty::Void),
+                    ("Index", 0) | ("Size", 0) => Ok(Ty::Index),
+                    ("Bounds", 0) => Ok(Ty::Bounds),
+                    _ => {
+                        if let Some(&arity) = self.pardatas.get(name) {
+                            if arity != args_t.len() {
+                                return Err(Diag::new(
+                                    Phase::Type,
+                                    pos,
+                                    format!(
+                                        "pardata {name} expects {arity} type arguments, got {}",
+                                        args_t.len()
+                                    ),
+                                ));
+                            }
+                            return Ok(Ty::Pardata(name.clone(), args_t));
+                        }
+                        if let Some((params, _)) = self.structs.get(name) {
+                            if params.len() != args_t.len() {
+                                return Err(Diag::new(
+                                    Phase::Type,
+                                    pos,
+                                    format!(
+                                        "struct {name} expects {} type arguments, got {}",
+                                        params.len(),
+                                        args_t.len()
+                                    ),
+                                ));
+                            }
+                            return Ok(Ty::Struct(name.clone(), args_t));
+                        }
+                        Err(Diag::new(Phase::Type, pos, format!("unknown type `{name}`")))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Enforce the paper's pardata composition rules on a resolved type:
+/// "type variables appearing as components of other data types may not be
+/// instantiated with types introduced by the pardata construct" and
+/// "distributed data structures may not be nested".
+pub fn check_pardata_rules(ty: &Ty, pos: Pos) -> Result<()> {
+    fn no_pardata(ty: &Ty, pos: Pos, what: &str) -> Result<()> {
+        match ty {
+            Ty::Pardata(n, _) => Err(Diag::new(
+                Phase::Type,
+                pos,
+                format!("pardata `{n}` may not appear as a component of {what}"),
+            )),
+            Ty::List(t) => no_pardata(t, pos, what),
+            Ty::Struct(_, args) => {
+                for a in args {
+                    no_pardata(a, pos, what)?;
+                }
+                Ok(())
+            }
+            Ty::Fun(args, ret) => {
+                for a in args {
+                    no_pardata(a, pos, what)?;
+                }
+                no_pardata(ret, pos, what)
+            }
+            _ => Ok(()),
+        }
+    }
+    match ty {
+        Ty::Pardata(n, args) => {
+            for a in args {
+                no_pardata(a, pos, &format!("pardata `{n}`"))?;
+                check_pardata_rules(a, pos)?;
+            }
+            Ok(())
+        }
+        Ty::Struct(n, args) => {
+            for a in args {
+                no_pardata(a, pos, &format!("struct `{n}`"))?;
+                check_pardata_rules(a, pos)?;
+            }
+            Ok(())
+        }
+        Ty::List(t) => {
+            no_pardata(t, pos, "a list")?;
+            check_pardata_rules(t, pos)
+        }
+        Ty::Fun(args, ret) => {
+            for a in args {
+                check_pardata_rules(a, pos)?;
+            }
+            check_pardata_rules(ret, pos)
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos() -> Pos {
+        Pos::default()
+    }
+
+    #[test]
+    fn unify_basics() {
+        let mut u = Unifier::default();
+        let v = u.fresh();
+        u.unify(&v, &Ty::Int, pos()).unwrap();
+        assert_eq!(u.resolve(&v), Ty::Int);
+        assert!(u.unify(&Ty::Int, &Ty::Float, pos()).is_err());
+    }
+
+    #[test]
+    fn unify_functions_and_pardata() {
+        let mut u = Unifier::default();
+        let a = u.fresh();
+        let f1 = Ty::Fun(vec![a.clone()], Box::new(Ty::Int));
+        let f2 = Ty::Fun(vec![Ty::Float], Box::new(Ty::Int));
+        u.unify(&f1, &f2, pos()).unwrap();
+        assert_eq!(u.resolve(&a), Ty::Float);
+
+        let p1 = Ty::Pardata("array".into(), vec![u.fresh()]);
+        let p2 = Ty::Pardata("array".into(), vec![Ty::Int]);
+        u.unify(&p1, &p2, pos()).unwrap();
+        assert_eq!(u.resolve(&p1), p2);
+    }
+
+    #[test]
+    fn occurs_check() {
+        let mut u = Unifier::default();
+        let v = u.fresh();
+        let f = Ty::Fun(vec![v.clone()], Box::new(Ty::Int));
+        assert!(u.unify(&v, &f, pos()).is_err());
+    }
+
+    #[test]
+    fn scheme_instantiation_is_fresh() {
+        let mut u = Unifier::default();
+        let v = u.fresh();
+        let Ty::Var(vid) = v else { panic!() };
+        let s = Scheme { vars: vec![vid], ty: Ty::Fun(vec![Ty::Var(vid)], Box::new(Ty::Var(vid))) };
+        let t1 = u.instantiate(&s);
+        let t2 = u.instantiate(&s);
+        assert_ne!(t1, t2, "each instantiation gets fresh variables");
+        // constraining one instance does not constrain the other
+        let Ty::Fun(args, _) = &t1 else { panic!() };
+        u.unify(&args[0], &Ty::Int, pos()).unwrap();
+        let Ty::Fun(args2, _) = &t2 else { panic!() };
+        assert!(matches!(u.resolve(&args2[0]), Ty::Var(_)));
+    }
+
+    #[test]
+    fn pardata_rules_enforced() {
+        let arr_int = Ty::Pardata("array".into(), vec![Ty::Int]);
+        assert!(check_pardata_rules(&arr_int, pos()).is_ok());
+        // nested pardata rejected
+        let nested = Ty::Pardata("array".into(), vec![arr_int.clone()]);
+        assert!(check_pardata_rules(&nested, pos()).is_err());
+        // pardata inside a struct's type arguments rejected
+        let s = Ty::Struct("pair".into(), vec![arr_int.clone(), Ty::Int]);
+        assert!(check_pardata_rules(&s, pos()).is_err());
+        // plain struct fine
+        let s = Ty::Struct("pair".into(), vec![Ty::Float, Ty::Int]);
+        assert!(check_pardata_rules(&s, pos()).is_ok());
+    }
+
+    #[test]
+    fn lower_surface_types() {
+        let mut defs = TypeDefs::default();
+        defs.pardatas.insert("array".into(), 1);
+        defs.structs.insert(
+            "pair".into(),
+            (vec!["a".into()], vec![("fst".into(), TypeExpr::Var("a".into()))]),
+        );
+        let mut uni = Unifier::default();
+        let mut vm = HashMap::new();
+        let t = defs
+            .lower(
+                &TypeExpr::Named("array".into(), vec![TypeExpr::named("float")]),
+                &mut vm,
+                &mut uni,
+                true,
+                Pos::default(),
+            )
+            .unwrap();
+        assert_eq!(t, Ty::Pardata("array".into(), vec![Ty::Float]));
+        // arity mismatch
+        assert!(defs
+            .lower(&TypeExpr::named("array"), &mut vm, &mut uni, true, Pos::default())
+            .is_err());
+        // unknown type
+        assert!(defs
+            .lower(&TypeExpr::named("wibble"), &mut vm, &mut uni, true, Pos::default())
+            .is_err());
+        // Size is Index
+        let t = defs
+            .lower(&TypeExpr::named("Size"), &mut vm, &mut uni, true, Pos::default())
+            .unwrap();
+        assert_eq!(t, Ty::Index);
+    }
+}

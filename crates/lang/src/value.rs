@@ -1,0 +1,201 @@
+//! Runtime values of interpreted Skil programs.
+
+use skil_runtime::{Wire, WireError, WireReader};
+
+/// A dynamic Skil value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `int`.
+    Int(i64),
+    /// `float`.
+    Float(f64),
+    /// `void`.
+    Unit,
+    /// `Index` / `Size` (components may be negative in `array_create`'s
+    /// "derive this bound" convention).
+    Index([i64; 2]),
+    /// Partition bounds: lower (inclusive), upper (exclusive).
+    Bounds([i64; 2], [i64; 2]),
+    /// A struct instance: index into `FoProgram::structs` plus fields.
+    Struct(u32, Vec<Value>),
+    /// A cons list.
+    List(Vec<Value>),
+    /// A distributed array handle (index into the interpreter's local
+    /// array table). Never crosses processors: the paper's pardata
+    /// values are not flattenable.
+    Array(usize),
+}
+
+impl Value {
+    /// Render for `print`.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => format!("{v}"),
+            Value::Unit => "()".into(),
+            Value::Index(ix) => format!("{{{}, {}}}", ix[0], ix[1]),
+            Value::Bounds(lo, up) => {
+                format!("bounds{{[{}, {}] .. [{}, {}]}}", lo[0], lo[1], up[0], up[1])
+            }
+            Value::Struct(_, fields) => {
+                let inner: Vec<String> = fields.iter().map(|f| f.render()).collect();
+                format!("{{{}}}", inner.join(", "))
+            }
+            Value::List(items) => {
+                let inner: Vec<String> = items.iter().map(|f| f.render()).collect();
+                format!("[{}]", inner.join(", "))
+            }
+            Value::Array(h) => format!("array#{h}"),
+        }
+    }
+
+    /// The `int` inside, or a descriptive panic (interpreter invariants
+    /// guarantee the type after checking).
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+
+    /// The `float` inside.
+    pub fn as_float(&self) -> f64 {
+        match self {
+            Value::Float(v) => *v,
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    /// The `Index` inside.
+    pub fn as_index(&self) -> [i64; 2] {
+        match self {
+            Value::Index(ix) => *ix,
+            other => panic!("expected Index, got {other:?}"),
+        }
+    }
+
+    /// The array handle inside.
+    pub fn as_array(&self) -> usize {
+        match self {
+            Value::Array(h) => *h,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    /// Approximate wire size in bytes (for cost accounting).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Float(_) => 9,
+            Value::Unit => 1,
+            Value::Index(_) | Value::Bounds(_, _) => 17,
+            Value::Struct(_, fields) => {
+                5 + fields.iter().map(|f| f.wire_size()).sum::<usize>()
+            }
+            Value::List(items) => 9 + items.iter().map(|f| f.wire_size()).sum::<usize>(),
+            Value::Array(_) => 9,
+        }
+    }
+}
+
+impl Wire for Value {
+    fn flatten(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Int(v) => {
+                out.push(0);
+                v.flatten(out);
+            }
+            Value::Float(v) => {
+                out.push(1);
+                v.flatten(out);
+            }
+            Value::Unit => out.push(2),
+            Value::Index(ix) => {
+                out.push(3);
+                ix[0].flatten(out);
+                ix[1].flatten(out);
+            }
+            Value::Bounds(lo, up) => {
+                out.push(4);
+                lo[0].flatten(out);
+                lo[1].flatten(out);
+                up[0].flatten(out);
+                up[1].flatten(out);
+            }
+            Value::Struct(id, fields) => {
+                out.push(5);
+                id.flatten(out);
+                fields.flatten(out);
+            }
+            Value::List(items) => {
+                out.push(6);
+                items.flatten(out);
+            }
+            Value::Array(_) => {
+                // the paper's rule: distributed structures move only
+                // through skeletons, never as flattened values
+                panic!("a pardata value cannot be flattened into a message");
+            }
+        }
+    }
+
+    fn unflatten(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.take(1)?[0] {
+            0 => Value::Int(i64::unflatten(r)?),
+            1 => Value::Float(f64::unflatten(r)?),
+            2 => Value::Unit,
+            3 => Value::Index([i64::unflatten(r)?, i64::unflatten(r)?]),
+            4 => Value::Bounds(
+                [i64::unflatten(r)?, i64::unflatten(r)?],
+                [i64::unflatten(r)?, i64::unflatten(r)?],
+            ),
+            5 => Value::Struct(u32::unflatten(r)?, Vec::<Value>::unflatten(r)?),
+            6 => Value::List(Vec::<Value>::unflatten(r)?),
+            _ => return Err(WireError::Invalid("bad Value tag")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) {
+        let b = v.to_bytes();
+        assert_eq!(Value::from_bytes(&b).unwrap(), v);
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        roundtrip(Value::Int(-42));
+        roundtrip(Value::Float(2.5));
+        roundtrip(Value::Unit);
+        roundtrip(Value::Index([3, -1]));
+        roundtrip(Value::Bounds([0, 0], [4, 5]));
+        roundtrip(Value::Struct(2, vec![Value::Float(1.5), Value::Int(7)]));
+        roundtrip(Value::List(vec![Value::Int(1), Value::List(vec![Value::Float(0.5)])]));
+    }
+
+    #[test]
+    #[should_panic(expected = "pardata")]
+    fn arrays_cannot_flatten() {
+        let _ = Value::Array(0).to_bytes();
+    }
+
+    #[test]
+    fn rendering() {
+        assert_eq!(Value::Int(3).render(), "3");
+        assert_eq!(Value::Index([1, 2]).render(), "{1, 2}");
+        assert_eq!(
+            Value::Struct(0, vec![Value::Int(1), Value::Float(0.5)]).render(),
+            "{1, 0.5}"
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), 5);
+        assert_eq!(Value::Float(1.5).as_float(), 1.5);
+        assert_eq!(Value::Index([1, 2]).as_index(), [1, 2]);
+        assert_eq!(Value::Array(3).as_array(), 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! End-to-end tests of the `skilc` driver binary.
+
+use std::process::Command;
+
+fn skilc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_skilc"))
+}
+
+fn write_temp(name: &str, src: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("skilc-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, src).expect("write program");
+    path
+}
+
+const HELLO: &str = "void main() { if (procId == 0) { print(41 + 1); } }";
+
+#[test]
+fn emits_c_by_default() {
+    let path = write_temp("hello.skil", HELLO);
+    let out = skilc().arg(&path).output().expect("run skilc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let c = String::from_utf8_lossy(&out.stdout);
+    assert!(c.contains("void main(void)"), "{c}");
+    assert!(c.contains("translation by instantiation"), "{c}");
+}
+
+#[test]
+fn check_mode_reports_instances() {
+    let path = write_temp("check.skil", HELLO);
+    let out = skilc().arg("--check").arg(&path).output().expect("run skilc");
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("ok ("), "{err}");
+}
+
+#[test]
+fn run_mode_prints_output_and_summary() {
+    let path = write_temp("run.skil", HELLO);
+    let out = skilc()
+        .arg("--run")
+        .arg("--mesh")
+        .arg("2x2")
+        .arg(&path)
+        .output()
+        .expect("run skilc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[proc 0] 42"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("simulated"), "{stderr}");
+    assert!(stderr.contains("4 T800s"), "{stderr}");
+}
+
+#[test]
+fn trace_mode_prints_timeline() {
+    let src = "int initf(Index ix) { return ix[0]; }\n\
+               int conv(int v, Index ix) { return v; }\n\
+               void main() {\n\
+                 array<int> a = array_create(1, {64,1}, {0,0}, {0-1,0-1}, initf, DISTR_DEFAULT);\n\
+                 int s = array_fold(conv, (+), a);\n\
+                 if (procId == 0) { print(s); }\n\
+               }";
+    let path = write_temp("trace.skil", src);
+    let out = skilc()
+        .arg("--run")
+        .arg("--trace")
+        .arg(&path)
+        .output()
+        .expect("run skilc");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("p0"), "{stderr}");
+    assert!(stderr.contains("= fold"), "{stderr}");
+}
+
+#[test]
+fn type_errors_exit_nonzero_with_position() {
+    let path = write_temp("bad.skil", "void main() { int x = 1.5; }");
+    let out = skilc().arg(&path).output().expect("run skilc");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("type error"), "{err}");
+    assert!(err.contains("1:"), "position reported: {err}");
+}
+
+#[test]
+fn missing_file_is_reported() {
+    let out = skilc().arg("/nonexistent/nope.skil").output().expect("run skilc");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn bad_flags_show_usage() {
+    let out = skilc().arg("--frobnicate").output().expect("run skilc");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

@@ -1,0 +1,249 @@
+//! Collective operations over the whole machine.
+//!
+//! All collectives run along a binomial tree ("virtual tree topology" in
+//! the paper): `array_fold` composes partition results toward the root and
+//! then broadcasts the final value back down, and `array_broadcast_part`
+//! pushes a partition down the tree. The combine order is fixed by the
+//! tree, so results are deterministic even for non-commutative operators —
+//! but, as the paper specifies, only associative & commutative operators
+//! make the result independent of the machine shape.
+
+use crate::proc::Proc;
+use crate::topology::BinomialTree;
+use crate::wire::Wire;
+
+/// Tag-space offset separating the gather and release phases of
+/// collectives that have both.
+const PHASE: u64 = 1 << 62;
+
+impl Proc<'_> {
+    /// Broadcast `val` from `root` to every processor. Exactly the root
+    /// must pass `Some`; everyone receives the value.
+    pub fn broadcast<T: Wire>(&mut self, root: usize, tag: u64, val: Option<T>) -> T {
+        let tree = BinomialTree::new(self.nprocs(), root);
+        let v = if self.id() == root {
+            val.expect("broadcast root must supply a value")
+        } else {
+            assert!(val.is_none(), "non-root processor supplied a broadcast value");
+            let parent = tree.parent(self.id()).expect("non-root has a parent");
+            self.recv(parent, tag)
+        };
+        // Send to the largest subtree first: its delivery chain is the
+        // longest, so it must leave the (serializing) sender earliest.
+        let mut children = tree.children(self.id());
+        children.reverse();
+        for child in children {
+            self.send(child, tag, &v);
+        }
+        v
+    }
+
+    /// Reduce every processor's `mine` to the root with `combine`,
+    /// charging `op_cycles` per combine. Returns `Some` only at the root.
+    pub fn reduce<T, F>(
+        &mut self,
+        root: usize,
+        tag: u64,
+        mine: T,
+        mut combine: F,
+        op_cycles: u64,
+    ) -> Option<T>
+    where
+        T: Wire,
+        F: FnMut(T, T) -> T,
+    {
+        let tree = BinomialTree::new(self.nprocs(), root);
+        let mut acc = mine;
+        // Children arrive in reverse round order: the child with the
+        // largest subtree reports last.
+        let mut children = tree.children(self.id());
+        children.reverse();
+        for child in children {
+            let theirs: T = self.recv(child, tag);
+            self.charge(op_cycles);
+            acc = combine(acc, theirs);
+        }
+        match tree.parent(self.id()) {
+            Some(parent) => {
+                self.send(parent, tag, &acc);
+                None
+            }
+            None => Some(acc),
+        }
+    }
+
+    /// Reduce to `root` and broadcast the result back to every processor
+    /// — the communication structure of the paper's `array_fold`, whose
+    /// result is "broadcasted from the root along the tree edges to all
+    /// other processors".
+    pub fn allreduce<T, F>(&mut self, tag: u64, mine: T, combine: F, op_cycles: u64) -> T
+    where
+        T: Wire + Clone,
+        F: FnMut(T, T) -> T,
+    {
+        let root = 0;
+        let reduced = self.reduce(root, tag, mine, combine, op_cycles);
+        if self.id() == root {
+            let v = reduced.expect("root holds the reduction");
+            self.broadcast(root, tag | PHASE, Some(v))
+        } else {
+            self.broadcast(root, tag | PHASE, None)
+        }
+    }
+
+    /// Synchronize all processors: no processor continues (in virtual
+    /// time) before every processor has arrived.
+    pub fn barrier(&mut self, tag: u64) {
+        // Gather arrival times to the root, then release everyone at the
+        // synchronized time. Virtual clocks advance through the message
+        // arrival rule, so the barrier cost reflects two tree traversals.
+        let _ = self.allreduce(tag, 0u8, |_, _| 0u8, 0);
+    }
+
+    /// Gather each processor's value at the root; `None` elsewhere.
+    /// The result vector is indexed by processor id.
+    pub fn gather<T: Wire>(&mut self, root: usize, tag: u64, mine: T) -> Option<Vec<T>> {
+        let n = self.nprocs();
+        let reduced = self.reduce(
+            root,
+            tag,
+            vec![(self.id(), mine.to_bytes())],
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+            0,
+        );
+        reduced.map(|pairs| {
+            let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            for (id, bytes) in pairs {
+                slots[id] = Some(T::from_bytes(&bytes).expect("gather payload decodes"));
+            }
+            slots
+                .into_iter()
+                .enumerate()
+                .map(|(id, v)| v.unwrap_or_else(|| panic!("gather missing value from {id}")))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cost::CostModel;
+    use crate::machine::{Machine, MachineConfig};
+
+    fn machine(n: usize) -> Machine {
+        Machine::new(MachineConfig::procs(n).unwrap())
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        for n in [1, 2, 3, 4, 7, 8, 16] {
+            let m = machine(n);
+            let run = m.run(|p| {
+                let v = if p.id() == 0 { Some(42u32) } else { None };
+                p.broadcast(0, 5, v)
+            });
+            assert!(run.results.iter().all(|&v| v == 42), "n={n}");
+        }
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let m = machine(8);
+        let run = m.run(|p| {
+            let v = if p.id() == 5 { Some(99u32) } else { None };
+            p.broadcast(5, 5, v)
+        });
+        assert!(run.results.iter().all(|&v| v == 99));
+    }
+
+    #[test]
+    fn reduce_sums() {
+        for n in [1, 2, 5, 8, 16, 64] {
+            let m = machine(n);
+            let run = m.run(|p| p.reduce(0, 7, p.id() as u64, |a, b| a + b, 10));
+            let expect = (n as u64 * (n as u64 - 1)) / 2;
+            assert_eq!(run.results[0], Some(expect), "n={n}");
+            assert!(run.results[1..].iter().all(|r| r.is_none()));
+        }
+    }
+
+    #[test]
+    fn allreduce_agrees_everywhere() {
+        for n in [2, 3, 8, 32] {
+            let m = machine(n);
+            let run = m.run(|p| p.allreduce(11, (p.id() + 1) as u64, |a, b| a.max(b), 5));
+            assert!(run.results.iter().all(|&v| v == n as u64), "n={n}");
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_id_order() {
+        let m = machine(6);
+        let run = m.run(|p| p.gather(0, 13, (p.id() as u32) * 10));
+        assert_eq!(run.results[0].as_deref(), Some(&[0u32, 10, 20, 30, 40, 50][..]));
+        assert!(run.results[1..].iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn barrier_synchronizes_virtual_clocks() {
+        let m = machine(4);
+        let run = m.run(|p| {
+            // Skewed compute before the barrier.
+            p.charge(1_000_000 * (p.id() as u64));
+            p.barrier(17);
+            p.now()
+        });
+        // After the barrier nobody's clock may be before the slowest
+        // processor's pre-barrier time.
+        let slowest_compute = 3_000_000u64;
+        for &t in &run.results {
+            assert!(t >= slowest_compute, "clock {t} precedes barrier release");
+        }
+    }
+
+    #[test]
+    fn broadcast_latency_scales_with_tree_depth() {
+        let cost = CostModel::t800();
+        let time = |n: usize| {
+            let m = Machine::new(MachineConfig::procs(n).unwrap());
+            m.run(|p| {
+                let v = if p.id() == 0 { Some(7u8) } else { None };
+                p.broadcast(0, 1, v);
+            })
+            .report
+            .sim_cycles
+        };
+        let t2 = time(2);
+        let t16 = time(16);
+        // 16 processors need 4 rounds; 2 need 1. The critical path grows
+        // roughly linearly in rounds.
+        assert!(t16 > 3 * t2 / 2, "t2={t2} t16={t16}");
+        assert!(t16 >= 4 * cost.msg_setup, "tree depth sets a floor");
+    }
+
+    #[test]
+    fn reduce_deterministic_order_for_noncommutative_op() {
+        // The tree fixes the combine order, so even a non-commutative
+        // operator yields a reproducible (if shape-dependent) result.
+        let m = machine(8);
+        let a = m.run(|p| p.reduce(0, 3, vec![p.id() as u32], |mut x, y| {
+            x.extend(y);
+            x
+        }, 0));
+        let b = m.run(|p| p.reduce(0, 3, vec![p.id() as u32], |mut x, y| {
+            x.extend(y);
+            x
+        }, 0));
+        assert_eq!(a.results[0], b.results[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast root must supply a value")]
+    fn broadcast_root_without_value_panics() {
+        let m = machine(2);
+        let _ = m.run(|p| p.broadcast::<u8>(0, 1, None));
+    }
+}

@@ -1,0 +1,108 @@
+//! Error types for the runtime.
+
+use std::fmt;
+
+/// Errors produced while decoding a wire-format byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The reader ran out of bytes before the value was complete.
+    Eof {
+        /// How many bytes the decoder wanted.
+        wanted: usize,
+        /// How many bytes were left.
+        available: usize,
+    },
+    /// The bytes were structurally invalid for the expected type
+    /// (e.g. a bad enum discriminant or a non-UTF-8 string).
+    Invalid(&'static str),
+    /// Trailing bytes remained after a complete top-level decode.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Eof { wanted, available } => write!(
+                f,
+                "unexpected end of wire data: wanted {wanted} bytes, {available} available"
+            ),
+            WireError::Invalid(what) => write!(f, "invalid wire data: {what}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Errors produced by runtime operations (message passing, topology use).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtError {
+    /// A message destination or source was not a valid processor id.
+    BadProc {
+        /// The offending processor id.
+        id: usize,
+        /// Number of processors in the machine.
+        nprocs: usize,
+    },
+    /// A message payload failed to decode as the requested type.
+    Decode(WireError),
+    /// A processor sent a message to itself, which the link model
+    /// does not support (local data needs no message).
+    SelfSend(usize),
+    /// The machine configuration was inconsistent
+    /// (e.g. mesh dimensions whose product is not the processor count).
+    BadConfig(String),
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::BadProc { id, nprocs } => {
+                write!(f, "processor id {id} out of range (machine has {nprocs})")
+            }
+            RtError::Decode(e) => write!(f, "message decode failed: {e}"),
+            RtError::SelfSend(id) => write!(f, "processor {id} attempted to send to itself"),
+            RtError::BadConfig(msg) => write!(f, "bad machine configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+impl From<WireError> for RtError {
+    fn from(e: WireError) -> Self {
+        RtError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_eof() {
+        let e = WireError::Eof { wanted: 8, available: 3 };
+        assert!(e.to_string().contains("wanted 8"));
+        assert!(e.to_string().contains("3 available"));
+    }
+
+    #[test]
+    fn display_invalid() {
+        assert!(WireError::Invalid("bad bool").to_string().contains("bad bool"));
+    }
+
+    #[test]
+    fn display_rt_errors() {
+        let e = RtError::BadProc { id: 9, nprocs: 4 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("4"));
+        assert!(RtError::SelfSend(2).to_string().contains("2"));
+        assert!(RtError::BadConfig("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn wire_error_converts() {
+        let e: RtError = WireError::Invalid("oops").into();
+        assert!(matches!(e, RtError::Decode(_)));
+    }
+}

@@ -1,0 +1,46 @@
+//! # skil-runtime
+//!
+//! A deterministic **virtual-time simulator** of the distributed-memory
+//! MIMD machine the Skil paper evaluates on: a Parsytec MC — 64 T800
+//! transputers at 20 MHz on a 2-D mesh, running the Parix OS.
+//!
+//! SPMD programs run as real Rust closures, one host thread per simulated
+//! processor. Each processor carries a virtual cycle clock; computation
+//! advances it via [`Proc::charge`], and messages carry arrival
+//! timestamps computed from a calibrated LogP-style link model
+//! ([`CostModel`]). `recv` raises the receiver's clock to the arrival
+//! time, so the maximum clock at program exit is the simulated parallel
+//! run time — deterministically, regardless of host scheduling or core
+//! count.
+//!
+//! The crate provides:
+//!
+//! * [`Machine`] / [`MachineConfig`] — build and run simulations;
+//! * [`Proc`] — the per-processor handle: `send`/`send_sync`/`recv`,
+//!   collectives (broadcast, reduce, allreduce, gather, barrier);
+//! * [`Wire`] — the flatten/unflatten contract for data that crosses
+//!   processors (the paper's "flattening" of dynamic data);
+//! * [`topology`] — the physical mesh plus ring/torus virtual topologies
+//!   with realistic embedding costs, and the binomial collective tree;
+//! * [`CostModel`] — per-operation cycle charges calibrated against the
+//!   paper's Tables 1 and 2 (see `DESIGN.md` / `EXPERIMENTS.md`).
+
+#![warn(missing_docs)]
+
+pub mod collective;
+pub mod cost;
+pub mod error;
+pub mod mailbox;
+pub mod machine;
+pub mod proc;
+pub mod report;
+pub mod topology;
+pub mod wire;
+
+pub use cost::CostModel;
+pub use error::{RtError, WireError};
+pub use machine::{Machine, MachineConfig, Run};
+pub use proc::Proc;
+pub use report::{ProcReport, ProcStats, RunReport, TraceEvent};
+pub use topology::{BinomialTree, Distr, Mesh, Ring, Torus2d};
+pub use wire::{Wire, WireReader};

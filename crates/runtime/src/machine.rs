@@ -1,0 +1,393 @@
+//! The machine: configuration and SPMD execution.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use crate::cost::CostModel;
+use crate::error::RtError;
+use crate::mailbox::Mailbox;
+use crate::proc::{Proc, Shared};
+use crate::report::{ProcReport, RunReport};
+use crate::topology::Mesh;
+
+/// Configuration of a simulated machine.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// The physical 2-D mesh.
+    pub mesh: Mesh,
+    /// Cost model (defaults to the calibrated T800).
+    pub cost: CostModel,
+    /// Real-time budget before a blocked `recv` reports a deadlock.
+    pub deadlock_timeout: Duration,
+    /// Record per-processor skeleton trace events.
+    pub trace: bool,
+}
+
+impl MachineConfig {
+    /// A `rows x cols` mesh with the default cost model.
+    pub fn mesh(rows: usize, cols: usize) -> Result<Self, RtError> {
+        Ok(MachineConfig {
+            mesh: Mesh::new(rows, cols)?,
+            cost: CostModel::t800(),
+            deadlock_timeout: Duration::from_secs(20),
+            trace: false,
+        })
+    }
+
+    /// A square `side x side` mesh.
+    pub fn square(side: usize) -> Result<Self, RtError> {
+        Self::mesh(side, side)
+    }
+
+    /// `n` processors on the most nearly square mesh.
+    pub fn procs(n: usize) -> Result<Self, RtError> {
+        Ok(MachineConfig {
+            mesh: Mesh::near_square(n)?,
+            cost: CostModel::t800(),
+            deadlock_timeout: Duration::from_secs(20),
+            trace: false,
+        })
+    }
+
+    /// Replace the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Replace the deadlock timeout.
+    pub fn with_timeout(mut self, t: Duration) -> Self {
+        self.deadlock_timeout = t;
+        self
+    }
+
+    /// Enable per-processor skeleton tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+/// Results of one simulation: the per-processor return values (indexed by
+/// processor id) and the timing report.
+#[derive(Debug)]
+pub struct Run<R> {
+    /// What each processor's program returned.
+    pub results: Vec<R>,
+    /// Simulated timing and traffic.
+    pub report: RunReport,
+}
+
+/// A simulated distributed-memory machine.
+///
+/// `run` executes one SPMD program: the same closure on every processor,
+/// each on its own host thread with its own [`Proc`] handle. Virtual time
+/// is fully deterministic for programs whose receives name their source
+/// (all skeletons do), independent of host scheduling.
+///
+/// ```
+/// use skil_runtime::{Machine, MachineConfig};
+///
+/// let m = Machine::new(MachineConfig::mesh(2, 2).unwrap());
+/// let run = m.run(|p| {
+///     if p.id() == 0 {
+///         p.send(1, 7, &123u32);
+///         0
+///     } else if p.id() == 1 {
+///         p.recv::<u32>(0, 7)
+///     } else {
+///         0
+///     }
+/// });
+/// assert_eq!(run.results[1], 123);
+/// assert!(run.report.sim_cycles > 0);
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+}
+
+impl Machine {
+    /// Build a machine from a configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        Machine { cfg }
+    }
+
+    /// Number of processors.
+    pub fn nprocs(&self) -> usize {
+        self.cfg.mesh.procs()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Run an SPMD program on every processor and collect the results.
+    ///
+    /// If any processor panics, the machine is poisoned (peers blocked in
+    /// `recv` abort promptly) and the first panic is re-raised on the
+    /// caller's thread.
+    pub fn run<R, F>(&self, program: F) -> Run<R>
+    where
+        R: Send,
+        F: Fn(&mut Proc<'_>) -> R + Sync,
+    {
+        let n = self.nprocs();
+        let shared = Shared {
+            trace: self.cfg.trace,
+            mesh: self.cfg.mesh,
+            cost: self.cfg.cost.clone(),
+            deadlock_timeout: self.cfg.deadlock_timeout,
+            mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
+            poison: std::sync::atomic::AtomicBool::new(false),
+        };
+        let program = &program;
+        let shared_ref = &shared;
+
+        let mut outcomes: Vec<Option<ProcOutcome<R>>> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for id in 0..n {
+                let builder = std::thread::Builder::new()
+                    .name(format!("proc-{id}"))
+                    .stack_size(8 * 1024 * 1024);
+                let handle = builder
+                    .spawn_scoped(scope, move || {
+                        let mut proc = Proc::new(id, shared_ref);
+                        let result =
+                            catch_unwind(AssertUnwindSafe(|| program(&mut proc)));
+                        if result.is_err() {
+                            shared_ref.poison.store(true, Ordering::Release);
+                        }
+                        let report = ProcReport {
+                            finished_at: proc.now(),
+                            stats: proc.stats(),
+                            trace: proc.take_trace(),
+                        };
+                        (result, report)
+                    })
+                    .expect("spawn processor thread");
+                handles.push(handle);
+            }
+            for handle in handles {
+                let (result, report) = handle.join().expect("processor thread not poisoned");
+                outcomes.push(Some(ProcOutcome { result, report }));
+            }
+        });
+
+        let mut results = Vec::with_capacity(n);
+        let mut procs = Vec::with_capacity(n);
+        let mut first_panic = None;
+        for outcome in outcomes.into_iter().flatten() {
+            procs.push(outcome.report);
+            match outcome.result {
+                Ok(r) => results.push(r),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+
+        let sim_cycles = procs.iter().map(|p| p.finished_at).max().unwrap_or(0);
+        Run {
+            results,
+            report: RunReport {
+                sim_cycles,
+                sim_seconds: self.cfg.cost.seconds(sim_cycles),
+                procs,
+            },
+        }
+    }
+}
+
+struct ProcOutcome<R> {
+    result: std::thread::Result<R>,
+    report: ProcReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    #[test]
+    fn spmd_ids_cover_machine() {
+        let m = Machine::new(MachineConfig::mesh(2, 3).unwrap());
+        let run = m.run(|p| p.id());
+        assert_eq!(run.results, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn single_proc_machine() {
+        let m = Machine::new(MachineConfig::procs(1).unwrap());
+        let run = m.run(|p| {
+            p.charge(500);
+            p.nprocs()
+        });
+        assert_eq!(run.results, vec![1]);
+        assert_eq!(run.report.sim_cycles, 500);
+    }
+
+    #[test]
+    fn ping_pong_advances_time() {
+        let m = Machine::new(MachineConfig::mesh(1, 2).unwrap());
+        let run = m.run(|p| {
+            if p.id() == 0 {
+                p.send(1, 1, &7u64);
+                p.recv::<u64>(1, 2)
+            } else {
+                let v: u64 = p.recv(0, 1);
+                p.send(0, 2, &(v * 2));
+                v
+            }
+        });
+        assert_eq!(run.results, vec![14, 7]);
+        let c = CostModel::t800();
+        // Two messages of 8 bytes, one hop each, plus CPU charges.
+        let min_time = 2 * c.transit(8, 1);
+        assert!(run.report.sim_cycles >= min_time);
+    }
+
+    #[test]
+    fn virtual_time_is_deterministic() {
+        let m = Machine::new(MachineConfig::mesh(2, 2).unwrap());
+        let runner = || {
+            m.run(|p| {
+                // A small ring circulation with some compute skew.
+                p.charge(100 * (p.id() as u64 + 1));
+                let next = (p.id() + 1) % p.nprocs();
+                let prev = (p.id() + p.nprocs() - 1) % p.nprocs();
+                p.send(next, 9, &(p.id() as u64));
+                let got: u64 = p.recv(prev, 9);
+                p.charge(50);
+                got
+            })
+        };
+        let a = runner();
+        let b = runner();
+        assert_eq!(a.report.sim_cycles, b.report.sim_cycles);
+        assert_eq!(a.results, b.results);
+        for (pa, pb) in a.report.procs.iter().zip(&b.report.procs) {
+            assert_eq!(pa.finished_at, pb.finished_at);
+            assert_eq!(pa.stats, pb.stats);
+        }
+    }
+
+    #[test]
+    fn async_send_overlaps_compute() {
+        // With async sends the receiver that computes long enough never
+        // waits; with sync sends the sender's clock absorbs the transit.
+        let big = vec![0u8; 10_000];
+        let cfg = MachineConfig::mesh(1, 2).unwrap();
+        let c = cfg.cost.clone();
+        let m = Machine::new(cfg);
+        let transit = c.transit(10_000 + 8, 1);
+
+        let run_async = m.run(|p| {
+            if p.id() == 0 {
+                p.send(1, 1, &big);
+                p.now()
+            } else {
+                p.charge(transit * 2); // compute past the arrival
+                let before = p.now();
+                let _: Vec<u8> = p.recv(0, 1);
+                p.now() - before // only the recv CPU charge, no wait
+            }
+        });
+        assert_eq!(run_async.results[1], c.recv_cpu);
+        // Async sender's clock saw only the send CPU charge.
+        assert_eq!(run_async.results[0], c.send_cpu);
+
+        let run_sync = m.run(|p| {
+            if p.id() == 0 {
+                p.send_sync(1, 1, &big);
+                p.now()
+            } else {
+                let _: Vec<u8> = p.recv(0, 1);
+                0
+            }
+        });
+        // Sync sender blocked for the whole transit.
+        assert_eq!(run_sync.results[0], c.send_cpu + transit);
+    }
+
+    #[test]
+    fn wait_time_recorded() {
+        let m = Machine::new(MachineConfig::mesh(1, 2).unwrap());
+        let run = m.run(|p| {
+            if p.id() == 0 {
+                p.charge(1_000_000); // send late
+                p.send(1, 1, &1u8);
+            } else {
+                let _: u8 = p.recv(0, 1);
+            }
+        });
+        let waiter = run.report.procs[1].stats;
+        assert!(waiter.wait > 900_000, "receiver should have waited, got {waiter:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn panic_propagates() {
+        let m = Machine::new(MachineConfig::mesh(1, 2).unwrap());
+        let _ = m.run(|p| {
+            if p.id() == 0 {
+                panic!("deliberate");
+            } else {
+                // This would deadlock forever without poisoning.
+                let _: u8 = p.recv(0, 1);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock suspected")]
+    fn deadlock_detected() {
+        let m = Machine::new(
+            MachineConfig::mesh(1, 2)
+                .unwrap()
+                .with_timeout(Duration::from_millis(100)),
+        );
+        let _ = m.run(|p| {
+            if p.id() == 1 {
+                let _: u8 = p.recv(0, 42); // nobody ever sends
+            }
+        });
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let m = Machine::new(MachineConfig::mesh(1, 2).unwrap());
+        let run = m.run(|p| {
+            if p.id() == 0 {
+                p.send(1, 1, &[1u64, 2, 3]); // fixed-size array: 24 bytes
+            } else {
+                let _: [u64; 3] = p.recv(0, 1);
+            }
+        });
+        assert_eq!(run.report.total_msgs(), 1);
+        assert_eq!(run.report.total_bytes(), 24);
+        assert_eq!(run.report.procs[1].stats.recvs, 1);
+    }
+
+    #[test]
+    fn zero_cost_model_runs_in_zero_time() {
+        let cfg = MachineConfig::mesh(1, 2).unwrap().with_cost(CostModel::zero());
+        let m = Machine::new(cfg);
+        let run = m.run(|p| {
+            if p.id() == 0 {
+                p.send(1, 1, &9u8);
+            } else {
+                let _: u8 = p.recv(0, 1);
+            }
+        });
+        assert_eq!(run.report.sim_cycles, 0);
+    }
+}

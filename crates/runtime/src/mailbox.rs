@@ -1,0 +1,187 @@
+//! Per-processor mailboxes with (source, tag) matching.
+//!
+//! Every processor owns one mailbox; any processor may deposit an
+//! envelope. Reception matches on exact `(src, tag)` pairs and preserves
+//! FIFO order per pair, which (together with programs that never receive
+//! from "any source") makes simulations deterministic regardless of host
+//! thread scheduling.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// One in-flight message.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Sending processor.
+    pub src: usize,
+    /// User-chosen message tag.
+    pub tag: u64,
+    /// Virtual time at which the message is fully available to the
+    /// receiver.
+    pub arrival: u64,
+    /// Flattened payload.
+    pub bytes: Vec<u8>,
+}
+
+/// A processor's incoming message queue.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    cond: Condvar,
+}
+
+/// Outcome of a bounded wait on a mailbox.
+#[derive(Debug)]
+pub enum RecvOutcome {
+    /// A matching envelope was dequeued.
+    Message(Envelope),
+    /// The machine was poisoned (a peer panicked).
+    Poisoned,
+    /// The deadline passed with no matching message.
+    TimedOut,
+}
+
+impl Mailbox {
+    /// Deposit an envelope and wake any waiting receiver.
+    pub fn put(&self, env: Envelope) {
+        let mut q = self.queue.lock();
+        q.push_back(env);
+        self.cond.notify_all();
+    }
+
+    /// Dequeue the oldest envelope matching `(src, tag)`, waiting up to
+    /// `deadline` total. `poison` aborts the wait early when set.
+    pub fn get(
+        &self,
+        src: usize,
+        tag: u64,
+        poison: &AtomicBool,
+        deadline: Duration,
+    ) -> RecvOutcome {
+        let start = std::time::Instant::now();
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|e| e.src == src && e.tag == tag) {
+                // VecDeque::remove preserves the relative order of the
+                // remaining envelopes, keeping per-(src, tag) FIFO intact.
+                return RecvOutcome::Message(q.remove(pos).expect("position is valid"));
+            }
+            if poison.load(Ordering::Acquire) {
+                return RecvOutcome::Poisoned;
+            }
+            if start.elapsed() >= deadline {
+                return RecvOutcome::TimedOut;
+            }
+            // Wake periodically to observe poisoning even if no message
+            // ever arrives.
+            self.cond.wait_for(&mut q, Duration::from_millis(25));
+        }
+    }
+
+    /// Number of queued envelopes (diagnostics only).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether the mailbox is empty (diagnostics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of `(src, tag)` pairs currently queued (for deadlock
+    /// reports).
+    pub fn pending(&self) -> Vec<(usize, u64)> {
+        self.queue.lock().iter().map(|e| (e.src, e.tag)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn env(src: usize, tag: u64, arrival: u64) -> Envelope {
+        Envelope { src, tag, arrival, bytes: vec![] }
+    }
+
+    #[test]
+    fn matches_src_and_tag() {
+        let mb = Mailbox::default();
+        let poison = AtomicBool::new(false);
+        mb.put(env(1, 10, 5));
+        mb.put(env(2, 10, 6));
+        mb.put(env(1, 11, 7));
+        match mb.get(2, 10, &poison, Duration::from_secs(1)) {
+            RecvOutcome::Message(e) => assert_eq!((e.src, e.tag, e.arrival), (2, 10, 6)),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(mb.len(), 2);
+        assert_eq!(mb.pending(), vec![(1, 10), (1, 11)]);
+    }
+
+    #[test]
+    fn fifo_per_pair() {
+        let mb = Mailbox::default();
+        let poison = AtomicBool::new(false);
+        mb.put(env(1, 10, 100));
+        mb.put(env(1, 10, 200));
+        let a = match mb.get(1, 10, &poison, Duration::from_secs(1)) {
+            RecvOutcome::Message(e) => e.arrival,
+            _ => panic!(),
+        };
+        let b = match mb.get(1, 10, &poison, Duration::from_secs(1)) {
+            RecvOutcome::Message(e) => e.arrival,
+            _ => panic!(),
+        };
+        assert_eq!((a, b), (100, 200));
+    }
+
+    #[test]
+    fn times_out_without_match() {
+        let mb = Mailbox::default();
+        let poison = AtomicBool::new(false);
+        mb.put(env(1, 10, 5));
+        match mb.get(1, 99, &poison, Duration::from_millis(60)) {
+            RecvOutcome::TimedOut => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        // The non-matching envelope is untouched.
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn poison_aborts_wait() {
+        let mb = Arc::new(Mailbox::default());
+        let poison = Arc::new(AtomicBool::new(false));
+        let mb2 = Arc::clone(&mb);
+        let poison2 = Arc::clone(&poison);
+        let t = std::thread::spawn(move || mb2.get(0, 0, &poison2, Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(50));
+        poison.store(true, Ordering::Release);
+        match t.join().unwrap() {
+            RecvOutcome::Poisoned => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let mb = Arc::new(Mailbox::default());
+        let poison = AtomicBool::new(false);
+        let mb2 = Arc::clone(&mb);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            mb2.put(Envelope { src: 3, tag: 7, arrival: 42, bytes: vec![1, 2] });
+        });
+        match mb.get(3, 7, &poison, Duration::from_secs(5)) {
+            RecvOutcome::Message(e) => {
+                assert_eq!(e.arrival, 42);
+                assert_eq!(e.bytes, vec![1, 2]);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        t.join().unwrap();
+    }
+}

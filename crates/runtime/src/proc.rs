@@ -1,0 +1,271 @@
+//! The per-processor handle SPMD programs run against.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use crate::cost::CostModel;
+use crate::mailbox::{Envelope, Mailbox, RecvOutcome};
+use crate::report::{ProcStats, TraceEvent};
+use crate::topology::Mesh;
+use crate::wire::Wire;
+
+/// Machine state shared by all processors of one simulation.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) trace: bool,
+    pub(crate) mesh: Mesh,
+    pub(crate) cost: CostModel,
+    pub(crate) deadlock_timeout: Duration,
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) poison: AtomicBool,
+}
+
+/// One simulated processor: a virtual clock, activity counters, and access
+/// to the machine's mailboxes. The SPMD program receives `&mut Proc` and
+/// runs real Rust code; *virtual* time advances only through [`charge`],
+/// sends, and receives.
+///
+/// [`charge`]: Proc::charge
+#[derive(Debug)]
+pub struct Proc<'m> {
+    id: usize,
+    shared: &'m Shared,
+    now: u64,
+    stats: ProcStats,
+    trace: Vec<TraceEvent>,
+}
+
+impl<'m> Proc<'m> {
+    pub(crate) fn new(id: usize, shared: &'m Shared) -> Self {
+        Proc { id, shared, now: 0, stats: ProcStats::default(), trace: Vec::new() }
+    }
+
+    /// Whether event tracing is enabled for this run.
+    pub fn tracing(&self) -> bool {
+        self.shared.trace
+    }
+
+    /// Record a traced span from `start` (virtual cycles) to now.
+    /// No-op unless the machine was configured with tracing.
+    pub fn trace_event(&mut self, label: &str, start: u64) {
+        if self.shared.trace {
+            self.trace.push(TraceEvent { label: label.to_string(), start, end: self.now });
+        }
+    }
+
+    /// Drain the recorded trace (machine internals).
+    pub(crate) fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// This processor's id, in `0..nprocs()`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of processors in the machine.
+    pub fn nprocs(&self) -> usize {
+        self.shared.mesh.procs()
+    }
+
+    /// The physical mesh.
+    pub fn mesh(&self) -> Mesh {
+        self.shared.mesh
+    }
+
+    /// The machine's cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.shared.cost
+    }
+
+    /// Current virtual time in cycles.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now_seconds(&self) -> f64 {
+        self.shared.cost.seconds(self.now)
+    }
+
+    /// Activity counters so far.
+    pub fn stats(&self) -> ProcStats {
+        self.stats
+    }
+
+    /// Advance the virtual clock by `cycles` of computation.
+    #[inline]
+    pub fn charge(&mut self, cycles: u64) {
+        self.now += cycles;
+        self.stats.compute += cycles;
+    }
+
+    fn check_peer(&self, peer: usize) {
+        assert!(
+            peer < self.nprocs(),
+            "processor {} addressed invalid peer {} (machine has {})",
+            self.id,
+            peer,
+            self.nprocs()
+        );
+        assert_ne!(peer, self.id, "processor {} attempted a self-send", self.id);
+    }
+
+    fn deposit(&mut self, dst: usize, tag: u64, bytes: Vec<u8>, arrival: u64) {
+        self.stats.sends += 1;
+        self.stats.bytes_sent += bytes.len() as u64;
+        self.shared.mailboxes[dst].put(Envelope { src: self.id, tag, arrival, bytes });
+    }
+
+    /// Asynchronous send over the physical mesh route to `dst`.
+    ///
+    /// The sender is charged only the CPU cost of initiating the transfer
+    /// (`send_cpu`); the link time overlaps with subsequent computation.
+    /// The message becomes available to the receiver at
+    /// `now + send_cpu + transit(bytes, mesh hops)`.
+    pub fn send<T: Wire>(&mut self, dst: usize, tag: u64, val: &T) {
+        let hops = self.shared.mesh.hops(self.id, dst);
+        self.send_hops(dst, hops, tag, val);
+    }
+
+    /// Asynchronous send with an explicit hop count, used by virtual
+    /// topologies whose embedded links differ from raw mesh distance.
+    pub fn send_hops<T: Wire>(&mut self, dst: usize, hops: usize, tag: u64, val: &T) {
+        self.check_peer(dst);
+        let bytes = val.to_bytes();
+        self.charge(self.shared.cost.send_cpu);
+        let arrival = self.now + self.shared.cost.transit(bytes.len(), hops);
+        self.deposit(dst, tag, bytes, arrival);
+    }
+
+    /// Synchronous send: the sender blocks until the transfer completes
+    /// (the model of the paper's *older* C comparator, which did not use
+    /// asynchronous communication). The sender's clock advances by the
+    /// full transit time.
+    pub fn send_sync<T: Wire>(&mut self, dst: usize, tag: u64, val: &T) {
+        let hops = self.shared.mesh.hops(self.id, dst);
+        self.send_sync_hops(dst, hops, tag, val);
+    }
+
+    /// Synchronous send with an explicit hop count.
+    pub fn send_sync_hops<T: Wire>(&mut self, dst: usize, hops: usize, tag: u64, val: &T) {
+        self.check_peer(dst);
+        let bytes = val.to_bytes();
+        self.charge(self.shared.cost.send_cpu);
+        let transit = self.shared.cost.transit(bytes.len(), hops);
+        // Blocked for the whole transfer: no overlap with computation.
+        self.now += transit;
+        self.stats.wait += transit;
+        let arrival = self.now;
+        self.deposit(dst, tag, bytes, arrival);
+    }
+
+    /// Raw neighbour-link send, bypassing the routing software: the
+    /// model of hand-written transputer code that drives the hardware
+    /// links directly (chain/pipeline communication). The sender is
+    /// charged only the tiny link overhead; the message arrives after
+    /// `raw_link_overhead + bytes * per_byte` per hop.
+    pub fn send_raw<T: Wire>(&mut self, dst: usize, hops: usize, tag: u64, val: &T) {
+        self.check_peer(dst);
+        let bytes = val.to_bytes().len();
+        let c = &self.shared.cost;
+        self.charge(c.raw_link_overhead);
+        let per_hop = c.raw_link_overhead + c.per_byte * bytes as u64;
+        let arrival = self.now + per_hop * hops.max(1) as u64;
+        self.deposit(dst, tag, val.to_bytes(), arrival);
+    }
+
+    /// Raw receive matching [`send_raw`](Proc::send_raw): charges only
+    /// the link overhead instead of the full software receive cost.
+    pub fn recv_raw<T: Wire>(&mut self, src: usize, tag: u64) -> T {
+        self.check_peer(src);
+        let outcome = self.shared.mailboxes[self.id].get(
+            src,
+            tag,
+            &self.shared.poison,
+            self.shared.deadlock_timeout,
+        );
+        let env = match outcome {
+            RecvOutcome::Message(e) => e,
+            RecvOutcome::Poisoned => {
+                panic!("processor {}: aborted (a peer processor panicked)", self.id)
+            }
+            RecvOutcome::TimedOut => panic!(
+                "processor {}: deadlock suspected waiting (raw) for (src={}, tag={})",
+                self.id, src, tag
+            ),
+        };
+        self.stats.recvs += 1;
+        if env.arrival > self.now {
+            self.stats.wait += env.arrival - self.now;
+            self.now = env.arrival;
+        }
+        self.charge(self.shared.cost.raw_link_overhead);
+        match T::from_bytes(&env.bytes) {
+            Ok(v) => v,
+            Err(e) => panic!(
+                "processor {}: raw message from {} with tag {} failed to decode: {}",
+                self.id, src, tag, e
+            ),
+        }
+    }
+
+    /// Receive the next message from `src` carrying `tag`, advancing the
+    /// virtual clock to the message's arrival time if it is in the local
+    /// future.
+    ///
+    /// Panics on decode failure (an SPMD type mismatch is a program bug)
+    /// and after `deadlock_timeout` of real time with a diagnostic, so
+    /// deadlocked simulations fail loudly instead of hanging the suite.
+    pub fn recv<T: Wire>(&mut self, src: usize, tag: u64) -> T {
+        self.check_peer(src);
+        let outcome = self.shared.mailboxes[self.id].get(
+            src,
+            tag,
+            &self.shared.poison,
+            self.shared.deadlock_timeout,
+        );
+        let env = match outcome {
+            RecvOutcome::Message(e) => e,
+            RecvOutcome::Poisoned => {
+                panic!("processor {}: aborted (a peer processor panicked)", self.id)
+            }
+            RecvOutcome::TimedOut => {
+                let pending = self.shared.mailboxes[self.id].pending();
+                panic!(
+                    "processor {}: deadlock suspected waiting for (src={}, tag={}); \
+                     queued envelopes: {:?}",
+                    self.id, src, tag, pending
+                )
+            }
+        };
+        self.stats.recvs += 1;
+        if env.arrival > self.now {
+            self.stats.wait += env.arrival - self.now;
+            self.now = env.arrival;
+        }
+        // Receiver-side software cost of accepting the message.
+        self.charge(self.shared.cost.recv_cpu);
+        match T::from_bytes(&env.bytes) {
+            Ok(v) => v,
+            Err(e) => panic!(
+                "processor {}: message from {} with tag {} failed to decode: {}",
+                self.id, src, tag, e
+            ),
+        }
+    }
+
+    /// Raise the local clock to `t` if it is in the future (used by
+    /// collectives to model synchronization points).
+    pub fn sync_to(&mut self, t: u64) {
+        if t > self.now {
+            self.stats.wait += t - self.now;
+            self.now = t;
+        }
+    }
+
+    /// True once any processor in the machine has panicked.
+    pub fn poisoned(&self) -> bool {
+        self.shared.poison.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,195 @@
+//! Run reports: what a simulation measured.
+
+/// One traced span of activity on a processor (virtual time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span label (usually a skeleton name).
+    pub label: String,
+    /// Virtual start cycle.
+    pub start: u64,
+    /// Virtual end cycle.
+    pub end: u64,
+}
+
+/// Per-processor activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Cycles charged as computation.
+    pub compute: u64,
+    /// Cycles spent waiting for messages (receiver idle time).
+    pub wait: u64,
+    /// Messages sent.
+    pub sends: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Messages received.
+    pub recvs: u64,
+}
+
+/// Final state of one processor.
+#[derive(Debug, Clone, Default)]
+pub struct ProcReport {
+    /// The processor's virtual clock when its program returned.
+    pub finished_at: u64,
+    /// Activity counters.
+    pub stats: ProcStats,
+    /// Traced spans (empty unless tracing was enabled).
+    pub trace: Vec<TraceEvent>,
+}
+
+/// The result of simulating a program on the machine.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Virtual cycles at which the last processor finished — the
+    /// simulated run time of the program.
+    pub sim_cycles: u64,
+    /// `sim_cycles` converted to seconds with the machine's clock rate.
+    pub sim_seconds: f64,
+    /// Per-processor details, indexed by processor id.
+    pub procs: Vec<ProcReport>,
+}
+
+impl RunReport {
+    /// Sum of all processors' sent messages.
+    pub fn total_msgs(&self) -> u64 {
+        self.procs.iter().map(|p| p.stats.sends).sum()
+    }
+
+    /// Sum of all processors' sent payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.procs.iter().map(|p| p.stats.bytes_sent).sum()
+    }
+
+    /// Total compute cycles over all processors.
+    pub fn total_compute(&self) -> u64 {
+        self.procs.iter().map(|p| p.stats.compute).sum()
+    }
+
+    /// Total wait cycles over all processors.
+    pub fn total_wait(&self) -> u64 {
+        self.procs.iter().map(|p| p.stats.wait).sum()
+    }
+
+    /// Parallel efficiency proxy: average compute share of the critical
+    /// path. 1.0 means perfectly balanced pure compute.
+    pub fn efficiency(&self) -> f64 {
+        if self.sim_cycles == 0 || self.procs.is_empty() {
+            return 1.0;
+        }
+        self.total_compute() as f64 / (self.sim_cycles as f64 * self.procs.len() as f64)
+    }
+
+    /// Render the traced spans as an ASCII timeline (one row per
+    /// processor, `width` columns spanning the whole run). Spans are
+    /// marked with the first letter of their label; gaps are idle/wait.
+    pub fn render_timeline(&self, width: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        if self.sim_cycles == 0 {
+            return "(empty run)\n".into();
+        }
+        let scale = |t: u64| -> usize {
+            ((t as f64 / self.sim_cycles as f64) * (width.saturating_sub(1)) as f64) as usize
+        };
+        // assign each label a distinct mark: its first letter if free,
+        // else the uppercase form, else a digit
+        let mut legend: Vec<(String, char)> = Vec::new();
+        let mark_of = |label: &str, legend: &mut Vec<(String, char)>| -> char {
+            if let Some((_, m)) = legend.iter().find(|(l, _)| l == label) {
+                return *m;
+            }
+            let first = label.chars().next().unwrap_or('?');
+            let candidates = [first, first.to_ascii_uppercase()];
+            let mut mark = candidates
+                .into_iter()
+                .find(|c| !legend.iter().any(|(_, m)| m == c));
+            if mark.is_none() {
+                mark = ('0'..='9').find(|c| !legend.iter().any(|(_, m)| m == c));
+            }
+            let mark = mark.unwrap_or('?');
+            legend.push((label.to_string(), mark));
+            mark
+        };
+        let mut rows = String::new();
+        for (id, p) in self.procs.iter().enumerate() {
+            let mut row = vec![' '; width];
+            for ev in &p.trace {
+                let mark = mark_of(&ev.label, &mut legend);
+                let (a, b) = (scale(ev.start), scale(ev.end).max(scale(ev.start)));
+                for slot in row.iter_mut().take(b.min(width - 1) + 1).skip(a) {
+                    *slot = mark;
+                }
+            }
+            let _ = writeln!(rows, "p{id:<3} |{}|", row.iter().collect::<String>());
+        }
+        out.push_str(&rows);
+        let _ = writeln!(
+            out,
+            "     0 {:->w$} {:.4}s",
+            ">",
+            self.sim_seconds,
+            w = width.saturating_sub(8)
+        );
+        for (l, m) in legend {
+            let _ = writeln!(out, "     {m} = {l}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            sim_cycles: 100,
+            sim_seconds: 100.0 / 20e6,
+            procs: vec![
+                ProcReport {
+                    finished_at: 100,
+                    stats: ProcStats { compute: 80, wait: 20, sends: 3, bytes_sent: 64, recvs: 2 },
+                    trace: vec![TraceEvent { label: "map".into(), start: 0, end: 50 }],
+                },
+                ProcReport {
+                    finished_at: 90,
+                    stats: ProcStats { compute: 60, wait: 30, sends: 1, bytes_sent: 16, recvs: 2 },
+                    trace: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let r = report();
+        assert_eq!(r.total_msgs(), 4);
+        assert_eq!(r.total_bytes(), 80);
+        assert_eq!(r.total_compute(), 140);
+        assert_eq!(r.total_wait(), 50);
+    }
+
+    #[test]
+    fn efficiency_bounds() {
+        let r = report();
+        let e = r.efficiency();
+        assert!(e > 0.0 && e <= 1.0);
+        assert!((e - 140.0 / 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_degenerate() {
+        let r = RunReport { sim_cycles: 0, sim_seconds: 0.0, procs: vec![] };
+        assert_eq!(r.efficiency(), 1.0);
+        assert!(r.render_timeline(40).contains("empty"));
+    }
+
+    #[test]
+    fn timeline_renders_spans() {
+        let r = report();
+        let t = r.render_timeline(40);
+        assert!(t.contains("p0"), "{t}");
+        assert!(t.contains("m"), "{t}");
+        assert!(t.contains("m = map"), "{t}");
+    }
+}

@@ -1,0 +1,424 @@
+//! Physical and virtual topologies.
+//!
+//! The simulated machine is a 2-D mesh of processors (the Parsytec MC's
+//! physical interconnect). Parix offers *virtual topologies* — ring and
+//! 2-D torus — that the paper's skeletons request through the `distr`
+//! argument of `array_create` (`DISTR_DEFAULT`, `DISTR_RING`,
+//! `DISTR_TORUS2D`). A virtual topology embeds its wrap-around links into
+//! the mesh with dilation ≤ 2 (the classic folded embedding), so every
+//! virtual neighbour is at most two physical hops away. Code that does
+//! *not* use virtual topologies (the paper's older C comparator) pays the
+//! full mesh distance for wrap-around traffic instead.
+
+use crate::error::RtError;
+
+/// Which virtual (software) topology a distributed structure is mapped
+/// onto. Mirrors the paper's `DISTR_*` constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distr {
+    /// Map directly onto the hardware topology (the 2-D mesh).
+    Default,
+    /// Ring virtual topology.
+    Ring,
+    /// 2-D torus virtual topology.
+    Torus2d,
+}
+
+/// The physical 2-D mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh {
+    /// Number of mesh rows.
+    pub rows: usize,
+    /// Number of mesh columns.
+    pub cols: usize,
+}
+
+impl Mesh {
+    /// Build a mesh; `rows * cols` is the processor count.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, RtError> {
+        if rows == 0 || cols == 0 {
+            return Err(RtError::BadConfig(format!("degenerate mesh {rows}x{cols}")));
+        }
+        Ok(Mesh { rows, cols })
+    }
+
+    /// The most nearly square factorization of `n`, preferring more rows
+    /// (an `8x4` mesh for 32 processors, as in the paper's Table 2).
+    pub fn near_square(n: usize) -> Result<Self, RtError> {
+        if n == 0 {
+            return Err(RtError::BadConfig("zero processors".into()));
+        }
+        let mut best = (n, 1);
+        let mut d = 1;
+        while d * d <= n {
+            if n.is_multiple_of(d) {
+                best = (n / d, d);
+            }
+            d += 1;
+        }
+        Mesh::new(best.0, best.1)
+    }
+
+    /// Total processor count.
+    pub fn procs(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Row-major coordinates of processor `id`.
+    pub fn coords(&self, id: usize) -> (usize, usize) {
+        debug_assert!(id < self.procs());
+        (id / self.cols, id % self.cols)
+    }
+
+    /// Processor id at `(row, col)`.
+    pub fn id(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// Manhattan hop distance between two processors on the mesh.
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        let (ar, ac) = self.coords(a);
+        let (br, bc) = self.coords(b);
+        ar.abs_diff(br) + ac.abs_diff(bc)
+    }
+}
+
+/// A ring over all processors of the machine.
+///
+/// With `virtual_links` (Parix virtual topologies) every ring step costs
+/// at most 2 physical hops; without, the wrap edge from the last processor
+/// back to the first costs the full mesh distance.
+#[derive(Debug, Clone, Copy)]
+pub struct Ring {
+    mesh: Mesh,
+    virtual_links: bool,
+}
+
+impl Ring {
+    /// Build the ring view of a mesh.
+    pub fn new(mesh: Mesh, virtual_links: bool) -> Self {
+        Ring { mesh, virtual_links }
+    }
+
+    /// Ring size.
+    pub fn len(&self) -> usize {
+        self.mesh.procs()
+    }
+
+    /// Whether the ring is empty (never true for a valid mesh).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Successor of `id` on the ring and the hop cost of that link.
+    pub fn next(&self, id: usize) -> (usize, usize) {
+        let n = self.len();
+        let nxt = (id + 1) % n;
+        (nxt, self.link_hops(id, nxt))
+    }
+
+    /// Predecessor of `id` on the ring and the hop cost of that link.
+    pub fn prev(&self, id: usize) -> (usize, usize) {
+        let n = self.len();
+        let prv = (id + n - 1) % n;
+        (prv, self.link_hops(id, prv))
+    }
+
+    fn link_hops(&self, a: usize, b: usize) -> usize {
+        if self.virtual_links {
+            // Folded/snake embedding: a Hamiltonian ring on a mesh has
+            // dilation <= 2 everywhere.
+            self.mesh.hops(a, b).min(2).max(1)
+        } else {
+            self.mesh.hops(a, b)
+        }
+    }
+}
+
+/// A 2-D torus over a `rows x cols` process grid.
+#[derive(Debug, Clone, Copy)]
+pub struct Torus2d {
+    /// The process-grid shape (usually equal to the physical mesh).
+    pub grid: Mesh,
+    virtual_links: bool,
+    mesh: Mesh,
+}
+
+impl Torus2d {
+    /// View the machine's mesh as a torus of the same shape.
+    pub fn new(mesh: Mesh, virtual_links: bool) -> Self {
+        Torus2d { grid: mesh, virtual_links, mesh }
+    }
+
+    /// Grid coordinates of a processor.
+    pub fn coords(&self, id: usize) -> (usize, usize) {
+        self.grid.coords(id)
+    }
+
+    /// Processor at torus coordinates (wrapped).
+    pub fn at(&self, row: isize, col: isize) -> usize {
+        let r = row.rem_euclid(self.grid.rows as isize) as usize;
+        let c = col.rem_euclid(self.grid.cols as isize) as usize;
+        self.grid.id(r, c)
+    }
+
+    /// Neighbour one step in the given direction, with its hop cost.
+    pub fn step(&self, id: usize, drow: isize, dcol: isize) -> (usize, usize) {
+        let (r, c) = self.coords(id);
+        let dst = self.at(r as isize + drow, c as isize + dcol);
+        let hops = if self.virtual_links {
+            // Folded torus embedding: dilation 2.
+            self.mesh.hops(id, dst).min(2).max(1)
+        } else {
+            self.mesh.hops(id, dst)
+        };
+        (dst, hops)
+    }
+
+    /// West neighbour (wrap) and hop cost.
+    pub fn west(&self, id: usize) -> (usize, usize) {
+        self.step(id, 0, -1)
+    }
+
+    /// East neighbour (wrap) and hop cost.
+    pub fn east(&self, id: usize) -> (usize, usize) {
+        self.step(id, 0, 1)
+    }
+
+    /// North neighbour (wrap) and hop cost.
+    pub fn north(&self, id: usize) -> (usize, usize) {
+        self.step(id, -1, 0)
+    }
+
+    /// South neighbour (wrap) and hop cost.
+    pub fn south(&self, id: usize) -> (usize, usize) {
+        self.step(id, 1, 0)
+    }
+}
+
+/// The binomial reduction/broadcast tree the collectives use.
+///
+/// Processors are renumbered relative to `root`; in round `r` (counting
+/// from 0) processor `x` with lowest set bit `2^r` exchanges with
+/// `x - 2^r`. This yields `ceil(log2 p)` rounds, matching the paper's
+/// "virtual tree topology" for `array_fold` and broadcasts.
+#[derive(Debug, Clone, Copy)]
+pub struct BinomialTree {
+    n: usize,
+    root: usize,
+}
+
+impl BinomialTree {
+    /// Tree over `n` processors rooted at `root`.
+    pub fn new(n: usize, root: usize) -> Self {
+        debug_assert!(root < n);
+        BinomialTree { n, root }
+    }
+
+    /// Number of rounds.
+    pub fn rounds(&self) -> usize {
+        let mut r = 0;
+        while (1usize << r) < self.n {
+            r += 1;
+        }
+        r
+    }
+
+    fn rel(&self, id: usize) -> usize {
+        (id + self.n - self.root) % self.n
+    }
+
+    fn abs(&self, rel: usize) -> usize {
+        (rel + self.root) % self.n
+    }
+
+    /// The parent of `id` in the tree, or `None` for the root.
+    pub fn parent(&self, id: usize) -> Option<usize> {
+        let x = self.rel(id);
+        if x == 0 {
+            return None;
+        }
+        let low = x & x.wrapping_neg();
+        Some(self.abs(x - low))
+    }
+
+    /// Children of `id`, in the round order a broadcast visits them.
+    pub fn children(&self, id: usize) -> Vec<usize> {
+        let x = self.rel(id);
+        let mut out = Vec::new();
+        let mut bit = 1usize;
+        // A node may only have children at bits above its own lowest set
+        // bit (or all bits for the root).
+        let limit = if x == 0 { self.n } else { x & x.wrapping_neg() };
+        while bit < limit && x + bit < self.n {
+            out.push(self.abs(x + bit));
+            bit <<= 1;
+        }
+        out
+    }
+
+    /// The round in which `id` receives during a broadcast from the root
+    /// (the position of its lowest set bit), or `None` for the root.
+    pub fn recv_round(&self, id: usize) -> Option<usize> {
+        let x = self.rel(id);
+        if x == 0 {
+            None
+        } else {
+            Some(x.trailing_zeros() as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_coords_roundtrip() {
+        let m = Mesh::new(3, 4).unwrap();
+        for id in 0..12 {
+            let (r, c) = m.coords(id);
+            assert_eq!(m.id(r, c), id);
+        }
+    }
+
+    #[test]
+    fn mesh_rejects_degenerate() {
+        assert!(Mesh::new(0, 4).is_err());
+        assert!(Mesh::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn near_square_factorizations() {
+        assert_eq!(Mesh::near_square(64).unwrap(), Mesh { rows: 8, cols: 8 });
+        assert_eq!(Mesh::near_square(32).unwrap(), Mesh { rows: 8, cols: 4 });
+        assert_eq!(Mesh::near_square(16).unwrap(), Mesh { rows: 4, cols: 4 });
+        assert_eq!(Mesh::near_square(7).unwrap(), Mesh { rows: 7, cols: 1 });
+        assert_eq!(Mesh::near_square(1).unwrap(), Mesh { rows: 1, cols: 1 });
+        assert!(Mesh::near_square(0).is_err());
+    }
+
+    #[test]
+    fn mesh_hops_manhattan() {
+        let m = Mesh::new(4, 4).unwrap();
+        assert_eq!(m.hops(0, 0), 0);
+        assert_eq!(m.hops(0, 1), 1);
+        assert_eq!(m.hops(0, 15), 6);
+        assert_eq!(m.hops(5, 10), 2);
+    }
+
+    #[test]
+    fn ring_wrap_costs() {
+        let m = Mesh::new(2, 4).unwrap();
+        let rv = Ring::new(m, true);
+        let rp = Ring::new(m, false);
+        // internal step
+        assert_eq!(rv.next(0).0, 1);
+        assert!(rv.next(0).1 <= 2);
+        // wrap edge: 7 -> 0. Mesh distance from (1,3) to (0,0) is 4.
+        assert_eq!(rp.next(7), (0, 4));
+        assert_eq!(rv.next(7).0, 0);
+        assert!(rv.next(7).1 <= 2);
+        // prev is the inverse of next
+        let (nxt, _) = rv.next(3);
+        assert_eq!(rv.prev(nxt).0, 3);
+    }
+
+    #[test]
+    fn torus_neighbours_wrap() {
+        let m = Mesh::new(4, 4).unwrap();
+        let t = Torus2d::new(m, true);
+        assert_eq!(t.west(0).0, 3);
+        assert_eq!(t.east(3).0, 0);
+        assert_eq!(t.north(0).0, 12);
+        assert_eq!(t.south(12).0, 0);
+        // interior neighbours cost 1 hop
+        assert_eq!(t.east(5), (6, 1));
+        // virtual wrap costs at most 2 hops
+        assert!(t.west(0).1 <= 2);
+        // non-virtual wrap costs the full mesh distance
+        let tp = Torus2d::new(m, false);
+        assert_eq!(tp.west(0), (3, 3));
+        assert_eq!(tp.north(0), (12, 3));
+    }
+
+    #[test]
+    fn torus_at_wraps_negative() {
+        let m = Mesh::new(4, 4).unwrap();
+        let t = Torus2d::new(m, true);
+        assert_eq!(t.at(-1, -1), 15);
+        assert_eq!(t.at(4, 4), 0);
+    }
+
+    #[test]
+    fn binomial_tree_structure() {
+        let t = BinomialTree::new(8, 0);
+        assert_eq!(t.rounds(), 3);
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.parent(5), Some(4));
+        assert_eq!(t.parent(6), Some(4));
+        assert_eq!(t.parent(7), Some(6));
+        assert_eq!(t.children(0), vec![1, 2, 4]);
+        assert_eq!(t.children(4), vec![5, 6]);
+        assert_eq!(t.children(7), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn binomial_tree_rooted_elsewhere() {
+        let t = BinomialTree::new(8, 3);
+        assert_eq!(t.parent(3), None);
+        // every non-root eventually reaches the root
+        for id in 0..8 {
+            let mut cur = id;
+            let mut steps = 0;
+            while let Some(p) = t.parent(cur) {
+                cur = p;
+                steps += 1;
+                assert!(steps <= 8, "parent chain does not terminate");
+            }
+            assert_eq!(cur, 3);
+        }
+    }
+
+    #[test]
+    fn binomial_tree_children_parents_consistent() {
+        for n in [1usize, 2, 3, 5, 7, 8, 13, 16, 64] {
+            for root in [0, n / 2, n - 1] {
+                let t = BinomialTree::new(n, root);
+                let mut seen = vec![false; n];
+                seen[root] = true;
+                for id in 0..n {
+                    for ch in t.children(id) {
+                        assert_eq!(t.parent(ch), Some(id));
+                        assert!(!seen[ch], "child visited twice");
+                        seen[ch] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "tree spans all nodes (n={n})");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_nonpower_of_two() {
+        let t = BinomialTree::new(6, 0);
+        assert_eq!(t.rounds(), 3);
+        let mut total = 0;
+        for id in 0..6 {
+            total += t.children(id).len();
+        }
+        assert_eq!(total, 5, "5 edges span 6 nodes");
+    }
+
+    #[test]
+    fn recv_round_matches_bit() {
+        let t = BinomialTree::new(16, 0);
+        assert_eq!(t.recv_round(0), None);
+        assert_eq!(t.recv_round(1), Some(0));
+        assert_eq!(t.recv_round(2), Some(1));
+        assert_eq!(t.recv_round(12), Some(2));
+        assert_eq!(t.recv_round(8), Some(3));
+    }
+}

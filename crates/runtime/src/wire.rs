@@ -1,0 +1,323 @@
+//! The wire format: *flattening* and *unflattening* of values.
+//!
+//! The paper (and its companion \[2\], "Using Algorithmic Skeletons with
+//! Dynamic Data Structures") requires that skeletons which move elements of
+//! a `pardata` between processors do not move pointers but the data pointed
+//! to, via user-supplied flatten/unflatten functions. [`Wire`] is the Rust
+//! rendering of that contract: a self-describing, pointer-free byte
+//! encoding. All multi-byte integers are little-endian; containers are
+//! length-prefixed with a `u64`.
+
+use crate::error::WireError;
+
+/// A cursor over received bytes.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Create a reader over a full message payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Eof { wanted: n, available: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
+}
+
+/// Types that can be flattened into a message and unflattened on the other
+/// side. This is the mechanism the paper calls "'flattening'/'unflattening'
+/// of data" for moving `pardata` elements between processors.
+pub trait Wire: Sized {
+    /// Append this value's encoding to `out`.
+    fn flatten(&self, out: &mut Vec<u8>);
+
+    /// Decode one value from the reader.
+    fn unflatten(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        self.flatten(&mut v);
+        v
+    }
+
+    /// Decode a complete buffer, rejecting trailing bytes.
+    fn from_bytes(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let v = Self::unflatten(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(WireError::TrailingBytes(r.remaining()));
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn flatten(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn unflatten(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(<$t>::from_le_bytes(r.take_array()?))
+            }
+        }
+    )*};
+}
+
+wire_int!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl Wire for usize {
+    fn flatten(&self, out: &mut Vec<u8>) {
+        (*self as u64).flatten(out);
+    }
+    fn unflatten(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let v = u64::unflatten(r)?;
+        usize::try_from(v).map_err(|_| WireError::Invalid("usize overflow"))
+    }
+}
+
+impl Wire for isize {
+    fn flatten(&self, out: &mut Vec<u8>) {
+        (*self as i64).flatten(out);
+    }
+    fn unflatten(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let v = i64::unflatten(r)?;
+        isize::try_from(v).map_err(|_| WireError::Invalid("isize overflow"))
+    }
+}
+
+impl Wire for bool {
+    fn flatten(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn unflatten(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Invalid("bad bool")),
+        }
+    }
+}
+
+impl Wire for char {
+    fn flatten(&self, out: &mut Vec<u8>) {
+        (*self as u32).flatten(out);
+    }
+    fn unflatten(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        char::from_u32(u32::unflatten(r)?).ok_or(WireError::Invalid("bad char"))
+    }
+}
+
+impl Wire for () {
+    fn flatten(&self, _out: &mut Vec<u8>) {}
+    fn unflatten(_r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn flatten(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.flatten(out);
+            }
+        }
+    }
+    fn unflatten(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.take(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::unflatten(r)?)),
+            _ => Err(WireError::Invalid("bad Option tag")),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn flatten(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).flatten(out);
+        for v in self {
+            v.flatten(out);
+        }
+    }
+    fn unflatten(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = u64::unflatten(r)? as usize;
+        // Guard against hostile lengths: each element costs at least one
+        // byte on the wire except `()`, which we cap separately.
+        let mut v = Vec::with_capacity(n.min(r.remaining().max(16)));
+        for _ in 0..n {
+            v.push(T::unflatten(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl Wire for String {
+    fn flatten(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).flatten(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn unflatten(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = u64::unflatten(r)? as usize;
+        let bytes = r.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Invalid("bad utf8"))
+    }
+}
+
+impl<T: Wire, const N: usize> Wire for [T; N] {
+    fn flatten(&self, out: &mut Vec<u8>) {
+        for v in self {
+            v.flatten(out);
+        }
+    }
+    fn unflatten(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        // Decode into a Vec first; N is small in practice (Index/Size).
+        let mut v = Vec::with_capacity(N);
+        for _ in 0..N {
+            v.push(T::unflatten(r)?);
+        }
+        v.try_into().map_err(|_| WireError::Invalid("array length"))
+    }
+}
+
+macro_rules! wire_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            fn flatten(&self, out: &mut Vec<u8>) {
+                $(self.$idx.flatten(out);)+
+            }
+            fn unflatten(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(($($name::unflatten(r)?,)+))
+            }
+        }
+    };
+}
+
+wire_tuple!(A: 0);
+wire_tuple!(A: 0, B: 1);
+wire_tuple!(A: 0, B: 1, C: 2);
+wire_tuple!(A: 0, B: 1, C: 2, D: 3);
+wire_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(&bytes).expect("decode");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(-5i8);
+        roundtrip(0xBEEFu16);
+        roundtrip(-1234i16);
+        roundtrip(0xDEADBEEFu32);
+        roundtrip(i32::MIN);
+        roundtrip(u64::MAX);
+        roundtrip(i64::MIN);
+        roundtrip(usize::MAX);
+        roundtrip(-9isize);
+        roundtrip(1.5f32);
+        roundtrip(-2.25e300f64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip('ß');
+        roundtrip(());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u8>::new());
+        roundtrip(Some(7u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip("hällo wörld".to_string());
+        roundtrip(String::new());
+        roundtrip([1u32, 2, 3]);
+        roundtrip((1u8, 2u16, 3u32, 4u64));
+        roundtrip(vec![(1u32, "a".to_string()), (2, "b".to_string())]);
+        roundtrip(vec![vec![1.0f64], vec![], vec![2.0, 3.0]]);
+    }
+
+    #[test]
+    fn bad_bool_rejected() {
+        assert_eq!(bool::from_bytes(&[2]), Err(WireError::Invalid("bad bool")));
+    }
+
+    #[test]
+    fn bad_option_tag_rejected() {
+        assert!(Option::<u8>::from_bytes(&[9, 1]).is_err());
+    }
+
+    #[test]
+    fn eof_detected() {
+        let e = u64::from_bytes(&[1, 2, 3]);
+        assert_eq!(e, Err(WireError::Eof { wanted: 8, available: 3 }));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut bytes = 7u8.to_bytes();
+        bytes.push(0);
+        assert_eq!(u8::from_bytes(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut bytes = Vec::new();
+        2u64.flatten(&mut bytes);
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(String::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_vec_rejected() {
+        let mut bytes = Vec::new();
+        3u64.flatten(&mut bytes); // claims 3 elements
+        1u32.flatten(&mut bytes); // provides 1
+        assert!(Vec::<u32>::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        assert_eq!(0x0102u16.to_bytes(), vec![0x02, 0x01]);
+        assert_eq!(1u64.to_bytes(), vec![1, 0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn vec_length_prefix() {
+        let bytes = vec![9u8].to_bytes();
+        assert_eq!(bytes.len(), 8 + 1);
+        assert_eq!(bytes[0], 1); // length 1, little-endian
+        assert_eq!(bytes[8], 9);
+    }
+}

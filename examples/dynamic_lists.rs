@@ -1,0 +1,68 @@
+//! Dynamic distributed data structures (companion paper [2]): filter a
+//! distributed sequence — leaving ragged, unbalanced segments — then
+//! rebalance it by migrating flattened elements, and farm a final
+//! per-element task over the survivors.
+//!
+//! Run with `cargo run --release --example dynamic_lists`.
+
+use skil::core::{dl_filter, dl_gather, dl_len, dl_rebalance, farm, Kernel};
+use skil::array::DistList;
+use skil::runtime::{Machine, MachineConfig};
+
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+fn main() {
+    let machine = Machine::new(MachineConfig::procs(8).expect("machine"));
+    let n = 10_000u64;
+
+    let run = machine.run(|p| {
+        // a block-distributed sequence of candidates
+        let mut l = DistList::create(p, n as usize, |i| i as u64).expect("create");
+        let before = l.local_len();
+
+        // keep the primes; segments shrink by different amounts
+        dl_filter(p, Kernel::new(|&v: &u64| is_prime(v), 2_000), &mut l).expect("filter");
+        let after_filter = l.local_len();
+
+        // migrate elements so every processor holds an equal share again
+        dl_rebalance(p, &mut l).expect("rebalance");
+        let after_rebalance = l.local_len();
+
+        let total = dl_len(p, &l);
+        // farm a task over the first few survivors (collected at 0)
+        let gathered = dl_gather(p, 0, &l);
+        let tasks = gathered.map(|primes| primes.into_iter().take(10).collect::<Vec<_>>());
+        let squares = farm(p, 0, tasks, Kernel::new(|&t: &u64| t * t, 500)).expect("farm");
+
+        (before, after_filter, after_rebalance, total, squares, p.now())
+    });
+
+    println!("dynamic distributed list over 8 simulated T800s\n");
+    println!("{:>5} {:>9} {:>13} {:>12}", "proc", "created", "after filter", "rebalanced");
+    for (id, r) in run.results.iter().enumerate() {
+        println!("{id:>5} {:>9} {:>13} {:>12}", r.0, r.1, r.2);
+    }
+    let total = run.results[0].3;
+    println!("\nprimes below {n}: {total}");
+    println!(
+        "first prime squares (farmed): {:?}",
+        run.results[0].4.as_ref().expect("master")
+    );
+    println!("simulated time: {:.4} s", machine.config().cost.seconds(run.report.sim_cycles));
+
+    // sanity: the filter kept exactly the primes
+    let expect = (0..n).filter(|&v| is_prime(v)).count();
+    assert_eq!(total, expect);
+}

@@ -1,0 +1,55 @@
+//! Quickstart: create a distributed array on a simulated 2x2 transputer
+//! mesh, map over it, fold it, and look at the simulated timing report.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use skil::prelude::*;
+
+fn main() {
+    // A 2x2 mesh of simulated T800 transputers (the paper's machine in
+    // miniature), with the calibrated cost model.
+    let machine = Machine::new(MachineConfig::square(2).expect("valid mesh"));
+
+    let run = machine.run(|p| {
+        // array_create: block-distributed 1-D array, initialized by index
+        let a = array_create(
+            p,
+            ArraySpec::d1(1024, Distr::Default),
+            Kernel::new(|ix: Index| ix[0] as u64, 70),
+        )
+        .expect("create");
+
+        // array_map: square every element (into a second array)
+        let mut b = array_create(
+            p,
+            ArraySpec::d1(1024, Distr::Default),
+            Kernel::free(|_| 0u64),
+        )
+        .expect("create");
+        array_map(p, Kernel::new(|&v: &u64, _| v * v, 70), &a, &mut b).expect("map");
+
+        // array_fold: tree-reduce the sum; every processor learns it
+        array_fold(
+            p,
+            Kernel::free(|&v: &u64, _| v),
+            Kernel::new(|x: u64, y: u64| x + y, 70),
+            &b,
+        )
+        .expect("fold")
+    });
+
+    let expect: u64 = (0..1024u64).map(|v| v * v).sum();
+    assert!(run.results.iter().all(|&v| v == expect));
+    println!("sum of squares 0..1024 = {} (every processor agrees)", run.results[0]);
+    println!(
+        "simulated time on 4 T800s: {:.3} ms ({} virtual cycles)",
+        run.report.sim_seconds * 1e3,
+        run.report.sim_cycles
+    );
+    println!(
+        "messages: {}, bytes: {}, parallel efficiency: {:.0}%",
+        run.report.total_msgs(),
+        run.report.total_bytes(),
+        run.report.efficiency() * 100.0
+    );
+}

@@ -1,0 +1,48 @@
+//! # skil
+//!
+//! Facade crate for the Skil reproduction: re-exports the runtime
+//! simulator, the distributed array, the skeletons, the language front
+//! end, and the paper's applications. See `README.md` for the tour and
+//! `DESIGN.md` for the system inventory.
+//!
+//! ```
+//! use skil::prelude::*;
+//!
+//! let machine = Machine::new(MachineConfig::square(2).unwrap());
+//! let run = machine.run(|p| {
+//!     let a = array_create(
+//!         p,
+//!         ArraySpec::d1(16, Distr::Default),
+//!         Kernel::free(|ix: Index| ix[0] as u64),
+//!     )
+//!     .unwrap();
+//!     array_fold(
+//!         p,
+//!         Kernel::free(|&v: &u64, _| v),
+//!         Kernel::free(|x: u64, y: u64| x + y),
+//!         &a,
+//!     )
+//!     .unwrap()
+//! });
+//! assert!(run.results.iter().all(|&v| v == 120));
+//! ```
+
+pub use skil_apps as apps;
+pub use skil_array as array;
+pub use skil_core as core;
+pub use skil_lang as lang;
+pub use skil_runtime as runtime;
+
+/// The common imports for writing Skil programs in Rust.
+pub mod prelude {
+    pub use skil_array::{idx1, idx2, ArraySpec, Bounds, DistArray, Distribution, HaloArray, Index, Shape};
+    pub use skil_core::{
+        array_broadcast_part, array_copy, array_create, array_destroy, array_fold,
+        array_fold_to_root, array_gen_mult, array_map, array_map_inplace,
+        array_map_inplace_with_cost, array_map_with_cost, array_permute_rows, array_scan, array_zip,
+        dc_seq, divide_conquer, farm, halo_exchange, stencil_map, switch_rows, DcOps, Kernel,
+    };
+    pub use skil_runtime::{
+        CostModel, Distr, Machine, MachineConfig, Mesh, Proc, Run, RunReport, Wire,
+    };
+}

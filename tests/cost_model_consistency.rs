@@ -1,0 +1,68 @@
+//! The interpreted Skil programs and the native-Rust skeleton versions
+//! model the *same* compiled-Skil costs, so their simulated times must
+//! agree closely on the same algorithm, machine and input.
+
+use skil::lang::compile;
+use skil::runtime::{Machine, MachineConfig};
+
+/// Shortest paths: interpreted `.skil` source vs. the native
+/// `shpaths_skil` application. Both charge the calibrated compiled-Skil
+/// model; the interpreter adds scalar-statement costs for the driver
+/// loop, so we accept a modest band rather than equality.
+#[test]
+fn interpreted_shpaths_time_tracks_native_model() {
+    let n = 32usize;
+    let src = format!(
+        "int n() {{ return {n}; }}\n\
+         int init_f(Index ix) {{\n\
+           if (ix[0] == ix[1]) {{ return 0; }}\n\
+           return (ix[0] * 5 + ix[1] * 3) % 9 + 1;\n\
+         }}\n\
+         int zero(Index ix) {{ return 0; }}\n\
+         int inf(Index ix) {{ return int_max; }}\n\
+         void main() {{\n\
+           array<int> a = array_create(2, {{n(), n()}}, {{0,0}}, {{0-1,0-1}}, init_f, DISTR_TORUS2D);\n\
+           array<int> b = array_create(2, {{n(), n()}}, {{0,0}}, {{0-1,0-1}}, zero, DISTR_TORUS2D);\n\
+           array<int> c = array_create(2, {{n(), n()}}, {{0,0}}, {{0-1,0-1}}, inf, DISTR_TORUS2D);\n\
+           int i;\n\
+           for (i = 0 ; i < log2i(n()) ; i = i + 1) {{\n\
+             array_copy(a, b);\n\
+             array_gen_mult(a, b, min, (+), c);\n\
+             array_copy(c, a);\n\
+           }}\n\
+         }}"
+    );
+    let machine = Machine::new(MachineConfig::square(2).unwrap());
+    let interpreted = compile(&src).unwrap().run(&machine).report.sim_cycles;
+    let native = skil::apps::shpaths_skil(&machine, n, 7).sim_cycles;
+    let ratio = interpreted as f64 / native as f64;
+    assert!(
+        (0.8..1.5).contains(&ratio),
+        "interpreted {interpreted} vs native {native} (ratio {ratio})"
+    );
+}
+
+/// The dominant cost (the gen_mult inner loop) is identical between the
+/// two paths, so doubling n must scale both the same way.
+#[test]
+fn interpreted_time_scales_like_native() {
+    let src_for = |n: usize| {
+        format!(
+            "int n() {{ return {n}; }}\n\
+             int init_f(Index ix) {{ return ix[0] + ix[1]; }}\n\
+             int zero(Index ix) {{ return 0; }}\n\
+             void main() {{\n\
+               array<int> a = array_create(2, {{n(), n()}}, {{0,0}}, {{0-1,0-1}}, init_f, DISTR_TORUS2D);\n\
+               array<int> b = array_create(2, {{n(), n()}}, {{0,0}}, {{0-1,0-1}}, init_f, DISTR_TORUS2D);\n\
+               array<int> c = array_create(2, {{n(), n()}}, {{0,0}}, {{0-1,0-1}}, zero, DISTR_TORUS2D);\n\
+               array_gen_mult(a, b, (+), (*), c);\n\
+             }}"
+        )
+    };
+    let machine = Machine::new(MachineConfig::square(2).unwrap());
+    let t16 = compile(&src_for(16)).unwrap().run(&machine).report.sim_cycles;
+    let t32 = compile(&src_for(32)).unwrap().run(&machine).report.sim_cycles;
+    let scaling = t32 as f64 / t16 as f64;
+    // n^3 compute: 8x, minus communication and setup — expect 5x..8x
+    assert!((4.5..8.5).contains(&scaling), "t16={t16} t32={t32} scaling={scaling}");
+}

@@ -1,0 +1,134 @@
+//! Cross-crate integration: the paper's applications at reduced scale,
+//! value correctness, timing shapes, and determinism.
+
+use skil::apps::workload::{seq_gauss_solve, seq_matmul, seq_shortest_paths};
+use skil::apps::{
+    gauss_dpfl, gauss_parix_c, gauss_skil, gauss_skil_pivot, matmul_c_opt, matmul_skil,
+    quicksort_skil, shpaths_c_old, shpaths_c_opt, shpaths_dpfl, shpaths_skil,
+};
+use skil::runtime::{Machine, MachineConfig};
+
+fn square(side: usize) -> Machine {
+    Machine::new(MachineConfig::square(side).unwrap())
+}
+
+#[test]
+fn every_shpaths_version_is_correct_on_every_grid() {
+    for side in [1usize, 2, 3] {
+        let n = 12; // divisible by 1, 2, 3
+        let m = square(side);
+        let reference = seq_shortest_paths(5, n);
+        assert_eq!(shpaths_skil(&m, n, 5).value, reference, "skil side={side}");
+        assert_eq!(shpaths_c_old(&m, n, 5).value, reference, "c_old side={side}");
+        assert_eq!(shpaths_c_opt(&m, n, 5).value, reference, "c_opt side={side}");
+        assert_eq!(shpaths_dpfl(&m, n, 5).value, reference, "dpfl side={side}");
+    }
+}
+
+#[test]
+fn every_gauss_version_is_correct() {
+    let close = |a: &[f64], b: &[f64]| {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-6)
+    };
+    for procs in [1usize, 2, 4, 8] {
+        let n = 24;
+        let m = Machine::new(MachineConfig::procs(procs).unwrap());
+        let reference = seq_gauss_solve(9, n);
+        assert!(close(&gauss_skil(&m, n, 9).value, &reference), "skil p={procs}");
+        assert!(close(&gauss_skil_pivot(&m, n, 9).value, &reference), "pivot p={procs}");
+        assert!(close(&gauss_parix_c(&m, n, 9).value, &reference), "c p={procs}");
+        assert!(close(&gauss_dpfl(&m, n, 9).value, &reference), "dpfl p={procs}");
+    }
+}
+
+#[test]
+fn matmul_versions_agree() {
+    let m = square(2);
+    let n = 16;
+    let reference = seq_matmul(3, n);
+    let close = |a: &[f64]| a.iter().zip(&reference).all(|(x, y)| (x - y).abs() < 1e-6);
+    assert!(close(&matmul_skil(&m, n, 3).value));
+    assert!(close(&matmul_c_opt(&m, n, 3).value));
+}
+
+#[test]
+fn quicksort_sorts() {
+    for procs in [1usize, 3, 8] {
+        let m = Machine::new(MachineConfig::procs(procs).unwrap());
+        let out = quicksort_skil(&m, 500, 2);
+        let mut expect = skil::apps::workload::int_list(2, 500);
+        expect.sort_unstable();
+        assert_eq!(out.value, expect, "p={procs}");
+    }
+}
+
+#[test]
+fn table1_shape_holds_at_reduced_scale() {
+    // Skil < old C < DPFL, with DPFL/Skil near 6 and Skil/C just under 1
+    let m = square(2);
+    let n = 48;
+    let skil = shpaths_skil(&m, n, 1).sim_cycles as f64;
+    let c_old = shpaths_c_old(&m, n, 1).sim_cycles as f64;
+    let dpfl = shpaths_dpfl(&m, n, 1).sim_cycles as f64;
+    let skil_over_c = skil / c_old;
+    let dpfl_over_skil = dpfl / skil;
+    assert!((0.85..1.0).contains(&skil_over_c), "Skil/C_old = {skil_over_c}");
+    assert!((5.0..7.0).contains(&dpfl_over_skil), "DPFL/Skil = {dpfl_over_skil}");
+}
+
+#[test]
+fn table2_shape_holds_at_reduced_scale() {
+    // compute-bound small machine: Skil/C well above 1;
+    // same problem on a larger machine: ratio shrinks toward 1
+    let n = 128;
+    let small = Machine::new(MachineConfig::mesh(2, 2).unwrap());
+    let large = Machine::new(MachineConfig::mesh(8, 8).unwrap());
+    let r_small = {
+        let s = gauss_skil(&small, n, 1).sim_cycles as f64;
+        let c = gauss_parix_c(&small, n, 1).sim_cycles as f64;
+        s / c
+    };
+    let r_large = {
+        let s = gauss_skil(&large, n, 1).sim_cycles as f64;
+        let c = gauss_parix_c(&large, n, 1).sim_cycles as f64;
+        s / c
+    };
+    assert!(r_small > 2.0, "2x2 ratio {r_small}");
+    assert!(r_large < r_small, "ratio shrinks with the machine: {r_small} -> {r_large}");
+}
+
+#[test]
+fn speedup_with_more_processors() {
+    // the simulated machine actually parallelizes: more processors,
+    // less simulated time (for a compute-bound problem)
+    let n = 48;
+    let t1 = shpaths_skil(&square(1), n, 1).sim_cycles;
+    let t4 = shpaths_skil(&square(2), n, 1).sim_cycles;
+    let t16 = shpaths_skil(&square(4), n, 1).sim_cycles;
+    assert!(t4 * 3 < t1, "4 procs ~4x faster: {t1} vs {t4}");
+    assert!(t16 * 2 < t4, "16 procs faster still: {t4} vs {t16}");
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let m = square(2);
+    let a = shpaths_skil(&m, 16, 4);
+    let b = shpaths_skil(&m, 16, 4);
+    assert_eq!(a.sim_cycles, b.sim_cycles);
+    assert_eq!(a.value, b.value);
+
+    let g1 = gauss_skil_pivot(&m, 16, 4);
+    let g2 = gauss_skil_pivot(&m, 16, 4);
+    assert_eq!(g1.sim_cycles, g2.sim_cycles);
+}
+
+#[test]
+fn reports_account_for_traffic() {
+    let m = square(2);
+    let out = shpaths_skil(&m, 16, 4);
+    assert!(out.report.total_msgs() > 0, "gen_mult rotates partitions");
+    assert!(out.report.total_bytes() > 0);
+    assert!(out.report.total_compute() > 0);
+    // simulated time should dominate any single processor's wait
+    assert!(out.sim_cycles >= out.report.procs.iter().map(|p| p.stats.wait).max().unwrap());
+}

@@ -290,10 +290,9 @@ mod tests {
     fn fbroadcast_part_distributes() {
         let m = t800_machine(4);
         let run = m.run(|p| {
-            let a = fcreate(p, ArraySpec::d2(4, 3, Distr::Default), |ix| {
-                (ix[0] * 10 + ix[1]) as u32
-            })
-            .unwrap();
+            let a =
+                fcreate(p, ArraySpec::d2(4, 3, Distr::Default), |ix| (ix[0] * 10 + ix[1]) as u32)
+                    .unwrap();
             let b = fbroadcast_part(p, &a, [1, 0]).unwrap();
             b.inner().local_data().to_vec()
         });
@@ -307,20 +306,16 @@ mod tests {
         let m = t800_machine(4);
         let n = 4usize;
         let run = m.run(|p| {
-            let a = fcreate(p, ArraySpec::d2(n, n, Distr::Torus2d), |ix| {
-                (ix[0] * n + ix[1]) as i64
-            })
-            .unwrap();
+            let a =
+                fcreate(p, ArraySpec::d2(n, n, Distr::Torus2d), |ix| (ix[0] * n + ix[1]) as i64)
+                    .unwrap();
             let b = fcreate(p, ArraySpec::d2(n, n, Distr::Torus2d), |ix| {
                 (ix[0] * 2 + ix[1] * 3) as i64
             })
             .unwrap();
             let z = fcreate(p, ArraySpec::d2(n, n, Distr::Torus2d), |_| 0i64).unwrap();
             let c = fgen_mult(p, &a, &b, |x, y| x + y, |x, y| x * y, &z, 100).unwrap();
-            c.inner()
-                .iter_local()
-                .map(|(ix, &v)| (ix[0], ix[1], v))
-                .collect::<Vec<_>>()
+            c.inner().iter_local().map(|(ix, &v)| (ix[0], ix[1], v)).collect::<Vec<_>>()
         });
         // sequential check
         let av = |i: usize, j: usize| (i * n + j) as i64;

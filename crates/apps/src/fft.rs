@@ -35,7 +35,7 @@ fn split_even_odd(x: &Signal) -> Vec<Signal> {
     let mut even = Vec::with_capacity(n);
     let mut odd = Vec::with_capacity(n);
     for (j, c) in x.chunks_exact(2).enumerate() {
-        if j % 2 == 0 {
+        if j.is_multiple_of(2) {
             even.extend_from_slice(c);
         } else {
             odd.extend_from_slice(c);

@@ -27,10 +27,7 @@ type Solution = AppOutcome<Vec<f64>>;
 /// Collect this processor's entries of the solution vector x from the
 /// result array's last column.
 fn local_solution(b: &DistArray<f64>, n: usize) -> Vec<(u32, f64)> {
-    b.iter_local()
-        .filter(|(ix, _)| ix[1] == n)
-        .map(|(ix, &v)| (ix[0] as u32, v))
-        .collect()
+    b.iter_local().filter(|(ix, _)| ix[1] == n).map(|(ix, &v)| (ix[0] as u32, v)).collect()
 }
 
 fn assemble_solution(parts: Vec<Vec<(u32, f64)>>, n: usize) -> Vec<f64> {
@@ -138,13 +135,10 @@ pub fn gauss_skil(machine: &Machine, n: usize, seed: u64) -> Solution {
             let cost = p.cost().clone();
             let rows_per_proc = n / p.nprocs();
             let spec = ArraySpec::d2(n, n + 1, Distr::Default);
-            let init = Kernel::new(
-                move |ix: Index| gauss_elem(seed, n, ix[0], ix[1]),
-                3 * cost.int_op,
-            );
+            let init =
+                Kernel::new(move |ix: Index| gauss_elem(seed, n, ix[0], ix[1]), 3 * cost.int_op);
             let mut a = array_create(p, spec, init).expect("a");
-            let mut b =
-                array_create(p, spec, Kernel::new(|_| 0.0f64, cost.int_op)).expect("b");
+            let mut b = array_create(p, spec, Kernel::new(|_| 0.0f64, cost.int_op)).expect("b");
             let mut piv = array_create(
                 p,
                 ArraySpec::d2(p.nprocs(), n + 1, Distr::Default),
@@ -174,13 +168,10 @@ pub fn gauss_skil_pivot(machine: &Machine, n: usize, seed: u64) -> Solution {
             let cost = p.cost().clone();
             let rows_per_proc = n / p.nprocs();
             let spec = ArraySpec::d2(n, n + 1, Distr::Default);
-            let init = Kernel::new(
-                move |ix: Index| gauss_elem(seed, n, ix[0], ix[1]),
-                3 * cost.int_op,
-            );
+            let init =
+                Kernel::new(move |ix: Index| gauss_elem(seed, n, ix[0], ix[1]), 3 * cost.int_op);
             let mut a = array_create(p, spec, init).expect("a");
-            let mut b =
-                array_create(p, spec, Kernel::new(|_| 0.0f64, cost.int_op)).expect("b");
+            let mut b = array_create(p, spec, Kernel::new(|_| 0.0f64, cost.int_op)).expect("b");
             let mut piv = array_create(
                 p,
                 ArraySpec::d2(p.nprocs(), n + 1, Distr::Default),
@@ -207,8 +198,10 @@ pub fn gauss_skil_pivot(machine: &Machine, n: usize, seed: u64) -> Solution {
                     // max_abs_in_col k, restricted to rows >= k
                     Kernel::new(
                         move |x: (f64, u64), y: (f64, u64)| {
-                            let xv = if x.1 != u64::MAX && x.1 >= k as u64 { x.0.abs() } else { -1.0 };
-                            let yv = if y.1 != u64::MAX && y.1 >= k as u64 { y.0.abs() } else { -1.0 };
+                            let xv =
+                                if x.1 != u64::MAX && x.1 >= k as u64 { x.0.abs() } else { -1.0 };
+                            let yv =
+                                if y.1 != u64::MAX && y.1 >= k as u64 { y.0.abs() } else { -1.0 };
                             if yv > xv {
                                 y
                             } else {
@@ -257,9 +250,8 @@ pub fn gauss_parix_c(machine: &Machine, n: usize, seed: u64) -> Solution {
             let cols = n + 1;
             let me = p.id();
             let row0 = me * rows;
-            let mut a: Vec<f64> = (0..rows * cols)
-                .map(|o| gauss_elem(seed, n, row0 + o / cols, o % cols))
-                .collect();
+            let mut a: Vec<f64> =
+                (0..rows * cols).map(|o| gauss_elem(seed, n, row0 + o / cols, o % cols)).collect();
             p.charge((3 * cost.int_op + cost.store) * (rows * cols) as u64);
             let inner = costs::c_gauss_inner(&cost);
 
@@ -279,8 +271,7 @@ pub fn gauss_parix_c(machine: &Machine, n: usize, seed: u64) -> Solution {
                 let pivrow: Vec<f64> = if me == owner {
                     let lr = k - row0;
                     let den = a[lr * cols + k];
-                    let tail: Vec<f64> =
-                        (k..cols).map(|j| a[lr * cols + j] / den).collect();
+                    let tail: Vec<f64> = (k..cols).map(|j| a[lr * cols + j] / den).collect();
                     p.charge((cost.load + cost.flt_div + cost.store) * tail.len() as u64);
                     let bytes = (tail.len() * std::mem::size_of::<f64>()) as u64;
                     for dst in 0..nprocs {
@@ -342,12 +333,9 @@ pub fn gauss_dpfl(machine: &Machine, n: usize, seed: u64) -> Solution {
             let spec = ArraySpec::d2(n, n + 1, Distr::Default);
             let mut a: FArray<f64> =
                 fcreate(p, spec, |ix| gauss_elem(seed, n, ix[0], ix[1])).expect("a");
-            let mut piv: FArray<f64> = fcreate(
-                p,
-                ArraySpec::d2(p.nprocs(), n + 1, Distr::Default),
-                |_| 0.0f64,
-            )
-            .expect("piv");
+            let mut piv: FArray<f64> =
+                fcreate(p, ArraySpec::d2(p.nprocs(), n + 1, Distr::Default), |_| 0.0f64)
+                    .expect("piv");
 
             for k in 0..n {
                 // b = a: free sharing.
@@ -524,11 +512,9 @@ mod tests {
             |p| {
                 let cost = p.cost().clone();
                 let spec = ArraySpec::d2(n, n + 1, Distr::Default);
-                let init =
-                    Kernel::new(move |ix: Index| needs_pivot_elem(n, ix[0], ix[1]), 0);
+                let init = Kernel::new(move |ix: Index| needs_pivot_elem(n, ix[0], ix[1]), 0);
                 let mut a = array_create(p, spec, init).expect("a");
-                let mut b =
-                    array_create(p, spec, Kernel::free(|_| 0.0f64)).expect("b");
+                let mut b = array_create(p, spec, Kernel::free(|_| 0.0f64)).expect("b");
                 let mut piv = array_create(
                     p,
                     ArraySpec::d2(p.nprocs(), n + 1, Distr::Default),
@@ -596,36 +582,40 @@ mod tests {
             &m,
             |p| {
                 let spec = ArraySpec::d2(n, n + 1, Distr::Default);
-                let init = Kernel::free(move |ix: Index| {
-                    if ix[1] == 1 {
-                        0.0
-                    } else {
-                        (ix[0] + ix[1]) as f64 + 1.0
-                    }
-                });
+                let init =
+                    Kernel::free(
+                        move |ix: Index| {
+                            if ix[1] == 1 {
+                                0.0
+                            } else {
+                                (ix[0] + ix[1]) as f64 + 1.0
+                            }
+                        },
+                    );
                 let a = array_create::<f64, _>(p, spec, init).expect("a");
                 // pivot fold on column 1 finds only zeros -> singular
-                let e: (f64, u64) = array_fold(
-                    p,
-                    Kernel::free(|&v: &f64, ix: Index| {
-                        if ix[1] == 1 {
-                            (v, ix[0] as u64)
-                        } else {
-                            (f64::NAN, u64::MAX)
-                        }
-                    }),
-                    Kernel::free(|x: (f64, u64), y: (f64, u64)| {
-                        let xv = if x.1 != u64::MAX { x.0.abs() } else { -1.0 };
-                        let yv = if y.1 != u64::MAX { y.0.abs() } else { -1.0 };
-                        if yv > xv {
-                            y
-                        } else {
-                            x
-                        }
-                    }),
-                    &a,
-                )
-                .expect("fold");
+                let e: (f64, u64) =
+                    array_fold(
+                        p,
+                        Kernel::free(|&v: &f64, ix: Index| {
+                            if ix[1] == 1 {
+                                (v, ix[0] as u64)
+                            } else {
+                                (f64::NAN, u64::MAX)
+                            }
+                        }),
+                        Kernel::free(|x: (f64, u64), y: (f64, u64)| {
+                            let xv = if x.1 != u64::MAX { x.0.abs() } else { -1.0 };
+                            let yv = if y.1 != u64::MAX { y.0.abs() } else { -1.0 };
+                            if yv > xv {
+                                y
+                            } else {
+                                x
+                            }
+                        }),
+                        &a,
+                    )
+                    .expect("fold");
                 assert!(e.0.abs() > 0.0, "matrix is singular");
                 (p.now(), ())
             },

@@ -32,13 +32,7 @@ fn simpson(c: f64, a: f64, b: f64) -> f64 {
 /// Integrate `integrand(c, ·)` over `[a, b]` to tolerance `tol` on the
 /// machine, via the parallel d&c skeleton. The result is taken from
 /// processor 0.
-pub fn integrate_dc(
-    machine: &Machine,
-    c: f64,
-    a: f64,
-    b: f64,
-    tol: f64,
-) -> AppOutcome<f64> {
+pub fn integrate_dc(machine: &Machine, c: f64, a: f64, b: f64, tol: f64) -> AppOutcome<f64> {
     run_timed(
         machine,
         |p| {
@@ -91,32 +85,18 @@ mod tests {
         for procs in [1usize, 2, 4, 8] {
             let m = Machine::new(MachineConfig::procs(procs).unwrap());
             let out = integrate_dc(&m, 0.3, 0.0, 2.0, 1e-8);
-            assert!(
-                (out.value - exact).abs() < 1e-5,
-                "p={procs}: {} vs {exact}",
-                out.value
-            );
+            assert!((out.value - exact).abs() < 1e-5, "p={procs}: {} vs {exact}", out.value);
         }
     }
 
     #[test]
     fn parallel_integration_is_faster_in_virtual_time() {
-        let t1 = integrate_dc(
-            &Machine::new(MachineConfig::procs(1).unwrap()),
-            0.3,
-            0.0,
-            2.0,
-            1e-10,
-        )
-        .sim_cycles;
-        let t8 = integrate_dc(
-            &Machine::new(MachineConfig::procs(8).unwrap()),
-            0.3,
-            0.0,
-            2.0,
-            1e-10,
-        )
-        .sim_cycles;
+        let t1 =
+            integrate_dc(&Machine::new(MachineConfig::procs(1).unwrap()), 0.3, 0.0, 2.0, 1e-10)
+                .sim_cycles;
+        let t8 =
+            integrate_dc(&Machine::new(MachineConfig::procs(8).unwrap()), 0.3, 0.0, 2.0, 1e-10)
+                .sim_cycles;
         assert!(t8 * 2 < t1, "8 procs should be >2x faster: {t1} vs {t8}");
     }
 

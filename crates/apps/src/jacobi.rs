@@ -31,25 +31,13 @@ pub fn initial(seed: u64, ix: Index) -> f64 {
     }
 }
 
-fn collect(
-    elapsed: u64,
-    a: &DistArray<f64>,
-) -> (u64, Vec<(u32, u32, f64)>) {
-    (
-        elapsed,
-        a.iter_local().map(|(ix, &v)| (ix[0] as u32, ix[1] as u32, v)).collect(),
-    )
+fn collect(elapsed: u64, a: &DistArray<f64>) -> (u64, Vec<(u32, u32, f64)>) {
+    (elapsed, a.iter_local().map(|(ix, &v)| (ix[0] as u32, ix[1] as u32, v)).collect())
 }
 
 /// The Skil version: ghost rows via `halo_exchange`, one `stencil_map`
 /// per sweep, ping-ponging two arrays.
-pub fn jacobi_skil(
-    machine: &Machine,
-    rows: usize,
-    cols: usize,
-    sweeps: usize,
-    seed: u64,
-) -> Grid {
+pub fn jacobi_skil(machine: &Machine, rows: usize, cols: usize, sweeps: usize, seed: u64) -> Grid {
     run_timed(
         machine,
         |p| {
@@ -73,11 +61,7 @@ pub fn jacobi_skil(
                     p,
                     Kernel::new(
                         move |h: &HaloArray<f64>, ix: Index| {
-                            if ix[0] == 0
-                                || ix[0] == rows - 1
-                                || ix[1] == 0
-                                || ix[1] == cols - 1
-                            {
+                            if ix[0] == 0 || ix[0] == rows - 1 || ix[1] == 0 || ix[1] == cols - 1 {
                                 *h.get(ix).expect("boundary local")
                             } else {
                                 0.25 * (h.get([ix[0] - 1, ix[1]]).expect("halo")
@@ -139,8 +123,7 @@ pub fn jacobi_parix_c(
                         p.send_raw(s, 1, tag + 0x1000, &cur[(nloc - 1) * cols..].to_vec());
                     }
                 }
-                let ghost_n: Option<Vec<f64>> =
-                    north.map(|n| p.recv_raw(n, tag + 0x1000));
+                let ghost_n: Option<Vec<f64>> = north.map(|n| p.recv_raw(n, tag + 0x1000));
                 let ghost_s: Option<Vec<f64>> = south.map(|s| p.recv_raw(s, tag));
 
                 let at = |r: isize, c: usize, cur: &[f64]| -> f64 {
@@ -155,15 +138,15 @@ pub fn jacobi_parix_c(
                 for lr in 0..nloc {
                     let gr = lo + lr;
                     for c in 0..cols {
-                        nxt[lr * cols + c] =
-                            if gr == 0 || gr == rows - 1 || c == 0 || c == cols - 1 {
-                                cur[lr * cols + c]
-                            } else {
-                                0.25 * (at(lr as isize - 1, c, &cur)
-                                    + at(lr as isize + 1, c, &cur)
-                                    + cur[lr * cols + c - 1]
-                                    + cur[lr * cols + c + 1])
-                            };
+                        nxt[lr * cols + c] = if gr == 0 || gr == rows - 1 || c == 0 || c == cols - 1
+                        {
+                            cur[lr * cols + c]
+                        } else {
+                            0.25 * (at(lr as isize - 1, c, &cur)
+                                + at(lr as isize + 1, c, &cur)
+                                + cur[lr * cols + c - 1]
+                                + cur[lr * cols + c + 1])
+                        };
                     }
                 }
                 p.charge(inner * (nloc * cols) as u64);
@@ -181,13 +164,7 @@ pub fn jacobi_parix_c(
 /// The DPFL model: per sweep, the functional runtime exchanges boundary
 /// rows with its message surcharge and rebuilds the whole (immutable)
 /// grid through boxed closure applications.
-pub fn jacobi_dpfl(
-    machine: &Machine,
-    rows: usize,
-    cols: usize,
-    sweeps: usize,
-    seed: u64,
-) -> Grid {
+pub fn jacobi_dpfl(machine: &Machine, rows: usize, cols: usize, sweeps: usize, seed: u64) -> Grid {
     run_timed(
         machine,
         |p| {
@@ -196,29 +173,21 @@ pub fn jacobi_dpfl(
             let a = array_create(p, spec, Kernel::free(move |ix: Index| initial(seed, ix)))
                 .expect("create");
             // DPFL creation cost
-            p.charge(
-                (cost.dpfl_elem_overhead() + cost.dpfl_index_arg) * a.local_len() as u64,
-            );
+            p.charge((cost.dpfl_elem_overhead() + cost.dpfl_index_arg) * a.local_len() as u64);
             let mut h = HaloArray::new(a, 1).expect("halo");
-            let mut out =
-                array_create(p, spec, Kernel::free(|_| 0.0f64)).expect("create");
+            let mut out = array_create(p, spec, Kernel::free(|_| 0.0f64)).expect("create");
             let touch = costs::dpfl_map_touch(&cost);
-            let active = 4 * cost.dpfl_box + 3 * cost.flt_add + cost.flt_mul
-                + 2 * cost.dpfl_closure;
+            let active =
+                4 * cost.dpfl_box + 3 * cost.flt_add + cost.flt_mul + 2 * cost.dpfl_closure;
             for _ in 0..sweeps {
                 // functional message layer surcharge on the exchange
-                p.charge(2 * (cost.dpfl_msg_extra
-                    + cost.dpfl_per_byte_extra * (cols * 8) as u64));
+                p.charge(2 * (cost.dpfl_msg_extra + cost.dpfl_per_byte_extra * (cols * 8) as u64));
                 halo_exchange(p, &mut h).expect("exchange");
                 stencil_map(
                     p,
                     Kernel::new(
                         move |h: &HaloArray<f64>, ix: Index| {
-                            if ix[0] == 0
-                                || ix[0] == rows - 1
-                                || ix[1] == 0
-                                || ix[1] == cols - 1
-                            {
+                            if ix[0] == 0 || ix[0] == rows - 1 || ix[1] == 0 || ix[1] == cols - 1 {
                                 *h.get(ix).expect("boundary local")
                             } else {
                                 0.25 * (h.get([ix[0] - 1, ix[1]]).expect("halo")
@@ -279,10 +248,7 @@ mod tests {
             let m = machine(procs);
             let close = |g: &[f64]| g.iter().zip(&expect).all(|(a, b)| (a - b).abs() < 1e-12);
             assert!(close(&jacobi_skil(&m, rows, cols, sweeps, seed).value), "skil p={procs}");
-            assert!(
-                close(&jacobi_parix_c(&m, rows, cols, sweeps, seed).value),
-                "c p={procs}"
-            );
+            assert!(close(&jacobi_parix_c(&m, rows, cols, sweeps, seed).value), "c p={procs}");
             assert!(close(&jacobi_dpfl(&m, rows, cols, sweeps, seed).value), "dpfl p={procs}");
         }
     }

@@ -29,17 +29,17 @@ pub mod jacobi;
 pub mod matmul;
 pub mod outcome;
 pub mod quicksort;
-pub mod strassen;
 pub mod shortest_paths;
+pub mod strassen;
 pub mod tags;
 pub mod workload;
 
-pub use gauss::{gauss_dpfl, gauss_parix_c, gauss_skil, gauss_skil_pivot};
 pub use fft::fft_dc;
+pub use gauss::{gauss_dpfl, gauss_parix_c, gauss_skil, gauss_skil_pivot};
 pub use integrate::integrate_dc;
 pub use jacobi::{jacobi_dpfl, jacobi_parix_c, jacobi_skil};
-pub use strassen::strassen_dc;
 pub use matmul::{matmul_c_opt, matmul_skil};
 pub use outcome::AppOutcome;
 pub use quicksort::quicksort_skil;
 pub use shortest_paths::{shpaths_c_old, shpaths_c_opt, shpaths_dpfl, shpaths_skil};
+pub use strassen::strassen_dc;

@@ -32,8 +32,7 @@ pub fn matmul_skil(machine: &Machine, n: usize, seed: u64) -> Product {
                 Kernel::new(move |ix: Index| mat_elem(seed + 1, ix[0], ix[1]), 3 * c.int_op),
             )
             .expect("b");
-            let mut cc =
-                array_create(p, spec, Kernel::new(|_| 0.0f64, c.int_op)).expect("c");
+            let mut cc = array_create(p, spec, Kernel::new(|_| 0.0f64, c.int_op)).expect("c");
             array_gen_mult(
                 p,
                 &a,
@@ -43,10 +42,8 @@ pub fn matmul_skil(machine: &Machine, n: usize, seed: u64) -> Product {
                 &mut cc,
             )
             .expect("gen_mult");
-            let local: Vec<(u32, u32, f64)> = cc
-                .iter_local()
-                .map(|(ix, &v)| (ix[0] as u32, ix[1] as u32, v))
-                .collect();
+            let local: Vec<(u32, u32, f64)> =
+                cc.iter_local().map(|(ix, &v)| (ix[0] as u32, ix[1] as u32, v)).collect();
             (p.now(), local)
         },
         |parts| assemble_matrix(parts, n, n),
@@ -71,9 +68,8 @@ pub fn matmul_c_opt(machine: &Machine, n: usize, seed: u64) -> Product {
             let torus = Torus2d::new(mesh, true);
             let inner = costs::c_opt_matmul_inner(&cost);
 
-            let mut a_loc: Vec<f64> = (0..nb * nb)
-                .map(|o| mat_elem(seed, gr * nb + o / nb, gc * nb + o % nb))
-                .collect();
+            let mut a_loc: Vec<f64> =
+                (0..nb * nb).map(|o| mat_elem(seed, gr * nb + o / nb, gc * nb + o % nb)).collect();
             let mut b_loc: Vec<f64> = (0..nb * nb)
                 .map(|o| mat_elem(seed + 1, gr * nb + o / nb, gc * nb + o % nb))
                 .collect();
@@ -174,9 +170,6 @@ mod tests {
         let skil = matmul_skil(&m, n, 5).sim_cycles;
         let c = matmul_c_opt(&m, n, 5).sim_cycles;
         let ratio = skil as f64 / c as f64;
-        assert!(
-            (1.05..1.4).contains(&ratio),
-            "Skil/C = {ratio}, paper reports ≈ 1.2"
-        );
+        assert!((1.05..1.4).contains(&ratio), "Skil/C = {ratio}, paper reports ≈ 1.2");
     }
 }

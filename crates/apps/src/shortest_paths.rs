@@ -40,8 +40,7 @@ pub fn shpaths_skil(machine: &Machine, n: usize, seed: u64) -> DistMatrix {
             let spec = ArraySpec::d2(n, n, skil_runtime::Distr::Torus2d);
             let mut a = array_create(p, spec, init_f).expect("create a");
             let mut b = array_create(p, spec, Kernel::new(|_| 0u64, c.int_op)).expect("create b");
-            let mut cc =
-                array_create(p, spec, Kernel::new(|_| INF, c.int_op)).expect("create c");
+            let mut cc = array_create(p, spec, Kernel::new(|_| INF, c.int_op)).expect("create c");
             for _ in 0..ceil_log2(n) {
                 array_copy(p, &a, &mut b).expect("copy a->b");
                 array_gen_mult(
@@ -182,9 +181,7 @@ fn run_shpaths_c(machine: &Machine, n: usize, seed: u64, optimized: bool) -> Dis
 
             let elapsed = p.now();
             let local: Vec<(u32, u32, u64)> = (0..nb * nb)
-                .map(|o| {
-                    ((gr * nb + o / nb) as u32, (gc * nb + o % nb) as u32, a_cur[o])
-                })
+                .map(|o| ((gr * nb + o / nb) as u32, (gc * nb + o % nb) as u32, a_cur[o]))
                 .collect();
             (elapsed, local)
         },

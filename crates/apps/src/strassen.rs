@@ -91,12 +91,7 @@ fn join(parts: Vec<Vec<f64>>) -> Vec<f64> {
 
 /// Multiply two `n x n` matrices (n a power of two) by Strassen's
 /// algorithm on the machine; the product is taken from processor 0.
-pub fn strassen_dc(
-    machine: &Machine,
-    n: usize,
-    a: Vec<f64>,
-    b: Vec<f64>,
-) -> AppOutcome<Vec<f64>> {
+pub fn strassen_dc(machine: &Machine, n: usize, a: Vec<f64>, b: Vec<f64>) -> AppOutcome<Vec<f64>> {
     assert!(n.is_power_of_two(), "Strassen needs a power-of-two size");
     run_timed(
         machine,
@@ -150,10 +145,10 @@ mod tests {
     fn parallel_strassen_speeds_up() {
         let n = 128;
         let (a, b) = inputs(n);
-        let t1 = strassen_dc(&Machine::new(MachineConfig::procs(1).unwrap()), n, a.clone(), b.clone())
-            .sim_cycles;
-        let t8 = strassen_dc(&Machine::new(MachineConfig::procs(8).unwrap()), n, a, b)
-            .sim_cycles;
+        let t1 =
+            strassen_dc(&Machine::new(MachineConfig::procs(1).unwrap()), n, a.clone(), b.clone())
+                .sim_cycles;
+        let t8 = strassen_dc(&Machine::new(MachineConfig::procs(8).unwrap()), n, a, b).sim_cycles;
         assert!(t8 * 2 < t1, "t1={t1} t8={t8}");
     }
 }

@@ -105,8 +105,7 @@ pub fn seq_shortest_paths(seed: u64, n: usize) -> Vec<u64> {
 /// [`gauss_elem`]; returns x.
 pub fn seq_gauss_solve(seed: u64, n: usize) -> Vec<f64> {
     let cols = n + 1;
-    let mut a: Vec<f64> =
-        (0..n * cols).map(|k| gauss_elem(seed, n, k / cols, k % cols)).collect();
+    let mut a: Vec<f64> = (0..n * cols).map(|k| gauss_elem(seed, n, k / cols, k % cols)).collect();
     for k in 0..n {
         let akk = a[k * cols + k];
         assert!(akk.abs() > 1e-12, "matrix is singular");
@@ -204,8 +203,8 @@ mod tests {
         // residual check
         for i in 0..n {
             let mut lhs = 0.0;
-            for j in 0..n {
-                lhs += gauss_elem(5, n, i, j) * x[j];
+            for (j, xj) in x.iter().enumerate() {
+                lhs += gauss_elem(5, n, i, j) * xj;
             }
             let rhs = gauss_elem(5, n, i, n);
             assert!((lhs - rhs).abs() < 1e-8, "row {i}: {lhs} != {rhs}");
@@ -221,6 +220,6 @@ mod tests {
         for k in 0..4 {
             acc += mat_elem(9, 1, k) * mat_elem(10, k, 2);
         }
-        assert!((c[1 * 4 + 2] - acc).abs() < 1e-12);
+        assert!((c[4 + 2] - acc).abs() < 1e-12);
     }
 }

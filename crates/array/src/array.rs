@@ -278,10 +278,7 @@ mod tests {
     use super::*;
     use skil_runtime::{Machine, MachineConfig};
 
-    fn on_machine<R: Send>(
-        n: usize,
-        f: impl Fn(&mut Proc<'_>) -> R + Sync,
-    ) -> Vec<R> {
+    fn on_machine<R: Send>(n: usize, f: impl Fn(&mut Proc<'_>) -> R + Sync) -> Vec<R> {
         Machine::new(MachineConfig::procs(n).unwrap()).run(f).results
     }
 
@@ -331,13 +328,8 @@ mod tests {
             let remote_ix = [(1 - p.id()) * 2, 0];
             a.put(local_ix, 99).unwrap();
             let local_ok = *a.get(local_ix).unwrap() == 99;
-            let remote_err = matches!(
-                a.get(remote_ix),
-                Err(ArrayError::NonLocalAccess { .. })
-            ) && matches!(
-                a.put(remote_ix, 0),
-                Err(ArrayError::NonLocalAccess { .. })
-            );
+            let remote_err = matches!(a.get(remote_ix), Err(ArrayError::NonLocalAccess { .. }))
+                && matches!(a.put(remote_ix, 0), Err(ArrayError::NonLocalAccess { .. }));
             (local_ok, remote_err)
         });
         assert!(results.iter().all(|&(l, r)| l && r));
@@ -406,8 +398,7 @@ mod tests {
     #[test]
     fn replace_local_data_validates_length() {
         let results = on_machine(1, |p| {
-            let mut a =
-                DistArray::create(p, ArraySpec::d1(3, Distr::Default), |_| 0u8).unwrap();
+            let mut a = DistArray::create(p, ArraySpec::d1(3, Distr::Default), |_| 0u8).unwrap();
             let bad = a.replace_local_data(vec![1, 2]).is_err();
             a.replace_local_data(vec![7, 8, 9]).unwrap();
             (bad, a.local_data().to_vec())

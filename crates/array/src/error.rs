@@ -65,10 +65,9 @@ impl fmt::Display for ArrayError {
                 write!(f, "{op} requires a block-wise distributed array")
             }
             ArrayError::BadTopology(msg) => write!(f, "bad topology for operation: {msg}"),
-            ArrayError::NotBijective { row } => write!(
-                f,
-                "permutation function is not bijective (row {row} not hit exactly once)"
-            ),
+            ArrayError::NotBijective { row } => {
+                write!(f, "permutation function is not bijective (row {row} not hit exactly once)")
+            }
             ArrayError::AliasedArrays(op) => {
                 write!(f, "{op}: argument arrays must be distinct")
             }
@@ -98,8 +97,6 @@ mod tests {
         assert!(s.contains("[3, 4]"));
 
         assert!(ArrayError::NotBijective { row: 7 }.to_string().contains("row 7"));
-        assert!(ArrayError::AliasedArrays("array_gen_mult")
-            .to_string()
-            .contains("array_gen_mult"));
+        assert!(ArrayError::AliasedArrays("array_gen_mult").to_string().contains("array_gen_mult"));
     }
 }

@@ -130,8 +130,7 @@ impl<T> HaloArray<T> {
             // north ghost: rows [lower-width, lower)
             if ix[0] < b.lower[0] && b.lower[0] - ix[0] <= self.width {
                 let nrows = self.north.len() / cols.max(1);
-                let row_in_ghost =
-                    nrows - (b.lower[0] - ix[0]); // ghost stores rows in global order
+                let row_in_ghost = nrows - (b.lower[0] - ix[0]); // ghost stores rows in global order
                 if self.north.len() >= (b.lower[0] - ix[0]) * cols {
                     return Ok(&self.north[row_in_ghost * cols + (ix[1] - b.lower[1])]);
                 }
@@ -171,8 +170,7 @@ mod tests {
         let results = on_machine(2, |p| {
             let d1 = DistArray::create(p, ArraySpec::d1(4, Distr::Default), |_| 0u8).unwrap();
             let e1 = HaloArray::new(d1, 1).is_err();
-            let d2 =
-                DistArray::create(p, ArraySpec::d2(4, 4, Distr::Default), |_| 0u8).unwrap();
+            let d2 = DistArray::create(p, ArraySpec::d2(4, 4, Distr::Default), |_| 0u8).unwrap();
             let e2 = HaloArray::new(d2, 0).is_err();
             (e1, e2)
         });

@@ -300,14 +300,9 @@ mod tests {
         assert_eq!(l.local_count(1), 4);
         assert_eq!(l.local_count(2), 0);
         // too-small explicit block cannot tile
-        assert!(Layout::new(
-            Shape::d1(8),
-            [2, 1],
-            Distr::Default,
-            Distribution::Block,
-            [3, 0]
-        )
-        .is_err());
+        assert!(
+            Layout::new(Shape::d1(8), [2, 1], Distr::Default, Distribution::Block, [3, 0]).is_err()
+        );
     }
 
     #[test]
@@ -425,30 +420,15 @@ mod tests {
             [0, 0]
         )
         .is_err());
-        assert!(Layout::new(
-            Shape::d2(0, 4),
-            [1, 1],
-            Distr::Default,
-            Distribution::Block,
-            [0, 0]
-        )
-        .is_err());
-        assert!(Layout::new(
-            Shape::d1(4),
-            [2, 2],
-            Distr::Default,
-            Distribution::Block,
-            [0, 0]
-        )
-        .is_err(), "1-D array on 2-D grid");
-        assert!(Layout::new(
-            Shape::d1(4),
-            [0, 1],
-            Distr::Default,
-            Distribution::Block,
-            [0, 0]
-        )
-        .is_err());
+        assert!(Layout::new(Shape::d2(0, 4), [1, 1], Distr::Default, Distribution::Block, [0, 0])
+            .is_err());
+        assert!(
+            Layout::new(Shape::d1(4), [2, 2], Distr::Default, Distribution::Block, [0, 0]).is_err(),
+            "1-D array on 2-D grid"
+        );
+        assert!(
+            Layout::new(Shape::d1(4), [0, 1], Distr::Default, Distribution::Block, [0, 0]).is_err()
+        );
         assert!(Layout::new(
             Shape::d1(4),
             [2, 1],

@@ -71,10 +71,7 @@ impl Bounds {
 
     /// Partition extent per dimension.
     pub fn extent(&self) -> Index {
-        [
-            self.upper[0].saturating_sub(self.lower[0]),
-            self.upper[1].saturating_sub(self.lower[1]),
-        ]
+        [self.upper[0].saturating_sub(self.lower[0]), self.upper[1].saturating_sub(self.lower[1])]
     }
 
     /// Number of elements in the partition.

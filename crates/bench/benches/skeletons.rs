@@ -141,12 +141,9 @@ fn bench_comm_skeletons(c: &mut Criterion) {
                     Kernel::free(|ix: Index| (ix[0] * 16 + ix[1]) as u64),
                 )
                 .unwrap();
-                let mut out = array_create(
-                    p,
-                    ArraySpec::d2(64, 16, Distr::Default),
-                    Kernel::free(|_| 0u64),
-                )
-                .unwrap();
+                let mut out =
+                    array_create(p, ArraySpec::d2(64, 16, Distr::Default), Kernel::free(|_| 0u64))
+                        .unwrap();
                 array_permute_rows(p, &a, |r| 63 - r, &mut out).unwrap();
                 out.local_data()[0]
             })
@@ -162,12 +159,9 @@ fn bench_comm_skeletons(c: &mut Criterion) {
                     Kernel::free(|ix: Index| ix[0] as u64),
                 )
                 .unwrap();
-                let mut out = array_create(
-                    p,
-                    ArraySpec::d1(65536, Distr::Default),
-                    Kernel::free(|_| 0u64),
-                )
-                .unwrap();
+                let mut out =
+                    array_create(p, ArraySpec::d1(65536, Distr::Default), Kernel::free(|_| 0u64))
+                        .unwrap();
                 array_copy(p, &a, &mut out).unwrap();
                 out.local_data()[0]
             })

@@ -48,8 +48,7 @@ fn fold_broadcast_ablation() {
             )
             .unwrap();
         });
-        let (ta, tr) =
-            (run_all.report.sim_seconds * 1e3, run_root.report.sim_seconds * 1e3);
+        let (ta, tr) = (run_all.report.sim_seconds * 1e3, run_root.report.sim_seconds * 1e3);
         println!("{procs:>6} {ta:>14.3} {tr:>14.3} {:>7.1}%", (ta / tr - 1.0) * 100.0);
     }
     println!();
@@ -150,8 +149,7 @@ fn distribution_ablation() {
         let run = |dist: Distribution| {
             m.run(|p| {
                 let spec = ArraySpec::d1(n, Distr::Default).with_dist(dist);
-                let a = array_create(p, spec, Kernel::free(|ix: Index| ix[0] as u64))
-                    .unwrap();
+                let a = array_create(p, spec, Kernel::free(|ix: Index| ix[0] as u64)).unwrap();
                 // triangular work: row i costs ~ i cycles (like the
                 // active region of an elimination step)
                 let mut extra = 0u64;

@@ -1,0 +1,208 @@
+//! Host wall-time report for the simulator's data plane.
+//!
+//! Unlike the table binaries (which report *simulated* T800 seconds, a
+//! pure function of the cost model), this binary measures how fast the
+//! simulator itself runs on the host: wire flatten/unflatten, mailbox
+//! matching, envelope delivery, and worker management. It emits
+//! `BENCH_data_plane.json` so successive PRs can track the host-perf
+//! trajectory.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p skil-bench --bin bench_report -- \
+//!     [--out BENCH_data_plane.json] [--baseline old.json]
+//! ```
+//!
+//! With `--baseline`, each bench also records the baseline mean and the
+//! speedup against it (used for before/after data-plane comparisons).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use skil_bench::{table1, table2};
+use skil_runtime::{Machine, MachineConfig};
+
+/// One measured bench: mean and best-of-run nanoseconds per iteration.
+struct Measurement {
+    name: &'static str,
+    mean_ns: f64,
+    min_ns: f64,
+}
+
+fn time_ns<F: FnMut()>(repeats: usize, mut f: F) -> (f64, f64) {
+    // One untimed warmup run to populate caches and lazy state.
+    f();
+    let mut total = 0.0;
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        f();
+        let ns = t0.elapsed().as_nanos() as f64;
+        total += ns;
+        best = best.min(ns);
+    }
+    (total / repeats as f64, best)
+}
+
+/// gen_mult-shaped traffic: every processor repeatedly rotates its
+/// `Vec<f64>` partition around a ring, exactly the communication pattern
+/// of the `array_gen_mult` operand rotations.
+const TAG: u64 = 0x0707;
+
+fn rotate_f64(procs: usize, elems: usize, rounds: usize) -> u64 {
+    let m = Machine::new(MachineConfig::procs(procs).unwrap());
+    let run = m.run(|p| {
+        let n = p.nprocs();
+        let next = (p.id() + 1) % n;
+        let prev = (p.id() + n - 1) % n;
+        let mut part: Vec<f64> = (0..elems).map(|i| (p.id() * elems + i) as f64).collect();
+        for _ in 0..rounds {
+            if n == 1 {
+                break;
+            }
+            p.send(next, TAG, &part);
+            part = p.recv(prev, TAG);
+        }
+        part.iter().sum::<f64>() as u64
+    });
+    run.report.sim_cycles
+}
+
+/// Tree broadcast of a large `Vec<f64>` — the flatten-once/share-many
+/// path of `array_broadcast_part` and pivot-row distribution.
+fn broadcast_f64(procs: usize, elems: usize) -> u64 {
+    let m = Machine::new(MachineConfig::procs(procs).unwrap());
+    let run = m.run(|p| {
+        let v = if p.id() == 0 {
+            Some((0..elems).map(|i| i as f64).collect::<Vec<f64>>())
+        } else {
+            None
+        };
+        let got = p.broadcast(0, TAG, v);
+        got.len() as u64
+    });
+    run.report.sim_cycles
+}
+
+/// Many repeated tiny runs on one machine — dominated by per-run worker
+/// management (thread spawn vs. pool dispatch).
+fn repeated_small_runs(procs: usize, repeats: usize) -> u64 {
+    let m = Machine::new(MachineConfig::procs(procs).unwrap());
+    let mut acc = 0u64;
+    for _ in 0..repeats {
+        let run = m.run(|p| {
+            p.charge(10);
+            p.allreduce(TAG, p.id() as u64, |a, b| a + b, 1)
+        });
+        acc = acc.wrapping_add(run.report.sim_cycles);
+    }
+    acc
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_data_plane.json");
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a path")),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    // Read the baseline up front so a bad path fails before the
+    // multi-minute measurement sweep, not after it.
+    let baseline = baseline_path.map(|p| {
+        let text =
+            std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"));
+        parse_means(&text)
+    });
+
+    let mut results: Vec<Measurement> = Vec::new();
+    let mut run = |name: &'static str, repeats: usize, f: &mut dyn FnMut()| {
+        let (mean_ns, min_ns) = time_ns(repeats, f);
+        println!("{name:<28} mean {:>10.2} ms   best {:>10.2} ms", mean_ns / 1e6, min_ns / 1e6);
+        results.push(Measurement { name, mean_ns, min_ns });
+    };
+
+    // -- data-plane microbenches ------------------------------------
+    run("rotate_f64_4p_32k_x8", 7, &mut || {
+        std::hint::black_box(rotate_f64(4, 32 * 1024, 8));
+    });
+    run("rotate_f64_8p_16k_x8", 7, &mut || {
+        std::hint::black_box(rotate_f64(8, 16 * 1024, 8));
+    });
+    run("broadcast_f64_16p_64k", 7, &mut || {
+        std::hint::black_box(broadcast_f64(16, 64 * 1024));
+    });
+    run("repeated_runs_8p_x200", 5, &mut || {
+        std::hint::black_box(repeated_small_runs(8, 200));
+    });
+
+    // -- end-to-end paper workloads (reduced sweeps) ----------------
+    run("table1_n96_2x2_4x4", 3, &mut || {
+        std::hint::black_box(table1(96, &[2, 4], &[2, 4]).len());
+    });
+    run("table2_n32_64_2x2", 3, &mut || {
+        std::hint::black_box(table2(&[(2, 2)], &[32, 64]).len());
+    });
+
+    // -- report ------------------------------------------------------
+    let mut json = String::from("{\n  \"schema\": \"skil-bench/data-plane/v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"host_threads\": {},",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    json.push_str("  \"benches\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\n      \"name\": \"{}\",\n      \"mean_ns\": {:.0},\n      \"min_ns\": {:.0}",
+            m.name, m.mean_ns, m.min_ns
+        );
+        if let Some(base) = &baseline {
+            if let Some(&before) = base.iter().find(|(n, _)| n == m.name).map(|(_, v)| v) {
+                let _ = write!(
+                    json,
+                    ",\n      \"baseline_mean_ns\": {:.0},\n      \"speedup\": {:.2}",
+                    before,
+                    before / m.mean_ns
+                );
+            }
+        }
+        json.push_str("\n    }");
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+    if let Some(base) = baseline.as_ref() {
+        for m in &results {
+            // Echo the speedups for the log.
+            if let Some(&before) = base.iter().find(|(n, _)| n == m.name).map(|(_, v)| v) {
+                println!("{:<28} speedup {:.2}x", m.name, before / m.mean_ns);
+            }
+        }
+    }
+}
+
+/// Pull `(name, mean_ns)` pairs back out of a previously written report.
+/// The writer emits one key per line, so a line scan suffices — no JSON
+/// parser dependency.
+fn parse_means(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            name = rest.strip_suffix('"').map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("\"mean_ns\": ") {
+            if let (Some(n), Ok(v)) = (name.take(), rest.parse::<f64>()) {
+                out.push((n, v));
+            }
+        }
+    }
+    out
+}

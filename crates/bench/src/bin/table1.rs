@@ -13,8 +13,18 @@ fn main() {
     println!("paper columns shown in [brackets]\n");
     let rows = table1(200, &[2, 3, 4, 5, 6, 7, 8], &[2, 4, 6, 8]);
     header(&[
-        "grid", "n", "DPFL s", "[DPFL]", "Skil s", "[Skil]", "C s", "[C]", "DPFL/Skil",
-        "[quot]", "Skil/C", "[quot]",
+        "grid",
+        "n",
+        "DPFL s",
+        "[DPFL]",
+        "Skil s",
+        "[Skil]",
+        "C s",
+        "[C]",
+        "DPFL/Skil",
+        "[quot]",
+        "Skil/C",
+        "[quot]",
     ]);
     for r in &rows {
         let paper = PAPER_TABLE1.iter().find(|p| p.side == r.side).expect("paper row");

@@ -17,13 +17,9 @@ fn main() {
     let meshes = [(2usize, 2usize), (4, 4), (8, 4), (8, 8)];
     let ns = [64usize, 128, 256, 384, 512, 640];
     let cells = table2(&meshes, &ns);
-    header(&[
-        "mesh", "n", "Skil s", "[Skil]", "DPFL/Skil", "[quot]", "Skil/C", "[quot]",
-    ]);
+    header(&["mesh", "n", "Skil s", "[Skil]", "DPFL/Skil", "[quot]", "Skil/C", "[quot]"]);
     for c in &cells {
-        let paper = PAPER_TABLE2
-            .iter()
-            .find(|p| p.mesh == c.mesh && p.n == c.n);
+        let paper = PAPER_TABLE2.iter().find(|p| p.mesh == c.mesh && p.n == c.n);
         row(&[
             format!("{}x{}", c.mesh.0, c.mesh.1),
             c.n.to_string(),

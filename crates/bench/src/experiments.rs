@@ -1,11 +1,11 @@
 //! The experiment drivers shared by the reproduction binaries and the
 //! Criterion benches.
 
+use skil_apps::workload::round_up_to_multiple;
 use skil_apps::{
     gauss_dpfl, gauss_parix_c, gauss_skil, gauss_skil_pivot, matmul_c_opt, matmul_skil,
     shpaths_c_old, shpaths_dpfl, shpaths_skil,
 };
-use skil_apps::workload::round_up_to_multiple;
 use skil_runtime::{Machine, MachineConfig};
 
 /// The seed all reproduction runs use (results are deterministic).

@@ -45,28 +45,154 @@ pub struct PaperTable2Cell {
 /// Table 2 as published. The 2×2 machine could not hold n ≥ 512
 /// (1 MB per node).
 pub const PAPER_TABLE2: [PaperTable2Cell; 22] = [
-    PaperTable2Cell { mesh: (2, 2), n: 64, skil: 2.06, dpfl_over_skil: Some(6.17), skil_over_c: 2.40 },
-    PaperTable2Cell { mesh: (2, 2), n: 128, skil: 14.77, dpfl_over_skil: Some(6.52), skil_over_c: 2.51 },
-    PaperTable2Cell { mesh: (2, 2), n: 256, skil: 113.29, dpfl_over_skil: Some(6.65), skil_over_c: 2.60 },
-    PaperTable2Cell { mesh: (2, 2), n: 384, skil: 377.62, dpfl_over_skil: Some(6.69), skil_over_c: 2.64 },
-    PaperTable2Cell { mesh: (4, 4), n: 64, skil: 0.91, dpfl_over_skil: Some(4.82), skil_over_c: 1.57 },
-    PaperTable2Cell { mesh: (4, 4), n: 128, skil: 4.83, dpfl_over_skil: Some(5.73), skil_over_c: 1.73 },
-    PaperTable2Cell { mesh: (4, 4), n: 256, skil: 32.06, dpfl_over_skil: Some(6.22), skil_over_c: 2.02 },
-    PaperTable2Cell { mesh: (4, 4), n: 384, skil: 102.16, dpfl_over_skil: Some(6.40), skil_over_c: 2.20 },
-    PaperTable2Cell { mesh: (4, 4), n: 512, skil: 236.13, dpfl_over_skil: Some(6.48), skil_over_c: 2.31 },
+    PaperTable2Cell {
+        mesh: (2, 2),
+        n: 64,
+        skil: 2.06,
+        dpfl_over_skil: Some(6.17),
+        skil_over_c: 2.40,
+    },
+    PaperTable2Cell {
+        mesh: (2, 2),
+        n: 128,
+        skil: 14.77,
+        dpfl_over_skil: Some(6.52),
+        skil_over_c: 2.51,
+    },
+    PaperTable2Cell {
+        mesh: (2, 2),
+        n: 256,
+        skil: 113.29,
+        dpfl_over_skil: Some(6.65),
+        skil_over_c: 2.60,
+    },
+    PaperTable2Cell {
+        mesh: (2, 2),
+        n: 384,
+        skil: 377.62,
+        dpfl_over_skil: Some(6.69),
+        skil_over_c: 2.64,
+    },
+    PaperTable2Cell {
+        mesh: (4, 4),
+        n: 64,
+        skil: 0.91,
+        dpfl_over_skil: Some(4.82),
+        skil_over_c: 1.57,
+    },
+    PaperTable2Cell {
+        mesh: (4, 4),
+        n: 128,
+        skil: 4.83,
+        dpfl_over_skil: Some(5.73),
+        skil_over_c: 1.73,
+    },
+    PaperTable2Cell {
+        mesh: (4, 4),
+        n: 256,
+        skil: 32.06,
+        dpfl_over_skil: Some(6.22),
+        skil_over_c: 2.02,
+    },
+    PaperTable2Cell {
+        mesh: (4, 4),
+        n: 384,
+        skil: 102.16,
+        dpfl_over_skil: Some(6.40),
+        skil_over_c: 2.20,
+    },
+    PaperTable2Cell {
+        mesh: (4, 4),
+        n: 512,
+        skil: 236.13,
+        dpfl_over_skil: Some(6.48),
+        skil_over_c: 2.31,
+    },
     PaperTable2Cell { mesh: (4, 4), n: 640, skil: 453.86, dpfl_over_skil: None, skil_over_c: 2.38 },
-    PaperTable2Cell { mesh: (8, 4), n: 64, skil: 0.85, dpfl_over_skil: Some(3.87), skil_over_c: 1.25 },
-    PaperTable2Cell { mesh: (8, 4), n: 128, skil: 3.49, dpfl_over_skil: Some(4.88), skil_over_c: 1.24 },
-    PaperTable2Cell { mesh: (8, 4), n: 256, skil: 19.42, dpfl_over_skil: Some(5.62), skil_over_c: 1.45 },
-    PaperTable2Cell { mesh: (8, 4), n: 384, skil: 58.03, dpfl_over_skil: Some(5.96), skil_over_c: 1.65 },
-    PaperTable2Cell { mesh: (8, 4), n: 512, skil: 129.89, dpfl_over_skil: Some(6.12), skil_over_c: 1.78 },
-    PaperTable2Cell { mesh: (8, 4), n: 640, skil: 244.77, dpfl_over_skil: Some(6.24), skil_over_c: 1.90 },
-    PaperTable2Cell { mesh: (8, 8), n: 64, skil: 0.85, dpfl_over_skil: Some(3.48), skil_over_c: 1.04 },
-    PaperTable2Cell { mesh: (8, 8), n: 128, skil: 2.94, dpfl_over_skil: Some(4.17), skil_over_c: 0.94 },
-    PaperTable2Cell { mesh: (8, 8), n: 256, skil: 13.57, dpfl_over_skil: Some(4.78), skil_over_c: 1.03 },
-    PaperTable2Cell { mesh: (8, 8), n: 384, skil: 37.03, dpfl_over_skil: Some(5.21), skil_over_c: 1.15 },
-    PaperTable2Cell { mesh: (8, 8), n: 512, skil: 78.71, dpfl_over_skil: Some(5.47), skil_over_c: 1.26 },
-    PaperTable2Cell { mesh: (8, 8), n: 640, skil: 143.28, dpfl_over_skil: Some(5.68), skil_over_c: 1.37 },
+    PaperTable2Cell {
+        mesh: (8, 4),
+        n: 64,
+        skil: 0.85,
+        dpfl_over_skil: Some(3.87),
+        skil_over_c: 1.25,
+    },
+    PaperTable2Cell {
+        mesh: (8, 4),
+        n: 128,
+        skil: 3.49,
+        dpfl_over_skil: Some(4.88),
+        skil_over_c: 1.24,
+    },
+    PaperTable2Cell {
+        mesh: (8, 4),
+        n: 256,
+        skil: 19.42,
+        dpfl_over_skil: Some(5.62),
+        skil_over_c: 1.45,
+    },
+    PaperTable2Cell {
+        mesh: (8, 4),
+        n: 384,
+        skil: 58.03,
+        dpfl_over_skil: Some(5.96),
+        skil_over_c: 1.65,
+    },
+    PaperTable2Cell {
+        mesh: (8, 4),
+        n: 512,
+        skil: 129.89,
+        dpfl_over_skil: Some(6.12),
+        skil_over_c: 1.78,
+    },
+    PaperTable2Cell {
+        mesh: (8, 4),
+        n: 640,
+        skil: 244.77,
+        dpfl_over_skil: Some(6.24),
+        skil_over_c: 1.90,
+    },
+    PaperTable2Cell {
+        mesh: (8, 8),
+        n: 64,
+        skil: 0.85,
+        dpfl_over_skil: Some(3.48),
+        skil_over_c: 1.04,
+    },
+    PaperTable2Cell {
+        mesh: (8, 8),
+        n: 128,
+        skil: 2.94,
+        dpfl_over_skil: Some(4.17),
+        skil_over_c: 0.94,
+    },
+    PaperTable2Cell {
+        mesh: (8, 8),
+        n: 256,
+        skil: 13.57,
+        dpfl_over_skil: Some(4.78),
+        skil_over_c: 1.03,
+    },
+    PaperTable2Cell {
+        mesh: (8, 8),
+        n: 384,
+        skil: 37.03,
+        dpfl_over_skil: Some(5.21),
+        skil_over_c: 1.15,
+    },
+    PaperTable2Cell {
+        mesh: (8, 8),
+        n: 512,
+        skil: 78.71,
+        dpfl_over_skil: Some(5.47),
+        skil_over_c: 1.26,
+    },
+    PaperTable2Cell {
+        mesh: (8, 8),
+        n: 640,
+        skil: 143.28,
+        dpfl_over_skil: Some(5.68),
+        skil_over_c: 1.37,
+    },
 ];
 
 /// The §5.1 aside: equally optimized C vs. Skil matmul ratio.
@@ -82,10 +208,8 @@ mod tests {
     #[test]
     fn table1_quotients_match_paper_text() {
         // the paper derives 6.51/6.37/6.23/6.04 and Skil beating C
-        let quotients: Vec<f64> = PAPER_TABLE1
-            .iter()
-            .filter_map(|r| r.dpfl.map(|d| d / r.skil))
-            .collect();
+        let quotients: Vec<f64> =
+            PAPER_TABLE1.iter().filter_map(|r| r.dpfl.map(|d| d / r.skil)).collect();
         let expect = [6.51, 6.37, 6.23, 6.04];
         for (q, e) in quotients.iter().zip(expect) {
             assert!((q - e).abs() < 0.01, "{q} vs {e}");
@@ -102,11 +226,8 @@ mod tests {
         assert_eq!(PAPER_TABLE2.len(), 22);
         // ratios fall with machine size at fixed n (communication
         // dominates): check the n=384 column
-        let col: Vec<f64> = PAPER_TABLE2
-            .iter()
-            .filter(|c| c.n == 384)
-            .filter_map(|c| c.dpfl_over_skil)
-            .collect();
+        let col: Vec<f64> =
+            PAPER_TABLE2.iter().filter(|c| c.n == 384).filter_map(|c| c.dpfl_over_skil).collect();
         assert_eq!(col.len(), 4);
         assert!(col.windows(2).all(|w| w[0] > w[1]));
     }

@@ -35,18 +35,15 @@ pub fn row(cells: &[String]) {
 /// A very small ASCII scatter/line plot: one series of (x, y) per label.
 pub fn ascii_plot(title: &str, series: &[(String, Vec<(f64, f64)>)], width: usize, height: usize) {
     println!("\n{title}");
-    let all: Vec<(f64, f64)> =
-        series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
     if all.is_empty() {
         println!("  (no data)");
         return;
     }
-    let (xmin, xmax) = all
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)));
-    let (ymin, ymax) = all
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| (lo.min(y), hi.max(y.max(0.0))));
+    let (xmin, xmax) =
+        all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)));
+    let (ymin, ymax) =
+        all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| (lo.min(y), hi.max(y.max(0.0))));
     let ymin = ymin.min(0.0);
     let xspan = (xmax - xmin).max(1e-9);
     let yspan = (ymax - ymin).max(1e-9);

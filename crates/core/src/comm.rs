@@ -97,7 +97,9 @@ where
     }
 
     // Receive phase: each destination row comes from the owner of its
-    // preimage.
+    // preimage. `tr` is a global row id used for tags and offsets, not
+    // just an index into `inverse`, so a range loop is the clear form.
+    #[allow(clippy::needless_range_loop)]
     for tr in to_bounds.lower[0]..to_bounds.upper[0] {
         let src_row = inverse[tr];
         let src = layout.owner([src_row, bounds.lower[1]])?;
@@ -230,7 +232,10 @@ mod tests {
             (b.local_data().to_vec(), p.stats().sends)
         });
         for (id, (data, sends)) in run.results.iter().enumerate() {
-            assert_eq!(data, &vec![(id * 2) as u64, (id * 2) as u64, (id * 2 + 1) as u64, (id * 2 + 1) as u64]);
+            assert_eq!(
+                data,
+                &vec![(id * 2) as u64, (id * 2) as u64, (id * 2 + 1) as u64, (id * 2 + 1) as u64]
+            );
             assert_eq!(*sends, 0, "identity permutation sends nothing");
         }
     }
@@ -241,9 +246,8 @@ mod tests {
         let run = m.run(|p| {
             let a = array_create(p, ArraySpec::d2(4, 2, Distr::Default), Kernel::free(|_| 0u8))
                 .unwrap();
-            let mut b =
-                array_create(p, ArraySpec::d2(4, 2, Distr::Default), Kernel::free(|_| 0u8))
-                    .unwrap();
+            let mut b = array_create(p, ArraySpec::d2(4, 2, Distr::Default), Kernel::free(|_| 0u8))
+                .unwrap();
             let constant = array_permute_rows(p, &a, |_| 0, &mut b);
             let out_of_range = array_permute_rows(p, &a, |r| r + 1, &mut b);
             (
@@ -261,10 +265,12 @@ mod tests {
             let a = array_create(p, ArraySpec::d2(4, 2, Distr::Default), Kernel::free(|_| 0u8))
                 .unwrap();
             let mut b = a.clone(); // same uid: aliased
-            let aliased =
-                matches!(array_permute_rows(p, &a, |r| r, &mut b), Err(ArrayError::AliasedArrays(_)));
-            let d1 = array_create(p, ArraySpec::d1(4, Distr::Default), Kernel::free(|_| 0u8))
-                .unwrap();
+            let aliased = matches!(
+                array_permute_rows(p, &a, |r| r, &mut b),
+                Err(ArrayError::AliasedArrays(_))
+            );
+            let d1 =
+                array_create(p, ArraySpec::d1(4, Distr::Default), Kernel::free(|_| 0u8)).unwrap();
             let mut d1b =
                 array_create(p, ArraySpec::d1(4, Distr::Default), Kernel::free(|_| 0u8)).unwrap();
             let not2d = array_permute_rows(p, &d1, |r| r, &mut d1b).is_err();

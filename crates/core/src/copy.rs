@@ -68,9 +68,8 @@ mod tests {
         let run = m.run(|p| {
             let a = array_create(p, ArraySpec::d1(100, Distr::Default), Kernel::free(|_| 1u64))
                 .unwrap();
-            let mut b =
-                array_create(p, ArraySpec::d1(100, Distr::Default), Kernel::free(|_| 0u64))
-                    .unwrap();
+            let mut b = array_create(p, ArraySpec::d1(100, Distr::Default), Kernel::free(|_| 0u64))
+                .unwrap();
             let t0 = p.now();
             array_copy(p, &a, &mut b).unwrap();
             let copy_cost = p.now() - t0;
@@ -87,8 +86,8 @@ mod tests {
     fn copy_rejects_nonconformable() {
         let m = Machine::new(MachineConfig::procs(2).unwrap().with_cost(CostModel::zero()));
         let run = m.run(|p| {
-            let a = array_create(p, ArraySpec::d1(4, Distr::Default), Kernel::free(|_| 0u8))
-                .unwrap();
+            let a =
+                array_create(p, ArraySpec::d1(4, Distr::Default), Kernel::free(|_| 0u8)).unwrap();
             let mut b =
                 array_create(p, ArraySpec::d1(6, Distr::Default), Kernel::free(|_| 0u8)).unwrap();
             array_copy(p, &a, &mut b).is_err()

@@ -71,16 +71,10 @@ mod tests {
 
     #[test]
     fn destroy_consumes_array() {
-        let m = Machine::new(
-            MachineConfig::procs(1).unwrap().with_cost(CostModel::zero()),
-        );
+        let m = Machine::new(MachineConfig::procs(1).unwrap().with_cost(CostModel::zero()));
         let run = m.run(|p| {
-            let a = array_create(
-                p,
-                ArraySpec::d1(4, Distr::Default),
-                Kernel::free(|_| 0u8),
-            )
-            .unwrap();
+            let a =
+                array_create(p, ArraySpec::d1(4, Distr::Default), Kernel::free(|_| 0u8)).unwrap();
             array_destroy(p, a);
             p.now()
         });

@@ -82,20 +82,21 @@ where
     let me = proc.id();
     let nprocs = proc.nprocs();
     // 1. every processor learns every segment length
-    let lens: Vec<u64> = proc.allreduce(
-        tags::FOLD + 0x12,
-        vec![(me as u64, l.local_len() as u64)],
-        |mut a, b| {
-            a.extend(b);
-            a
-        },
-        0,
-    )
-    .into_iter()
-    .fold(vec![0u64; nprocs], |mut acc, (id, len)| {
-        acc[id as usize] = len;
-        acc
-    });
+    let lens: Vec<u64> = proc
+        .allreduce(
+            tags::FOLD + 0x12,
+            vec![(me as u64, l.local_len() as u64)],
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+            0,
+        )
+        .into_iter()
+        .fold(vec![0u64; nprocs], |mut acc, (id, len)| {
+            acc[id as usize] = len;
+            acc
+        });
     let total: u64 = lens.iter().sum();
     let my_start: u64 = lens[..me].iter().sum();
 
@@ -139,10 +140,7 @@ where
         new_local.extend(seg);
     }
     proc.charge(c.memcpy_elem * new_local.len() as u64);
-    debug_assert_eq!(
-        new_local.len(),
-        DistList::<T>::balanced_len(total as usize, nprocs, me)
-    );
+    debug_assert_eq!(new_local.len(), DistList::<T>::balanced_len(total as usize, nprocs, me));
     l.replace_local(new_local);
     Ok(())
 }
@@ -173,14 +171,14 @@ mod tests {
             let m = zero_machine(procs);
             let run = m.run(|p| {
                 let mut l = DistList::create(p, 40, |i| i as u64).unwrap();
-                dl_filter(p, Kernel::free(|&v: &u64| v % 3 == 0), &mut l).unwrap();
+                dl_filter(p, Kernel::free(|&v: &u64| v.is_multiple_of(3)), &mut l).unwrap();
                 dl_rebalance(p, &mut l).unwrap();
                 let total = dl_len(p, &l);
                 let local = l.local_len();
                 let gathered = dl_gather(p, 0, &l);
                 (total, local, gathered)
             });
-            let expect: Vec<u64> = (0..40).filter(|v| v % 3 == 0).collect();
+            let expect: Vec<u64> = (0..40u64).filter(|v| v.is_multiple_of(3)).collect();
             assert_eq!(run.results[0].0, expect.len(), "procs={procs}");
             assert_eq!(run.results[0].2.as_ref().unwrap(), &expect, "procs={procs}");
             // balanced: sizes differ by at most one
@@ -218,10 +216,8 @@ mod tests {
         let m = zero_machine(4);
         let run = m.run(|p| {
             // start with all 8 elements on processor 0
-            let mut l = DistList::from_local(
-                p,
-                if p.id() == 0 { (0..8u64).collect() } else { vec![] },
-            );
+            let mut l =
+                DistList::from_local(p, if p.id() == 0 { (0..8u64).collect() } else { vec![] });
             dl_rebalance(p, &mut l).unwrap();
             l.local_data().to_vec()
         });
@@ -237,8 +233,7 @@ mod tests {
         let run = m.run(|p| {
             let mut l = DistList::create(p, 6, |i| i as u64).unwrap();
             // duplicate every local element (local growth)
-            let doubled: Vec<u64> =
-                l.local_data().iter().flat_map(|&v| [v, v + 100]).collect();
+            let doubled: Vec<u64> = l.local_data().iter().flat_map(|&v| [v, v + 100]).collect();
             l.replace_local(doubled);
             dl_gather(p, 0, &l)
         });

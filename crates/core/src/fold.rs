@@ -225,8 +225,8 @@ mod tests {
     fn fold_to_root_only_root_knows() {
         let m = zero_machine(4);
         let run = m.run(|p| {
-            let a = array_create(p, ArraySpec::d1(8, Distr::Default), Kernel::free(|_| 1u64))
-                .unwrap();
+            let a =
+                array_create(p, ArraySpec::d1(8, Distr::Default), Kernel::free(|_| 1u64)).unwrap();
             array_fold_to_root(
                 p,
                 0,
@@ -246,8 +246,8 @@ mod tests {
         let c = cfg.cost.clone();
         let m = Machine::new(cfg);
         let run = m.run(|p| {
-            let a = array_create(p, ArraySpec::d1(4, Distr::Default), Kernel::free(|_| 1u64))
-                .unwrap();
+            let a =
+                array_create(p, ArraySpec::d1(4, Distr::Default), Kernel::free(|_| 1u64)).unwrap();
             let before = p.now();
             let _ = array_fold(
                 p,

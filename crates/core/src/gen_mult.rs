@@ -168,10 +168,8 @@ mod tests {
 
     /// Gather a full matrix at every proc for verification (test helper).
     fn collect_matrix(p: &mut Proc<'_>, a: &DistArray<i64>, n: usize) -> Vec<i64> {
-        let local: Vec<(u64, u64, i64)> = a
-            .iter_local()
-            .map(|(ix, &v)| (ix[0] as u64, ix[1] as u64, v))
-            .collect();
+        let local: Vec<(u64, u64, i64)> =
+            a.iter_local().map(|(ix, &v)| (ix[0] as u64, ix[1] as u64, v)).collect();
         let all = p.allreduce(
             0x3333,
             local,
@@ -207,10 +205,8 @@ mod tests {
         let run = m.run(|p| {
             let af = |ix: Index| ((ix[0] * 31 + ix[1] * 7) % 13) as i64 - 6;
             let bf = |ix: Index| ((ix[0] * 17 + ix[1] * 3) % 11) as i64 - 5;
-            let a = array_create(p, ArraySpec::d2(n, n, Distr::Torus2d), Kernel::free(af))
-                .unwrap();
-            let b = array_create(p, ArraySpec::d2(n, n, Distr::Torus2d), Kernel::free(bf))
-                .unwrap();
+            let a = array_create(p, ArraySpec::d2(n, n, Distr::Torus2d), Kernel::free(af)).unwrap();
+            let b = array_create(p, ArraySpec::d2(n, n, Distr::Torus2d), Kernel::free(bf)).unwrap();
             let mut c =
                 array_create(p, ArraySpec::d2(n, n, Distr::Torus2d), Kernel::free(|_| 0i64))
                     .unwrap();
@@ -223,11 +219,7 @@ mod tests {
                 &mut c,
             )
             .unwrap();
-            (
-                collect_matrix(p, &a, n),
-                collect_matrix(p, &b, n),
-                collect_matrix(p, &c, n),
-            )
+            (collect_matrix(p, &a, n), collect_matrix(p, &b, n), collect_matrix(p, &c, n))
         });
         let (a, b, c) = &run.results[0];
         assert_eq!(c, &seq_matmul(a, b, n), "side={side} n={n}");
@@ -273,13 +265,10 @@ mod tests {
                     ((ix[0] * 5 + ix[1] * 3) % 9) as i64 + 1
                 }
             };
-            let a = array_create(p, ArraySpec::d2(n, n, Distr::Torus2d), Kernel::free(w))
+            let a = array_create(p, ArraySpec::d2(n, n, Distr::Torus2d), Kernel::free(w)).unwrap();
+            let b = array_create(p, ArraySpec::d2(n, n, Distr::Torus2d), Kernel::free(w)).unwrap();
+            let mut c = array_create(p, ArraySpec::d2(n, n, Distr::Torus2d), Kernel::free(|_| INF))
                 .unwrap();
-            let b = array_create(p, ArraySpec::d2(n, n, Distr::Torus2d), Kernel::free(w))
-                .unwrap();
-            let mut c =
-                array_create(p, ArraySpec::d2(n, n, Distr::Torus2d), Kernel::free(|_| INF))
-                    .unwrap();
             array_gen_mult(
                 p,
                 &a,
@@ -320,12 +309,9 @@ mod tests {
                 .unwrap();
             let b = array_create(p, ArraySpec::d2(n, n, Distr::Torus2d), Kernel::free(|_| 1i64))
                 .unwrap();
-            let mut c = array_create(
-                p,
-                ArraySpec::d2(n, n, Distr::Torus2d),
-                Kernel::free(|_| 100i64),
-            )
-            .unwrap();
+            let mut c =
+                array_create(p, ArraySpec::d2(n, n, Distr::Torus2d), Kernel::free(|_| 100i64))
+                    .unwrap();
             array_gen_mult(
                 p,
                 &a,
@@ -366,9 +352,7 @@ mod tests {
 
     #[test]
     fn rejects_non_square_grid() {
-        let m = Machine::new(
-            MachineConfig::mesh(2, 1).unwrap().with_cost(CostModel::zero()),
-        );
+        let m = Machine::new(MachineConfig::mesh(2, 1).unwrap().with_cost(CostModel::zero()));
         let run = m.run(|p| {
             // Default distr => row-block grid [2,1], not square
             let a = array_create(p, ArraySpec::d2(4, 4, Distr::Default), Kernel::free(|_| 1i64))

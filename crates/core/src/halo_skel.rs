@@ -23,8 +23,7 @@ where
     // Identify neighbours in grid-row order; with grid [p, 1] the grid
     // row is the processor id.
     let north = (me_row > 0).then(|| h.inner().layout().proc_at([me_row - 1, 0]));
-    let south =
-        (me_row + 1 < grid_rows).then(|| h.inner().layout().proc_at([me_row + 1, 0]));
+    let south = (me_row + 1 < grid_rows).then(|| h.inner().layout().proc_at([me_row + 1, 0]));
 
     // Empty partitions (ragged tails) neither send nor receive.
     let have_rows = bounds.extent()[0] > 0;
@@ -156,9 +155,7 @@ mod tests {
                 &mut out,
             )
             .unwrap();
-            out.iter_local()
-                .map(|(ix, &v)| (ix[0] as u64, ix[1] as u64, v))
-                .collect::<Vec<_>>()
+            out.iter_local().map(|(ix, &v)| (ix[0] as u64, ix[1] as u64, v)).collect::<Vec<_>>()
         });
         // sequential reference
         let mut grid = vec![0.0f64; rows * cols];
@@ -191,12 +188,8 @@ mod tests {
         // message per boundary element
         let m = Machine::new(MachineConfig::procs(2).unwrap());
         let run = m.run(|p| {
-            let a = array_create(
-                p,
-                ArraySpec::d2(4, 64, Distr::Default),
-                Kernel::free(|_| 0.0f64),
-            )
-            .unwrap();
+            let a = array_create(p, ArraySpec::d2(4, 64, Distr::Default), Kernel::free(|_| 0.0f64))
+                .unwrap();
             let mut h = HaloArray::new(a, 1).unwrap();
             halo_exchange(p, &mut h).unwrap();
             p.stats().sends

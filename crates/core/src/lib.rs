@@ -46,9 +46,9 @@ pub use fold::{array_fold, array_fold_to_root};
 pub use gen_mult::array_gen_mult;
 pub use halo_skel::{halo_exchange, stencil_map};
 pub use kernel::Kernel;
-pub use scan::array_scan;
 pub use map::{
     array_map, array_map_inplace, array_map_inplace_with_cost, array_map_with_cost, array_zip,
 };
+pub use scan::array_scan;
 pub use task::{dc_seq, divide_conquer, farm, DcOps};
 pub use transpose::array_transpose;

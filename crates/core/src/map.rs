@@ -214,24 +214,21 @@ mod tests {
                 Kernel::free(|ix: Index| ix[0] as u64),
             )
             .unwrap();
-            let mut b = array_create(p, ArraySpec::d1(8, Distr::Default), Kernel::free(|_| 0u64))
-                .unwrap();
+            let mut b =
+                array_create(p, ArraySpec::d1(8, Distr::Default), Kernel::free(|_| 0u64)).unwrap();
             array_map(p, Kernel::free(|&v: &u64, ix: Index| v * 2 + ix[0] as u64), &a, &mut b)
                 .unwrap();
             gather_1d(p, &b)
         });
-        assert_eq!(
-            run.results[0].as_deref(),
-            Some(&[0u64, 3, 6, 9, 12, 15, 18, 21][..])
-        );
+        assert_eq!(run.results[0].as_deref(), Some(&[0u64, 3, 6, 9, 12, 15, 18, 21][..]));
     }
 
     #[test]
     fn map_rejects_nonconformable() {
         let m = zero_machine(2);
         let run = m.run(|p| {
-            let a = array_create(p, ArraySpec::d1(8, Distr::Default), Kernel::free(|_| 0u8))
-                .unwrap();
+            let a =
+                array_create(p, ArraySpec::d1(8, Distr::Default), Kernel::free(|_| 0u8)).unwrap();
             let mut b =
                 array_create(p, ArraySpec::d1(6, Distr::Default), Kernel::free(|_| 0u8)).unwrap();
             array_map(p, Kernel::free(|&v: &u8, _| v), &a, &mut b).is_err()
@@ -254,13 +251,8 @@ mod tests {
                 array_create(p, ArraySpec::d1(6, Distr::Default), Kernel::free(|_| 0i64)).unwrap();
             let t = 3.0;
             // above_thresh, partially applied to the threshold t
-            array_map(
-                p,
-                Kernel::free(move |&v: &f64, _ix: Index| i64::from(v >= t)),
-                &a,
-                &mut b,
-            )
-            .unwrap();
+            array_map(p, Kernel::free(move |&v: &f64, _ix: Index| i64::from(v >= t)), &a, &mut b)
+                .unwrap();
             gather_1d(p, &b)
         });
         assert_eq!(run.results[0].as_deref(), Some(&[0i64, 0, 0, 1, 1, 1][..]));
@@ -288,8 +280,8 @@ mod tests {
         let c = cfg.cost.clone();
         let m = Machine::new(cfg);
         let run = m.run(|p| {
-            let a = array_create(p, ArraySpec::d1(8, Distr::Default), Kernel::free(|_| 1u64))
-                .unwrap();
+            let a =
+                array_create(p, ArraySpec::d1(8, Distr::Default), Kernel::free(|_| 1u64)).unwrap();
             let mut b =
                 array_create(p, ArraySpec::d1(8, Distr::Default), Kernel::free(|_| 0u64)).unwrap();
             let before = p.now();
@@ -306,15 +298,15 @@ mod tests {
         let c = cfg.cost.clone();
         let m = Machine::new(cfg);
         let run = m.run(|p| {
-            let a = array_create(p, ArraySpec::d1(4, Distr::Default), Kernel::free(|_| 1u64))
-                .unwrap();
+            let a =
+                array_create(p, ArraySpec::d1(4, Distr::Default), Kernel::free(|_| 1u64)).unwrap();
             let mut b =
                 array_create(p, ArraySpec::d1(4, Distr::Default), Kernel::free(|_| 0u64)).unwrap();
             let before = p.now();
             array_map_with_cost(
                 p,
                 0,
-                |&v: &u64, ix: Index| if ix[0] % 2 == 0 { (v, 100) } else { (v, 0) },
+                |&v: &u64, ix: Index| if ix[0].is_multiple_of(2) { (v, 100) } else { (v, 0) },
                 &a,
                 &mut b,
             )
@@ -335,8 +327,8 @@ mod tests {
                 Kernel::free(|ix: Index| ix[0] as u64),
             )
             .unwrap();
-            let b = array_create(p, ArraySpec::d1(4, Distr::Default), Kernel::free(|_| 10u64))
-                .unwrap();
+            let b =
+                array_create(p, ArraySpec::d1(4, Distr::Default), Kernel::free(|_| 10u64)).unwrap();
             let mut c =
                 array_create(p, ArraySpec::d1(4, Distr::Default), Kernel::free(|_| 0u64)).unwrap();
             array_zip(p, Kernel::free(|&x: &u64, &y: &u64, _| x + y), &a, &b, &mut c).unwrap();

@@ -112,12 +112,9 @@ mod tests {
                     Kernel::free(|ix: Index| (ix[0] + 1) as u64),
                 )
                 .unwrap();
-                let mut b = array_create(
-                    proc,
-                    ArraySpec::d1(32, Distr::Default),
-                    Kernel::free(|_| 0u64),
-                )
-                .unwrap();
+                let mut b =
+                    array_create(proc, ArraySpec::d1(32, Distr::Default), Kernel::free(|_| 0u64))
+                        .unwrap();
                 array_scan(proc, Kernel::free(|x: u64, y: u64| x + y), &a, &mut b).unwrap();
                 b.iter_local().map(|(ix, &v)| (ix[0], v)).collect::<Vec<_>>()
             });
@@ -159,18 +156,11 @@ mod tests {
     fn scan_rejects_non_row_block() {
         let m = zero_machine(4);
         let run = m.run(|proc| {
-            let a = array_create(
-                proc,
-                ArraySpec::d2(4, 4, Distr::Torus2d),
-                Kernel::free(|_| 0u64),
-            )
-            .unwrap();
-            let mut b = array_create(
-                proc,
-                ArraySpec::d2(4, 4, Distr::Torus2d),
-                Kernel::free(|_| 0u64),
-            )
-            .unwrap();
+            let a = array_create(proc, ArraySpec::d2(4, 4, Distr::Torus2d), Kernel::free(|_| 0u64))
+                .unwrap();
+            let mut b =
+                array_create(proc, ArraySpec::d2(4, 4, Distr::Torus2d), Kernel::free(|_| 0u64))
+                    .unwrap();
             array_scan(proc, Kernel::free(|x: u64, y: u64| x + y), &a, &mut b).is_err()
         });
         assert!(run.results.iter().all(|&e| e));

@@ -98,8 +98,8 @@ mod tests {
                 Kernel::free(|ix: Index| (ix[0] * 100 + ix[1]) as u64),
             )
             .unwrap();
-            let mut b = array_create(p, ArraySpec::d2(n, n, distr), Kernel::free(|_| 0u64))
-                .unwrap();
+            let mut b =
+                array_create(p, ArraySpec::d2(n, n, distr), Kernel::free(|_| 0u64)).unwrap();
             array_transpose(p, &a, &mut b).unwrap();
             b.iter_local().map(|(ix, &v)| (ix[0], ix[1], v)).collect::<Vec<_>>()
         });
@@ -133,10 +133,12 @@ mod tests {
                 Kernel::free(|ix: Index| (ix[0] * 8 + ix[1]) as u64),
             )
             .unwrap();
-            let mut b = array_create(p, ArraySpec::d2(8, 8, Distr::Default), Kernel::free(|_| 0u64))
-                .unwrap();
-            let mut c = array_create(p, ArraySpec::d2(8, 8, Distr::Default), Kernel::free(|_| 0u64))
-                .unwrap();
+            let mut b =
+                array_create(p, ArraySpec::d2(8, 8, Distr::Default), Kernel::free(|_| 0u64))
+                    .unwrap();
+            let mut c =
+                array_create(p, ArraySpec::d2(8, 8, Distr::Default), Kernel::free(|_| 0u64))
+                    .unwrap();
             array_transpose(p, &a, &mut b).unwrap();
             array_transpose(p, &b, &mut c).unwrap();
             (a.local_data().to_vec(), c.local_data().to_vec())
@@ -152,17 +154,14 @@ mod tests {
         let run = m.run(|p| {
             let a = array_create(p, ArraySpec::d2(4, 6, Distr::Default), Kernel::free(|_| 0u8))
                 .unwrap();
-            let mut b =
-                array_create(p, ArraySpec::d2(4, 6, Distr::Default), Kernel::free(|_| 0u8))
-                    .unwrap();
+            let mut b = array_create(p, ArraySpec::d2(4, 6, Distr::Default), Kernel::free(|_| 0u8))
+                .unwrap();
             let non_square = array_transpose(p, &a, &mut b).is_err();
             let sq = array_create(p, ArraySpec::d2(4, 4, Distr::Default), Kernel::free(|_| 0u8))
                 .unwrap();
             let mut alias = sq.clone();
-            let aliased = matches!(
-                array_transpose(p, &sq, &mut alias),
-                Err(ArrayError::AliasedArrays(_))
-            );
+            let aliased =
+                matches!(array_transpose(p, &sq, &mut alias), Err(ArrayError::AliasedArrays(_)));
             (non_square, aliased)
         });
         assert!(run.results.iter().all(|&(a, b)| a && b));

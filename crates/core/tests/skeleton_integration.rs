@@ -2,8 +2,8 @@
 
 use skil_array::{ArrayError, ArraySpec, Distribution, HaloArray, Index};
 use skil_core::{
-    array_broadcast_part, array_copy, array_create, array_fold, array_map, array_scan,
-    array_zip, dc_seq, divide_conquer, farm, halo_exchange, stencil_map, DcOps, Kernel,
+    array_broadcast_part, array_copy, array_create, array_fold, array_map, array_scan, array_zip,
+    dc_seq, divide_conquer, farm, halo_exchange, stencil_map, DcOps, Kernel,
 };
 use skil_runtime::{CostModel, Distr, Machine, MachineConfig, Proc};
 
@@ -26,20 +26,16 @@ fn halo_width_two_stencil() {
         .unwrap();
         let mut h = HaloArray::new(a, 2).unwrap();
         halo_exchange(p, &mut h).unwrap();
-        let mut out = array_create(
-            p,
-            ArraySpec::d2(rows, cols, Distr::Default),
-            Kernel::free(|_| 0i64),
-        )
-        .unwrap();
+        let mut out =
+            array_create(p, ArraySpec::d2(rows, cols, Distr::Default), Kernel::free(|_| 0i64))
+                .unwrap();
         stencil_map(
             p,
             Kernel::free(move |h: &HaloArray<i64>, ix: Index| {
                 if ix[0] < 2 || ix[0] >= rows - 2 {
                     *h.get(ix).unwrap()
                 } else {
-                    h.get([ix[0] - 2, ix[1]]).unwrap()
-                        + h.get([ix[0] + 2, ix[1]]).unwrap()
+                    h.get([ix[0] - 2, ix[1]]).unwrap() + h.get([ix[0] + 2, ix[1]]).unwrap()
                 }
             }),
             &h,
@@ -50,11 +46,8 @@ fn halo_width_two_stencil() {
     });
     for part in run.results {
         for (r, v) in part {
-            let want = if r < 2 || r >= rows - 2 {
-                r as i64
-            } else {
-                (r as i64 - 2) + (r as i64 + 2)
-            };
+            let want =
+                if r < 2 || r >= rows - 2 { r as i64 } else { (r as i64 - 2) + (r as i64 + 2) };
             assert_eq!(v, want, "row {r}");
         }
     }
@@ -72,13 +65,12 @@ fn skeleton_pipeline_map_zip_fold_scan() {
             Kernel::free(|ix: Index| ix[0] as i64),
         )
         .unwrap();
-        let mut sq = array_create(p, ArraySpec::d1(n, Distr::Default), Kernel::free(|_| 0i64))
-            .unwrap();
+        let mut sq =
+            array_create(p, ArraySpec::d1(n, Distr::Default), Kernel::free(|_| 0i64)).unwrap();
         array_map(p, Kernel::free(|&v: &i64, _| v * v), &a, &mut sq).unwrap();
         let mut summed =
             array_create(p, ArraySpec::d1(n, Distr::Default), Kernel::free(|_| 0i64)).unwrap();
-        array_zip(p, Kernel::free(|&x: &i64, &y: &i64, _| x + y), &a, &sq, &mut summed)
-            .unwrap();
+        array_zip(p, Kernel::free(|&x: &i64, &y: &i64, _| x + y), &a, &sq, &mut summed).unwrap();
         let mut prefix =
             array_create(p, ArraySpec::d1(n, Distr::Default), Kernel::free(|_| 0i64)).unwrap();
         array_scan(p, Kernel::free(|x: i64, y: i64| x + y), &summed, &mut prefix).unwrap();
@@ -103,10 +95,7 @@ fn broadcast_part_rejects_ragged_partitions() {
         array_broadcast_part(p, &mut a, [0, 0])
     });
     // one side receives a partition of the wrong size
-    assert!(run
-        .results
-        .iter()
-        .any(|r| matches!(r, Err(ArrayError::PartitionMismatch(_)))));
+    assert!(run.results.iter().any(|r| matches!(r, Err(ArrayError::PartitionMismatch(_)))));
 }
 
 #[test]
@@ -128,6 +117,9 @@ fn farm_charges_work_to_workers() {
 #[test]
 fn dc_seq_and_parallel_agree_on_cost_structure() {
     // same ops; parallel result equals sequential result
+    // The four opaque closure types are the skeleton's customizing
+    // functions; naming them would hide, not help.
+    #[allow(clippy::type_complexity)]
     fn ops() -> DcOps<
         impl FnMut(&Vec<i64>) -> bool,
         impl FnMut(&Vec<i64>) -> Vec<i64>,
@@ -170,8 +162,7 @@ fn cyclic_distribution_supports_map_and_fold() {
         let spec = ArraySpec::d1(10, Distr::Default).with_dist(Distribution::Cyclic);
         let a = array_create(p, spec, Kernel::free(|ix: Index| ix[0] as u64)).unwrap();
         let mut b = array_create(p, spec, Kernel::free(|_| 0u64)).unwrap();
-        array_map(p, Kernel::free(|&v: &u64, ix: Index| v + ix[0] as u64), &a, &mut b)
-            .unwrap();
+        array_map(p, Kernel::free(|&v: &u64, ix: Index| v + ix[0] as u64), &a, &mut b).unwrap();
         array_fold(p, Kernel::free(|&v: &u64, _| v), Kernel::free(|x: u64, y: u64| x + y), &b)
             .unwrap()
     });
@@ -189,8 +180,8 @@ fn copy_then_mutate_leaves_source_untouched() {
             Kernel::free(|ix: Index| ix[0] as u64),
         )
         .unwrap();
-        let mut b = array_create(p, ArraySpec::d1(8, Distr::Default), Kernel::free(|_| 0u64))
-            .unwrap();
+        let mut b =
+            array_create(p, ArraySpec::d1(8, Distr::Default), Kernel::free(|_| 0u64)).unwrap();
         array_copy(p, &a, &mut b).unwrap();
         let mut b2 = b.clone();
         array_map(p, Kernel::free(|&v: &u64, _| v + 100), &b, &mut b2).unwrap();
@@ -205,8 +196,7 @@ fn copy_then_mutate_leaves_source_untouched() {
 fn fold_on_single_element_array() {
     let m = zero_machine(4);
     let run = m.run(|p| {
-        let a = array_create(p, ArraySpec::d1(1, Distr::Default), Kernel::free(|_| 42u64))
-            .unwrap();
+        let a = array_create(p, ArraySpec::d1(1, Distr::Default), Kernel::free(|_| 42u64)).unwrap();
         array_fold(p, Kernel::free(|&v: &u64, _| v), Kernel::free(|x: u64, y: u64| x + y), &a)
             .unwrap()
     });

@@ -82,12 +82,12 @@ pub fn builtin_schemes() -> HashMap<String, Scheme> {
             1,
             fun(
                 vec![
-                    Ty::Int,              // dim
-                    Ty::Index,            // size
-                    Ty::Index,            // blocksize
-                    Ty::Index,            // lowerbd
+                    Ty::Int,                    // dim
+                    Ty::Index,                  // size
+                    Ty::Index,                  // blocksize
+                    Ty::Index,                  // lowerbd
                     fun(vec![Ty::Index], v(0)), // init_elem
-                    Ty::Int,              // distr
+                    Ty::Int,                    // distr
                 ],
                 arr(v(0)),
             ),
@@ -96,24 +96,14 @@ pub fn builtin_schemes() -> HashMap<String, Scheme> {
     add("array_destroy", scheme(1, fun(vec![arr(v(0))], Ty::Void)));
     add(
         "array_map",
-        scheme(
-            2,
-            fun(
-                vec![fun(vec![v(0), Ty::Index], v(1)), arr(v(0)), arr(v(1))],
-                Ty::Void,
-            ),
-        ),
+        scheme(2, fun(vec![fun(vec![v(0), Ty::Index], v(1)), arr(v(0)), arr(v(1))], Ty::Void)),
     );
     add(
         "array_fold",
         scheme(
             2,
             fun(
-                vec![
-                    fun(vec![v(0), Ty::Index], v(1)),
-                    fun(vec![v(1), v(1)], v(1)),
-                    arr(v(0)),
-                ],
+                vec![fun(vec![v(0), Ty::Index], v(1)), fun(vec![v(1), v(1)], v(1)), arr(v(0))],
                 v(1),
             ),
         ),
@@ -122,13 +112,7 @@ pub fn builtin_schemes() -> HashMap<String, Scheme> {
     add("array_broadcast_part", scheme(1, fun(vec![arr(v(0)), Ty::Index], Ty::Void)));
     add(
         "array_permute_rows",
-        scheme(
-            1,
-            fun(
-                vec![arr(v(0)), fun(vec![Ty::Int], Ty::Int), arr(v(0))],
-                Ty::Void,
-            ),
-        ),
+        scheme(1, fun(vec![arr(v(0)), fun(vec![Ty::Int], Ty::Int), arr(v(0))], Ty::Void)),
     );
     add(
         "array_gen_mult",
@@ -149,10 +133,7 @@ pub fn builtin_schemes() -> HashMap<String, Scheme> {
 
     add(
         "array_scan",
-        scheme(
-            1,
-            fun(vec![fun(vec![v(0), v(0)], v(0)), arr(v(0)), arr(v(0))], Ty::Void),
-        ),
+        scheme(1, fun(vec![fun(vec![v(0), v(0)], v(0)), arr(v(0)), arr(v(0))], Ty::Void)),
     );
 
     // --- task-parallel skeletons (the paper's introduction) ---
@@ -174,13 +155,7 @@ pub fn builtin_schemes() -> HashMap<String, Scheme> {
             ),
         ),
     );
-    add(
-        "farm",
-        scheme(
-            2,
-            fun(vec![fun(vec![v(0)], v(1)), list(v(0))], list(v(1))),
-        ),
-    );
+    add("farm", scheme(2, fun(vec![fun(vec![v(0)], v(1)), list(v(0))], list(v(1)))));
 
     // --- lists ---
     add("nil", scheme(1, fun(vec![], list(v(0)))));
@@ -214,8 +189,7 @@ pub fn builtin_schemes() -> HashMap<String, Scheme> {
 /// Built-in constants and their types.
 pub fn builtin_consts() -> HashMap<String, Ty> {
     let mut m = HashMap::new();
-    for name in ["procId", "nProcs", "int_max", "DISTR_DEFAULT", "DISTR_RING", "DISTR_TORUS2D"]
-    {
+    for name in ["procId", "nProcs", "int_max", "DISTR_DEFAULT", "DISTR_RING", "DISTR_TORUS2D"] {
         m.insert(name.to_string(), Ty::Int);
     }
     m.insert("flt_max".into(), Ty::Float);

@@ -79,15 +79,15 @@ pub fn check(prog: &Program) -> Result<Checked> {
                     continue; // re-declaration of the builtin prototype
                 }
                 if defs.pardatas.insert(name.clone(), *arity).is_some() {
-                    return Err(Diag::new(Phase::Type, *pos, format!("duplicate pardata `{name}`")));
+                    return Err(Diag::new(
+                        Phase::Type,
+                        *pos,
+                        format!("duplicate pardata `{name}`"),
+                    ));
                 }
             }
             Item::Struct { name, params, fields, pos } => {
-                if defs
-                    .structs
-                    .insert(name.clone(), (params.clone(), fields.clone()))
-                    .is_some()
-                {
+                if defs.structs.insert(name.clone(), (params.clone(), fields.clone())).is_some() {
                     return Err(Diag::new(Phase::Type, *pos, format!("duplicate struct `{name}`")));
                 }
             }
@@ -156,7 +156,10 @@ pub fn check(prog: &Program) -> Result<Checked> {
             .collect();
         funcs.insert(
             name.clone(),
-            Scheme { vars: vars.iter().map(|(_, v)| *v).collect(), ty: Ty::Fun(params, Box::new(ret)) },
+            Scheme {
+                vars: vars.iter().map(|(_, v)| *v).collect(),
+                ty: Ty::Fun(params, Box::new(ret)),
+            },
         );
         sig_vars.insert(name.clone(), vars);
     }
@@ -263,12 +266,9 @@ impl Checked {
                 Ok(())
             }
             Stmt::Assign { name, value, pos } => {
-                let vt = scopes
-                    .lookup(name)
-                    .cloned()
-                    .ok_or_else(|| {
-                        Diag::new(Phase::Type, *pos, format!("assignment to undeclared `{name}`"))
-                    })?;
+                let vt = scopes.lookup(name).cloned().ok_or_else(|| {
+                    Diag::new(Phase::Type, *pos, format!("assignment to undeclared `{name}`"))
+                })?;
                 let et = self.infer_expr(value, scopes)?;
                 self.uni.unify(&vt, &et, *pos)
             }
@@ -435,11 +435,8 @@ impl Checked {
                                     format!("struct `{name}` has no field `{field}`"),
                                 )
                             })?;
-                        let mut var_map: HashMap<String, Ty> = params
-                            .iter()
-                            .cloned()
-                            .zip(args.iter().cloned())
-                            .collect();
+                        let mut var_map: HashMap<String, Ty> =
+                            params.iter().cloned().zip(args.iter().cloned()).collect();
                         self.defs.lower(fty, &mut var_map, &mut self.uni, false, *pos)
                     }
                     other => Err(Diag::new(
@@ -615,16 +612,14 @@ mod tests {
 
     #[test]
     fn map_type_mismatch_rejected() {
-        let e = bad(
-            "int above(float t, float e, Index ix) { return 1; }\n\
+        let e = bad("int above(float t, float e, Index ix) { return 1; }\n\
              int zero(Index ix) { return 0; }\n\
              void main() {\n\
                array<int> a = array_create(1, {8,1}, {0,0}, {0-1,0-1}, zero, DISTR_DEFAULT);\n\
                array<int> b = array_create(1, {8,1}, {0,0}, {0-1,0-1}, zero, DISTR_DEFAULT);\n\
                float t = 3.0;\n\
                array_map(above(t), a, b);\n\
-             }",
-        );
+             }");
         assert!(e.contains("mismatch"), "{e}");
     }
 
@@ -636,15 +631,11 @@ mod tests {
               float v = e.val;\n\
               int r = e.row + e.col;\n\
             }");
-        let e = bad(
-            "struct elemrec { float val; };\n\
-             void main() { elemrec e = elemrec{1.5}; int v = e.val; }",
-        );
+        let e = bad("struct elemrec { float val; };\n\
+             void main() { elemrec e = elemrec{1.5}; int v = e.val; }");
         assert!(e.contains("mismatch"));
-        let e = bad(
-            "struct elemrec { float val; };\n\
-             void main() { elemrec e = elemrec{1.5}; float v = e.bogus; }",
-        );
+        let e = bad("struct elemrec { float val; };\n\
+             void main() { elemrec e = elemrec{1.5}; float v = e.bogus; }");
         assert!(e.contains("no field"));
     }
 
@@ -671,19 +662,15 @@ mod tests {
 
     #[test]
     fn pardata_struct_field_rejected() {
-        let e = bad(
-            "struct holder { array<int> a; int n; };\n\
-             void main() { }",
-        );
+        let e = bad("struct holder { array<int> a; int n; };\n\
+             void main() { }");
         assert!(e.contains("component"), "{e}");
     }
 
     #[test]
     fn nested_pardata_rejected() {
-        let e = bad(
-            "int zero(Index ix) { return 0; }\n\
-             void main() { array< array<int> > a; }",
-        );
+        let e = bad("int zero(Index ix) { return 0; }\n\
+             void main() { array< array<int> > a; }");
         assert!(e.contains("component"), "{e}");
     }
 

@@ -147,7 +147,7 @@ pub enum BinOp {
 
 impl BinOp {
     /// Parse from the surface lexeme.
-    pub fn from_str(op: &str) -> Option<BinOp> {
+    pub fn from_lexeme(op: &str) -> Option<BinOp> {
         Some(match op {
             "+" => BinOp::Add,
             "-" => BinOp::Sub,
@@ -353,8 +353,7 @@ impl FoProgram {
                 }
                 FoExpr::Skel { fns, args, .. } => {
                     fns.iter().all(|fi| {
-                        prog.func(&fi.func).is_some()
-                            && fi.lifted.iter().all(|l| expr_ok(l, prog))
+                        prog.func(&fi.func).is_some() && fi.lifted.iter().all(|l| expr_ok(l, prog))
                     }) && args.iter().all(|a| expr_ok(a, prog))
                 }
                 FoExpr::Intrinsic(_, args) => args.iter().all(|a| expr_ok(a, prog)),
@@ -403,9 +402,7 @@ pub fn static_cost(f: &FoFunc, c: &CostModel) -> u64 {
         match e {
             FoExpr::Int(_) | FoExpr::Float(_) => 0,
             FoExpr::Var(_) => c.load,
-            FoExpr::Call(_, args) => {
-                c.call + args.iter().map(|a| expr(a, c)).sum::<u64>()
-            }
+            FoExpr::Call(_, args) => c.call + args.iter().map(|a| expr(a, c)).sum::<u64>(),
             FoExpr::Intrinsic(name, args) => {
                 let base = match name.as_str() {
                     "array_get_elem" => 2 * c.load,
@@ -436,9 +433,7 @@ pub fn static_cost(f: &FoFunc, c: &CostModel) -> u64 {
             }
             FoExpr::Field { expr: e, .. } => c.load + expr(e, c),
             FoExpr::IndexAt { expr: e, index } => c.load + expr(e, c) + expr(index, c),
-            FoExpr::MakeIndex(es) => {
-                2 * c.store + es.iter().map(|e| expr(e, c)).sum::<u64>()
-            }
+            FoExpr::MakeIndex(es) => 2 * c.store + es.iter().map(|e| expr(e, c)).sum::<u64>(),
             FoExpr::MakeStruct(_, es) => {
                 es.len() as u64 * c.store + es.iter().map(|e| expr(e, c)).sum::<u64>()
             }
@@ -449,9 +444,7 @@ pub fn static_cost(f: &FoFunc, c: &CostModel) -> u64 {
     }
     fn stmt(s: &FoStmt, c: &CostModel) -> u64 {
         match s {
-            FoStmt::Decl { init, .. } => {
-                c.store + init.as_ref().map_or(0, |e| expr(e, c))
-            }
+            FoStmt::Decl { init, .. } => c.store + init.as_ref().map_or(0, |e| expr(e, c)),
             FoStmt::Assign { value, .. } => c.store + expr(value, c),
             FoStmt::If { cond, then, els } => {
                 c.int_op + expr(cond, c) + stmts(then, c).max(stmts(els, c))
@@ -484,10 +477,10 @@ mod tests {
     #[test]
     fn binop_roundtrip() {
         for op in ["+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"] {
-            let b = BinOp::from_str(op).unwrap();
+            let b = BinOp::from_lexeme(op).unwrap();
             assert_eq!(b.lexeme(), op);
         }
-        assert!(BinOp::from_str("**").is_none());
+        assert!(BinOp::from_lexeme("**").is_none());
     }
 
     #[test]

@@ -226,12 +226,9 @@ impl<'a> Instantiator<'a> {
 
     fn struct_field_index(&self, inst: &str, field: &str, pos: Pos) -> Result<usize> {
         let def = self.out.struct_def(inst).expect("struct instance exists");
-        def.fields
-            .iter()
-            .position(|(n, _)| n == field)
-            .ok_or_else(|| {
-                Diag::new(Phase::Instantiate, pos, format!("struct `{inst}` has no field `{field}`"))
-            })
+        def.fields.iter().position(|(n, _)| n == field).ok_or_else(|| {
+            Diag::new(Phase::Instantiate, pos, format!("struct `{inst}` has no field `{field}`"))
+        })
     }
 
     // ------------------------------------------------------------------
@@ -251,22 +248,25 @@ impl<'a> Instantiator<'a> {
         if let Some(n) = self.memo.get(&key) {
             return Ok(n.clone());
         }
-        let inst_name =
-            if fname == "main" { "main".to_string() } else { self.fresh_name(fname) };
+        let inst_name = if fname == "main" { "main".to_string() } else { self.fresh_name(fname) };
         self.memo.insert(key, inst_name.clone());
 
-        let f: Func = self
-            .ck
-            .user_funcs
-            .get(fname)
-            .cloned()
-            .ok_or_else(|| Diag::new(Phase::Instantiate, pos, format!("unknown function `{fname}`")))?;
+        let f: Func = self.ck.user_funcs.get(fname).cloned().ok_or_else(|| {
+            Diag::new(Phase::Instantiate, pos, format!("unknown function `{fname}`"))
+        })?;
 
         // Lower the signature with instance-fresh type variables.
         let mut var_map: HashMap<String, Ty> = HashMap::new();
         let mut param_tys = Vec::new();
         for p in &f.params {
-            param_tys.push(lower(&self.ck.defs, &p.ty, &mut var_map, &mut self.ck.uni, true, p.pos)?);
+            param_tys.push(lower(
+                &self.ck.defs,
+                &p.ty,
+                &mut var_map,
+                &mut self.ck.uni,
+                true,
+                p.pos,
+            )?);
         }
         let ret = lower(&self.ck.defs, &f.ret, &mut var_map, &mut self.ck.uni, true, f.pos)?;
 
@@ -393,12 +393,7 @@ impl<'a> Instantiator<'a> {
 
     /// The first-order instance a [`FnSig`] calls into, given the types
     /// of the remaining (element) arguments.
-    fn instance_for_sig(
-        &mut self,
-        sig: &FnSig,
-        remaining_tys: &[Ty],
-        pos: Pos,
-    ) -> Result<String> {
+    fn instance_for_sig(&mut self, sig: &FnSig, remaining_tys: &[Ty], pos: Pos) -> Result<String> {
         match &sig.target {
             Target::User(h) => {
                 let h = h.clone();
@@ -436,9 +431,7 @@ impl<'a> Instantiator<'a> {
                 self.request_instance(&h, value_tys, fn_sigs, pos)
             }
             Target::Op(op, ft) => self.synth_op(op.clone(), ft.clone(), sig.prefix.len(), pos),
-            Target::Intrinsic(name) => {
-                self.synth_intrinsic(name.clone(), sig, remaining_tys, pos)
-            }
+            Target::Intrinsic(name) => self.synth_intrinsic(name.clone(), sig, remaining_tys, pos),
         }
     }
 
@@ -450,7 +443,7 @@ impl<'a> Instantiator<'a> {
             return Ok(n.clone());
         }
         let float = ft == FoTy::Float;
-        let bop = BinOp::from_str(&op)
+        let bop = BinOp::from_lexeme(&op)
             .ok_or_else(|| Diag::new(Phase::Instantiate, pos, format!("bad operator `{op}`")))?;
         let opname = match bop {
             BinOp::Add => "add",
@@ -469,14 +462,13 @@ impl<'a> Instantiator<'a> {
         };
         let name = self.fresh_name(&format!("op_{opname}_{}", ft.cname()));
         self.synth_memo.insert(key, name.clone());
-        let ret = if matches!(
-            bop,
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
-        ) {
-            FoTy::Int
-        } else {
-            ft.clone()
-        };
+        let ret =
+            if matches!(bop, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+            {
+                FoTy::Int
+            } else {
+                ft.clone()
+            };
         // parameters: lifted prefix values, then the remaining operands
         let mut params = Vec::new();
         for i in 0..2 {
@@ -600,8 +592,7 @@ impl<'a> Instantiator<'a> {
                     return self.err(pos, format!("too many arguments to `{h}`"));
                 }
                 // the remaining signature must match the expectation
-                let rest =
-                    Ty::Fun(ptys[prefix_args.len()..].to_vec(), rty);
+                let rest = Ty::Fun(ptys[prefix_args.len()..].to_vec(), rty);
                 self.ck.uni.unify(&rest, expected, pos)?;
                 let mut prefix = Vec::new();
                 let mut lifted = Vec::new();
@@ -637,10 +628,7 @@ impl<'a> Instantiator<'a> {
                     prefix.push(PrefixItem::Val(self.foty(&at, a.pos())?));
                     lifted.push(self.tr_expr(a, ctx)?);
                 }
-                Ok(FnVal {
-                    sig: FnSig { target: Target::Intrinsic(name.clone()), prefix },
-                    lifted,
-                })
+                Ok(FnVal { sig: FnSig { target: Target::Intrinsic(name.clone()), prefix }, lifted })
             }
             Expr::OpSection(op, _) => {
                 // operand type from the expectation
@@ -700,13 +688,9 @@ impl<'a> Instantiator<'a> {
                 Ok(FoStmt::Decl { name: name.clone(), ty: self.foty(&t, *pos)?, init: fo_init })
             }
             Stmt::Assign { name, value, pos } => {
-                let vt = ctx
-                    .scopes
-                    .lookup(name)
-                    .cloned()
-                    .ok_or_else(|| {
-                        Diag::new(Phase::Instantiate, *pos, format!("undeclared `{name}`"))
-                    })?;
+                let vt = ctx.scopes.lookup(name).cloned().ok_or_else(|| {
+                    Diag::new(Phase::Instantiate, *pos, format!("undeclared `{name}`"))
+                })?;
                 let et = self.ck.infer_expr(value, &ctx.scopes)?;
                 self.ck.uni.unify(&vt, &et, *pos)?;
                 Ok(FoStmt::Assign { name: name.clone(), value: self.tr_expr(value, ctx)? })
@@ -772,10 +756,8 @@ impl<'a> Instantiator<'a> {
             Expr::Float(v, _) => Ok(FoExpr::Float(*v)),
             Expr::Var(name, pos) => {
                 if ctx.fn_bindings.contains_key(name) {
-                    return self.err(
-                        *pos,
-                        format!("functional parameter `{name}` used as a value"),
-                    );
+                    return self
+                        .err(*pos, format!("functional parameter `{name}` used as a value"));
                 }
                 if ctx.scopes.lookup(name).is_some() {
                     return Ok(FoExpr::Var(name.clone()));
@@ -786,14 +768,13 @@ impl<'a> Instantiator<'a> {
                 self.err(*pos, format!("`{name}` is not a value in this context"))
             }
             Expr::Call { pos, .. } => self.tr_call(e, *pos, ctx),
-            Expr::OpSection(_, pos) => self.err(
-                *pos,
-                "an operator section is only meaningful as a functional argument",
-            ),
+            Expr::OpSection(_, pos) => {
+                self.err(*pos, "an operator section is only meaningful as a functional argument")
+            }
             Expr::Binary { op, lhs, rhs, pos } => {
                 let lt = self.ck.infer_expr(lhs, &ctx.scopes)?;
                 let float = matches!(self.ck.uni.resolve(&lt), Ty::Float);
-                let bop = BinOp::from_str(op)
+                let bop = BinOp::from_lexeme(op)
                     .ok_or_else(|| Diag::new(Phase::Instantiate, *pos, "bad operator"))?;
                 Ok(FoExpr::Binary {
                     op: bop,
@@ -843,8 +824,7 @@ impl<'a> Instantiator<'a> {
                 index: Box::new(self.tr_expr(index, ctx)?),
             }),
             Expr::BraceList { elems, .. } => {
-                let es =
-                    elems.iter().map(|e| self.tr_expr(e, ctx)).collect::<Result<Vec<_>>>()?;
+                let es = elems.iter().map(|e| self.tr_expr(e, ctx)).collect::<Result<Vec<_>>>()?;
                 Ok(FoExpr::MakeIndex(es))
             }
             Expr::StructLit { name, fields, pos } => {
@@ -853,8 +833,7 @@ impl<'a> Instantiator<'a> {
                     return self.err(*pos, "struct literal did not resolve");
                 };
                 let inst = self.struct_instance(name, &args, *pos)?;
-                let es =
-                    fields.iter().map(|f| self.tr_expr(f, ctx)).collect::<Result<Vec<_>>>()?;
+                let es = fields.iter().map(|f| self.tr_expr(f, ctx)).collect::<Result<Vec<_>>>()?;
                 Ok(FoExpr::MakeStruct(inst, es))
             }
         }
@@ -970,8 +949,7 @@ impl<'a> Instantiator<'a> {
             Expr::Var(name, _) if INTRINSICS.contains(&name.as_str()) => {
                 // scalar intrinsic call; validate via inference
                 let _ = self.ck.infer_expr(e, &ctx.scopes)?;
-                let fo =
-                    args.iter().map(|a| self.tr_expr(a, ctx)).collect::<Result<Vec<_>>>()?;
+                let fo = args.iter().map(|a| self.tr_expr(a, ctx)).collect::<Result<Vec<_>>>()?;
                 Ok(FoExpr::Intrinsic(name.clone(), fo))
             }
             Expr::OpSection(op, _) => {
@@ -986,7 +964,7 @@ impl<'a> Instantiator<'a> {
                 let rt = self.ck.infer_expr(args[1], &ctx.scopes)?;
                 self.ck.uni.unify(&lt, &rt, pos)?;
                 let float = matches!(self.ck.uni.resolve(&lt), Ty::Float);
-                let bop = BinOp::from_str(op)
+                let bop = BinOp::from_lexeme(op)
                     .ok_or_else(|| Diag::new(Phase::Instantiate, pos, "bad operator"))?;
                 Ok(FoExpr::Binary {
                     op: bop,
@@ -1024,10 +1002,8 @@ impl<'a> Instantiator<'a> {
         let t = self.ck.uni.instantiate(&scheme);
         let Ty::Fun(ptys, _) = t else { unreachable!("skeleton schemes are functions") };
         if args.len() != ptys.len() {
-            return self.err(
-                pos,
-                format!("{name} takes {} arguments, got {}", ptys.len(), args.len()),
-            );
+            return self
+                .err(pos, format!("{name} takes {} arguments, got {}", ptys.len(), args.len()));
         }
         // value args first (so array element types are known), then
         // functional args
@@ -1118,8 +1094,7 @@ mod tests {
             "$a ident($a x) { return x; }\n\
              void main() { int i = ident(3); float f = ident(2.5); int j = ident(4); }",
         );
-        let idents: Vec<&FoFunc> =
-            p.funcs.iter().filter(|f| f.origin == "ident").collect();
+        let idents: Vec<&FoFunc> = p.funcs.iter().filter(|f| f.origin == "ident").collect();
         assert_eq!(idents.len(), 2, "int and float instances only");
         let tys: Vec<&FoTy> = idents.iter().map(|f| &f.params[0].1).collect();
         assert!(tys.contains(&&FoTy::Int));

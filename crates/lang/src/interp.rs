@@ -195,9 +195,7 @@ fn kernel_cycles(f: &FoFunc, cost: &skil_runtime::CostModel) -> u64 {
                     cost.int_op
                 };
             }
-            FoExpr::Intrinsic(_, args)
-                if args.iter().all(|a| matches!(a, FoExpr::Var(_))) =>
-            {
+            FoExpr::Intrinsic(_, args) if args.iter().all(|a| matches!(a, FoExpr::Var(_))) => {
                 return cost.int_op;
             }
             _ => {}
@@ -227,17 +225,10 @@ struct KernelEv<'a> {
 
 impl<'a> KernelEv<'a> {
     fn call(&self, name: &str, args: Vec<Value>) -> Value {
-        let f = self
-            .prog
-            .func(name)
-            .unwrap_or_else(|| panic!("skil runtime: no instance `{name}`"));
-        assert_eq!(
-            f.params.len(),
-            args.len(),
-            "skil runtime: arity mismatch calling `{name}`"
-        );
-        let mut locals: Locals =
-            vec![f.params.iter().map(|(n, _)| n.clone()).zip(args).collect()];
+        let f =
+            self.prog.func(name).unwrap_or_else(|| panic!("skil runtime: no instance `{name}`"));
+        assert_eq!(f.params.len(), args.len(), "skil runtime: arity mismatch calling `{name}`");
+        let mut locals: Locals = vec![f.params.iter().map(|(n, _)| n.clone()).zip(args).collect()];
         match self.eval_stmts(&f.body, &mut locals) {
             Flow::Return(v) => v,
             Flow::Normal => Value::Unit,
@@ -330,13 +321,11 @@ impl<'a> KernelEv<'a> {
             FoExpr::Float(v) => Value::Float(*v),
             FoExpr::Var(n) => lookup(locals, n).clone(),
             FoExpr::Call(name, args) => {
-                let vals: Vec<Value> =
-                    args.iter().map(|a| self.eval_expr(a, locals)).collect();
+                let vals: Vec<Value> = args.iter().map(|a| self.eval_expr(a, locals)).collect();
                 self.call(name, vals)
             }
             FoExpr::Intrinsic(name, args) => {
-                let vals: Vec<Value> =
-                    args.iter().map(|a| self.eval_expr(a, locals)).collect();
+                let vals: Vec<Value> = args.iter().map(|a| self.eval_expr(a, locals)).collect();
                 if let Some(v) = pure_intrinsic(name, &vals) {
                     return v;
                 }
@@ -356,21 +345,17 @@ impl<'a> KernelEv<'a> {
                         }
                     }
                     "array_part_bounds" => {
-                        let arr = self.arrays[vals[0].as_array()]
-                            .as_ref()
-                            .expect("array alive");
+                        let arr = self.arrays[vals[0].as_array()].as_ref().expect("array alive");
                         let b = arr.part_bounds().unwrap_or_else(|e| panic!("skil runtime: {e}"));
                         Value::Bounds(
                             [b.lower[0] as i64, b.lower[1] as i64],
                             [b.upper[0] as i64, b.upper[1] as i64],
                         )
                     }
-                    "array_put_elem" => panic!(
-                        "skil runtime: array_put_elem inside a skeleton argument function"
-                    ),
-                    "print" => panic!(
-                        "skil runtime: print inside a skeleton argument function"
-                    ),
+                    "array_put_elem" => {
+                        panic!("skil runtime: array_put_elem inside a skeleton argument function")
+                    }
+                    "print" => panic!("skil runtime: print inside a skeleton argument function"),
                     other => panic!("skil runtime: unknown intrinsic `{other}`"),
                 }
             }
@@ -403,9 +388,7 @@ impl<'a> KernelEv<'a> {
                 let v = self.eval_expr(expr, locals);
                 match v {
                     Value::Struct(_, fields) => fields[*index].clone(),
-                    Value::Bounds(lo, up) => {
-                        Value::Index(if *index == 0 { lo } else { up })
-                    }
+                    Value::Bounds(lo, up) => Value::Index(if *index == 0 { lo } else { up }),
                     other => panic!("skil runtime: field access on {other:?}"),
                 }
             }
@@ -449,14 +432,11 @@ struct Interp<'a, 'p, 'm> {
 
 impl<'a, 'p, 'm> Interp<'a, 'p, 'm> {
     fn call(&mut self, name: &str, args: Vec<Value>) -> Value {
-        let f = self
-            .prog
-            .func(name)
-            .unwrap_or_else(|| panic!("skil runtime: no instance `{name}`"));
+        let f =
+            self.prog.func(name).unwrap_or_else(|| panic!("skil runtime: no instance `{name}`"));
         assert_eq!(f.params.len(), args.len(), "arity mismatch calling `{name}`");
         self.proc.charge(self.proc.cost().call);
-        let mut locals: Locals =
-            vec![f.params.iter().map(|(n, _)| n.clone()).zip(args).collect()];
+        let mut locals: Locals = vec![f.params.iter().map(|(n, _)| n.clone()).zip(args).collect()];
         match self.eval_stmts(&f.body, &mut locals) {
             Flow::Return(v) => v,
             Flow::Normal => Value::Unit,
@@ -560,13 +540,11 @@ impl<'a, 'p, 'm> Interp<'a, 'p, 'm> {
                 lookup(locals, n).clone()
             }
             FoExpr::Call(name, args) => {
-                let vals: Vec<Value> =
-                    args.iter().map(|a| self.eval_expr(a, locals)).collect();
+                let vals: Vec<Value> = args.iter().map(|a| self.eval_expr(a, locals)).collect();
                 self.call(name, vals)
             }
             FoExpr::Intrinsic(name, args) => {
-                let vals: Vec<Value> =
-                    args.iter().map(|a| self.eval_expr(a, locals)).collect();
+                let vals: Vec<Value> = args.iter().map(|a| self.eval_expr(a, locals)).collect();
                 self.eval_intrinsic(name, vals)
             }
             FoExpr::Skel { op, fns, args, .. } => self.eval_skel(*op, fns, args, locals),
@@ -595,8 +573,11 @@ impl<'a, 'p, 'm> Interp<'a, 'p, 'm> {
                 apply_binop(*op, *float, a, b)
             }
             FoExpr::Unary { neg, float, expr } => {
-                self.proc
-                    .charge(if *float { self.proc.cost().flt_add } else { self.proc.cost().int_op });
+                self.proc.charge(if *float {
+                    self.proc.cost().flt_add
+                } else {
+                    self.proc.cost().int_op
+                });
                 let v = self.eval_expr(expr, locals);
                 match (neg, float) {
                     (true, true) => Value::Float(-v.as_float()),
@@ -653,9 +634,7 @@ impl<'a, 'p, 'm> Interp<'a, 'p, 'm> {
             "nProcs" => Value::Int(self.proc.nprocs() as i64),
             "array_get_elem" => {
                 self.proc.charge(2 * c.load);
-                let arr = self.arrays[vals[0].as_array()]
-                    .as_ref()
-                    .expect("array alive");
+                let arr = self.arrays[vals[0].as_array()].as_ref().expect("array alive");
                 let ix = to_uindex(vals[1].as_index());
                 match arr.get(ix) {
                     Ok(v) => v.clone(),
@@ -704,8 +683,7 @@ impl<'a, 'p, 'm> Interp<'a, 'p, 'm> {
         // evaluate lifted arguments of each functional instance
         let mut fn_insts: Vec<(String, Vec<Value>, u64)> = Vec::new();
         for fi in fns {
-            let lifted: Vec<Value> =
-                fi.lifted.iter().map(|e| self.eval_expr(e, locals)).collect();
+            let lifted: Vec<Value> = fi.lifted.iter().map(|e| self.eval_expr(e, locals)).collect();
             let f = self.prog.func(&fi.func).expect("instance exists");
             let cycles = kernel_cycles(f, &cost);
             fn_insts.push((fi.func.clone(), lifted, cycles));
@@ -726,7 +704,10 @@ impl<'a, 'p, 'm> Interp<'a, 'p, 'm> {
                 };
                 let spec = ArraySpec {
                     ndim: dim as usize,
-                    size: [size[0].max(0) as usize, if dim == 1 { 1 } else { size[1].max(0) as usize }],
+                    size: [
+                        size[0].max(0) as usize,
+                        if dim == 1 { 1 } else { size[1].max(0) as usize },
+                    ],
                     blocksize: [bs[0].max(0) as usize, bs[1].max(0) as usize],
                     lowerbd: [lb[0], lb[1]],
                     distr,
@@ -766,8 +747,7 @@ impl<'a, 'p, 'm> Interp<'a, 'p, 'm> {
                 let to_h = vals[1].as_array();
                 if from_h == to_h {
                     // in-situ replacement, as the paper allows
-                    let mut arr =
-                        self.arrays[from_h].take().expect("array alive");
+                    let mut arr = self.arrays[from_h].take().expect("array alive");
                     let prog = self.prog;
                     let arrays = &self.arrays;
                     let me = self.proc.id();
@@ -961,9 +941,9 @@ impl<'a, 'p, 'm> Interp<'a, 'p, 'm> {
                                 a.push(p.clone());
                                 match pk.call(&pn, a) {
                                     Value::List(items) => items,
-                                    other => panic!(
-                                        "skil runtime: split returned {other:?}, not a list"
-                                    ),
+                                    other => {
+                                        panic!("skil runtime: split returned {other:?}, not a list")
+                                    }
                                 }
                             },
                             pc,
@@ -977,12 +957,8 @@ impl<'a, 'p, 'm> Interp<'a, 'p, 'm> {
                             jc,
                         ),
                     };
-                    skil_core::divide_conquer(
-                        self.proc,
-                        (me == 0).then_some(problem),
-                        &mut ops,
-                    )
-                    .unwrap_or_else(|e| panic!("skil runtime: {e}"))
+                    skil_core::divide_conquer(self.proc, (me == 0).then_some(problem), &mut ops)
+                        .unwrap_or_else(|e| panic!("skil runtime: {e}"))
                 };
                 // make the solution known everywhere (SPMD expression
                 // semantics: dc(...) has a value on every processor)
@@ -1432,10 +1408,8 @@ mod task_skeleton_tests {
             }";
         let mut expect: Vec<i64> = (0..24).map(|i| (i * 37) % 23).collect();
         expect.sort_unstable();
-        let want = format!(
-            "[{}]",
-            expect.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
-        );
+        let want =
+            format!("[{}]", expect.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", "));
         for procs in [1usize, 2, 4] {
             let out = run(src, procs);
             assert_eq!(out[0], vec![want.clone()], "procs={procs}");

@@ -16,8 +16,7 @@ struct Parser {
     at: usize,
 }
 
-const KEYWORDS: [&str; 8] =
-    ["pardata", "struct", "if", "else", "while", "for", "return", "int"];
+const KEYWORDS: [&str; 8] = ["pardata", "struct", "if", "else", "while", "for", "return", "int"];
 
 impl Parser {
     fn peek(&self) -> &Tok {
@@ -287,19 +286,13 @@ impl Parser {
         if self.at_kw("for") {
             self.bump();
             self.eat_punct("(")?;
-            let init = if self.at_punct(";") {
-                None
-            } else {
-                Some(Box::new(self.simple_stmt_no_semi()?))
-            };
+            let init =
+                if self.at_punct(";") { None } else { Some(Box::new(self.simple_stmt_no_semi()?)) };
             self.eat_punct(";")?;
             let cond = if self.at_punct(";") { None } else { Some(self.expr()?) };
             self.eat_punct(";")?;
-            let step = if self.at_punct(")") {
-                None
-            } else {
-                Some(Box::new(self.simple_stmt_no_semi()?))
-            };
+            let step =
+                if self.at_punct(")") { None } else { Some(Box::new(self.simple_stmt_no_semi()?)) };
             self.eat_punct(")")?;
             let body = self.block_or_single()?;
             return Ok(Stmt::For { init, cond, step, body });
@@ -353,8 +346,7 @@ impl Parser {
             }
         }
         // Assignment: `ident = expr`
-        if let (Tok::Ident(name), Tok::Punct("=")) = (self.peek().clone(), self.peek2().clone())
-        {
+        if let (Tok::Ident(name), Tok::Punct("=")) = (self.peek().clone(), self.peek2().clone()) {
             self.bump();
             self.bump();
             let value = self.expr()?;
@@ -395,11 +387,8 @@ impl Parser {
 
     fn eq_expr(&mut self) -> Result<Expr> {
         let mut lhs = self.rel_expr()?;
-        loop {
-            let op = match self.peek() {
-                Tok::Punct(p @ ("==" | "!=")) => p.to_string(),
-                _ => break,
-            };
+        while let Tok::Punct(p @ ("==" | "!=")) = self.peek() {
+            let op = p.to_string();
             let pos = self.pos();
             self.bump();
             let rhs = self.rel_expr()?;
@@ -410,11 +399,8 @@ impl Parser {
 
     fn rel_expr(&mut self) -> Result<Expr> {
         let mut lhs = self.add_expr()?;
-        loop {
-            let op = match self.peek() {
-                Tok::Punct(p @ ("<" | "<=" | ">" | ">=")) => p.to_string(),
-                _ => break,
-            };
+        while let Tok::Punct(p @ ("<" | "<=" | ">" | ">=")) = self.peek() {
+            let op = p.to_string();
             let pos = self.pos();
             self.bump();
             let rhs = self.add_expr()?;
@@ -425,11 +411,8 @@ impl Parser {
 
     fn add_expr(&mut self) -> Result<Expr> {
         let mut lhs = self.mul_expr()?;
-        loop {
-            let op = match self.peek() {
-                Tok::Punct(p @ ("+" | "-")) => p.to_string(),
-                _ => break,
-            };
+        while let Tok::Punct(p @ ("+" | "-")) = self.peek() {
+            let op = p.to_string();
             let pos = self.pos();
             self.bump();
             let rhs = self.mul_expr()?;
@@ -440,11 +423,8 @@ impl Parser {
 
     fn mul_expr(&mut self) -> Result<Expr> {
         let mut lhs = self.unary_expr()?;
-        loop {
-            let op = match self.peek() {
-                Tok::Punct(p @ ("*" | "/" | "%")) => p.to_string(),
-                _ => break,
-            };
+        while let Tok::Punct(p @ ("*" | "/" | "%")) = self.peek() {
+            let op = p.to_string();
             let pos = self.pos();
             self.bump();
             let rhs = self.unary_expr()?;
@@ -687,8 +667,8 @@ mod tests {
 
     #[test]
     fn parses_operator_sections_and_currying() {
-        let p = parse("void main() { x = fold((+), l); y = map((*)(2), l); z = f(a)(b); }")
-            .unwrap();
+        let p =
+            parse("void main() { x = fold((+), l); y = map((*)(2), l); z = f(a)(b); }").unwrap();
         let Item::Func(f) = &p.items[0] else { panic!() };
         // fold((+), l)
         match &f.body.0[0] {

@@ -44,8 +44,8 @@ pub struct Spanned {
 
 const PUNCTS2: [&str; 10] = ["==", "!=", "<=", ">=", "&&", "||", "->", "+=", "-=", "::"];
 const PUNCTS1: [&str; 20] = [
-    "(", ")", "{", "}", "[", "]", "<", ">", ",", ";", "+", "-", "*", "/", "%", "=", "!", ".",
-    "&", "|",
+    "(", ")", "{", "}", "[", "]", "<", ">", ",", ";", "+", "-", "*", "/", "%", "=", "!", ".", "&",
+    "|",
 ];
 
 /// Tokenize Skil source text.
@@ -296,12 +296,7 @@ mod tests {
         let t = toks("a // line comment\n b /* block\n comment */ c");
         assert_eq!(
             t,
-            vec![
-                Tok::Ident("a".into()),
-                Tok::Ident("b".into()),
-                Tok::Ident("c".into()),
-                Tok::Eof
-            ]
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Ident("c".into()), Tok::Eof]
         );
     }
 

@@ -131,10 +131,9 @@ impl Unifier {
             Ty::Struct(n, args) => {
                 Ty::Struct(n.clone(), args.iter().map(|a| self.resolve(a)).collect())
             }
-            Ty::Fun(args, ret) => Ty::Fun(
-                args.iter().map(|a| self.resolve(a)).collect(),
-                Box::new(self.resolve(ret)),
-            ),
+            Ty::Fun(args, ret) => {
+                Ty::Fun(args.iter().map(|a| self.resolve(a)).collect(), Box::new(self.resolve(ret)))
+            }
             other => other.clone(),
         }
     }
@@ -143,9 +142,7 @@ impl Unifier {
         match self.resolve(ty) {
             Ty::Var(w) => w == v,
             Ty::List(t) => self.occurs(v, &t),
-            Ty::Pardata(_, args) | Ty::Struct(_, args) => {
-                args.iter().any(|a| self.occurs(v, a))
-            }
+            Ty::Pardata(_, args) | Ty::Struct(_, args) => args.iter().any(|a| self.occurs(v, a)),
             Ty::Fun(args, ret) => args.iter().any(|a| self.occurs(v, a)) || self.occurs(v, &ret),
             _ => false,
         }
@@ -173,7 +170,8 @@ impl Unifier {
             | (Ty::Index, Ty::Index)
             | (Ty::Bounds, Ty::Bounds) => Ok(()),
             (Ty::List(t1), Ty::List(t2)) => self.unify(t1, t2, pos),
-            (Ty::Pardata(n1, a1), Ty::Pardata(n2, a2)) | (Ty::Struct(n1, a1), Ty::Struct(n2, a2))
+            (Ty::Pardata(n1, a1), Ty::Pardata(n2, a2))
+            | (Ty::Struct(n1, a1), Ty::Struct(n2, a2))
                 if n1 == n2 && a1.len() == a2.len() =>
             {
                 for (x, y) in a1.iter().zip(a2) {
@@ -187,21 +185,18 @@ impl Unifier {
                 }
                 self.unify(r1, r2, pos)
             }
-            _ => Err(Diag::new(
-                Phase::Type,
-                pos,
-                format!("type mismatch: expected {a}, found {b}"),
-            )),
+            _ => {
+                Err(Diag::new(Phase::Type, pos, format!("type mismatch: expected {a}, found {b}")))
+            }
         }
     }
 
     /// Free variables of a resolved type.
     pub fn free_vars(&self, ty: &Ty, out: &mut Vec<u32>) {
         match self.resolve(ty) {
-            Ty::Var(v)
-                if !out.contains(&v) => {
-                    out.push(v);
-                }
+            Ty::Var(v) if !out.contains(&v) => {
+                out.push(v);
+            }
             Ty::List(t) => self.free_vars(&t, out),
             Ty::Pardata(_, args) | Ty::Struct(_, args) => {
                 for a in &args {
@@ -237,11 +232,14 @@ fn subst_vars(ty: &Ty, map: &HashMap<u32, Ty>) -> Ty {
     }
 }
 
+/// A struct declaration body: type parameter names plus named fields.
+pub type StructDef = (Vec<String>, Vec<(String, TypeExpr)>);
+
 /// Declared type-constructor environment: structs and pardatas.
 #[derive(Debug, Clone, Default)]
 pub struct TypeDefs {
     /// struct name -> (type parameter names, fields).
-    pub structs: HashMap<String, (Vec<String>, Vec<(String, TypeExpr)>)>,
+    pub structs: HashMap<String, StructDef>,
     /// pardata name -> arity.
     pub pardatas: HashMap<String, usize>,
 }
@@ -283,7 +281,9 @@ impl TypeDefs {
                     .map(|a| self.lower(a, var_map, uni, open, pos))
                     .collect::<Result<Vec<_>>>()?;
                 match (name.as_str(), args_t.len()) {
-                    ("list", 1) => Ok(Ty::List(Box::new(args_t.into_iter().next().expect("one arg")))),
+                    ("list", 1) => {
+                        Ok(Ty::List(Box::new(args_t.into_iter().next().expect("one arg"))))
+                    }
                     ("int", 0) | ("uint", 0) | ("unsigned", 0) | ("char", 0) => Ok(Ty::Int),
                     ("float", 0) | ("double", 0) => Ok(Ty::Float),
                     ("void", 0) => Ok(Ty::Void),
@@ -482,9 +482,8 @@ mod tests {
             .lower(&TypeExpr::named("wibble"), &mut vm, &mut uni, true, Pos::default())
             .is_err());
         // Size is Index
-        let t = defs
-            .lower(&TypeExpr::named("Size"), &mut vm, &mut uni, true, Pos::default())
-            .unwrap();
+        let t =
+            defs.lower(&TypeExpr::named("Size"), &mut vm, &mut uni, true, Pos::default()).unwrap();
         assert_eq!(t, Ty::Index);
     }
 }

@@ -88,9 +88,7 @@ impl Value {
             Value::Int(_) | Value::Float(_) => 9,
             Value::Unit => 1,
             Value::Index(_) | Value::Bounds(_, _) => 17,
-            Value::Struct(_, fields) => {
-                5 + fields.iter().map(|f| f.wire_size()).sum::<usize>()
-            }
+            Value::Struct(_, fields) => 5 + fields.iter().map(|f| f.wire_size()).sum::<usize>(),
             Value::List(items) => 9 + items.iter().map(|f| f.wire_size()).sum::<usize>(),
             Value::Array(_) => 9,
         }
@@ -185,10 +183,7 @@ mod tests {
     fn rendering() {
         assert_eq!(Value::Int(3).render(), "3");
         assert_eq!(Value::Index([1, 2]).render(), "{1, 2}");
-        assert_eq!(
-            Value::Struct(0, vec![Value::Int(1), Value::Float(0.5)]).render(),
-            "{1, 0.5}"
-        );
+        assert_eq!(Value::Struct(0, vec![Value::Int(1), Value::Float(0.5)]).render(), "{1, 0.5}");
     }
 
     #[test]

@@ -38,13 +38,7 @@ fn check_mode_reports_instances() {
 #[test]
 fn run_mode_prints_output_and_summary() {
     let path = write_temp("run.skil", HELLO);
-    let out = skilc()
-        .arg("--run")
-        .arg("--mesh")
-        .arg("2x2")
-        .arg(&path)
-        .output()
-        .expect("run skilc");
+    let out = skilc().arg("--run").arg("--mesh").arg("2x2").arg(&path).output().expect("run skilc");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("[proc 0] 42"), "{stdout}");
@@ -63,12 +57,7 @@ fn trace_mode_prints_timeline() {
                  if (procId == 0) { print(s); }\n\
                }";
     let path = write_temp("trace.skil", src);
-    let out = skilc()
-        .arg("--run")
-        .arg("--trace")
-        .arg(&path)
-        .output()
-        .expect("run skilc");
+    let out = skilc().arg("--run").arg("--trace").arg(&path).output().expect("run skilc");
     assert!(out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("p0"), "{stderr}");

@@ -8,6 +8,8 @@
 //! but, as the paper specifies, only associative & commutative operators
 //! make the result independent of the machine shape.
 
+use std::sync::Arc;
+
 use crate::proc::Proc;
 use crate::topology::BinomialTree;
 use crate::wire::Wire;
@@ -21,19 +23,30 @@ impl Proc<'_> {
     /// must pass `Some`; everyone receives the value.
     pub fn broadcast<T: Wire>(&mut self, root: usize, tag: u64, val: Option<T>) -> T {
         let tree = BinomialTree::new(self.nprocs(), root);
-        let v = if self.id() == root {
-            val.expect("broadcast root must supply a value")
-        } else {
-            assert!(val.is_none(), "non-root processor supplied a broadcast value");
-            let parent = tree.parent(self.id()).expect("non-root has a parent");
-            self.recv(parent, tag)
-        };
         // Send to the largest subtree first: its delivery chain is the
         // longest, so it must leave the (serializing) sender earliest.
         let mut children = tree.children(self.id());
         children.reverse();
-        for child in children {
-            self.send(child, tag, &v);
+        // Flatten once: the root encodes the value a single time and
+        // every interior node forwards the payload it received, so one
+        // buffer crosses the whole tree by pointer clones. The encoding
+        // is deterministic, so forwarded bytes are identical to what a
+        // re-flatten would produce.
+        let (v, payload) = if self.id() == root {
+            let v = val.expect("broadcast root must supply a value");
+            let payload = if children.is_empty() { None } else { Some(self.encode(&v)) };
+            (v, payload)
+        } else {
+            assert!(val.is_none(), "non-root processor supplied a broadcast value");
+            let parent = tree.parent(self.id()).expect("non-root has a parent");
+            let recv_cpu = self.cost().recv_cpu;
+            let env = self.recv_envelope(parent, tag, recv_cpu);
+            (self.decode_or_panic(&env), Some(env.bytes))
+        };
+        if let Some(payload) = payload {
+            for child in children {
+                self.send_shared(child, tag, Arc::clone(&payload));
+            }
         }
         v
     }
@@ -229,14 +242,30 @@ mod tests {
         // The tree fixes the combine order, so even a non-commutative
         // operator yields a reproducible (if shape-dependent) result.
         let m = machine(8);
-        let a = m.run(|p| p.reduce(0, 3, vec![p.id() as u32], |mut x, y| {
-            x.extend(y);
-            x
-        }, 0));
-        let b = m.run(|p| p.reduce(0, 3, vec![p.id() as u32], |mut x, y| {
-            x.extend(y);
-            x
-        }, 0));
+        let a = m.run(|p| {
+            p.reduce(
+                0,
+                3,
+                vec![p.id() as u32],
+                |mut x, y| {
+                    x.extend(y);
+                    x
+                },
+                0,
+            )
+        });
+        let b = m.run(|p| {
+            p.reduce(
+                0,
+                3,
+                vec![p.id() as u32],
+                |mut x, y| {
+                    x.extend(y);
+                    x
+                },
+                0,
+            )
+        });
         assert_eq!(a.results[0], b.results[0]);
     }
 

@@ -30,8 +30,8 @@
 pub mod collective;
 pub mod cost;
 pub mod error;
-pub mod mailbox;
 pub mod machine;
+pub mod mailbox;
 pub mod proc;
 pub mod report;
 pub mod topology;

@@ -1,7 +1,8 @@
 //! The machine: configuration and SPMD execution.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 use crate::cost::CostModel;
@@ -103,15 +104,24 @@ pub struct Run<R> {
 /// assert_eq!(run.results[1], 123);
 /// assert!(run.report.sim_cycles > 0);
 /// ```
-#[derive(Debug)]
 pub struct Machine {
     cfg: MachineConfig,
+    pool: WorkerPool,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine").field("cfg", &self.cfg).finish_non_exhaustive()
+    }
 }
 
 impl Machine {
-    /// Build a machine from a configuration.
+    /// Build a machine from a configuration. The machine owns one worker
+    /// thread per processor for its whole lifetime; repeated `run` calls
+    /// dispatch onto those instead of spawning fresh threads.
     pub fn new(cfg: MachineConfig) -> Self {
-        Machine { cfg }
+        let pool = WorkerPool::new(cfg.mesh.procs());
+        Machine { cfg, pool }
     }
 
     /// Number of processors.
@@ -143,44 +153,55 @@ impl Machine {
             mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
             poison: std::sync::atomic::AtomicBool::new(false),
         };
-        let program = &program;
-        let shared_ref = &shared;
+        let slots: Vec<Mutex<Option<ProcOutcome<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let latch = Latch::default();
 
-        let mut outcomes: Vec<Option<ProcOutcome<R>>> = Vec::with_capacity(n);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n);
+        {
+            // Holding the sender lock for the whole run serializes
+            // concurrent `run` calls on one machine, so each worker runs
+            // exactly one processor of one simulation at a time.
+            let txs = lock(&self.pool.txs);
+            let shared = &shared;
+            let slots = &slots;
+            let latch = &latch;
+            let program = &program;
+            // Dropped at scope end (or on an unwind mid-dispatch): blocks
+            // until every job dispatched so far has finished, which is
+            // what makes the borrow erasure below sound.
+            let mut wait = DispatchWait { latch, expect: 0 };
             for id in 0..n {
-                let builder = std::thread::Builder::new()
-                    .name(format!("proc-{id}"))
-                    .stack_size(8 * 1024 * 1024);
-                let handle = builder
-                    .spawn_scoped(scope, move || {
-                        let mut proc = Proc::new(id, shared_ref);
-                        let result =
-                            catch_unwind(AssertUnwindSafe(|| program(&mut proc)));
-                        if result.is_err() {
-                            shared_ref.poison.store(true, Ordering::Release);
-                        }
-                        let report = ProcReport {
-                            finished_at: proc.now(),
-                            stats: proc.stats(),
-                            trace: proc.take_trace(),
-                        };
-                        (result, report)
-                    })
-                    .expect("spawn processor thread");
-                handles.push(handle);
+                let job = move || {
+                    let mut proc = Proc::new(id, shared);
+                    let result = catch_unwind(AssertUnwindSafe(|| program(&mut proc)));
+                    if result.is_err() {
+                        shared.poison_all();
+                    }
+                    let report = ProcReport {
+                        finished_at: proc.now(),
+                        stats: proc.stats(),
+                        trace: proc.take_trace(),
+                    };
+                    *lock(&slots[id]) = Some(ProcOutcome { result, report });
+                    latch.count_up();
+                };
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(job);
+                // SAFETY: the job borrows `shared`, `slots`, `latch`, and
+                // `program` from this stack frame. `DispatchWait` waits
+                // for every dispatched job to complete before this frame
+                // can be left (normally or by unwinding), so the borrows
+                // outlive all uses. Workers never hold a job across
+                // iterations of their receive loop.
+                let job: Job = unsafe { std::mem::transmute(job) };
+                txs[id].send(job).expect("worker thread alive");
+                wait.expect += 1;
             }
-            for handle in handles {
-                let (result, report) = handle.join().expect("processor thread not poisoned");
-                outcomes.push(Some(ProcOutcome { result, report }));
-            }
-        });
+        }
 
         let mut results = Vec::with_capacity(n);
         let mut procs = Vec::with_capacity(n);
         let mut first_panic = None;
-        for outcome in outcomes.into_iter().flatten() {
+        for slot in &slots {
+            let outcome = lock(slot).take().expect("worker completed its job");
             procs.push(outcome.report);
             match outcome.result {
                 Ok(r) => results.push(r),
@@ -198,12 +219,93 @@ impl Machine {
         let sim_cycles = procs.iter().map(|p| p.finished_at).max().unwrap_or(0);
         Run {
             results,
-            report: RunReport {
-                sim_cycles,
-                sim_seconds: self.cfg.cost.seconds(sim_cycles),
-                procs,
-            },
+            report: RunReport { sim_cycles, sim_seconds: self.cfg.cost.seconds(sim_cycles), procs },
         }
+    }
+}
+
+/// Lock a mutex, ignoring poisoning (worker state stays consistent; the
+/// panic that poisoned it is re-raised through the run result).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One long-lived worker thread per simulated processor. Spawning a
+/// thread costs far more than a simulated message, so machines that are
+/// run repeatedly (parameter sweeps, benches, the tables) keep their
+/// workers across runs.
+struct WorkerPool {
+    txs: Mutex<Vec<mpsc::Sender<Job>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(n: usize) -> Self {
+        let mut txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for id in 0..n {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let handle = std::thread::Builder::new()
+                .name(format!("proc-{id}"))
+                // Deep per-processor recursion (e.g. divide&conquer
+                // skeletons) needs more than the default stack.
+                .stack_size(8 * 1024 * 1024)
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("spawn processor worker");
+            txs.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool { txs: Mutex::new(txs), handles }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channels ends the worker loops.
+        lock(&self.txs).clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Completion counter for dispatched jobs.
+#[derive(Default)]
+struct Latch {
+    done: Mutex<usize>,
+    cond: Condvar,
+}
+
+impl Latch {
+    fn count_up(&self) {
+        *lock(&self.done) += 1;
+        self.cond.notify_all();
+    }
+
+    fn wait_for(&self, n: usize) {
+        let mut done = lock(&self.done);
+        while *done < n {
+            done = self.cond.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Waits (on drop) for every job dispatched so far, so stack borrows
+/// handed to the pool cannot dangle even if dispatch unwinds.
+struct DispatchWait<'a> {
+    latch: &'a Latch,
+    expect: usize,
+}
+
+impl Drop for DispatchWait<'_> {
+    fn drop(&mut self) {
+        self.latch.wait_for(self.expect);
     }
 }
 
@@ -351,9 +453,7 @@ mod tests {
     #[should_panic(expected = "deadlock suspected")]
     fn deadlock_detected() {
         let m = Machine::new(
-            MachineConfig::mesh(1, 2)
-                .unwrap()
-                .with_timeout(Duration::from_millis(100)),
+            MachineConfig::mesh(1, 2).unwrap().with_timeout(Duration::from_millis(100)),
         );
         let _ = m.run(|p| {
             if p.id() == 1 {

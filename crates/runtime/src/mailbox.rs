@@ -5,11 +5,25 @@
 //! FIFO order per pair, which (together with programs that never receive
 //! from "any source") makes simulations deterministic regardless of host
 //! thread scheduling.
+//!
+//! Matching is indexed: envelopes are bucketed by `(src, tag)` in a hash
+//! map of FIFO queues, so a receive is a hash lookup plus a pop instead
+//! of a linear scan of everything queued. Waits are fully event-driven —
+//! a receiver blocks on the mailbox condvar until a matching deposit or a
+//! poison wakeup ([`Mailbox::wake_all`]), with the deadline as the only
+//! timeout; there is no periodic poll.
 
-use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Lock a mutex, ignoring poisoning: mailbox state is a plain queue and
+/// stays consistent even if a holder panicked mid-operation.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// One in-flight message.
 #[derive(Debug)]
@@ -21,14 +35,24 @@ pub struct Envelope {
     /// Virtual time at which the message is fully available to the
     /// receiver.
     pub arrival: u64,
-    /// Flattened payload.
-    pub bytes: Vec<u8>,
+    /// Flattened payload. Shared, not owned: a sender freezes its encode
+    /// buffer into the `Arc` by move, and collectives deliver one
+    /// flattened buffer to many receivers by cloning the pointer.
+    pub bytes: Arc<Vec<u8>>,
+}
+
+/// Envelope queues bucketed by `(src, tag)`.
+#[derive(Debug, Default)]
+struct Buckets {
+    queues: HashMap<(usize, u64), VecDeque<Envelope>>,
+    /// Total queued envelopes across all buckets.
+    len: usize,
 }
 
 /// A processor's incoming message queue.
 #[derive(Debug, Default)]
 pub struct Mailbox {
-    queue: Mutex<VecDeque<Envelope>>,
+    buckets: Mutex<Buckets>,
     cond: Condvar,
 }
 
@@ -46,13 +70,16 @@ pub enum RecvOutcome {
 impl Mailbox {
     /// Deposit an envelope and wake any waiting receiver.
     pub fn put(&self, env: Envelope) {
-        let mut q = self.queue.lock();
-        q.push_back(env);
+        let mut b = lock(&self.buckets);
+        b.queues.entry((env.src, env.tag)).or_default().push_back(env);
+        b.len += 1;
         self.cond.notify_all();
     }
 
     /// Dequeue the oldest envelope matching `(src, tag)`, waiting up to
-    /// `deadline` total. `poison` aborts the wait early when set.
+    /// `deadline` total. `poison` aborts the wait early when set; the
+    /// poisoner must call [`wake_all`](Mailbox::wake_all) so blocked
+    /// receivers observe it immediately.
     pub fn get(
         &self,
         src: usize,
@@ -61,28 +88,42 @@ impl Mailbox {
         deadline: Duration,
     ) -> RecvOutcome {
         let start = std::time::Instant::now();
-        let mut q = self.queue.lock();
+        let mut b = lock(&self.buckets);
         loop {
-            if let Some(pos) = q.iter().position(|e| e.src == src && e.tag == tag) {
-                // VecDeque::remove preserves the relative order of the
-                // remaining envelopes, keeping per-(src, tag) FIFO intact.
-                return RecvOutcome::Message(q.remove(pos).expect("position is valid"));
+            if let Entry::Occupied(mut q) = b.queues.entry((src, tag)) {
+                if let Some(env) = q.get_mut().pop_front() {
+                    if q.get().is_empty() {
+                        q.remove();
+                    }
+                    b.len -= 1;
+                    return RecvOutcome::Message(env);
+                }
+                q.remove();
             }
             if poison.load(Ordering::Acquire) {
                 return RecvOutcome::Poisoned;
             }
-            if start.elapsed() >= deadline {
+            let elapsed = start.elapsed();
+            if elapsed >= deadline {
                 return RecvOutcome::TimedOut;
             }
-            // Wake periodically to observe poisoning even if no message
-            // ever arrives.
-            self.cond.wait_for(&mut q, Duration::from_millis(25));
+            let (guard, _timeout) =
+                self.cond.wait_timeout(b, deadline - elapsed).unwrap_or_else(|e| e.into_inner());
+            b = guard;
         }
+    }
+
+    /// Wake every blocked receiver so it can re-check the poison flag.
+    /// Taking the lock before notifying closes the race with a receiver
+    /// that has checked the flag but not yet parked on the condvar.
+    pub fn wake_all(&self) {
+        drop(lock(&self.buckets));
+        self.cond.notify_all();
     }
 
     /// Number of queued envelopes (diagnostics only).
     pub fn len(&self) -> usize {
-        self.queue.lock().len()
+        lock(&self.buckets).len
     }
 
     /// Whether the mailbox is empty (diagnostics only).
@@ -90,20 +131,23 @@ impl Mailbox {
         self.len() == 0
     }
 
-    /// Snapshot of `(src, tag)` pairs currently queued (for deadlock
-    /// reports).
+    /// Snapshot of `(src, tag)` pairs currently queued, one entry per
+    /// envelope, sorted for stable output (for deadlock reports).
     pub fn pending(&self) -> Vec<(usize, u64)> {
-        self.queue.lock().iter().map(|e| (e.src, e.tag)).collect()
+        let b = lock(&self.buckets);
+        let mut v: Vec<(usize, u64)> =
+            b.queues.iter().flat_map(|(&k, q)| std::iter::repeat_n(k, q.len())).collect();
+        v.sort_unstable();
+        v
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     fn env(src: usize, tag: u64, arrival: u64) -> Envelope {
-        Envelope { src, tag, arrival, bytes: vec![] }
+        Envelope { src, tag, arrival, bytes: Arc::new(Vec::new()) }
     }
 
     #[test]
@@ -160,10 +204,37 @@ mod tests {
         let t = std::thread::spawn(move || mb2.get(0, 0, &poison2, Duration::from_secs(30)));
         std::thread::sleep(Duration::from_millis(50));
         poison.store(true, Ordering::Release);
+        mb.wake_all();
         match t.join().unwrap() {
             RecvOutcome::Poisoned => {}
             other => panic!("unexpected outcome {other:?}"),
         }
+    }
+
+    #[test]
+    fn poison_wakeup_is_prompt() {
+        // Event-driven wakeup: a blocked receiver must observe poisoning
+        // well before any polling interval would have fired.
+        let mb = Arc::new(Mailbox::default());
+        let poison = Arc::new(AtomicBool::new(false));
+        let mb2 = Arc::clone(&mb);
+        let poison2 = Arc::clone(&poison);
+        let t = std::thread::spawn(move || {
+            let start = std::time::Instant::now();
+            let out = mb2.get(0, 0, &poison2, Duration::from_secs(30));
+            (out, start.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(40));
+        poison.store(true, Ordering::Release);
+        let poisoned_at = std::time::Instant::now();
+        mb.wake_all();
+        let (out, _waited) = t.join().unwrap();
+        assert!(matches!(out, RecvOutcome::Poisoned));
+        assert!(
+            poisoned_at.elapsed() < Duration::from_secs(5),
+            "wakeup took {:?}",
+            poisoned_at.elapsed()
+        );
     }
 
     #[test]
@@ -173,15 +244,41 @@ mod tests {
         let mb2 = Arc::clone(&mb);
         let t = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(30));
-            mb2.put(Envelope { src: 3, tag: 7, arrival: 42, bytes: vec![1, 2] });
+            mb2.put(Envelope { src: 3, tag: 7, arrival: 42, bytes: Arc::new(vec![1, 2]) });
         });
         match mb.get(3, 7, &poison, Duration::from_secs(5)) {
             RecvOutcome::Message(e) => {
                 assert_eq!(e.arrival, 42);
-                assert_eq!(e.bytes, vec![1, 2]);
+                assert_eq!(&e.bytes[..], &[1, 2]);
             }
             other => panic!("unexpected outcome {other:?}"),
         }
         t.join().unwrap();
+    }
+
+    #[test]
+    fn many_distinct_pairs_stay_cheap_and_correct() {
+        // Indexed matching: interleave 64 (src, tag) pairs and drain them
+        // in an unrelated order.
+        let mb = Mailbox::default();
+        let poison = AtomicBool::new(false);
+        for src in 1..9 {
+            for tag in 0..8u64 {
+                mb.put(env(src, tag, (src as u64) * 100 + tag));
+            }
+        }
+        assert_eq!(mb.len(), 64);
+        for tag in (0..8u64).rev() {
+            for src in (1..9).rev() {
+                match mb.get(src, tag, &poison, Duration::from_secs(1)) {
+                    RecvOutcome::Message(e) => {
+                        assert_eq!(e.arrival, (src as u64) * 100 + tag)
+                    }
+                    other => panic!("unexpected outcome {other:?}"),
+                }
+            }
+        }
+        assert!(mb.is_empty());
+        assert!(mb.pending().is_empty());
     }
 }

@@ -1,6 +1,7 @@
 //! The per-processor handle SPMD programs run against.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::cost::CostModel;
@@ -20,6 +21,17 @@ pub(crate) struct Shared {
     pub(crate) poison: AtomicBool,
 }
 
+impl Shared {
+    /// Poison the machine and wake every receiver blocked on a mailbox so
+    /// the abort is observed immediately (no polling interval).
+    pub(crate) fn poison_all(&self) {
+        self.poison.store(true, Ordering::Release);
+        for mb in &self.mailboxes {
+            mb.wake_all();
+        }
+    }
+}
+
 /// One simulated processor: a virtual clock, activity counters, and access
 /// to the machine's mailboxes. The SPMD program receives `&mut Proc` and
 /// runs real Rust code; *virtual* time advances only through [`charge`],
@@ -33,11 +45,16 @@ pub struct Proc<'m> {
     now: u64,
     stats: ProcStats,
     trace: Vec<TraceEvent>,
+    /// Size of the last encoded payload: the next send pre-allocates its
+    /// buffer to this, so steady-state traffic (ring rotations, halo
+    /// exchanges) flattens straight into a right-sized buffer with no
+    /// growth reallocations.
+    encode_cap: usize,
 }
 
 impl<'m> Proc<'m> {
     pub(crate) fn new(id: usize, shared: &'m Shared) -> Self {
-        Proc { id, shared, now: 0, stats: ProcStats::default(), trace: Vec::new() }
+        Proc { id, shared, now: 0, stats: ProcStats::default(), trace: Vec::new(), encode_cap: 0 }
     }
 
     /// Whether event tracing is enabled for this run.
@@ -111,10 +128,31 @@ impl<'m> Proc<'m> {
         assert_ne!(peer, self.id, "processor {} attempted a self-send", self.id);
     }
 
-    fn deposit(&mut self, dst: usize, tag: u64, bytes: Vec<u8>, arrival: u64) {
+    /// Flatten `val` once and freeze the buffer into a shareable payload
+    /// by move — no copy between encoding and sharing.
+    pub(crate) fn encode<T: Wire>(&mut self, val: &T) -> Arc<Vec<u8>> {
+        let mut buf = Vec::with_capacity(self.encode_cap);
+        val.flatten(&mut buf);
+        self.encode_cap = buf.len();
+        Arc::new(buf)
+    }
+
+    fn deposit(&mut self, dst: usize, tag: u64, bytes: Arc<Vec<u8>>, arrival: u64) {
         self.stats.sends += 1;
         self.stats.bytes_sent += bytes.len() as u64;
         self.shared.mailboxes[dst].put(Envelope { src: self.id, tag, arrival, bytes });
+    }
+
+    /// Asynchronous send of an already-flattened payload over the mesh
+    /// route to `dst`. Charges exactly what [`send`](Proc::send) charges
+    /// for the same bytes; collectives use it to flatten once and share
+    /// the payload across every downstream link.
+    pub(crate) fn send_shared(&mut self, dst: usize, tag: u64, bytes: Arc<Vec<u8>>) {
+        self.check_peer(dst);
+        let hops = self.shared.mesh.hops(self.id, dst);
+        self.charge(self.shared.cost.send_cpu);
+        let arrival = self.now + self.shared.cost.transit(bytes.len(), hops);
+        self.deposit(dst, tag, bytes, arrival);
     }
 
     /// Asynchronous send over the physical mesh route to `dst`.
@@ -132,7 +170,7 @@ impl<'m> Proc<'m> {
     /// topologies whose embedded links differ from raw mesh distance.
     pub fn send_hops<T: Wire>(&mut self, dst: usize, hops: usize, tag: u64, val: &T) {
         self.check_peer(dst);
-        let bytes = val.to_bytes();
+        let bytes = self.encode(val);
         self.charge(self.shared.cost.send_cpu);
         let arrival = self.now + self.shared.cost.transit(bytes.len(), hops);
         self.deposit(dst, tag, bytes, arrival);
@@ -150,7 +188,7 @@ impl<'m> Proc<'m> {
     /// Synchronous send with an explicit hop count.
     pub fn send_sync_hops<T: Wire>(&mut self, dst: usize, hops: usize, tag: u64, val: &T) {
         self.check_peer(dst);
-        let bytes = val.to_bytes();
+        let bytes = self.encode(val);
         self.charge(self.shared.cost.send_cpu);
         let transit = self.shared.cost.transit(bytes.len(), hops);
         // Blocked for the whole transfer: no overlap with computation.
@@ -167,57 +205,19 @@ impl<'m> Proc<'m> {
     /// `raw_link_overhead + bytes * per_byte` per hop.
     pub fn send_raw<T: Wire>(&mut self, dst: usize, hops: usize, tag: u64, val: &T) {
         self.check_peer(dst);
-        let bytes = val.to_bytes().len();
+        let bytes = self.encode(val);
         let c = &self.shared.cost;
         self.charge(c.raw_link_overhead);
-        let per_hop = c.raw_link_overhead + c.per_byte * bytes as u64;
+        let per_hop = c.raw_link_overhead + c.per_byte * bytes.len() as u64;
         let arrival = self.now + per_hop * hops.max(1) as u64;
-        self.deposit(dst, tag, val.to_bytes(), arrival);
+        self.deposit(dst, tag, bytes, arrival);
     }
 
-    /// Raw receive matching [`send_raw`](Proc::send_raw): charges only
-    /// the link overhead instead of the full software receive cost.
-    pub fn recv_raw<T: Wire>(&mut self, src: usize, tag: u64) -> T {
-        self.check_peer(src);
-        let outcome = self.shared.mailboxes[self.id].get(
-            src,
-            tag,
-            &self.shared.poison,
-            self.shared.deadlock_timeout,
-        );
-        let env = match outcome {
-            RecvOutcome::Message(e) => e,
-            RecvOutcome::Poisoned => {
-                panic!("processor {}: aborted (a peer processor panicked)", self.id)
-            }
-            RecvOutcome::TimedOut => panic!(
-                "processor {}: deadlock suspected waiting (raw) for (src={}, tag={})",
-                self.id, src, tag
-            ),
-        };
-        self.stats.recvs += 1;
-        if env.arrival > self.now {
-            self.stats.wait += env.arrival - self.now;
-            self.now = env.arrival;
-        }
-        self.charge(self.shared.cost.raw_link_overhead);
-        match T::from_bytes(&env.bytes) {
-            Ok(v) => v,
-            Err(e) => panic!(
-                "processor {}: raw message from {} with tag {} failed to decode: {}",
-                self.id, src, tag, e
-            ),
-        }
-    }
-
-    /// Receive the next message from `src` carrying `tag`, advancing the
-    /// virtual clock to the message's arrival time if it is in the local
-    /// future.
-    ///
-    /// Panics on decode failure (an SPMD type mismatch is a program bug)
-    /// and after `deadlock_timeout` of real time with a diagnostic, so
-    /// deadlocked simulations fail loudly instead of hanging the suite.
-    pub fn recv<T: Wire>(&mut self, src: usize, tag: u64) -> T {
+    /// Dequeue the next envelope from `(src, tag)`, advancing the virtual
+    /// clock to its arrival and charging `recv_cost` for accepting it.
+    /// The payload stays shared — collectives forward it to further links
+    /// without re-flattening.
+    pub(crate) fn recv_envelope(&mut self, src: usize, tag: u64, recv_cost: u64) -> Envelope {
         self.check_peer(src);
         let outcome = self.shared.mailboxes[self.id].get(
             src,
@@ -244,15 +244,38 @@ impl<'m> Proc<'m> {
             self.stats.wait += env.arrival - self.now;
             self.now = env.arrival;
         }
-        // Receiver-side software cost of accepting the message.
-        self.charge(self.shared.cost.recv_cpu);
+        self.charge(recv_cost);
+        env
+    }
+
+    pub(crate) fn decode_or_panic<T: Wire>(&self, env: &Envelope) -> T {
         match T::from_bytes(&env.bytes) {
             Ok(v) => v,
             Err(e) => panic!(
                 "processor {}: message from {} with tag {} failed to decode: {}",
-                self.id, src, tag, e
+                self.id, env.src, env.tag, e
             ),
         }
+    }
+
+    /// Raw receive matching [`send_raw`](Proc::send_raw): charges only
+    /// the link overhead instead of the full software receive cost.
+    pub fn recv_raw<T: Wire>(&mut self, src: usize, tag: u64) -> T {
+        let env = self.recv_envelope(src, tag, self.shared.cost.raw_link_overhead);
+        self.decode_or_panic(&env)
+    }
+
+    /// Receive the next message from `src` carrying `tag`, advancing the
+    /// virtual clock to the message's arrival time if it is in the local
+    /// future.
+    ///
+    /// Panics on decode failure (an SPMD type mismatch is a program bug)
+    /// and after `deadlock_timeout` of real time with a diagnostic, so
+    /// deadlocked simulations fail loudly instead of hanging the suite.
+    pub fn recv<T: Wire>(&mut self, src: usize, tag: u64) -> T {
+        // Receiver-side software cost of accepting the message.
+        let env = self.recv_envelope(src, tag, self.shared.cost.recv_cpu);
+        self.decode_or_panic(&env)
     }
 
     /// Raise the local clock to `t` if it is in the future (used by

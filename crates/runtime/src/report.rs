@@ -100,9 +100,7 @@ impl RunReport {
             }
             let first = label.chars().next().unwrap_or('?');
             let candidates = [first, first.to_ascii_uppercase()];
-            let mut mark = candidates
-                .into_iter()
-                .find(|c| !legend.iter().any(|(_, m)| m == c));
+            let mut mark = candidates.into_iter().find(|c| !legend.iter().any(|(_, m)| m == c));
             if mark.is_none() {
                 mark = ('0'..='9').find(|c| !legend.iter().any(|(_, m)| m == c));
             }

@@ -129,7 +129,7 @@ impl Ring {
         if self.virtual_links {
             // Folded/snake embedding: a Hamiltonian ring on a mesh has
             // dilation <= 2 everywhere.
-            self.mesh.hops(a, b).min(2).max(1)
+            self.mesh.hops(a, b).clamp(1, 2)
         } else {
             self.mesh.hops(a, b)
         }
@@ -169,7 +169,7 @@ impl Torus2d {
         let dst = self.at(r as isize + drow, c as isize + dcol);
         let hops = if self.virtual_links {
             // Folded torus embedding: dilation 2.
-            self.mesh.hops(id, dst).min(2).max(1)
+            self.mesh.hops(id, dst).clamp(1, 2)
         } else {
             self.mesh.hops(id, dst)
         };

@@ -46,15 +46,51 @@ impl<'a> WireReader<'a> {
     }
 }
 
+/// Cap on the claimed element count of a length-prefixed container whose
+/// elements occupy **zero** wire bytes (`Vec<()>` and friends). Such a
+/// prefix carries no evidence in the payload, so a hostile `u64::MAX`
+/// would otherwise spin the decode loop for 2^64 iterations.
+pub const MAX_ZERO_SIZE_ELEMS: usize = 1 << 24;
+
 /// Types that can be flattened into a message and unflattened on the other
 /// side. This is the mechanism the paper calls "'flattening'/'unflattening'
 /// of data" for moving `pardata` elements between processors.
 pub trait Wire: Sized {
+    /// On-wire byte size, when every value of the type encodes to the
+    /// same length (`None` for variable-size types such as `Vec`).
+    /// Containers use it to validate hostile length prefixes up front and
+    /// to size buffers exactly; the primitive fast paths rely on it.
+    const WIRE_SIZE: Option<usize> = None;
+
     /// Append this value's encoding to `out`.
     fn flatten(&self, out: &mut Vec<u8>);
 
     /// Decode one value from the reader.
     fn unflatten(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Bulk-encode a slice. The default loops per element; primitive
+    /// (POD) types override it with a single block copy, which is what
+    /// makes `Vec<f64>` partition moves cheap.
+    fn flatten_slice(items: &[Self], out: &mut Vec<u8>) {
+        for v in items {
+            v.flatten(out);
+        }
+    }
+
+    /// Bulk-decode exactly `n` values. The default loops per element
+    /// with a conservative capacity guess; primitive (POD) types
+    /// override it with a single block copy. Callers are expected to
+    /// have validated `n` against [`Wire::WIRE_SIZE`] and the remaining
+    /// input where possible.
+    fn unflatten_many(r: &mut WireReader<'_>, n: usize) -> Result<Vec<Self>, WireError> {
+        // Guard against hostile lengths for variable-size elements: never
+        // pre-reserve more than the input could possibly hold.
+        let mut v = Vec::with_capacity(n.min(r.remaining().max(16)));
+        for _ in 0..n {
+            v.push(Self::unflatten(r)?);
+        }
+        Ok(v)
+    }
 
     /// Encode into a fresh buffer.
     fn to_bytes(&self) -> Vec<u8> {
@@ -74,14 +110,79 @@ pub trait Wire: Sized {
     }
 }
 
+/// `Some(a + b)` when both sides are fixed-size (const-evaluable Option
+/// addition, used by the tuple/array `WIRE_SIZE` definitions).
+pub const fn wire_size_sum(a: Option<usize>, b: Option<usize>) -> Option<usize> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a + b),
+        _ => None,
+    }
+}
+
 macro_rules! wire_int {
     ($($t:ty),*) => {$(
         impl Wire for $t {
+            const WIRE_SIZE: Option<usize> = Some(core::mem::size_of::<$t>());
+
             fn flatten(&self, out: &mut Vec<u8>) {
                 out.extend_from_slice(&self.to_le_bytes());
             }
+
             fn unflatten(r: &mut WireReader<'_>) -> Result<Self, WireError> {
                 Ok(<$t>::from_le_bytes(r.take_array()?))
+            }
+
+            fn flatten_slice(items: &[Self], out: &mut Vec<u8>) {
+                #[cfg(target_endian = "little")]
+                {
+                    // SAFETY: primitives have no padding and the wire
+                    // format is little-endian, so on a little-endian host
+                    // the in-memory bytes ARE the encoding.
+                    let bytes = unsafe {
+                        core::slice::from_raw_parts(
+                            items.as_ptr() as *const u8,
+                            core::mem::size_of_val(items),
+                        )
+                    };
+                    out.extend_from_slice(bytes);
+                }
+                #[cfg(not(target_endian = "little"))]
+                for v in items {
+                    v.flatten(out);
+                }
+            }
+
+            fn unflatten_many(r: &mut WireReader<'_>, n: usize) -> Result<Vec<Self>, WireError> {
+                const SIZE: usize = core::mem::size_of::<$t>();
+                let total = n
+                    .checked_mul(SIZE)
+                    .ok_or(WireError::Invalid("container length prefix overflows"))?;
+                let bytes = r.take(total)?;
+                #[cfg(target_endian = "little")]
+                {
+                    let mut v: Vec<$t> = Vec::with_capacity(n);
+                    // SAFETY: the freshly allocated buffer holds `n`
+                    // elements; every bit pattern is a valid $t; and the
+                    // little-endian wire bytes are the host
+                    // representation. One memcpy replaces the per-element
+                    // decode loop.
+                    unsafe {
+                        core::ptr::copy_nonoverlapping(
+                            bytes.as_ptr(),
+                            v.as_mut_ptr() as *mut u8,
+                            total,
+                        );
+                        v.set_len(n);
+                    }
+                    Ok(v)
+                }
+                #[cfg(not(target_endian = "little"))]
+                {
+                    Ok(bytes
+                        .chunks_exact(SIZE)
+                        .map(|c| <$t>::from_le_bytes(c.try_into().expect("chunk size")))
+                        .collect())
+                }
             }
         }
     )*};
@@ -90,6 +191,8 @@ macro_rules! wire_int {
 wire_int!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
 
 impl Wire for usize {
+    const WIRE_SIZE: Option<usize> = Some(8);
+
     fn flatten(&self, out: &mut Vec<u8>) {
         (*self as u64).flatten(out);
     }
@@ -100,6 +203,8 @@ impl Wire for usize {
 }
 
 impl Wire for isize {
+    const WIRE_SIZE: Option<usize> = Some(8);
+
     fn flatten(&self, out: &mut Vec<u8>) {
         (*self as i64).flatten(out);
     }
@@ -110,6 +215,8 @@ impl Wire for isize {
 }
 
 impl Wire for bool {
+    const WIRE_SIZE: Option<usize> = Some(1);
+
     fn flatten(&self, out: &mut Vec<u8>) {
         out.push(*self as u8);
     }
@@ -123,6 +230,8 @@ impl Wire for bool {
 }
 
 impl Wire for char {
+    const WIRE_SIZE: Option<usize> = Some(4);
+
     fn flatten(&self, out: &mut Vec<u8>) {
         (*self as u32).flatten(out);
     }
@@ -132,6 +241,8 @@ impl Wire for char {
 }
 
 impl Wire for () {
+    const WIRE_SIZE: Option<usize> = Some(0);
+
     fn flatten(&self, _out: &mut Vec<u8>) {}
     fn unflatten(_r: &mut WireReader<'_>) -> Result<Self, WireError> {
         Ok(())
@@ -160,19 +271,34 @@ impl<T: Wire> Wire for Option<T> {
 impl<T: Wire> Wire for Vec<T> {
     fn flatten(&self, out: &mut Vec<u8>) {
         (self.len() as u64).flatten(out);
-        for v in self {
-            v.flatten(out);
-        }
+        T::flatten_slice(self, out);
     }
     fn unflatten(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        let n = u64::unflatten(r)? as usize;
-        // Guard against hostile lengths: each element costs at least one
-        // byte on the wire except `()`, which we cap separately.
-        let mut v = Vec::with_capacity(n.min(r.remaining().max(16)));
-        for _ in 0..n {
-            v.push(T::unflatten(r)?);
+        let n64 = u64::unflatten(r)?;
+        let n = usize::try_from(n64)
+            .map_err(|_| WireError::Invalid("container length prefix overflows"))?;
+        // Validate the claimed count against the actual input before any
+        // allocation or decode work.
+        match T::WIRE_SIZE {
+            // Zero-size elements leave no trace in the payload; cap the
+            // count so a hostile prefix cannot spin the decoder.
+            Some(0) if n > MAX_ZERO_SIZE_ELEMS => {
+                return Err(WireError::Invalid("zero-size element count exceeds cap"));
+            }
+            Some(0) => {}
+            Some(size) => {
+                let total = n
+                    .checked_mul(size)
+                    .ok_or(WireError::Invalid("container length prefix overflows"))?;
+                if total > r.remaining() {
+                    return Err(WireError::Eof { wanted: total, available: r.remaining() });
+                }
+            }
+            // Variable-size elements: unflatten_many's capacity guard
+            // applies, and the per-element decode hits Eof naturally.
+            None => {}
         }
-        Ok(v)
+        T::unflatten_many(r, n)
     }
 }
 
@@ -189,24 +315,47 @@ impl Wire for String {
 }
 
 impl<T: Wire, const N: usize> Wire for [T; N] {
+    const WIRE_SIZE: Option<usize> = match T::WIRE_SIZE {
+        Some(size) => Some(size * N),
+        None => None,
+    };
+
     fn flatten(&self, out: &mut Vec<u8>) {
-        for v in self {
-            v.flatten(out);
-        }
+        T::flatten_slice(self, out);
     }
     fn unflatten(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        // Decode into a Vec first; N is small in practice (Index/Size).
-        let mut v = Vec::with_capacity(N);
-        for _ in 0..N {
-            v.push(T::unflatten(r)?);
+        // Decode straight into the array — no heap detour. `from_fn`
+        // cannot early-return, so a decode error is parked in `err` and
+        // the affected slots are left as `None`.
+        let mut err = None;
+        let parts: [Option<T>; N] = core::array::from_fn(|_| {
+            if err.is_some() {
+                return None;
+            }
+            match T::unflatten(r) {
+                Ok(v) => Some(v),
+                Err(e) => {
+                    err = Some(e);
+                    None
+                }
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(parts.map(|v| v.expect("filled when no error"))),
         }
-        v.try_into().map_err(|_| WireError::Invalid("array length"))
     }
 }
 
 macro_rules! wire_tuple {
     ($($name:ident : $idx:tt),+) => {
         impl<$($name: Wire),+> Wire for ($($name,)+) {
+            const WIRE_SIZE: Option<usize> = {
+                let acc = Some(0usize);
+                $(let acc = wire_size_sum(acc, $name::WIRE_SIZE);)+
+                acc
+            };
+
             fn flatten(&self, out: &mut Vec<u8>) {
                 $(self.$idx.flatten(out);)+
             }
@@ -319,5 +468,76 @@ mod tests {
         assert_eq!(bytes.len(), 8 + 1);
         assert_eq!(bytes[0], 1); // length 1, little-endian
         assert_eq!(bytes[8], 9);
+    }
+
+    #[test]
+    fn hostile_zero_size_element_count_capped() {
+        // A `Vec<()>` prefix claiming u64::MAX elements must be rejected
+        // quickly, not spin the decode loop for 2^64 iterations.
+        let bytes = u64::MAX.to_bytes();
+        assert_eq!(
+            Vec::<()>::from_bytes(&bytes),
+            Err(WireError::Invalid("zero-size element count exceeds cap"))
+        );
+        // Same through a nested container element.
+        let hostile = u64::MAX.to_bytes();
+        assert!(Vec::<((), ())>::from_bytes(&hostile).is_err());
+        // At or below the cap still works.
+        let mut ok = Vec::new();
+        3u64.flatten(&mut ok);
+        assert_eq!(Vec::<()>::from_bytes(&ok), Ok(vec![(), (), ()]));
+    }
+
+    #[test]
+    fn hostile_fixed_size_prefix_rejected_before_allocation() {
+        // Claims 2^61 f64s with an 8-byte payload: must fail up front
+        // (Eof) rather than attempt a huge reservation.
+        let mut bytes = (1u64 << 61).to_bytes();
+        bytes.extend_from_slice(&1.0f64.to_le_bytes());
+        match Vec::<f64>::from_bytes(&bytes) {
+            Err(WireError::Eof { .. }) | Err(WireError::Invalid(_)) => {}
+            other => panic!("hostile prefix accepted: {other:?}"),
+        }
+        // And a count whose byte total overflows usize.
+        let overflow = u64::MAX.to_bytes();
+        assert!(Vec::<u64>::from_bytes(&overflow).is_err());
+    }
+
+    #[test]
+    fn array_decode_needs_no_heap_and_errors_cleanly() {
+        let v: [u64; 3] = [7, 8, 9];
+        roundtrip(v);
+        // Truncated input surfaces the element error.
+        let mut bytes = v.to_bytes();
+        bytes.truncate(20);
+        assert!(<[u64; 3]>::from_bytes(&bytes).is_err());
+        // Zero-length arrays are fine.
+        roundtrip::<[u32; 0]>([]);
+    }
+
+    #[test]
+    fn wire_size_consts() {
+        assert_eq!(u8::WIRE_SIZE, Some(1));
+        assert_eq!(f64::WIRE_SIZE, Some(8));
+        assert_eq!(<()>::WIRE_SIZE, Some(0));
+        assert_eq!(<(u8, u32)>::WIRE_SIZE, Some(5));
+        assert_eq!(<[f32; 4]>::WIRE_SIZE, Some(16));
+        assert_eq!(<Vec<u8>>::WIRE_SIZE, None);
+        assert_eq!(<(u8, String)>::WIRE_SIZE, None);
+        assert_eq!(<[Vec<u8>; 2]>::WIRE_SIZE, None);
+    }
+
+    #[test]
+    fn bulk_and_generic_paths_agree() {
+        // The POD override must emit exactly the bytes of the per-element
+        // path (the proptest in tests/props.rs covers this broadly).
+        let vals = vec![0.5f64, -1.25, f64::MAX, f64::MIN_POSITIVE, 0.0, -0.0];
+        let mut generic = Vec::new();
+        (vals.len() as u64).flatten(&mut generic);
+        for v in &vals {
+            v.flatten(&mut generic);
+        }
+        assert_eq!(vals.to_bytes(), generic);
+        assert_eq!(Vec::<f64>::from_bytes(&generic).unwrap(), vals);
     }
 }

@@ -46,7 +46,6 @@ fn ring_circulation_visits_everyone() {
     let m = Machine::new(MachineConfig::mesh(2, 4).unwrap());
     let run = m.run(|p| {
         let ring = Ring::new(p.mesh(), true);
-        let n = p.nprocs();
         let me = p.id();
         let (next, nh) = ring.next(me);
         let (prev, _) = ring.prev(me);
@@ -98,9 +97,7 @@ fn torus_rotation_round_trip() {
 #[should_panic(expected = "decode")]
 fn type_mismatch_between_procs_fails_loudly() {
     // failure injection: sender and receiver disagree on the type
-    let m = Machine::new(
-        MachineConfig::mesh(1, 2).unwrap().with_timeout(Duration::from_secs(5)),
-    );
+    let m = Machine::new(MachineConfig::mesh(1, 2).unwrap().with_timeout(Duration::from_secs(5)));
     let _ = m.run(|p| {
         if p.id() == 0 {
             p.send(1, 1, &3u8); // one byte
@@ -115,9 +112,7 @@ fn type_mismatch_between_procs_fails_loudly() {
 fn collective_participant_crash_poisons_peers() {
     // failure injection: one participant dies inside a collective; the
     // others must abort promptly rather than hang
-    let m = Machine::new(
-        MachineConfig::procs(8).unwrap().with_timeout(Duration::from_secs(30)),
-    );
+    let m = Machine::new(MachineConfig::procs(8).unwrap().with_timeout(Duration::from_secs(30)));
     let _ = m.run(|p| {
         if p.id() == 3 {
             panic!("injected fault");
@@ -173,9 +168,8 @@ fn sim_time_scales_with_work_not_threads() {
     // the same total work on more simulated processors takes less
     // simulated time, regardless of the single host core
     let work_per_proc = |procs: usize| {
-        let m = Machine::new(
-            MachineConfig::procs(procs).unwrap().with_cost(CostModel::free_comm()),
-        );
+        let m =
+            Machine::new(MachineConfig::procs(procs).unwrap().with_cost(CostModel::free_comm()));
         m.run(|p| {
             let total = 1_000_000u64;
             p.charge(total / p.nprocs() as u64);
@@ -205,7 +199,9 @@ fn wire_trait_is_usable_downstream() {
             self.key.flatten(out);
             self.tags.flatten(out);
         }
-        fn unflatten(r: &mut skil_runtime::WireReader<'_>) -> Result<Self, skil_runtime::WireError> {
+        fn unflatten(
+            r: &mut skil_runtime::WireReader<'_>,
+        ) -> Result<Self, skil_runtime::WireError> {
             Ok(Node { key: u64::unflatten(r)?, tags: Vec::<u32>::unflatten(r)? })
         }
     }

@@ -5,8 +5,8 @@
 //!
 //! Run with `cargo run --release --example dynamic_lists`.
 
-use skil::core::{dl_filter, dl_gather, dl_len, dl_rebalance, farm, Kernel};
 use skil::array::DistList;
+use skil::core::{dl_filter, dl_gather, dl_len, dl_rebalance, farm, Kernel};
 use skil::runtime::{Machine, MachineConfig};
 
 fn is_prime(n: u64) -> bool {
@@ -15,7 +15,7 @@ fn is_prime(n: u64) -> bool {
     }
     let mut d = 2;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 1;
@@ -56,10 +56,7 @@ fn main() {
     }
     let total = run.results[0].3;
     println!("\nprimes below {n}: {total}");
-    println!(
-        "first prime squares (farmed): {:?}",
-        run.results[0].4.as_ref().expect("master")
-    );
+    println!("first prime squares (farmed): {:?}", run.results[0].4.as_ref().expect("master"));
     println!("simulated time: {:.4} s", machine.config().cost.seconds(run.report.sim_cycles));
 
     // sanity: the filter kept exactly the primes

@@ -20,22 +20,13 @@ fn main() {
         .expect("create");
 
         // array_map: square every element (into a second array)
-        let mut b = array_create(
-            p,
-            ArraySpec::d1(1024, Distr::Default),
-            Kernel::free(|_| 0u64),
-        )
-        .expect("create");
+        let mut b = array_create(p, ArraySpec::d1(1024, Distr::Default), Kernel::free(|_| 0u64))
+            .expect("create");
         array_map(p, Kernel::new(|&v: &u64, _| v * v, 70), &a, &mut b).expect("map");
 
         // array_fold: tree-reduce the sum; every processor learns it
-        array_fold(
-            p,
-            Kernel::free(|&v: &u64, _| v),
-            Kernel::new(|x: u64, y: u64| x + y, 70),
-            &b,
-        )
-        .expect("fold")
+        array_fold(p, Kernel::free(|&v: &u64, _| v), Kernel::new(|x: u64, y: u64| x + y, 70), &b)
+            .expect("fold")
     });
 
     let expect: u64 = (0..1024u64).map(|v| v * v).sum();

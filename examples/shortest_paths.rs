@@ -27,15 +27,22 @@ fn main() {
     println!("all-pairs shortest paths, n = {n}, 16 simulated T800s\n");
     println!("top-left 6x6 corner of the distance matrix:");
     for i in 0..6 {
-        let row: Vec<String> =
-            (0..6).map(|j| format!("{:>4}", skil.value[i * n + j])).collect();
+        let row: Vec<String> = (0..6).map(|j| format!("{:>4}", skil.value[i * n + j])).collect();
         println!("  {}", row.join(" "));
     }
     println!();
     println!("simulated run times:");
     println!("  Skil skeletons : {:>8.4} s", skil.sim_seconds);
-    println!("  old Parix-C    : {:>8.4} s  (Skil/C = {:.3})", c_old.sim_seconds, skil.sim_seconds / c_old.sim_seconds);
-    println!("  DPFL           : {:>8.4} s  (DPFL/Skil = {:.2})", dpfl.sim_seconds, dpfl.sim_seconds / skil.sim_seconds);
+    println!(
+        "  old Parix-C    : {:>8.4} s  (Skil/C = {:.3})",
+        c_old.sim_seconds,
+        skil.sim_seconds / c_old.sim_seconds
+    );
+    println!(
+        "  DPFL           : {:>8.4} s  (DPFL/Skil = {:.2})",
+        dpfl.sim_seconds,
+        dpfl.sim_seconds / skil.sim_seconds
+    );
     println!("\n(the paper's Table 1 shape: Skil slightly beats the old C and");
     println!(" runs ~6x faster than the functional DPFL)");
 }

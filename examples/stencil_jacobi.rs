@@ -15,19 +15,12 @@ fn main() {
     let run = machine.run(|p| {
         // plate: top edge at 100 degrees, everything else at 0
         let init = |ix: Index| if ix[0] == 0 { 100.0f64 } else { 0.0 };
-        let a = array_create(
-            p,
-            ArraySpec::d2(rows, cols, Distr::Default),
-            Kernel::new(init, 70),
-        )
-        .expect("create");
+        let a = array_create(p, ArraySpec::d2(rows, cols, Distr::Default), Kernel::new(init, 70))
+            .expect("create");
         let mut h = HaloArray::new(a, 1).expect("halo");
-        let mut out = array_create(
-            p,
-            ArraySpec::d2(rows, cols, Distr::Default),
-            Kernel::free(|_| 0.0f64),
-        )
-        .expect("create");
+        let mut out =
+            array_create(p, ArraySpec::d2(rows, cols, Distr::Default), Kernel::free(|_| 0.0f64))
+                .expect("create");
 
         let mut delta = f64::MAX;
         let mut iters = 0u32;
@@ -70,13 +63,8 @@ fn main() {
                 &mut diff,
             )
             .expect("zip");
-            delta = array_fold(
-                p,
-                Kernel::free(|&v: &f64, _| v),
-                Kernel::new(f64::max, 140),
-                &diff,
-            )
-            .expect("fold");
+            delta = array_fold(p, Kernel::free(|&v: &f64, _| v), Kernel::new(f64::max, 140), &diff)
+                .expect("fold");
             // swap: out becomes the current state
             array_copy(p, &out, h.inner_mut()).expect("copy");
             iters += 1;

@@ -35,12 +35,15 @@ pub use skil_runtime as runtime;
 
 /// The common imports for writing Skil programs in Rust.
 pub mod prelude {
-    pub use skil_array::{idx1, idx2, ArraySpec, Bounds, DistArray, Distribution, HaloArray, Index, Shape};
+    pub use skil_array::{
+        idx1, idx2, ArraySpec, Bounds, DistArray, Distribution, HaloArray, Index, Shape,
+    };
     pub use skil_core::{
         array_broadcast_part, array_copy, array_create, array_destroy, array_fold,
         array_fold_to_root, array_gen_mult, array_map, array_map_inplace,
-        array_map_inplace_with_cost, array_map_with_cost, array_permute_rows, array_scan, array_zip,
-        dc_seq, divide_conquer, farm, halo_exchange, stencil_map, switch_rows, DcOps, Kernel,
+        array_map_inplace_with_cost, array_map_with_cost, array_permute_rows, array_scan,
+        array_zip, dc_seq, divide_conquer, farm, halo_exchange, stencil_map, switch_rows, DcOps,
+        Kernel,
     };
     pub use skil_runtime::{
         CostModel, Distr, Machine, MachineConfig, Mesh, Proc, Run, RunReport, Wire,

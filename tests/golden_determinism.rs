@@ -1,0 +1,116 @@
+//! Golden determinism tests for the simulator data plane.
+//!
+//! The host-speed optimizations of the message path (bulk POD wire
+//! encoding, shared envelopes, indexed mailboxes, the persistent worker
+//! pool) must not change **anything** the simulation computes: virtual
+//! time and per-processor activity are functions of the program and the
+//! cost model only. These constants were captured from the original
+//! per-element/linear-scan/spawn-per-run data plane; any drift in
+//! `sim_cycles` or `ProcStats` under the rewritten one is a correctness
+//! bug, not a tuning difference.
+
+use skil::apps::{gauss_skil, shpaths_skil};
+use skil::runtime::{Machine, MachineConfig, RunReport};
+
+/// Per-processor fingerprint:
+/// `(id, finished_at, compute, wait, sends, bytes_sent, recvs)`.
+type Fp = (usize, u64, u64, u64, u64, u64, u64);
+
+fn fingerprint(r: &RunReport) -> Vec<Fp> {
+    r.procs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let s = p.stats;
+            (i, p.finished_at, s.compute, s.wait, s.sends, s.bytes_sent, s.recvs)
+        })
+        .collect()
+}
+
+#[test]
+fn shortest_paths_2x2_golden() {
+    let m = Machine::new(MachineConfig::square(2).unwrap());
+    let out = shpaths_skil(&m, 24, 0x51_1996);
+    assert_eq!(out.report.sim_cycles, 6_303_680);
+    assert_eq!(
+        fingerprint(&out.report),
+        vec![
+            (0, 6_278_680, 5_674_320, 604_360, 10, 11_600, 10),
+            (1, 6_293_920, 5_899_320, 394_600, 15, 17_400, 15),
+            (2, 6_256_920, 5_899_320, 357_600, 15, 17_400, 15),
+            (3, 6_303_680, 6_124_320, 179_360, 20, 23_200, 20),
+        ]
+    );
+    // The assembled distance matrix is part of the contract too.
+    let hash = out.value.iter().fold(0u64, |a, &b| a.wrapping_mul(31).wrapping_add(b));
+    assert_eq!(hash, 15_204_245_841_144_870_469);
+}
+
+#[test]
+fn gauss_2x2_golden() {
+    let m = Machine::new(MachineConfig::square(2).unwrap());
+    let out = gauss_skil(&m, 24, 0x51_1996);
+    assert_eq!(out.report.sim_cycles, 4_264_840);
+    assert_eq!(
+        fingerprint(&out.report),
+        vec![
+            (0, 4_245_552, 3_166_300, 1_079_252, 18, 3_744, 18),
+            (1, 4_243_552, 3_181_420, 1_062_132, 18, 3_744, 18),
+            (2, 4_264_840, 3_196_540, 1_068_300, 18, 3_744, 18),
+            (3, 4_223_424, 3_211_660, 1_011_764, 18, 3_744, 18),
+        ]
+    );
+}
+
+#[test]
+fn shortest_paths_3x3_golden() {
+    let m = Machine::new(MachineConfig::square(3).unwrap());
+    let out = shpaths_skil(&m, 18, 7);
+    assert_eq!(out.report.sim_cycles, 2_477_744);
+    assert_eq!(
+        fingerprint(&out.report),
+        vec![
+            (0, 2_450_488, 1_892_880, 557_608, 20, 5_920, 20),
+            (1, 2_475_232, 2_117_880, 357_352, 25, 7_400, 25),
+            (2, 2_474_976, 2_117_880, 357_096, 25, 7_400, 25),
+            (3, 2_438_232, 2_117_880, 320_352, 25, 7_400, 25),
+            (4, 2_477_744, 2_342_880, 134_864, 30, 8_880, 30),
+            (5, 2_477_488, 2_342_880, 134_608, 30, 8_880, 30),
+            (6, 2_452_744, 2_117_880, 334_864, 25, 7_400, 25),
+            (7, 2_477_488, 2_342_880, 134_608, 30, 8_880, 30),
+            (8, 2_477_232, 2_342_880, 134_352, 30, 8_880, 30),
+        ]
+    );
+}
+
+#[test]
+fn gauss_3x3_golden() {
+    let m = Machine::new(MachineConfig::square(3).unwrap());
+    let out = gauss_skil(&m, 18, 7);
+    assert_eq!(out.report.sim_cycles, 3_398_750);
+    assert_eq!(
+        fingerprint(&out.report),
+        vec![
+            (0, 3_357_230, 1_272_750, 2_084_480, 16, 2_560, 16),
+            (1, 3_355_230, 1_274_430, 2_080_800, 16, 2_560, 16),
+            (2, 3_373_990, 1_276_110, 2_097_880, 16, 2_560, 16),
+            (3, 3_355_230, 1_277_790, 2_077_440, 16, 2_560, 16),
+            (4, 3_373_990, 1_279_470, 2_094_520, 16, 2_560, 16),
+            (5, 3_375_990, 1_281_150, 2_094_840, 16, 2_560, 16),
+            (6, 3_398_750, 1_282_830, 2_115_920, 16, 2_560, 16),
+            (7, 3_246_230, 1_284_510, 1_961_720, 16, 2_560, 16),
+            (8, 3_331_630, 1_286_190, 2_045_440, 16, 2_560, 16),
+        ]
+    );
+}
+
+#[test]
+fn repeated_runs_on_one_machine_are_identical() {
+    // The persistent pool must not leak any state between runs.
+    let m = Machine::new(MachineConfig::square(2).unwrap());
+    let a = shpaths_skil(&m, 12, 3).report.sim_cycles;
+    let b = shpaths_skil(&m, 12, 3).report.sim_cycles;
+    let c = shpaths_skil(&m, 12, 3).report.sim_cycles;
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+}

@@ -126,10 +126,9 @@ void main() {{ gauss(); }}
     let mut m: Vec<f64> = (0..n * cols).map(|k| elem(k / cols, k % cols)).collect();
     for k in 0..n {
         // partial pivoting
-        let pivot = (k..n).max_by(|&a, &b| {
-            m[a * cols + k].abs().partial_cmp(&m[b * cols + k].abs()).unwrap()
-        })
-        .unwrap();
+        let pivot = (k..n)
+            .max_by(|&a, &b| m[a * cols + k].abs().partial_cmp(&m[b * cols + k].abs()).unwrap())
+            .unwrap();
         if pivot != k {
             for j in 0..cols {
                 m.swap(k * cols + j, pivot * cols + j);
@@ -149,10 +148,8 @@ void main() {{ gauss(); }}
     let expect: Vec<f64> = (0..n).map(|i| m[i * cols + n] / m[i * cols + i]).collect();
 
     // gather printed per-proc solutions (row-block order)
-    let got: Vec<f64> = out
-        .iter()
-        .flat_map(|lines| lines.iter().map(|l| l.parse::<f64>().unwrap()))
-        .collect();
+    let got: Vec<f64> =
+        out.iter().flat_map(|lines| lines.iter().map(|l| l.parse::<f64>().unwrap())).collect();
     assert_eq!(got.len(), n);
     for (g, e) in got.iter().zip(&expect) {
         assert!((g - e).abs() < 1e-9, "{g} vs {e}");

@@ -28,6 +28,46 @@ proptest! {
         prop_assert_eq!(back.2, s);
     }
 
+    /// The bulk POD fast path must emit encodings byte-identical to the
+    /// generic per-element path, and decode back to the same values.
+    #[test]
+    fn pod_fast_path_matches_generic_encoding(
+        f64s in proptest::collection::vec(any::<f64>(), 0..80),
+        u32s in proptest::collection::vec(any::<u32>(), 0..80),
+        i16s in proptest::collection::vec(any::<i16>(), 0..80),
+        u8s in proptest::collection::vec(any::<u8>(), 0..80),
+    ) {
+        fn generic_encode<T: Wire>(v: &[T]) -> Vec<u8> {
+            // The per-element reference path the bulk override replaces.
+            let mut out = Vec::new();
+            (v.len() as u64).flatten(&mut out);
+            for x in v {
+                x.flatten(&mut out);
+            }
+            out
+        }
+        fn check<T: Wire + Clone + PartialEq + std::fmt::Debug>(
+            v: &[T],
+        ) -> Result<(), TestCaseError> {
+            let reference = generic_encode(v);
+            let fast = v.to_vec().to_bytes();
+            prop_assert_eq!(&fast, &reference);
+            let back = Vec::<T>::from_bytes(&fast).unwrap();
+            prop_assert_eq!(&back[..], v);
+            Ok(())
+        }
+        check(&f64s).or_else(|e| {
+            // NaN payload bits must still roundtrip exactly; compare raw.
+            let bits: Vec<u64> = f64s.iter().map(|f| f.to_bits()).collect();
+            let back = Vec::<f64>::from_bytes(&f64s.to_bytes()).unwrap();
+            let back_bits: Vec<u64> = back.iter().map(|f| f.to_bits()).collect();
+            if back_bits == bits { Ok(()) } else { Err(e) }
+        })?;
+        check(&u32s)?;
+        check(&i16s)?;
+        check(&u8s)?;
+    }
+
     /// Wire decode never panics on arbitrary bytes (errors are fine).
     #[test]
     fn wire_decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
@@ -246,11 +286,11 @@ proptest! {
         let m = Machine::new(MachineConfig::procs(procs).unwrap());
         let run = m.run(|p| {
             let mut l = DistList::create(p, n, |i| i as u64).unwrap();
-            dl_filter(p, Kernel::free(move |&v: &u64| v % modulus == 0), &mut l).unwrap();
+            dl_filter(p, Kernel::free(move |&v: &u64| v.is_multiple_of(modulus)), &mut l).unwrap();
             dl_rebalance(p, &mut l).unwrap();
             (l.local_len(), dl_gather(p, 0, &l))
         });
-        let expect: Vec<u64> = (0..n as u64).filter(|v| v % modulus == 0).collect();
+        let expect: Vec<u64> = (0..n as u64).filter(|v| v.is_multiple_of(modulus)).collect();
         prop_assert_eq!(run.results[0].1.as_ref().unwrap(), &expect);
         let sizes: Vec<usize> = run.results.iter().map(|r| r.0).collect();
         let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());

@@ -46,10 +46,8 @@ fn every_shipped_program_runs_on_2x2() {
 #[test]
 fn gauss_program_needs_divisible_sizes() {
     // the shipped gauss program runs on machines whose size divides n
-    let (_, src) = programs()
-        .into_iter()
-        .find(|(n, _)| n == "gauss.skil")
-        .expect("gauss.skil shipped");
+    let (_, src) =
+        programs().into_iter().find(|(n, _)| n == "gauss.skil").expect("gauss.skil shipped");
     for procs in [1usize, 2, 4, 8, 16] {
         let machine = Machine::new(MachineConfig::procs(procs).unwrap());
         let compiled = compile(&src).unwrap();

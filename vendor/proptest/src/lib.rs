@@ -1,0 +1,508 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access, so the real proptest cannot
+//! be fetched. This shim implements the API subset the workspace's
+//! property tests use: the [`proptest!`] macro (with
+//! `#![proptest_config(...)]`), [`Strategy`] with range / [`Just`] /
+//! [`any`] / [`prop_oneof!`] / [`collection::vec`] / simple `".{a,b}"`
+//! string-pattern strategies, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Generation is a deterministic splitmix64/xorshift chain seeded from the
+//! test's name (override with `PROPTEST_SEED=<u64>`), so failures are
+//! reproducible run-to-run. There is **no shrinking**: a failing case
+//! reports its inputs via the assertion message and the case index.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Deterministic generator used by all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed a generator; a zero seed is remapped to a fixed constant.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Modulo bias is irrelevant at property-test scale.
+        self.next_u64() % bound
+    }
+}
+
+/// Hash a test path into a seed (FNV-1a), unless `PROPTEST_SEED` is set.
+pub fn rng_for(test_path: &str) -> TestRng {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = s.parse::<u64>() {
+            return TestRng::new(seed);
+        }
+    }
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    TestRng::new(h)
+}
+
+/// A failed property case; bubbled out of the test body by the
+/// `prop_assert*` macros.
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Number of cases to run per property.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Cases per property (default 256).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A value generator. Unlike real proptest there is no value tree and no
+/// shrinking; a strategy simply draws a value from the generator.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Integers drawable uniformly from a half-open range.
+pub trait UniformInt: Copy {
+    /// Map to i128 for range arithmetic.
+    fn to_i128(self) -> i128;
+    /// Map back from i128 (value is known to be in range).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 { self as i128 }
+            fn from_i128(v: i128) -> Self { v as $t }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: UniformInt> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let lo = self.start.to_i128();
+        let hi = self.end.to_i128();
+        assert!(lo < hi, "empty strategy range");
+        let span = (hi - lo) as u128;
+        let off = if span > u64::MAX as u128 {
+            // Spans wider than 64 bits: stitch two draws.
+            (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % span
+        } else {
+            rng.below(span as u64) as u128
+        };
+        T::from_i128(lo + off as i128)
+    }
+}
+
+/// Full-range "arbitrary" strategy for common primitives.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types [`any`] can produce.
+pub trait Arbitrary {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Raw bit patterns: exercises subnormals, infinities, and NaNs.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Bias toward ASCII but cover the full scalar-value space.
+        if rng.below(4) == 0 {
+            char::from_u32(rng.below(0x10FFFF) as u32).unwrap_or('\u{FFFD}')
+        } else {
+            (0x20u8 + rng.below(0x5F) as u8) as char
+        }
+    }
+}
+
+/// Uniform choice between boxed strategies of one value type; built by
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the (nonempty) option list.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+/// Tuples of strategies sharing one value type; the conduit that lets
+/// `prop_oneof![Just(1usize), Just(2)]` infer `2: usize` the way real
+/// proptest's `TupleUnion` does.
+pub trait IntoUnion<T> {
+    /// Convert to the boxed option list.
+    fn into_union(self) -> Union<T>;
+}
+
+macro_rules! into_union_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<T, $($name),+> IntoUnion<T> for ($($name,)+)
+        where
+            $($name: Strategy<Value = T> + 'static,)+
+        {
+            fn into_union(self) -> Union<T> {
+                Union::new(vec![$(Box::new(self.$idx) as Box<dyn Strategy<Value = T>>,)+])
+            }
+        }
+    };
+}
+
+into_union_tuple!(A: 0);
+into_union_tuple!(A: 0, B: 1);
+into_union_tuple!(A: 0, B: 1, C: 2);
+into_union_tuple!(A: 0, B: 1, C: 2, D: 3);
+into_union_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+into_union_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+into_union_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+into_union_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+into_union_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+into_union_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9);
+into_union_tuple!(
+    A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10, L: 11, M: 12,
+    N: 13, O: 14, P: 15, Q: 16, R: 17, S: 18, U: 19, V: 20, W: 21, X: 22
+);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let ix = rng.below(self.options.len() as u64) as usize;
+        self.options[ix].generate(rng)
+    }
+}
+
+/// Simple string-pattern strategy for `&'static str` patterns.
+///
+/// Supports the `".{a,b}"` shape the tests use (a string of `a..=b`
+/// arbitrary non-newline chars); any other pattern falls back to a short
+/// arbitrary string, which is sufficient for the totality properties it
+/// feeds.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_dot_range(self).unwrap_or((0, 16));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        let mut s = String::with_capacity(len);
+        for _ in 0..len {
+            let c = match rng.below(8) {
+                0 => char::from_u32(rng.below(0x10FFFF) as u32).unwrap_or('\u{FFFD}'),
+                1 => ['ß', 'λ', 'Ω', '→', '💥', '\t', '\\', '"'][rng.below(8) as usize],
+                _ => (0x20u8 + rng.below(0x5F) as u8) as char,
+            };
+            if c != '\n' {
+                s.push(c);
+            }
+        }
+        s
+    }
+}
+
+fn parse_dot_range(pat: &str) -> Option<(usize, usize)> {
+    let rest = pat.strip_prefix(".{")?.strip_suffix('}')?;
+    let (a, b) = rest.split_once(',')?;
+    Some((a.trim().parse().ok()?, b.trim().parse().ok()?))
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The strategy vocabulary, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Choose uniformly among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::IntoUnion::into_union(($($strategy,)+))
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}", stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)*), file!(), line!()
+            )));
+        }
+    };
+}
+
+/// Fail the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?} at {}:{}",
+                stringify!($a), stringify!($b), a, b, file!(), line!()
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?} at {}:{}",
+                stringify!($a), stringify!($b), format!($($fmt)*), a, b, file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// Fail the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?} at {}:{}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that draws `cases` inputs and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (@funcs ($config:expr) ) => {};
+    (@funcs ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let path = concat!(module_path!(), "::", stringify!($name));
+            let mut rng = $crate::rng_for(path);
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                if let Err(e) = outcome {
+                    panic!(
+                        "property {} failed on case {}/{} (seed by test name; \
+                         set PROPTEST_SEED to replay): {}",
+                        path, case, config.cases, e
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in 3usize..17) {
+            prop_assert!((3..17).contains(&v));
+        }
+
+        #[test]
+        fn oneof_picks_listed(v in prop_oneof![Just(1u8), Just(5), Just(9)]) {
+            prop_assert!(v == 1 || v == 5 || v == 9);
+        }
+
+        #[test]
+        fn vec_respects_size(v in crate::collection::vec(any::<i64>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn string_pattern_len(s in ".{0,24}") {
+            prop_assert!(s.chars().count() <= 24);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_path() {
+        let mut a = crate::rng_for("x::y");
+        let mut b = crate::rng_for("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,99 @@
+//! Structured observability artifacts for the two headline applications.
+//!
+//! Runs shortest paths and Gaussian elimination on a 2×2 mesh twice —
+//! once untraced, once traced — asserts that tracing leaves the
+//! simulated time bit-identical (observability must be free in virtual
+//! time), and writes four JSON artifacts under `results/`:
+//!
+//! * `metrics_shpaths.json` / `metrics_gauss.json` — per-skeleton
+//!   cycles/messages/bytes, per-processor counters and the src→dst
+//!   communication matrix (schema `skil-metrics-v1`);
+//! * `trace_shpaths.json` / `trace_gauss.json` — Chrome `trace_events`
+//!   files loadable in `chrome://tracing` / Perfetto (schema
+//!   `skil-trace-v1`).
+//!
+//! Run with
+//! `cargo run --release -p skil-bench --bin trace_report -- [--out-dir DIR]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use skil_apps::{gauss_skil, shpaths_skil};
+use skil_bench::SEED;
+use skil_runtime::{Machine, MachineConfig, RunReport};
+
+/// Problem size used for both applications (matches the golden tests).
+const N: usize = 24;
+
+fn traced_run(app: &str) -> RunReport {
+    let plain = Machine::new(MachineConfig::square(2).expect("2x2 mesh"));
+    let traced = Machine::new(MachineConfig::square(2).expect("2x2 mesh").with_trace());
+    let (plain_cycles, report) = match app {
+        "shpaths" => {
+            (shpaths_skil(&plain, N, SEED).report.sim_cycles, shpaths_skil(&traced, N, SEED).report)
+        }
+        "gauss" => {
+            (gauss_skil(&plain, N, SEED).report.sim_cycles, gauss_skil(&traced, N, SEED).report)
+        }
+        other => unreachable!("unknown app {other}"),
+    };
+    assert_eq!(
+        plain_cycles, report.sim_cycles,
+        "{app}: tracing must not perturb virtual time (off={plain_cycles}, on={})",
+        report.sim_cycles
+    );
+    report
+}
+
+fn main() -> ExitCode {
+    let mut out_dir = PathBuf::from("results");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => out_dir = PathBuf::from(d),
+                    None => {
+                        eprintln!("trace_report: --out-dir needs an argument");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("usage: trace_report [--out-dir DIR] (got {other:?})");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("trace_report: cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    for app in ["shpaths", "gauss"] {
+        let report = traced_run(app);
+        let metrics_path = out_dir.join(format!("metrics_{app}.json"));
+        let trace_path = out_dir.join(format!("trace_{app}.json"));
+        std::fs::write(&metrics_path, report.metrics_json()).expect("write metrics");
+        std::fs::write(&trace_path, report.chrome_trace_json()).expect("write trace");
+        println!(
+            "{app}: n={N} on 2x2, {} cycles ({:.4}s simulated), {} msgs / {} bytes",
+            report.sim_cycles,
+            report.sim_seconds,
+            report.total_msgs(),
+            report.total_bytes()
+        );
+        for (label, m) in report.skeleton_metrics() {
+            println!(
+                "  {label:<10} x{:<4} {:>10} cycles  {:>4} msgs  {:>8} bytes sent",
+                m.invocations, m.cycles, m.sends, m.bytes_sent
+            );
+        }
+        println!("  -> {} + {}", metrics_path.display(), trace_path.display());
+    }
+    println!("\nOpen the trace files in chrome://tracing or https://ui.perfetto.dev");
+    ExitCode::SUCCESS
+}

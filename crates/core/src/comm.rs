@@ -18,7 +18,7 @@ where
     T: Wire + Clone,
 {
     let root = a.owner(ix)?;
-    let t0 = proc.now();
+    let span = proc.span_begin();
     let payload = if proc.id() == root { Some(a.local_data().to_vec()) } else { None };
     let received: Vec<T> = proc.broadcast(root, tags::BCAST_PART, payload);
     if received.len() != a.local_len() {
@@ -29,7 +29,7 @@ where
         )));
     }
     proc.charge(proc.cost().memcpy_elem * received.len() as u64);
-    proc.trace_event("bcast", t0);
+    proc.span_end("bcast", span);
     a.replace_local_data(received)
 }
 
@@ -70,7 +70,7 @@ where
         }
         inverse[img] = i;
     }
-    let t0 = proc.now();
+    let span = proc.span_begin();
     let memcpy_elem = proc.cost().memcpy_elem;
     let check_cost = proc.cost().call + 2 * proc.cost().int_op;
     proc.charge(check_cost * n as u64);
@@ -118,7 +118,7 @@ where
         to.local_data_mut()[tstart..tstart + cols].clone_from_slice(&seg);
         proc.charge(memcpy_elem * cols as u64);
     }
-    proc.trace_event("permute", t0);
+    proc.span_end("permute", span);
     Ok(())
 }
 

@@ -23,10 +23,10 @@ pub fn array_copy<T: Clone>(
             to.shape()
         )));
     }
-    let t0 = proc.now();
+    let span = proc.span_begin();
     to.local_data_mut().clone_from_slice(from.local_data());
     proc.charge(proc.cost().memcpy_elem * from.local_len() as u64);
-    proc.trace_event("copy", t0);
+    proc.span_end("copy", span);
     Ok(())
 }
 

@@ -26,14 +26,14 @@ where
     F: FnMut(Index) -> T,
 {
     let mut f = init_elem.f;
-    let t0 = proc.now();
+    let span = proc.span_begin();
     let arr = DistArray::create(proc, spec, &mut f)?;
     let c = proc.cost();
     // Per element: the residual call to the (instantiated) init function,
     // index bookkeeping, and the store of the element.
     let per_elem = c.call + c.index_calc + c.store + init_elem.cycles;
     proc.charge(per_elem * arr.local_len() as u64);
-    proc.trace_event("create", t0);
+    proc.span_end("create", span);
     Ok(arr)
 }
 

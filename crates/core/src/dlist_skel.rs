@@ -16,11 +16,13 @@ where
     F: FnMut(&T) -> T,
 {
     let mut f = map_f.f;
+    let span = proc.span_begin();
     let n = l.local_len() as u64;
     for v in l.local_data_mut().iter_mut() {
         *v = f(v);
     }
     proc.charge((map_elem_overhead(proc) + map_f.cycles) * n);
+    proc.span_end("dl_map", span);
     Ok(())
 }
 
@@ -31,9 +33,11 @@ where
     F: FnMut(&T) -> bool,
 {
     let mut f = pred.f;
+    let span = proc.span_begin();
     let n = l.local_len() as u64;
     l.local_data_mut().retain(|v| f(v));
     proc.charge((map_elem_overhead(proc) + pred.cycles) * n);
+    proc.span_end("dl_filter", span);
     Ok(())
 }
 
@@ -45,6 +49,7 @@ where
     F: FnMut(T, T) -> T,
 {
     let mut f = fold_f.f;
+    let span = proc.span_begin();
     let c = proc.cost();
     let op_cost = c.call + c.load + fold_f.cycles;
     let mut acc: Option<T> = None;
@@ -55,7 +60,7 @@ where
         });
     }
     proc.charge(op_cost * (l.local_len() as u64).saturating_sub(1));
-    Ok(proc.allreduce(
+    let out = proc.allreduce(
         tags::FOLD + 0x10,
         acc,
         |x, y| match (x, y) {
@@ -64,7 +69,9 @@ where
             (None, b) => b,
         },
         op_cost,
-    ))
+    );
+    proc.span_end("dl_reduce", span);
+    Ok(out)
 }
 
 /// Total number of elements across all processors (known everywhere).
@@ -81,6 +88,7 @@ where
 {
     let me = proc.id();
     let nprocs = proc.nprocs();
+    let span = proc.span_begin();
     // 1. every processor learns every segment length
     let lens: Vec<u64> = proc
         .allreduce(
@@ -142,6 +150,7 @@ where
     proc.charge(c.memcpy_elem * new_local.len() as u64);
     debug_assert_eq!(new_local.len(), DistList::<T>::balanced_len(total as usize, nprocs, me));
     l.replace_local(new_local);
+    proc.span_end("dl_rebalance", span);
     Ok(())
 }
 
@@ -151,8 +160,11 @@ pub fn dl_gather<T>(proc: &mut Proc<'_>, root: usize, l: &DistList<T>) -> Option
 where
     T: Wire + Clone,
 {
+    let span = proc.span_begin();
     let parts = proc.gather(root, tags::FOLD + 0x14, l.local_data().to_vec());
-    parts.map(|segs| segs.into_iter().flatten().collect())
+    let out = parts.map(|segs| segs.into_iter().flatten().collect());
+    proc.span_end("dl_gather", span);
+    out
 }
 
 #[cfg(test)]

@@ -58,7 +58,7 @@ where
     let conv_cost = c.call + 2 * c.load + c.index_calc + conv_f.cycles;
     let fold_cost = c.call + c.load + fold_f.cycles;
 
-    let t0 = proc.now();
+    let span = proc.span_begin();
     let mut acc: Option<U> = None;
     let mut elems = 0u64;
     for (ix, v) in a.iter_local() {
@@ -84,7 +84,7 @@ where
         },
         fold_cost,
     );
-    proc.trace_event("fold", t0);
+    proc.span_end("fold", span);
     combined.ok_or_else(|| ArrayError::BadSpec("array_fold over an empty array".into()))
 }
 

@@ -76,7 +76,7 @@ where
     let torus = Torus2d::new(proc.mesh(), true);
     let cost = proc.cost().clone();
 
-    let t0 = proc.now();
+    let span = proc.span_begin();
     let mut add = gen_add.f;
     let mut mul = gen_mult.f;
 
@@ -150,7 +150,7 @@ where
         a_loc = proc.recv(east, tags::GEN_MULT_A + step as u64);
         b_loc = proc.recv(south, tags::GEN_MULT_B + step as u64);
     }
-    proc.trace_event("gen_mult", t0);
+    proc.span_end("gen_mult", span);
     Ok(())
 }
 

@@ -15,7 +15,7 @@ pub fn halo_exchange<T>(proc: &mut Proc<'_>, h: &mut HaloArray<T>) -> Result<()>
 where
     T: Wire + Clone,
 {
-    let t0 = proc.now();
+    let span = proc.span_begin();
     let bounds = h.inner().part_bounds()?;
     let grid_rows = h.inner().layout().grid[0];
     let me_row = h.inner().layout().grid_coords(h.inner().proc_id())[0];
@@ -51,7 +51,7 @@ where
         h.set_south(rows)?;
     }
     proc.charge(proc.cost().memcpy_elem * moved);
-    proc.trace_event("halo", t0);
+    proc.span_end("halo", span);
     Ok(())
 }
 
@@ -71,7 +71,7 @@ where
         return Err(ArrayError::NotConformable("stencil_map operands".into()));
     }
     let mut f = stencil_f.f;
-    let t0 = proc.now();
+    let span = proc.span_begin();
     let n = h.inner().local_len() as u64;
     let layout = *h.inner().layout();
     {
@@ -81,7 +81,7 @@ where
         }
     }
     proc.charge((map_elem_overhead(proc) + stencil_f.cycles) * n);
-    proc.trace_event("stencil", t0);
+    proc.span_end("stencil", span);
     Ok(())
 }
 

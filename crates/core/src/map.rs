@@ -60,7 +60,7 @@ where
         )));
     }
     let mut f = map_f.f;
-    let t0 = proc.now();
+    let span = proc.span_begin();
     let n = from.local_len() as u64;
     {
         let src = from.local_data();
@@ -70,7 +70,7 @@ where
         }
     }
     proc.charge((map_elem_overhead(proc) + map_f.cycles) * n);
-    proc.trace_event("map", t0);
+    proc.span_end("map", span);
     Ok(())
 }
 
@@ -85,11 +85,13 @@ where
     F: FnMut(&T, Index) -> T,
 {
     let mut f = map_f.f;
+    let span = proc.span_begin();
     let n = arr.local_len() as u64;
     for (ix, v) in arr.iter_local_mut() {
         *v = f(v, ix);
     }
     proc.charge((map_elem_overhead(proc) + map_f.cycles) * n);
+    proc.span_end("map", span);
     Ok(())
 }
 
@@ -114,7 +116,7 @@ where
         )));
     }
     let mut extra = 0u64;
-    let t0 = proc.now();
+    let span = proc.span_begin();
     let n = from.local_len() as u64;
     {
         let src = from.local_data();
@@ -126,7 +128,7 @@ where
         }
     }
     proc.charge((map_elem_overhead(proc) + base_cycles) * n + extra);
-    proc.trace_event("map", t0);
+    proc.span_end("map", span);
     Ok(())
 }
 
@@ -143,6 +145,7 @@ where
     F: FnMut(&T, Index) -> (T, u64),
 {
     let mut extra = 0u64;
+    let span = proc.span_begin();
     let n = arr.local_len() as u64;
     for (ix, v) in arr.iter_local_mut() {
         let (nv, cycles) = map_f(v, ix);
@@ -150,6 +153,7 @@ where
         extra += cycles;
     }
     proc.charge((map_elem_overhead(proc) + base_cycles) * n + extra);
+    proc.span_end("map", span);
     Ok(())
 }
 
@@ -170,6 +174,7 @@ where
         return Err(ArrayError::NotConformable("array_zip operands".into()));
     }
     let mut f = zip_f.f;
+    let span = proc.span_begin();
     let n = a.local_len() as u64;
     {
         let sa = a.local_data();
@@ -181,6 +186,7 @@ where
     }
     // One extra operand load per element compared to plain map.
     proc.charge((map_elem_overhead(proc) + proc.cost().load + zip_f.cycles) * n);
+    proc.span_end("zip", span);
     Ok(())
 }
 

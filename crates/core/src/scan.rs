@@ -33,7 +33,7 @@ where
         ));
     }
     let mut f = scan_f.f;
-    let t0 = proc.now();
+    let span = proc.span_begin();
     let c = proc.cost().clone();
     let op_cost = c.call + c.load + scan_f.cycles;
     let n_local = from.local_len() as u64;
@@ -86,7 +86,7 @@ where
         }
         proc.charge((op_cost + c.store) * n_local);
     }
-    proc.trace_event("scan", t0);
+    proc.span_end("scan", span);
     Ok(())
 }
 

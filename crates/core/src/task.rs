@@ -48,6 +48,7 @@ where
     let mut work = worker.f;
     let c = proc.cost();
     let per_task = c.call + worker.cycles;
+    let span = proc.span_begin();
 
     // Scatter: one message per worker with its whole round-robin share.
     let my_tasks: Vec<T> = if me == master {
@@ -97,9 +98,11 @@ where
             out.push(shares[id][cursors[id]].clone());
             cursors[id] += 1;
         }
+        proc.span_end("farm", span);
         Ok(Some(out))
     } else {
         proc.send(master, tags::FARM + 1, &my_results);
+        proc.span_end("farm", span);
         Ok(None)
     }
 }
@@ -142,12 +145,14 @@ where
 {
     let n = proc.nprocs();
     let me = proc.id();
+    let span = proc.span_begin();
     if me == 0 {
         let problem = problem.expect("divide_conquer: processor 0 must supply the problem");
         let results = dc_range(proc, 0, n, vec![problem], 0, ops);
         release(proc, 0, n, 0);
         let mut results = results;
         debug_assert_eq!(results.len(), 1);
+        proc.span_end("dc", span);
         Ok(Some(results.remove(0)))
     } else {
         assert!(problem.is_none(), "divide_conquer: only processor 0 supplies the problem");
@@ -158,6 +163,7 @@ where
             let mid = lo + (hi - lo).div_ceil(2);
             if me == mid {
                 serve(proc, lo, mid, hi, depth, ops);
+                proc.span_end("dc", span);
                 return Ok(None);
             }
             if me < mid {
@@ -167,6 +173,7 @@ where
             }
             depth += 1;
         }
+        proc.span_end("dc", span);
         Ok(None)
     }
 }

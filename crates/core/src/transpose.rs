@@ -28,7 +28,7 @@ where
     if shape.ndim != 2 || shape.size[0] != shape.size[1] {
         return Err(ArrayError::BadSpec("array_transpose requires a square matrix".into()));
     }
-    let t0 = proc.now();
+    let span = proc.span_begin();
     let me = proc.id();
     let nprocs = proc.nprocs();
     let layout = *from.layout();
@@ -77,7 +77,7 @@ where
         }
     }
     proc.charge(c.memcpy_elem * (moved + received));
-    proc.trace_event("transpose", t0);
+    proc.span_end("transpose", span);
     Ok(())
 }
 

@@ -6,6 +6,7 @@
 //! skilc --run --mesh RxC <file.skil> choose the machine shape
 //! skilc --check <file.skil>          parse + type check only
 //! skilc --run --trace <file.skil>    also print a virtual-time timeline
+//! skilc --run --trace-out FILE ...   write a Chrome trace_events JSON
 //! ```
 
 use skil_lang::compile;
@@ -19,7 +20,9 @@ fn usage() -> ExitCode {
          default: emit the instantiated first-order C to stdout\n\
          --check: stop after the polymorphic type check\n\
          --run:   execute SPMD on a simulated transputer mesh (default 2x2)\n\
-         --mesh:  machine shape for --run, e.g. --mesh 4x4 or --mesh 8x4"
+         --mesh:  machine shape for --run, e.g. --mesh 4x4 or --mesh 8x4\n\
+         --trace-out FILE: write the traced run as Chrome trace_events\n\
+                  JSON (open in chrome://tracing); implies tracing"
     );
     ExitCode::from(2)
 }
@@ -29,6 +32,7 @@ fn main() -> ExitCode {
     let mut check_only = false;
     let mut run = false;
     let mut trace = false;
+    let mut trace_out: Option<String> = None;
     let mut mesh = (2usize, 2usize);
     let mut file: Option<String> = None;
 
@@ -38,6 +42,11 @@ fn main() -> ExitCode {
             "--check" => check_only = true,
             "--run" => run = true,
             "--trace" => trace = true,
+            "--trace-out" => {
+                i += 1;
+                let Some(path) = args.get(i) else { return usage() };
+                trace_out = Some(path.clone());
+            }
             "--mesh" => {
                 i += 1;
                 let Some(spec) = args.get(i) else { return usage() };
@@ -85,7 +94,7 @@ fn main() -> ExitCode {
     if run {
         let cfg = match MachineConfig::mesh(mesh.0, mesh.1) {
             Ok(c) => {
-                if trace {
+                if trace || trace_out.is_some() {
                     c.with_trace()
                 } else {
                     c
@@ -114,6 +123,13 @@ fn main() -> ExitCode {
         );
         if trace {
             eprint!("{}", run_result.report.render_timeline(64));
+        }
+        if let Some(path) = trace_out {
+            if let Err(e) = std::fs::write(&path, run_result.report.chrome_trace_json()) {
+                eprintln!("skilc: cannot write trace to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("skilc: wrote Chrome trace to {path}");
         }
         return ExitCode::SUCCESS;
     }

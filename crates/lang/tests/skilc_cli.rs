@@ -65,6 +65,34 @@ fn trace_mode_prints_timeline() {
 }
 
 #[test]
+fn trace_out_writes_chrome_trace_json() {
+    let src = "int initf(Index ix) { return ix[0]; }\n\
+               int conv(int v, Index ix) { return v; }\n\
+               void main() {\n\
+                 array<int> a = array_create(1, {64,1}, {0,0}, {0-1,0-1}, initf, DISTR_DEFAULT);\n\
+                 int s = array_fold(conv, (+), a);\n\
+                 if (procId == 0) { print(s); }\n\
+               }";
+    let path = write_temp("trace_out.skil", src);
+    let json_path = std::env::temp_dir().join("skilc-tests").join("trace_out.json");
+    let _ = std::fs::remove_file(&json_path);
+    let out = skilc()
+        .arg("--run")
+        .arg("--trace-out")
+        .arg(&json_path)
+        .arg(&path)
+        .output()
+        .expect("run skilc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("wrote Chrome trace"), "{stderr}");
+    let json = std::fs::read_to_string(&json_path).expect("trace file written");
+    assert!(json.contains("\"traceEvents\""), "{json}");
+    assert!(json.contains("\"fold\""), "{json}");
+    assert!(json.contains("skil-trace-v1"), "{json}");
+}
+
+#[test]
 fn type_errors_exit_nonzero_with_position() {
     let path = write_temp("bad.skil", "void main() { int x = 1.5; }");
     let out = skilc().arg(&path).output().expect("run skilc");

@@ -22,6 +22,7 @@ impl Proc<'_> {
     /// Broadcast `val` from `root` to every processor. Exactly the root
     /// must pass `Some`; everyone receives the value.
     pub fn broadcast<T: Wire>(&mut self, root: usize, tag: u64, val: Option<T>) -> T {
+        let span = self.span_begin();
         let tree = BinomialTree::new(self.nprocs(), root);
         // Send to the largest subtree first: its delivery chain is the
         // longest, so it must leave the (serializing) sender earliest.
@@ -48,6 +49,7 @@ impl Proc<'_> {
                 self.send_shared(child, tag, Arc::clone(&payload));
             }
         }
+        self.span_end("broadcast", span);
         v
     }
 
@@ -65,6 +67,7 @@ impl Proc<'_> {
         T: Wire,
         F: FnMut(T, T) -> T,
     {
+        let span = self.span_begin();
         let tree = BinomialTree::new(self.nprocs(), root);
         let mut acc = mine;
         // Children arrive in reverse round order: the child with the
@@ -76,13 +79,15 @@ impl Proc<'_> {
             self.charge(op_cycles);
             acc = combine(acc, theirs);
         }
-        match tree.parent(self.id()) {
+        let out = match tree.parent(self.id()) {
             Some(parent) => {
                 self.send(parent, tag, &acc);
                 None
             }
             None => Some(acc),
-        }
+        };
+        self.span_end("reduce", span);
+        out
     }
 
     /// Reduce to `root` and broadcast the result back to every processor
@@ -94,14 +99,17 @@ impl Proc<'_> {
         T: Wire + Clone,
         F: FnMut(T, T) -> T,
     {
+        let span = self.span_begin();
         let root = 0;
         let reduced = self.reduce(root, tag, mine, combine, op_cycles);
-        if self.id() == root {
+        let out = if self.id() == root {
             let v = reduced.expect("root holds the reduction");
             self.broadcast(root, tag | PHASE, Some(v))
         } else {
             self.broadcast(root, tag | PHASE, None)
-        }
+        };
+        self.span_end("allreduce", span);
+        out
     }
 
     /// Synchronize all processors: no processor continues (in virtual

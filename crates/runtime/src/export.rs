@@ -1,0 +1,290 @@
+//! Structured exports of a [`RunReport`].
+//!
+//! Two hand-rolled (dependency-free) JSON documents:
+//!
+//! * [`RunReport::metrics_json`] — a metrics document: run totals,
+//!   per-processor counters, per-skeleton aggregates and the src→dst
+//!   communication matrix (schema `skil-metrics-v1`);
+//! * [`RunReport::chrome_trace_json`] — the traced spans in the Chrome
+//!   `trace_events` format, loadable in `chrome://tracing` or Perfetto,
+//!   with virtual cycles mapped to microseconds via the machine's clock
+//!   rate (schema `skil-trace-v1`).
+//!
+//! Both emitters iterate processors in id order and spans in recorded
+//! order and aggregate labels through a `BTreeMap`, so for a
+//! deterministic simulation the output bytes are deterministic too —
+//! the observability golden tests rely on that.
+
+use std::fmt::Write;
+
+use crate::report::RunReport;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float as a JSON number. Rust's `Display` for `f64` never
+/// produces exponent notation, so the output is valid JSON; non-finite
+/// values (which JSON cannot represent) become `null`.
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Render a `u64` matrix row-major slice as nested JSON arrays.
+fn matrix_json(n: usize, cells: &[u64]) -> String {
+    let mut out = String::from("[");
+    for src in 0..n {
+        if src > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for dst in 0..n {
+            if dst > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", cells[src * n + dst]);
+        }
+        out.push(']');
+    }
+    out.push(']');
+    out
+}
+
+impl RunReport {
+    /// Serialize the run's metrics as a JSON document: totals,
+    /// per-processor counters, per-skeleton aggregates (from the traced
+    /// spans), and the communication matrix (`null` unless the run was
+    /// traced). Output is byte-deterministic for a deterministic run.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"skil-metrics-v1\",");
+        let _ = writeln!(out, "  \"sim_cycles\": {},", self.sim_cycles);
+        let _ = writeln!(out, "  \"sim_seconds\": {},", num(self.sim_seconds));
+        let _ = writeln!(out, "  \"clock_hz\": {},", num(self.clock_hz));
+        let _ = writeln!(out, "  \"nprocs\": {},", self.procs.len());
+        let _ = writeln!(
+            out,
+            "  \"totals\": {{\"msgs\": {}, \"bytes_sent\": {}, \"bytes_recvd\": {}, \
+             \"compute_cycles\": {}, \"wait_cycles\": {}, \"efficiency\": {}}},",
+            self.total_msgs(),
+            self.total_bytes(),
+            self.total_bytes_recvd(),
+            self.total_compute(),
+            self.total_wait(),
+            num(self.efficiency())
+        );
+        out.push_str("  \"procs\": [\n");
+        for (id, p) in self.procs.iter().enumerate() {
+            let s = p.stats;
+            let _ = writeln!(
+                out,
+                "    {{\"id\": {id}, \"finished_at\": {}, \"compute\": {}, \"wait\": {}, \
+                 \"sends\": {}, \"recvs\": {}, \"bytes_sent\": {}, \"bytes_recvd\": {}}}{}",
+                p.finished_at,
+                s.compute,
+                s.wait,
+                s.sends,
+                s.recvs,
+                s.bytes_sent,
+                s.bytes_recvd,
+                if id + 1 < self.procs.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ],\n");
+        let skel = self.skeleton_metrics();
+        out.push_str("  \"skeletons\": {");
+        for (i, (label, m)) in skel.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    \"{}\": {{\"invocations\": {}, \"cycles\": {}, \"sends\": {}, \
+                 \"recvs\": {}, \"bytes_sent\": {}, \"bytes_recvd\": {}}}",
+                if i > 0 { "," } else { "" },
+                esc(label),
+                m.invocations,
+                m.cycles,
+                m.sends,
+                m.recvs,
+                m.bytes_sent,
+                m.bytes_recvd
+            );
+        }
+        out.push_str(if skel.is_empty() { "},\n" } else { "\n  },\n" });
+        match self.comm_matrix() {
+            Some(cm) => {
+                let _ = writeln!(
+                    out,
+                    "  \"comm_matrix\": {{\"msgs\": {}, \"bytes\": {}}}",
+                    matrix_json(cm.n, &cm.msgs),
+                    matrix_json(cm.n, &cm.bytes)
+                );
+            }
+            None => out.push_str("  \"comm_matrix\": null\n"),
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Serialize the traced spans in Chrome's `trace_events` format
+    /// (load the file in `chrome://tracing` or <https://ui.perfetto.dev>).
+    /// Each span becomes a complete (`"ph": "X"`) event on the thread of
+    /// its processor; `ts`/`dur` are microseconds of simulated time
+    /// (`cycles * 1e6 / clock_hz`). Per-span traffic counters ride along
+    /// in `args`. Output is byte-deterministic for a deterministic run.
+    pub fn chrome_trace_json(&self) -> String {
+        // 20 MHz T800: one cycle is 0.05 us, so three decimals are exact.
+        let us_per_cycle = if self.clock_hz > 0.0 { 1e6 / self.clock_hz } else { 0.0 };
+        let mut out = String::from("{\n");
+        let _ = writeln!(
+            out,
+            "  \"otherData\": {{\"schema\": \"skil-trace-v1\", \"sim_cycles\": {}, \
+             \"clock_hz\": {}, \"nprocs\": {}}},",
+            self.sim_cycles,
+            num(self.clock_hz),
+            self.procs.len()
+        );
+        out.push_str("  \"displayTimeUnit\": \"ms\",\n");
+        out.push_str("  \"traceEvents\": [\n");
+        let mut first = true;
+        let mut push = |line: String, first: &mut bool| {
+            if !*first {
+                out.push_str(",\n");
+            }
+            *first = false;
+            out.push_str("    ");
+            out.push_str(&line);
+        };
+        push(
+            "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \
+             \"args\": {\"name\": \"skil-sim\"}}"
+                .into(),
+            &mut first,
+        );
+        for id in 0..self.procs.len() {
+            push(
+                format!(
+                    "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": {id}, \
+                     \"args\": {{\"name\": \"proc {id}\"}}}}"
+                ),
+                &mut first,
+            );
+        }
+        for (id, p) in self.procs.iter().enumerate() {
+            for ev in &p.trace {
+                push(
+                    format!(
+                        "{{\"name\": \"{}\", \"ph\": \"X\", \"pid\": 0, \"tid\": {id}, \
+                         \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {{\"cycles\": {}, \
+                         \"sends\": {}, \"recvs\": {}, \"bytes_sent\": {}, \
+                         \"bytes_recvd\": {}}}}}",
+                        esc(&ev.label),
+                        ev.start as f64 * us_per_cycle,
+                        ev.cycles() as f64 * us_per_cycle,
+                        ev.cycles(),
+                        ev.sends,
+                        ev.recvs,
+                        ev.bytes_sent,
+                        ev.bytes_recvd
+                    ),
+                    &mut first,
+                );
+            }
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::{Machine, MachineConfig};
+
+    fn traced_run() -> crate::RunReport {
+        let m = Machine::new(MachineConfig::mesh(1, 2).unwrap().with_trace());
+        m.run(|p| {
+            let span = p.span_begin();
+            if p.id() == 0 {
+                p.send(1, 1, &[1u32, 2]);
+            } else {
+                let _: [u32; 2] = p.recv(0, 1);
+            }
+            p.span_end("xchg", span);
+        })
+        .report
+    }
+
+    #[test]
+    fn metrics_json_contains_all_sections() {
+        let j = traced_run().metrics_json();
+        for key in [
+            "skil-metrics-v1",
+            "\"totals\"",
+            "\"procs\"",
+            "\"skeletons\"",
+            "\"xchg\"",
+            "\"comm_matrix\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert!(!j.contains("null"), "traced run must have a matrix: {j}");
+    }
+
+    #[test]
+    fn metrics_json_without_tracing_has_null_matrix() {
+        let m = Machine::new(MachineConfig::mesh(1, 2).unwrap());
+        let r = m
+            .run(|p| {
+                if p.id() == 0 {
+                    p.send(1, 1, &1u8);
+                } else {
+                    let _: u8 = p.recv(0, 1);
+                }
+            })
+            .report;
+        let j = r.metrics_json();
+        assert!(j.contains("\"comm_matrix\": null"), "{j}");
+        assert!(j.contains("\"skeletons\": {}"), "{j}");
+    }
+
+    #[test]
+    fn chrome_trace_has_spans_and_metadata() {
+        let j = traced_run().chrome_trace_json();
+        for key in ["\"traceEvents\"", "\"ph\": \"X\"", "\"ph\": \"M\"", "\"xchg\"", "proc 1"] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = traced_run();
+        let b = traced_run();
+        assert_eq!(a.metrics_json(), b.metrics_json());
+        assert_eq!(a.chrome_trace_json(), b.chrome_trace_json());
+    }
+
+    #[test]
+    fn label_escaping() {
+        let mut r = traced_run();
+        r.procs[0].trace[0].label = "we\"ird\\lab\nel".into();
+        let j = r.chrome_trace_json();
+        assert!(j.contains("we\\\"ird\\\\lab\\nel"), "{j}");
+    }
+}

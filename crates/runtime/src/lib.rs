@@ -23,13 +23,18 @@
 //! * [`topology`] — the physical mesh plus ring/torus virtual topologies
 //!   with realistic embedding costs, and the binomial collective tree;
 //! * [`CostModel`] — per-operation cycle charges calibrated against the
-//!   paper's Tables 1 and 2 (see `DESIGN.md` / `EXPERIMENTS.md`).
+//!   paper's Tables 1 and 2 (see `DESIGN.md` / `EXPERIMENTS.md`);
+//! * [`export`] — observability exports of a [`RunReport`]: a metrics
+//!   JSON (per-skeleton cycles/messages/bytes plus the src→dst
+//!   communication matrix) and a Chrome `trace_events` JSON of the
+//!   traced spans (see `DESIGN.md` §9).
 
 #![warn(missing_docs)]
 
 pub mod collective;
 pub mod cost;
 pub mod error;
+pub mod export;
 pub mod machine;
 pub mod mailbox;
 pub mod proc;
@@ -40,7 +45,9 @@ pub mod wire;
 pub use cost::CostModel;
 pub use error::{RtError, WireError};
 pub use machine::{Machine, MachineConfig, Run};
-pub use proc::Proc;
-pub use report::{ProcReport, ProcStats, RunReport, TraceEvent};
+pub use proc::{Proc, SpanStart};
+pub use report::{
+    CommMatrix, CommRow, ProcReport, ProcStats, RunReport, SkeletonMetrics, TraceEvent,
+};
 pub use topology::{BinomialTree, Distr, Mesh, Ring, Torus2d};
 pub use wire::{Wire, WireReader};

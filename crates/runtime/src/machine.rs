@@ -180,6 +180,7 @@ impl Machine {
                         finished_at: proc.now(),
                         stats: proc.stats(),
                         trace: proc.take_trace(),
+                        comm: proc.take_comm(),
                     };
                     *lock(&slots[id]) = Some(ProcOutcome { result, report });
                     latch.count_up();
@@ -219,7 +220,12 @@ impl Machine {
         let sim_cycles = procs.iter().map(|p| p.finished_at).max().unwrap_or(0);
         Run {
             results,
-            report: RunReport { sim_cycles, sim_seconds: self.cfg.cost.seconds(sim_cycles), procs },
+            report: RunReport {
+                sim_cycles,
+                sim_seconds: self.cfg.cost.seconds(sim_cycles),
+                clock_hz: self.cfg.cost.clock_hz,
+                procs,
+            },
         }
     }
 }
@@ -460,6 +466,73 @@ mod tests {
                 let _: u8 = p.recv(0, 42); // nobody ever sends
             }
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "pending (src, tag) envelope(s): [(0, 7)]")]
+    fn deadlock_diagnostic_lists_pending_envelopes() {
+        // Proc 0 sends tag 7, but proc 1 waits on tag 42: the misrouted
+        // envelope must be named in the deadlock panic.
+        let m = Machine::new(
+            MachineConfig::mesh(1, 2).unwrap().with_timeout(Duration::from_millis(100)),
+        );
+        let _ = m.run(|p| {
+            if p.id() == 0 {
+                p.send(1, 7, &9u8);
+            } else {
+                let _: u8 = p.recv(0, 42);
+            }
+        });
+    }
+
+    #[test]
+    fn spans_carry_traffic_counters() {
+        let m = Machine::new(MachineConfig::mesh(1, 2).unwrap().with_trace());
+        let run = m.run(|p| {
+            let span = p.span_begin();
+            if p.id() == 0 {
+                p.send(1, 1, &[1u64, 2, 3]);
+            } else {
+                let _: [u64; 3] = p.recv(0, 1);
+            }
+            p.span_end("xchg", span);
+        });
+        let s = &run.report.procs[0].trace[0];
+        assert_eq!((s.sends, s.bytes_sent, s.recvs, s.bytes_recvd), (1, 24, 0, 0));
+        let r = &run.report.procs[1].trace[0];
+        assert_eq!((r.sends, r.bytes_sent, r.recvs, r.bytes_recvd), (0, 0, 1, 24));
+        assert_eq!(s.label, "xchg");
+        assert!(s.end >= s.start);
+    }
+
+    #[test]
+    fn comm_matrix_recorded_only_when_tracing() {
+        let program = |p: &mut crate::Proc<'_>| {
+            if p.id() == 0 {
+                p.send(1, 1, &[7u8; 10]);
+                p.send(1, 2, &3u16);
+            } else {
+                let _: [u8; 10] = p.recv(0, 1);
+                let _: u16 = p.recv(0, 2);
+                p.send(0, 3, &1u8);
+            }
+            let _: u8 = if p.id() == 0 { p.recv(1, 3) } else { 0 };
+        };
+        let plain = Machine::new(MachineConfig::mesh(1, 2).unwrap()).run(program);
+        assert!(plain.report.comm_matrix().is_none());
+
+        let traced = Machine::new(MachineConfig::mesh(1, 2).unwrap().with_trace()).run(program);
+        let m = traced.report.comm_matrix().expect("tracing records rows");
+        assert_eq!(m.msgs_at(0, 1), 2);
+        assert_eq!(m.bytes_at(0, 1), 12);
+        assert_eq!(m.msgs_at(1, 0), 1);
+        assert_eq!(m.bytes_at(1, 0), 1);
+        // Receiver-side rows agree with the sender-side matrix.
+        let p1 = traced.report.procs[1].comm.as_ref().unwrap();
+        assert_eq!(p1.recvd_msgs[0], 2);
+        assert_eq!(p1.recvd_bytes[0], 12);
+        // Byte conservation holds machine-wide.
+        assert_eq!(traced.report.total_bytes(), traced.report.total_bytes_recvd());
     }
 
     #[test]

@@ -6,9 +6,22 @@ use std::time::Duration;
 
 use crate::cost::CostModel;
 use crate::mailbox::{Envelope, Mailbox, RecvOutcome};
-use crate::report::{ProcStats, TraceEvent};
+use crate::report::{CommRow, ProcStats, TraceEvent};
 use crate::topology::Mesh;
 use crate::wire::Wire;
+
+/// Snapshot of a processor's clock and traffic counters at the start of
+/// a traced span (see [`Proc::span_begin`]). The matching
+/// [`Proc::span_end`] turns the difference into a [`TraceEvent`] with
+/// per-span traffic counters.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanStart {
+    start: u64,
+    sends: u64,
+    recvs: u64,
+    bytes_sent: u64,
+    bytes_recvd: u64,
+}
 
 /// Machine state shared by all processors of one simulation.
 #[derive(Debug)]
@@ -45,6 +58,9 @@ pub struct Proc<'m> {
     now: u64,
     stats: ProcStats,
     trace: Vec<TraceEvent>,
+    /// Per-peer traffic counters (`Some` only while tracing, so the
+    /// data plane pays nothing when observability is off).
+    comm: Option<CommRow>,
     /// Size of the last encoded payload: the next send pre-allocates its
     /// buffer to this, so steady-state traffic (ring rotations, halo
     /// exchanges) flattens straight into a right-sized buffer with no
@@ -54,7 +70,16 @@ pub struct Proc<'m> {
 
 impl<'m> Proc<'m> {
     pub(crate) fn new(id: usize, shared: &'m Shared) -> Self {
-        Proc { id, shared, now: 0, stats: ProcStats::default(), trace: Vec::new(), encode_cap: 0 }
+        let comm = shared.trace.then(|| CommRow::new(shared.mesh.procs()));
+        Proc {
+            id,
+            shared,
+            now: 0,
+            stats: ProcStats::default(),
+            trace: Vec::new(),
+            comm,
+            encode_cap: 0,
+        }
     }
 
     /// Whether event tracing is enabled for this run.
@@ -62,17 +87,46 @@ impl<'m> Proc<'m> {
         self.shared.trace
     }
 
-    /// Record a traced span from `start` (virtual cycles) to now.
-    /// No-op unless the machine was configured with tracing.
-    pub fn trace_event(&mut self, label: &str, start: u64) {
+    /// Open a traced span: snapshot the clock and traffic counters.
+    /// Pair with [`span_end`](Proc::span_end); cheap enough to call
+    /// unconditionally (a few register copies), and `span_end` is a
+    /// no-op unless the machine was configured with tracing.
+    pub fn span_begin(&self) -> SpanStart {
+        SpanStart {
+            start: self.now,
+            sends: self.stats.sends,
+            recvs: self.stats.recvs,
+            bytes_sent: self.stats.bytes_sent,
+            bytes_recvd: self.stats.bytes_recvd,
+        }
+    }
+
+    /// Close a traced span opened with [`span_begin`](Proc::span_begin),
+    /// recording a [`TraceEvent`] whose counters are the traffic this
+    /// processor performed since the snapshot. No-op unless the machine
+    /// was configured with tracing.
+    pub fn span_end(&mut self, label: &str, span: SpanStart) {
         if self.shared.trace {
-            self.trace.push(TraceEvent { label: label.to_string(), start, end: self.now });
+            self.trace.push(TraceEvent {
+                label: label.to_string(),
+                start: span.start,
+                end: self.now,
+                sends: self.stats.sends - span.sends,
+                recvs: self.stats.recvs - span.recvs,
+                bytes_sent: self.stats.bytes_sent - span.bytes_sent,
+                bytes_recvd: self.stats.bytes_recvd - span.bytes_recvd,
+            });
         }
     }
 
     /// Drain the recorded trace (machine internals).
     pub(crate) fn take_trace(&mut self) -> Vec<TraceEvent> {
         std::mem::take(&mut self.trace)
+    }
+
+    /// Drain the per-peer traffic row (machine internals).
+    pub(crate) fn take_comm(&mut self) -> Option<CommRow> {
+        self.comm.take()
     }
 
     /// This processor's id, in `0..nprocs()`.
@@ -140,6 +194,10 @@ impl<'m> Proc<'m> {
     fn deposit(&mut self, dst: usize, tag: u64, bytes: Arc<Vec<u8>>, arrival: u64) {
         self.stats.sends += 1;
         self.stats.bytes_sent += bytes.len() as u64;
+        if let Some(comm) = &mut self.comm {
+            comm.sent_msgs[dst] += 1;
+            comm.sent_bytes[dst] += bytes.len() as u64;
+        }
         self.shared.mailboxes[dst].put(Envelope { src: self.id, tag, arrival, bytes });
     }
 
@@ -231,15 +289,26 @@ impl<'m> Proc<'m> {
                 panic!("processor {}: aborted (a peer processor panicked)", self.id)
             }
             RecvOutcome::TimedOut => {
+                // Snapshot everything queued at the blocked processor so a
+                // misrouted tag is diagnosable from the message alone.
                 let pending = self.shared.mailboxes[self.id].pending();
                 panic!(
                     "processor {}: deadlock suspected waiting for (src={}, tag={}); \
-                     queued envelopes: {:?}",
-                    self.id, src, tag, pending
+                     {} pending (src, tag) envelope(s): {:?}",
+                    self.id,
+                    src,
+                    tag,
+                    pending.len(),
+                    pending
                 )
             }
         };
         self.stats.recvs += 1;
+        self.stats.bytes_recvd += env.bytes.len() as u64;
+        if let Some(comm) = &mut self.comm {
+            comm.recvd_msgs[env.src] += 1;
+            comm.recvd_bytes[env.src] += env.bytes.len() as u64;
+        }
         if env.arrival > self.now {
             self.stats.wait += env.arrival - self.now;
             self.now = env.arrival;

@@ -1,6 +1,21 @@
 //! Run reports: what a simulation measured.
+//!
+//! Beyond whole-run totals, a report carries three structured views used
+//! by the observability exports (see [`crate::export`]):
+//!
+//! * per-span traffic counters on every [`TraceEvent`], aggregated into
+//!   per-skeleton metrics by [`RunReport::skeleton_metrics`];
+//! * a per-run src→dst [`CommMatrix`] assembled from the [`CommRow`]s
+//!   the processors record while tracing is enabled;
+//! * an ASCII timeline ([`RunReport::render_timeline`]) for quick
+//!   terminal inspection.
 
-/// One traced span of activity on a processor (virtual time).
+use std::collections::BTreeMap;
+
+/// One traced span of activity on a processor (virtual time), together
+/// with the traffic the processor performed *inside* the span. Counters
+/// are inclusive: a span that contains nested spans also contains their
+/// traffic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Span label (usually a skeleton name).
@@ -9,6 +24,21 @@ pub struct TraceEvent {
     pub start: u64,
     /// Virtual end cycle.
     pub end: u64,
+    /// Messages sent during the span.
+    pub sends: u64,
+    /// Messages received during the span.
+    pub recvs: u64,
+    /// Payload bytes sent during the span.
+    pub bytes_sent: u64,
+    /// Payload bytes received during the span.
+    pub bytes_recvd: u64,
+}
+
+impl TraceEvent {
+    /// Inclusive virtual cycles spent in the span.
+    pub fn cycles(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
 }
 
 /// Per-processor activity counters.
@@ -24,6 +54,78 @@ pub struct ProcStats {
     pub bytes_sent: u64,
     /// Messages received.
     pub recvs: u64,
+    /// Payload bytes received. Machine-wide, received bytes must equal
+    /// sent bytes once every program has returned (conservation).
+    pub bytes_recvd: u64,
+}
+
+/// One processor's row of the communication matrix: per-peer message and
+/// byte counts, indexed by peer processor id. Recorded only while
+/// tracing is enabled, so the data plane stays zero-cost otherwise.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommRow {
+    /// Messages this processor sent to each destination.
+    pub sent_msgs: Vec<u64>,
+    /// Payload bytes this processor sent to each destination.
+    pub sent_bytes: Vec<u64>,
+    /// Messages this processor received from each source.
+    pub recvd_msgs: Vec<u64>,
+    /// Payload bytes this processor received from each source.
+    pub recvd_bytes: Vec<u64>,
+}
+
+impl CommRow {
+    /// An all-zero row for a machine of `n` processors.
+    pub fn new(n: usize) -> Self {
+        CommRow {
+            sent_msgs: vec![0; n],
+            sent_bytes: vec![0; n],
+            recvd_msgs: vec![0; n],
+            recvd_bytes: vec![0; n],
+        }
+    }
+}
+
+/// The machine-wide src→dst communication matrix, assembled from the
+/// sender-side [`CommRow`]s. Entry `(src, dst)` counts traffic deposited
+/// by `src` addressed to `dst`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommMatrix {
+    /// Number of processors (the matrix is `n × n`, row-major by source).
+    pub n: usize,
+    /// Message counts, `msgs[src * n + dst]`.
+    pub msgs: Vec<u64>,
+    /// Payload byte counts, `bytes[src * n + dst]`.
+    pub bytes: Vec<u64>,
+}
+
+impl CommMatrix {
+    /// Messages sent from `src` to `dst`.
+    pub fn msgs_at(&self, src: usize, dst: usize) -> u64 {
+        self.msgs[src * self.n + dst]
+    }
+
+    /// Payload bytes sent from `src` to `dst`.
+    pub fn bytes_at(&self, src: usize, dst: usize) -> u64 {
+        self.bytes[src * self.n + dst]
+    }
+}
+
+/// Aggregated per-skeleton (per-span-label) metrics over a whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SkeletonMetrics {
+    /// Number of spans with this label across all processors.
+    pub invocations: u64,
+    /// Inclusive virtual cycles summed over those spans.
+    pub cycles: u64,
+    /// Messages sent inside those spans.
+    pub sends: u64,
+    /// Messages received inside those spans.
+    pub recvs: u64,
+    /// Payload bytes sent inside those spans.
+    pub bytes_sent: u64,
+    /// Payload bytes received inside those spans.
+    pub bytes_recvd: u64,
 }
 
 /// Final state of one processor.
@@ -35,6 +137,8 @@ pub struct ProcReport {
     pub stats: ProcStats,
     /// Traced spans (empty unless tracing was enabled).
     pub trace: Vec<TraceEvent>,
+    /// Per-peer traffic row (`None` unless tracing was enabled).
+    pub comm: Option<CommRow>,
 }
 
 /// The result of simulating a program on the machine.
@@ -45,6 +149,9 @@ pub struct RunReport {
     pub sim_cycles: u64,
     /// `sim_cycles` converted to seconds with the machine's clock rate.
     pub sim_seconds: f64,
+    /// The machine's virtual clock rate in Hz (maps cycles to wall time
+    /// in the exports).
+    pub clock_hz: f64,
     /// Per-processor details, indexed by processor id.
     pub procs: Vec<ProcReport>,
 }
@@ -58,6 +165,13 @@ impl RunReport {
     /// Sum of all processors' sent payload bytes.
     pub fn total_bytes(&self) -> u64 {
         self.procs.iter().map(|p| p.stats.bytes_sent).sum()
+    }
+
+    /// Sum of all processors' received payload bytes. Equals
+    /// [`total_bytes`](RunReport::total_bytes) for any program that
+    /// receives every message it sends.
+    pub fn total_bytes_recvd(&self) -> u64 {
+        self.procs.iter().map(|p| p.stats.bytes_recvd).sum()
     }
 
     /// Total compute cycles over all processors.
@@ -79,11 +193,48 @@ impl RunReport {
         self.total_compute() as f64 / (self.sim_cycles as f64 * self.procs.len() as f64)
     }
 
+    /// Aggregate the traced spans into per-label skeleton metrics,
+    /// ordered by label. Empty unless the run was traced.
+    pub fn skeleton_metrics(&self) -> BTreeMap<String, SkeletonMetrics> {
+        let mut out: BTreeMap<String, SkeletonMetrics> = BTreeMap::new();
+        for p in &self.procs {
+            for ev in &p.trace {
+                let m = out.entry(ev.label.clone()).or_default();
+                m.invocations += 1;
+                m.cycles += ev.cycles();
+                m.sends += ev.sends;
+                m.recvs += ev.recvs;
+                m.bytes_sent += ev.bytes_sent;
+                m.bytes_recvd += ev.bytes_recvd;
+            }
+        }
+        out
+    }
+
+    /// Assemble the src→dst communication matrix from the sender-side
+    /// rows. `None` unless every processor recorded a row (i.e. tracing
+    /// was enabled for the run).
+    pub fn comm_matrix(&self) -> Option<CommMatrix> {
+        let n = self.procs.len();
+        let mut msgs = vec![0u64; n * n];
+        let mut bytes = vec![0u64; n * n];
+        for (src, p) in self.procs.iter().enumerate() {
+            let row = p.comm.as_ref()?;
+            for dst in 0..n {
+                msgs[src * n + dst] = row.sent_msgs[dst];
+                bytes[src * n + dst] = row.sent_bytes[dst];
+            }
+        }
+        Some(CommMatrix { n, msgs, bytes })
+    }
+
     /// Render the traced spans as an ASCII timeline (one row per
     /// processor, `width` columns spanning the whole run). Spans are
     /// marked with the first letter of their label; gaps are idle/wait.
+    /// Degenerate widths (< 2 columns) are clamped up to 2.
     pub fn render_timeline(&self, width: usize) -> String {
         use std::fmt::Write;
+        let width = width.max(2);
         let mut out = String::new();
         if self.sim_cycles == 0 {
             return "(empty run)\n".into();
@@ -139,20 +290,57 @@ impl RunReport {
 mod tests {
     use super::*;
 
+    fn span(label: &str, start: u64, end: u64) -> TraceEvent {
+        TraceEvent {
+            label: label.into(),
+            start,
+            end,
+            sends: 0,
+            recvs: 0,
+            bytes_sent: 0,
+            bytes_recvd: 0,
+        }
+    }
+
     fn report() -> RunReport {
         RunReport {
             sim_cycles: 100,
             sim_seconds: 100.0 / 20e6,
+            clock_hz: 20e6,
             procs: vec![
                 ProcReport {
                     finished_at: 100,
-                    stats: ProcStats { compute: 80, wait: 20, sends: 3, bytes_sent: 64, recvs: 2 },
-                    trace: vec![TraceEvent { label: "map".into(), start: 0, end: 50 }],
+                    stats: ProcStats {
+                        compute: 80,
+                        wait: 20,
+                        sends: 3,
+                        bytes_sent: 64,
+                        recvs: 2,
+                        bytes_recvd: 16,
+                    },
+                    trace: vec![TraceEvent {
+                        label: "map".into(),
+                        start: 0,
+                        end: 50,
+                        sends: 2,
+                        recvs: 1,
+                        bytes_sent: 48,
+                        bytes_recvd: 8,
+                    }],
+                    comm: None,
                 },
                 ProcReport {
                     finished_at: 90,
-                    stats: ProcStats { compute: 60, wait: 30, sends: 1, bytes_sent: 16, recvs: 2 },
+                    stats: ProcStats {
+                        compute: 60,
+                        wait: 30,
+                        sends: 1,
+                        bytes_sent: 16,
+                        recvs: 2,
+                        bytes_recvd: 64,
+                    },
                     trace: vec![],
+                    comm: None,
                 },
             ],
         }
@@ -163,6 +351,7 @@ mod tests {
         let r = report();
         assert_eq!(r.total_msgs(), 4);
         assert_eq!(r.total_bytes(), 80);
+        assert_eq!(r.total_bytes_recvd(), 80);
         assert_eq!(r.total_compute(), 140);
         assert_eq!(r.total_wait(), 50);
     }
@@ -177,7 +366,7 @@ mod tests {
 
     #[test]
     fn efficiency_degenerate() {
-        let r = RunReport { sim_cycles: 0, sim_seconds: 0.0, procs: vec![] };
+        let r = RunReport { sim_cycles: 0, sim_seconds: 0.0, clock_hz: 20e6, procs: vec![] };
         assert_eq!(r.efficiency(), 1.0);
         assert!(r.render_timeline(40).contains("empty"));
     }
@@ -189,5 +378,52 @@ mod tests {
         assert!(t.contains("p0"), "{t}");
         assert!(t.contains("m"), "{t}");
         assert!(t.contains("m = map"), "{t}");
+    }
+
+    #[test]
+    fn timeline_degenerate_widths_do_not_panic() {
+        // Regression: `b.min(width - 1)` underflowed for width == 0.
+        let r = report();
+        for w in [0, 1, 7] {
+            let t = r.render_timeline(w);
+            assert!(t.contains("p0"), "width {w}: {t}");
+            assert!(t.contains("m = map"), "width {w}: {t}");
+        }
+    }
+
+    #[test]
+    fn skeleton_metrics_aggregate_spans() {
+        let mut r = report();
+        r.procs[1].trace = vec![span("map", 10, 30), span("fold", 30, 90)];
+        let m = r.skeleton_metrics();
+        assert_eq!(m.len(), 2);
+        let map = &m["map"];
+        assert_eq!(map.invocations, 2);
+        assert_eq!(map.cycles, 50 + 20);
+        assert_eq!(map.sends, 2);
+        assert_eq!(map.bytes_sent, 48);
+        assert_eq!(m["fold"].invocations, 1);
+        assert_eq!(m["fold"].cycles, 60);
+    }
+
+    #[test]
+    fn comm_matrix_requires_rows_everywhere() {
+        let mut r = report();
+        assert!(r.comm_matrix().is_none());
+        let mut row0 = CommRow::new(2);
+        row0.sent_msgs[1] = 3;
+        row0.sent_bytes[1] = 64;
+        let mut row1 = CommRow::new(2);
+        row1.sent_msgs[0] = 1;
+        row1.sent_bytes[0] = 16;
+        r.procs[0].comm = Some(row0);
+        r.procs[1].comm = Some(row1);
+        let m = r.comm_matrix().expect("both rows recorded");
+        assert_eq!(m.msgs_at(0, 1), 3);
+        assert_eq!(m.bytes_at(0, 1), 64);
+        assert_eq!(m.msgs_at(1, 0), 1);
+        assert_eq!(m.msgs_at(0, 0), 0);
+        assert_eq!(m.msgs.iter().sum::<u64>(), r.total_msgs());
+        assert_eq!(m.bytes.iter().sum::<u64>(), r.total_bytes());
     }
 }

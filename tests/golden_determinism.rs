@@ -27,11 +27,22 @@ fn fingerprint(r: &RunReport) -> Vec<Fp> {
         .collect()
 }
 
+/// Every payload byte deposited by a send must be accounted for by
+/// exactly one receive once all programs have returned.
+fn assert_byte_conservation(r: &RunReport) {
+    assert_eq!(
+        r.total_bytes(),
+        r.total_bytes_recvd(),
+        "machine-wide byte conservation violated (sent != received)"
+    );
+}
+
 #[test]
 fn shortest_paths_2x2_golden() {
     let m = Machine::new(MachineConfig::square(2).unwrap());
     let out = shpaths_skil(&m, 24, 0x51_1996);
     assert_eq!(out.report.sim_cycles, 6_303_680);
+    assert_byte_conservation(&out.report);
     assert_eq!(
         fingerprint(&out.report),
         vec![
@@ -51,6 +62,7 @@ fn gauss_2x2_golden() {
     let m = Machine::new(MachineConfig::square(2).unwrap());
     let out = gauss_skil(&m, 24, 0x51_1996);
     assert_eq!(out.report.sim_cycles, 4_264_840);
+    assert_byte_conservation(&out.report);
     assert_eq!(
         fingerprint(&out.report),
         vec![
@@ -67,6 +79,7 @@ fn shortest_paths_3x3_golden() {
     let m = Machine::new(MachineConfig::square(3).unwrap());
     let out = shpaths_skil(&m, 18, 7);
     assert_eq!(out.report.sim_cycles, 2_477_744);
+    assert_byte_conservation(&out.report);
     assert_eq!(
         fingerprint(&out.report),
         vec![
@@ -88,6 +101,7 @@ fn gauss_3x3_golden() {
     let m = Machine::new(MachineConfig::square(3).unwrap());
     let out = gauss_skil(&m, 18, 7);
     assert_eq!(out.report.sim_cycles, 3_398_750);
+    assert_byte_conservation(&out.report);
     assert_eq!(
         fingerprint(&out.report),
         vec![
@@ -113,4 +127,24 @@ fn repeated_runs_on_one_machine_are_identical() {
     let c = shpaths_skil(&m, 12, 3).report.sim_cycles;
     assert_eq!(a, b);
     assert_eq!(b, c);
+}
+
+#[test]
+fn golden_cycles_bit_identical_with_tracing_on() {
+    // Observability must be free in virtual time: the traced runs hit
+    // the exact golden constants captured from untraced runs, and the
+    // full per-processor fingerprints agree with the untraced machine.
+    let traced = Machine::new(MachineConfig::square(2).unwrap().with_trace());
+    let plain = Machine::new(MachineConfig::square(2).unwrap());
+
+    let sp_t = shpaths_skil(&traced, 24, 0x51_1996);
+    assert_eq!(sp_t.report.sim_cycles, 6_303_680);
+    assert_eq!(fingerprint(&sp_t.report), fingerprint(&shpaths_skil(&plain, 24, 0x51_1996).report));
+    assert!(!sp_t.report.procs[0].trace.is_empty(), "tracing recorded spans");
+    assert_byte_conservation(&sp_t.report);
+
+    let g_t = gauss_skil(&traced, 24, 0x51_1996);
+    assert_eq!(g_t.report.sim_cycles, 4_264_840);
+    assert_eq!(fingerprint(&g_t.report), fingerprint(&gauss_skil(&plain, 24, 0x51_1996).report));
+    assert_byte_conservation(&g_t.report);
 }

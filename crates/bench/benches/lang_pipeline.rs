@@ -1,8 +1,9 @@
 //! Criterion benches of the language front end: lexing/parsing, type
-//! checking + instantiation, C emission, and full compile+run.
+//! checking + instantiation, bytecode compilation, C emission, and full
+//! compile+run under both execution engines.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use skil_lang::{check, instantiate, parser};
+use skil_lang::{bytecode, check, instantiate, parser, Engine};
 use skil_runtime::{Machine, MachineConfig};
 
 const SHPATHS: &str = "\
@@ -46,16 +47,25 @@ fn bench_front_end(c: &mut Criterion) {
         let compiled = skil_lang::compile(SHPATHS).unwrap();
         b.iter(|| compiled.emit_c())
     });
+    g.bench_function("compile_bytecode", |b| {
+        let compiled = skil_lang::compile(SHPATHS).unwrap();
+        b.iter(|| bytecode::compile_program(&compiled.fo))
+    });
     g.finish();
 }
 
 fn bench_compile_and_run(c: &mut Criterion) {
     let mut g = c.benchmark_group("lang_run");
     g.sample_size(10);
-    g.bench_function("shpaths_n8_2x2", |b| {
+    g.bench_function("shpaths_n8_2x2_ast", |b| {
         let compiled = skil_lang::compile(SHPATHS).unwrap();
         let m = Machine::new(MachineConfig::square(2).unwrap());
-        b.iter(|| compiled.run(&m).report.sim_cycles)
+        b.iter(|| compiled.run_with(Engine::Ast, &m).report.sim_cycles)
+    });
+    g.bench_function("shpaths_n8_2x2_vm", |b| {
+        let compiled = skil_lang::compile(SHPATHS).unwrap();
+        let m = Machine::new(MachineConfig::square(2).unwrap());
+        b.iter(|| compiled.run_with(Engine::Vm, &m).report.sim_cycles)
     });
     g.finish();
 }

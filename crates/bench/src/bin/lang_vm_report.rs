@@ -1,0 +1,147 @@
+//! Host wall-time report for the Skil language engines.
+//!
+//! Measures compile+run host time for every shipped `.skil` example
+//! under both execution engines — the AST walker (reference) and the
+//! bytecode VM (default) — and emits `BENCH_lang_vm.json` with the
+//! per-workload speedups. Virtual time is asserted bit-identical between
+//! the engines on every workload before anything is reported: a speedup
+//! that changed the simulation would be a correctness bug, not a win.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p skil-bench --bin lang_vm_report -- \
+//!     [--out BENCH_lang_vm.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use skil_lang::{compile, Engine};
+use skil_runtime::{Machine, MachineConfig};
+
+struct Workload {
+    name: String,
+    src: String,
+}
+
+fn workloads() -> Vec<Workload> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/skil");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("examples/skil exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "skil") {
+            out.push(Workload {
+                name: path.file_stem().unwrap().to_string_lossy().into_owned(),
+                src: std::fs::read_to_string(&path).expect("readable"),
+            });
+        }
+    }
+    assert!(!out.is_empty(), "no .skil examples found");
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+fn time_ns<F: FnMut()>(repeats: usize, mut f: F) -> (f64, f64) {
+    f(); // untimed warmup
+    let mut total = 0.0;
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        f();
+        let ns = t0.elapsed().as_nanos() as f64;
+        total += ns;
+        best = best.min(ns);
+    }
+    (total / repeats as f64, best)
+}
+
+struct Row {
+    name: String,
+    sim_cycles: u64,
+    ast_mean_ns: f64,
+    ast_min_ns: f64,
+    vm_mean_ns: f64,
+    vm_min_ns: f64,
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_lang_vm.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let machine = Machine::new(MachineConfig::square(2).unwrap());
+    let repeats = 7;
+    let mut rows: Vec<Row> = Vec::new();
+
+    for w in workloads() {
+        // correctness gate: identical print output and virtual time
+        let compiled = compile(&w.src).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let ast = compiled.run_with(Engine::Ast, &machine);
+        let vm = compiled.run_with(Engine::Vm, &machine);
+        assert_eq!(ast.results, vm.results, "{}: engine outputs differ", w.name);
+        assert_eq!(
+            ast.report.sim_cycles, vm.report.sim_cycles,
+            "{}: engine virtual times differ",
+            w.name
+        );
+
+        let (ast_mean_ns, ast_min_ns) = time_ns(repeats, || {
+            let c = compile(&w.src).unwrap();
+            std::hint::black_box(c.run_with(Engine::Ast, &machine).report.sim_cycles);
+        });
+        let (vm_mean_ns, vm_min_ns) = time_ns(repeats, || {
+            let c = compile(&w.src).unwrap();
+            std::hint::black_box(c.run_with(Engine::Vm, &machine).report.sim_cycles);
+        });
+        println!(
+            "{:<18} ast {:>9.2} ms   vm {:>9.2} ms   speedup {:.2}x",
+            w.name,
+            ast_mean_ns / 1e6,
+            vm_mean_ns / 1e6,
+            ast_mean_ns / vm_mean_ns
+        );
+        rows.push(Row {
+            name: w.name,
+            sim_cycles: ast.report.sim_cycles,
+            ast_mean_ns,
+            ast_min_ns,
+            vm_mean_ns,
+            vm_min_ns,
+        });
+    }
+
+    let mut json = String::from("{\n  \"schema\": \"skil-bench/lang-vm/v1\",\n");
+    let _ = writeln!(json, "  \"machine\": \"2x2\",");
+    let _ = writeln!(
+        json,
+        "  \"host_threads\": {},",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\n      \"name\": \"{}\",\n      \"sim_cycles\": {},\n      \
+             \"ast_mean_ns\": {:.0},\n      \"ast_min_ns\": {:.0},\n      \
+             \"vm_mean_ns\": {:.0},\n      \"vm_min_ns\": {:.0},\n      \
+             \"speedup\": {:.2}\n    }}",
+            r.name,
+            r.sim_cycles,
+            r.ast_mean_ns,
+            r.ast_min_ns,
+            r.vm_mean_ns,
+            r.vm_min_ns,
+            r.ast_mean_ns / r.vm_mean_ns
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+}

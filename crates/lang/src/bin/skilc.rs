@@ -4,23 +4,29 @@
 //! skilc <file.skil>                  type-check and emit C to stdout
 //! skilc --run <file.skil>            run on a simulated 2x2 mesh
 //! skilc --run --mesh RxC <file.skil> choose the machine shape
+//! skilc --run --engine ast|vm ...    pick the execution engine
 //! skilc --check <file.skil>          parse + type check only
+//! skilc --emit-bytecode <file.skil>  disassemble the compiled bytecode
 //! skilc --run --trace <file.skil>    also print a virtual-time timeline
 //! skilc --run --trace-out FILE ...   write a Chrome trace_events JSON
 //! ```
 
-use skil_lang::compile;
+use skil_lang::{compile, Engine};
 use skil_runtime::{Machine, MachineConfig};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: skilc [--check | --run [--mesh RxC] [--trace]] <file.skil>\n\
+        "usage: skilc [--check | --emit-bytecode | --run [--mesh RxC] [--engine ast|vm] \
+[--trace]] <file.skil>\n\
          \n\
          default: emit the instantiated first-order C to stdout\n\
          --check: stop after the polymorphic type check\n\
+         --emit-bytecode: print the slot-resolved bytecode listing\n\
          --run:   execute SPMD on a simulated transputer mesh (default 2x2)\n\
          --mesh:  machine shape for --run, e.g. --mesh 4x4 or --mesh 8x4\n\
+         --engine: execution engine for --run: vm (default, bytecode) or\n\
+                  ast (reference walker); virtual time is identical\n\
          --trace-out FILE: write the traced run as Chrome trace_events\n\
                   JSON (open in chrome://tracing); implies tracing"
     );
@@ -30,6 +36,8 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut check_only = false;
+    let mut emit_bytecode = false;
+    let mut engine = Engine::Vm;
     let mut run = false;
     let mut trace = false;
     let mut trace_out: Option<String> = None;
@@ -40,6 +48,15 @@ fn main() -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--check" => check_only = true,
+            "--emit-bytecode" => emit_bytecode = true,
+            "--engine" => {
+                i += 1;
+                engine = match args.get(i).map(String::as_str) {
+                    Some("ast") => Engine::Ast,
+                    Some("vm") => Engine::Vm,
+                    _ => return usage(),
+                };
+            }
             "--run" => run = true,
             "--trace" => trace = true,
             "--trace-out" => {
@@ -91,6 +108,11 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if emit_bytecode {
+        print!("{}", compiled.disassemble());
+        return ExitCode::SUCCESS;
+    }
+
     if run {
         let cfg = match MachineConfig::mesh(mesh.0, mesh.1) {
             Ok(c) => {
@@ -108,7 +130,7 @@ fn main() -> ExitCode {
         let machine = Machine::new(cfg);
         // Skil runtime errors panic inside the simulation (poisoning the
         // machine); the panic propagates here with the diagnostic.
-        let run_result = compiled.run(&machine);
+        let run_result = compiled.run_with(engine, &machine);
         for (id, lines) in run_result.results.iter().enumerate() {
             for line in lines {
                 println!("[proc {id}] {line}");

@@ -1,0 +1,1039 @@
+//! Bytecode for instantiated Skil programs.
+//!
+//! The AST walker in [`crate::interp`] re-resolves every variable through
+//! a `Vec<HashMap>` scope stack and every callee through a name lookup,
+//! on every execution step. This module performs that resolution **once**,
+//! at compile time: a resolver pass turns variable references into frame
+//! slot indices and function names into dense indices into
+//! [`FoProgram::funcs`], and the statement tree is flattened into a
+//! compact stack-machine instruction stream (see [`Instr`]).
+//!
+//! ## The cost-charging invariant
+//!
+//! Virtual time must be **bit-identical** to the AST walker, which
+//! charges per IR operation while it walks. The bytecode therefore
+//! carries explicit [`Instr::Charge`] instructions referencing a pool of
+//! symbolic [`CostExpr`]s (linear combinations of [`CostModel`] fields,
+//! resolved to concrete cycle counts once per run — the bytecode itself
+//! is cost-model independent). Two rules keep the charge stream exactly
+//! equivalent to the walker's:
+//!
+//! 1. a `Charge` is emitted at the same point in evaluation order where
+//!    the walker charges (e.g. a binary operation charges *before* its
+//!    operands, a store charges *after* its value — exactly as
+//!    `interp.rs` does), and
+//! 2. adjacent `Charge` instructions may be merged, but **never across a
+//!    jump label**: merged charges always execute together, with no
+//!    communication event between them, so every prefix sum observable
+//!    at a communication point is unchanged.
+//!
+//! Skeleton argument functions are described by [`KernelShape`]: trivial
+//! bodies (an operator section, a single pure intrinsic over parameters)
+//! execute as direct computations with no frame at all, everything else
+//! runs its bytecode per element on a reusable flat frame.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use skil_runtime::CostModel;
+
+use crate::builtins::{DISTR_DEFAULT, DISTR_RING, DISTR_TORUS2D};
+use crate::fo::{BinOp, FoExpr, FoFunc, FoProgram, FoStmt, SkelOp};
+use crate::value::{ConsList, Value};
+
+// ---------------------------------------------------------------------
+// Symbolic cycle charges.
+// ---------------------------------------------------------------------
+
+/// A symbolic virtual-cycle charge: a linear combination of the scalar
+/// operation costs of a [`CostModel`]. Charges stay symbolic in the
+/// bytecode and are resolved to `u64` cycles once per run, so one
+/// compiled program serves every machine configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct CostExpr {
+    /// Coefficient of `CostModel::load`.
+    pub load: u32,
+    /// Coefficient of `CostModel::store`.
+    pub store: u32,
+    /// Coefficient of `CostModel::int_op`.
+    pub int_op: u32,
+    /// Coefficient of `CostModel::flt_add`.
+    pub flt_add: u32,
+    /// Coefficient of `CostModel::flt_mul`.
+    pub flt_mul: u32,
+    /// Coefficient of `CostModel::flt_div`.
+    pub flt_div: u32,
+    /// Coefficient of `CostModel::call`.
+    pub call: u32,
+}
+
+impl CostExpr {
+    /// Concrete cycles under a cost model.
+    pub fn resolve(&self, c: &CostModel) -> u64 {
+        self.load as u64 * c.load
+            + self.store as u64 * c.store
+            + self.int_op as u64 * c.int_op
+            + self.flt_add as u64 * c.flt_add
+            + self.flt_mul as u64 * c.flt_mul
+            + self.flt_div as u64 * c.flt_div
+            + self.call as u64 * c.call
+    }
+
+    fn plus(self, o: CostExpr) -> CostExpr {
+        CostExpr {
+            load: self.load + o.load,
+            store: self.store + o.store,
+            int_op: self.int_op + o.int_op,
+            flt_add: self.flt_add + o.flt_add,
+            flt_mul: self.flt_mul + o.flt_mul,
+            flt_div: self.flt_div + o.flt_div,
+            call: self.call + o.call,
+        }
+    }
+
+    fn of(field: fn(&mut CostExpr) -> &mut u32, n: u32) -> CostExpr {
+        let mut ce = CostExpr::default();
+        *field(&mut ce) = n;
+        ce
+    }
+
+    fn load(n: u32) -> CostExpr {
+        CostExpr::of(|c| &mut c.load, n)
+    }
+    fn store(n: u32) -> CostExpr {
+        CostExpr::of(|c| &mut c.store, n)
+    }
+    fn int_op(n: u32) -> CostExpr {
+        CostExpr::of(|c| &mut c.int_op, n)
+    }
+    fn call(n: u32) -> CostExpr {
+        CostExpr::of(|c| &mut c.call, n)
+    }
+
+    /// The charge the walker applies before a binary operation.
+    fn binop(op: BinOp, float: bool) -> CostExpr {
+        if float {
+            match op {
+                BinOp::Mul => CostExpr::of(|c| &mut c.flt_mul, 1),
+                BinOp::Div => CostExpr::of(|c| &mut c.flt_div, 1),
+                _ => CostExpr::of(|c| &mut c.flt_add, 1),
+            }
+        } else {
+            CostExpr::int_op(1)
+        }
+    }
+}
+
+impl std::fmt::Display for CostExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut terms: Vec<String> = Vec::new();
+        for (n, name) in [
+            (self.load, "load"),
+            (self.store, "store"),
+            (self.int_op, "int_op"),
+            (self.flt_add, "flt_add"),
+            (self.flt_mul, "flt_mul"),
+            (self.flt_div, "flt_div"),
+            (self.call, "call"),
+        ] {
+            match n {
+                0 => {}
+                1 => terms.push(name.into()),
+                n => terms.push(format!("{n}*{name}")),
+            }
+        }
+        if terms.is_empty() {
+            write!(f, "0")
+        } else {
+            write!(f, "{}", terms.join("+"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Intrinsics, resolved at compile time.
+// ---------------------------------------------------------------------
+
+/// An intrinsic operation, resolved from its name once at compile time
+/// so the execution engines dispatch on an enum instead of matching
+/// strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // names mirror the surface intrinsics 1:1
+pub enum Intr {
+    Abs,
+    Fabs,
+    Min,
+    Max,
+    Fmin,
+    Fmax,
+    Sqrt,
+    Itof,
+    Ftoi,
+    Log2i,
+    IntMax,
+    FltMax,
+    DistrDefault,
+    DistrRing,
+    DistrTorus2d,
+    Error,
+    Nil,
+    Cons,
+    Head,
+    Tail,
+    Len,
+    Append,
+    ProcId,
+    NProcs,
+    ArrayGetElem,
+    ArrayPutElem,
+    ArrayPartBounds,
+    Print,
+}
+
+impl Intr {
+    /// Resolve a surface intrinsic name.
+    pub fn from_name(name: &str) -> Option<Intr> {
+        Some(match name {
+            "abs" => Intr::Abs,
+            "fabs" => Intr::Fabs,
+            "min" => Intr::Min,
+            "max" => Intr::Max,
+            "fmin" => Intr::Fmin,
+            "fmax" => Intr::Fmax,
+            "sqrt" => Intr::Sqrt,
+            "itof" => Intr::Itof,
+            "ftoi" => Intr::Ftoi,
+            "log2i" => Intr::Log2i,
+            "int_max" => Intr::IntMax,
+            "flt_max" => Intr::FltMax,
+            "DISTR_DEFAULT" => Intr::DistrDefault,
+            "DISTR_RING" => Intr::DistrRing,
+            "DISTR_TORUS2D" => Intr::DistrTorus2d,
+            "error" => Intr::Error,
+            "nil" => Intr::Nil,
+            "cons" => Intr::Cons,
+            "head" => Intr::Head,
+            "tail" => Intr::Tail,
+            "len" => Intr::Len,
+            "append" => Intr::Append,
+            "procId" => Intr::ProcId,
+            "nProcs" => Intr::NProcs,
+            "array_get_elem" => Intr::ArrayGetElem,
+            "array_put_elem" => Intr::ArrayPutElem,
+            "array_part_bounds" => Intr::ArrayPartBounds,
+            "print" => Intr::Print,
+            _ => return None,
+        })
+    }
+
+    /// Surface name (for diagnostics and disassembly).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Intr::Abs => "abs",
+            Intr::Fabs => "fabs",
+            Intr::Min => "min",
+            Intr::Max => "max",
+            Intr::Fmin => "fmin",
+            Intr::Fmax => "fmax",
+            Intr::Sqrt => "sqrt",
+            Intr::Itof => "itof",
+            Intr::Ftoi => "ftoi",
+            Intr::Log2i => "log2i",
+            Intr::IntMax => "int_max",
+            Intr::FltMax => "flt_max",
+            Intr::DistrDefault => "DISTR_DEFAULT",
+            Intr::DistrRing => "DISTR_RING",
+            Intr::DistrTorus2d => "DISTR_TORUS2D",
+            Intr::Error => "error",
+            Intr::Nil => "nil",
+            Intr::Cons => "cons",
+            Intr::Head => "head",
+            Intr::Tail => "tail",
+            Intr::Len => "len",
+            Intr::Append => "append",
+            Intr::ProcId => "procId",
+            Intr::NProcs => "nProcs",
+            Intr::ArrayGetElem => "array_get_elem",
+            Intr::ArrayPutElem => "array_put_elem",
+            Intr::ArrayPartBounds => "array_part_bounds",
+            Intr::Print => "print",
+        }
+    }
+
+    /// True for intrinsics computable from their argument values alone
+    /// (no machine or array state) — exactly the set
+    /// [`Intr::eval_pure`] handles.
+    pub fn is_pure(&self) -> bool {
+        !matches!(
+            self,
+            Intr::ProcId
+                | Intr::NProcs
+                | Intr::ArrayGetElem
+                | Intr::ArrayPutElem
+                | Intr::ArrayPartBounds
+                | Intr::Print
+        )
+    }
+
+    /// Evaluate a pure intrinsic; `None` for the stateful ones. This is
+    /// the single implementation shared by the AST walker (via
+    /// `interp::pure_intrinsic`) and both VM execution modes, so the
+    /// engines cannot drift.
+    pub fn eval_pure(&self, args: &[Value]) -> Option<Value> {
+        Some(match self {
+            Intr::Abs => Value::Int(args[0].as_int().abs()),
+            Intr::Fabs => Value::Float(args[0].as_float().abs()),
+            Intr::Min => Value::Int(args[0].as_int().min(args[1].as_int())),
+            Intr::Max => Value::Int(args[0].as_int().max(args[1].as_int())),
+            Intr::Fmin => Value::Float(args[0].as_float().min(args[1].as_float())),
+            Intr::Fmax => Value::Float(args[0].as_float().max(args[1].as_float())),
+            Intr::Sqrt => Value::Float(args[0].as_float().sqrt()),
+            Intr::Itof => Value::Float(args[0].as_int() as f64),
+            Intr::Ftoi => Value::Int(args[0].as_float() as i64),
+            Intr::Log2i => {
+                let n = args[0].as_int();
+                assert!(n > 0, "skil runtime: log2i of non-positive value");
+                Value::Int((64 - ((n - 1).max(0) as u64).leading_zeros() as i64).max(0))
+            }
+            Intr::IntMax => Value::Int(i64::MAX / 4),
+            Intr::FltMax => Value::Float(f64::MAX / 4.0),
+            Intr::DistrDefault => Value::Int(DISTR_DEFAULT),
+            Intr::DistrRing => Value::Int(DISTR_RING),
+            Intr::DistrTorus2d => Value::Int(DISTR_TORUS2D),
+            Intr::Error => panic!("skil program called error({})", args[0].as_int()),
+            Intr::Nil => Value::List(ConsList::new()),
+            Intr::Cons => {
+                // O(1): the new cell shares the tail instead of copying it
+                let Value::List(rest) = &args[1] else {
+                    panic!("skil runtime: cons onto a non-list")
+                };
+                Value::List(ConsList::cons(args[0].clone(), rest))
+            }
+            Intr::Head => match &args[0] {
+                Value::List(items) if !items.is_empty() => {
+                    items.first().expect("nonempty list").clone()
+                }
+                Value::List(_) => panic!("skil runtime: head of an empty list"),
+                other => panic!("skil runtime: head of {other:?}"),
+            },
+            Intr::Tail => match &args[0] {
+                Value::List(items) if !items.is_empty() => {
+                    Value::List(items.rest().expect("nonempty list"))
+                }
+                Value::List(_) => panic!("skil runtime: tail of an empty list"),
+                other => panic!("skil runtime: tail of {other:?}"),
+            },
+            Intr::Len => match &args[0] {
+                Value::List(items) => Value::Int(items.len() as i64),
+                other => panic!("skil runtime: len of {other:?}"),
+            },
+            Intr::Append => match (&args[0], &args[1]) {
+                // rebuilds only the left spine, shares the right list
+                (Value::List(a), Value::List(b)) => Value::List(a.append(b)),
+                _ => panic!("skil runtime: append of non-lists"),
+            },
+            _ => return None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// The instruction set.
+// ---------------------------------------------------------------------
+
+/// One stack-machine instruction. All operands are resolved indices —
+/// no name lookups happen at execution time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// Advance virtual time by `costs[i]` (resolved per run). Skipped
+    /// entirely in kernel mode, where the skeleton charges a statically
+    /// estimated cost per element instead.
+    Charge(u32),
+    /// Push `consts[i]`.
+    Const(u32),
+    /// Push a copy of frame slot `s`.
+    Load(u16),
+    /// Pop into frame slot `s`.
+    Store(u16),
+    /// Discard the top of stack.
+    Pop,
+    /// Unconditional jump to instruction index `t`.
+    Jump(u32),
+    /// Pop an int; jump to `t` when it is zero.
+    JumpIfZero(u32),
+    /// Pop an int; jump to `t` when it is non-zero.
+    JumpIfNonZero(u32),
+    /// Pop an int `x`; push `Int(x != 0)` (normalizes `&&`/`||` results).
+    ToBool,
+    /// Pop rhs then lhs; push the binary operation result.
+    Bin(BinOp, bool),
+    /// Pop and arithmetically negate (float when the flag is set).
+    Neg(bool),
+    /// Pop an int `x`; push `Int(x == 0)` (logical not).
+    Not,
+    /// Pop a struct or bounds value; push field `i`.
+    Field(u16),
+    /// Pop component then index value; push the component.
+    IndexAt,
+    /// Pop `n` ints; push the `Index` they form.
+    MakeIndex(u8),
+    /// Pop `n` field values; push struct instance `sid`.
+    MakeStruct(u32, u16),
+    /// Pop `argc` arguments; run intrinsic `op`; push its result.
+    Intr(Intr, u8),
+    /// Pop the callee's arguments; execute function `fid`; push the
+    /// return value. The preceding `Charge` carries the call cost.
+    Call(u32),
+    /// Pop value arguments and lifted arguments of skeleton site `s`;
+    /// dispatch to `skil-core`; push the result.
+    Skel(u32),
+    /// Return the popped top of stack from the current function.
+    Ret,
+    /// Return `Unit` from the current function.
+    RetUnit,
+}
+
+/// How a skeleton argument function executes per element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelShape {
+    /// Body is `return a <op> b;` over two parameters — an instantiated
+    /// operator section. Executes as one direct `apply_binop`, no frame.
+    Bin {
+        /// The operator.
+        op: BinOp,
+        /// Float arithmetic family.
+        float: bool,
+        /// Parameter position of the left operand.
+        a: usize,
+        /// Parameter position of the right operand.
+        b: usize,
+    },
+    /// Body is `return intrinsic(params...);` with a pure intrinsic.
+    /// Executes as one direct intrinsic evaluation, no frame.
+    Intrinsic {
+        /// The intrinsic.
+        op: Intr,
+        /// Parameter position of each intrinsic argument.
+        slots: Vec<usize>,
+    },
+    /// Anything else: run the function's bytecode on a reusable flat
+    /// frame in kernel mode.
+    General,
+}
+
+/// One argument-function instance at a skeleton call site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkelFn {
+    /// Index into `FoProgram::funcs` / `Program::funcs`.
+    pub fid: usize,
+    /// Number of lifted arguments the call site evaluates for it.
+    pub n_lifted: usize,
+    /// Compiled per-element execution strategy.
+    pub shape: KernelShape,
+}
+
+/// A skeleton call site: everything [`Instr::Skel`] needs, resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkelSite {
+    /// Which skeleton.
+    pub op: SkelOp,
+    /// Number of value arguments on the stack.
+    pub nargs: usize,
+    /// Argument-function instances, in skeleton parameter order. Their
+    /// lifted arguments sit above the value arguments on the stack, in
+    /// the same order.
+    pub fns: Vec<SkelFn>,
+}
+
+/// One compiled function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledFunc {
+    /// Instance name (diagnostics and disassembly).
+    pub name: String,
+    /// Number of parameters (stored into slots `0..nparams`).
+    pub nparams: usize,
+    /// Flat frame size (every declaration got its own slot).
+    pub nslots: usize,
+    /// The instruction stream.
+    pub code: Vec<Instr>,
+}
+
+/// A fully compiled program: functions parallel to
+/// [`FoProgram::funcs`], plus the shared pools.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Compiled functions, index-compatible with `FoProgram::funcs`.
+    pub funcs: Vec<CompiledFunc>,
+    /// Constant pool.
+    pub consts: Vec<Value>,
+    /// Symbolic charge pool (deduplicated).
+    pub costs: Vec<CostExpr>,
+    /// Skeleton call sites.
+    pub sites: Vec<SkelSite>,
+    /// Index of `main`, when the program has one.
+    pub main: Option<usize>,
+}
+
+// ---------------------------------------------------------------------
+// Compilation.
+// ---------------------------------------------------------------------
+
+#[derive(PartialEq, Eq, Hash)]
+enum ConstKey {
+    Unit,
+    Int(i64),
+    /// Float by bit pattern (total equality for pooling).
+    Float(u64),
+}
+
+#[derive(Default)]
+struct Pools {
+    consts: Vec<Value>,
+    const_ix: HashMap<ConstKey, u32>,
+    costs: Vec<CostExpr>,
+    cost_ix: HashMap<CostExpr, u32>,
+    sites: Vec<SkelSite>,
+}
+
+impl Pools {
+    fn constant(&mut self, key: ConstKey, v: Value) -> u32 {
+        if let Some(&i) = self.const_ix.get(&key) {
+            return i;
+        }
+        let i = self.consts.len() as u32;
+        self.consts.push(v);
+        self.const_ix.insert(key, i);
+        i
+    }
+
+    fn cost(&mut self, ce: CostExpr) -> u32 {
+        if let Some(&i) = self.cost_ix.get(&ce) {
+            return i;
+        }
+        let i = self.costs.len() as u32;
+        self.costs.push(ce);
+        self.cost_ix.insert(ce, i);
+        i
+    }
+}
+
+/// Compile every function of an instantiated program.
+pub fn compile_program(prog: &FoProgram) -> Program {
+    let mut pools = Pools::default();
+    let funcs = prog.funcs.iter().map(|f| compile_func(prog, f, &mut pools)).collect();
+    Program {
+        funcs,
+        consts: pools.consts,
+        costs: pools.costs,
+        sites: pools.sites,
+        main: prog.func_id("main"),
+    }
+}
+
+/// Classify a function body for per-element execution — value-equivalent
+/// fast paths for the trivial shapes instantiation leaves behind.
+fn kernel_shape(f: &FoFunc) -> KernelShape {
+    let param_pos = |name: &str| f.params.iter().position(|(n, _)| n == name);
+    if let [FoStmt::Return(Some(expr))] = f.body.as_slice() {
+        match expr {
+            FoExpr::Binary { op, float, lhs, rhs } => {
+                if let (FoExpr::Var(a), FoExpr::Var(b)) = (&**lhs, &**rhs) {
+                    if let (Some(a), Some(b)) = (param_pos(a), param_pos(b)) {
+                        return KernelShape::Bin { op: *op, float: *float, a, b };
+                    }
+                }
+            }
+            FoExpr::Intrinsic(name, args) => {
+                if let Some(op) = Intr::from_name(name) {
+                    if op.is_pure() && op != Intr::Error {
+                        let slots: Option<Vec<usize>> = args
+                            .iter()
+                            .map(|a| match a {
+                                FoExpr::Var(n) => param_pos(n),
+                                _ => None,
+                            })
+                            .collect();
+                        if let Some(slots) = slots {
+                            return KernelShape::Intrinsic { op, slots };
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    KernelShape::General
+}
+
+struct FnCompiler<'a> {
+    prog: &'a FoProgram,
+    pools: &'a mut Pools,
+    fname: &'a str,
+    scopes: Vec<HashMap<String, u16>>,
+    nslots: usize,
+    code: Vec<Instr>,
+    /// Resolved label targets (`u32::MAX` while unbound).
+    labels: Vec<u32>,
+    /// Jump instructions awaiting a label target.
+    patches: Vec<(usize, usize)>,
+    /// Code length at the last bound label: `Charge` merging never
+    /// crosses it (a jump could land between the merged halves).
+    barrier: usize,
+}
+
+fn compile_func(prog: &FoProgram, f: &FoFunc, pools: &mut Pools) -> CompiledFunc {
+    let mut params = HashMap::new();
+    for (i, (name, _)) in f.params.iter().enumerate() {
+        params.insert(name.clone(), i as u16);
+    }
+    let mut c = FnCompiler {
+        prog,
+        pools,
+        fname: &f.name,
+        scopes: vec![params],
+        nslots: f.params.len(),
+        code: Vec::new(),
+        labels: Vec::new(),
+        patches: Vec::new(),
+        barrier: 0,
+    };
+    c.stmts(&f.body);
+    c.code.push(Instr::RetUnit);
+    for (at, l) in c.patches {
+        let target = c.labels[l];
+        debug_assert_ne!(target, u32::MAX, "unbound label");
+        match &mut c.code[at] {
+            Instr::Jump(t) | Instr::JumpIfZero(t) | Instr::JumpIfNonZero(t) => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+    CompiledFunc { name: f.name.clone(), nparams: f.params.len(), nslots: c.nslots, code: c.code }
+}
+
+impl FnCompiler<'_> {
+    // ---- labels ----
+
+    fn new_label(&mut self) -> usize {
+        self.labels.push(u32::MAX);
+        self.labels.len() - 1
+    }
+
+    fn bind(&mut self, l: usize) {
+        self.labels[l] = self.code.len() as u32;
+        self.barrier = self.code.len();
+    }
+
+    fn jump_to(&mut self, ins: Instr, l: usize) {
+        self.patches.push((self.code.len(), l));
+        self.code.push(ins);
+    }
+
+    // ---- charges ----
+
+    fn charge(&mut self, ce: CostExpr) {
+        if ce == CostExpr::default() {
+            return;
+        }
+        if self.code.len() > self.barrier {
+            if let Some(&Instr::Charge(i)) = self.code.last() {
+                let merged = self.pools.costs[i as usize].plus(ce);
+                let j = self.pools.cost(merged);
+                *self.code.last_mut().expect("nonempty") = Instr::Charge(j);
+                return;
+            }
+        }
+        let i = self.pools.cost(ce);
+        self.code.push(Instr::Charge(i));
+    }
+
+    // ---- slots ----
+
+    fn declare(&mut self, name: &str) -> u16 {
+        let slot = u16::try_from(self.nslots).expect("frame fits u16 slots");
+        self.nslots += 1;
+        self.scopes.last_mut().expect("scope").insert(name.to_string(), slot);
+        slot
+    }
+
+    fn slot(&self, name: &str) -> u16 {
+        self.scopes.iter().rev().find_map(|s| s.get(name)).copied().unwrap_or_else(|| {
+            panic!("skil bytecode: unbound variable `{name}` in `{}`", self.fname)
+        })
+    }
+
+    fn push_unit(&mut self) {
+        let i = self.pools.constant(ConstKey::Unit, Value::Unit);
+        self.code.push(Instr::Const(i));
+    }
+
+    fn push_int(&mut self, v: i64) {
+        let i = self.pools.constant(ConstKey::Int(v), Value::Int(v));
+        self.code.push(Instr::Const(i));
+    }
+
+    // ---- statements ----
+
+    fn stmts(&mut self, ss: &[FoStmt]) {
+        self.scopes.push(HashMap::new());
+        for s in ss {
+            self.stmt(s);
+        }
+        self.scopes.pop();
+    }
+
+    fn stmt(&mut self, s: &FoStmt) {
+        match s {
+            FoStmt::Decl { name, init, .. } => {
+                match init {
+                    Some(e) => self.expr(e),
+                    None => self.push_unit(),
+                }
+                self.charge(CostExpr::store(1));
+                let slot = self.declare(name);
+                self.code.push(Instr::Store(slot));
+            }
+            FoStmt::Assign { name, value } => {
+                self.expr(value);
+                self.charge(CostExpr::store(1));
+                let slot = self.slot(name);
+                self.code.push(Instr::Store(slot));
+            }
+            FoStmt::If { cond, then, els } => {
+                self.charge(CostExpr::int_op(1));
+                self.expr(cond);
+                let l_else = self.new_label();
+                let l_end = self.new_label();
+                self.jump_to(Instr::JumpIfZero(0), l_else);
+                self.stmts(then);
+                self.jump_to(Instr::Jump(0), l_end);
+                self.bind(l_else);
+                self.stmts(els);
+                self.bind(l_end);
+            }
+            FoStmt::While { cond, body } => {
+                let l_top = self.new_label();
+                let l_end = self.new_label();
+                self.bind(l_top);
+                self.charge(CostExpr::int_op(1));
+                self.expr(cond);
+                self.jump_to(Instr::JumpIfZero(0), l_end);
+                self.stmts(body);
+                self.jump_to(Instr::Jump(0), l_top);
+                self.bind(l_end);
+            }
+            FoStmt::For { init, cond, step, body } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                let l_top = self.new_label();
+                let l_end = self.new_label();
+                self.bind(l_top);
+                if let Some(c) = cond {
+                    self.charge(CostExpr::int_op(1));
+                    self.expr(c);
+                    self.jump_to(Instr::JumpIfZero(0), l_end);
+                }
+                self.stmts(body);
+                if let Some(st) = step {
+                    self.stmt(st);
+                }
+                self.jump_to(Instr::Jump(0), l_top);
+                self.bind(l_end);
+                self.scopes.pop();
+            }
+            FoStmt::Return(e) => match e {
+                Some(e) => {
+                    self.expr(e);
+                    self.code.push(Instr::Ret);
+                }
+                None => self.code.push(Instr::RetUnit),
+            },
+            FoStmt::Expr(e) => {
+                self.expr(e);
+                self.code.push(Instr::Pop);
+            }
+        }
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self, e: &FoExpr) {
+        match e {
+            FoExpr::Int(v) => self.push_int(*v),
+            FoExpr::Float(v) => {
+                let i = self.pools.constant(ConstKey::Float(v.to_bits()), Value::Float(*v));
+                self.code.push(Instr::Const(i));
+            }
+            FoExpr::Var(n) => {
+                self.charge(CostExpr::load(1));
+                let slot = self.slot(n);
+                self.code.push(Instr::Load(slot));
+            }
+            FoExpr::Call(name, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                let fid = self
+                    .prog
+                    .func_id(name)
+                    .unwrap_or_else(|| panic!("skil bytecode: no instance `{name}`"));
+                assert_eq!(
+                    self.prog.funcs[fid].params.len(),
+                    args.len(),
+                    "skil bytecode: arity mismatch calling `{name}` from `{}`",
+                    self.fname
+                );
+                // the walker charges the call cost on entry; same total
+                self.charge(CostExpr::call(1));
+                self.code.push(Instr::Call(fid as u32));
+            }
+            FoExpr::Intrinsic(name, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                let op = Intr::from_name(name)
+                    .unwrap_or_else(|| panic!("skil runtime: unknown intrinsic `{name}`"));
+                match op {
+                    // procId / nProcs charge nothing in the walker
+                    Intr::ProcId | Intr::NProcs => {}
+                    Intr::ArrayGetElem | Intr::ArrayPartBounds => self.charge(CostExpr::load(2)),
+                    Intr::ArrayPutElem => self.charge(CostExpr::load(2).plus(CostExpr::store(1))),
+                    Intr::Print => self.charge(CostExpr::call(1)),
+                    _ => self.charge(CostExpr::int_op(1)),
+                }
+                self.code.push(Instr::Intr(op, args.len() as u8));
+            }
+            FoExpr::Skel { op, fns, args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+                let mut sfns = Vec::with_capacity(fns.len());
+                for fi in fns {
+                    for l in &fi.lifted {
+                        self.expr(l);
+                    }
+                    let fid = self
+                        .prog
+                        .func_id(&fi.func)
+                        .unwrap_or_else(|| panic!("skil bytecode: no instance `{}`", fi.func));
+                    sfns.push(SkelFn {
+                        fid,
+                        n_lifted: fi.lifted.len(),
+                        shape: kernel_shape(&self.prog.funcs[fid]),
+                    });
+                }
+                let site = self.pools.sites.len() as u32;
+                self.pools.sites.push(SkelSite { op: *op, nargs: args.len(), fns: sfns });
+                self.code.push(Instr::Skel(site));
+            }
+            FoExpr::Binary { op, float, lhs, rhs } => {
+                self.charge(CostExpr::binop(*op, *float));
+                if !*float && matches!(op, BinOp::And | BinOp::Or) {
+                    // short-circuit, as the walker evaluates it
+                    self.expr(lhs);
+                    let l_short = self.new_label();
+                    let l_end = self.new_label();
+                    match op {
+                        BinOp::And => self.jump_to(Instr::JumpIfZero(0), l_short),
+                        _ => self.jump_to(Instr::JumpIfNonZero(0), l_short),
+                    }
+                    self.expr(rhs);
+                    self.code.push(Instr::ToBool);
+                    self.jump_to(Instr::Jump(0), l_end);
+                    self.bind(l_short);
+                    self.push_int(if matches!(op, BinOp::And) { 0 } else { 1 });
+                    self.bind(l_end);
+                } else {
+                    self.expr(lhs);
+                    self.expr(rhs);
+                    self.code.push(Instr::Bin(*op, *float));
+                }
+            }
+            FoExpr::Unary { neg, float, expr } => {
+                self.charge(if *float {
+                    CostExpr::of(|c| &mut c.flt_add, 1)
+                } else {
+                    CostExpr::int_op(1)
+                });
+                self.expr(expr);
+                self.code.push(if *neg { Instr::Neg(*float) } else { Instr::Not });
+            }
+            FoExpr::Field { expr, index, .. } => {
+                self.charge(CostExpr::load(1));
+                self.expr(expr);
+                self.code.push(Instr::Field(*index as u16));
+            }
+            FoExpr::IndexAt { expr, index } => {
+                self.charge(CostExpr::load(1));
+                self.expr(expr);
+                self.expr(index);
+                self.code.push(Instr::IndexAt);
+            }
+            FoExpr::MakeIndex(es) => {
+                self.charge(CostExpr::store(2));
+                for e in es {
+                    self.expr(e);
+                }
+                self.code.push(Instr::MakeIndex(es.len() as u8));
+            }
+            FoExpr::MakeStruct(name, es) => {
+                self.charge(CostExpr::store(es.len() as u32));
+                let sid = self
+                    .prog
+                    .struct_id(name)
+                    .unwrap_or_else(|| panic!("skil bytecode: no struct instance `{name}`"));
+                for e in es {
+                    self.expr(e);
+                }
+                self.code.push(Instr::MakeStruct(sid as u32, es.len() as u16));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Disassembly.
+// ---------------------------------------------------------------------
+
+/// Human-readable listing of a compiled program (`skilc --emit-bytecode`).
+pub fn disassemble(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, ce) in p.costs.iter().enumerate() {
+        let _ = writeln!(out, "cost {i}: {ce}");
+    }
+    for (i, v) in p.consts.iter().enumerate() {
+        let _ = writeln!(out, "const {i}: {v:?}");
+    }
+    for (i, s) in p.sites.iter().enumerate() {
+        let fns: Vec<String> = s
+            .fns
+            .iter()
+            .map(|f| {
+                let shape = match &f.shape {
+                    KernelShape::Bin { op, float, a, b } => {
+                        format!("bin {}{} #{a} #{b}", op.lexeme(), if *float { "f" } else { "" })
+                    }
+                    KernelShape::Intrinsic { op, slots } => {
+                        format!("intr {} {slots:?}", op.name())
+                    }
+                    KernelShape::General => "general".into(),
+                };
+                format!("{}+{} [{shape}]", p.funcs[f.fid].name, f.n_lifted)
+            })
+            .collect();
+        let _ =
+            writeln!(out, "site {i}: {} args={} fns=({})", s.op.name(), s.nargs, fns.join(", "));
+    }
+    for f in &p.funcs {
+        let _ = writeln!(out, "\nfn {} (params={}, slots={}):", f.name, f.nparams, f.nslots);
+        for (pc, ins) in f.code.iter().enumerate() {
+            let detail = match ins {
+                Instr::Charge(i) => format!("charge {}", p.costs[*i as usize]),
+                Instr::Const(i) => format!("const {:?}", p.consts[*i as usize]),
+                Instr::Load(s) => format!("load #{s}"),
+                Instr::Store(s) => format!("store #{s}"),
+                Instr::Pop => "pop".into(),
+                Instr::Jump(t) => format!("jump {t}"),
+                Instr::JumpIfZero(t) => format!("jz {t}"),
+                Instr::JumpIfNonZero(t) => format!("jnz {t}"),
+                Instr::ToBool => "tobool".into(),
+                Instr::Bin(op, float) => {
+                    format!("bin {}{}", op.lexeme(), if *float { "f" } else { "" })
+                }
+                Instr::Neg(float) => format!("neg{}", if *float { "f" } else { "" }),
+                Instr::Not => "not".into(),
+                Instr::Field(i) => format!("field {i}"),
+                Instr::IndexAt => "index_at".into(),
+                Instr::MakeIndex(n) => format!("mkindex {n}"),
+                Instr::MakeStruct(sid, n) => format!("mkstruct {sid} {n}"),
+                Instr::Intr(op, argc) => format!("intr {} {argc}", op.name()),
+                Instr::Call(fid) => format!("call {}", p.funcs[*fid as usize].name),
+                Instr::Skel(s) => {
+                    format!("skel {} (site {s})", p.sites[*s as usize].op.name())
+                }
+                Instr::Ret => "ret".into(),
+                Instr::RetUnit => "ret_unit".into(),
+            };
+            let _ = writeln!(out, "  {pc:>4}: {detail}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_expr_resolves_linearly() {
+        let c = CostModel::t800();
+        let ce = CostExpr { load: 2, store: 1, int_op: 3, ..CostExpr::default() };
+        assert_eq!(ce.resolve(&c), 2 * c.load + c.store + 3 * c.int_op);
+        assert_eq!(ce.to_string(), "2*load+store+3*int_op");
+        assert_eq!(CostExpr::default().to_string(), "0");
+    }
+
+    #[test]
+    fn intr_names_roundtrip() {
+        for op in [
+            Intr::Abs,
+            Intr::Sqrt,
+            Intr::Cons,
+            Intr::ProcId,
+            Intr::ArrayGetElem,
+            Intr::Print,
+            Intr::DistrTorus2d,
+        ] {
+            assert_eq!(Intr::from_name(op.name()), Some(op));
+        }
+        assert_eq!(Intr::from_name("no_such_intrinsic"), None);
+    }
+
+    #[test]
+    fn pure_set_matches_eval_pure() {
+        // every pure intrinsic evaluates; every stateful one declines
+        assert!(Intr::Min.eval_pure(&[Value::Int(3), Value::Int(5)]).is_some());
+        assert!(Intr::Nil.eval_pure(&[]).is_some());
+        assert!(Intr::ProcId.eval_pure(&[]).is_none());
+        assert!(Intr::Print.eval_pure(&[Value::Int(1)]).is_none());
+        assert!(!Intr::ArrayPutElem.is_pure());
+        assert!(Intr::Len.is_pure());
+    }
+
+    #[test]
+    fn charge_merging_stops_at_labels() {
+        // while (x) { x = x - 1; } — the loop-top label must keep the
+        // per-iteration charge separate from the preceding charges
+        let f = FoFunc {
+            name: "f".into(),
+            origin: "f".into(),
+            params: vec![("x".into(), crate::fo::FoTy::Int)],
+            ret: crate::fo::FoTy::Void,
+            body: vec![FoStmt::While {
+                cond: FoExpr::Var("x".into()),
+                body: vec![FoStmt::Assign {
+                    name: "x".into(),
+                    value: FoExpr::Binary {
+                        op: BinOp::Sub,
+                        float: false,
+                        lhs: Box::new(FoExpr::Var("x".into())),
+                        rhs: Box::new(FoExpr::Int(1)),
+                    },
+                }],
+            }],
+        };
+        let mut prog = FoProgram::default();
+        prog.funcs.push(f);
+        prog.reindex();
+        let code = compile_program(&prog);
+        let cf = &code.funcs[0];
+        // first instruction is the loop-top charge (int_op for the
+        // condition merged with the load of `x`)
+        assert!(matches!(cf.code[0], Instr::Charge(_)));
+        // a jump back to instruction 0 exists (the loop)
+        assert!(cf.code.iter().any(|i| matches!(i, Instr::Jump(0))));
+        // and the function ends by returning unit
+        assert_eq!(*cf.code.last().unwrap(), Instr::RetUnit);
+    }
+}

@@ -8,6 +8,8 @@
 //! former partial applications — the paper's calling convention after
 //! "inlining and lifting".
 
+use std::collections::HashMap;
+
 use skil_runtime::CostModel;
 
 /// A monomorphic first-order type.
@@ -328,17 +330,51 @@ pub struct FoProgram {
     pub structs: Vec<FoStruct>,
     /// Function instances; `main` is among them.
     pub funcs: Vec<FoFunc>,
+    /// Name → index into `funcs`, built by [`FoProgram::reindex`]. When
+    /// stale (an instance was pushed since the last reindex) lookups fall
+    /// back to the linear scan, so incremental construction stays correct.
+    fn_index: HashMap<String, usize>,
+    /// Name → index into `structs`; same staleness rule.
+    struct_index: HashMap<String, usize>,
 }
 
 impl FoProgram {
+    /// Rebuild the name → index tables. The instantiation procedure calls
+    /// this once after the last instance is produced; every engine
+    /// (AST walker, bytecode compiler, VM) then resolves names in O(1)
+    /// instead of scanning `funcs`.
+    pub fn reindex(&mut self) {
+        self.fn_index = self.funcs.iter().enumerate().map(|(i, f)| (f.name.clone(), i)).collect();
+        self.struct_index =
+            self.structs.iter().enumerate().map(|(i, s)| (s.name.clone(), i)).collect();
+    }
+
+    /// Index of a function instance by name.
+    pub fn func_id(&self, name: &str) -> Option<usize> {
+        if self.fn_index.len() == self.funcs.len() {
+            self.fn_index.get(name).copied()
+        } else {
+            self.funcs.iter().position(|f| f.name == name)
+        }
+    }
+
     /// Find a function instance by name.
     pub fn func(&self, name: &str) -> Option<&FoFunc> {
-        self.funcs.iter().find(|f| f.name == name)
+        self.func_id(name).map(|i| &self.funcs[i])
+    }
+
+    /// Index of a struct instance by name.
+    pub fn struct_id(&self, name: &str) -> Option<usize> {
+        if self.struct_index.len() == self.structs.len() {
+            self.struct_index.get(name).copied()
+        } else {
+            self.structs.iter().position(|s| s.name == name)
+        }
     }
 
     /// Find a struct instance by name.
     pub fn struct_def(&self, name: &str) -> Option<&FoStruct> {
-        self.structs.iter().find(|s| s.name == name)
+        self.struct_id(name).map(|i| &self.structs[i])
     }
 
     /// True when no expression anywhere contains a higher-order construct

@@ -101,6 +101,7 @@ pub fn instantiate(ck: &mut Checked) -> Result<FoProgram> {
     };
     let name = inst.request_instance("main", vec![], vec![], Pos::default())?;
     debug_assert_eq!(name, "main");
+    inst.out.reindex();
     Ok(inst.out)
 }
 

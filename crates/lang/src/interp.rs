@@ -23,10 +23,10 @@ use skil_runtime::{Distr, Machine, Proc, Run};
 
 use crate::builtins::{DISTR_DEFAULT, DISTR_RING, DISTR_TORUS2D};
 use crate::fo::{static_cost, BinOp, FnInst, FoExpr, FoFunc, FoProgram, FoStmt, SkelOp};
-use crate::value::Value;
+use crate::value::{ConsList, Value};
 
 /// Tag used to broadcast task-skeleton results to all processors.
-const LANG_RESULT_TAG: u64 = 0x3100_0000;
+pub(crate) const LANG_RESULT_TAG: u64 = 0x3100_0000;
 
 /// Run an instantiated program on a machine; returns each processor's
 /// `print` output.
@@ -35,9 +35,10 @@ pub fn run_program(prog: &FoProgram, machine: &Machine) -> Run<Vec<String>> {
         let mut interp = Interp { prog, proc: p, arrays: Vec::new(), output: Vec::new() };
         let main = prog.func("main").expect("instantiated program has main");
         debug_assert!(main.params.is_empty());
-        let mut locals = vec![HashMap::new()];
-        let flow = interp.eval_stmts(&main.body, &mut locals);
-        let _ = flow;
+        let mut locals = Locals::new("main", HashMap::new());
+        // main's return value (if any) is discarded: the program's
+        // observable output is what it printed
+        interp.eval_stmts(&main.body, &mut locals);
         interp.output
     })
 }
@@ -47,27 +48,39 @@ enum Flow {
     Return(Value),
 }
 
-type Locals = Vec<HashMap<String, Value>>;
+/// The scope stack of one function activation, plus the enclosing
+/// instance name so runtime diagnostics can say *where* they happened.
+struct Locals<'f> {
+    scopes: Vec<HashMap<String, Value>>,
+    fname: &'f str,
+}
 
-fn lookup<'v>(locals: &'v Locals, name: &str) -> &'v Value {
+impl<'f> Locals<'f> {
+    fn new(fname: &'f str, args: HashMap<String, Value>) -> Self {
+        Locals { scopes: vec![args], fname }
+    }
+}
+
+fn lookup<'v>(locals: &'v Locals<'_>, name: &str) -> &'v Value {
     locals
+        .scopes
         .iter()
         .rev()
         .find_map(|s| s.get(name))
-        .unwrap_or_else(|| panic!("skil runtime: unbound variable `{name}`"))
+        .unwrap_or_else(|| panic!("skil runtime: unbound variable `{name}` in `{}`", locals.fname))
 }
 
-fn assign(locals: &mut Locals, name: &str, v: Value) {
-    for scope in locals.iter_mut().rev() {
+fn assign(locals: &mut Locals<'_>, name: &str, v: Value) {
+    for scope in locals.scopes.iter_mut().rev() {
         if let Some(slot) = scope.get_mut(name) {
             *slot = v;
             return;
         }
     }
-    panic!("skil runtime: assignment to unbound `{name}`");
+    panic!("skil runtime: assignment to unbound `{name}` in `{}`", locals.fname);
 }
 
-fn apply_binop(op: BinOp, float: bool, a: Value, b: Value) -> Value {
+pub(crate) fn apply_binop(op: BinOp, float: bool, a: Value, b: Value) -> Value {
     if float {
         let (x, y) = (a.as_float(), b.as_float());
         match op {
@@ -114,64 +127,11 @@ fn apply_binop(op: BinOp, float: bool, a: Value, b: Value) -> Value {
     }
 }
 
-/// Pure scalar intrinsics shared by both evaluators. Returns `None` for
-/// intrinsics that need machine or array state.
-fn pure_intrinsic(name: &str, args: &[Value]) -> Option<Value> {
-    Some(match name {
-        "abs" => Value::Int(args[0].as_int().abs()),
-        "fabs" => Value::Float(args[0].as_float().abs()),
-        "min" => Value::Int(args[0].as_int().min(args[1].as_int())),
-        "max" => Value::Int(args[0].as_int().max(args[1].as_int())),
-        "fmin" => Value::Float(args[0].as_float().min(args[1].as_float())),
-        "fmax" => Value::Float(args[0].as_float().max(args[1].as_float())),
-        "sqrt" => Value::Float(args[0].as_float().sqrt()),
-        "itof" => Value::Float(args[0].as_int() as f64),
-        "ftoi" => Value::Int(args[0].as_float() as i64),
-        "log2i" => {
-            let n = args[0].as_int();
-            assert!(n > 0, "skil runtime: log2i of non-positive value");
-            Value::Int((64 - ((n - 1).max(0) as u64).leading_zeros() as i64).max(0))
-        }
-        "int_max" => Value::Int(i64::MAX / 4),
-        "flt_max" => Value::Float(f64::MAX / 4.0),
-        "DISTR_DEFAULT" => Value::Int(DISTR_DEFAULT),
-        "DISTR_RING" => Value::Int(DISTR_RING),
-        "DISTR_TORUS2D" => Value::Int(DISTR_TORUS2D),
-        "error" => panic!("skil program called error({})", args[0].as_int()),
-        "nil" => Value::List(Vec::new()),
-        "cons" => {
-            let Value::List(rest) = args[1].clone() else {
-                panic!("skil runtime: cons onto a non-list")
-            };
-            let mut items = Vec::with_capacity(rest.len() + 1);
-            items.push(args[0].clone());
-            items.extend(rest);
-            Value::List(items)
-        }
-        "head" => match &args[0] {
-            Value::List(items) if !items.is_empty() => items[0].clone(),
-            Value::List(_) => panic!("skil runtime: head of an empty list"),
-            other => panic!("skil runtime: head of {other:?}"),
-        },
-        "tail" => match &args[0] {
-            Value::List(items) if !items.is_empty() => Value::List(items[1..].to_vec()),
-            Value::List(_) => panic!("skil runtime: tail of an empty list"),
-            other => panic!("skil runtime: tail of {other:?}"),
-        },
-        "len" => match &args[0] {
-            Value::List(items) => Value::Int(items.len() as i64),
-            other => panic!("skil runtime: len of {other:?}"),
-        },
-        "append" => match (&args[0], &args[1]) {
-            (Value::List(a), Value::List(b)) => {
-                let mut out = a.clone();
-                out.extend(b.iter().cloned());
-                Value::List(out)
-            }
-            _ => panic!("skil runtime: append of non-lists"),
-        },
-        _ => return None,
-    })
+/// Pure scalar intrinsics shared by both evaluators (and mirrored by the
+/// bytecode VM's opcode table). Returns `None` for intrinsics that need
+/// machine or array state.
+pub(crate) fn pure_intrinsic(name: &str, args: &[Value]) -> Option<Value> {
+    crate::bytecode::Intr::from_name(name).and_then(|i| i.eval_pure(args))
 }
 
 /// The virtual-cycle charge for one invocation of a skeleton argument
@@ -179,7 +139,7 @@ fn pure_intrinsic(name: &str, args: &[Value]) -> Option<Value> {
 /// operator section or a single intrinsic call — into the skeleton
 /// instance, so those cost just the operation; anything larger keeps the
 /// residual first-order call plus its statically estimated body.
-fn kernel_cycles(f: &FoFunc, cost: &skil_runtime::CostModel) -> u64 {
+pub(crate) fn kernel_cycles(f: &FoFunc, cost: &skil_runtime::CostModel) -> u64 {
     if let [FoStmt::Return(Some(expr))] = f.body.as_slice() {
         match expr {
             FoExpr::Binary { op, float, lhs, rhs }
@@ -204,7 +164,7 @@ fn kernel_cycles(f: &FoFunc, cost: &skil_runtime::CostModel) -> u64 {
     cost.call + static_cost(f, cost)
 }
 
-fn to_uindex(v: [i64; 2]) -> Index {
+pub(crate) fn to_uindex(v: [i64; 2]) -> Index {
     assert!(v[0] >= 0 && v[1] >= 0, "skil runtime: negative index {{{}, {}}}", v[0], v[1]);
     [v[0] as usize, v[1] as usize]
 }
@@ -227,8 +187,15 @@ impl<'a> KernelEv<'a> {
     fn call(&self, name: &str, args: Vec<Value>) -> Value {
         let f =
             self.prog.func(name).unwrap_or_else(|| panic!("skil runtime: no instance `{name}`"));
-        assert_eq!(f.params.len(), args.len(), "skil runtime: arity mismatch calling `{name}`");
-        let mut locals: Locals = vec![f.params.iter().map(|(n, _)| n.clone()).zip(args).collect()];
+        assert_eq!(
+            f.params.len(),
+            args.len(),
+            "skil runtime: arity mismatch calling `{name}`: {} params, {} args",
+            f.params.len(),
+            args.len()
+        );
+        let mut locals =
+            Locals::new(&f.name, f.params.iter().map(|(n, _)| n.clone()).zip(args).collect());
         match self.eval_stmts(&f.body, &mut locals) {
             Flow::Return(v) => v,
             Flow::Normal => Value::Unit,
@@ -236,17 +203,17 @@ impl<'a> KernelEv<'a> {
     }
 
     fn eval_stmts(&self, stmts: &[FoStmt], locals: &mut Locals) -> Flow {
-        locals.push(HashMap::new());
+        locals.scopes.push(HashMap::new());
         for s in stmts {
             match self.eval_stmt(s, locals) {
                 Flow::Normal => {}
                 r => {
-                    locals.pop();
+                    locals.scopes.pop();
                     return r;
                 }
             }
         }
-        locals.pop();
+        locals.scopes.pop();
         Flow::Normal
     }
 
@@ -254,7 +221,7 @@ impl<'a> KernelEv<'a> {
         match s {
             FoStmt::Decl { name, init, .. } => {
                 let v = init.as_ref().map_or(Value::Unit, |e| self.eval_expr(e, locals));
-                locals.last_mut().expect("scope").insert(name.clone(), v);
+                locals.scopes.last_mut().expect("scope").insert(name.clone(), v);
                 Flow::Normal
             }
             FoStmt::Assign { name, value } => {
@@ -278,10 +245,10 @@ impl<'a> KernelEv<'a> {
                 Flow::Normal
             }
             FoStmt::For { init, cond, step, body } => {
-                locals.push(HashMap::new());
+                locals.scopes.push(HashMap::new());
                 if let Some(i) = init {
                     if let Flow::Return(v) = self.eval_stmt(i, locals) {
-                        locals.pop();
+                        locals.scopes.pop();
                         return Flow::Return(v);
                     }
                 }
@@ -292,17 +259,17 @@ impl<'a> KernelEv<'a> {
                         }
                     }
                     if let Flow::Return(v) = self.eval_stmts(body, locals) {
-                        locals.pop();
+                        locals.scopes.pop();
                         return Flow::Return(v);
                     }
                     if let Some(st) = step {
                         if let Flow::Return(v) = self.eval_stmt(st, locals) {
-                            locals.pop();
+                            locals.scopes.pop();
                             return Flow::Return(v);
                         }
                     }
                 }
-                locals.pop();
+                locals.scopes.pop();
                 Flow::Normal
             }
             FoStmt::Return(e) => {
@@ -406,12 +373,7 @@ impl<'a> KernelEv<'a> {
                 Value::Index(ix)
             }
             FoExpr::MakeStruct(name, es) => {
-                let id = self
-                    .prog
-                    .structs
-                    .iter()
-                    .position(|s| &s.name == name)
-                    .expect("struct instance");
+                let id = self.prog.struct_id(name).expect("struct instance");
                 let fields = es.iter().map(|e| self.eval_expr(e, locals)).collect();
                 Value::Struct(id as u32, fields)
             }
@@ -431,12 +393,20 @@ struct Interp<'a, 'p, 'm> {
 }
 
 impl<'a, 'p, 'm> Interp<'a, 'p, 'm> {
-    fn call(&mut self, name: &str, args: Vec<Value>) -> Value {
-        let f =
-            self.prog.func(name).unwrap_or_else(|| panic!("skil runtime: no instance `{name}`"));
-        assert_eq!(f.params.len(), args.len(), "arity mismatch calling `{name}`");
+    fn call(&mut self, name: &str, args: Vec<Value>, caller: &str) -> Value {
+        let f = self.prog.func(name).unwrap_or_else(|| {
+            panic!("skil runtime: no instance `{name}` (called from `{caller}`)")
+        });
+        assert_eq!(
+            f.params.len(),
+            args.len(),
+            "arity mismatch calling `{name}` from `{caller}`: {} params, {} args",
+            f.params.len(),
+            args.len()
+        );
         self.proc.charge(self.proc.cost().call);
-        let mut locals: Locals = vec![f.params.iter().map(|(n, _)| n.clone()).zip(args).collect()];
+        let mut locals =
+            Locals::new(&f.name, f.params.iter().map(|(n, _)| n.clone()).zip(args).collect());
         match self.eval_stmts(&f.body, &mut locals) {
             Flow::Return(v) => v,
             Flow::Normal => Value::Unit,
@@ -444,17 +414,17 @@ impl<'a, 'p, 'm> Interp<'a, 'p, 'm> {
     }
 
     fn eval_stmts(&mut self, stmts: &[FoStmt], locals: &mut Locals) -> Flow {
-        locals.push(HashMap::new());
+        locals.scopes.push(HashMap::new());
         for s in stmts {
             match self.eval_stmt(s, locals) {
                 Flow::Normal => {}
                 r => {
-                    locals.pop();
+                    locals.scopes.pop();
                     return r;
                 }
             }
         }
-        locals.pop();
+        locals.scopes.pop();
         Flow::Normal
     }
 
@@ -463,7 +433,7 @@ impl<'a, 'p, 'm> Interp<'a, 'p, 'm> {
             FoStmt::Decl { name, init, .. } => {
                 let v = init.as_ref().map_or(Value::Unit, |e| self.eval_expr(e, locals));
                 self.proc.charge(self.proc.cost().store);
-                locals.last_mut().expect("scope").insert(name.clone(), v);
+                locals.scopes.last_mut().expect("scope").insert(name.clone(), v);
                 Flow::Normal
             }
             FoStmt::Assign { name, value } => {
@@ -493,10 +463,10 @@ impl<'a, 'p, 'm> Interp<'a, 'p, 'm> {
                 Flow::Normal
             }
             FoStmt::For { init, cond, step, body } => {
-                locals.push(HashMap::new());
+                locals.scopes.push(HashMap::new());
                 if let Some(i) = init {
                     if let Flow::Return(v) = self.eval_stmt(i, locals) {
-                        locals.pop();
+                        locals.scopes.pop();
                         return Flow::Return(v);
                     }
                 }
@@ -508,17 +478,17 @@ impl<'a, 'p, 'm> Interp<'a, 'p, 'm> {
                         }
                     }
                     if let Flow::Return(v) = self.eval_stmts(body, locals) {
-                        locals.pop();
+                        locals.scopes.pop();
                         return Flow::Return(v);
                     }
                     if let Some(st) = step {
                         if let Flow::Return(v) = self.eval_stmt(st, locals) {
-                            locals.pop();
+                            locals.scopes.pop();
                             return Flow::Return(v);
                         }
                     }
                 }
-                locals.pop();
+                locals.scopes.pop();
                 Flow::Normal
             }
             FoStmt::Return(e) => {
@@ -541,7 +511,7 @@ impl<'a, 'p, 'm> Interp<'a, 'p, 'm> {
             }
             FoExpr::Call(name, args) => {
                 let vals: Vec<Value> = args.iter().map(|a| self.eval_expr(a, locals)).collect();
-                self.call(name, vals)
+                self.call(name, vals, locals.fname)
             }
             FoExpr::Intrinsic(name, args) => {
                 let vals: Vec<Value> = args.iter().map(|a| self.eval_expr(a, locals)).collect();
@@ -611,12 +581,7 @@ impl<'a, 'p, 'm> Interp<'a, 'p, 'm> {
             }
             FoExpr::MakeStruct(name, es) => {
                 self.proc.charge(es.len() as u64 * self.proc.cost().store);
-                let id = self
-                    .prog
-                    .structs
-                    .iter()
-                    .position(|s| &s.name == name)
-                    .expect("struct instance");
+                let id = self.prog.struct_id(name).expect("struct instance");
                 let fields = es.iter().map(|e| self.eval_expr(e, locals)).collect();
                 Value::Struct(id as u32, fields)
             }
@@ -940,7 +905,7 @@ impl<'a, 'p, 'm> Interp<'a, 'p, 'm> {
                                 let mut a = pl.clone();
                                 a.push(p.clone());
                                 match pk.call(&pn, a) {
-                                    Value::List(items) => items,
+                                    Value::List(items) => items.to_vec(),
                                     other => {
                                         panic!("skil runtime: split returned {other:?}, not a list")
                                     }
@@ -951,7 +916,7 @@ impl<'a, 'p, 'm> Interp<'a, 'p, 'm> {
                         join: Kernel::new(
                             move |parts: Vec<Value>| {
                                 let mut a = jl.clone();
-                                a.push(Value::List(parts));
+                                a.push(Value::List(ConsList::from_vec(parts)));
                                 jk.call(&jn, a)
                             },
                             jc,
@@ -988,11 +953,12 @@ impl<'a, 'p, 'm> Interp<'a, 'p, 'm> {
                         },
                         *cycles,
                     );
-                    skil_core::farm(self.proc, 0, (me == 0).then_some(tasks), worker)
+                    skil_core::farm(self.proc, 0, (me == 0).then_some(tasks.to_vec()), worker)
                         .unwrap_or_else(|e| panic!("skil runtime: {e}"))
                 };
                 if me == 0 {
-                    let v = Value::List(result.expect("master holds the results"));
+                    let v =
+                        Value::List(ConsList::from_vec(result.expect("master holds the results")));
                     self.proc.broadcast(0, LANG_RESULT_TAG, Some(v))
                 } else {
                     self.proc.broadcast(0, LANG_RESULT_TAG, None)

@@ -21,11 +21,17 @@
 //!    partial-application arguments are lifted into parameters, and
 //!    polymorphic functions are monomorphized; the result
 //!    ([`fo::FoProgram`]) contains no functional features at all.
-//! 4. Either [`emit_c::emit_c`] — pretty-print the first-order program as
-//!    the C the paper's compiler would hand to its back end — or
-//!    [`interp::run_program`] — execute it SPMD on a
-//!    [`skil_runtime::Machine`], with skeleton calls dispatched to
-//!    `skil-core` and virtual cycles charged per IR operation.
+//! 4. [`bytecode::compile_program`] — resolve variables to frame slots
+//!    and callees to dense indices, flatten the statement tree into a
+//!    compact instruction stream with symbolic cycle charges.
+//! 5. Either [`emit_c::emit_c`] — pretty-print the first-order program as
+//!    the C the paper's compiler would hand to its back end — or execute
+//!    it SPMD on a [`skil_runtime::Machine`] with skeleton calls
+//!    dispatched to `skil-core` and virtual cycles charged per IR
+//!    operation. Two engines exist: the bytecode VM
+//!    ([`vm::run_program_vm`], the default) and the AST walker
+//!    ([`interp::run_program`], the reference) — their virtual time is
+//!    bit-identical by construction.
 //!
 //! ```
 //! use skil_lang::compile;
@@ -50,6 +56,7 @@
 
 pub mod ast;
 pub mod builtins;
+pub mod bytecode;
 pub mod check;
 pub mod diag;
 pub mod emit_c;
@@ -60,6 +67,7 @@ pub mod parser;
 pub mod token;
 pub mod types;
 pub mod value;
+pub mod vm;
 
 use skil_runtime::{Machine, Run};
 
@@ -67,11 +75,24 @@ pub use diag::{Diag, Phase, Pos};
 pub use fo::FoProgram;
 pub use value::Value;
 
-/// A compiled Skil program: parsed, type-checked, and instantiated.
+/// Which execution engine runs an instantiated program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The AST walker — the reference engine.
+    Ast,
+    /// The bytecode VM — the fast engine, bit-identical virtual time.
+    #[default]
+    Vm,
+}
+
+/// A compiled Skil program: parsed, type-checked, instantiated, and
+/// compiled to bytecode.
 #[derive(Debug, Clone)]
 pub struct Compiled {
     /// The instantiated first-order program.
     pub fo: FoProgram,
+    /// Its bytecode form (slot-resolved, charge-annotated).
+    pub code: bytecode::Program,
 }
 
 /// Compile Skil source through the full front end.
@@ -79,7 +100,8 @@ pub fn compile(src: &str) -> diag::Result<Compiled> {
     let prog = parser::parse(src)?;
     let mut ck = check::check(&prog)?;
     let fo = instantiate::instantiate(&mut ck)?;
-    Ok(Compiled { fo })
+    let code = bytecode::compile_program(&fo);
+    Ok(Compiled { fo, code })
 }
 
 impl Compiled {
@@ -89,9 +111,24 @@ impl Compiled {
         emit_c::emit_c(&self.fo)
     }
 
-    /// Execute the program SPMD on a machine; each processor's `print`
-    /// output is returned in `results`.
+    /// Execute the program SPMD on a machine with the default engine
+    /// (the bytecode VM); each processor's `print` output is returned in
+    /// `results`.
     pub fn run(&self, machine: &Machine) -> Run<Vec<String>> {
-        interp::run_program(&self.fo, machine)
+        self.run_with(Engine::Vm, machine)
+    }
+
+    /// Execute with an explicit engine. Both engines print the same
+    /// output and charge bit-identical virtual time.
+    pub fn run_with(&self, engine: Engine, machine: &Machine) -> Run<Vec<String>> {
+        match engine {
+            Engine::Ast => interp::run_program(&self.fo, machine),
+            Engine::Vm => vm::run_program_vm(&self.fo, &self.code, machine),
+        }
+    }
+
+    /// Human-readable bytecode listing (`skilc --emit-bytecode`).
+    pub fn disassemble(&self) -> String {
+        bytecode::disassemble(&self.code)
     }
 }

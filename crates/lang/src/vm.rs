@@ -1,0 +1,755 @@
+//! The bytecode VM for instantiated Skil programs.
+//!
+//! Executes the [`crate::bytecode`] form of a program with the same SPMD
+//! semantics as the AST walker in [`crate::interp`] — and, by
+//! construction, the same *virtual time*: the compiler placed
+//! [`Instr::Charge`] instructions exactly where the walker charges, so
+//! every communication event happens at a bit-identical cycle count.
+//! What the VM buys is host speed: variables are frame slots (one flat
+//! `Vec<Value>` per activation, pooled and reused), callees are dense
+//! indices, and charges are pre-resolved `u64`s looked up by index.
+//!
+//! Skeleton argument functions run under [`KernelVm`], the bytecode
+//! analogue of the walker's restricted kernel evaluator: `Charge`
+//! instructions are skipped (the skeleton charges the statically
+//! estimated kernel cost per element), arrays are read-only, and
+//! skeleton calls or `print` abort with the same diagnostics. Trivial
+//! kernels — an operator section or one pure intrinsic over parameters —
+//! were classified by the compiler ([`KernelShape`]) and execute as
+//! direct computations without touching a frame at all.
+
+use std::cell::RefCell;
+
+use skil_array::{ArraySpec, DistArray, Distribution, Index};
+use skil_core::{
+    array_broadcast_part, array_copy, array_create, array_fold, array_gen_mult, array_map,
+    array_map_inplace, array_permute_rows, Kernel,
+};
+use skil_runtime::{Distr, Machine, Proc, Run};
+
+use crate::builtins::{DISTR_DEFAULT, DISTR_RING, DISTR_TORUS2D};
+use crate::bytecode::{Instr, Intr, KernelShape, Program, SkelFn, SkelSite};
+use crate::fo::{FoProgram, SkelOp};
+use crate::interp::{apply_binop, kernel_cycles, to_uindex, LANG_RESULT_TAG};
+use crate::value::{ConsList, Value};
+
+/// Run a compiled program on a machine; returns each processor's `print`
+/// output. Virtual time is bit-identical to [`crate::interp::run_program`].
+pub fn run_program_vm(prog: &FoProgram, code: &Program, machine: &Machine) -> Run<Vec<String>> {
+    let main = code.main.expect("instantiated program has main");
+    assert_eq!(code.funcs[main].nparams, 0, "main takes no arguments");
+    machine.run(|p| {
+        // resolve the symbolic pools against this machine's cost model,
+        // once per run: the instruction stream itself never changes
+        let cost = p.cost().clone();
+        let costs: Vec<u64> = code.costs.iter().map(|ce| ce.resolve(&cost)).collect();
+        let site_cycles: Vec<Vec<u64>> = code
+            .sites
+            .iter()
+            .map(|s| s.fns.iter().map(|f| kernel_cycles(&prog.funcs[f.fid], &cost)).collect())
+            .collect();
+        let mut vm = Vm {
+            code,
+            costs,
+            site_cycles,
+            proc: p,
+            arrays: Vec::new(),
+            output: Vec::new(),
+            stack: Vec::new(),
+            frames: Vec::new(),
+        };
+        vm.exec(main);
+        // main's return value (if any) is discarded, as in the walker
+        vm.stack.pop();
+        vm.output
+    })
+}
+
+struct Vm<'a, 'p, 'm> {
+    code: &'a Program,
+    /// `code.costs` resolved to cycles under this machine's cost model.
+    costs: Vec<u64>,
+    /// Per site, per argument function: the kernel charge per element.
+    site_cycles: Vec<Vec<u64>>,
+    proc: &'p mut Proc<'m>,
+    arrays: Vec<Option<DistArray<Value>>>,
+    output: Vec<String>,
+    /// Operand stack, shared across activations.
+    stack: Vec<Value>,
+    /// Pool of retired frames, reused by later activations.
+    frames: Vec<Vec<Value>>,
+}
+
+impl Vm<'_, '_, '_> {
+    /// Execute function `fid`: pops its arguments off the operand stack,
+    /// pushes its return value.
+    fn exec(&mut self, fid: usize) {
+        let code = self.code;
+        let f = &code.funcs[fid];
+        let mut frame = self.frames.pop().unwrap_or_default();
+        frame.clear();
+        frame.resize(f.nslots, Value::Unit);
+        let base = self.stack.len() - f.nparams;
+        for (slot, v) in self.stack.drain(base..).enumerate() {
+            frame[slot] = v;
+        }
+        let mut pc = 0usize;
+        loop {
+            let ins = f.code[pc];
+            pc += 1;
+            match ins {
+                Instr::Charge(i) => self.proc.charge(self.costs[i as usize]),
+                Instr::Const(i) => self.stack.push(code.consts[i as usize].clone()),
+                Instr::Load(s) => self.stack.push(frame[s as usize].clone()),
+                Instr::Store(s) => frame[s as usize] = self.stack.pop().expect("store operand"),
+                Instr::Pop => {
+                    self.stack.pop();
+                }
+                Instr::Jump(t) => pc = t as usize,
+                Instr::JumpIfZero(t) => {
+                    if self.stack.pop().expect("cond").as_int() == 0 {
+                        pc = t as usize;
+                    }
+                }
+                Instr::JumpIfNonZero(t) => {
+                    if self.stack.pop().expect("cond").as_int() != 0 {
+                        pc = t as usize;
+                    }
+                }
+                Instr::ToBool => {
+                    let v = self.stack.pop().expect("operand");
+                    self.stack.push(Value::Int((v.as_int() != 0) as i64));
+                }
+                Instr::Bin(op, float) => {
+                    let b = self.stack.pop().expect("rhs");
+                    let a = self.stack.pop().expect("lhs");
+                    self.stack.push(apply_binop(op, float, a, b));
+                }
+                Instr::Neg(float) => {
+                    let v = self.stack.pop().expect("operand");
+                    self.stack.push(if float {
+                        Value::Float(-v.as_float())
+                    } else {
+                        Value::Int(-v.as_int())
+                    });
+                }
+                Instr::Not => {
+                    let v = self.stack.pop().expect("operand");
+                    self.stack.push(Value::Int((v.as_int() == 0) as i64));
+                }
+                Instr::Field(i) => {
+                    let v = self.stack.pop().expect("struct");
+                    self.stack.push(field(v, i as usize));
+                }
+                Instr::IndexAt => {
+                    let i = self.stack.pop().expect("component").as_int();
+                    let ix = self.stack.pop().expect("index").as_index();
+                    assert!((0..2).contains(&i), "skil runtime: Index component {i} out of range");
+                    self.stack.push(Value::Int(ix[i as usize]));
+                }
+                Instr::MakeIndex(n) => {
+                    let mut ix = [0i64; 2];
+                    for slot in (0..n as usize).rev() {
+                        ix[slot] = self.stack.pop().expect("index component").as_int();
+                    }
+                    self.stack.push(Value::Index(ix));
+                }
+                Instr::MakeStruct(sid, n) => {
+                    let at = self.stack.len() - n as usize;
+                    let fields = self.stack.split_off(at);
+                    self.stack.push(Value::Struct(sid, fields));
+                }
+                Instr::Intr(op, argc) => {
+                    let at = self.stack.len() - argc as usize;
+                    let vals = self.stack.split_off(at);
+                    let v = self.intrinsic(op, vals);
+                    self.stack.push(v);
+                }
+                Instr::Call(callee) => self.exec(callee as usize),
+                Instr::Skel(site) => self.exec_skel(site as usize),
+                Instr::Ret => break,
+                Instr::RetUnit => {
+                    self.stack.push(Value::Unit);
+                    break;
+                }
+            }
+        }
+        frame.clear();
+        self.frames.push(frame);
+    }
+
+    /// Stateful intrinsics; the matching charge was already emitted as a
+    /// `Charge` instruction by the compiler.
+    fn intrinsic(&mut self, op: Intr, vals: Vec<Value>) -> Value {
+        if let Some(v) = op.eval_pure(&vals) {
+            return v;
+        }
+        match op {
+            Intr::ProcId => Value::Int(self.proc.id() as i64),
+            Intr::NProcs => Value::Int(self.proc.nprocs() as i64),
+            Intr::ArrayGetElem => {
+                let arr = self.arrays[vals[0].as_array()].as_ref().expect("array alive");
+                let ix = to_uindex(vals[1].as_index());
+                match arr.get(ix) {
+                    Ok(v) => v.clone(),
+                    Err(e) => panic!("skil runtime: {e}"),
+                }
+            }
+            Intr::ArrayPutElem => {
+                let h = vals[0].as_array();
+                let ix = to_uindex(vals[1].as_index());
+                let arr = self.arrays[h].as_mut().expect("array alive");
+                if let Err(e) = arr.put(ix, vals[2].clone()) {
+                    panic!("skil runtime: {e}");
+                }
+                Value::Unit
+            }
+            Intr::ArrayPartBounds => {
+                let arr = self.arrays[vals[0].as_array()].as_ref().expect("array alive");
+                let b = arr.part_bounds().unwrap_or_else(|e| panic!("skil runtime: {e}"));
+                Value::Bounds(
+                    [b.lower[0] as i64, b.lower[1] as i64],
+                    [b.upper[0] as i64, b.upper[1] as i64],
+                )
+            }
+            Intr::Print => {
+                self.output.push(vals[0].render());
+                Value::Unit
+            }
+            other => unreachable!("pure intrinsic {} fell through", other.name()),
+        }
+    }
+
+    /// Dispatch a skeleton call site to `skil-core`, running argument
+    /// functions under the kernel VM.
+    fn exec_skel(&mut self, site_ix: usize) {
+        let site: &SkelSite = &self.code.sites[site_ix];
+        let cost = self.proc.cost().clone();
+        // stack layout: [value args..., fn0 lifted..., fn1 lifted...]
+        let mut lifted: Vec<Vec<Value>> = Vec::with_capacity(site.fns.len());
+        for f in site.fns.iter().rev() {
+            let at = self.stack.len() - f.n_lifted;
+            lifted.push(self.stack.split_off(at));
+        }
+        lifted.reverse();
+        let at = self.stack.len() - site.nargs;
+        let vals = self.stack.split_off(at);
+        let cycles = &self.site_cycles[site_ix];
+        let me = self.proc.id();
+        let np = self.proc.nprocs();
+
+        let result = match site.op {
+            SkelOp::Create => {
+                let dim = vals[0].as_int();
+                assert!((1..=2).contains(&dim), "skil runtime: array dim must be 1 or 2");
+                let size = vals[1].as_index();
+                let bs = vals[2].as_index();
+                let lb = vals[3].as_index();
+                let distr = match vals[4].as_int() {
+                    DISTR_DEFAULT => Distr::Default,
+                    DISTR_RING => Distr::Ring,
+                    DISTR_TORUS2D => Distr::Torus2d,
+                    other => panic!("skil runtime: bad distribution constant {other}"),
+                };
+                let spec = ArraySpec {
+                    ndim: dim as usize,
+                    size: [
+                        size[0].max(0) as usize,
+                        if dim == 1 { 1 } else { size[1].max(0) as usize },
+                    ],
+                    blocksize: [bs[0].max(0) as usize, bs[1].max(0) as usize],
+                    lowerbd: [lb[0], lb[1]],
+                    distr,
+                    dist: Distribution::Block,
+                };
+                let handle = self.arrays.len();
+                let arr = {
+                    let kvm = kernel_vm(self.code, &self.arrays, me, np);
+                    let init = Kernel::new(
+                        |ix: Index| {
+                            kvm.run(
+                                &site.fns[0],
+                                &lifted[0],
+                                &[Value::Index([ix[0] as i64, ix[1] as i64])],
+                            )
+                        },
+                        cycles[0],
+                    );
+                    array_create(self.proc, spec, init)
+                        .unwrap_or_else(|e| panic!("skil runtime: {e}"))
+                };
+                self.arrays.push(Some(arr));
+                Value::Array(handle)
+            }
+            SkelOp::Destroy => {
+                self.proc.charge(cost.call);
+                let h = vals[0].as_array();
+                self.arrays[h] = None;
+                Value::Unit
+            }
+            SkelOp::Map => {
+                let from_h = vals[0].as_array();
+                let to_h = vals[1].as_array();
+                if from_h == to_h {
+                    // in-situ replacement, as the paper allows
+                    let mut arr = self.arrays[from_h].take().expect("array alive");
+                    {
+                        let kvm = kernel_vm(self.code, &self.arrays, me, np);
+                        let k = Kernel::new(
+                            |v: &Value, ix: Index| {
+                                kvm.run2(
+                                    &site.fns[0],
+                                    &lifted[0],
+                                    v.clone(),
+                                    Value::Index([ix[0] as i64, ix[1] as i64]),
+                                )
+                            },
+                            cycles[0],
+                        );
+                        array_map_inplace(self.proc, k, &mut arr)
+                            .unwrap_or_else(|e| panic!("skil runtime: {e}"));
+                    }
+                    self.arrays[from_h] = Some(arr);
+                } else {
+                    let mut to = self.arrays[to_h].take().expect("array alive");
+                    {
+                        let from = self.arrays[from_h].as_ref().expect("array alive");
+                        let kvm = kernel_vm(self.code, &self.arrays, me, np);
+                        let k = Kernel::new(
+                            |v: &Value, ix: Index| {
+                                kvm.run2(
+                                    &site.fns[0],
+                                    &lifted[0],
+                                    v.clone(),
+                                    Value::Index([ix[0] as i64, ix[1] as i64]),
+                                )
+                            },
+                            cycles[0],
+                        );
+                        array_map(self.proc, k, from, &mut to)
+                            .unwrap_or_else(|e| panic!("skil runtime: {e}"));
+                    }
+                    self.arrays[to_h] = Some(to);
+                }
+                Value::Unit
+            }
+            SkelOp::Fold => {
+                let h = vals[0].as_array();
+                let arr = self.arrays[h].as_ref().expect("array alive");
+                let kvm = kernel_vm(self.code, &self.arrays, me, np);
+                let conv = Kernel::new(
+                    |v: &Value, ix: Index| {
+                        kvm.run2(
+                            &site.fns[0],
+                            &lifted[0],
+                            v.clone(),
+                            Value::Index([ix[0] as i64, ix[1] as i64]),
+                        )
+                    },
+                    cycles[0],
+                );
+                let fold = Kernel::new(
+                    |x: Value, y: Value| kvm.run2(&site.fns[1], &lifted[1], x, y),
+                    cycles[1],
+                );
+                array_fold(self.proc, conv, fold, arr)
+                    .unwrap_or_else(|e| panic!("skil runtime: {e}"))
+            }
+            SkelOp::Copy => {
+                let from_h = vals[0].as_array();
+                let to_h = vals[1].as_array();
+                assert_ne!(from_h, to_h, "skil runtime: array_copy onto itself");
+                let mut to = self.arrays[to_h].take().expect("array alive");
+                {
+                    let from = self.arrays[from_h].as_ref().expect("array alive");
+                    array_copy(self.proc, from, &mut to)
+                        .unwrap_or_else(|e| panic!("skil runtime: {e}"));
+                }
+                self.arrays[to_h] = Some(to);
+                Value::Unit
+            }
+            SkelOp::BroadcastPart => {
+                let h = vals[0].as_array();
+                let ix = to_uindex(vals[1].as_index());
+                let mut arr = self.arrays[h].take().expect("array alive");
+                array_broadcast_part(self.proc, &mut arr, ix)
+                    .unwrap_or_else(|e| panic!("skil runtime: {e}"));
+                self.arrays[h] = Some(arr);
+                Value::Unit
+            }
+            SkelOp::PermuteRows => {
+                let from_h = vals[0].as_array();
+                let to_h = vals[1].as_array();
+                let mut to = self.arrays[to_h].take().expect("array alive");
+                {
+                    let from = self.arrays[from_h].as_ref().expect("array alive");
+                    // `array_permute_rows` wants `Fn`, not `FnMut`; the
+                    // kernel VM's scratch space is interior-mutable, so a
+                    // shared borrow suffices
+                    let kvm = kernel_vm(self.code, &self.arrays, me, np);
+                    let perm = |r: usize| -> usize {
+                        let v = kvm.run(&site.fns[0], &lifted[0], &[Value::Int(r as i64)]).as_int();
+                        assert!(v >= 0, "skil runtime: negative permuted row {v}");
+                        v as usize
+                    };
+                    array_permute_rows(self.proc, from, perm, &mut to)
+                        .unwrap_or_else(|e| panic!("skil runtime: {e}"));
+                }
+                self.arrays[to_h] = Some(to);
+                Value::Unit
+            }
+            SkelOp::Scan => {
+                let from_h = vals[0].as_array();
+                let to_h = vals[1].as_array();
+                assert_ne!(from_h, to_h, "skil runtime: array_scan onto itself");
+                let mut to = self.arrays[to_h].take().expect("array alive");
+                {
+                    let from = self.arrays[from_h].as_ref().expect("array alive");
+                    let kvm = kernel_vm(self.code, &self.arrays, me, np);
+                    let k = Kernel::new(
+                        |x: Value, y: Value| kvm.run2(&site.fns[0], &lifted[0], x, y),
+                        cycles[0],
+                    );
+                    skil_core::array_scan(self.proc, k, from, &mut to)
+                        .unwrap_or_else(|e| panic!("skil runtime: {e}"));
+                }
+                self.arrays[to_h] = Some(to);
+                Value::Unit
+            }
+            SkelOp::Dc => {
+                let problem = vals[0].clone();
+                let result = {
+                    let kvm = kernel_vm(self.code, &self.arrays, me, np);
+                    let mut ops = skil_core::DcOps {
+                        is_trivial: Kernel::new(
+                            |p: &Value| {
+                                kvm.run(&site.fns[0], &lifted[0], std::slice::from_ref(p)).as_int()
+                                    != 0
+                            },
+                            cycles[0],
+                        ),
+                        solve: Kernel::new(
+                            |p: &Value| kvm.run(&site.fns[1], &lifted[1], std::slice::from_ref(p)),
+                            cycles[1],
+                        ),
+                        split: Kernel::new(
+                            |p: &Value| match kvm.run(
+                                &site.fns[2],
+                                &lifted[2],
+                                std::slice::from_ref(p),
+                            ) {
+                                Value::List(items) => items.to_vec(),
+                                other => {
+                                    panic!("skil runtime: split returned {other:?}, not a list")
+                                }
+                            },
+                            cycles[2],
+                        ),
+                        join: Kernel::new(
+                            |parts: Vec<Value>| {
+                                kvm.run(
+                                    &site.fns[3],
+                                    &lifted[3],
+                                    &[Value::List(ConsList::from_vec(parts))],
+                                )
+                            },
+                            cycles[3],
+                        ),
+                    };
+                    skil_core::divide_conquer(self.proc, (me == 0).then_some(problem), &mut ops)
+                        .unwrap_or_else(|e| panic!("skil runtime: {e}"))
+                };
+                // SPMD expression semantics: dc(...) has a value everywhere
+                if me == 0 {
+                    let v = result.expect("root holds the d&c result");
+                    self.proc.broadcast(0, LANG_RESULT_TAG, Some(v))
+                } else {
+                    self.proc.broadcast(0, LANG_RESULT_TAG, None)
+                }
+            }
+            SkelOp::Farm => {
+                let Value::List(tasks) = vals[0].clone() else {
+                    panic!("skil runtime: farm needs a task list");
+                };
+                let result = {
+                    let kvm = kernel_vm(self.code, &self.arrays, me, np);
+                    let worker = Kernel::new(
+                        |t: &Value| kvm.run(&site.fns[0], &lifted[0], std::slice::from_ref(t)),
+                        cycles[0],
+                    );
+                    skil_core::farm(self.proc, 0, (me == 0).then_some(tasks.to_vec()), worker)
+                        .unwrap_or_else(|e| panic!("skil runtime: {e}"))
+                };
+                if me == 0 {
+                    let v =
+                        Value::List(ConsList::from_vec(result.expect("master holds the results")));
+                    self.proc.broadcast(0, LANG_RESULT_TAG, Some(v))
+                } else {
+                    self.proc.broadcast(0, LANG_RESULT_TAG, None)
+                }
+            }
+            SkelOp::GenMult => {
+                let a_h = vals[0].as_array();
+                let b_h = vals[1].as_array();
+                let c_h = vals[2].as_array();
+                assert!(
+                    a_h != c_h && b_h != c_h && a_h != b_h,
+                    "skil runtime: array_gen_mult requires distinct arrays"
+                );
+                let mut carr = self.arrays[c_h].take().expect("array alive");
+                {
+                    let aarr = self.arrays[a_h].as_ref().expect("array alive");
+                    let barr = self.arrays[b_h].as_ref().expect("array alive");
+                    let kvm = kernel_vm(self.code, &self.arrays, me, np);
+                    let add = Kernel::new(
+                        |x: Value, y: Value| kvm.run2(&site.fns[0], &lifted[0], x, y),
+                        cycles[0],
+                    );
+                    let mul = Kernel::new(
+                        |x: &Value, y: &Value| {
+                            kvm.run2(&site.fns[1], &lifted[1], x.clone(), y.clone())
+                        },
+                        cycles[1],
+                    );
+                    array_gen_mult(self.proc, aarr, barr, add, mul, &mut carr)
+                        .unwrap_or_else(|e| panic!("skil runtime: {e}"));
+                }
+                self.arrays[c_h] = Some(carr);
+                Value::Unit
+            }
+        };
+        self.stack.push(result);
+    }
+}
+
+fn kernel_vm<'a>(
+    code: &'a Program,
+    arrays: &'a [Option<DistArray<Value>>],
+    me: usize,
+    nprocs: usize,
+) -> KernelVm<'a> {
+    KernelVm { code, arrays, me, nprocs, scratch: RefCell::new(Scratch::default()) }
+}
+
+fn field(v: Value, index: usize) -> Value {
+    match v {
+        Value::Struct(_, fields) => fields[index].clone(),
+        Value::Bounds(lo, up) => Value::Index(if index == 0 { lo } else { up }),
+        other => panic!("skil runtime: field access on {other:?}"),
+    }
+}
+
+#[derive(Default)]
+struct Scratch {
+    stack: Vec<Value>,
+    frames: Vec<Vec<Value>>,
+}
+
+/// Restricted bytecode executor for skeleton argument functions:
+/// read-only arrays, no skeletons, no printing, and `Charge`
+/// instructions are skipped — the per-element kernel charge is applied
+/// by the skeleton itself. Scratch space (operand stack + frame pool) is
+/// interior-mutable so kernels can be invoked through `Fn` closures.
+struct KernelVm<'a> {
+    code: &'a Program,
+    arrays: &'a [Option<DistArray<Value>>],
+    me: usize,
+    nprocs: usize,
+    scratch: RefCell<Scratch>,
+}
+
+impl KernelVm<'_> {
+    /// Invoke an argument function with `lifted ++ extra` as arguments.
+    fn run(&self, f: &SkelFn, lifted: &[Value], extra: &[Value]) -> Value {
+        let cf = &self.code.funcs[f.fid];
+        assert_eq!(
+            cf.nparams,
+            lifted.len() + extra.len(),
+            "skil runtime: arity mismatch calling `{}`: {} params, {} args",
+            cf.name,
+            cf.nparams,
+            lifted.len() + extra.len()
+        );
+        // parameter position → argument, without materializing a vector
+        let pick = |i: usize| {
+            if i < lifted.len() {
+                &lifted[i]
+            } else {
+                &extra[i - lifted.len()]
+            }
+        };
+        match &f.shape {
+            KernelShape::Bin { op, float, a, b } => {
+                apply_binop(*op, *float, pick(*a).clone(), pick(*b).clone())
+            }
+            KernelShape::Intrinsic { op, slots } => {
+                let args: Vec<Value> = slots.iter().map(|&s| pick(s).clone()).collect();
+                op.eval_pure(&args).expect("shape-classified intrinsic is pure")
+            }
+            KernelShape::General => {
+                let mut s = self.scratch.borrow_mut();
+                let Scratch { stack, frames } = &mut *s;
+                stack.extend(lifted.iter().cloned());
+                stack.extend(extra.iter().cloned());
+                self.exec(f.fid, stack, frames);
+                stack.pop().expect("kernel return value")
+            }
+        }
+    }
+
+    /// Two-element-argument variant (map / fold / scan kernels), sparing
+    /// the caller a temporary slice.
+    fn run2(&self, f: &SkelFn, lifted: &[Value], x: Value, y: Value) -> Value {
+        match &f.shape {
+            KernelShape::Bin { op, float, a, b } => {
+                let n = lifted.len();
+                let pick = |i: usize| {
+                    if i < n {
+                        lifted[i].clone()
+                    } else if i == n {
+                        x.clone()
+                    } else {
+                        y.clone()
+                    }
+                };
+                apply_binop(*op, *float, pick(*a), pick(*b))
+            }
+            _ => self.run(f, lifted, &[x, y]),
+        }
+    }
+
+    /// The kernel-mode dispatch loop. Identical to the full VM's except
+    /// for the restrictions documented on [`KernelVm`].
+    fn exec(&self, fid: usize, stack: &mut Vec<Value>, frames: &mut Vec<Vec<Value>>) {
+        let code = self.code;
+        let f = &code.funcs[fid];
+        let mut frame = frames.pop().unwrap_or_default();
+        frame.clear();
+        frame.resize(f.nslots, Value::Unit);
+        let base = stack.len() - f.nparams;
+        for (slot, v) in stack.drain(base..).enumerate() {
+            frame[slot] = v;
+        }
+        let mut pc = 0usize;
+        loop {
+            let ins = f.code[pc];
+            pc += 1;
+            match ins {
+                // kernel mode: the skeleton charges per element instead
+                Instr::Charge(_) => {}
+                Instr::Const(i) => stack.push(code.consts[i as usize].clone()),
+                Instr::Load(s) => stack.push(frame[s as usize].clone()),
+                Instr::Store(s) => frame[s as usize] = stack.pop().expect("store operand"),
+                Instr::Pop => {
+                    stack.pop();
+                }
+                Instr::Jump(t) => pc = t as usize,
+                Instr::JumpIfZero(t) => {
+                    if stack.pop().expect("cond").as_int() == 0 {
+                        pc = t as usize;
+                    }
+                }
+                Instr::JumpIfNonZero(t) => {
+                    if stack.pop().expect("cond").as_int() != 0 {
+                        pc = t as usize;
+                    }
+                }
+                Instr::ToBool => {
+                    let v = stack.pop().expect("operand");
+                    stack.push(Value::Int((v.as_int() != 0) as i64));
+                }
+                Instr::Bin(op, float) => {
+                    let b = stack.pop().expect("rhs");
+                    let a = stack.pop().expect("lhs");
+                    stack.push(apply_binop(op, float, a, b));
+                }
+                Instr::Neg(float) => {
+                    let v = stack.pop().expect("operand");
+                    stack.push(if float {
+                        Value::Float(-v.as_float())
+                    } else {
+                        Value::Int(-v.as_int())
+                    });
+                }
+                Instr::Not => {
+                    let v = stack.pop().expect("operand");
+                    stack.push(Value::Int((v.as_int() == 0) as i64));
+                }
+                Instr::Field(i) => {
+                    let v = stack.pop().expect("struct");
+                    stack.push(field(v, i as usize));
+                }
+                Instr::IndexAt => {
+                    let i = stack.pop().expect("component").as_int();
+                    let ix = stack.pop().expect("index").as_index();
+                    assert!((0..2).contains(&i), "skil runtime: Index component {i} out of range");
+                    stack.push(Value::Int(ix[i as usize]));
+                }
+                Instr::MakeIndex(n) => {
+                    let mut ix = [0i64; 2];
+                    for slot in (0..n as usize).rev() {
+                        ix[slot] = stack.pop().expect("index component").as_int();
+                    }
+                    stack.push(Value::Index(ix));
+                }
+                Instr::MakeStruct(sid, n) => {
+                    let at = stack.len() - n as usize;
+                    let fields = stack.split_off(at);
+                    stack.push(Value::Struct(sid, fields));
+                }
+                Instr::Intr(op, argc) => {
+                    let at = stack.len() - argc as usize;
+                    let vals = stack.split_off(at);
+                    let v = self.intrinsic(op, vals);
+                    stack.push(v);
+                }
+                Instr::Call(callee) => self.exec(callee as usize, stack, frames),
+                Instr::Skel(_) => {
+                    panic!("skil runtime: skeleton call inside a skeleton argument function")
+                }
+                Instr::Ret => break,
+                Instr::RetUnit => {
+                    stack.push(Value::Unit);
+                    break;
+                }
+            }
+        }
+        frame.clear();
+        frames.push(frame);
+    }
+
+    fn intrinsic(&self, op: Intr, vals: Vec<Value>) -> Value {
+        if let Some(v) = op.eval_pure(&vals) {
+            return v;
+        }
+        match op {
+            Intr::ProcId => Value::Int(self.me as i64),
+            Intr::NProcs => Value::Int(self.nprocs as i64),
+            Intr::ArrayGetElem => {
+                let arr = self.arrays[vals[0].as_array()].as_ref().unwrap_or_else(|| {
+                    panic!(
+                        "skil runtime: use of an array being written by this skeleton or already destroyed"
+                    )
+                });
+                let ix = to_uindex(vals[1].as_index());
+                match arr.get(ix) {
+                    Ok(v) => v.clone(),
+                    Err(e) => panic!("skil runtime: {e}"),
+                }
+            }
+            Intr::ArrayPartBounds => {
+                let arr = self.arrays[vals[0].as_array()].as_ref().expect("array alive");
+                let b = arr.part_bounds().unwrap_or_else(|e| panic!("skil runtime: {e}"));
+                Value::Bounds(
+                    [b.lower[0] as i64, b.lower[1] as i64],
+                    [b.upper[0] as i64, b.upper[1] as i64],
+                )
+            }
+            Intr::ArrayPutElem => {
+                panic!("skil runtime: array_put_elem inside a skeleton argument function")
+            }
+            Intr::Print => panic!("skil runtime: print inside a skeleton argument function"),
+            other => unreachable!("pure intrinsic {} fell through", other.name()),
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! bug, not a tuning difference.
 
 use skil::apps::{gauss_skil, shpaths_skil};
+use skil::lang::{compile, Engine};
 use skil::runtime::{Machine, MachineConfig, RunReport};
 
 /// Per-processor fingerprint:
@@ -127,6 +128,63 @@ fn repeated_runs_on_one_machine_are_identical() {
     let c = shpaths_skil(&m, 12, 3).report.sim_cycles;
     assert_eq!(a, b);
     assert_eq!(b, c);
+}
+
+/// The `.skil` frontend programs get the same treatment as the Rust
+/// apps: pinned virtual time, identical under both execution engines.
+/// These constants were captured from the AST walker before the
+/// bytecode VM existed; the VM (now the default engine) must hit them
+/// exactly — with and without tracing.
+fn skil_example(name: &str) -> String {
+    let path = format!(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/skil/{}"), name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+#[test]
+fn skil_shortest_paths_golden_under_both_engines() {
+    let src = skil_example("shortest_paths.skil");
+    let compiled = compile(&src).expect("shortest_paths.skil compiles");
+    let m = Machine::new(MachineConfig::square(2).unwrap());
+    for engine in [Engine::Ast, Engine::Vm] {
+        let out = compiled.run_with(engine, &m);
+        assert_eq!(out.report.sim_cycles, 2_397_316, "{engine:?}");
+        assert_byte_conservation(&out.report);
+    }
+    // fingerprints must match across engines, not just the total
+    let ast = compiled.run_with(Engine::Ast, &m);
+    let vm = compiled.run_with(Engine::Vm, &m);
+    assert_eq!(fingerprint(&ast.report), fingerprint(&vm.report));
+    assert_eq!(ast.results, vm.results);
+}
+
+#[test]
+fn skil_gauss_golden_under_both_engines() {
+    let src = skil_example("gauss.skil");
+    let compiled = compile(&src).expect("gauss.skil compiles");
+    let m = Machine::new(MachineConfig::square(2).unwrap());
+    for engine in [Engine::Ast, Engine::Vm] {
+        let out = compiled.run_with(engine, &m);
+        assert_eq!(out.report.sim_cycles, 11_906_936, "{engine:?}");
+        assert_byte_conservation(&out.report);
+    }
+    let ast = compiled.run_with(Engine::Ast, &m);
+    let vm = compiled.run_with(Engine::Vm, &m);
+    assert_eq!(fingerprint(&ast.report), fingerprint(&vm.report));
+    assert_eq!(ast.results, vm.results);
+}
+
+#[test]
+fn skil_examples_golden_with_tracing_on() {
+    let traced = Machine::new(MachineConfig::square(2).unwrap().with_trace());
+    for (name, cycles) in [("shortest_paths.skil", 2_397_316u64), ("gauss.skil", 11_906_936u64)] {
+        let compiled = compile(&skil_example(name)).expect("example compiles");
+        for engine in [Engine::Ast, Engine::Vm] {
+            let out = compiled.run_with(engine, &traced);
+            assert_eq!(out.report.sim_cycles, cycles, "{name} under {engine:?}");
+            assert!(!out.report.procs[0].trace.is_empty(), "tracing recorded spans");
+            assert_byte_conservation(&out.report);
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,269 @@
+//! Differential tests of the two Skil execution engines.
+//!
+//! The bytecode VM must be observationally indistinguishable from the
+//! AST walker: identical print output, identical `sim_cycles`, and
+//! identical per-processor `ProcStats` — on every shipped example and on
+//! randomly generated first-order programs. Host speed is the only
+//! permitted difference.
+
+use proptest::prelude::*;
+use skil::lang::{compile, Engine};
+use skil::runtime::{Machine, MachineConfig, RunReport};
+
+/// Per-processor fingerprint:
+/// `(id, finished_at, compute, wait, sends, bytes_sent, recvs)`.
+type Fp = (usize, u64, u64, u64, u64, u64, u64);
+
+fn fingerprint(r: &RunReport) -> Vec<Fp> {
+    r.procs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let s = p.stats;
+            (i, p.finished_at, s.compute, s.wait, s.sends, s.bytes_sent, s.recvs)
+        })
+        .collect()
+}
+
+fn examples() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/skil");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("examples/skil exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "skil") {
+            let src = std::fs::read_to_string(&path).expect("readable");
+            out.push((path.file_name().unwrap().to_string_lossy().into_owned(), src));
+        }
+    }
+    assert!(out.len() >= 4, "expected the shipped .skil programs, found {}", out.len());
+    out.sort();
+    out
+}
+
+fn assert_engines_agree(name: &str, src: &str, machine: &Machine) {
+    let compiled = compile(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let ast = compiled.run_with(Engine::Ast, machine);
+    let vm = compiled.run_with(Engine::Vm, machine);
+    assert_eq!(ast.results, vm.results, "{name}: print output differs");
+    assert_eq!(ast.report.sim_cycles, vm.report.sim_cycles, "{name}: virtual time differs");
+    assert_eq!(
+        fingerprint(&ast.report),
+        fingerprint(&vm.report),
+        "{name}: per-processor stats differ"
+    );
+}
+
+#[test]
+fn every_example_is_bit_identical_across_engines() {
+    let machine = Machine::new(MachineConfig::square(2).unwrap());
+    for (name, src) in examples() {
+        assert_engines_agree(&name, &src, &machine);
+    }
+}
+
+#[test]
+fn engines_agree_with_tracing_on() {
+    let machine = Machine::new(MachineConfig::square(2).unwrap().with_trace());
+    for (name, src) in examples() {
+        assert_engines_agree(&name, &src, &machine);
+    }
+}
+
+#[test]
+fn engines_agree_on_non_square_meshes() {
+    // farm/d&c/scan workloads on a machine shape the goldens don't cover
+    let machine = Machine::new(MachineConfig::mesh(1, 3).unwrap());
+    for (name, src) in examples() {
+        if name == "gauss.skil" || name == "shortest_paths.skil" {
+            // gauss needs sizes divisible by the machine size;
+            // shortest_paths' gen_mult needs a square process grid
+            continue;
+        }
+        assert_engines_agree(&name, &src, &machine);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random first-order programs.
+// ---------------------------------------------------------------------
+
+/// Deterministic program generator: consumes DNA bytes and produces a
+/// type-correct first-order Skil program using integer arithmetic,
+/// comparisons, short-circuit logic, `if`/`while` control flow, pure
+/// intrinsics, and a helper function call — the whole single-processor
+/// surface both engines must agree on, charge for charge.
+struct Gen<'a> {
+    dna: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Gen<'a> {
+    fn byte(&mut self) -> u8 {
+        let b = self.dna.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// An int expression over `vars`, bounded depth. `call` permits
+    /// `helper(...)` — disabled inside the helper's own body so the
+    /// generated program cannot recurse unboundedly.
+    fn expr_in(&mut self, vars: &[String], depth: u32, call: bool) -> String {
+        let b = self.byte();
+        if depth == 0 {
+            return if b.is_multiple_of(2) || vars.is_empty() {
+                format!("{}", (b as i64 % 19) - 9)
+            } else {
+                vars[b as usize % vars.len()].clone()
+            };
+        }
+        match b % 10 {
+            0 => format!("{}", (self.byte() as i64 % 19) - 9),
+            1 => {
+                if vars.is_empty() {
+                    format!("{}", (b as i64 % 19) - 9)
+                } else {
+                    vars[self.byte() as usize % vars.len()].clone()
+                }
+            }
+            2 | 3 => {
+                let op = ["+", "-", "*"][self.byte() as usize % 3];
+                let l = self.expr_in(vars, depth - 1, call);
+                let r = self.expr_in(vars, depth - 1, call);
+                format!("({l} {op} {r})")
+            }
+            4 => {
+                // division and remainder only by non-zero constants
+                let op = ["/", "%"][self.byte() as usize % 2];
+                let d = 1 + (self.byte() as i64 % 7);
+                let l = self.expr_in(vars, depth - 1, call);
+                format!("({l} {op} {d})")
+            }
+            5 => {
+                let op = ["==", "!=", "<", "<=", ">", ">="][self.byte() as usize % 6];
+                let l = self.expr_in(vars, depth - 1, call);
+                let r = self.expr_in(vars, depth - 1, call);
+                format!("({l} {op} {r})")
+            }
+            6 => {
+                // short-circuit evaluation must skip the same rhs charges
+                let op = ["&&", "||"][self.byte() as usize % 2];
+                let l = self.expr_in(vars, depth - 1, call);
+                let r = self.expr_in(vars, depth - 1, call);
+                format!("({l} {op} {r})")
+            }
+            7 => {
+                let f = ["abs", "min", "max"][self.byte() as usize % 3];
+                let l = self.expr_in(vars, depth - 1, call);
+                if f == "abs" {
+                    format!("abs({l})")
+                } else {
+                    let r = self.expr_in(vars, depth - 1, call);
+                    format!("{f}({l}, {r})")
+                }
+            }
+            8 => {
+                let l = self.expr_in(vars, depth - 1, call);
+                format!("ftoi(itof({l}))")
+            }
+            _ => {
+                let l = self.expr_in(vars, depth - 1, call);
+                if call {
+                    let r = self.expr_in(vars, depth - 1, call);
+                    format!("helper({l}, {r})")
+                } else {
+                    format!("(0 - {l})")
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self, vars: &[String], depth: u32) -> String {
+        self.expr_in(vars, depth, true)
+    }
+
+    /// Statements that only read/write existing variables.
+    fn body_stmt(&mut self, vars: &[String], out: &mut String, indent: &str) {
+        let target = vars[self.byte() as usize % vars.len()].clone();
+        let e = self.expr(vars, 2);
+        out.push_str(&format!("{indent}{target} = {e};\n"));
+    }
+
+    fn program(&mut self) -> String {
+        let mut src = String::new();
+        // a helper instance so Call / arity paths are exercised
+        src.push_str("int helper(int a, int b) { return ");
+        let h = self.expr_in(&["a".into(), "b".into()], 2, false);
+        src.push_str(&h);
+        src.push_str("; }\n");
+        src.push_str("void main() {\n");
+        let mut vars: Vec<String> = Vec::new();
+        let ndecls = 2 + (self.byte() as usize % 3);
+        for i in 0..ndecls {
+            let e = self.expr(&vars, 2);
+            src.push_str(&format!("  int v{i} = {e};\n"));
+            vars.push(format!("v{i}"));
+        }
+        let nstmts = 1 + (self.byte() as usize % 5);
+        for i in 0..nstmts {
+            match self.byte() % 4 {
+                0 => self.body_stmt(&vars, &mut src, "  "),
+                1 => {
+                    let c = self.expr(&vars, 2);
+                    src.push_str(&format!("  if ({c}) {{\n"));
+                    self.body_stmt(&vars, &mut src, "    ");
+                    src.push_str("  } else {\n");
+                    self.body_stmt(&vars, &mut src, "    ");
+                    src.push_str("  }\n");
+                }
+                2 => {
+                    // bounded loop: the counter is fresh per loop
+                    let k = self.byte() % 5;
+                    src.push_str(&format!("  int t{i} = 0;\n"));
+                    src.push_str(&format!("  while (t{i} < {k}) {{\n"));
+                    self.body_stmt(&vars, &mut src, "    ");
+                    src.push_str(&format!("    t{i} = t{i} + 1;\n"));
+                    src.push_str("  }\n");
+                }
+                _ => {
+                    let e = self.expr(&vars, 2);
+                    src.push_str(&format!("  v0 = v0 + procId * ({e});\n"));
+                }
+            }
+        }
+        for v in &vars {
+            src.push_str(&format!("  print({v});\n"));
+        }
+        src.push_str("}\n");
+        src
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random arithmetic/control-flow programs: both engines print the
+    /// same values and charge the same cycles, processor by processor.
+    #[test]
+    fn random_programs_agree_across_engines(
+        dna in proptest::collection::vec(any::<u8>(), 0..96),
+    ) {
+        let src = Gen { dna: &dna, pos: 0 }.program();
+        let compiled = compile(&src).unwrap_or_else(|e| panic!("generated program rejected: {e}\n{src}"));
+        let machine = Machine::new(MachineConfig::square(2).unwrap());
+        let ast = compiled.run_with(Engine::Ast, &machine);
+        let vm = compiled.run_with(Engine::Vm, &machine);
+        prop_assert_eq!(&ast.results, &vm.results, "output differs for:\n{}", src);
+        prop_assert_eq!(
+            ast.report.sim_cycles,
+            vm.report.sim_cycles,
+            "virtual time differs for:\n{}",
+            src
+        );
+        prop_assert_eq!(
+            fingerprint(&ast.report),
+            fingerprint(&vm.report),
+            "stats differ for:\n{}",
+            src
+        );
+    }
+}

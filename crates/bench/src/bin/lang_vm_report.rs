@@ -1,23 +1,31 @@
 //! Host wall-time report for the Skil language engines.
 //!
-//! Measures compile+run host time for every shipped `.skil` example
-//! under both execution engines — the AST walker (reference) and the
-//! bytecode VM (default) — and emits `BENCH_lang_vm.json` with the
-//! per-workload speedups. Virtual time is asserted bit-identical between
-//! the engines on every workload before anything is reported: a speedup
-//! that changed the simulation would be a correctness bug, not a win.
+//! Two report modes:
+//!
+//! * default — measures run host time for every shipped `.skil` example
+//!   across the AST walker and the bytecode VM at every optimizer level
+//!   (`-O0`/`-O1`/`-O2`) and emits `BENCH_lang_vm_opt.json` with the
+//!   per-workload and paper-workload-geomean speedups of `-O2` over the
+//!   unoptimized `-O0` bytecode (the PR 3 VM's instruction stream).
+//! * `--baseline` — the original ast-vs-vm compile+run comparison,
+//!   emitting `BENCH_lang_vm.json` (kept as the PR 3 record).
+//!
+//! In both modes, print output and virtual time are asserted identical
+//! across every engine × level on every workload before anything is
+//! timed: a speedup that changed the simulation would be a correctness
+//! bug, not a win.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p skil-bench --bin lang_vm_report -- \
-//!     [--out BENCH_lang_vm.json]
+//!     [--baseline] [--out FILE.json]
 //! ```
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use skil_lang::{compile, Engine};
+use skil_lang::{compile, compile_opt, Engine, OptLevel};
 use skil_runtime::{Machine, MachineConfig};
 
 struct Workload {
@@ -65,15 +73,184 @@ struct Row {
     vm_min_ns: f64,
 }
 
+/// The workloads the paper's evaluation centers on; the headline
+/// geomean speedup is computed over these.
+const PAPER_WORKLOADS: [&str; 2] = ["shortest_paths", "gauss"];
+
+fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// `vm_mean_ns` per workload from the committed PR 3 baseline
+/// (`BENCH_lang_vm.json`). Its protocol was compile+run, matched here.
+fn pr3_baseline(path: &str) -> Vec<(String, f64)> {
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read the PR 3 baseline {path}: {e}"));
+    let mut out = Vec::new();
+    // hand-rolled scrape of our own fixed-format file: each workload
+    // object lists "name" first and "vm_mean_ns" later
+    let mut name: Option<String> = None;
+    for line in json.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            name = rest.strip_suffix("\",").map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("\"vm_mean_ns\": ") {
+            let ns: f64 = rest.trim_end_matches(',').parse().expect("vm_mean_ns number");
+            out.push((name.take().expect("name precedes vm_mean_ns"), ns));
+        }
+    }
+    assert!(!out.is_empty(), "no workloads in {path}");
+    out
+}
+
+fn opt_level_report(out_path: &str, baseline_path: &str) {
+    let machine = Machine::new(MachineConfig::square(2).unwrap());
+    let repeats = 7;
+    let pr3 = pr3_baseline(baseline_path);
+
+    struct OptRow {
+        name: String,
+        sim_cycles: u64,
+        ast_mean_ns: f64,
+        ast_min_ns: f64,
+        // compile+run, [O0, O1, O2] — the PR 3 report's protocol
+        vm_mean_ns: [f64; 3],
+        vm_min_ns: [f64; 3],
+        pr3_vm_mean_ns: f64,
+    }
+    let mut rows: Vec<OptRow> = Vec::new();
+
+    for w in workloads() {
+        // correctness gate: identical print output and virtual time
+        // across the AST walker and the VM at every opt level
+        let levels = [OptLevel::O0, OptLevel::O1, OptLevel::O2];
+        let ast = compile(&w.src)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+            .run_with(Engine::Ast, &machine);
+        for l in levels {
+            let c = compile_opt(&w.src, l).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let vm = c.run_with(Engine::Vm, &machine);
+            assert_eq!(ast.results, vm.results, "{} -O{l}: outputs differ", w.name);
+            assert_eq!(
+                ast.report.sim_cycles, vm.report.sim_cycles,
+                "{} -O{l}: virtual times differ",
+                w.name
+            );
+        }
+
+        let (ast_mean_ns, ast_min_ns) = time_ns(repeats, || {
+            let c = compile(&w.src).unwrap();
+            std::hint::black_box(c.run_with(Engine::Ast, &machine).report.sim_cycles);
+        });
+        let mut vm_mean_ns = [0.0; 3];
+        let mut vm_min_ns = [0.0; 3];
+        for (i, level) in levels.into_iter().enumerate() {
+            let (mean, min) = time_ns(repeats, || {
+                let c = compile_opt(&w.src, level).unwrap();
+                std::hint::black_box(c.run_with(Engine::Vm, &machine).report.sim_cycles);
+            });
+            vm_mean_ns[i] = mean;
+            vm_min_ns[i] = min;
+        }
+        let pr3_vm_mean_ns = pr3
+            .iter()
+            .find(|(n, _)| *n == w.name)
+            .unwrap_or_else(|| panic!("{} missing from {baseline_path}", w.name))
+            .1;
+        println!(
+            "{:<18} ast {:>8.2} ms   O0 {:>8.2} ms   O1 {:>8.2} ms   O2 {:>8.2} ms   \
+             vs PR3 {:.2}x",
+            w.name,
+            ast_mean_ns / 1e6,
+            vm_mean_ns[0] / 1e6,
+            vm_mean_ns[1] / 1e6,
+            vm_mean_ns[2] / 1e6,
+            pr3_vm_mean_ns / vm_mean_ns[2]
+        );
+        rows.push(OptRow {
+            name: w.name,
+            sim_cycles: ast.report.sim_cycles,
+            ast_mean_ns,
+            ast_min_ns,
+            vm_mean_ns,
+            vm_min_ns,
+            pr3_vm_mean_ns,
+        });
+    }
+
+    let paper_speedups: Vec<f64> = rows
+        .iter()
+        .filter(|r| PAPER_WORKLOADS.contains(&r.name.as_str()))
+        .map(|r| r.pr3_vm_mean_ns / r.vm_mean_ns[2])
+        .collect();
+    assert_eq!(paper_speedups.len(), PAPER_WORKLOADS.len(), "paper workloads missing");
+    let paper_geomean = geomean(&paper_speedups);
+
+    let mut json = String::from("{\n  \"schema\": \"skil-bench/lang-vm-opt/v1\",\n");
+    let _ = writeln!(json, "  \"machine\": \"2x2\",");
+    let _ = writeln!(
+        json,
+        "  \"host_threads\": {},",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    let _ = writeln!(json, "  \"protocol\": \"compile+run host wall time, mean of 7\",");
+    let _ = writeln!(json, "  \"pr3_baseline\": \"BENCH_lang_vm.json vm_mean_ns\",");
+    let _ = writeln!(json, "  \"paper_workloads\": [\"shortest_paths\", \"gauss\"],");
+    let _ = writeln!(json, "  \"paper_geomean_speedup\": {paper_geomean:.2},");
+    json.push_str("  \"workloads\": [\n");
+    let nrows = rows.len();
+    for (i, r) in rows.into_iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\n      \"name\": \"{}\",\n      \"sim_cycles\": {},\n      \
+             \"ast_mean_ns\": {:.0},\n      \"ast_min_ns\": {:.0},\n      \
+             \"o0_mean_ns\": {:.0},\n      \"o0_min_ns\": {:.0},\n      \
+             \"o1_mean_ns\": {:.0},\n      \"o1_min_ns\": {:.0},\n      \
+             \"o2_mean_ns\": {:.0},\n      \"o2_min_ns\": {:.0},\n      \
+             \"pr3_vm_mean_ns\": {:.0},\n      \
+             \"speedup_o2_vs_pr3\": {:.2},\n      \
+             \"speedup_o2_vs_o0\": {:.2},\n      \"speedup_o2_vs_ast\": {:.2}\n    }}",
+            r.name,
+            r.sim_cycles,
+            r.ast_mean_ns,
+            r.ast_min_ns,
+            r.vm_mean_ns[0],
+            r.vm_min_ns[0],
+            r.vm_mean_ns[1],
+            r.vm_min_ns[1],
+            r.vm_mean_ns[2],
+            r.vm_min_ns[2],
+            r.pr3_vm_mean_ns,
+            r.pr3_vm_mean_ns / r.vm_mean_ns[2],
+            r.vm_mean_ns[0] / r.vm_mean_ns[2],
+            r.ast_mean_ns / r.vm_mean_ns[2],
+        );
+        json.push_str(if i + 1 < nrows { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("\npaper geomean (-O2 over the PR 3 VM): {paper_geomean:.2}x");
+    println!("wrote {out_path}");
+}
+
 fn main() {
-    let mut out_path = String::from("BENCH_lang_vm.json");
+    let mut baseline = false;
+    let mut out_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--baseline" => baseline = true,
+            "--out" => out_path = Some(args.next().expect("--out needs a path")),
             other => panic!("unknown argument: {other}"),
         }
     }
+    if !baseline {
+        let out_path = out_path.unwrap_or_else(|| String::from("BENCH_lang_vm_opt.json"));
+        opt_level_report(&out_path, "BENCH_lang_vm.json");
+        return;
+    }
+    let out_path = out_path.unwrap_or_else(|| String::from("BENCH_lang_vm.json"));
 
     let machine = Machine::new(MachineConfig::square(2).unwrap());
     let repeats = 7;

@@ -5,28 +5,38 @@
 //! skilc --run <file.skil>            run on a simulated 2x2 mesh
 //! skilc --run --mesh RxC <file.skil> choose the machine shape
 //! skilc --run --engine ast|vm ...    pick the execution engine
+//! skilc --opt-level 0|1|2 ...        bytecode optimizer level (default 2)
 //! skilc --check <file.skil>          parse + type check only
-//! skilc --emit-bytecode <file.skil>  disassemble the compiled bytecode
+//! skilc --emit-bytecode <file.skil>  disassemble the optimized bytecode
+//! skilc --emit-bytecode=raw ...      disassemble before optimization
 //! skilc --run --trace <file.skil>    also print a virtual-time timeline
 //! skilc --run --trace-out FILE ...   write a Chrome trace_events JSON
 //! ```
+//!
+//! `--emit-bytecode` also prints the optimizer's per-pass counters to
+//! stderr, so pass behavior is inspectable without a debugger.
 
-use skil_lang::{compile, Engine};
+use skil_lang::{compile_opt, Engine, OptLevel};
 use skil_runtime::{Machine, MachineConfig};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: skilc [--check | --emit-bytecode | --run [--mesh RxC] [--engine ast|vm] \
-[--trace]] <file.skil>\n\
+        "usage: skilc [--check | --emit-bytecode[=raw|opt] | --run [--mesh RxC] \
+[--engine ast|vm] [--trace]] [--opt-level 0|1|2] <file.skil>\n\
          \n\
          default: emit the instantiated first-order C to stdout\n\
          --check: stop after the polymorphic type check\n\
          --emit-bytecode: print the slot-resolved bytecode listing\n\
+                  (=opt, the default, after the optimizer; =raw before);\n\
+                  per-pass optimizer stats go to stderr\n\
          --run:   execute SPMD on a simulated transputer mesh (default 2x2)\n\
          --mesh:  machine shape for --run, e.g. --mesh 4x4 or --mesh 8x4\n\
          --engine: execution engine for --run: vm (default, bytecode) or\n\
                   ast (reference walker); virtual time is identical\n\
+         --opt-level: bytecode optimizer level for the vm engine\n\
+                  (0 raw, 1 local passes, 2 +inlining; default 2);\n\
+                  virtual time is bit-identical at every level\n\
          --trace-out FILE: write the traced run as Chrome trace_events\n\
                   JSON (open in chrome://tracing); implies tracing"
     );
@@ -37,6 +47,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut check_only = false;
     let mut emit_bytecode = false;
+    let mut emit_raw = false;
+    let mut opt_level = OptLevel::default();
     let mut engine = Engine::Vm;
     let mut run = false;
     let mut trace = false;
@@ -48,7 +60,17 @@ fn main() -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--check" => check_only = true,
-            "--emit-bytecode" => emit_bytecode = true,
+            "--emit-bytecode" | "--emit-bytecode=opt" => emit_bytecode = true,
+            "--emit-bytecode=raw" => {
+                emit_bytecode = true;
+                emit_raw = true;
+            }
+            "--opt-level" => {
+                i += 1;
+                let parsed = args.get(i).and_then(|s| OptLevel::from_arg(s));
+                let Some(level) = parsed else { return usage() };
+                opt_level = level;
+            }
             "--engine" => {
                 i += 1;
                 engine = match args.get(i).map(String::as_str) {
@@ -91,7 +113,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let compiled = match compile(&src) {
+    let compiled = match compile_opt(&src, opt_level) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("skilc: {file}: {e}");
@@ -109,7 +131,13 @@ fn main() -> ExitCode {
     }
 
     if emit_bytecode {
-        print!("{}", compiled.disassemble());
+        if emit_raw {
+            print!("{}", compiled.disassemble_raw());
+        } else {
+            print!("{}", compiled.disassemble());
+        }
+        eprintln!("skilc: {file}: opt level {}", compiled.opt_level);
+        eprintln!("{}", compiled.opt_stats);
         return ExitCode::SUCCESS;
     }
 

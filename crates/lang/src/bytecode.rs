@@ -79,7 +79,7 @@ impl CostExpr {
             + self.call as u64 * c.call
     }
 
-    fn plus(self, o: CostExpr) -> CostExpr {
+    pub(crate) fn plus(self, o: CostExpr) -> CostExpr {
         CostExpr {
             load: self.load + o.load,
             store: self.store + o.store,
@@ -341,8 +341,30 @@ impl Intr {
 // The instruction set.
 // ---------------------------------------------------------------------
 
+/// Where a fused instruction reads an operand from. `Top` pops the
+/// operand stack (multiple `Top` operands pop right-to-left, matching
+/// the push order of the unfused sequence); `Slot`/`Const` read without
+/// touching the stack — the load the optimizer elided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
+    /// Pop the operand stack.
+    Top,
+    /// Read frame slot `s`.
+    Slot(u16),
+    /// Read constant pool entry `i`.
+    Const(u16),
+}
+
 /// One stack-machine instruction. All operands are resolved indices —
 /// no name lookups happen at execution time.
+///
+/// The variants after [`Instr::RetUnit`] are **fused superinstructions**
+/// emitted only by the optimizer ([`crate::opt`]); `compile_program`
+/// never produces them, so `--opt-level 0` bytecode is exactly the PR 3
+/// instruction set. Every fused instruction is observationally
+/// equivalent to the sequence it replaces minus the elided stack
+/// traffic; the `Charge`s of the replaced sequence are preserved
+/// separately (merged, never dropped).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Instr {
     /// Advance virtual time by `costs[i]` (resolved per run). Skipped
@@ -391,6 +413,36 @@ pub enum Instr {
     Ret,
     /// Return `Unit` from the current function.
     RetUnit,
+
+    // ---- fused superinstructions (optimizer output only) ----
+    /// `Load lhs; Load rhs; Bin` with the loads elided: push `lhs op rhs`.
+    BinS(BinOp, bool, Src, Src),
+    /// `BinS` followed by `Store d`, without the stack round-trip:
+    /// `frame[d] = lhs op rhs`.
+    BinStore(BinOp, bool, Src, Src, u16),
+    /// Fused compare-and-branch: jump to `t` when `lhs op rhs` is zero.
+    JumpCmpZ(BinOp, bool, Src, Src, u32),
+    /// Fused compare-and-branch: jump to `t` when `lhs op rhs` is non-zero.
+    JumpCmpNz(BinOp, bool, Src, Src, u32),
+    /// `Load s; JumpIfZero t` with the load elided.
+    JumpZS(Src, u32),
+    /// `Load s; JumpIfNonZero t` with the load elided.
+    JumpNzS(Src, u32),
+    /// `frame[d] = src` — a propagated copy or constant store.
+    StoreS(u16, Src),
+    /// Return `src` from the current function.
+    RetS(Src),
+    /// Push field `i` of `src`.
+    FieldS(Src, u16),
+    /// Push component `comp` of index value `ix`.
+    IndexAtS(Src, Src),
+    /// Intrinsic with fused operand fetches: `args[0..argc]` name the
+    /// sources left-to-right (`Top` sources pop right-to-left).
+    IntrS(Intr, u8, [Src; 3]),
+    /// `array_get_elem(arr, {i})` with the `MakeIndex` elided.
+    ArrGetI1(Src, Src),
+    /// `array_get_elem(arr, {i, j})` with the `MakeIndex` elided.
+    ArrGetI2(Src, Src, Src),
 }
 
 /// How a skeleton argument function executes per element.
@@ -896,6 +948,14 @@ impl FnCompiler<'_> {
 // Disassembly.
 // ---------------------------------------------------------------------
 
+fn src_str(p: &Program, s: &Src) -> String {
+    match s {
+        Src::Top => "top".into(),
+        Src::Slot(i) => format!("#{i}"),
+        Src::Const(i) => format!("={:?}", p.consts[*i as usize]),
+    }
+}
+
 /// Human-readable listing of a compiled program (`skilc --emit-bytecode`).
 pub fn disassemble(p: &Program) -> String {
     let mut out = String::new();
@@ -929,7 +989,10 @@ pub fn disassemble(p: &Program) -> String {
         let _ = writeln!(out, "\nfn {} (params={}, slots={}):", f.name, f.nparams, f.nslots);
         for (pc, ins) in f.code.iter().enumerate() {
             let detail = match ins {
-                Instr::Charge(i) => format!("charge {}", p.costs[*i as usize]),
+                // resolved cost-expr summary next to the pool index, so
+                // a listing is auditable without cross-referencing the
+                // `cost N:` header lines
+                Instr::Charge(i) => format!("charge [{i}] {}", p.costs[*i as usize]),
                 Instr::Const(i) => format!("const {:?}", p.consts[*i as usize]),
                 Instr::Load(s) => format!("load #{s}"),
                 Instr::Store(s) => format!("store #{s}"),
@@ -954,6 +1017,53 @@ pub fn disassemble(p: &Program) -> String {
                 }
                 Instr::Ret => "ret".into(),
                 Instr::RetUnit => "ret_unit".into(),
+                Instr::BinS(op, float, l, r) => format!(
+                    "bin.s {}{} {} {}",
+                    op.lexeme(),
+                    if *float { "f" } else { "" },
+                    src_str(p, l),
+                    src_str(p, r)
+                ),
+                Instr::BinStore(op, float, l, r, d) => format!(
+                    "binstore {}{} {} {} -> #{d}",
+                    op.lexeme(),
+                    if *float { "f" } else { "" },
+                    src_str(p, l),
+                    src_str(p, r)
+                ),
+                Instr::JumpCmpZ(op, float, l, r, t) => format!(
+                    "jz.cmp ({} {}{} {}) {t}",
+                    src_str(p, l),
+                    op.lexeme(),
+                    if *float { "f" } else { "" },
+                    src_str(p, r)
+                ),
+                Instr::JumpCmpNz(op, float, l, r, t) => format!(
+                    "jnz.cmp ({} {}{} {}) {t}",
+                    src_str(p, l),
+                    op.lexeme(),
+                    if *float { "f" } else { "" },
+                    src_str(p, r)
+                ),
+                Instr::JumpZS(s, t) => format!("jz.s {} {t}", src_str(p, s)),
+                Instr::JumpNzS(s, t) => format!("jnz.s {} {t}", src_str(p, s)),
+                Instr::StoreS(d, s) => format!("store.s {} -> #{d}", src_str(p, s)),
+                Instr::RetS(s) => format!("ret.s {}", src_str(p, s)),
+                Instr::FieldS(s, i) => format!("field.s {} {i}", src_str(p, s)),
+                Instr::IndexAtS(ix, c) => {
+                    format!("index_at.s {} {}", src_str(p, ix), src_str(p, c))
+                }
+                Instr::IntrS(op, argc, srcs) => {
+                    let args: Vec<String> =
+                        srcs[..*argc as usize].iter().map(|s| src_str(p, s)).collect();
+                    format!("intr.s {} ({})", op.name(), args.join(", "))
+                }
+                Instr::ArrGetI1(a, i) => {
+                    format!("arrget1 {} [{}]", src_str(p, a), src_str(p, i))
+                }
+                Instr::ArrGetI2(a, i, j) => {
+                    format!("arrget2 {} [{}, {}]", src_str(p, a), src_str(p, i), src_str(p, j))
+                }
             };
             let _ = writeln!(out, "  {pc:>4}: {detail}");
         }
@@ -999,6 +1109,39 @@ mod tests {
         assert!(Intr::Print.eval_pure(&[Value::Int(1)]).is_none());
         assert!(!Intr::ArrayPutElem.is_pure());
         assert!(Intr::Len.is_pure());
+    }
+
+    #[test]
+    fn disassembly_resolves_charge_summaries() {
+        // int f(int x) { return x + 1; } — the binop charge (int_op)
+        // merges with the load of `x`, and the listing must show the
+        // resolved cost expression next to the charge, not just the
+        // pool index.
+        let f = FoFunc {
+            name: "f".into(),
+            origin: "f".into(),
+            params: vec![("x".into(), crate::fo::FoTy::Int)],
+            ret: crate::fo::FoTy::Int,
+            body: vec![FoStmt::Return(Some(FoExpr::Binary {
+                op: BinOp::Add,
+                float: false,
+                lhs: Box::new(FoExpr::Var("x".into())),
+                rhs: Box::new(FoExpr::Int(1)),
+            }))],
+        };
+        let mut prog = FoProgram::default();
+        prog.funcs.push(f);
+        prog.reindex();
+        let listing = disassemble(&compile_program(&prog));
+        // pool entry 0 is the binop charge alone (interned before the
+        // load merged into it); entry 1 is the merged expression the
+        // emitted instruction references
+        assert!(listing.contains("cost 1: load+int_op"), "pool header missing:\n{listing}");
+        assert!(
+            listing.contains("charge [1] load+int_op"),
+            "charge must carry its resolved summary:\n{listing}"
+        );
+        assert!(listing.contains("bin +"), "listing:\n{listing}");
     }
 
     #[test]

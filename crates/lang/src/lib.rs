@@ -23,7 +23,11 @@
 //!    ([`fo::FoProgram`]) contains no functional features at all.
 //! 4. [`bytecode::compile_program`] — resolve variables to frame slots
 //!    and callees to dense indices, flatten the statement tree into a
-//!    compact instruction stream with symbolic cycle charges.
+//!    compact instruction stream with symbolic cycle charges — then
+//!    [`opt::optimize`] — constant folding, copy/constant propagation,
+//!    dead-store/slot elimination, superinstruction fusion, and leaf
+//!    inlining, preserving every symbolic charge exactly
+//!    (`--opt-level 0|1|2`, default 2).
 //! 5. Either [`emit_c::emit_c`] — pretty-print the first-order program as
 //!    the C the paper's compiler would hand to its back end — or execute
 //!    it SPMD on a [`skil_runtime::Machine`] with skeleton calls
@@ -63,6 +67,7 @@ pub mod emit_c;
 pub mod fo;
 pub mod instantiate;
 pub mod interp;
+pub mod opt;
 pub mod parser;
 pub mod token;
 pub mod types;
@@ -73,6 +78,7 @@ use skil_runtime::{Machine, Run};
 
 pub use diag::{Diag, Phase, Pos};
 pub use fo::FoProgram;
+pub use opt::{OptLevel, OptStats};
 pub use value::Value;
 
 /// Which execution engine runs an instantiated program.
@@ -86,22 +92,37 @@ pub enum Engine {
 }
 
 /// A compiled Skil program: parsed, type-checked, instantiated, and
-/// compiled to bytecode.
+/// compiled to (optimized) bytecode.
 #[derive(Debug, Clone)]
 pub struct Compiled {
     /// The instantiated first-order program.
     pub fo: FoProgram,
-    /// Its bytecode form (slot-resolved, charge-annotated).
+    /// Raw `compile_program` bytecode (slot-resolved, charge-annotated).
+    pub raw: bytecode::Program,
+    /// The bytecode the VM executes: `raw` after [`opt::optimize`].
     pub code: bytecode::Program,
+    /// The opt level `code` was produced at.
+    pub opt_level: OptLevel,
+    /// Per-pass optimizer counters.
+    pub opt_stats: OptStats,
 }
 
-/// Compile Skil source through the full front end.
+/// Compile Skil source through the full front end at the default opt
+/// level (`-O2`).
 pub fn compile(src: &str) -> diag::Result<Compiled> {
+    compile_opt(src, OptLevel::default())
+}
+
+/// Compile Skil source at an explicit opt level. Every level computes
+/// the same values and charges bit-identical virtual time; higher
+/// levels only run faster on the host.
+pub fn compile_opt(src: &str, level: OptLevel) -> diag::Result<Compiled> {
     let prog = parser::parse(src)?;
     let mut ck = check::check(&prog)?;
     let fo = instantiate::instantiate(&mut ck)?;
-    let code = bytecode::compile_program(&fo);
-    Ok(Compiled { fo, code })
+    let raw = bytecode::compile_program(&fo);
+    let (code, opt_stats) = opt::optimize(&raw, level);
+    Ok(Compiled { fo, raw, code, opt_level: level, opt_stats })
 }
 
 impl Compiled {
@@ -127,8 +148,15 @@ impl Compiled {
         }
     }
 
-    /// Human-readable bytecode listing (`skilc --emit-bytecode`).
+    /// Human-readable bytecode listing of the code the VM executes
+    /// (`skilc --emit-bytecode` / `--emit-bytecode=opt`).
     pub fn disassemble(&self) -> String {
         bytecode::disassemble(&self.code)
+    }
+
+    /// Listing of the unoptimized `compile_program` output
+    /// (`skilc --emit-bytecode=raw`).
+    pub fn disassemble_raw(&self) -> String {
+        bytecode::disassemble(&self.raw)
     }
 }

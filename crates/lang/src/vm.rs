@@ -3,20 +3,26 @@
 //! Executes the [`crate::bytecode`] form of a program with the same SPMD
 //! semantics as the AST walker in [`crate::interp`] — and, by
 //! construction, the same *virtual time*: the compiler placed
-//! [`Instr::Charge`] instructions exactly where the walker charges, so
+//! [`Instr::Charge`] instructions exactly where the walker charges (and
+//! the optimizer only merges them across charge-transparent code), so
 //! every communication event happens at a bit-identical cycle count.
-//! What the VM buys is host speed: variables are frame slots (one flat
-//! `Vec<Value>` per activation, pooled and reused), callees are dense
-//! indices, and charges are pre-resolved `u64`s looked up by index.
+//! What the VM buys is host speed: variables are frame slots, callees
+//! are dense indices, and charges are pre-resolved `u64`s looked up by
+//! index.
 //!
-//! Skeleton argument functions run under [`KernelVm`], the bytecode
-//! analogue of the walker's restricted kernel evaluator: `Charge`
-//! instructions are skipped (the skeleton charges the statically
-//! estimated kernel cost per element), arrays are read-only, and
-//! skeleton calls or `print` abort with the same diagnostics. Trivial
-//! kernels — an operator section or one pure intrinsic over parameters —
-//! were classified by the compiler ([`KernelShape`]) and execute as
-//! direct computations without touching a frame at all.
+//! Frames and the operand stack hold [`Sl`] slots: `i64`/`f64` live
+//! unboxed behind a one-byte tag, and only aggregates (arrays, structs,
+//! lists, indexes) fall back to a boxed [`Value`]. Scalar-heavy kernels
+//! — the common case after instantiation — never touch a heap clone.
+//! The same dispatch loop serves both execution modes through the
+//! (monomorphized) [`Host`] trait: the full mode charges cycles and may
+//! mutate arrays, print, and dispatch skeletons; kernel mode skips
+//! `Charge` instructions (the skeleton charges the statically estimated
+//! kernel cost per element), reads arrays read-only, and aborts on
+//! skeleton calls or `print` with the same diagnostics as the walker.
+//! Trivial kernels — an operator section or one pure intrinsic over
+//! parameters — were classified by the compiler ([`KernelShape`]) and
+//! execute as direct computations without touching a frame at all.
 
 use std::cell::RefCell;
 
@@ -28,8 +34,8 @@ use skil_core::{
 use skil_runtime::{Distr, Machine, Proc, Run};
 
 use crate::builtins::{DISTR_DEFAULT, DISTR_RING, DISTR_TORUS2D};
-use crate::bytecode::{Instr, Intr, KernelShape, Program, SkelFn, SkelSite};
-use crate::fo::{FoProgram, SkelOp};
+use crate::bytecode::{Instr, Intr, KernelShape, Program, SkelFn, SkelSite, Src};
+use crate::fo::{BinOp, FoProgram, SkelOp};
 use crate::interp::{apply_binop, kernel_cycles, to_uindex, LANG_RESULT_TAG};
 use crate::value::{ConsList, Value};
 
@@ -38,6 +44,10 @@ use crate::value::{ConsList, Value};
 pub fn run_program_vm(prog: &FoProgram, code: &Program, machine: &Machine) -> Run<Vec<String>> {
     let main = code.main.expect("instantiated program has main");
     assert_eq!(code.funcs[main].nparams, 0, "main takes no arguments");
+    // Kernel mode never charges per instruction (the skeleton charges
+    // the statically estimated kernel cost per element), so skeleton
+    // argument functions run a charge-free view of the same code.
+    let kcode = crate::opt::strip_charges(code);
     machine.run(|p| {
         // resolve the symbolic pools against this machine's cost model,
         // once per run: the instruction stream itself never changes
@@ -48,153 +58,406 @@ pub fn run_program_vm(prog: &FoProgram, code: &Program, machine: &Machine) -> Ru
             .iter()
             .map(|s| s.fns.iter().map(|f| kernel_cycles(&prog.funcs[f.fid], &cost)).collect())
             .collect();
+        let consts: Vec<Sl> = code.consts.iter().map(Sl::from_value_ref).collect();
         let mut vm = Vm {
             code,
+            kcode: &kcode,
             costs,
             site_cycles,
+            consts,
             proc: p,
             arrays: Vec::new(),
             output: Vec::new(),
-            stack: Vec::new(),
-            frames: Vec::new(),
         };
-        vm.exec(main);
+        let mut stack = Vec::new();
+        let mut frames = Vec::new();
+        exec(&mut vm, code, main, &mut stack, &mut frames);
         // main's return value (if any) is discarded, as in the walker
-        vm.stack.pop();
+        stack.pop();
         vm.output
     })
 }
 
+/// An operand-stack / frame slot: scalars unboxed, aggregates boxed.
+/// Invariant: the `V` arm never holds `Value::Int` or `Value::Float` —
+/// every constructor normalizes through [`Sl::from_value`].
+#[derive(Debug, Clone)]
+enum Sl {
+    I(i64),
+    F(f64),
+    V(Value),
+}
+
+impl Sl {
+    fn from_value(v: Value) -> Sl {
+        match v {
+            Value::Int(i) => Sl::I(i),
+            Value::Float(f) => Sl::F(f),
+            v => Sl::V(v),
+        }
+    }
+
+    fn from_value_ref(v: &Value) -> Sl {
+        match v {
+            Value::Int(i) => Sl::I(*i),
+            Value::Float(f) => Sl::F(*f),
+            v => Sl::V(v.clone()),
+        }
+    }
+
+    fn into_value(self) -> Value {
+        match self {
+            Sl::I(i) => Value::Int(i),
+            Sl::F(f) => Value::Float(f),
+            Sl::V(v) => v,
+        }
+    }
+
+    fn as_int(&self) -> i64 {
+        match self {
+            Sl::I(v) => *v,
+            Sl::F(v) => panic!("expected int, got Float({v:?})"),
+            Sl::V(v) => v.as_int(),
+        }
+    }
+
+    fn as_float(&self) -> f64 {
+        match self {
+            Sl::F(v) => *v,
+            Sl::I(v) => panic!("expected float, got Int({v})"),
+            Sl::V(v) => v.as_float(),
+        }
+    }
+
+    fn as_index(&self) -> [i64; 2] {
+        match self {
+            Sl::I(v) => panic!("expected Index, got Int({v})"),
+            Sl::F(v) => panic!("expected Index, got Float({v:?})"),
+            Sl::V(v) => v.as_index(),
+        }
+    }
+
+    fn as_array(&self) -> usize {
+        match self {
+            Sl::I(v) => panic!("expected array, got Int({v})"),
+            Sl::F(v) => panic!("expected array, got Float({v:?})"),
+            Sl::V(v) => v.as_array(),
+        }
+    }
+}
+
+/// [`apply_binop`] over unboxed slots; semantics (wrapping integer
+/// arithmetic, division-by-zero panics, int-encoded comparisons, the
+/// float logical-op type error) are identical.
+fn bin_sl(op: BinOp, float: bool, a: &Sl, b: &Sl) -> Sl {
+    if float {
+        let (x, y) = (a.as_float(), b.as_float());
+        match op {
+            BinOp::Add => Sl::F(x + y),
+            BinOp::Sub => Sl::F(x - y),
+            BinOp::Mul => Sl::F(x * y),
+            BinOp::Div => Sl::F(x / y),
+            BinOp::Rem => Sl::F(x % y),
+            BinOp::Eq => Sl::I((x == y) as i64),
+            BinOp::Ne => Sl::I((x != y) as i64),
+            BinOp::Lt => Sl::I((x < y) as i64),
+            BinOp::Le => Sl::I((x <= y) as i64),
+            BinOp::Gt => Sl::I((x > y) as i64),
+            BinOp::Ge => Sl::I((x >= y) as i64),
+            BinOp::And | BinOp::Or => panic!("skil runtime: logical op on float"),
+        }
+    } else {
+        let (x, y) = (a.as_int(), b.as_int());
+        match op {
+            BinOp::Add => Sl::I(x.wrapping_add(y)),
+            BinOp::Sub => Sl::I(x.wrapping_sub(y)),
+            BinOp::Mul => Sl::I(x.wrapping_mul(y)),
+            BinOp::Div => {
+                assert!(y != 0, "skil runtime: integer division by zero");
+                Sl::I(x / y)
+            }
+            BinOp::Rem => {
+                assert!(y != 0, "skil runtime: integer remainder by zero");
+                Sl::I(x % y)
+            }
+            BinOp::Eq => Sl::I((x == y) as i64),
+            BinOp::Ne => Sl::I((x != y) as i64),
+            BinOp::Lt => Sl::I((x < y) as i64),
+            BinOp::Le => Sl::I((x <= y) as i64),
+            BinOp::Gt => Sl::I((x > y) as i64),
+            BinOp::Ge => Sl::I((x >= y) as i64),
+            BinOp::And => Sl::I(((x != 0) && (y != 0)) as i64),
+            BinOp::Or => Sl::I(((x != 0) || (y != 0)) as i64),
+        }
+    }
+}
+
+/// Fetch a fused-instruction operand. `Top` operands pop; when a fused
+/// instruction has several, the instruction fetches them right-to-left,
+/// the reverse of the order the unfused sequence pushed them.
+#[inline(always)]
+fn fetch(src: Src, stack: &mut Vec<Sl>, frame: &[Sl], consts: &[Sl]) -> Sl {
+    match src {
+        Src::Top => stack.pop().expect("fused operand"),
+        Src::Slot(s) => frame[s as usize].clone(),
+        Src::Const(c) => consts[c as usize].clone(),
+    }
+}
+
+fn field_sl(v: Sl, index: usize) -> Sl {
+    match v {
+        Sl::V(Value::Struct(_, fields)) => Sl::from_value(fields[index].clone()),
+        Sl::V(Value::Bounds(lo, up)) => Sl::V(Value::Index(if index == 0 { lo } else { up })),
+        other => panic!("skil runtime: field access on {:?}", other.into_value()),
+    }
+}
+
+/// What the dispatch loop defers to its execution mode. Monomorphized
+/// per host, so kernel-mode `charge_ix` compiles to nothing.
+trait Host {
+    fn charge_ix(&mut self, i: u32);
+    /// The constant pool, pre-converted to slots.
+    fn kconsts(&self) -> &[Sl];
+    /// `array_get_elem` read, shared by the fused and generic paths.
+    fn get_elem(&mut self, h: usize, ix: Index) -> Value;
+    /// Non-pure intrinsics (`eval_pure` already declined).
+    fn stateful(&mut self, op: Intr, vals: &[Value]) -> Value;
+    fn skel(&mut self, site: usize, stack: &mut Vec<Sl>, frames: &mut Vec<Vec<Sl>>);
+}
+
+/// Execute function `fid`: pops its arguments off the operand stack,
+/// pushes its return value.
+fn exec<H: Host>(
+    h: &mut H,
+    code: &Program,
+    fid: usize,
+    stack: &mut Vec<Sl>,
+    frames: &mut Vec<Vec<Sl>>,
+) {
+    let f = &code.funcs[fid];
+    let mut frame = frames.pop().unwrap_or_default();
+    frame.clear();
+    // the fill value is never observed: every slot read is dominated by
+    // a parameter drain or a declaration's store
+    frame.resize(f.nslots, Sl::I(0));
+    let base = stack.len() - f.nparams;
+    for (slot, v) in stack.drain(base..).enumerate() {
+        frame[slot] = v;
+    }
+    let mut pc = 0usize;
+    loop {
+        let ins = f.code[pc];
+        pc += 1;
+        match ins {
+            Instr::Charge(i) => h.charge_ix(i),
+            Instr::Const(i) => {
+                let v = h.kconsts()[i as usize].clone();
+                stack.push(v);
+            }
+            Instr::Load(s) => stack.push(frame[s as usize].clone()),
+            Instr::Store(s) => frame[s as usize] = stack.pop().expect("store operand"),
+            Instr::Pop => {
+                stack.pop();
+            }
+            Instr::Jump(t) => pc = t as usize,
+            Instr::JumpIfZero(t) => {
+                if stack.pop().expect("cond").as_int() == 0 {
+                    pc = t as usize;
+                }
+            }
+            Instr::JumpIfNonZero(t) => {
+                if stack.pop().expect("cond").as_int() != 0 {
+                    pc = t as usize;
+                }
+            }
+            Instr::ToBool => {
+                let v = stack.pop().expect("operand");
+                stack.push(Sl::I((v.as_int() != 0) as i64));
+            }
+            Instr::Bin(op, float) => {
+                let b = stack.pop().expect("rhs");
+                let a = stack.pop().expect("lhs");
+                stack.push(bin_sl(op, float, &a, &b));
+            }
+            Instr::Neg(float) => {
+                let v = stack.pop().expect("operand");
+                stack.push(if float { Sl::F(-v.as_float()) } else { Sl::I(-v.as_int()) });
+            }
+            Instr::Not => {
+                let v = stack.pop().expect("operand");
+                stack.push(Sl::I((v.as_int() == 0) as i64));
+            }
+            Instr::Field(i) => {
+                let v = stack.pop().expect("struct");
+                stack.push(field_sl(v, i as usize));
+            }
+            Instr::IndexAt => {
+                let i = stack.pop().expect("component").as_int();
+                let ix = stack.pop().expect("index").as_index();
+                assert!((0..2).contains(&i), "skil runtime: Index component {i} out of range");
+                stack.push(Sl::I(ix[i as usize]));
+            }
+            Instr::MakeIndex(n) => {
+                let mut ix = [0i64; 2];
+                for slot in (0..n as usize).rev() {
+                    ix[slot] = stack.pop().expect("index component").as_int();
+                }
+                stack.push(Sl::V(Value::Index(ix)));
+            }
+            Instr::MakeStruct(sid, n) => {
+                let at = stack.len() - n as usize;
+                let fields: Vec<Value> = stack.drain(at..).map(Sl::into_value).collect();
+                stack.push(Sl::V(Value::Struct(sid, fields)));
+            }
+            Instr::Intr(op, argc) => {
+                let n = argc as usize;
+                assert!(n <= 3, "intrinsic arity {n} exceeds the operand buffer");
+                let mut buf = [Value::Unit, Value::Unit, Value::Unit];
+                for k in (0..n).rev() {
+                    buf[k] = stack.pop().expect("intrinsic arg").into_value();
+                }
+                let v = match op.eval_pure(&buf[..n]) {
+                    Some(v) => v,
+                    None => h.stateful(op, &buf[..n]),
+                };
+                stack.push(Sl::from_value(v));
+            }
+            Instr::Call(callee) => exec(h, code, callee as usize, stack, frames),
+            Instr::Skel(site) => h.skel(site as usize, stack, frames),
+            Instr::Ret => break,
+            Instr::RetUnit => {
+                stack.push(Sl::V(Value::Unit));
+                break;
+            }
+            // ---- fused superinstructions (optimizer output only) ----
+            Instr::BinS(op, float, l, r) => {
+                let rv = fetch(r, stack, &frame, h.kconsts());
+                let lv = fetch(l, stack, &frame, h.kconsts());
+                stack.push(bin_sl(op, float, &lv, &rv));
+            }
+            Instr::BinStore(op, float, l, r, d) => {
+                let rv = fetch(r, stack, &frame, h.kconsts());
+                let lv = fetch(l, stack, &frame, h.kconsts());
+                frame[d as usize] = bin_sl(op, float, &lv, &rv);
+            }
+            Instr::JumpCmpZ(op, float, l, r, t) => {
+                let rv = fetch(r, stack, &frame, h.kconsts());
+                let lv = fetch(l, stack, &frame, h.kconsts());
+                if bin_sl(op, float, &lv, &rv).as_int() == 0 {
+                    pc = t as usize;
+                }
+            }
+            Instr::JumpCmpNz(op, float, l, r, t) => {
+                let rv = fetch(r, stack, &frame, h.kconsts());
+                let lv = fetch(l, stack, &frame, h.kconsts());
+                if bin_sl(op, float, &lv, &rv).as_int() != 0 {
+                    pc = t as usize;
+                }
+            }
+            Instr::JumpZS(s, t) => {
+                if fetch(s, stack, &frame, h.kconsts()).as_int() == 0 {
+                    pc = t as usize;
+                }
+            }
+            Instr::JumpNzS(s, t) => {
+                if fetch(s, stack, &frame, h.kconsts()).as_int() != 0 {
+                    pc = t as usize;
+                }
+            }
+            Instr::StoreS(d, s) => {
+                let v = fetch(s, stack, &frame, h.kconsts());
+                frame[d as usize] = v;
+            }
+            Instr::RetS(s) => {
+                let v = fetch(s, stack, &frame, h.kconsts());
+                stack.push(v);
+                break;
+            }
+            Instr::FieldS(s, i) => {
+                let v = fetch(s, stack, &frame, h.kconsts());
+                stack.push(field_sl(v, i as usize));
+            }
+            Instr::IndexAtS(x, c) => {
+                let cv = fetch(c, stack, &frame, h.kconsts());
+                let xv = fetch(x, stack, &frame, h.kconsts());
+                let i = cv.as_int();
+                let ix = xv.as_index();
+                assert!((0..2).contains(&i), "skil runtime: Index component {i} out of range");
+                stack.push(Sl::I(ix[i as usize]));
+            }
+            Instr::IntrS(op, argc, srcs) => {
+                let n = argc as usize;
+                let mut buf = [Value::Unit, Value::Unit, Value::Unit];
+                for k in (0..n).rev() {
+                    buf[k] = fetch(srcs[k], stack, &frame, h.kconsts()).into_value();
+                }
+                let v = match op.eval_pure(&buf[..n]) {
+                    Some(v) => v,
+                    None => h.stateful(op, &buf[..n]),
+                };
+                stack.push(Sl::from_value(v));
+            }
+            Instr::ArrGetI1(a, i) => {
+                let iv = fetch(i, stack, &frame, h.kconsts());
+                let av = fetch(a, stack, &frame, h.kconsts());
+                let ix = to_uindex([iv.as_int(), 0]);
+                let v = h.get_elem(av.as_array(), ix);
+                stack.push(Sl::from_value(v));
+            }
+            Instr::ArrGetI2(a, i, j) => {
+                let jv = fetch(j, stack, &frame, h.kconsts());
+                let iv = fetch(i, stack, &frame, h.kconsts());
+                let av = fetch(a, stack, &frame, h.kconsts());
+                let ix = to_uindex([iv.as_int(), jv.as_int()]);
+                let v = h.get_elem(av.as_array(), ix);
+                stack.push(Sl::from_value(v));
+            }
+        }
+    }
+    frame.clear();
+    frames.push(frame);
+}
+
+/// Full execution mode: one per processor, owns the arrays and output.
 struct Vm<'a, 'p, 'm> {
     code: &'a Program,
+    /// `code` with `Charge`s stripped — what kernel execution runs.
+    kcode: &'a Program,
     /// `code.costs` resolved to cycles under this machine's cost model.
     costs: Vec<u64>,
     /// Per site, per argument function: the kernel charge per element.
     site_cycles: Vec<Vec<u64>>,
+    /// `code.consts`, pre-converted to slots.
+    consts: Vec<Sl>,
     proc: &'p mut Proc<'m>,
     arrays: Vec<Option<DistArray<Value>>>,
     output: Vec<String>,
-    /// Operand stack, shared across activations.
-    stack: Vec<Value>,
-    /// Pool of retired frames, reused by later activations.
-    frames: Vec<Vec<Value>>,
 }
 
-impl Vm<'_, '_, '_> {
-    /// Execute function `fid`: pops its arguments off the operand stack,
-    /// pushes its return value.
-    fn exec(&mut self, fid: usize) {
-        let code = self.code;
-        let f = &code.funcs[fid];
-        let mut frame = self.frames.pop().unwrap_or_default();
-        frame.clear();
-        frame.resize(f.nslots, Value::Unit);
-        let base = self.stack.len() - f.nparams;
-        for (slot, v) in self.stack.drain(base..).enumerate() {
-            frame[slot] = v;
+impl Host for Vm<'_, '_, '_> {
+    fn charge_ix(&mut self, i: u32) {
+        self.proc.charge(self.costs[i as usize]);
+    }
+
+    fn kconsts(&self) -> &[Sl] {
+        &self.consts
+    }
+
+    fn get_elem(&mut self, h: usize, ix: Index) -> Value {
+        let arr = self.arrays[h].as_ref().expect("array alive");
+        match arr.get(ix) {
+            Ok(v) => v.clone(),
+            Err(e) => panic!("skil runtime: {e}"),
         }
-        let mut pc = 0usize;
-        loop {
-            let ins = f.code[pc];
-            pc += 1;
-            match ins {
-                Instr::Charge(i) => self.proc.charge(self.costs[i as usize]),
-                Instr::Const(i) => self.stack.push(code.consts[i as usize].clone()),
-                Instr::Load(s) => self.stack.push(frame[s as usize].clone()),
-                Instr::Store(s) => frame[s as usize] = self.stack.pop().expect("store operand"),
-                Instr::Pop => {
-                    self.stack.pop();
-                }
-                Instr::Jump(t) => pc = t as usize,
-                Instr::JumpIfZero(t) => {
-                    if self.stack.pop().expect("cond").as_int() == 0 {
-                        pc = t as usize;
-                    }
-                }
-                Instr::JumpIfNonZero(t) => {
-                    if self.stack.pop().expect("cond").as_int() != 0 {
-                        pc = t as usize;
-                    }
-                }
-                Instr::ToBool => {
-                    let v = self.stack.pop().expect("operand");
-                    self.stack.push(Value::Int((v.as_int() != 0) as i64));
-                }
-                Instr::Bin(op, float) => {
-                    let b = self.stack.pop().expect("rhs");
-                    let a = self.stack.pop().expect("lhs");
-                    self.stack.push(apply_binop(op, float, a, b));
-                }
-                Instr::Neg(float) => {
-                    let v = self.stack.pop().expect("operand");
-                    self.stack.push(if float {
-                        Value::Float(-v.as_float())
-                    } else {
-                        Value::Int(-v.as_int())
-                    });
-                }
-                Instr::Not => {
-                    let v = self.stack.pop().expect("operand");
-                    self.stack.push(Value::Int((v.as_int() == 0) as i64));
-                }
-                Instr::Field(i) => {
-                    let v = self.stack.pop().expect("struct");
-                    self.stack.push(field(v, i as usize));
-                }
-                Instr::IndexAt => {
-                    let i = self.stack.pop().expect("component").as_int();
-                    let ix = self.stack.pop().expect("index").as_index();
-                    assert!((0..2).contains(&i), "skil runtime: Index component {i} out of range");
-                    self.stack.push(Value::Int(ix[i as usize]));
-                }
-                Instr::MakeIndex(n) => {
-                    let mut ix = [0i64; 2];
-                    for slot in (0..n as usize).rev() {
-                        ix[slot] = self.stack.pop().expect("index component").as_int();
-                    }
-                    self.stack.push(Value::Index(ix));
-                }
-                Instr::MakeStruct(sid, n) => {
-                    let at = self.stack.len() - n as usize;
-                    let fields = self.stack.split_off(at);
-                    self.stack.push(Value::Struct(sid, fields));
-                }
-                Instr::Intr(op, argc) => {
-                    let at = self.stack.len() - argc as usize;
-                    let vals = self.stack.split_off(at);
-                    let v = self.intrinsic(op, vals);
-                    self.stack.push(v);
-                }
-                Instr::Call(callee) => self.exec(callee as usize),
-                Instr::Skel(site) => self.exec_skel(site as usize),
-                Instr::Ret => break,
-                Instr::RetUnit => {
-                    self.stack.push(Value::Unit);
-                    break;
-                }
-            }
-        }
-        frame.clear();
-        self.frames.push(frame);
     }
 
     /// Stateful intrinsics; the matching charge was already emitted as a
     /// `Charge` instruction by the compiler.
-    fn intrinsic(&mut self, op: Intr, vals: Vec<Value>) -> Value {
-        if let Some(v) = op.eval_pure(&vals) {
-            return v;
-        }
+    fn stateful(&mut self, op: Intr, vals: &[Value]) -> Value {
         match op {
             Intr::ProcId => Value::Int(self.proc.id() as i64),
             Intr::NProcs => Value::Int(self.proc.nprocs() as i64),
-            Intr::ArrayGetElem => {
-                let arr = self.arrays[vals[0].as_array()].as_ref().expect("array alive");
-                let ix = to_uindex(vals[1].as_index());
-                match arr.get(ix) {
-                    Ok(v) => v.clone(),
-                    Err(e) => panic!("skil runtime: {e}"),
-                }
-            }
+            Intr::ArrayGetElem => self.get_elem(vals[0].as_array(), to_uindex(vals[1].as_index())),
             Intr::ArrayPutElem => {
                 let h = vals[0].as_array();
                 let ix = to_uindex(vals[1].as_index());
@@ -222,18 +485,18 @@ impl Vm<'_, '_, '_> {
 
     /// Dispatch a skeleton call site to `skil-core`, running argument
     /// functions under the kernel VM.
-    fn exec_skel(&mut self, site_ix: usize) {
+    fn skel(&mut self, site_ix: usize, stack: &mut Vec<Sl>, _frames: &mut Vec<Vec<Sl>>) {
         let site: &SkelSite = &self.code.sites[site_ix];
         let cost = self.proc.cost().clone();
         // stack layout: [value args..., fn0 lifted..., fn1 lifted...]
         let mut lifted: Vec<Vec<Value>> = Vec::with_capacity(site.fns.len());
         for f in site.fns.iter().rev() {
-            let at = self.stack.len() - f.n_lifted;
-            lifted.push(self.stack.split_off(at));
+            let at = stack.len() - f.n_lifted;
+            lifted.push(stack.drain(at..).map(Sl::into_value).collect());
         }
         lifted.reverse();
-        let at = self.stack.len() - site.nargs;
-        let vals = self.stack.split_off(at);
+        let at = stack.len() - site.nargs;
+        let vals: Vec<Value> = stack.drain(at..).map(Sl::into_value).collect();
         let cycles = &self.site_cycles[site_ix];
         let me = self.proc.id();
         let np = self.proc.nprocs();
@@ -264,7 +527,7 @@ impl Vm<'_, '_, '_> {
                 };
                 let handle = self.arrays.len();
                 let arr = {
-                    let kvm = kernel_vm(self.code, &self.arrays, me, np);
+                    let kvm = kernel_vm(self.kcode, &self.consts, &self.arrays, me, np);
                     let init = Kernel::new(
                         |ix: Index| {
                             kvm.run(
@@ -294,7 +557,7 @@ impl Vm<'_, '_, '_> {
                     // in-situ replacement, as the paper allows
                     let mut arr = self.arrays[from_h].take().expect("array alive");
                     {
-                        let kvm = kernel_vm(self.code, &self.arrays, me, np);
+                        let kvm = kernel_vm(self.kcode, &self.consts, &self.arrays, me, np);
                         let k = Kernel::new(
                             |v: &Value, ix: Index| {
                                 kvm.run2(
@@ -314,7 +577,7 @@ impl Vm<'_, '_, '_> {
                     let mut to = self.arrays[to_h].take().expect("array alive");
                     {
                         let from = self.arrays[from_h].as_ref().expect("array alive");
-                        let kvm = kernel_vm(self.code, &self.arrays, me, np);
+                        let kvm = kernel_vm(self.kcode, &self.consts, &self.arrays, me, np);
                         let k = Kernel::new(
                             |v: &Value, ix: Index| {
                                 kvm.run2(
@@ -336,7 +599,7 @@ impl Vm<'_, '_, '_> {
             SkelOp::Fold => {
                 let h = vals[0].as_array();
                 let arr = self.arrays[h].as_ref().expect("array alive");
-                let kvm = kernel_vm(self.code, &self.arrays, me, np);
+                let kvm = kernel_vm(self.kcode, &self.consts, &self.arrays, me, np);
                 let conv = Kernel::new(
                     |v: &Value, ix: Index| {
                         kvm.run2(
@@ -386,7 +649,7 @@ impl Vm<'_, '_, '_> {
                     // `array_permute_rows` wants `Fn`, not `FnMut`; the
                     // kernel VM's scratch space is interior-mutable, so a
                     // shared borrow suffices
-                    let kvm = kernel_vm(self.code, &self.arrays, me, np);
+                    let kvm = kernel_vm(self.kcode, &self.consts, &self.arrays, me, np);
                     let perm = |r: usize| -> usize {
                         let v = kvm.run(&site.fns[0], &lifted[0], &[Value::Int(r as i64)]).as_int();
                         assert!(v >= 0, "skil runtime: negative permuted row {v}");
@@ -405,7 +668,7 @@ impl Vm<'_, '_, '_> {
                 let mut to = self.arrays[to_h].take().expect("array alive");
                 {
                     let from = self.arrays[from_h].as_ref().expect("array alive");
-                    let kvm = kernel_vm(self.code, &self.arrays, me, np);
+                    let kvm = kernel_vm(self.kcode, &self.consts, &self.arrays, me, np);
                     let k = Kernel::new(
                         |x: Value, y: Value| kvm.run2(&site.fns[0], &lifted[0], x, y),
                         cycles[0],
@@ -419,7 +682,7 @@ impl Vm<'_, '_, '_> {
             SkelOp::Dc => {
                 let problem = vals[0].clone();
                 let result = {
-                    let kvm = kernel_vm(self.code, &self.arrays, me, np);
+                    let kvm = kernel_vm(self.kcode, &self.consts, &self.arrays, me, np);
                     let mut ops = skil_core::DcOps {
                         is_trivial: Kernel::new(
                             |p: &Value| {
@@ -472,7 +735,7 @@ impl Vm<'_, '_, '_> {
                     panic!("skil runtime: farm needs a task list");
                 };
                 let result = {
-                    let kvm = kernel_vm(self.code, &self.arrays, me, np);
+                    let kvm = kernel_vm(self.kcode, &self.consts, &self.arrays, me, np);
                     let worker = Kernel::new(
                         |t: &Value| kvm.run(&site.fns[0], &lifted[0], std::slice::from_ref(t)),
                         cycles[0],
@@ -500,7 +763,7 @@ impl Vm<'_, '_, '_> {
                 {
                     let aarr = self.arrays[a_h].as_ref().expect("array alive");
                     let barr = self.arrays[b_h].as_ref().expect("array alive");
-                    let kvm = kernel_vm(self.code, &self.arrays, me, np);
+                    let kvm = kernel_vm(self.kcode, &self.consts, &self.arrays, me, np);
                     let add = Kernel::new(
                         |x: Value, y: Value| kvm.run2(&site.fns[0], &lifted[0], x, y),
                         cycles[0],
@@ -518,40 +781,89 @@ impl Vm<'_, '_, '_> {
                 Value::Unit
             }
         };
-        self.stack.push(result);
+        stack.push(Sl::from_value(result));
     }
 }
 
 fn kernel_vm<'a>(
     code: &'a Program,
+    consts: &'a [Sl],
     arrays: &'a [Option<DistArray<Value>>],
     me: usize,
     nprocs: usize,
 ) -> KernelVm<'a> {
-    KernelVm { code, arrays, me, nprocs, scratch: RefCell::new(Scratch::default()) }
-}
-
-fn field(v: Value, index: usize) -> Value {
-    match v {
-        Value::Struct(_, fields) => fields[index].clone(),
-        Value::Bounds(lo, up) => Value::Index(if index == 0 { lo } else { up }),
-        other => panic!("skil runtime: field access on {other:?}"),
-    }
+    KernelVm { code, consts, arrays, me, nprocs, scratch: RefCell::new(Scratch::default()) }
 }
 
 #[derive(Default)]
 struct Scratch {
-    stack: Vec<Value>,
-    frames: Vec<Vec<Value>>,
+    stack: Vec<Sl>,
+    frames: Vec<Vec<Sl>>,
 }
 
-/// Restricted bytecode executor for skeleton argument functions:
-/// read-only arrays, no skeletons, no printing, and `Charge`
-/// instructions are skipped — the per-element kernel charge is applied
-/// by the skeleton itself. Scratch space (operand stack + frame pool) is
-/// interior-mutable so kernels can be invoked through `Fn` closures.
+/// Kernel execution mode for the shared dispatch loop: read-only
+/// arrays, no skeletons, no printing, and `Charge` instructions compile
+/// to nothing — the per-element kernel charge is applied by the
+/// skeleton itself.
+struct KHost<'a> {
+    consts: &'a [Sl],
+    arrays: &'a [Option<DistArray<Value>>],
+    me: usize,
+    nprocs: usize,
+}
+
+impl Host for KHost<'_> {
+    fn charge_ix(&mut self, _i: u32) {}
+
+    fn kconsts(&self) -> &[Sl] {
+        self.consts
+    }
+
+    fn get_elem(&mut self, h: usize, ix: Index) -> Value {
+        let arr = self.arrays[h].as_ref().unwrap_or_else(|| {
+            panic!(
+                "skil runtime: use of an array being written by this skeleton or already destroyed"
+            )
+        });
+        match arr.get(ix) {
+            Ok(v) => v.clone(),
+            Err(e) => panic!("skil runtime: {e}"),
+        }
+    }
+
+    fn stateful(&mut self, op: Intr, vals: &[Value]) -> Value {
+        match op {
+            Intr::ProcId => Value::Int(self.me as i64),
+            Intr::NProcs => Value::Int(self.nprocs as i64),
+            Intr::ArrayGetElem => self.get_elem(vals[0].as_array(), to_uindex(vals[1].as_index())),
+            Intr::ArrayPartBounds => {
+                let arr = self.arrays[vals[0].as_array()].as_ref().expect("array alive");
+                let b = arr.part_bounds().unwrap_or_else(|e| panic!("skil runtime: {e}"));
+                Value::Bounds(
+                    [b.lower[0] as i64, b.lower[1] as i64],
+                    [b.upper[0] as i64, b.upper[1] as i64],
+                )
+            }
+            Intr::ArrayPutElem => {
+                panic!("skil runtime: array_put_elem inside a skeleton argument function")
+            }
+            Intr::Print => panic!("skil runtime: print inside a skeleton argument function"),
+            other => unreachable!("pure intrinsic {} fell through", other.name()),
+        }
+    }
+
+    fn skel(&mut self, _site: usize, _stack: &mut Vec<Sl>, _frames: &mut Vec<Vec<Sl>>) {
+        panic!("skil runtime: skeleton call inside a skeleton argument function")
+    }
+}
+
+/// Executor for skeleton argument functions. Scratch space (operand
+/// stack + frame pool) is interior-mutable so kernels can be invoked
+/// through `Fn` closures; the `Value` boundary is only crossed at entry
+/// and exit.
 struct KernelVm<'a> {
     code: &'a Program,
+    consts: &'a [Sl],
     arrays: &'a [Option<DistArray<Value>>],
     me: usize,
     nprocs: usize,
@@ -589,20 +901,33 @@ impl KernelVm<'_> {
             KernelShape::General => {
                 let mut s = self.scratch.borrow_mut();
                 let Scratch { stack, frames } = &mut *s;
-                stack.extend(lifted.iter().cloned());
-                stack.extend(extra.iter().cloned());
-                self.exec(f.fid, stack, frames);
-                stack.pop().expect("kernel return value")
+                stack.extend(lifted.iter().map(Sl::from_value_ref));
+                stack.extend(extra.iter().map(Sl::from_value_ref));
+                let mut h = KHost {
+                    consts: self.consts,
+                    arrays: self.arrays,
+                    me: self.me,
+                    nprocs: self.nprocs,
+                };
+                exec(&mut h, self.code, f.fid, stack, frames);
+                stack.pop().expect("kernel return value").into_value()
             }
         }
     }
 
     /// Two-element-argument variant (map / fold / scan kernels), sparing
-    /// the caller a temporary slice.
+    /// the caller a temporary slice — and, for the overwhelmingly common
+    /// `f(x, y)` shapes, any clone at all.
     fn run2(&self, f: &SkelFn, lifted: &[Value], x: Value, y: Value) -> Value {
+        let n = lifted.len();
         match &f.shape {
             KernelShape::Bin { op, float, a, b } => {
-                let n = lifted.len();
+                if *a == n && *b == n + 1 {
+                    return apply_binop(*op, *float, x, y);
+                }
+                if *a == n + 1 && *b == n {
+                    return apply_binop(*op, *float, y, x);
+                }
                 let pick = |i: usize| {
                     if i < n {
                         lifted[i].clone()
@@ -614,142 +939,10 @@ impl KernelVm<'_> {
                 };
                 apply_binop(*op, *float, pick(*a), pick(*b))
             }
+            KernelShape::Intrinsic { op, slots } if slots[..] == [n, n + 1] => {
+                op.eval_pure(&[x, y]).expect("shape-classified intrinsic is pure")
+            }
             _ => self.run(f, lifted, &[x, y]),
-        }
-    }
-
-    /// The kernel-mode dispatch loop. Identical to the full VM's except
-    /// for the restrictions documented on [`KernelVm`].
-    fn exec(&self, fid: usize, stack: &mut Vec<Value>, frames: &mut Vec<Vec<Value>>) {
-        let code = self.code;
-        let f = &code.funcs[fid];
-        let mut frame = frames.pop().unwrap_or_default();
-        frame.clear();
-        frame.resize(f.nslots, Value::Unit);
-        let base = stack.len() - f.nparams;
-        for (slot, v) in stack.drain(base..).enumerate() {
-            frame[slot] = v;
-        }
-        let mut pc = 0usize;
-        loop {
-            let ins = f.code[pc];
-            pc += 1;
-            match ins {
-                // kernel mode: the skeleton charges per element instead
-                Instr::Charge(_) => {}
-                Instr::Const(i) => stack.push(code.consts[i as usize].clone()),
-                Instr::Load(s) => stack.push(frame[s as usize].clone()),
-                Instr::Store(s) => frame[s as usize] = stack.pop().expect("store operand"),
-                Instr::Pop => {
-                    stack.pop();
-                }
-                Instr::Jump(t) => pc = t as usize,
-                Instr::JumpIfZero(t) => {
-                    if stack.pop().expect("cond").as_int() == 0 {
-                        pc = t as usize;
-                    }
-                }
-                Instr::JumpIfNonZero(t) => {
-                    if stack.pop().expect("cond").as_int() != 0 {
-                        pc = t as usize;
-                    }
-                }
-                Instr::ToBool => {
-                    let v = stack.pop().expect("operand");
-                    stack.push(Value::Int((v.as_int() != 0) as i64));
-                }
-                Instr::Bin(op, float) => {
-                    let b = stack.pop().expect("rhs");
-                    let a = stack.pop().expect("lhs");
-                    stack.push(apply_binop(op, float, a, b));
-                }
-                Instr::Neg(float) => {
-                    let v = stack.pop().expect("operand");
-                    stack.push(if float {
-                        Value::Float(-v.as_float())
-                    } else {
-                        Value::Int(-v.as_int())
-                    });
-                }
-                Instr::Not => {
-                    let v = stack.pop().expect("operand");
-                    stack.push(Value::Int((v.as_int() == 0) as i64));
-                }
-                Instr::Field(i) => {
-                    let v = stack.pop().expect("struct");
-                    stack.push(field(v, i as usize));
-                }
-                Instr::IndexAt => {
-                    let i = stack.pop().expect("component").as_int();
-                    let ix = stack.pop().expect("index").as_index();
-                    assert!((0..2).contains(&i), "skil runtime: Index component {i} out of range");
-                    stack.push(Value::Int(ix[i as usize]));
-                }
-                Instr::MakeIndex(n) => {
-                    let mut ix = [0i64; 2];
-                    for slot in (0..n as usize).rev() {
-                        ix[slot] = stack.pop().expect("index component").as_int();
-                    }
-                    stack.push(Value::Index(ix));
-                }
-                Instr::MakeStruct(sid, n) => {
-                    let at = stack.len() - n as usize;
-                    let fields = stack.split_off(at);
-                    stack.push(Value::Struct(sid, fields));
-                }
-                Instr::Intr(op, argc) => {
-                    let at = stack.len() - argc as usize;
-                    let vals = stack.split_off(at);
-                    let v = self.intrinsic(op, vals);
-                    stack.push(v);
-                }
-                Instr::Call(callee) => self.exec(callee as usize, stack, frames),
-                Instr::Skel(_) => {
-                    panic!("skil runtime: skeleton call inside a skeleton argument function")
-                }
-                Instr::Ret => break,
-                Instr::RetUnit => {
-                    stack.push(Value::Unit);
-                    break;
-                }
-            }
-        }
-        frame.clear();
-        frames.push(frame);
-    }
-
-    fn intrinsic(&self, op: Intr, vals: Vec<Value>) -> Value {
-        if let Some(v) = op.eval_pure(&vals) {
-            return v;
-        }
-        match op {
-            Intr::ProcId => Value::Int(self.me as i64),
-            Intr::NProcs => Value::Int(self.nprocs as i64),
-            Intr::ArrayGetElem => {
-                let arr = self.arrays[vals[0].as_array()].as_ref().unwrap_or_else(|| {
-                    panic!(
-                        "skil runtime: use of an array being written by this skeleton or already destroyed"
-                    )
-                });
-                let ix = to_uindex(vals[1].as_index());
-                match arr.get(ix) {
-                    Ok(v) => v.clone(),
-                    Err(e) => panic!("skil runtime: {e}"),
-                }
-            }
-            Intr::ArrayPartBounds => {
-                let arr = self.arrays[vals[0].as_array()].as_ref().expect("array alive");
-                let b = arr.part_bounds().unwrap_or_else(|e| panic!("skil runtime: {e}"));
-                Value::Bounds(
-                    [b.lower[0] as i64, b.lower[1] as i64],
-                    [b.upper[0] as i64, b.upper[1] as i64],
-                )
-            }
-            Intr::ArrayPutElem => {
-                panic!("skil runtime: array_put_elem inside a skeleton argument function")
-            }
-            Intr::Print => panic!("skil runtime: print inside a skeleton argument function"),
-            other => unreachable!("pure intrinsic {} fell through", other.name()),
         }
     }
 }

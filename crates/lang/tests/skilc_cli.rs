@@ -115,3 +115,72 @@ fn bad_flags_show_usage() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
 }
+
+#[test]
+fn bad_opt_level_shows_usage() {
+    let path = write_temp("badopt.skil", HELLO);
+    let out = skilc().arg("--opt-level").arg("9").arg(&path).output().expect("run skilc");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn run_output_identical_at_every_opt_level() {
+    let src = "int sumto(int n) {\n\
+                 int s = 0;\n\
+                 int i = 1;\n\
+                 while (i <= n) { s = s + i; i = i + 1; }\n\
+                 return s;\n\
+               }\n\
+               void main() { if (procId == 0) { print(sumto(10)); } }";
+    let path = write_temp("optlevels.skil", src);
+    let mut runs = Vec::new();
+    for level in ["0", "1", "2"] {
+        let out = skilc()
+            .arg("--run")
+            .arg("--opt-level")
+            .arg(level)
+            .arg(&path)
+            .output()
+            .expect("run skilc");
+        assert!(out.status.success(), "-O{level}: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(stdout.contains("[proc 0] 55"), "-O{level}: {stdout}");
+        // the cycle count in the summary line must not depend on the level
+        let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+        let cycles = stderr.split('(').nth(1).map(|s| s.to_string());
+        runs.push((stdout, cycles));
+    }
+    assert_eq!(runs[0], runs[1], "-O0 vs -O1");
+    assert_eq!(runs[1], runs[2], "-O1 vs -O2");
+}
+
+#[test]
+fn emit_bytecode_prints_listing_and_stats() {
+    let src = "int sumto(int n) {\n\
+                 int s = 0;\n\
+                 int i = 1;\n\
+                 while (i <= n) { s = s + i; i = i + 1; }\n\
+                 return s;\n\
+               }\n\
+               void main() { if (procId == 0) { print(sumto(10)); } }";
+    let path = write_temp("emitbc.skil", src);
+
+    let opt = skilc().arg("--emit-bytecode").arg(&path).output().expect("run skilc");
+    assert!(opt.status.success(), "{}", String::from_utf8_lossy(&opt.stderr));
+    let listing = String::from_utf8_lossy(&opt.stdout);
+    assert!(listing.contains("fn main"), "{listing}");
+    assert!(listing.contains("charge ["), "resolved charge summaries: {listing}");
+    let stderr = String::from_utf8_lossy(&opt.stderr);
+    assert!(stderr.contains("opt level 2"), "{stderr}");
+    assert!(stderr.contains("opt: instrs"), "per-pass stats on stderr: {stderr}");
+
+    // the raw listing is the unoptimized compiler output — no fused ops
+    let raw = skilc().arg("--emit-bytecode=raw").arg(&path).output().expect("run skilc");
+    assert!(raw.status.success());
+    let raw_listing = String::from_utf8_lossy(&raw.stdout);
+    assert!(raw_listing.contains("fn main"), "{raw_listing}");
+    assert!(!raw_listing.contains("binstore"), "raw listing is unfused: {raw_listing}");
+    // the optimized listing of this loop does fuse
+    assert!(listing.contains("binstore") || listing.contains("jnz.cmp"), "{listing}");
+}

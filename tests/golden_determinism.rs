@@ -10,7 +10,7 @@
 //! bug, not a tuning difference.
 
 use skil::apps::{gauss_skil, shpaths_skil};
-use skil::lang::{compile, Engine};
+use skil::lang::{compile, compile_opt, Engine, OptLevel};
 use skil::runtime::{Machine, MachineConfig, RunReport};
 
 /// Per-processor fingerprint:
@@ -183,6 +183,43 @@ fn skil_examples_golden_with_tracing_on() {
             assert_eq!(out.report.sim_cycles, cycles, "{name} under {engine:?}");
             assert!(!out.report.procs[0].trace.is_empty(), "tracing recorded spans");
             assert_byte_conservation(&out.report);
+        }
+    }
+}
+
+#[test]
+fn skil_goldens_bit_identical_at_every_opt_level() {
+    // The bytecode optimizer may reorder, fuse, fold, and inline, but
+    // the pooled symbolic charges must survive exactly: each golden
+    // constant holds at -O0 (raw compiler output), -O1, and -O2, with
+    // and without tracing, fingerprint for fingerprint.
+    let plain = Machine::new(MachineConfig::square(2).unwrap());
+    let traced = Machine::new(MachineConfig::square(2).unwrap().with_trace());
+    for (name, cycles) in [("shortest_paths.skil", 2_397_316u64), ("gauss.skil", 11_906_936u64)] {
+        let src = skil_example(name);
+        let reference =
+            compile_opt(&src, OptLevel::O0).expect("example compiles").run_with(Engine::Vm, &plain);
+        assert_eq!(reference.report.sim_cycles, cycles, "{name} at -O0");
+        for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+            let compiled = compile_opt(&src, level).expect("example compiles");
+            let out = compiled.run_with(Engine::Vm, &plain);
+            assert_eq!(out.report.sim_cycles, cycles, "{name} at -O{level}");
+            assert_eq!(
+                fingerprint(&out.report),
+                fingerprint(&reference.report),
+                "{name} at -O{level}: per-processor stats drifted"
+            );
+            assert_eq!(out.results, reference.results, "{name} at -O{level}: output drifted");
+            assert_byte_conservation(&out.report);
+
+            let t = compiled.run_with(Engine::Vm, &traced);
+            assert_eq!(t.report.sim_cycles, cycles, "{name} at -O{level} traced");
+            assert_eq!(
+                fingerprint(&t.report),
+                fingerprint(&reference.report),
+                "{name} at -O{level}: tracing changed the stats"
+            );
+            assert!(!t.report.procs[0].trace.is_empty(), "tracing recorded spans");
         }
     }
 }

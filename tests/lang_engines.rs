@@ -1,14 +1,16 @@
-//! Differential tests of the two Skil execution engines.
+//! Differential tests of the Skil execution engines.
 //!
-//! The bytecode VM must be observationally indistinguishable from the
-//! AST walker: identical print output, identical `sim_cycles`, and
-//! identical per-processor `ProcStats` — on every shipped example and on
-//! randomly generated first-order programs. Host speed is the only
-//! permitted difference.
+//! The bytecode VM — at every optimizer level — must be observationally
+//! indistinguishable from the AST walker: identical print output,
+//! identical `sim_cycles`, and identical per-processor `ProcStats` — on
+//! every shipped example and on randomly generated first-order
+//! programs. Host speed is the only permitted difference.
 
 use proptest::prelude::*;
-use skil::lang::{compile, Engine};
+use skil::lang::{compile, compile_opt, Engine, OptLevel};
 use skil::runtime::{Machine, MachineConfig, RunReport};
+
+const LEVELS: [OptLevel; 3] = [OptLevel::O0, OptLevel::O1, OptLevel::O2];
 
 /// Per-processor fingerprint:
 /// `(id, finished_at, compute, wait, sends, bytes_sent, recvs)`.
@@ -43,14 +45,20 @@ fn examples() -> Vec<(String, String)> {
 fn assert_engines_agree(name: &str, src: &str, machine: &Machine) {
     let compiled = compile(src).unwrap_or_else(|e| panic!("{name}: {e}"));
     let ast = compiled.run_with(Engine::Ast, machine);
-    let vm = compiled.run_with(Engine::Vm, machine);
-    assert_eq!(ast.results, vm.results, "{name}: print output differs");
-    assert_eq!(ast.report.sim_cycles, vm.report.sim_cycles, "{name}: virtual time differs");
-    assert_eq!(
-        fingerprint(&ast.report),
-        fingerprint(&vm.report),
-        "{name}: per-processor stats differ"
-    );
+    for level in LEVELS {
+        let c = compile_opt(src, level).unwrap_or_else(|e| panic!("{name} @ -O{level}: {e}"));
+        let vm = c.run_with(Engine::Vm, machine);
+        assert_eq!(ast.results, vm.results, "{name} @ -O{level}: print output differs");
+        assert_eq!(
+            ast.report.sim_cycles, vm.report.sim_cycles,
+            "{name} @ -O{level}: virtual time differs"
+        );
+        assert_eq!(
+            fingerprint(&ast.report),
+            fingerprint(&vm.report),
+            "{name} @ -O{level}: per-processor stats differ"
+        );
+    }
 }
 
 #[test]
@@ -241,8 +249,9 @@ impl<'a> Gen<'a> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Random arithmetic/control-flow programs: both engines print the
-    /// same values and charge the same cycles, processor by processor.
+    /// Random arithmetic/control-flow programs: every engine × opt
+    /// level prints the same values and charges the same cycles,
+    /// processor by processor.
     #[test]
     fn random_programs_agree_across_engines(
         dna in proptest::collection::vec(any::<u8>(), 0..96),
@@ -251,19 +260,25 @@ proptest! {
         let compiled = compile(&src).unwrap_or_else(|e| panic!("generated program rejected: {e}\n{src}"));
         let machine = Machine::new(MachineConfig::square(2).unwrap());
         let ast = compiled.run_with(Engine::Ast, &machine);
-        let vm = compiled.run_with(Engine::Vm, &machine);
-        prop_assert_eq!(&ast.results, &vm.results, "output differs for:\n{}", src);
-        prop_assert_eq!(
-            ast.report.sim_cycles,
-            vm.report.sim_cycles,
-            "virtual time differs for:\n{}",
-            src
-        );
-        prop_assert_eq!(
-            fingerprint(&ast.report),
-            fingerprint(&vm.report),
-            "stats differ for:\n{}",
-            src
-        );
+        for level in LEVELS {
+            let c = compile_opt(&src, level)
+                .unwrap_or_else(|e| panic!("generated program rejected at -O{level}: {e}\n{src}"));
+            let vm = c.run_with(Engine::Vm, &machine);
+            prop_assert_eq!(&ast.results, &vm.results, "output differs at -O{} for:\n{}", level, src);
+            prop_assert_eq!(
+                ast.report.sim_cycles,
+                vm.report.sim_cycles,
+                "virtual time differs at -O{} for:\n{}",
+                level,
+                src
+            );
+            prop_assert_eq!(
+                fingerprint(&ast.report),
+                fingerprint(&vm.report),
+                "stats differ at -O{} for:\n{}",
+                level,
+                src
+            );
+        }
     }
 }

@@ -14,20 +14,32 @@
 //!
 //! Run with
 //! `cargo run --release -p skil-bench --bin trace_report -- [--out-dir DIR]`.
+//!
+//! `--faults SPEC` (e.g. `--faults seed=7,drop=0.08`) runs both
+//! applications under a seeded fault plan: the reliable-delivery layer
+//! must mask every recoverable fault, so the artifacts gain nonzero
+//! retry/drop counters while the tracing-is-free assertion still holds.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use skil_apps::{gauss_skil, shpaths_skil};
 use skil_bench::SEED;
-use skil_runtime::{Machine, MachineConfig, RunReport};
+use skil_runtime::{FaultPlan, Machine, MachineConfig, RunReport};
 
 /// Problem size used for both applications (matches the golden tests).
 const N: usize = 24;
 
-fn traced_run(app: &str) -> RunReport {
-    let plain = Machine::new(MachineConfig::square(2).expect("2x2 mesh"));
-    let traced = Machine::new(MachineConfig::square(2).expect("2x2 mesh").with_trace());
+fn traced_run(app: &str, faults: &Option<FaultPlan>) -> RunReport {
+    let cfg = || {
+        let c = MachineConfig::square(2).expect("2x2 mesh");
+        match faults {
+            Some(plan) => c.with_faults(plan.clone()),
+            None => c,
+        }
+    };
+    let plain = Machine::new(cfg());
+    let traced = Machine::new(cfg().with_trace());
     let (plain_cycles, report) = match app {
         "shpaths" => {
             (shpaths_skil(&plain, N, SEED).report.sim_cycles, shpaths_skil(&traced, N, SEED).report)
@@ -47,6 +59,7 @@ fn traced_run(app: &str) -> RunReport {
 
 fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("results");
+    let mut faults: Option<FaultPlan> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -61,8 +74,22 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--faults" => {
+                i += 1;
+                let Some(spec) = args.get(i) else {
+                    eprintln!("trace_report: --faults needs an argument");
+                    return ExitCode::from(2);
+                };
+                match FaultPlan::parse(spec) {
+                    Ok(plan) => faults = Some(plan),
+                    Err(e) => {
+                        eprintln!("trace_report: bad --faults spec: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             other => {
-                eprintln!("usage: trace_report [--out-dir DIR] (got {other:?})");
+                eprintln!("usage: trace_report [--out-dir DIR] [--faults SPEC] (got {other:?})");
                 return ExitCode::from(2);
             }
         }
@@ -74,7 +101,7 @@ fn main() -> ExitCode {
     }
 
     for app in ["shpaths", "gauss"] {
-        let report = traced_run(app);
+        let report = traced_run(app, &faults);
         let metrics_path = out_dir.join(format!("metrics_{app}.json"));
         let trace_path = out_dir.join(format!("trace_{app}.json"));
         std::fs::write(&metrics_path, report.metrics_json()).expect("write metrics");
@@ -91,6 +118,16 @@ fn main() -> ExitCode {
                 "  {label:<10} x{:<4} {:>10} cycles  {:>4} msgs  {:>8} bytes sent",
                 m.invocations, m.cycles, m.sends, m.bytes_sent
             );
+        }
+        if faults.is_some() {
+            let (mut retries, mut drops, mut dups, mut delays) = (0u64, 0u64, 0u64, 0u64);
+            for p in &report.procs {
+                retries += p.stats.retries;
+                drops += p.stats.drops;
+                dups += p.stats.dups;
+                delays += p.stats.delays;
+            }
+            println!("  faults: retries={retries} drops={drops} dups={dups} delays={delays}");
         }
         println!("  -> {} + {}", metrics_path.display(), trace_path.display());
     }

@@ -203,3 +203,45 @@ fn fold_on_single_element_array() {
     // three of the four processors hold nothing; the fold still works
     assert!(run.results.iter().all(|&v| v == 42));
 }
+
+#[test]
+fn skeleton_composition_is_masked_under_a_lossy_fault_plan() {
+    // A create -> map -> zip -> scan -> fold pipeline routed through the
+    // reliable-delivery layer: a recoverable fault plan must leave every
+    // value and every logical traffic counter identical to the clean
+    // run (DESIGN.md §12); only waiting time may stretch.
+    let n = 24usize;
+    let program = |p: &mut Proc<'_>| {
+        let a = array_create(
+            p,
+            ArraySpec::d1(n, Distr::Default),
+            Kernel::free(|ix: Index| ix[0] as i64),
+        )
+        .unwrap();
+        let mut b =
+            array_create(p, ArraySpec::d1(n, Distr::Default), Kernel::free(|_| 0i64)).unwrap();
+        array_map(p, Kernel::free(|&v: &i64, _| 3 * v + 1), &a, &mut b).unwrap();
+        let mut z =
+            array_create(p, ArraySpec::d1(n, Distr::Default), Kernel::free(|_| 0i64)).unwrap();
+        array_zip(p, Kernel::free(|&x: &i64, &y: &i64, _| x + y), &a, &b, &mut z).unwrap();
+        let mut s =
+            array_create(p, ArraySpec::d1(n, Distr::Default), Kernel::free(|_| 0i64)).unwrap();
+        array_scan(p, Kernel::free(|x: i64, y: i64| x + y), &z, &mut s).unwrap();
+        array_fold(p, Kernel::free(|&v: &i64, _| v), Kernel::free(|x: i64, y: i64| x.max(y)), &s)
+            .unwrap()
+    };
+    let clean = Machine::new(MachineConfig::procs(4).unwrap()).run(program);
+    let plan =
+        skil_runtime::FaultPlan::seeded(17).with_drop(0.2).with_dup(0.2).with_delay(0.2, 20_000);
+    let faulty = Machine::new(MachineConfig::procs(4).unwrap().with_faults(plan)).run(program);
+    assert_eq!(faulty.results, clean.results);
+    let events: u64 = faulty.report.procs.iter().map(|p| p.stats.fault_events()).sum();
+    assert!(events > 0, "plan injected nothing; the test is vacuous");
+    for (pf, pc) in faulty.report.procs.iter().zip(&clean.report.procs) {
+        assert_eq!(pf.stats.compute, pc.stats.compute);
+        assert_eq!(pf.stats.sends, pc.stats.sends);
+        assert_eq!(pf.stats.recvs, pc.stats.recvs);
+        assert_eq!(pf.stats.bytes_sent, pc.stats.bytes_sent);
+        assert_eq!(pf.stats.bytes_recvd, pc.stats.bytes_recvd);
+    }
+}

@@ -11,19 +11,26 @@
 //! skilc --emit-bytecode=raw ...      disassemble before optimization
 //! skilc --run --trace <file.skil>    also print a virtual-time timeline
 //! skilc --run --trace-out FILE ...   write a Chrome trace_events JSON
+//! skilc --run --faults SPEC ...      inject seeded faults (see below)
 //! ```
 //!
 //! `--emit-bytecode` also prints the optimizer's per-pass counters to
 //! stderr, so pass behavior is inspectable without a debugger.
+//!
+//! `--faults` takes a seeded fault plan such as
+//! `seed=7,drop=0.08,dup=0.05,delay=0.1,max_delay=40000,crash=3@1000000`;
+//! recoverable faults are masked by the runtime's reliable-delivery
+//! layer (output is identical to the fault-free run), while a crash
+//! surfaces as a structured `PeerDown` failure with exit code 3.
 
 use skil_lang::{compile_opt, Engine, OptLevel};
-use skil_runtime::{Machine, MachineConfig};
+use skil_runtime::{FaultPlan, Machine, MachineConfig};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: skilc [--check | --emit-bytecode[=raw|opt] | --run [--mesh RxC] \
-[--engine ast|vm] [--trace]] [--opt-level 0|1|2] <file.skil>\n\
+[--engine ast|vm] [--trace] [--faults SPEC]] [--opt-level 0|1|2] <file.skil>\n\
          \n\
          default: emit the instantiated first-order C to stdout\n\
          --check: stop after the polymorphic type check\n\
@@ -38,7 +45,12 @@ fn usage() -> ExitCode {
                   (0 raw, 1 local passes, 2 +inlining; default 2);\n\
                   virtual time is bit-identical at every level\n\
          --trace-out FILE: write the traced run as Chrome trace_events\n\
-                  JSON (open in chrome://tracing); implies tracing"
+                  JSON (open in chrome://tracing); implies tracing\n\
+         --faults SPEC: seeded fault injection for --run, e.g.\n\
+                  --faults seed=7,drop=0.08,dup=0.05,crash=3@1000000;\n\
+                  keys: seed, drop, dup, delay, max_delay, rto, budget,\n\
+                  crash=PROC@CYCLE (repeatable); recoverable faults are\n\
+                  retried transparently, a crash exits 3 with PeerDown"
     );
     ExitCode::from(2)
 }
@@ -53,6 +65,7 @@ fn main() -> ExitCode {
     let mut run = false;
     let mut trace = false;
     let mut trace_out: Option<String> = None;
+    let mut faults: Option<FaultPlan> = None;
     let mut mesh = (2usize, 2usize);
     let mut file: Option<String> = None;
 
@@ -85,6 +98,17 @@ fn main() -> ExitCode {
                 i += 1;
                 let Some(path) = args.get(i) else { return usage() };
                 trace_out = Some(path.clone());
+            }
+            "--faults" => {
+                i += 1;
+                let Some(spec) = args.get(i) else { return usage() };
+                match FaultPlan::parse(spec) {
+                    Ok(plan) => faults = Some(plan),
+                    Err(e) => {
+                        eprintln!("skilc: bad --faults spec: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
             }
             "--mesh" => {
                 i += 1;
@@ -144,10 +168,10 @@ fn main() -> ExitCode {
     if run {
         let cfg = match MachineConfig::mesh(mesh.0, mesh.1) {
             Ok(c) => {
-                if trace || trace_out.is_some() {
-                    c.with_trace()
-                } else {
-                    c
+                let c = if trace || trace_out.is_some() { c.with_trace() } else { c };
+                match &faults {
+                    Some(plan) => c.with_faults(plan.clone()),
+                    None => c,
                 }
             }
             Err(e) => {
@@ -158,7 +182,15 @@ fn main() -> ExitCode {
         let machine = Machine::new(cfg);
         // Skil runtime errors panic inside the simulation (poisoning the
         // machine); the panic propagates here with the diagnostic.
-        let run_result = compiled.run_with(engine, &machine);
+        // Fault-plan failures (crash, retry exhaustion) surface as a
+        // structured SimFailure instead.
+        let run_result = match compiled.try_run_with(engine, &machine) {
+            Ok(r) => r,
+            Err(failure) => {
+                eprintln!("skilc: simulation aborted: {failure}");
+                return ExitCode::from(3);
+            }
+        };
         for (id, lines) in run_result.results.iter().enumerate() {
             for line in lines {
                 println!("[proc {id}] {line}");
@@ -171,6 +203,16 @@ fn main() -> ExitCode {
             run_result.report.sim_cycles,
             run_result.report.total_msgs()
         );
+        if faults.is_some() {
+            let (mut retries, mut drops, mut dups, mut delays) = (0u64, 0u64, 0u64, 0u64);
+            for p in &run_result.report.procs {
+                retries += p.stats.retries;
+                drops += p.stats.drops;
+                dups += p.stats.dups;
+                delays += p.stats.delays;
+            }
+            eprintln!("skilc: faults: retries={retries} drops={drops} dups={dups} delays={delays}");
+        }
         if trace {
             eprint!("{}", run_result.report.render_timeline(64));
         }

@@ -29,9 +29,20 @@ use crate::value::{ConsList, Value};
 pub(crate) const LANG_RESULT_TAG: u64 = 0x3100_0000;
 
 /// Run an instantiated program on a machine; returns each processor's
-/// `print` output.
+/// `print` output. Panics on a simulated failure — use
+/// [`try_run_program`] to handle fault-plan crashes structurally.
 pub fn run_program(prog: &FoProgram, machine: &Machine) -> Run<Vec<String>> {
-    machine.run(|p| {
+    try_run_program(prog, machine).unwrap_or_else(|failure| panic!("{failure}"))
+}
+
+/// Run an instantiated program, surfacing simulated failures (fault-plan
+/// crashes, retry-budget give-ups, `PeerDown` cascades) as a structured
+/// `Err` instead of a panic or a hang.
+pub fn try_run_program(
+    prog: &FoProgram,
+    machine: &Machine,
+) -> Result<Run<Vec<String>>, skil_runtime::SimFailure> {
+    machine.try_run(|p| {
         let mut interp = Interp { prog, proc: p, arrays: Vec::new(), output: Vec::new() };
         let main = prog.func("main").expect("instantiated program has main");
         debug_assert!(main.params.is_empty());

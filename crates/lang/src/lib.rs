@@ -148,6 +148,20 @@ impl Compiled {
         }
     }
 
+    /// Execute like [`Compiled::run_with`], but surface simulated
+    /// failures (fault-plan crashes, retry-budget give-ups, `PeerDown`
+    /// cascades) as a structured `Err` instead of a panic.
+    pub fn try_run_with(
+        &self,
+        engine: Engine,
+        machine: &Machine,
+    ) -> Result<Run<Vec<String>>, skil_runtime::SimFailure> {
+        match engine {
+            Engine::Ast => interp::try_run_program(&self.fo, machine),
+            Engine::Vm => vm::try_run_program_vm(&self.fo, &self.code, machine),
+        }
+    }
+
     /// Human-readable bytecode listing of the code the VM executes
     /// (`skilc --emit-bytecode` / `--emit-bytecode=opt`).
     pub fn disassemble(&self) -> String {

@@ -41,14 +41,27 @@ use crate::value::{ConsList, Value};
 
 /// Run a compiled program on a machine; returns each processor's `print`
 /// output. Virtual time is bit-identical to [`crate::interp::run_program`].
+/// Panics on a simulated failure — use [`try_run_program_vm`] to handle
+/// fault-plan crashes structurally.
 pub fn run_program_vm(prog: &FoProgram, code: &Program, machine: &Machine) -> Run<Vec<String>> {
+    try_run_program_vm(prog, code, machine).unwrap_or_else(|failure| panic!("{failure}"))
+}
+
+/// Run a compiled program, surfacing simulated failures (fault-plan
+/// crashes, retry-budget give-ups, `PeerDown` cascades) as a structured
+/// `Err` instead of a panic or a hang.
+pub fn try_run_program_vm(
+    prog: &FoProgram,
+    code: &Program,
+    machine: &Machine,
+) -> Result<Run<Vec<String>>, skil_runtime::SimFailure> {
     let main = code.main.expect("instantiated program has main");
     assert_eq!(code.funcs[main].nparams, 0, "main takes no arguments");
     // Kernel mode never charges per instruction (the skeleton charges
     // the statically estimated kernel cost per element), so skeleton
     // argument functions run a charge-free view of the same code.
     let kcode = crate::opt::strip_charges(code);
-    machine.run(|p| {
+    machine.try_run(|p| {
         // resolve the symbolic pools against this machine's cost model,
         // once per run: the instruction stream itself never changes
         let cost = p.cost().clone();

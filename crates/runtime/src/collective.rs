@@ -283,4 +283,30 @@ mod tests {
         let m = machine(2);
         let _ = m.run(|p| p.broadcast::<u8>(0, 1, None));
     }
+
+    #[test]
+    fn collectives_survive_a_lossy_fault_plan() {
+        // Every binomial-tree edge goes through the reliable-delivery
+        // layer, so a recoverable plan must not change any collective's
+        // value on any processor.
+        use crate::fault::FaultPlan;
+        let program = |p: &mut crate::proc::Proc<'_>| {
+            let b = p.broadcast(0, 1, (p.id() == 0).then_some(7u64));
+            let r = p.reduce(0, 2, p.id() as u64, |a, b| a + b, 4);
+            let ar = p.allreduce(3, p.id() as u64 + b, |a, b| a.max(b), 4);
+            p.barrier(4);
+            let g = p.gather(0, 5, (p.id() as u64) << 8);
+            (b, r, ar, g)
+        };
+        for n in [2, 3, 8, 16] {
+            let clean = machine(n).run(program);
+            let plan =
+                FaultPlan::seeded(21).with_drop(0.25).with_dup(0.25).with_delay(0.25, 30_000);
+            let faulty =
+                Machine::new(MachineConfig::procs(n).unwrap().with_faults(plan)).run(program);
+            assert_eq!(faulty.results, clean.results, "n={n}");
+            let events: u64 = faulty.report.procs.iter().map(|p| p.stats.fault_events()).sum();
+            assert!(events > 0, "n={n}: plan injected nothing");
+        }
+    }
 }

@@ -75,6 +75,106 @@ impl From<WireError> for RtError {
     }
 }
 
+/// Why a processor went down mid-run (fault injection or delivery-layer
+/// give-up). Ordinary Rust panics in user code are *not* represented
+/// here — they still poison the machine and resume on the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbortCause {
+    /// The fault plan crashed this processor at the given virtual cycle.
+    Crashed {
+        /// The virtual cycle at which the crash fired.
+        cycle: u64,
+    },
+    /// The reliable-delivery layer exhausted its retry budget sending to
+    /// `dst` — the link (or peer) is considered dead.
+    RetryExhausted {
+        /// Destination processor of the undeliverable message.
+        dst: usize,
+        /// Message tag of the undeliverable message.
+        tag: u64,
+        /// Total transmission attempts made (1 original + retries).
+        attempts: u32,
+    },
+    /// A peer this processor was communicating with went down; the
+    /// failure cascades through the blocked receive.
+    PeerDown {
+        /// The processor that went down first.
+        peer: usize,
+    },
+}
+
+impl fmt::Display for AbortCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortCause::Crashed { cycle } => {
+                write!(f, "crashed by fault plan at virtual cycle {cycle}")
+            }
+            AbortCause::RetryExhausted { dst, tag, attempts } => write!(
+                f,
+                "retry budget exhausted sending to processor {dst} (tag {tag}) after \
+                 {attempts} attempts"
+            ),
+            AbortCause::PeerDown { peer } => {
+                write!(f, "PeerDown: processor {peer} went down mid-run")
+            }
+        }
+    }
+}
+
+/// The structured panic payload a processor unwinds with when it goes
+/// down for a simulated (fault-model) reason. The machine's job wrapper
+/// downcasts for this to distinguish simulated failures from genuine
+/// bugs in user code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimAbort {
+    /// The processor that aborted.
+    pub proc: usize,
+    /// Why it aborted.
+    pub cause: AbortCause,
+}
+
+impl fmt::Display for SimAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "processor {}: {}", self.proc, self.cause)
+    }
+}
+
+impl std::error::Error for SimAbort {}
+
+/// A whole-run failure: one or more processors went down for simulated
+/// reasons. Returned by [`Machine::try_run`](crate::Machine::try_run)
+/// instead of hanging or unwinding, so callers (and the `skilc` CLI) can
+/// report it as a structured diagnostic.
+#[derive(Debug, Clone)]
+pub struct SimFailure {
+    /// Every processor that aborted, in processor-id order. The first
+    /// entry with a non-`PeerDown` cause is the root failure.
+    pub aborts: Vec<SimAbort>,
+}
+
+impl SimFailure {
+    /// The root failure: the first abort whose cause is not a cascaded
+    /// `PeerDown` (falls back to the first abort if all are cascades).
+    pub fn root(&self) -> &SimAbort {
+        self.aborts
+            .iter()
+            .find(|a| !matches!(a.cause, AbortCause::PeerDown { .. }))
+            .unwrap_or(&self.aborts[0])
+    }
+}
+
+impl fmt::Display for SimFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "simulation failed: PeerDown ({} processor(s) down)", self.aborts.len())?;
+        for a in &self.aborts {
+            writeln!(f, "  {a}")?;
+        }
+        write!(f, "  root cause: {}", self.root())
+    }
+}
+
+impl std::error::Error for SimFailure {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +204,33 @@ mod tests {
     fn wire_error_converts() {
         let e: RtError = WireError::Invalid("oops").into();
         assert!(matches!(e, RtError::Decode(_)));
+    }
+
+    #[test]
+    fn sim_failure_reports_root_cause_and_peer_down() {
+        let f = SimFailure {
+            aborts: vec![
+                SimAbort { proc: 0, cause: AbortCause::PeerDown { peer: 3 } },
+                SimAbort { proc: 3, cause: AbortCause::Crashed { cycle: 1_000_000 } },
+            ],
+        };
+        // Display must mention PeerDown (the CI fault-matrix greps it)
+        // and pick the crash, not the cascade, as the root cause.
+        let s = f.to_string();
+        assert!(s.contains("PeerDown"), "{s}");
+        assert!(s.contains("root cause: processor 3"), "{s}");
+        assert_eq!(f.root().proc, 3);
+
+        let all_cascade = SimFailure {
+            aborts: vec![SimAbort { proc: 1, cause: AbortCause::PeerDown { peer: 2 } }],
+        };
+        assert_eq!(all_cascade.root().proc, 1);
+    }
+
+    #[test]
+    fn abort_cause_display() {
+        let c = AbortCause::RetryExhausted { dst: 2, tag: 7, attempts: 17 };
+        let s = c.to_string();
+        assert!(s.contains("processor 2") && s.contains("17 attempts"), "{s}");
     }
 }

@@ -92,6 +92,16 @@ impl RunReport {
             self.total_wait(),
             num(self.efficiency())
         );
+        let (retries, drops, dups, delays) =
+            self.procs.iter().fold((0u64, 0u64, 0u64, 0u64), |acc, p| {
+                let s = p.stats;
+                (acc.0 + s.retries, acc.1 + s.drops, acc.2 + s.dups, acc.3 + s.delays)
+            });
+        let _ = writeln!(
+            out,
+            "  \"faults\": {{\"retries\": {retries}, \"drops\": {drops}, \"dups\": {dups}, \
+             \"delays\": {delays}}},"
+        );
         out.push_str("  \"procs\": [\n");
         for (id, p) in self.procs.iter().enumerate() {
             let s = p.stats;
@@ -189,23 +199,37 @@ impl RunReport {
         }
         for (id, p) in self.procs.iter().enumerate() {
             for ev in &p.trace {
-                push(
-                    format!(
-                        "{{\"name\": \"{}\", \"ph\": \"X\", \"pid\": 0, \"tid\": {id}, \
-                         \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {{\"cycles\": {}, \
-                         \"sends\": {}, \"recvs\": {}, \"bytes_sent\": {}, \
-                         \"bytes_recvd\": {}}}}}",
-                        esc(&ev.label),
-                        ev.start as f64 * us_per_cycle,
-                        ev.cycles() as f64 * us_per_cycle,
-                        ev.cycles(),
-                        ev.sends,
-                        ev.recvs,
-                        ev.bytes_sent,
-                        ev.bytes_recvd
-                    ),
-                    &mut first,
-                );
+                if matches!(ev.kind, crate::report::TraceKind::Span) {
+                    push(
+                        format!(
+                            "{{\"name\": \"{}\", \"ph\": \"X\", \"pid\": 0, \"tid\": {id}, \
+                             \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {{\"cycles\": {}, \
+                             \"sends\": {}, \"recvs\": {}, \"bytes_sent\": {}, \
+                             \"bytes_recvd\": {}}}}}",
+                            esc(&ev.label),
+                            ev.start as f64 * us_per_cycle,
+                            ev.cycles() as f64 * us_per_cycle,
+                            ev.cycles(),
+                            ev.sends,
+                            ev.recvs,
+                            ev.bytes_sent,
+                            ev.bytes_recvd
+                        ),
+                        &mut first,
+                    );
+                } else {
+                    // Fault events are zero-width: thread-scoped instant
+                    // events at the virtual time they fired.
+                    push(
+                        format!(
+                            "{{\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \
+                             \"tid\": {id}, \"ts\": {:.3}}}",
+                            esc(&ev.label),
+                            ev.start as f64 * us_per_cycle,
+                        ),
+                        &mut first,
+                    );
+                }
             }
         }
         out.push_str("\n  ]\n}\n");
@@ -278,6 +302,71 @@ mod tests {
         let b = traced_run();
         assert_eq!(a.metrics_json(), b.metrics_json());
         assert_eq!(a.chrome_trace_json(), b.chrome_trace_json());
+    }
+
+    #[test]
+    fn metrics_json_reports_fault_totals() {
+        use crate::fault::FaultPlan;
+        let j = traced_run().metrics_json();
+        assert!(
+            j.contains("\"faults\": {\"retries\": 0, \"drops\": 0, \"dups\": 0, \"delays\": 0}"),
+            "fault-free run must report all-zero fault totals: {j}"
+        );
+
+        let m = Machine::new(
+            MachineConfig::mesh(1, 2)
+                .unwrap()
+                .with_trace()
+                .with_faults(FaultPlan::seeded(11).with_drop(0.5).with_dup(0.5)),
+        );
+        let r = m
+            .run(|p| {
+                if p.id() == 0 {
+                    for round in 0..20u64 {
+                        p.send(1, round, &round);
+                    }
+                } else {
+                    for round in 0..20u64 {
+                        let _: u64 = p.recv(0, round);
+                    }
+                }
+            })
+            .report;
+        let j = r.metrics_json();
+        assert!(j.contains("\"faults\": {\"retries\": "), "{j}");
+        assert!(
+            !j.contains("\"faults\": {\"retries\": 0, \"drops\": 0, \"dups\": 0, \"delays\": 0}"),
+            "a 50% fault plan must report nonzero activity: {j}"
+        );
+        // Fault instants ride the skeleton-metrics aggregation too.
+        assert!(j.contains("fault."), "fault events should appear among skeletons: {j}");
+    }
+
+    #[test]
+    fn chrome_trace_renders_fault_instants() {
+        use crate::fault::FaultPlan;
+        let m = Machine::new(
+            MachineConfig::mesh(1, 2)
+                .unwrap()
+                .with_trace()
+                .with_faults(FaultPlan::seeded(11).with_drop(0.5)),
+        );
+        let r = m
+            .run(|p| {
+                if p.id() == 0 {
+                    for round in 0..20u64 {
+                        p.send(1, round, &round);
+                    }
+                } else {
+                    for round in 0..20u64 {
+                        let _: u64 = p.recv(0, round);
+                    }
+                }
+            })
+            .report;
+        let j = r.chrome_trace_json();
+        assert!(j.contains("\"ph\": \"i\""), "expected instant events: {j}");
+        assert!(j.contains("fault.drop"), "{j}");
     }
 
     #[test]

@@ -1,0 +1,427 @@
+//! Deterministic fault injection: seeded plans for message drop, delay,
+//! duplication and whole-processor crashes.
+//!
+//! The paper's target machine — a 64-node transputer mesh under Parix —
+//! lived with link and node failures as an operational reality that the
+//! skeleton library simply assumed away. Here faults are first-class but
+//! **reproducible**: every injection decision is a pure function of
+//! `(seed, src, dst, tag, seq, attempt)` computed with a splitmix64-style
+//! hash, so a fault plan replays bit-identically on every host, thread
+//! schedule, and engine. No host randomness is consulted anywhere.
+//!
+//! A [`FaultPlan`] is attached to a machine with
+//! [`MachineConfig::with_faults`](crate::MachineConfig::with_faults); the
+//! reliable-delivery layer in [`Proc`](crate::Proc) consults it on every
+//! point-to-point transmission (collectives included, since they are
+//! built from the same sends). With [`FaultPlan::none`] — the default —
+//! the layer is entirely disabled and charge-free: golden `sim_cycles`
+//! are bit-identical to a build without the subsystem.
+
+use std::fmt;
+
+/// The fate of one transmission attempt, as decided by a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// The attempt is lost in flight; the ack never comes and the sender
+    /// retransmits after its (virtual-time) retry timeout.
+    Drop,
+    /// The attempt reaches the receiver.
+    Deliver {
+        /// Extra in-flight latency injected on top of the modeled
+        /// transit time, in virtual cycles (0 = on time).
+        extra_delay: u64,
+        /// The envelope is delivered twice (e.g. a retransmission whose
+        /// original was only delayed, or a lost ack). The receiver's
+        /// sequence numbers suppress the second copy.
+        duplicate: bool,
+    },
+}
+
+/// A deterministic, seeded fault-injection plan.
+///
+/// Rates are probabilities in `[0, 1]`, applied per transmission attempt
+/// via the pure hash — there is no RNG state, so concurrent senders
+/// cannot perturb each other's fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Thresholds out of 2^32 (fixed-point probabilities).
+    drop_bar: u64,
+    dup_bar: u64,
+    delay_bar: u64,
+    /// Injected delays are uniform in `1..=max_delay` cycles.
+    max_delay: u64,
+    /// Initial retransmit timeout in virtual cycles; attempt `k`
+    /// retransmits after `rto << (k-1)` (exponential backoff, capped).
+    rto: u64,
+    /// Maximum number of retransmissions per message before the link is
+    /// declared dead ([`AbortCause::RetryExhausted`]).
+    ///
+    /// [`AbortCause::RetryExhausted`]: crate::error::AbortCause::RetryExhausted
+    budget: u32,
+    /// `(proc, cycle)`: processor `proc` dies when its virtual clock
+    /// reaches `cycle`.
+    crashes: Vec<(usize, u64)>,
+    active: bool,
+}
+
+/// Fixed-point scale for the per-attempt probabilities.
+const BAR_ONE: u64 = 1 << 32;
+
+/// Default initial retransmit timeout (2.5 ms of T800 time at 20 MHz).
+const DEFAULT_RTO: u64 = 50_000;
+
+/// Default retry budget. With a drop rate `p` the chance a message
+/// exhausts the budget is `p^(budget+1)` — at `p = 0.3` that is under
+/// 1e-8, so recoverable plans stay recoverable for realistic run sizes.
+const DEFAULT_BUDGET: u32 = 16;
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn bar(rate: f64) -> u64 {
+    ((rate.clamp(0.0, 1.0) * BAR_ONE as f64) as u64).min(BAR_ONE)
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, and the reliable-delivery layer is
+    /// bypassed entirely (the data plane is exactly the fault-free one).
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_bar: 0,
+            dup_bar: 0,
+            delay_bar: 0,
+            max_delay: 0,
+            rto: DEFAULT_RTO,
+            budget: DEFAULT_BUDGET,
+            crashes: Vec::new(),
+            active: false,
+        }
+    }
+
+    /// An active (but initially fault-free) plan with the given seed.
+    /// Attach rates with the builder methods. An active plan with zero
+    /// rates exercises the whole ack/sequence-number machinery without
+    /// injecting anything — virtual time must be bit-identical to
+    /// [`FaultPlan::none`], which the fault-tolerance tests pin.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan { active: true, seed, ..FaultPlan::none() }
+    }
+
+    /// Probability that any single transmission attempt is dropped.
+    pub fn with_drop(mut self, rate: f64) -> Self {
+        self.drop_bar = bar(rate);
+        self
+    }
+
+    /// Probability that a delivered attempt is duplicated.
+    pub fn with_dup(mut self, rate: f64) -> Self {
+        self.dup_bar = bar(rate);
+        self
+    }
+
+    /// Probability that a delivered attempt is delayed, and the maximum
+    /// injected delay in cycles (uniform in `1..=max_delay`).
+    pub fn with_delay(mut self, rate: f64, max_delay: u64) -> Self {
+        self.delay_bar = bar(rate);
+        self.max_delay = max_delay.max(1);
+        self
+    }
+
+    /// Kill processor `proc` when its virtual clock reaches `cycle`.
+    pub fn with_crash(mut self, proc: usize, cycle: u64) -> Self {
+        self.crashes.push((proc, cycle));
+        self
+    }
+
+    /// Replace the initial retransmit timeout (virtual cycles).
+    pub fn with_rto(mut self, rto: u64) -> Self {
+        self.rto = rto.max(1);
+        self
+    }
+
+    /// Replace the retry budget (maximum retransmissions per message).
+    pub fn with_budget(mut self, budget: u32) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Whether the reliable-delivery layer should engage at all.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The plan's seed (diagnostics).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Maximum retransmissions per message.
+    pub fn budget(&self) -> u32 {
+        self.budget
+    }
+
+    /// Virtual-time delay before retransmission `attempt` (1-based)
+    /// fires: `rto << (attempt-1)`, capped to avoid overflow.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        let shift = (attempt.saturating_sub(1)).min(20);
+        self.rto.saturating_mul(1u64 << shift)
+    }
+
+    /// The crash cycle for `proc`, if the plan schedules one.
+    pub fn crash_cycle(&self, proc: usize) -> Option<u64> {
+        self.crashes.iter().find(|&&(p, _)| p == proc).map(|&(_, c)| c)
+    }
+
+    /// Scheduled crashes, `(proc, cycle)` pairs in plan order.
+    pub fn crashes(&self) -> &[(usize, u64)] {
+        &self.crashes
+    }
+
+    fn hash(&self, salt: u64, src: usize, dst: usize, tag: u64, seq: u64, attempt: u32) -> u64 {
+        let mut z = self.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = mix(z ^ (src as u64).wrapping_mul(0xd6e8_feb8_6659_fd93));
+        z = mix(z ^ (dst as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+        z = mix(z ^ tag);
+        z = mix(z ^ seq);
+        mix(z ^ attempt as u64)
+    }
+
+    /// Decide the fate of transmission attempt `attempt` of the message
+    /// with per-flow sequence number `seq` on the flow
+    /// `(src, dst, tag)`. Pure: the same arguments always yield the
+    /// same fate, on every host and schedule.
+    pub fn fate(&self, src: usize, dst: usize, tag: u64, seq: u64, attempt: u32) -> Fate {
+        let roll = |salt: u64| self.hash(salt, src, dst, tag, seq, attempt) >> 32;
+        if roll(1) < self.drop_bar {
+            return Fate::Drop;
+        }
+        let extra_delay = if self.delay_bar > 0 && roll(2) < self.delay_bar {
+            1 + self.hash(3, src, dst, tag, seq, attempt) % self.max_delay
+        } else {
+            0
+        };
+        let duplicate = self.dup_bar > 0 && roll(4) < self.dup_bar;
+        Fate::Deliver { extra_delay, duplicate }
+    }
+
+    /// Parse a `skilc --faults` spec: comma-separated `key=value` pairs.
+    ///
+    /// ```text
+    /// seed=42,drop=0.05,dup=0.02,delay=0.1,max_delay=20000,crash=3@1000000,rto=50000,budget=16
+    /// ```
+    ///
+    /// `drop`/`dup`/`delay` are rates in `[0,1]`; `max_delay`, `rto` are
+    /// virtual cycles; `crash=PROC@CYCLE` may repeat. Any spec (even with
+    /// all rates zero) produces an *active* plan.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::seeded(0);
+        let mut max_delay: Option<u64> = None;
+        let mut delay_rate: Option<f64> = None;
+        for part in spec.split(',').filter(|s| !s.is_empty()) {
+            let (key, val) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec item {part:?} is not key=value"))?;
+            let num = |what: &str| -> Result<u64, String> {
+                val.parse::<u64>().map_err(|_| format!("bad {what} value {val:?}"))
+            };
+            let rate = |what: &str| -> Result<f64, String> {
+                let r = val.parse::<f64>().map_err(|_| format!("bad {what} rate {val:?}"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("{what} rate {val} outside [0, 1]"));
+                }
+                Ok(r)
+            };
+            match key {
+                "seed" => plan.seed = num("seed")?,
+                "drop" => plan = plan.with_drop(rate("drop")?),
+                "dup" => plan = plan.with_dup(rate("dup")?),
+                "delay" => delay_rate = Some(rate("delay")?),
+                "max_delay" => max_delay = Some(num("max_delay")?.max(1)),
+                "rto" => plan = plan.with_rto(num("rto")?),
+                "budget" => {
+                    plan = plan.with_budget(
+                        val.parse::<u32>().map_err(|_| format!("bad budget value {val:?}"))?,
+                    )
+                }
+                "crash" => {
+                    let (p, c) = val
+                        .split_once('@')
+                        .ok_or_else(|| format!("crash spec {val:?} is not PROC@CYCLE"))?;
+                    let proc = p.parse::<usize>().map_err(|_| format!("bad crash proc {p:?}"))?;
+                    let cycle = c.parse::<u64>().map_err(|_| format!("bad crash cycle {c:?}"))?;
+                    plan = plan.with_crash(proc, cycle);
+                }
+                other => return Err(format!("unknown fault spec key {other:?}")),
+            }
+        }
+        if let Some(r) = delay_rate {
+            // Default injected delays to one default RTO so a delay-only
+            // plan visibly perturbs arrival times.
+            plan = plan.with_delay(r, max_delay.unwrap_or(DEFAULT_RTO));
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.active {
+            return write!(f, "none");
+        }
+        write!(
+            f,
+            "seed={} drop={:.4} dup={:.4} delay={:.4}/{} rto={} budget={}",
+            self.seed,
+            self.drop_bar as f64 / BAR_ONE as f64,
+            self.dup_bar as f64 / BAR_ONE as f64,
+            self.delay_bar as f64 / BAR_ONE as f64,
+            self.max_delay,
+            self.rto,
+            self.budget
+        )?;
+        for (p, c) in &self.crashes {
+            write!(f, " crash={p}@{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_fault_free() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        for attempt in 0..8 {
+            assert_eq!(
+                plan.fate(0, 1, 7, 0, attempt),
+                Fate::Deliver { extra_delay: 0, duplicate: false }
+            );
+        }
+        assert_eq!(plan.crash_cycle(0), None);
+    }
+
+    #[test]
+    fn fate_is_pure_and_seed_dependent() {
+        let a = FaultPlan::seeded(42).with_drop(0.5).with_dup(0.3).with_delay(0.4, 1000);
+        let b = FaultPlan::seeded(42).with_drop(0.5).with_dup(0.3).with_delay(0.4, 1000);
+        let c = FaultPlan::seeded(43).with_drop(0.5).with_dup(0.3).with_delay(0.4, 1000);
+        let mut diverged = false;
+        for seq in 0..64u64 {
+            for attempt in 0..4 {
+                assert_eq!(a.fate(1, 2, 9, seq, attempt), b.fate(1, 2, 9, seq, attempt));
+                diverged |= a.fate(1, 2, 9, seq, attempt) != c.fate(1, 2, 9, seq, attempt);
+            }
+        }
+        assert!(diverged, "different seeds should produce different schedules");
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let plan = FaultPlan::seeded(7).with_drop(0.25);
+        let drops = (0..4000u64).filter(|&s| plan.fate(0, 1, 3, s, 0) == Fate::Drop).count();
+        // 4000 Bernoulli(0.25) trials: expect ~1000, allow a wide band.
+        assert!((700..1300).contains(&drops), "drop count {drops} far from expectation");
+    }
+
+    #[test]
+    fn zero_and_one_rates_are_exact() {
+        let never = FaultPlan::seeded(1);
+        for s in 0..200u64 {
+            assert_eq!(
+                never.fate(0, 1, 1, s, 0),
+                Fate::Deliver { extra_delay: 0, duplicate: false }
+            );
+        }
+        let always = FaultPlan::seeded(1).with_drop(1.0);
+        for s in 0..200u64 {
+            assert_eq!(always.fate(0, 1, 1, s, 0), Fate::Drop);
+        }
+    }
+
+    #[test]
+    fn delays_stay_in_range() {
+        let plan = FaultPlan::seeded(3).with_delay(1.0, 500);
+        for s in 0..500u64 {
+            match plan.fate(2, 3, 11, s, 0) {
+                Fate::Deliver { extra_delay, .. } => {
+                    assert!((1..=500).contains(&extra_delay), "delay {extra_delay}")
+                }
+                Fate::Drop => panic!("drop rate is zero"),
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let plan = FaultPlan::seeded(0).with_rto(100);
+        assert_eq!(plan.backoff(1), 100);
+        assert_eq!(plan.backoff(2), 200);
+        assert_eq!(plan.backoff(5), 1600);
+        // Far past the cap: saturates rather than overflowing.
+        assert!(plan.backoff(200) >= plan.backoff(21));
+    }
+
+    #[test]
+    fn crash_schedule_lookup() {
+        let plan = FaultPlan::seeded(0).with_crash(3, 1_000_000).with_crash(1, 5);
+        assert_eq!(plan.crash_cycle(3), Some(1_000_000));
+        assert_eq!(plan.crash_cycle(1), Some(5));
+        assert_eq!(plan.crash_cycle(0), None);
+        assert_eq!(plan.crashes(), &[(3, 1_000_000), (1, 5)]);
+    }
+
+    #[test]
+    fn parse_round_trips_the_ci_specs() {
+        let p = FaultPlan::parse("seed=42,drop=0.05,dup=0.02,delay=0.1,max_delay=20000").unwrap();
+        assert!(p.is_active());
+        assert_eq!(p.seed(), 42);
+        let q = FaultPlan::parse("seed=3,crash=3@1000000").unwrap();
+        assert_eq!(q.crash_cycle(3), Some(1_000_000));
+        let r = FaultPlan::parse("seed=1,rto=1000,budget=4").unwrap();
+        assert_eq!(r.budget(), 4);
+        assert_eq!(r.backoff(1), 1000);
+        // A delay rate without max_delay gets a sane default.
+        let d = FaultPlan::parse("seed=9,delay=0.5").unwrap();
+        match d.fate(0, 1, 1, 0, 0) {
+            Fate::Deliver { .. } | Fate::Drop => {}
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "drop",
+            "drop=x",
+            "drop=1.5",
+            "crash=3",
+            "crash=x@1",
+            "crash=1@y",
+            "wat=1",
+            "budget=-1",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn display_summarizes_the_plan() {
+        assert_eq!(FaultPlan::none().to_string(), "none");
+        let s = FaultPlan::seeded(5).with_drop(0.1).with_crash(2, 99).to_string();
+        assert!(s.contains("seed=5"), "{s}");
+        assert!(s.contains("crash=2@99"), "{s}");
+    }
+}

@@ -35,6 +35,7 @@ pub mod collective;
 pub mod cost;
 pub mod error;
 pub mod export;
+pub mod fault;
 pub mod machine;
 pub mod mailbox;
 pub mod proc;
@@ -43,11 +44,12 @@ pub mod topology;
 pub mod wire;
 
 pub use cost::CostModel;
-pub use error::{RtError, WireError};
+pub use error::{AbortCause, RtError, SimAbort, SimFailure, WireError};
+pub use fault::{Fate, FaultPlan};
 pub use machine::{Machine, MachineConfig, Run};
 pub use proc::{Proc, SpanStart};
 pub use report::{
-    CommMatrix, CommRow, ProcReport, ProcStats, RunReport, SkeletonMetrics, TraceEvent,
+    CommMatrix, CommRow, ProcReport, ProcStats, RunReport, SkeletonMetrics, TraceEvent, TraceKind,
 };
 pub use topology::{BinomialTree, Distr, Mesh, Ring, Torus2d};
 pub use wire::{Wire, WireReader};

@@ -2,12 +2,13 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 use crate::cost::CostModel;
-use crate::error::RtError;
-use crate::mailbox::Mailbox;
+use crate::error::{RtError, SimAbort, SimFailure};
+use crate::fault::FaultPlan;
+use crate::mailbox::{Gate, Mailbox};
 use crate::proc::{Proc, Shared};
 use crate::report::{ProcReport, RunReport};
 use crate::topology::Mesh;
@@ -23,6 +24,10 @@ pub struct MachineConfig {
     pub deadlock_timeout: Duration,
     /// Record per-processor skeleton trace events.
     pub trace: bool,
+    /// Fault-injection plan ([`FaultPlan::none`] by default: the
+    /// reliable-delivery layer is bypassed and the data plane is exactly
+    /// the fault-free one, pinned bit-identical by the golden tests).
+    pub faults: FaultPlan,
 }
 
 impl MachineConfig {
@@ -33,6 +38,7 @@ impl MachineConfig {
             cost: CostModel::t800(),
             deadlock_timeout: Duration::from_secs(20),
             trace: false,
+            faults: FaultPlan::none(),
         })
     }
 
@@ -48,6 +54,7 @@ impl MachineConfig {
             cost: CostModel::t800(),
             deadlock_timeout: Duration::from_secs(20),
             trace: false,
+            faults: FaultPlan::none(),
         })
     }
 
@@ -66,6 +73,12 @@ impl MachineConfig {
     /// Enable per-processor skeleton tracing.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Attach a fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -107,6 +120,11 @@ pub struct Run<R> {
 pub struct Machine {
     cfg: MachineConfig,
     pool: WorkerPool,
+    /// Host-concurrency gate parsed from `SKIL_WORKER_THREADS`: at most
+    /// that many simulated processors run on host threads at once.
+    /// Purely a host-side throttle — virtual time cannot observe it,
+    /// which CI pins by diffing golden `sim_cycles` across settings.
+    gate: Option<Arc<Gate>>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -121,7 +139,12 @@ impl Machine {
     /// dispatch onto those instead of spawning fresh threads.
     pub fn new(cfg: MachineConfig) -> Self {
         let pool = WorkerPool::new(cfg.mesh.procs());
-        Machine { cfg, pool }
+        let gate = std::env::var("SKIL_WORKER_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&k| k >= 1 && k < cfg.mesh.procs())
+            .map(|k| Arc::new(Gate::new(k)));
+        Machine { cfg, pool, gate }
     }
 
     /// Number of processors.
@@ -138,12 +161,41 @@ impl Machine {
     ///
     /// If any processor panics, the machine is poisoned (peers blocked in
     /// `recv` abort promptly) and the first panic is re-raised on the
-    /// caller's thread.
+    /// caller's thread. A *simulated* failure (fault-plan crash or
+    /// delivery give-up) panics with the formatted
+    /// [`SimFailure`](crate::error::SimFailure) — use
+    /// [`try_run`](Machine::try_run) to handle it structurally.
     pub fn run<R, F>(&self, program: F) -> Run<R>
     where
         R: Send,
         F: Fn(&mut Proc<'_>) -> R + Sync,
     {
+        self.try_run(program).unwrap_or_else(|failure| panic!("{failure}"))
+    }
+
+    /// Run an SPMD program, reporting simulated failures (fault-plan
+    /// crashes, exhausted retry budgets, and the `PeerDown` cascades
+    /// they trigger) as a structured `Err` instead of a panic or a hang.
+    /// Genuine panics in user code still poison the machine and re-raise
+    /// on the caller's thread.
+    pub fn try_run<R, F>(&self, program: F) -> Result<Run<R>, SimFailure>
+    where
+        R: Send,
+        F: Fn(&mut Proc<'_>) -> R + Sync,
+    {
+        // SimAbort unwinds are deterministic control flow, not errors:
+        // keep the default panic hook from printing "Box<dyn Any>" plus
+        // a backtrace for every simulated crash. Installed once,
+        // delegating everything else to the previous hook.
+        static QUIET_ABORTS: std::sync::Once = std::sync::Once::new();
+        QUIET_ABORTS.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if info.payload().downcast_ref::<SimAbort>().is_none() {
+                    prev(info);
+                }
+            }));
+        });
         let n = self.nprocs();
         let shared = Shared {
             trace: self.cfg.trace,
@@ -152,6 +204,10 @@ impl Machine {
             deadlock_timeout: self.cfg.deadlock_timeout,
             mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
             poison: std::sync::atomic::AtomicBool::new(false),
+            faults: self.cfg.faults.clone(),
+            downs: (0..n).map(|_| std::sync::atomic::AtomicBool::new(false)).collect(),
+            down_causes: Mutex::new(vec![None; n]),
+            gate: self.gate.clone(),
         };
         let slots: Vec<Mutex<Option<ProcOutcome<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let latch = Latch::default();
@@ -171,11 +227,25 @@ impl Machine {
             let mut wait = DispatchWait { latch, expect: 0 };
             for id in 0..n {
                 let job = move || {
+                    let _permit = shared.gate.as_deref().map(Gate::permit);
                     let mut proc = Proc::new(id, shared);
-                    let result = catch_unwind(AssertUnwindSafe(|| program(&mut proc)));
-                    if result.is_err() {
-                        shared.poison_all();
-                    }
+                    let result = match catch_unwind(AssertUnwindSafe(|| program(&mut proc))) {
+                        Ok(r) => Ok(r),
+                        // A structured simulated failure: mark this
+                        // processor down (waking blocked peers into
+                        // `PeerDown`) without poisoning the machine.
+                        Err(payload) => match payload.downcast::<SimAbort>() {
+                            Ok(abort) => {
+                                shared.mark_down(id, abort.cause.clone());
+                                Err(JobFail::Abort(*abort))
+                            }
+                            // A genuine bug in user code: poison.
+                            Err(payload) => {
+                                shared.poison_all();
+                                Err(JobFail::Panic(payload))
+                            }
+                        },
+                    };
                     let report = ProcReport {
                         finished_at: proc.now(),
                         stats: proc.stats(),
@@ -200,13 +270,15 @@ impl Machine {
 
         let mut results = Vec::with_capacity(n);
         let mut procs = Vec::with_capacity(n);
+        let mut aborts = Vec::new();
         let mut first_panic = None;
         for slot in &slots {
             let outcome = lock(slot).take().expect("worker completed its job");
             procs.push(outcome.report);
             match outcome.result {
                 Ok(r) => results.push(r),
-                Err(payload) => {
+                Err(JobFail::Abort(abort)) => aborts.push(abort),
+                Err(JobFail::Panic(payload)) => {
                     if first_panic.is_none() {
                         first_panic = Some(payload);
                     }
@@ -216,9 +288,12 @@ impl Machine {
         if let Some(payload) = first_panic {
             resume_unwind(payload);
         }
+        if !aborts.is_empty() {
+            return Err(SimFailure { aborts });
+        }
 
         let sim_cycles = procs.iter().map(|p| p.finished_at).max().unwrap_or(0);
-        Run {
+        Ok(Run {
             results,
             report: RunReport {
                 sim_cycles,
@@ -226,7 +301,7 @@ impl Machine {
                 clock_hz: self.cfg.cost.clock_hz,
                 procs,
             },
-        }
+        })
     }
 }
 
@@ -315,8 +390,16 @@ impl Drop for DispatchWait<'_> {
     }
 }
 
+/// How one processor's job ended, when not successfully.
+enum JobFail {
+    /// A structured simulated failure (crash / retry give-up / cascade).
+    Abort(SimAbort),
+    /// A genuine panic payload from user code.
+    Panic(Box<dyn std::any::Any + Send>),
+}
+
 struct ProcOutcome<R> {
-    result: std::thread::Result<R>,
+    result: Result<R, JobFail>,
     report: ProcReport,
 }
 
@@ -548,6 +631,244 @@ mod tests {
         assert_eq!(run.report.total_msgs(), 1);
         assert_eq!(run.report.total_bytes(), 24);
         assert_eq!(run.report.procs[1].stats.recvs, 1);
+    }
+
+    #[test]
+    fn crash_surfaces_as_structured_failure_not_a_hang() {
+        use crate::error::AbortCause;
+        // Proc 0 crashes at cycle 1000; proc 1 blocks on a message that
+        // will never come. Without down-propagation this would sit on the
+        // deadlock timeout (set absurdly high here to prove the wakeup is
+        // event-driven, not timeout-driven).
+        let start = std::time::Instant::now();
+        let m = Machine::new(
+            MachineConfig::mesh(1, 2)
+                .unwrap()
+                .with_timeout(Duration::from_secs(600))
+                .with_faults(FaultPlan::seeded(1).with_crash(0, 1000)),
+        );
+        let failure = m
+            .try_run(|p| {
+                if p.id() == 0 {
+                    p.charge(5_000); // crosses the crash cycle
+                    p.send(1, 1, &1u8);
+                } else {
+                    let _: u8 = p.recv(0, 1);
+                }
+            })
+            .expect_err("the crash must fail the run");
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "peers should abort promptly, took {:?}",
+            start.elapsed()
+        );
+        assert_eq!(failure.root().proc, 0);
+        assert!(matches!(failure.root().cause, AbortCause::Crashed { cycle: 1000 }));
+        // The blocked peer cascaded with PeerDown rather than hanging.
+        assert!(failure
+            .aborts
+            .iter()
+            .any(|a| a.proc == 1 && matches!(a.cause, AbortCause::PeerDown { peer: 0 })));
+        assert!(failure.to_string().contains("PeerDown"));
+    }
+
+    #[test]
+    fn messages_sent_before_a_crash_still_deliver() {
+        // Crash after the send: the receiver must still get the message,
+        // then finish normally — only the crashed processor aborts.
+        let m = Machine::new(
+            MachineConfig::mesh(1, 2)
+                .unwrap()
+                .with_faults(FaultPlan::seeded(2).with_crash(0, 2_000_000)),
+        );
+        let failure = m
+            .try_run(|p| {
+                if p.id() == 0 {
+                    p.send(1, 3, &42u8);
+                    p.charge(3_000_000); // now crash
+                    0
+                } else {
+                    p.recv::<u8>(0, 3)
+                }
+            })
+            .expect_err("proc 0 crashed");
+        assert_eq!(failure.aborts.len(), 1, "only the crashed processor aborts: {failure}");
+        assert_eq!(failure.root().proc, 0);
+    }
+
+    #[test]
+    fn crash_cascades_along_wait_chains() {
+        // 1x3 chain: 2 waits on 1, 1 waits on 0, 0 crashes. The cascade
+        // must reach processor 2 through the intermediate hop.
+        let m = Machine::new(
+            MachineConfig::mesh(1, 3)
+                .unwrap()
+                .with_timeout(Duration::from_secs(600))
+                .with_faults(FaultPlan::seeded(3).with_crash(0, 100)),
+        );
+        let start = std::time::Instant::now();
+        let failure = m
+            .try_run(|p| match p.id() {
+                0 => {
+                    p.charge(200);
+                    p.send(1, 1, &1u8);
+                }
+                1 => {
+                    let v: u8 = p.recv(0, 1);
+                    p.send(2, 2, &v);
+                }
+                _ => {
+                    let _: u8 = p.recv(1, 2);
+                }
+            })
+            .expect_err("crash fails the run");
+        assert!(start.elapsed() < Duration::from_secs(30));
+        assert_eq!(failure.aborts.len(), 3);
+        assert!(matches!(failure.root().cause, crate::error::AbortCause::Crashed { .. }));
+    }
+
+    #[test]
+    fn reliable_delivery_masks_drops_and_dups() {
+        // A lossy plan with plenty of retry budget: the ring program must
+        // produce exactly the fault-free results, with nonzero fault
+        // counters in the report and untouched logical traffic counters.
+        let program = |p: &mut Proc<'_>| {
+            p.charge(100 * (p.id() as u64 + 1));
+            let next = (p.id() + 1) % p.nprocs();
+            let prev = (p.id() + p.nprocs() - 1) % p.nprocs();
+            for round in 0..10u64 {
+                p.send(next, 9 + round, &(p.id() as u64 + round));
+            }
+            let mut got = 0;
+            for round in 0..10u64 {
+                got += p.recv::<u64>(prev, 9 + round);
+            }
+            got
+        };
+        let clean = Machine::new(MachineConfig::mesh(2, 2).unwrap()).run(program);
+        let faulty = Machine::new(MachineConfig::mesh(2, 2).unwrap().with_faults(
+            FaultPlan::seeded(7).with_drop(0.3).with_dup(0.3).with_delay(0.3, 50_000),
+        ));
+        let a = faulty.run(program);
+        let b = faulty.run(program);
+        assert_eq!(a.results, clean.results, "faults must be invisible to the program");
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.report.sim_cycles, b.report.sim_cycles, "fault schedule is deterministic");
+        let fault_events: u64 = a.report.procs.iter().map(|p| p.stats.fault_events()).sum();
+        assert!(fault_events > 0, "a 30% fault plan must actually inject faults");
+        for (pa, pc) in a.report.procs.iter().zip(&clean.report.procs) {
+            assert_eq!(pa.stats.compute, pc.stats.compute, "fault layer must charge no compute");
+            assert_eq!(pa.stats.sends, pc.stats.sends, "logical sends counted once");
+            assert_eq!(pa.stats.recvs, pc.stats.recvs, "suppressed dups not counted");
+            assert_eq!(pa.stats.bytes_sent, pc.stats.bytes_sent);
+            assert_eq!(pa.stats.bytes_recvd, pc.stats.bytes_recvd);
+        }
+    }
+
+    #[test]
+    fn zero_rate_active_plan_is_bit_identical_to_no_plan() {
+        // The whole ack/sequence machinery engaged but injecting nothing:
+        // virtual time and stats must equal the fault-free machine's.
+        let program = |p: &mut Proc<'_>| {
+            p.charge(70 * (p.id() as u64 + 3));
+            let next = (p.id() + 1) % p.nprocs();
+            let prev = (p.id() + p.nprocs() - 1) % p.nprocs();
+            p.send(next, 5, &[p.id() as u64; 4]);
+            let got: [u64; 4] = p.recv(prev, 5);
+            got[0]
+        };
+        let clean = Machine::new(MachineConfig::mesh(2, 2).unwrap()).run(program);
+        let armed =
+            Machine::new(MachineConfig::mesh(2, 2).unwrap().with_faults(FaultPlan::seeded(99)))
+                .run(program);
+        assert_eq!(armed.results, clean.results);
+        assert_eq!(armed.report.sim_cycles, clean.report.sim_cycles);
+        for (pa, pc) in armed.report.procs.iter().zip(&clean.report.procs) {
+            assert_eq!(pa.finished_at, pc.finished_at);
+            assert_eq!(pa.stats, pc.stats);
+        }
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_a_structured_failure() {
+        use crate::error::AbortCause;
+        // Drop rate 1.0: no attempt ever lands, the sender gives up after
+        // its budget and the run fails with RetryExhausted — not a hang.
+        let m = Machine::new(
+            MachineConfig::mesh(1, 2)
+                .unwrap()
+                .with_timeout(Duration::from_secs(600))
+                .with_faults(FaultPlan::seeded(4).with_drop(1.0).with_budget(3)),
+        );
+        let start = std::time::Instant::now();
+        let failure = m
+            .try_run(|p| {
+                if p.id() == 0 {
+                    p.send(1, 1, &1u8);
+                } else {
+                    let _: u8 = p.recv(0, 1);
+                }
+            })
+            .expect_err("the send can never be delivered");
+        assert!(start.elapsed() < Duration::from_secs(30));
+        match failure.root().cause {
+            AbortCause::RetryExhausted { dst, attempts, .. } => {
+                assert_eq!(dst, 1);
+                assert_eq!(attempts, 4, "1 original + budget retries");
+            }
+            ref other => panic!("unexpected root cause {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_panics_with_peer_down_on_simulated_failure() {
+        // The panicking `run` façade must surface the structured message
+        // (so legacy callers fail loudly with the diagnostic, not a hang).
+        let m = Machine::new(
+            MachineConfig::mesh(1, 2).unwrap().with_faults(FaultPlan::seeded(5).with_crash(1, 10)),
+        );
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            m.run(|p| {
+                if p.id() == 1 {
+                    p.charge(100);
+                } else {
+                    let _: u8 = p.recv(1, 1);
+                }
+            })
+        }))
+        .expect_err("simulated failure must panic through run()");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic payload".into());
+        assert!(msg.contains("PeerDown"), "panic message should name PeerDown: {msg}");
+    }
+
+    #[test]
+    fn worker_gate_does_not_change_virtual_time() {
+        // Directly exercise a 1-permit gate (the SKIL_WORKER_THREADS=1
+        // path) on a machine with more processors than permits: the run
+        // must complete (permits are lent out while parked in recv) with
+        // exactly the ungated virtual time.
+        let program = |p: &mut Proc<'_>| {
+            p.charge(100 * (p.id() as u64 + 1));
+            let next = (p.id() + 1) % p.nprocs();
+            let prev = (p.id() + p.nprocs() - 1) % p.nprocs();
+            p.send(next, 9, &(p.id() as u64));
+            let got: u64 = p.recv(prev, 9);
+            p.charge(50);
+            got
+        };
+        let free = Machine::new(MachineConfig::mesh(2, 2).unwrap()).run(program);
+        let mut gated = Machine::new(MachineConfig::mesh(2, 2).unwrap());
+        gated.gate = Some(Arc::new(Gate::new(1)));
+        let g = gated.run(program);
+        assert_eq!(g.results, free.results);
+        assert_eq!(g.report.sim_cycles, free.report.sim_cycles);
+        for (pa, pb) in g.report.procs.iter().zip(&free.report.procs) {
+            assert_eq!(pa.finished_at, pb.finished_at);
+            assert_eq!(pa.stats, pb.stats);
+        }
     }
 
     #[test]

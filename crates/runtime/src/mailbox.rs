@@ -32,6 +32,12 @@ pub struct Envelope {
     pub src: usize,
     /// User-chosen message tag.
     pub tag: u64,
+    /// Per-flow sequence number assigned by the reliable-delivery layer
+    /// (always 0 when no fault plan is active). Deposit order per
+    /// `(src, tag)` flow is program order, so sequence numbers are
+    /// nondecreasing in the queue and the receiver suppresses duplicates
+    /// with a single expected-next counter.
+    pub seq: u64,
     /// Virtual time at which the message is fully available to the
     /// receiver.
     pub arrival: u64,
@@ -39,6 +45,78 @@ pub struct Envelope {
     /// buffer into the `Arc` by move, and collectives deliver one
     /// flattened buffer to many receivers by cloning the pointer.
     pub bytes: Arc<Vec<u8>>,
+}
+
+/// A counted-permit gate bounding how many simulated processors run on
+/// host threads at once (`SKIL_WORKER_THREADS`). A processor blocked in
+/// [`Mailbox::get`] releases its permit while parked and re-acquires it
+/// after waking, so any number of processors make progress under any
+/// permit count ≥ 1 — the gate throttles host parallelism only and
+/// cannot change virtual time, which the CI scheduler-independence job
+/// pins by diffing golden `sim_cycles` between permit counts.
+#[derive(Debug)]
+pub struct Gate {
+    permits: Mutex<usize>,
+    cond: Condvar,
+}
+
+impl Gate {
+    /// A gate with `n ≥ 1` permits.
+    pub fn new(n: usize) -> Self {
+        Gate { permits: Mutex::new(n.max(1)), cond: Condvar::new() }
+    }
+
+    /// Block until a permit is available and take it.
+    pub fn acquire(&self) {
+        let mut p = lock(&self.permits);
+        while *p == 0 {
+            p = self.cond.wait(p).unwrap_or_else(|e| e.into_inner());
+        }
+        *p -= 1;
+    }
+
+    /// Return a permit and wake one waiter.
+    pub fn release(&self) {
+        *lock(&self.permits) += 1;
+        self.cond.notify_one();
+    }
+
+    /// Acquire a permit held for the guard's lifetime.
+    pub fn permit(&self) -> Permit<'_> {
+        self.acquire();
+        Permit { gate: self }
+    }
+}
+
+/// RAII permit from [`Gate::permit`]; released on drop (including
+/// unwinds, so a panicking processor cannot starve the gate).
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a Gate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+/// Everything a bounded mailbox wait consults besides the `(src, tag)`
+/// key: abort flags, the deadlock deadline, and the optional host
+/// concurrency gate.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitCtl<'a> {
+    /// Global poison flag — a peer panicked with a genuine bug.
+    pub poison: &'a AtomicBool,
+    /// The sender's down flag — it crashed under the fault plan or gave
+    /// up delivering. Checked only after the queue is drained, so
+    /// messages deposited before the crash still deliver.
+    pub src_down: Option<&'a AtomicBool>,
+    /// Real-time budget before the wait reports a suspected deadlock.
+    pub deadline: Duration,
+    /// Host-concurrency gate; the caller holds a permit, which the wait
+    /// lends out while parked.
+    pub gate: Option<&'a Gate>,
 }
 
 /// Envelope queues bucketed by `(src, tag)`.
@@ -63,6 +141,9 @@ pub enum RecvOutcome {
     Message(Envelope),
     /// The machine was poisoned (a peer panicked).
     Poisoned,
+    /// The awaited sender went down (fault-model crash or delivery
+    /// give-up) and its queue holds no matching envelope.
+    PeerDown,
     /// The deadline passed with no matching message.
     TimedOut,
 }
@@ -77,17 +158,15 @@ impl Mailbox {
     }
 
     /// Dequeue the oldest envelope matching `(src, tag)`, waiting up to
-    /// `deadline` total. `poison` aborts the wait early when set; the
-    /// poisoner must call [`wake_all`](Mailbox::wake_all) so blocked
-    /// receivers observe it immediately.
-    pub fn get(
-        &self,
-        src: usize,
-        tag: u64,
-        poison: &AtomicBool,
-        deadline: Duration,
-    ) -> RecvOutcome {
+    /// `ctl.deadline` total. `ctl.poison` / `ctl.src_down` abort the
+    /// wait early when set; whoever sets them must call
+    /// [`wake_all`](Mailbox::wake_all) so blocked receivers observe the
+    /// abort immediately. Time spent re-acquiring `ctl.gate` after a
+    /// wakeup is credited back to the deadline — the gate throttles host
+    /// parallelism and must not masquerade as a simulated deadlock.
+    pub fn get(&self, src: usize, tag: u64, ctl: WaitCtl<'_>) -> RecvOutcome {
         let start = std::time::Instant::now();
+        let mut gate_credit = Duration::ZERO;
         let mut b = lock(&self.buckets);
         loop {
             if let Entry::Occupied(mut q) = b.queues.entry((src, tag)) {
@@ -100,16 +179,44 @@ impl Mailbox {
                 }
                 q.remove();
             }
-            if poison.load(Ordering::Acquire) {
+            // Queue first, flags second: envelopes deposited before a
+            // crash are still delivered.
+            if let Some(down) = ctl.src_down {
+                if down.load(Ordering::Acquire) {
+                    return RecvOutcome::PeerDown;
+                }
+            }
+            if ctl.poison.load(Ordering::Acquire) {
                 return RecvOutcome::Poisoned;
             }
-            let elapsed = start.elapsed();
-            if elapsed >= deadline {
+            let elapsed = start.elapsed().saturating_sub(gate_credit);
+            if elapsed >= ctl.deadline {
                 return RecvOutcome::TimedOut;
             }
-            let (guard, _timeout) =
-                self.cond.wait_timeout(b, deadline - elapsed).unwrap_or_else(|e| e.into_inner());
-            b = guard;
+            let budget = ctl.deadline - elapsed;
+            match ctl.gate {
+                None => {
+                    let (guard, _timeout) =
+                        self.cond.wait_timeout(b, budget).unwrap_or_else(|e| e.into_inner());
+                    b = guard;
+                }
+                Some(gate) => {
+                    // Lend the permit out for the park. Deposits need the
+                    // bucket lock we hold until `wait_timeout` parks, so
+                    // no wakeup can be lost in between.
+                    gate.release();
+                    let (guard, _timeout) =
+                        self.cond.wait_timeout(b, budget).unwrap_or_else(|e| e.into_inner());
+                    // Re-acquire with the bucket lock dropped: a permit
+                    // holder may itself be blocked on this bucket's lock
+                    // inside `put`.
+                    drop(guard);
+                    let t0 = std::time::Instant::now();
+                    gate.acquire();
+                    gate_credit += t0.elapsed();
+                    b = lock(&self.buckets);
+                }
+            }
         }
     }
 
@@ -147,7 +254,11 @@ mod tests {
     use super::*;
 
     fn env(src: usize, tag: u64, arrival: u64) -> Envelope {
-        Envelope { src, tag, arrival, bytes: Arc::new(Vec::new()) }
+        Envelope { src, tag, seq: 0, arrival, bytes: Arc::new(Vec::new()) }
+    }
+
+    fn ctl(poison: &AtomicBool, deadline: Duration) -> WaitCtl<'_> {
+        WaitCtl { poison, src_down: None, deadline, gate: None }
     }
 
     #[test]
@@ -157,7 +268,7 @@ mod tests {
         mb.put(env(1, 10, 5));
         mb.put(env(2, 10, 6));
         mb.put(env(1, 11, 7));
-        match mb.get(2, 10, &poison, Duration::from_secs(1)) {
+        match mb.get(2, 10, ctl(&poison, Duration::from_secs(1))) {
             RecvOutcome::Message(e) => assert_eq!((e.src, e.tag, e.arrival), (2, 10, 6)),
             other => panic!("unexpected outcome {other:?}"),
         }
@@ -171,11 +282,11 @@ mod tests {
         let poison = AtomicBool::new(false);
         mb.put(env(1, 10, 100));
         mb.put(env(1, 10, 200));
-        let a = match mb.get(1, 10, &poison, Duration::from_secs(1)) {
+        let a = match mb.get(1, 10, ctl(&poison, Duration::from_secs(1))) {
             RecvOutcome::Message(e) => e.arrival,
             _ => panic!(),
         };
-        let b = match mb.get(1, 10, &poison, Duration::from_secs(1)) {
+        let b = match mb.get(1, 10, ctl(&poison, Duration::from_secs(1))) {
             RecvOutcome::Message(e) => e.arrival,
             _ => panic!(),
         };
@@ -187,7 +298,7 @@ mod tests {
         let mb = Mailbox::default();
         let poison = AtomicBool::new(false);
         mb.put(env(1, 10, 5));
-        match mb.get(1, 99, &poison, Duration::from_millis(60)) {
+        match mb.get(1, 99, ctl(&poison, Duration::from_millis(60))) {
             RecvOutcome::TimedOut => {}
             other => panic!("unexpected outcome {other:?}"),
         }
@@ -201,7 +312,7 @@ mod tests {
         let poison = Arc::new(AtomicBool::new(false));
         let mb2 = Arc::clone(&mb);
         let poison2 = Arc::clone(&poison);
-        let t = std::thread::spawn(move || mb2.get(0, 0, &poison2, Duration::from_secs(30)));
+        let t = std::thread::spawn(move || mb2.get(0, 0, ctl(&poison2, Duration::from_secs(30))));
         std::thread::sleep(Duration::from_millis(50));
         poison.store(true, Ordering::Release);
         mb.wake_all();
@@ -221,7 +332,7 @@ mod tests {
         let poison2 = Arc::clone(&poison);
         let t = std::thread::spawn(move || {
             let start = std::time::Instant::now();
-            let out = mb2.get(0, 0, &poison2, Duration::from_secs(30));
+            let out = mb2.get(0, 0, ctl(&poison2, Duration::from_secs(30)));
             (out, start.elapsed())
         });
         std::thread::sleep(Duration::from_millis(40));
@@ -238,15 +349,66 @@ mod tests {
     }
 
     #[test]
+    fn peer_down_aborts_wait_but_queued_mail_still_delivers() {
+        let mb = Mailbox::default();
+        let poison = AtomicBool::new(false);
+        let down = AtomicBool::new(true);
+        mb.put(env(4, 9, 11));
+        let c = WaitCtl {
+            poison: &poison,
+            src_down: Some(&down),
+            deadline: Duration::from_secs(1),
+            gate: None,
+        };
+        // Sent-before-crash mail is drained first …
+        match mb.get(4, 9, c) {
+            RecvOutcome::Message(e) => assert_eq!(e.arrival, 11),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        // … and only then does the down flag surface.
+        match mb.get(4, 9, c) {
+            RecvOutcome::PeerDown => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peer_down_wakeup_is_prompt() {
+        let mb = Arc::new(Mailbox::default());
+        let poison = Arc::new(AtomicBool::new(false));
+        let down = Arc::new(AtomicBool::new(false));
+        let (mb2, poison2, down2) = (Arc::clone(&mb), Arc::clone(&poison), Arc::clone(&down));
+        let t = std::thread::spawn(move || {
+            let c = WaitCtl {
+                poison: &poison2,
+                src_down: Some(&down2),
+                deadline: Duration::from_secs(30),
+                gate: None,
+            };
+            mb2.get(0, 0, c)
+        });
+        std::thread::sleep(Duration::from_millis(40));
+        down.store(true, Ordering::Release);
+        let marked_at = std::time::Instant::now();
+        mb.wake_all();
+        assert!(matches!(t.join().unwrap(), RecvOutcome::PeerDown));
+        assert!(
+            marked_at.elapsed() < Duration::from_secs(5),
+            "wakeup took {:?}",
+            marked_at.elapsed()
+        );
+    }
+
+    #[test]
     fn cross_thread_delivery() {
         let mb = Arc::new(Mailbox::default());
         let poison = AtomicBool::new(false);
         let mb2 = Arc::clone(&mb);
         let t = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(30));
-            mb2.put(Envelope { src: 3, tag: 7, arrival: 42, bytes: Arc::new(vec![1, 2]) });
+            mb2.put(Envelope { src: 3, tag: 7, seq: 0, arrival: 42, bytes: Arc::new(vec![1, 2]) });
         });
-        match mb.get(3, 7, &poison, Duration::from_secs(5)) {
+        match mb.get(3, 7, ctl(&poison, Duration::from_secs(5))) {
             RecvOutcome::Message(e) => {
                 assert_eq!(e.arrival, 42);
                 assert_eq!(&e.bytes[..], &[1, 2]);
@@ -270,7 +432,7 @@ mod tests {
         assert_eq!(mb.len(), 64);
         for tag in (0..8u64).rev() {
             for src in (1..9).rev() {
-                match mb.get(src, tag, &poison, Duration::from_secs(1)) {
+                match mb.get(src, tag, ctl(&poison, Duration::from_secs(1))) {
                     RecvOutcome::Message(e) => {
                         assert_eq!(e.arrival, (src as u64) * 100 + tag)
                     }
@@ -280,5 +442,62 @@ mod tests {
         }
         assert!(mb.is_empty());
         assert!(mb.pending().is_empty());
+    }
+
+    #[test]
+    fn gate_permits_bound_concurrency() {
+        use std::sync::atomic::AtomicUsize;
+        let gate = Arc::new(Gate::new(2));
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let (gate, running, peak) =
+                (Arc::clone(&gate), Arc::clone(&running), Arc::clone(&peak));
+            handles.push(std::thread::spawn(move || {
+                let _permit = gate.permit();
+                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(10));
+                running.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "peak {}", peak.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn parked_receiver_lends_its_permit_out() {
+        // One permit, two parties: the receiver parks first (holding the
+        // only permit), the sender must still be able to run and deposit.
+        let gate = Arc::new(Gate::new(1));
+        let mb = Arc::new(Mailbox::default());
+        let poison = Arc::new(AtomicBool::new(false));
+        let (gate2, mb2, poison2) = (Arc::clone(&gate), Arc::clone(&mb), Arc::clone(&poison));
+        let receiver = std::thread::spawn(move || {
+            let _permit = gate2.permit();
+            let c = WaitCtl {
+                poison: &poison2,
+                src_down: None,
+                deadline: Duration::from_secs(30),
+                gate: Some(&gate2),
+            };
+            mb2.get(5, 5, c)
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let sender = {
+            let (gate, mb) = (Arc::clone(&gate), Arc::clone(&mb));
+            std::thread::spawn(move || {
+                let _permit = gate.permit(); // must not deadlock
+                mb.put(Envelope { src: 5, tag: 5, seq: 0, arrival: 1, bytes: Arc::new(vec![]) });
+            })
+        };
+        sender.join().unwrap();
+        match receiver.join().unwrap() {
+            RecvOutcome::Message(e) => assert_eq!(e.arrival, 1),
+            other => panic!("unexpected outcome {other:?}"),
+        }
     }
 }

@@ -1,12 +1,15 @@
 //! The per-processor handle SPMD programs run against.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::cost::CostModel;
-use crate::mailbox::{Envelope, Mailbox, RecvOutcome};
-use crate::report::{CommRow, ProcStats, TraceEvent};
+use crate::error::{AbortCause, SimAbort};
+use crate::fault::{Fate, FaultPlan};
+use crate::mailbox::{Envelope, Gate, Mailbox, RecvOutcome, WaitCtl};
+use crate::report::{CommRow, ProcStats, TraceEvent, TraceKind};
 use crate::topology::Mesh;
 use crate::wire::Wire;
 
@@ -32,6 +35,17 @@ pub(crate) struct Shared {
     pub(crate) deadlock_timeout: Duration,
     pub(crate) mailboxes: Vec<Mailbox>,
     pub(crate) poison: AtomicBool,
+    /// The active fault plan ([`FaultPlan::none`] ⇒ the reliable-delivery
+    /// layer is bypassed entirely).
+    pub(crate) faults: FaultPlan,
+    /// Per-processor down flags, set when a processor aborts for a
+    /// simulated (fault-model) reason. Receivers blocked on a down peer
+    /// abort with a structured `PeerDown` instead of deadlocking.
+    pub(crate) downs: Vec<AtomicBool>,
+    /// Why each down processor went down (diagnostics for `SimFailure`).
+    pub(crate) down_causes: Mutex<Vec<Option<AbortCause>>>,
+    /// Host-concurrency gate (`SKIL_WORKER_THREADS`), if any.
+    pub(crate) gate: Option<Arc<Gate>>,
 }
 
 impl Shared {
@@ -39,6 +53,22 @@ impl Shared {
     /// the abort is observed immediately (no polling interval).
     pub(crate) fn poison_all(&self) {
         self.poison.store(true, Ordering::Release);
+        for mb in &self.mailboxes {
+            mb.wake_all();
+        }
+    }
+
+    /// Mark `id` down for a simulated reason and wake every blocked
+    /// receiver so waits on it abort promptly with `PeerDown`. Unlike
+    /// [`poison_all`](Shared::poison_all) this does not poison the
+    /// machine: processors not (transitively) waiting on the down one
+    /// finish normally, which keeps the cascade deterministic.
+    pub(crate) fn mark_down(&self, id: usize, cause: AbortCause) {
+        {
+            let mut causes = self.down_causes.lock().unwrap_or_else(|e| e.into_inner());
+            causes[id].get_or_insert(cause);
+        }
+        self.downs[id].store(true, Ordering::Release);
         for mb in &self.mailboxes {
             mb.wake_all();
         }
@@ -66,11 +96,29 @@ pub struct Proc<'m> {
     /// exchanges) flattens straight into a right-sized buffer with no
     /// growth reallocations.
     encode_cap: usize,
+    /// Whether a fault plan is active (cached off the shared state so
+    /// the hot paths branch on a local bool).
+    faults_active: bool,
+    /// Virtual cycle at which this processor crashes under the fault
+    /// plan; `u64::MAX` when no crash is scheduled, so the hot-path
+    /// check is a single always-false compare.
+    crash_limit: u64,
+    /// Next sequence number to assign per `(dst, tag)` flow.
+    send_seq: HashMap<(usize, u64), u64>,
+    /// Next sequence number expected per `(src, tag)` flow; envelopes
+    /// below it are duplicates and are suppressed.
+    recv_seq: HashMap<(usize, u64), u64>,
 }
 
 impl<'m> Proc<'m> {
     pub(crate) fn new(id: usize, shared: &'m Shared) -> Self {
         let comm = shared.trace.then(|| CommRow::new(shared.mesh.procs()));
+        let faults_active = shared.faults.is_active();
+        let crash_limit = if faults_active {
+            shared.faults.crash_cycle(id).unwrap_or(u64::MAX)
+        } else {
+            u64::MAX
+        };
         Proc {
             id,
             shared,
@@ -79,6 +127,10 @@ impl<'m> Proc<'m> {
             trace: Vec::new(),
             comm,
             encode_cap: 0,
+            faults_active,
+            crash_limit,
+            send_seq: HashMap::new(),
+            recv_seq: HashMap::new(),
         }
     }
 
@@ -108,6 +160,7 @@ impl<'m> Proc<'m> {
     pub fn span_end(&mut self, label: &str, span: SpanStart) {
         if self.shared.trace {
             self.trace.push(TraceEvent {
+                kind: TraceKind::Span,
                 label: label.to_string(),
                 start: span.start,
                 end: self.now,
@@ -169,6 +222,49 @@ impl<'m> Proc<'m> {
     pub fn charge(&mut self, cycles: u64) {
         self.now += cycles;
         self.stats.compute += cycles;
+        if self.now >= self.crash_limit {
+            self.crash();
+        }
+    }
+
+    /// Record a zero-width fault-event instant at virtual time `at`
+    /// (no-op unless tracing). Fault instants ride the same trace stream
+    /// as skeleton spans, so they show up in `skeleton_metrics` and as
+    /// instant events in the Chrome export.
+    fn trace_instant(&mut self, kind: TraceKind, label: &str, at: u64) {
+        if self.shared.trace {
+            self.trace.push(TraceEvent {
+                kind,
+                label: label.to_string(),
+                start: at,
+                end: at,
+                sends: 0,
+                recvs: 0,
+                bytes_sent: 0,
+                bytes_recvd: 0,
+            });
+        }
+    }
+
+    /// The fault plan scheduled this processor to die and its clock just
+    /// reached the fatal cycle: unwind with a structured [`SimAbort`].
+    /// The machine's job wrapper catches it, marks this processor down
+    /// (waking blocked peers into `PeerDown`), and reports the whole run
+    /// as a [`SimFailure`](crate::error::SimFailure) — never a hang.
+    #[cold]
+    fn crash(&mut self) -> ! {
+        let cycle = self.crash_limit;
+        self.trace_instant(TraceKind::Crash, "fault.crash", self.now);
+        std::panic::panic_any(SimAbort { proc: self.id, cause: AbortCause::Crashed { cycle } })
+    }
+
+    /// Structured abort for delivery-layer give-up.
+    #[cold]
+    fn abort_retry_exhausted(&mut self, dst: usize, tag: u64, attempts: u32) -> ! {
+        std::panic::panic_any(SimAbort {
+            proc: self.id,
+            cause: AbortCause::RetryExhausted { dst, tag, attempts },
+        })
     }
 
     fn check_peer(&self, peer: usize) {
@@ -191,14 +287,91 @@ impl<'m> Proc<'m> {
         Arc::new(buf)
     }
 
-    fn deposit(&mut self, dst: usize, tag: u64, bytes: Arc<Vec<u8>>, arrival: u64) {
+    /// Deposit one logical message for `dst`, `transit` virtual cycles of
+    /// link time away, and return the virtual time at which it is
+    /// delivered. Counts the message once in the logical traffic stats
+    /// regardless of how many physical transmission attempts the fault
+    /// plan forces, so `sends`/`bytes_sent` (and machine-wide byte
+    /// conservation) are identical with and without faults.
+    fn deposit(&mut self, dst: usize, tag: u64, bytes: Arc<Vec<u8>>, transit: u64) -> u64 {
         self.stats.sends += 1;
         self.stats.bytes_sent += bytes.len() as u64;
         if let Some(comm) = &mut self.comm {
             comm.sent_msgs[dst] += 1;
             comm.sent_bytes[dst] += bytes.len() as u64;
         }
-        self.shared.mailboxes[dst].put(Envelope { src: self.id, tag, arrival, bytes });
+        if self.faults_active {
+            return self.deliver_reliably(dst, tag, bytes, transit);
+        }
+        let arrival = self.now + transit;
+        self.shared.mailboxes[dst].put(Envelope { src: self.id, tag, seq: 0, arrival, bytes });
+        arrival
+    }
+
+    /// The reliable-delivery layer: simulate the stop-and-wait ack
+    /// protocol for one message analytically on the sender.
+    ///
+    /// Because the fault plan is a pure function of
+    /// `(seed, src, dst, tag, seq, attempt)`, the sender can fold the
+    /// whole exchange — original transmission, lost attempts, backoff
+    /// timers, the retransmission that finally lands — into the single
+    /// arrival timestamp of the envelope it deposits. No ack messages
+    /// flow on the host, so the protocol adds zero host traffic and
+    /// stays deterministic under any thread schedule (the determinism
+    /// argument in DESIGN.md §12). The protocol machinery itself charges
+    /// the sender nothing: faults perturb *when* messages arrive (wait
+    /// time), never how much anyone computes or how many logical
+    /// messages flow.
+    fn deliver_reliably(&mut self, dst: usize, tag: u64, bytes: Arc<Vec<u8>>, transit: u64) -> u64 {
+        let plan = &self.shared.faults;
+        let seq = {
+            let s = self.send_seq.entry((dst, tag)).or_insert(0);
+            let v = *s;
+            *s += 1;
+            v
+        };
+        // Virtual time the current attempt leaves the sender. Retries
+        // push it forward by the backoff schedule; the sender's own
+        // clock does not advance (async sends overlap with compute).
+        let mut fire = self.now;
+        let mut attempt: u32 = 0;
+        loop {
+            match plan.fate(self.id, dst, tag, seq, attempt) {
+                Fate::Drop => {
+                    self.stats.drops += 1;
+                    self.trace_instant(TraceKind::Drop, "fault.drop", fire);
+                    attempt += 1;
+                    if attempt > plan.budget() {
+                        self.abort_retry_exhausted(dst, tag, attempt);
+                    }
+                    fire += plan.backoff(attempt);
+                    self.stats.retries += 1;
+                    self.trace_instant(TraceKind::Retry, "fault.retry", fire);
+                }
+                Fate::Deliver { extra_delay, duplicate } => {
+                    if extra_delay > 0 {
+                        self.stats.delays += 1;
+                    }
+                    let arrival = fire + transit + extra_delay;
+                    let mb = &self.shared.mailboxes[dst];
+                    mb.put(Envelope { src: self.id, tag, seq, arrival, bytes: Arc::clone(&bytes) });
+                    if duplicate {
+                        // The duplicate trails the original on the same
+                        // flow, so per-flow FIFO (and therefore sequence
+                        // monotonicity at the receiver) is preserved.
+                        self.trace_instant(TraceKind::Dup, "fault.dup", arrival);
+                        mb.put(Envelope {
+                            src: self.id,
+                            tag,
+                            seq,
+                            arrival: arrival + transit.max(1),
+                            bytes,
+                        });
+                    }
+                    return arrival;
+                }
+            }
+        }
     }
 
     /// Asynchronous send of an already-flattened payload over the mesh
@@ -209,8 +382,8 @@ impl<'m> Proc<'m> {
         self.check_peer(dst);
         let hops = self.shared.mesh.hops(self.id, dst);
         self.charge(self.shared.cost.send_cpu);
-        let arrival = self.now + self.shared.cost.transit(bytes.len(), hops);
-        self.deposit(dst, tag, bytes, arrival);
+        let transit = self.shared.cost.transit(bytes.len(), hops);
+        self.deposit(dst, tag, bytes, transit);
     }
 
     /// Asynchronous send over the physical mesh route to `dst`.
@@ -230,8 +403,8 @@ impl<'m> Proc<'m> {
         self.check_peer(dst);
         let bytes = self.encode(val);
         self.charge(self.shared.cost.send_cpu);
-        let arrival = self.now + self.shared.cost.transit(bytes.len(), hops);
-        self.deposit(dst, tag, bytes, arrival);
+        let transit = self.shared.cost.transit(bytes.len(), hops);
+        self.deposit(dst, tag, bytes, transit);
     }
 
     /// Synchronous send: the sender blocks until the transfer completes
@@ -249,11 +422,16 @@ impl<'m> Proc<'m> {
         let bytes = self.encode(val);
         self.charge(self.shared.cost.send_cpu);
         let transit = self.shared.cost.transit(bytes.len(), hops);
-        // Blocked for the whole transfer: no overlap with computation.
-        self.now += transit;
-        self.stats.wait += transit;
-        let arrival = self.now;
-        self.deposit(dst, tag, bytes, arrival);
+        // Blocked until the transfer actually completes: no overlap with
+        // computation. Under faults that is the delivery time of the
+        // attempt that finally lands, retries and injected delay
+        // included — fault-free it is exactly `now + transit`.
+        let arrival = self.deposit(dst, tag, bytes, transit);
+        self.stats.wait += arrival - self.now;
+        self.now = arrival;
+        if self.now >= self.crash_limit {
+            self.crash();
+        }
     }
 
     /// Raw neighbour-link send, bypassing the routing software: the
@@ -267,8 +445,8 @@ impl<'m> Proc<'m> {
         let c = &self.shared.cost;
         self.charge(c.raw_link_overhead);
         let per_hop = c.raw_link_overhead + c.per_byte * bytes.len() as u64;
-        let arrival = self.now + per_hop * hops.max(1) as u64;
-        self.deposit(dst, tag, bytes, arrival);
+        let transit = per_hop * hops.max(1) as u64;
+        self.deposit(dst, tag, bytes, transit);
     }
 
     /// Dequeue the next envelope from `(src, tag)`, advancing the virtual
@@ -277,30 +455,63 @@ impl<'m> Proc<'m> {
     /// without re-flattening.
     pub(crate) fn recv_envelope(&mut self, src: usize, tag: u64, recv_cost: u64) -> Envelope {
         self.check_peer(src);
-        let outcome = self.shared.mailboxes[self.id].get(
-            src,
-            tag,
-            &self.shared.poison,
-            self.shared.deadlock_timeout,
-        );
-        let env = match outcome {
-            RecvOutcome::Message(e) => e,
-            RecvOutcome::Poisoned => {
-                panic!("processor {}: aborted (a peer processor panicked)", self.id)
-            }
-            RecvOutcome::TimedOut => {
-                // Snapshot everything queued at the blocked processor so a
-                // misrouted tag is diagnosable from the message alone.
-                let pending = self.shared.mailboxes[self.id].pending();
-                panic!(
-                    "processor {}: deadlock suspected waiting for (src={}, tag={}); \
-                     {} pending (src, tag) envelope(s): {:?}",
-                    self.id,
-                    src,
-                    tag,
-                    pending.len(),
-                    pending
-                )
+        // Borrow the wait flags straight off the `'m`-lived shared state
+        // so `ctl` stays usable while the loop mutates `self`.
+        let shared: &'m Shared = self.shared;
+        let ctl = WaitCtl {
+            poison: &shared.poison,
+            src_down: if self.faults_active { Some(&shared.downs[src]) } else { None },
+            deadline: shared.deadlock_timeout,
+            gate: shared.gate.as_deref(),
+        };
+        let env = loop {
+            let outcome = shared.mailboxes[self.id].get(src, tag, ctl);
+            match outcome {
+                RecvOutcome::Message(e) => {
+                    if self.faults_active {
+                        let expected = self.recv_seq.entry((src, tag)).or_insert(0);
+                        if e.seq < *expected {
+                            // A duplicate copy the ack protocol already
+                            // delivered: suppress it charge-free (it
+                            // affects neither the clock nor the logical
+                            // traffic counters) and keep waiting.
+                            self.stats.dups += 1;
+                            let at = self.now;
+                            self.trace_instant(TraceKind::Dup, "fault.dup_suppressed", at);
+                            continue;
+                        }
+                        *expected = e.seq + 1;
+                    }
+                    break e;
+                }
+                RecvOutcome::Poisoned => {
+                    panic!("processor {}: aborted (a peer processor panicked)", self.id)
+                }
+                RecvOutcome::PeerDown => {
+                    // Structured cascade through the machine's failure
+                    // path: the job wrapper marks this processor down
+                    // too, so failure propagates along wait chains
+                    // instead of hanging anyone.
+                    std::panic::panic_any(SimAbort {
+                        proc: self.id,
+                        cause: AbortCause::PeerDown { peer: src },
+                    })
+                }
+                RecvOutcome::TimedOut => {
+                    // Snapshot everything queued at the blocked processor
+                    // so a misrouted tag is diagnosable from the message
+                    // alone.
+                    let pending = self.shared.mailboxes[self.id].pending();
+                    panic!(
+                        "processor {}: deadlock suspected waiting for (src={}, tag={}); \
+                         {} pending (src, tag) envelope(s): {:?}",
+                        self.id,
+                        src,
+                        tag,
+                        pending.len(),
+                        pending
+                    )
+                }
             }
         };
         self.stats.recvs += 1;
@@ -312,6 +523,9 @@ impl<'m> Proc<'m> {
         if env.arrival > self.now {
             self.stats.wait += env.arrival - self.now;
             self.now = env.arrival;
+            if self.now >= self.crash_limit {
+                self.crash();
+            }
         }
         self.charge(recv_cost);
         env
@@ -353,6 +567,9 @@ impl<'m> Proc<'m> {
         if t > self.now {
             self.stats.wait += t - self.now;
             self.now = t;
+            if self.now >= self.crash_limit {
+                self.crash();
+            }
         }
     }
 

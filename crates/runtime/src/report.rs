@@ -12,12 +12,35 @@
 
 use std::collections::BTreeMap;
 
+/// What a [`TraceEvent`] records. `Span` is the ordinary duration event
+/// from the PR 2 span API; the remaining kinds are zero-width instants
+/// emitted by the fault-injection / reliable-delivery layer so fault
+/// activity is visible in the same trace stream (and in the Chrome
+/// export, where they render as instant events).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A duration span (skeleton or user section).
+    #[default]
+    Span,
+    /// A transmission attempt was dropped by the fault plan.
+    Drop,
+    /// The sender retransmitted after a (virtual-time) ack timeout.
+    Retry,
+    /// The fault plan duplicated a delivery; the receiver's sequence
+    /// numbers later suppress the extra copy.
+    Dup,
+    /// This processor crashed at its scheduled virtual cycle.
+    Crash,
+}
+
 /// One traced span of activity on a processor (virtual time), together
 /// with the traffic the processor performed *inside* the span. Counters
 /// are inclusive: a span that contains nested spans also contains their
 /// traffic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
+    /// What kind of event this is; fault kinds are zero-width instants.
+    pub kind: TraceKind,
     /// Span label (usually a skeleton name).
     pub label: String,
     /// Virtual start cycle.
@@ -57,6 +80,25 @@ pub struct ProcStats {
     /// Payload bytes received. Machine-wide, received bytes must equal
     /// sent bytes once every program has returned (conservation).
     pub bytes_recvd: u64,
+    /// Transmission attempts retransmitted by the reliable-delivery
+    /// layer (zero unless a fault plan is active).
+    pub retries: u64,
+    /// Transmission attempts dropped by the fault plan (sender side).
+    pub drops: u64,
+    /// Duplicate deliveries suppressed by the receiver's sequence
+    /// numbers.
+    pub dups: u64,
+    /// Deliveries that arrived late because the fault plan injected
+    /// extra in-flight latency.
+    pub delays: u64,
+}
+
+impl ProcStats {
+    /// Total fault-layer activity on this processor. Zero whenever the
+    /// machine runs without a fault plan — pinned by the golden tests.
+    pub fn fault_events(&self) -> u64 {
+        self.retries + self.drops + self.dups + self.delays
+    }
 }
 
 /// One processor's row of the communication matrix: per-peer message and
@@ -292,6 +334,7 @@ mod tests {
 
     fn span(label: &str, start: u64, end: u64) -> TraceEvent {
         TraceEvent {
+            kind: TraceKind::Span,
             label: label.into(),
             start,
             end,
@@ -317,8 +360,10 @@ mod tests {
                         bytes_sent: 64,
                         recvs: 2,
                         bytes_recvd: 16,
+                        ..ProcStats::default()
                     },
                     trace: vec![TraceEvent {
+                        kind: TraceKind::Span,
                         label: "map".into(),
                         start: 0,
                         end: 50,
@@ -338,6 +383,7 @@ mod tests {
                         bytes_sent: 16,
                         recvs: 2,
                         bytes_recvd: 64,
+                        ..ProcStats::default()
                     },
                     trace: vec![],
                     comm: None,

@@ -7,6 +7,11 @@
 //! rendering of that contract: a self-describing, pointer-free byte
 //! encoding. All multi-byte integers are little-endian; containers are
 //! length-prefixed with a `u64`.
+//!
+//! Flattened bytes are also the unit of *reliable delivery*: the fault
+//! layer (DESIGN.md §12) drops, delays, or duplicates whole flattened
+//! messages, never partial encodings, so a retransmitted or
+//! duplicate-suppressed message unflattens exactly like the original.
 
 use crate::error::WireError;
 

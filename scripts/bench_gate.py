@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Bench artifact gate: schema drift + performance regression checks.
+
+Compares a freshly generated JSON artifact (from `trace_report` or
+`lang_vm_report`) against its frozen counterpart committed in the repo:
+
+  python3 scripts/bench_gate.py [--schema-only] [--threshold 1.25] \
+      FROZEN.json FRESH.json
+
+Two checks, both fatal:
+
+1. **Schema drift** — the two documents must have the same recursive
+   *shape*: identical dict key sets and identical value types at every
+   path (ints and floats are both "number"; list elements are unified
+   against the first element's shape, so list length never matters).
+   A renamed key, a dropped counter, or a string-where-number-was all
+   fail with the offending JSON path.
+
+2. **Performance regression** (skipped with `--schema-only`) — every
+   dict carrying a "name" key and at least one `*_mean_ns` field is a
+   workload; workloads are matched by name across the two files (a
+   mismatched name set is drift), and the geometric mean of
+   fresh/frozen ratios over all matched `*_mean_ns` fields must stay
+   at or below the threshold (default 1.25 = +25%). The geomean keeps
+   one noisy workload from failing the gate while still catching a
+   broad slowdown.
+
+Exit codes: 0 pass, 1 gate failure, 2 usage/IO error.
+"""
+
+import json
+import math
+import sys
+
+
+def shape(node, path="$"):
+    """Canonical recursive type shape of a JSON document."""
+    if isinstance(node, dict):
+        return {k: shape(v, f"{path}.{k}") for k, v in sorted(node.items())}
+    if isinstance(node, list):
+        # a list's shape is the *set* of distinct element shapes it holds
+        # (Chrome traces legitimately mix span, instant and metadata
+        # events), deduplicated via a canonical serialization
+        variants = {}
+        for i, el in enumerate(node):
+            s = shape(el, f"{path}[{i}]")
+            variants[json.dumps(s, sort_keys=True)] = s
+        return ["list", sorted(variants)]
+    if isinstance(node, bool):
+        return "bool"
+    if isinstance(node, (int, float)):
+        return "number"
+    if isinstance(node, str):
+        return "string"
+    if node is None:
+        return "null"
+    raise SystemExit(f"bench_gate: {path}: unsupported JSON node {type(node).__name__}")
+
+
+def diff_shapes(frozen, fresh, path="$"):
+    """Yield human-readable drift descriptions between two shapes."""
+    if isinstance(frozen, dict) and isinstance(fresh, dict):
+        for k in sorted(frozen.keys() - fresh.keys()):
+            yield f"{path}.{k}: present in frozen, missing in fresh"
+        for k in sorted(fresh.keys() - frozen.keys()):
+            yield f"{path}.{k}: new in fresh, absent in frozen"
+        for k in sorted(frozen.keys() & fresh.keys()):
+            yield from diff_shapes(frozen[k], fresh[k], f"{path}.{k}")
+    elif (
+        isinstance(frozen, list)
+        and isinstance(fresh, list)
+        and frozen[:1] == ["list"]
+        and fresh[:1] == ["list"]
+    ):
+        old_set, new_set = set(frozen[1]), set(fresh[1])
+        if not old_set or not new_set:
+            return  # an empty list matches any element shape
+        for s in sorted(old_set - new_set):
+            yield f"{path}[]: element shape only in frozen: {s}"
+        for s in sorted(new_set - old_set):
+            yield f"{path}[]: element shape only in fresh: {s}"
+    elif frozen != fresh:
+        yield f"{path}: frozen is {frozen!r}, fresh is {fresh!r}"
+
+
+def workloads(node, out):
+    """Collect {name: {field: value}} for every *_mean_ns-bearing dict."""
+    if isinstance(node, dict):
+        means = {k: v for k, v in node.items() if k.endswith("_mean_ns")}
+        if "name" in node and means:
+            out[node["name"]] = means
+        for v in node.values():
+            workloads(v, out)
+    elif isinstance(node, list):
+        for el in node:
+            workloads(el, out)
+    return out
+
+
+def main(argv):
+    schema_only = False
+    threshold = 1.25
+    paths = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--schema-only":
+            schema_only = True
+        elif arg == "--threshold":
+            try:
+                threshold = float(next(it))
+            except (StopIteration, ValueError):
+                print("bench_gate: --threshold needs a number", file=sys.stderr)
+                return 2
+        elif arg.startswith("-"):
+            print(__doc__, file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    frozen_path, fresh_path = paths
+
+    docs = []
+    for p in paths:
+        try:
+            with open(p) as f:
+                docs.append(json.load(f))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_gate: cannot load {p}: {e}", file=sys.stderr)
+            return 2
+    frozen, fresh = docs
+
+    drift = list(diff_shapes(shape(frozen), shape(fresh)))
+    if drift:
+        print(f"bench_gate: SCHEMA DRIFT ({frozen_path} vs {fresh_path}):", file=sys.stderr)
+        for line in drift:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"bench_gate: schema ok ({frozen_path} vs {fresh_path})")
+    if schema_only:
+        return 0
+
+    frozen_w = workloads(frozen, {})
+    fresh_w = workloads(fresh, {})
+    if frozen_w.keys() != fresh_w.keys():
+        missing = sorted(frozen_w.keys() - fresh_w.keys())
+        added = sorted(fresh_w.keys() - frozen_w.keys())
+        print(
+            f"bench_gate: workload set drift: missing={missing} added={added}",
+            file=sys.stderr,
+        )
+        return 1
+
+    ratios = []
+    for name in sorted(frozen_w):
+        for field in sorted(frozen_w[name]):
+            if field not in fresh_w[name]:
+                continue  # shape check already caught this
+            old, new = frozen_w[name][field], fresh_w[name][field]
+            if old <= 0 or new <= 0:
+                print(
+                    f"bench_gate: non-positive timing {name}.{field} "
+                    f"(frozen={old}, fresh={new})",
+                    file=sys.stderr,
+                )
+                return 1
+            ratio = new / old
+            ratios.append(ratio)
+            print(f"  {name}.{field}: {old} -> {new} (x{ratio:.3f})")
+    if not ratios:
+        print("bench_gate: no *_mean_ns workloads found; nothing to gate")
+        return 0
+
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    verdict = "PASS" if geomean <= threshold else "FAIL"
+    print(
+        f"bench_gate: geomean fresh/frozen over {len(ratios)} timings: "
+        f"{geomean:.3f} (threshold {threshold:.2f}) -> {verdict}"
+    )
+    return 0 if geomean <= threshold else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -245,3 +245,45 @@ fn skeleton_composition_is_masked_under_a_lossy_fault_plan() {
         assert_eq!(pf.stats.bytes_recvd, pc.stats.bytes_recvd);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Event-scheduler scale: the thread ceiling is gone (PR 6)
+// ---------------------------------------------------------------------------
+
+use skil_runtime::SchedulerKind;
+
+/// Farm `tasks` trivial work items over an `n`-proc event machine and
+/// return the run (golden pinned by callers).
+fn farm_at_scale(n: usize, tasks: u64) -> skil_runtime::Run<Option<u64>> {
+    let m = Machine::new(
+        MachineConfig::procs(n)
+            .unwrap()
+            .with_scheduler(SchedulerKind::Event)
+            .with_timeout(std::time::Duration::from_secs(600)),
+    );
+    m.run(move |p| {
+        let ts = (p.id() == 0).then(|| (0..tasks).collect::<Vec<u64>>());
+        farm(p, 0, ts, Kernel::free(|&t: &u64| t.wrapping_mul(2654435761) >> 7))
+            .unwrap()
+            .map(|rs| rs.iter().fold(0u64, |a, &r| a.wrapping_mul(1099511628211).wrapping_add(r)))
+    })
+}
+
+#[test]
+fn hundred_thousand_task_farm_on_256_procs() {
+    let run = farm_at_scale(256, 100_000);
+    let digest = run.results[0].expect("master returns the results");
+    assert_eq!((digest, run.report.sim_cycles), GOLDEN_FARM_100K);
+}
+
+/// (result digest, sim_cycles) pinned goldens for the farm scale tests.
+const GOLDEN_FARM_100K: (u64, u64) = (6_961_791_862_745_699_246, 11_514_100);
+const GOLDEN_FARM_1M: (u64, u64) = (16_802_809_084_292_311_724, 184_299_500);
+
+#[test]
+#[ignore = "heavy: million-task farm over 4,096 processors (CI runs under timeout)"]
+fn million_task_farm_on_4096_procs() {
+    let run = farm_at_scale(4096, 1_000_000);
+    let digest = run.results[0].expect("master returns the results");
+    assert_eq!((digest, run.report.sim_cycles), GOLDEN_FARM_1M);
+}

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod collective;
+pub(crate) mod coro;
 pub mod cost;
 pub mod error;
 pub mod export;
@@ -40,13 +41,14 @@ pub mod machine;
 pub mod mailbox;
 pub mod proc;
 pub mod report;
+pub(crate) mod sched;
 pub mod topology;
 pub mod wire;
 
 pub use cost::CostModel;
 pub use error::{AbortCause, RtError, SimAbort, SimFailure, WireError};
 pub use fault::{Fate, FaultPlan};
-pub use machine::{Machine, MachineConfig, Run};
+pub use machine::{Machine, MachineConfig, Run, SchedulerKind};
 pub use proc::{Proc, SpanStart};
 pub use report::{
     CommMatrix, CommRow, ProcReport, ProcStats, RunReport, SkeletonMetrics, TraceEvent, TraceKind,

@@ -125,6 +125,51 @@ struct Buckets {
     queues: HashMap<(usize, u64), VecDeque<Envelope>>,
     /// Total queued envelopes across all buckets.
     len: usize,
+    /// Emptied bucket queues kept for reuse: the hot deposit path takes
+    /// a pre-sized queue from here instead of allocating one per
+    /// transient `(src, tag)` flow. Bounded so mailboxes that see many
+    /// distinct tags (farms index tags by task) cannot hoard memory.
+    spare: Vec<VecDeque<Envelope>>,
+    /// The owning processor's event-scheduler wait registration: the
+    /// `(src, tag)` key it is parked on, if any. Only the event
+    /// scheduler sets this; under the thread scheduler waits park on
+    /// the condvar instead.
+    parked: Option<(usize, u64)>,
+}
+
+/// Cap on recycled bucket queues kept per mailbox.
+const SPARE_QUEUES: usize = 32;
+
+impl Buckets {
+    /// Pop the oldest envelope for `key`, recycling the bucket's
+    /// allocation when it empties.
+    fn pop(&mut self, key: (usize, u64)) -> Option<Envelope> {
+        let q = self.queues.get_mut(&key)?;
+        let env = q.pop_front()?;
+        if q.is_empty() {
+            let q = self.queues.remove(&key).expect("bucket existed");
+            if self.spare.len() < SPARE_QUEUES {
+                self.spare.push(q);
+            }
+        }
+        self.len -= 1;
+        Some(env)
+    }
+
+    /// Append an envelope to its `(src, tag)` bucket, reusing a spare
+    /// queue when the bucket is new.
+    fn push(&mut self, env: Envelope) {
+        let key = (env.src, env.tag);
+        match self.queues.entry(key) {
+            Entry::Occupied(mut q) => q.get_mut().push_back(env),
+            Entry::Vacant(slot) => {
+                let mut q = self.spare.pop().unwrap_or_else(|| VecDeque::with_capacity(4));
+                q.push_back(env);
+                slot.insert(q);
+            }
+        }
+        self.len += 1;
+    }
 }
 
 /// A processor's incoming message queue.
@@ -149,12 +194,21 @@ pub enum RecvOutcome {
 }
 
 impl Mailbox {
-    /// Deposit an envelope and wake any waiting receiver.
-    pub fn put(&self, env: Envelope) {
+    /// Deposit an envelope and wake any waiting receiver. Returns `true`
+    /// when an event-scheduler task parked on this envelope's
+    /// `(src, tag)` key was unparked by the deposit — the caller must
+    /// then make that task ready (see the event core in `sched.rs`).
+    pub fn put(&self, env: Envelope) -> bool {
         let mut b = lock(&self.buckets);
-        b.queues.entry((env.src, env.tag)).or_default().push_back(env);
-        b.len += 1;
+        let key = (env.src, env.tag);
+        b.push(env);
+        let woke = b.parked == Some(key);
+        if woke {
+            b.parked = None;
+        }
+        drop(b);
         self.cond.notify_all();
+        woke
     }
 
     /// Dequeue the oldest envelope matching `(src, tag)`, waiting up to
@@ -167,17 +221,11 @@ impl Mailbox {
     pub fn get(&self, src: usize, tag: u64, ctl: WaitCtl<'_>) -> RecvOutcome {
         let start = std::time::Instant::now();
         let mut gate_credit = Duration::ZERO;
+        let key = (src, tag);
         let mut b = lock(&self.buckets);
         loop {
-            if let Entry::Occupied(mut q) = b.queues.entry((src, tag)) {
-                if let Some(env) = q.get_mut().pop_front() {
-                    if q.get().is_empty() {
-                        q.remove();
-                    }
-                    b.len -= 1;
-                    return RecvOutcome::Message(env);
-                }
-                q.remove();
+            if let Some(env) = b.pop(key) {
+                return RecvOutcome::Message(env);
             }
             // Queue first, flags second: envelopes deposited before a
             // crash are still delivered.
@@ -217,6 +265,43 @@ impl Mailbox {
                     b = lock(&self.buckets);
                 }
             }
+        }
+    }
+
+    /// Non-blocking dequeue of the oldest `(src, tag)` envelope — the
+    /// event scheduler's receive fast path (a blocked event task parks
+    /// via [`park`](Mailbox::park) instead of the condvar).
+    pub(crate) fn try_take(&self, src: usize, tag: u64) -> Option<Envelope> {
+        lock(&self.buckets).pop((src, tag))
+    }
+
+    /// Register the owning event task as parked on `(src, tag)`.
+    /// Returns `false` — without registering — if a matching envelope is
+    /// already queued, in which case the task must stay runnable. The
+    /// registration is cleared by the [`put`](Mailbox::put) that matches
+    /// it or by [`unpark`](Mailbox::unpark).
+    pub(crate) fn park(&self, src: usize, tag: u64) -> bool {
+        let mut b = lock(&self.buckets);
+        if b.queues.contains_key(&(src, tag)) {
+            return false;
+        }
+        debug_assert!(b.parked.is_none(), "one task per mailbox");
+        b.parked = Some((src, tag));
+        true
+    }
+
+    /// Clear a parked-task registration whose key satisfies `pred`
+    /// (poison wakes everyone; a peer-down wake matches on the source).
+    /// Returns `true` if a registration was cleared — exactly one waker
+    /// wins, so the caller that sees `true` owns making the task ready.
+    pub(crate) fn unpark(&self, pred: impl Fn((usize, u64)) -> bool) -> bool {
+        let mut b = lock(&self.buckets);
+        match b.parked {
+            Some(key) if pred(key) => {
+                b.parked = None;
+                true
+            }
+            _ => false,
         }
     }
 

@@ -5,11 +5,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use crate::coro::{TaskFrame, WakeKind};
 use crate::cost::CostModel;
 use crate::error::{AbortCause, SimAbort};
 use crate::fault::{Fate, FaultPlan};
 use crate::mailbox::{Envelope, Gate, Mailbox, RecvOutcome, WaitCtl};
 use crate::report::{CommRow, ProcStats, TraceEvent, TraceKind};
+use crate::sched::EventSched;
 use crate::topology::Mesh;
 use crate::wire::Wire;
 
@@ -44,8 +46,14 @@ pub(crate) struct Shared {
     pub(crate) downs: Vec<AtomicBool>,
     /// Why each down processor went down (diagnostics for `SimFailure`).
     pub(crate) down_causes: Mutex<Vec<Option<AbortCause>>>,
-    /// Host-concurrency gate (`SKIL_WORKER_THREADS`), if any.
+    /// Host-concurrency gate (`SKIL_WORKER_THREADS`), if any. Only the
+    /// thread scheduler uses it; the event scheduler bounds host
+    /// concurrency by its worker count instead.
     pub(crate) gate: Option<Arc<Gate>>,
+    /// The event scheduler driving this run, when the machine runs in
+    /// event mode. Deposit and abort paths use it to make parked
+    /// receiver tasks ready.
+    pub(crate) sched: Option<Arc<EventSched>>,
 }
 
 impl Shared {
@@ -55,6 +63,9 @@ impl Shared {
         self.poison.store(true, Ordering::Release);
         for mb in &self.mailboxes {
             mb.wake_all();
+        }
+        if let Some(sched) = &self.sched {
+            sched.wake_parked(&self.mailboxes, |_| true);
         }
     }
 
@@ -71,6 +82,9 @@ impl Shared {
         self.downs[id].store(true, Ordering::Release);
         for mb in &self.mailboxes {
             mb.wake_all();
+        }
+        if let Some(sched) = &self.sched {
+            sched.wake_parked(&self.mailboxes, |src| src == id);
         }
     }
 }
@@ -108,6 +122,10 @@ pub struct Proc<'m> {
     /// Next sequence number expected per `(src, tag)` flow; envelopes
     /// below it are duplicates and are suppressed.
     recv_seq: HashMap<(usize, u64), u64>,
+    /// The coroutine switch frame, when this processor runs as an event
+    /// task: blocking receives yield through it back to the scheduler
+    /// worker instead of parking the host thread on a condvar.
+    parker: Option<&'m TaskFrame>,
 }
 
 impl<'m> Proc<'m> {
@@ -131,7 +149,14 @@ impl<'m> Proc<'m> {
             crash_limit,
             send_seq: HashMap::new(),
             recv_seq: HashMap::new(),
+            parker: None,
         }
+    }
+
+    /// Attach the event-task switch frame (event scheduler only; set
+    /// before the SPMD body runs).
+    pub(crate) fn set_parker(&mut self, frame: &'m TaskFrame) {
+        self.parker = Some(frame);
     }
 
     /// Whether event tracing is enabled for this run.
@@ -287,6 +312,18 @@ impl<'m> Proc<'m> {
         Arc::new(buf)
     }
 
+    /// Deposit `env` into `dst`'s mailbox; if the deposit matched a
+    /// parked event task, hand the receiver to the ready queue at the
+    /// later of the envelope's arrival and the receiver's own clock.
+    fn put_and_wake(&self, dst: usize, env: Envelope) {
+        let arrival = env.arrival;
+        if self.shared.mailboxes[dst].put(env) {
+            let sched =
+                self.shared.sched.as_ref().expect("a parked task implies the event scheduler");
+            sched.push_ready(dst, arrival.max(sched.vnow_hint(dst)));
+        }
+    }
+
     /// Deposit one logical message for `dst`, `transit` virtual cycles of
     /// link time away, and return the virtual time at which it is
     /// delivered. Counts the message once in the logical traffic stats
@@ -304,7 +341,7 @@ impl<'m> Proc<'m> {
             return self.deliver_reliably(dst, tag, bytes, transit);
         }
         let arrival = self.now + transit;
-        self.shared.mailboxes[dst].put(Envelope { src: self.id, tag, seq: 0, arrival, bytes });
+        self.put_and_wake(dst, Envelope { src: self.id, tag, seq: 0, arrival, bytes });
         arrival
     }
 
@@ -353,20 +390,25 @@ impl<'m> Proc<'m> {
                         self.stats.delays += 1;
                     }
                     let arrival = fire + transit + extra_delay;
-                    let mb = &self.shared.mailboxes[dst];
-                    mb.put(Envelope { src: self.id, tag, seq, arrival, bytes: Arc::clone(&bytes) });
+                    self.put_and_wake(
+                        dst,
+                        Envelope { src: self.id, tag, seq, arrival, bytes: Arc::clone(&bytes) },
+                    );
                     if duplicate {
                         // The duplicate trails the original on the same
                         // flow, so per-flow FIFO (and therefore sequence
                         // monotonicity at the receiver) is preserved.
                         self.trace_instant(TraceKind::Dup, "fault.dup", arrival);
-                        mb.put(Envelope {
-                            src: self.id,
-                            tag,
-                            seq,
-                            arrival: arrival + transit.max(1),
-                            bytes,
-                        });
+                        self.put_and_wake(
+                            dst,
+                            Envelope {
+                                src: self.id,
+                                tag,
+                                seq,
+                                arrival: arrival + transit.max(1),
+                                bytes,
+                            },
+                        );
                     }
                     return arrival;
                 }
@@ -465,7 +507,10 @@ impl<'m> Proc<'m> {
             gate: shared.gate.as_deref(),
         };
         let env = loop {
-            let outcome = shared.mailboxes[self.id].get(src, tag, ctl);
+            let outcome = match self.parker {
+                None => shared.mailboxes[self.id].get(src, tag, ctl),
+                Some(frame) => self.event_wait(frame, src, tag),
+            };
             match outcome {
                 RecvOutcome::Message(e) => {
                     if self.faults_active {
@@ -529,6 +574,34 @@ impl<'m> Proc<'m> {
         }
         self.charge(recv_cost);
         env
+    }
+
+    /// The event-scheduler receive wait: poll the queue and abort flags,
+    /// then yield back to the scheduler worker (which registers the park
+    /// in the mailbox *after* the context is saved — see
+    /// `sched::block_task`). Checks mirror [`Mailbox::get`] in the same
+    /// order: queued mail first, then the peer-down flag, then poison. A
+    /// [`WakeKind::Deadlock`] resume maps to `TimedOut`, so the
+    /// diagnostic path is shared with the thread scheduler's wall-clock
+    /// timeout.
+    fn event_wait(&self, frame: &TaskFrame, src: usize, tag: u64) -> RecvOutcome {
+        let shared = self.shared;
+        let mb = &shared.mailboxes[self.id];
+        loop {
+            if let Some(env) = mb.try_take(src, tag) {
+                return RecvOutcome::Message(env);
+            }
+            if self.faults_active && shared.downs[src].load(Ordering::Acquire) {
+                return RecvOutcome::PeerDown;
+            }
+            if shared.poison.load(Ordering::Acquire) {
+                return RecvOutcome::Poisoned;
+            }
+            match frame.yield_blocked(src, tag, self.now) {
+                WakeKind::Normal => continue,
+                WakeKind::Deadlock => return RecvOutcome::TimedOut,
+            }
+        }
     }
 
     pub(crate) fn decode_or_panic<T: Wire>(&self, env: &Envelope) -> T {

@@ -1,0 +1,200 @@
+//! The discrete-event scheduler: thousands of virtual processors on a
+//! small, fixed worker pool.
+//!
+//! Each processor is a coroutine [`Task`](crate::coro::Task). A ready
+//! queue — a binary heap ordered by the task's virtual clock (processor
+//! id as the deterministic tie-break) — feeds a pool of host workers;
+//! a task runs until it blocks on a `(src, tag)` receive, parks in its
+//! mailbox, and is made ready again by the deposit that matches it (or
+//! by a poison / peer-down / deadlock wake). Virtual time cannot observe
+//! any of this: arrival timestamps are computed analytically at the
+//! sender, so clocks advance identically under any resume order — the
+//! same argument that made `SKIL_WORKER_THREADS` a pure host throttle
+//! (DESIGN.md §13 spells it out; the golden tests pin it).
+//!
+//! Wakeup protocol (all transitions hand off through a mutex, so frame
+//! state is ordered):
+//!
+//! * block: the task yields `Blocked{src, tag}`; its worker registers it
+//!   in the mailbox under the bucket lock *after* the context is saved,
+//!   re-checking the queue and abort flags so no deposit is lost.
+//! * deposit: `Mailbox::put` clears a matching registration under the
+//!   same bucket lock and the sender pushes the receiver onto the ready
+//!   heap at its wake time.
+//! * abort: poison / mark-down sweeps every mailbox, unparking matching
+//!   waiters; resumed tasks re-run their receive check and observe the
+//!   flag.
+//! * deadlock: every worker idle + empty heap + live tasks ⇒ no wake can
+//!   be in flight; the lowest-id parked task is resumed with
+//!   [`WakeKind::Deadlock`] and reports the same blocked-`(src, tag)`-
+//!   with-pending-envelopes diagnostic the thread scheduler produces on
+//!   its timeout.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use crate::coro::{Task, WakeKind, YieldReason};
+use crate::mailbox::Mailbox;
+use crate::proc::Shared;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Shared state of one simulation's event scheduler. Intentionally
+/// `'static` (task handles are plain indices) so `Shared` can hold it
+/// behind an `Arc` and wake parked tasks from abort paths.
+#[derive(Debug)]
+pub(crate) struct EventSched {
+    state: Mutex<SchedState>,
+    cond: Condvar,
+    /// Each task's virtual clock as of its last block, published by its
+    /// worker *before* the mailbox registration — so any waker that
+    /// clears the registration reads a current value for the ready-heap
+    /// priority.
+    vnow: Vec<AtomicU64>,
+}
+
+#[derive(Debug)]
+struct SchedState {
+    /// Min-heap of `(virtual wake time, task id)`.
+    ready: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Tasks not yet `Done`.
+    live: usize,
+    /// Workers currently parked in `next_ready`.
+    idle: usize,
+    /// Total workers participating in this run.
+    workers: usize,
+}
+
+impl EventSched {
+    pub(crate) fn new(tasks: usize, workers: usize) -> Self {
+        EventSched {
+            state: Mutex::new(SchedState {
+                ready: BinaryHeap::with_capacity(tasks),
+                live: tasks,
+                idle: 0,
+                workers,
+            }),
+            cond: Condvar::new(),
+            vnow: (0..tasks).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Make task `id` runnable at virtual time `at`.
+    pub(crate) fn push_ready(&self, id: usize, at: u64) {
+        lock(&self.state).ready.push(Reverse((at, id)));
+        self.cond.notify_one();
+    }
+
+    /// The clock task `id` published at its last block.
+    pub(crate) fn vnow_hint(&self, id: usize) -> u64 {
+        self.vnow[id].load(Ordering::Relaxed)
+    }
+
+    /// Wake parked tasks across `mailboxes` whose awaited *source*
+    /// matches `pred` — the abort half of the wakeup protocol, called by
+    /// `Shared::poison_all` / `Shared::mark_down`. Resumed tasks re-run
+    /// their receive check and observe the abort flag themselves.
+    pub(crate) fn wake_parked(&self, mailboxes: &[Mailbox], pred: impl Fn(usize) -> bool) {
+        for (id, mb) in mailboxes.iter().enumerate() {
+            if mb.unpark(|(src, _)| pred(src)) {
+                self.push_ready(id, self.vnow_hint(id));
+            }
+        }
+    }
+
+    /// Pop the next runnable task, parking until one appears. Returns
+    /// `None` once every task is done. `deadlock` is invoked — with the
+    /// scheduler lock released — when every worker is idle with an empty
+    /// heap but live tasks remain; it must make at least one task ready
+    /// (or the wait resumes and tries again).
+    fn next_ready(&self, deadlock: impl Fn()) -> Option<usize> {
+        let mut st = lock(&self.state);
+        loop {
+            if let Some(Reverse((_, id))) = st.ready.pop() {
+                return Some(id);
+            }
+            if st.live == 0 {
+                self.cond.notify_all();
+                return None;
+            }
+            st.idle += 1;
+            if st.idle == st.workers {
+                // Every live task is parked and no worker can be about
+                // to wake one: a genuine deadlock. Resolve it outside
+                // the scheduler lock (the victim wake takes bucket
+                // locks, and bucket holders never wait on this lock).
+                st.idle -= 1;
+                drop(st);
+                deadlock();
+                st = lock(&self.state);
+                continue;
+            }
+            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+            st.idle -= 1;
+        }
+    }
+
+    fn task_done(&self) {
+        let mut st = lock(&self.state);
+        st.live -= 1;
+        if st.live == 0 {
+            drop(st);
+            self.cond.notify_all();
+        }
+    }
+}
+
+/// Run scheduler work on the calling worker thread until every task of
+/// the simulation has completed.
+pub(crate) fn worker_loop(sched: &EventSched, tasks: &[Task], shared: &Shared) {
+    loop {
+        let deadlock = || wake_deadlock_victim(sched, tasks, shared);
+        let Some(id) = sched.next_ready(deadlock) else { return };
+        match tasks[id].resume() {
+            YieldReason::Done => sched.task_done(),
+            YieldReason::Blocked { src, tag, vnow } => {
+                block_task(sched, shared, id, src, tag, vnow)
+            }
+        }
+    }
+}
+
+/// Complete a task's block: publish its clock, register it in its
+/// mailbox, and close the races with concurrent deposits and aborts.
+fn block_task(sched: &EventSched, shared: &Shared, id: usize, src: usize, tag: u64, vnow: u64) {
+    sched.vnow[id].store(vnow, Ordering::Relaxed);
+    let mb = &shared.mailboxes[id];
+    if !mb.park(src, tag) {
+        // A matching envelope was deposited while the task was running:
+        // it never actually blocks.
+        sched.push_ready(id, vnow);
+        return;
+    }
+    // An abort sweep that scanned this mailbox before the registration
+    // would miss the task; whoever clears the registration owns the
+    // wake, so checking the flags afterwards closes the race exactly
+    // once.
+    if (shared.poison.load(Ordering::Acquire) || shared.downs[src].load(Ordering::Acquire))
+        && mb.unpark(|_| true)
+    {
+        sched.push_ready(id, vnow);
+    }
+}
+
+/// Resolve a structural deadlock: wake the lowest-id parked task with
+/// [`WakeKind::Deadlock`] so it raises the standard diagnostic.
+fn wake_deadlock_victim(sched: &EventSched, tasks: &[Task], shared: &Shared) {
+    for (id, mb) in shared.mailboxes.iter().enumerate() {
+        if mb.unpark(|_| true) {
+            tasks[id].frame().set_wake(WakeKind::Deadlock);
+            sched.push_ready(id, sched.vnow_hint(id));
+            return;
+        }
+    }
+    // No parked task found: a racing wake is mid-flight after all; the
+    // caller re-enters the wait and will observe it.
+}

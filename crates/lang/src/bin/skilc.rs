@@ -86,11 +86,9 @@ fn main() -> ExitCode {
             }
             "--engine" => {
                 i += 1;
-                engine = match args.get(i).map(String::as_str) {
-                    Some("ast") => Engine::Ast,
-                    Some("vm") => Engine::Vm,
-                    _ => return usage(),
-                };
+                let parsed = args.get(i).and_then(|s| Engine::from_arg(s));
+                let Some(e) = parsed else { return usage() };
+                engine = e;
             }
             "--run" => run = true,
             "--trace" => trace = true,
@@ -180,10 +178,10 @@ fn main() -> ExitCode {
             }
         };
         let machine = Machine::new(cfg);
-        // Skil runtime errors panic inside the simulation (poisoning the
-        // machine); the panic propagates here with the diagnostic.
-        // Fault-plan failures (crash, retry exhaustion) surface as a
-        // structured SimFailure instead.
+        // Skil runtime errors (division by zero, out-of-bounds index)
+        // and fault-plan failures (crash, retry exhaustion) both surface
+        // as a structured SimFailure: a clean diagnostic and exit 3, no
+        // raw panic or backtrace.
         let run_result = match compiled.try_run_with(engine, &machine) {
             Ok(r) => r,
             Err(failure) => {

@@ -36,13 +36,25 @@ pub fn run_program(prog: &FoProgram, machine: &Machine) -> Run<Vec<String>> {
 }
 
 /// Run an instantiated program, surfacing simulated failures (fault-plan
-/// crashes, retry-budget give-ups, `PeerDown` cascades) as a structured
-/// `Err` instead of a panic or a hang.
+/// crashes, retry-budget give-ups, Skil runtime errors, `PeerDown`
+/// cascades) as a structured `Err` instead of a panic or a hang.
 pub fn try_run_program(
     prog: &FoProgram,
     machine: &Machine,
 ) -> Result<Run<Vec<String>>, skil_runtime::SimFailure> {
-    machine.try_run(|p| {
+    try_run_program_faults(prog, machine, None)
+}
+
+/// Like [`try_run_program`], with the machine's fault plan overridden
+/// for this run only (`None` keeps the configured plan). The serving
+/// layer uses this to attach per-request fault plans to pooled warm
+/// machines.
+pub fn try_run_program_faults(
+    prog: &FoProgram,
+    machine: &Machine,
+    faults: Option<&skil_runtime::FaultPlan>,
+) -> Result<Run<Vec<String>>, skil_runtime::SimFailure> {
+    machine.try_run_faults(faults, |p| {
         let mut interp = Interp { prog, proc: p, arrays: Vec::new(), output: Vec::new() };
         let main = prog.func("main").expect("instantiated program has main");
         debug_assert!(main.params.is_empty());

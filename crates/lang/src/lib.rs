@@ -82,13 +82,32 @@ pub use opt::{OptLevel, OptStats};
 pub use value::Value;
 
 /// Which execution engine runs an instantiated program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Engine {
     /// The AST walker — the reference engine.
     Ast,
     /// The bytecode VM — the fast engine, bit-identical virtual time.
     #[default]
     Vm,
+}
+
+impl Engine {
+    /// Parse a CLI/request spelling (`"ast"` / `"vm"`).
+    pub fn from_arg(s: &str) -> Option<Engine> {
+        match s {
+            "ast" => Some(Engine::Ast),
+            "vm" => Some(Engine::Vm),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling (`"ast"` / `"vm"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::Ast => "ast",
+            Engine::Vm => "vm",
+        }
+    }
 }
 
 /// A compiled Skil program: parsed, type-checked, instantiated, and
@@ -149,16 +168,31 @@ impl Compiled {
     }
 
     /// Execute like [`Compiled::run_with`], but surface simulated
-    /// failures (fault-plan crashes, retry-budget give-ups, `PeerDown`
-    /// cascades) as a structured `Err` instead of a panic.
+    /// failures (fault-plan crashes, retry-budget give-ups, Skil runtime
+    /// errors, `PeerDown` cascades) as a structured `Err` instead of a
+    /// panic.
     pub fn try_run_with(
         &self,
         engine: Engine,
         machine: &Machine,
     ) -> Result<Run<Vec<String>>, skil_runtime::SimFailure> {
+        self.try_run_faults(engine, machine, None)
+    }
+
+    /// Execute like [`Compiled::try_run_with`], with the machine's fault
+    /// plan overridden for this run only (`None` keeps the configured
+    /// plan). This is the serving layer's entry point: one compiled
+    /// program and one warm pooled machine serve many requests, each
+    /// carrying its own fault plan.
+    pub fn try_run_faults(
+        &self,
+        engine: Engine,
+        machine: &Machine,
+        faults: Option<&skil_runtime::FaultPlan>,
+    ) -> Result<Run<Vec<String>>, skil_runtime::SimFailure> {
         match engine {
-            Engine::Ast => interp::try_run_program(&self.fo, machine),
-            Engine::Vm => vm::try_run_program_vm(&self.fo, &self.code, machine),
+            Engine::Ast => interp::try_run_program_faults(&self.fo, machine, faults),
+            Engine::Vm => vm::try_run_program_vm_faults(&self.fo, &self.code, machine, faults),
         }
     }
 

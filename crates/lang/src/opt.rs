@@ -53,7 +53,7 @@ use crate::value::Value;
 
 /// How hard to optimize. `O0` returns `compile_program` output
 /// untouched; `O1` runs the local passes; `O2` adds leaf inlining.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum OptLevel {
     /// Raw `compile_program` bytecode.
     O0,

@@ -48,12 +48,25 @@ pub fn run_program_vm(prog: &FoProgram, code: &Program, machine: &Machine) -> Ru
 }
 
 /// Run a compiled program, surfacing simulated failures (fault-plan
-/// crashes, retry-budget give-ups, `PeerDown` cascades) as a structured
-/// `Err` instead of a panic or a hang.
+/// crashes, retry-budget give-ups, Skil runtime errors, `PeerDown`
+/// cascades) as a structured `Err` instead of a panic or a hang.
 pub fn try_run_program_vm(
     prog: &FoProgram,
     code: &Program,
     machine: &Machine,
+) -> Result<Run<Vec<String>>, skil_runtime::SimFailure> {
+    try_run_program_vm_faults(prog, code, machine, None)
+}
+
+/// Like [`try_run_program_vm`], with the machine's fault plan overridden
+/// for this run only (`None` keeps the configured plan). The serving
+/// layer uses this to attach per-request fault plans to pooled warm
+/// machines.
+pub fn try_run_program_vm_faults(
+    prog: &FoProgram,
+    code: &Program,
+    machine: &Machine,
+    faults: Option<&skil_runtime::FaultPlan>,
 ) -> Result<Run<Vec<String>>, skil_runtime::SimFailure> {
     let main = code.main.expect("instantiated program has main");
     assert_eq!(code.funcs[main].nparams, 0, "main takes no arguments");
@@ -61,7 +74,7 @@ pub fn try_run_program_vm(
     // the statically estimated kernel cost per element), so skeleton
     // argument functions run a charge-free view of the same code.
     let kcode = crate::opt::strip_charges(code);
-    machine.try_run(|p| {
+    machine.try_run_faults(faults, |p| {
         // resolve the symbolic pools against this machine's cost model,
         // once per run: the instruction stream itself never changes
         let cost = p.cost().clone();

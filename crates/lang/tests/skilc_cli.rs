@@ -184,3 +184,59 @@ fn emit_bytecode_prints_listing_and_stats() {
     // the optimized listing of this loop does fuse
     assert!(listing.contains("binstore") || listing.contains("jnz.cmp"), "{listing}");
 }
+
+/// `procId - procId` defeats constant folding, so the division really
+/// happens at run time under every engine and opt level.
+const DIV_ZERO: &str = "void main() { int z = procId - procId; print(100 / z); }";
+
+const OOB_INDEX: &str = "int initf(Index ix) { return 0; }\n\
+                         void main() {\n\
+                           array<int> a = array_create(1, {8,1}, {0,0}, {0-1,0-1}, initf, DISTR_DEFAULT);\n\
+                           int x = array_get_elem(a, {procId + 100, 0});\n\
+                           print(x);\n\
+                         }";
+
+/// A Skil runtime error must surface as a structured diagnostic and
+/// exit code 3 — not a raw Rust panic — under both engines.
+#[test]
+fn runtime_division_by_zero_is_structured_under_both_engines() {
+    let path = write_temp("div_zero.skil", DIV_ZERO);
+    for engine in ["ast", "vm"] {
+        let out = skilc()
+            .arg("--run")
+            .arg("--engine")
+            .arg(engine)
+            .arg(&path)
+            .output()
+            .expect("run skilc");
+        assert_eq!(out.status.code(), Some(3), "engine {engine}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("skilc: simulation aborted"), "engine {engine}: {stderr}");
+        assert!(stderr.contains("runtime error"), "engine {engine}: {stderr}");
+        assert!(stderr.contains("integer division by zero"), "engine {engine}: {stderr}");
+        assert!(!stderr.contains("panicked at"), "raw panic leaked ({engine}): {stderr}");
+        assert!(!stderr.contains("RUST_BACKTRACE"), "raw panic leaked ({engine}): {stderr}");
+    }
+}
+
+#[test]
+fn runtime_out_of_bounds_index_is_structured_under_both_engines() {
+    let path = write_temp("oob_index.skil", OOB_INDEX);
+    for engine in ["ast", "vm"] {
+        let out = skilc()
+            .arg("--run")
+            .arg("--engine")
+            .arg(engine)
+            .arg(&path)
+            .output()
+            .expect("run skilc");
+        assert_eq!(out.status.code(), Some(3), "engine {engine}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("runtime error"), "engine {engine}: {stderr}");
+        assert!(
+            stderr.contains("index [100, 0] outside array of size [8, 1]"),
+            "engine {engine}: {stderr}"
+        );
+        assert!(!stderr.contains("panicked at"), "raw panic leaked ({engine}): {stderr}");
+    }
+}

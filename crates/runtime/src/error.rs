@@ -75,9 +75,35 @@ impl From<WireError> for RtError {
     }
 }
 
-/// Why a processor went down mid-run (fault injection or delivery-layer
-/// give-up). Ordinary Rust panics in user code are *not* represented
-/// here — they still poison the machine and resume on the caller.
+/// Panic-message prefix that marks a *Skil-program* runtime error
+/// (division by zero, out-of-bounds index, a misused array handle).
+///
+/// Both language engines raise these deterministic program-level errors
+/// as string panics carrying this prefix; the machine's job wrapper
+/// recognizes the prefix and converts the unwind into a structured
+/// [`AbortCause::RuntimeError`] flowing through
+/// [`Machine::try_run`](crate::Machine::try_run) — the processor is
+/// marked down (blocked peers cascade as `PeerDown`) and the machine is
+/// *not* poisoned, so a long-lived embedder such as `skild` keeps
+/// serving from the same warm machine. Panics without the prefix remain
+/// genuine bugs: they poison the machine and re-raise on the caller.
+pub const RT_ERROR_PREFIX: &str = "skil runtime: ";
+
+/// If `payload` (a panic payload) is a Skil runtime error per the
+/// [`RT_ERROR_PREFIX`] contract, return its message with the prefix
+/// stripped.
+pub fn runtime_error_message(payload: &(dyn std::any::Any + Send)) -> Option<&str> {
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&'static str>().copied())?;
+    msg.strip_prefix(RT_ERROR_PREFIX)
+}
+
+/// Why a processor went down mid-run (fault injection, delivery-layer
+/// give-up, or a Skil-program runtime error). Ordinary Rust panics in
+/// user code are *not* represented here — they still poison the machine
+/// and resume on the caller.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AbortCause {
     /// The fault plan crashed this processor at the given virtual cycle.
@@ -101,6 +127,13 @@ pub enum AbortCause {
         /// The processor that went down first.
         peer: usize,
     },
+    /// The Skil program itself hit a deterministic runtime error
+    /// (division by zero, out-of-bounds index, …) on this processor.
+    /// See [`RT_ERROR_PREFIX`] for how engines raise these.
+    RuntimeError {
+        /// The diagnostic, without the [`RT_ERROR_PREFIX`].
+        what: String,
+    },
 }
 
 impl fmt::Display for AbortCause {
@@ -116,6 +149,9 @@ impl fmt::Display for AbortCause {
             ),
             AbortCause::PeerDown { peer } => {
                 write!(f, "PeerDown: processor {peer} went down mid-run")
+            }
+            AbortCause::RuntimeError { what } => {
+                write!(f, "Skil runtime error: {what}")
             }
         }
     }
@@ -165,7 +201,14 @@ impl SimFailure {
 
 impl fmt::Display for SimFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "simulation failed: PeerDown ({} processor(s) down)", self.aborts.len())?;
+        // Fault-model failures keep the historical "PeerDown" headline
+        // (the CI fault matrix greps for it); program-level runtime
+        // errors get an accurate one.
+        let label = match self.root().cause {
+            AbortCause::RuntimeError { .. } => "runtime error",
+            _ => "PeerDown",
+        };
+        writeln!(f, "simulation failed: {label} ({} processor(s) down)", self.aborts.len())?;
         for a in &self.aborts {
             writeln!(f, "  {a}")?;
         }
@@ -232,5 +275,38 @@ mod tests {
         let c = AbortCause::RetryExhausted { dst: 2, tag: 7, attempts: 17 };
         let s = c.to_string();
         assert!(s.contains("processor 2") && s.contains("17 attempts"), "{s}");
+    }
+
+    #[test]
+    fn runtime_error_payloads_are_recognized() {
+        // Both payload shapes a `panic!` can produce: a formatted String
+        // and a `&'static str` literal.
+        let s: Box<dyn std::any::Any + Send> =
+            Box::new(format!("{RT_ERROR_PREFIX}integer division by zero"));
+        assert_eq!(runtime_error_message(&*s), Some("integer division by zero"));
+        let l: Box<dyn std::any::Any + Send> = Box::new("skil runtime: negative index");
+        assert_eq!(runtime_error_message(&*l), Some("negative index"));
+        // Unprefixed panics are genuine bugs, not runtime errors.
+        let other: Box<dyn std::any::Any + Send> = Box::new("some unrelated panic".to_string());
+        assert_eq!(runtime_error_message(&*other), None);
+        let non_string: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(runtime_error_message(&*non_string), None);
+    }
+
+    #[test]
+    fn runtime_error_failure_display_names_the_error() {
+        let f = SimFailure {
+            aborts: vec![
+                SimAbort { proc: 1, cause: AbortCause::PeerDown { peer: 0 } },
+                SimAbort {
+                    proc: 0,
+                    cause: AbortCause::RuntimeError { what: "integer division by zero".into() },
+                },
+            ],
+        };
+        let s = f.to_string();
+        assert!(s.contains("runtime error"), "{s}");
+        assert!(s.contains("root cause: processor 0: Skil runtime error"), "{s}");
+        assert!(s.contains("integer division by zero"), "{s}");
     }
 }

@@ -46,7 +46,9 @@ pub mod topology;
 pub mod wire;
 
 pub use cost::CostModel;
-pub use error::{AbortCause, RtError, SimAbort, SimFailure, WireError};
+pub use error::{
+    runtime_error_message, AbortCause, RtError, SimAbort, SimFailure, WireError, RT_ERROR_PREFIX,
+};
 pub use fault::{Fate, FaultPlan};
 pub use machine::{Machine, MachineConfig, Run, SchedulerKind};
 pub use proc::{Proc, SpanStart};

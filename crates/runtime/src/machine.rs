@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use crate::coro::{self, StackPool, Task, TaskBody, TaskFrame};
 use crate::cost::CostModel;
-use crate::error::{RtError, SimAbort, SimFailure};
+use crate::error::{runtime_error_message, AbortCause, RtError, SimAbort, SimFailure};
 use crate::fault::FaultPlan;
 use crate::mailbox::{Gate, Mailbox};
 use crate::proc::{Proc, Shared};
@@ -292,19 +292,26 @@ impl Machine {
         R: Send,
         F: Fn(&mut Proc<'_>) -> R + Sync,
     {
-        // SimAbort unwinds are deterministic control flow, not errors:
-        // keep the default panic hook from printing "Box<dyn Any>" plus
-        // a backtrace for every simulated crash. Installed once,
-        // delegating everything else to the previous hook.
-        static QUIET_ABORTS: std::sync::Once = std::sync::Once::new();
-        QUIET_ABORTS.call_once(|| {
-            let prev = std::panic::take_hook();
-            std::panic::set_hook(Box::new(move |info| {
-                if info.payload().downcast_ref::<SimAbort>().is_none() {
-                    prev(info);
-                }
-            }));
-        });
+        self.try_run_faults(None, program)
+    }
+
+    /// Like [`try_run`](Machine::try_run), but with the fault plan
+    /// overridden for this run only. `None` uses the plan the machine
+    /// was configured with. A warm machine can therefore be reused
+    /// across requests that carry different fault plans — the serving
+    /// layer's machine pool depends on this: every run builds its
+    /// mailboxes, stats, and abort flags from scratch, so nothing of a
+    /// previous run (or its plan) can leak into the next one.
+    pub fn try_run_faults<R, F>(
+        &self,
+        faults: Option<&FaultPlan>,
+        program: F,
+    ) -> Result<Run<R>, SimFailure>
+    where
+        R: Send,
+        F: Fn(&mut Proc<'_>) -> R + Sync,
+    {
+        install_quiet_panic_hook();
         let n = self.nprocs();
         let sched = match &self.backend {
             Backend::Event { workers, .. } => Some(Arc::new(EventSched::new(n, *workers))),
@@ -317,7 +324,7 @@ impl Machine {
             deadlock_timeout: self.cfg.deadlock_timeout,
             mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
             poison: std::sync::atomic::AtomicBool::new(false),
-            faults: self.cfg.faults.clone(),
+            faults: faults.unwrap_or(&self.cfg.faults).clone(),
             downs: (0..n).map(|_| std::sync::atomic::AtomicBool::new(false)).collect(),
             down_causes: Mutex::new(vec![None; n]),
             gate: match &self.backend {
@@ -344,10 +351,21 @@ impl Machine {
                         shared.mark_down(id, abort.cause.clone());
                         Err(JobFail::Abort(*abort))
                     }
-                    // A genuine bug in user code: poison.
                     Err(payload) => {
-                        shared.poison_all();
-                        Err(JobFail::Panic(payload))
+                        // A Skil-program runtime error (the
+                        // `RT_ERROR_PREFIX` contract): structured, like
+                        // a fault-model abort. Peers blocked on this
+                        // processor cascade as `PeerDown`; the machine
+                        // stays reusable.
+                        if let Some(what) = runtime_error_message(&*payload) {
+                            let cause = AbortCause::RuntimeError { what: what.to_string() };
+                            shared.mark_down(id, cause.clone());
+                            Err(JobFail::Abort(SimAbort { proc: id, cause }))
+                        } else {
+                            // A genuine bug in user code: poison.
+                            shared.poison_all();
+                            Err(JobFail::Panic(payload))
+                        }
                     }
                 },
             };
@@ -485,6 +503,36 @@ impl Machine {
             },
         })
     }
+}
+
+/// Install (once, process-wide) a panic-hook *filter* that silences the
+/// deterministic unwinds the simulator uses for control flow — the
+/// structured [`SimAbort`] payloads of fault-model crashes and the
+/// [`RT_ERROR_PREFIX`](crate::error::RT_ERROR_PREFIX)-tagged Skil
+/// runtime errors — and chains every other panic to whatever hook was
+/// installed before. `std::sync::Once` makes the installation
+/// idempotent and race-free: concurrent embedders (the `skild` request
+/// workers, parallel tests) cannot double-install it or lose a user
+/// hook to a take/set race, and a hook the user installs *afterwards*
+/// still wins because this filter is only ever installed beneath it
+/// once.
+fn install_quiet_panic_hook() {
+    static QUIET_ABORTS: std::sync::Once = std::sync::Once::new();
+    QUIET_ABORTS.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let simulated = payload.downcast_ref::<SimAbort>().is_some()
+                || payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&'static str>().copied())
+                    .is_some_and(|m| m.starts_with(crate::error::RT_ERROR_PREFIX));
+            if !simulated {
+                prev(info);
+            }
+        }));
+    });
 }
 
 /// Lock a mutex, ignoring poisoning (worker state stays consistent; the
@@ -1151,6 +1199,121 @@ mod tests {
             "structural detection must not wait out the timeout, took {:?}",
             start.elapsed()
         );
+    }
+
+    #[test]
+    fn runtime_error_is_structured_and_does_not_poison() {
+        use crate::error::{AbortCause, RT_ERROR_PREFIX};
+        // Proc 0 hits a Skil runtime error; proc 1 is blocked on it.
+        // Expected: a structured RuntimeError root with a PeerDown
+        // cascade — no poison, no hang, and the machine stays usable.
+        let start = std::time::Instant::now();
+        let m =
+            Machine::new(MachineConfig::mesh(1, 2).unwrap().with_timeout(Duration::from_secs(600)));
+        let failure = m
+            .try_run(|p| {
+                if p.id() == 0 {
+                    p.charge(100);
+                    panic!("{RT_ERROR_PREFIX}integer division by zero");
+                } else {
+                    let _: u8 = p.recv(0, 1);
+                }
+            })
+            .expect_err("runtime error must fail the run");
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "peers must cascade promptly without a fault plan, took {:?}",
+            start.elapsed()
+        );
+        assert_eq!(failure.root().proc, 0);
+        assert!(matches!(
+            &failure.root().cause,
+            AbortCause::RuntimeError { what } if what == "integer division by zero"
+        ));
+        assert!(failure
+            .aborts
+            .iter()
+            .any(|a| a.proc == 1 && matches!(a.cause, AbortCause::PeerDown { peer: 0 })));
+        let s = failure.to_string();
+        assert!(s.contains("runtime error"), "{s}");
+
+        // The machine is not poisoned: the very next run on the same
+        // warm machine completes with correct results.
+        let ok = m.run(|p| {
+            if p.id() == 0 {
+                p.send(1, 7, &9u8);
+                0
+            } else {
+                p.recv::<u8>(0, 7)
+            }
+        });
+        assert_eq!(ok.results, vec![0, 9]);
+    }
+
+    #[test]
+    fn warm_machine_reuse_is_bit_identical() {
+        // The pool contract: run → run again on the same machine and
+        // nothing (results, virtual time, per-proc stats) may differ —
+        // every run builds its mailboxes/stats/flags from scratch.
+        let program = |p: &mut Proc<'_>| {
+            p.charge(100 * (p.id() as u64 + 1));
+            let next = (p.id() + 1) % p.nprocs();
+            let prev = (p.id() + p.nprocs() - 1) % p.nprocs();
+            p.send(next, 9, &(p.id() as u64));
+            let got: u64 = p.recv(prev, 9);
+            p.charge(50);
+            got
+        };
+        for kind in [SchedulerKind::Event, SchedulerKind::Threads] {
+            let m = Machine::new(MachineConfig::mesh(2, 2).unwrap().with_scheduler(kind));
+            let a = m.run(program);
+            let b = m.run(program);
+            assert_eq!(a.results, b.results);
+            assert_eq!(a.report.sim_cycles, b.report.sim_cycles);
+            for (pa, pb) in a.report.procs.iter().zip(&b.report.procs) {
+                assert_eq!(pa.finished_at, pb.finished_at);
+                assert_eq!(pa.stats, pb.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn per_run_fault_plan_override_beats_the_configured_plan() {
+        use crate::error::AbortCause;
+        // Machine configured fault-free; the override carries a crash.
+        let m = Machine::new(MachineConfig::mesh(1, 2).unwrap());
+        let plan = FaultPlan::seeded(9).with_crash(0, 1000);
+        let program = |p: &mut Proc<'_>| {
+            if p.id() == 0 {
+                p.charge(5_000);
+                p.send(1, 1, &1u8);
+            } else {
+                let _: u8 = p.recv(0, 1);
+            }
+        };
+        let failure = m.try_run_faults(Some(&plan), program).expect_err("override crashes");
+        assert!(matches!(failure.root().cause, AbortCause::Crashed { cycle: 1000 }));
+        // And with no override the machine's own (fault-free) plan runs.
+        m.try_run_faults(None, program).expect("fault-free run succeeds");
+    }
+
+    #[test]
+    fn user_panic_hooks_installed_after_ours_still_fire() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Force our filter hook in first.
+        Machine::new(MachineConfig::procs(1).unwrap()).run(|_| ());
+        static FIRED: AtomicUsize = AtomicUsize::new(0);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            // Count only this test's panic: parallel tests may panic
+            // while this hook is temporarily installed.
+            if info.payload().downcast_ref::<&'static str>() == Some(&"user-level hook probe") {
+                FIRED.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+        let _ = catch_unwind(|| panic!("user-level hook probe"));
+        std::panic::set_hook(prev);
+        assert_eq!(FIRED.load(Ordering::SeqCst), 1, "a later user hook must not be lost");
     }
 
     #[test]

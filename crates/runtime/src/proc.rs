@@ -41,8 +41,10 @@ pub(crate) struct Shared {
     /// layer is bypassed entirely).
     pub(crate) faults: FaultPlan,
     /// Per-processor down flags, set when a processor aborts for a
-    /// simulated (fault-model) reason. Receivers blocked on a down peer
-    /// abort with a structured `PeerDown` instead of deadlocking.
+    /// simulated reason — a fault-model crash/give-up *or* a Skil
+    /// runtime error. Receivers blocked on a down peer abort with a
+    /// structured `PeerDown` instead of deadlocking, with or without an
+    /// active fault plan.
     pub(crate) downs: Vec<AtomicBool>,
     /// Why each down processor went down (diagnostics for `SimFailure`).
     pub(crate) down_causes: Mutex<Vec<Option<AbortCause>>>,
@@ -500,9 +502,13 @@ impl<'m> Proc<'m> {
         // Borrow the wait flags straight off the `'m`-lived shared state
         // so `ctl` stays usable while the loop mutates `self`.
         let shared: &'m Shared = self.shared;
+        // Down-propagation is unconditional (not gated on the fault
+        // plan): a Skil runtime error can down a processor in any run,
+        // and its blocked peers must cascade as `PeerDown` rather than
+        // sit out the deadlock timeout.
         let ctl = WaitCtl {
             poison: &shared.poison,
-            src_down: if self.faults_active { Some(&shared.downs[src]) } else { None },
+            src_down: Some(&shared.downs[src]),
             deadline: shared.deadlock_timeout,
             gate: shared.gate.as_deref(),
         };
@@ -591,7 +597,7 @@ impl<'m> Proc<'m> {
             if let Some(env) = mb.try_take(src, tag) {
                 return RecvOutcome::Message(env);
             }
-            if self.faults_active && shared.downs[src].load(Ordering::Acquire) {
+            if shared.downs[src].load(Ordering::Acquire) {
                 return RecvOutcome::PeerDown;
             }
             if shared.poison.load(Ordering::Acquire) {

@@ -1,0 +1,689 @@
+//! # skil-serve
+//!
+//! The **Skil serving layer**: a persistent in-process server that
+//! compiles Skil programs once and runs them many times on a pool of
+//! warm simulated machines (DESIGN.md §14).
+//!
+//! Three pieces:
+//!
+//! - a **compiled-program cache** keyed by
+//!   `(source hash, cost model, opt level, engine)` — re-submitting the
+//!   same program skips the whole front end;
+//! - a **warm-[`Machine`] pool** keyed by mesh shape — worker threads
+//!   and coroutine stacks are reused across requests, and per-request
+//!   fault plans ride on [`Compiled::try_run_faults`] so machines with
+//!   different fault plans share one pool entry;
+//! - a **structured request/response protocol** (JSON lines, see
+//!   [`Server::handle_line`]) in which *every* failure — parse error,
+//!   type error, Skil runtime error, injected crash — is a JSON error
+//!   response, never a dead daemon.
+//!
+//! The safety story for reuse: `Machine::try_run*` builds fresh mailbox
+//! and stats state per run, structured failures
+//! ([`skil_runtime::SimFailure`]) leave the machine clean, and a
+//! genuine engine panic is caught by the server, reported as an
+//! `internal` error, and the affected machine is *discarded* instead of
+//! returned to the pool.
+//!
+//! ```
+//! use skil_serve::Server;
+//!
+//! let server = Server::new();
+//! let resp = server.handle_line(
+//!     r#"{"id":"a","program":"void main() { if (procId == 0) { print(40 + 2); } }"}"#,
+//! );
+//! assert!(resp.contains("\"ok\":true"));
+//! assert!(resp.contains("\"42\""));
+//! // Same source again: served from the compiled-program cache.
+//! server.handle_line(r#"{"program":"void main() { if (procId == 0) { print(40 + 2); } }"}"#);
+//! assert_eq!(server.stats().compile_hits, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use json::{obj, Json};
+use skil_lang::{compile_opt, Compiled, Engine, OptLevel};
+use skil_runtime::{FaultPlan, Machine, MachineConfig, Run};
+
+/// Compiled-program cache key. The cost model is part of the key per
+/// the serving contract — today every pooled machine uses the T800
+/// model, but a cached program must never outlive the model its cycles
+/// were validated against. The engine is included for the same
+/// forward-compatibility reason (both engines currently share one
+/// bytecode image).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ProgramKey {
+    src_hash: u64,
+    cost_model: &'static str,
+    opt_level: OptLevel,
+    engine: Engine,
+}
+
+/// FNV-1a over the program source: stable, dependency-free, and cheap
+/// relative to parsing.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The cost model every pooled machine runs — [`MachineConfig::mesh`]'s
+/// default.
+const COST_MODEL: &str = "t800";
+
+/// A parsed, validated run request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Opaque client id, echoed in the response (optional).
+    pub id: Option<String>,
+    /// Skil source text.
+    pub program: String,
+    /// Mesh shape.
+    pub mesh: (usize, usize),
+    /// Execution engine.
+    pub engine: Engine,
+    /// Bytecode optimizer level.
+    pub opt_level: OptLevel,
+    /// Per-request fault plan (`None` = fault-free).
+    pub faults: Option<FaultPlan>,
+}
+
+impl Request {
+    /// A fault-free default-engine request for `program` on a 2x2 mesh.
+    pub fn program(src: &str) -> Request {
+        Request {
+            id: None,
+            program: src.to_string(),
+            mesh: (2, 2),
+            engine: Engine::Vm,
+            opt_level: OptLevel::default(),
+            faults: None,
+        }
+    }
+
+    /// Parse the JSON-object form of a request. Unknown fields are
+    /// rejected so client typos fail loudly instead of silently running
+    /// with defaults.
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        let Json::Obj(map) = v else {
+            return Err("request must be a JSON object".to_string());
+        };
+        for key in map.keys() {
+            if !matches!(
+                key.as_str(),
+                "id" | "program" | "mesh" | "engine" | "opt_level" | "faults"
+            ) {
+                return Err(format!("unknown request field \"{key}\""));
+            }
+        }
+        let id = match map.get("id") {
+            None => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(_) => return Err("\"id\" must be a string".to_string()),
+        };
+        let program = match map.get("program") {
+            Some(Json::Str(s)) => s.clone(),
+            Some(_) => return Err("\"program\" must be a string".to_string()),
+            None => return Err("missing \"program\"".to_string()),
+        };
+        let mesh = match map.get("mesh") {
+            None => (2, 2),
+            Some(Json::Str(spec)) => parse_mesh(spec)?,
+            Some(_) => return Err("\"mesh\" must be a string like \"2x2\"".to_string()),
+        };
+        let engine = match map.get("engine") {
+            None => Engine::Vm,
+            Some(Json::Str(s)) => {
+                Engine::from_arg(s).ok_or(format!("bad \"engine\" \"{s}\" (ast|vm)"))?
+            }
+            Some(_) => return Err("\"engine\" must be \"ast\" or \"vm\"".to_string()),
+        };
+        let opt_level = match map.get("opt_level") {
+            None => OptLevel::default(),
+            Some(v) => {
+                let n = v.as_u64().ok_or("\"opt_level\" must be 0, 1, or 2")?;
+                OptLevel::from_arg(&n.to_string()).ok_or("\"opt_level\" must be 0, 1, or 2")?
+            }
+        };
+        let faults = match map.get("faults") {
+            None => None,
+            Some(Json::Str(spec)) => {
+                Some(FaultPlan::parse(spec).map_err(|e| format!("bad \"faults\" spec: {e}"))?)
+            }
+            Some(_) => return Err("\"faults\" must be a fault-spec string".to_string()),
+        };
+        Ok(Request { id, program, mesh, engine, opt_level, faults })
+    }
+}
+
+/// Parse `"RxC"` into a mesh shape.
+fn parse_mesh(spec: &str) -> Result<(usize, usize), String> {
+    let err = || format!("bad mesh \"{spec}\" (want ROWSxCOLS, e.g. \"2x2\")");
+    let (r, c) = spec.split_once('x').ok_or_else(err)?;
+    let r: usize = r.parse().map_err(|_| err())?;
+    let c: usize = c.parse().map_err(|_| err())?;
+    if r == 0 || c == 0 {
+        return Err(err());
+    }
+    Ok((r, c))
+}
+
+/// Why a request failed. The `kind` tags let clients (and the CI smoke
+/// test) distinguish their own bad input from program bugs from server
+/// bugs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed JSON or invalid request fields.
+    BadRequest,
+    /// The program did not compile (parse/type/instantiation error).
+    Compile,
+    /// The simulation aborted with a structured failure: a Skil runtime
+    /// error (division by zero, out-of-bounds index), an injected
+    /// crash, or the resulting `PeerDown` cascade.
+    Runtime,
+    /// The engine itself panicked — a server bug. The machine involved
+    /// is discarded, the daemon keeps serving.
+    Internal,
+}
+
+impl ErrorKind {
+    fn as_str(&self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Compile => "compile",
+            ErrorKind::Runtime => "runtime",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// The outcome of one request.
+#[derive(Debug)]
+pub enum Response {
+    /// The program ran to completion.
+    Ok {
+        /// Echoed request id.
+        id: Option<String>,
+        /// The completed run (per-processor output lines + report).
+        run: Run<Vec<String>>,
+        /// Whether the compiled program came from the cache.
+        cache_hit: bool,
+        /// Whether the machine came warm from the pool.
+        warm_machine: bool,
+    },
+    /// The request failed; the daemon is still healthy.
+    Err {
+        /// Echoed request id.
+        id: Option<String>,
+        /// Which layer rejected it.
+        kind: ErrorKind,
+        /// Human-readable diagnostic.
+        message: String,
+    },
+    /// Reply to a `{"cmd":"stats"}` control request.
+    Stats(StatsSnapshot),
+}
+
+impl Response {
+    /// Serialize to one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        match self {
+            Response::Ok { id, run, cache_hit, warm_machine } => {
+                let results = Json::Arr(
+                    run.results
+                        .iter()
+                        .map(|lines| {
+                            Json::Arr(lines.iter().map(|l| Json::Str(l.clone())).collect())
+                        })
+                        .collect(),
+                );
+                let procs = Json::Arr(
+                    run.report
+                        .procs
+                        .iter()
+                        .map(|p| {
+                            let s = &p.stats;
+                            obj(vec![
+                                ("compute", Json::Num(s.compute as f64)),
+                                ("wait", Json::Num(s.wait as f64)),
+                                ("sends", Json::Num(s.sends as f64)),
+                                ("recvs", Json::Num(s.recvs as f64)),
+                                ("bytes_sent", Json::Num(s.bytes_sent as f64)),
+                                ("bytes_recvd", Json::Num(s.bytes_recvd as f64)),
+                                ("retries", Json::Num(s.retries as f64)),
+                                ("drops", Json::Num(s.drops as f64)),
+                                ("dups", Json::Num(s.dups as f64)),
+                                ("delays", Json::Num(s.delays as f64)),
+                            ])
+                        })
+                        .collect(),
+                );
+                let mut pairs = vec![("ok", Json::Bool(true))];
+                if let Some(id) = id {
+                    pairs.push(("id", Json::Str(id.clone())));
+                }
+                pairs.push(("results", results));
+                pairs.push(("sim_cycles", Json::Num(run.report.sim_cycles as f64)));
+                pairs.push(("sim_seconds", Json::Num(run.report.sim_seconds)));
+                pairs.push(("procs", procs));
+                pairs.push(("cache", Json::Str(if *cache_hit { "hit" } else { "miss" }.into())));
+                pairs.push((
+                    "machine",
+                    Json::Str(if *warm_machine { "warm" } else { "cold" }.into()),
+                ));
+                obj(pairs).to_string()
+            }
+            Response::Err { id, kind, message } => {
+                let mut pairs = vec![("ok", Json::Bool(false))];
+                if let Some(id) = id {
+                    pairs.push(("id", Json::Str(id.clone())));
+                }
+                pairs.push((
+                    "error",
+                    obj(vec![
+                        ("kind", Json::Str(kind.as_str().into())),
+                        ("message", Json::Str(message.clone())),
+                    ]),
+                ));
+                obj(pairs).to_string()
+            }
+            Response::Stats(s) => s.to_json().to_string(),
+        }
+    }
+}
+
+/// Monotonic serving counters (all `Relaxed`: totals, not ordering).
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    compile_hits: AtomicU64,
+    compile_misses: AtomicU64,
+    machines_warm: AtomicU64,
+    machines_cold: AtomicU64,
+    machines_discarded: AtomicU64,
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct StatsSnapshot {
+    pub requests: u64,
+    pub ok: u64,
+    pub errors: u64,
+    pub compile_hits: u64,
+    pub compile_misses: u64,
+    pub machines_warm: u64,
+    pub machines_cold: u64,
+    pub machines_discarded: u64,
+}
+
+impl StatsSnapshot {
+    /// Fraction of compile lookups served from the cache (1.0 when
+    /// there were none).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.compile_hits + self.compile_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.compile_hits as f64 / total as f64
+        }
+    }
+
+    fn to_json(self) -> Json {
+        obj(vec![
+            ("ok", Json::Bool(true)),
+            (
+                "stats",
+                obj(vec![
+                    ("requests", Json::Num(self.requests as f64)),
+                    ("ok", Json::Num(self.ok as f64)),
+                    ("errors", Json::Num(self.errors as f64)),
+                    ("compile_hits", Json::Num(self.compile_hits as f64)),
+                    ("compile_misses", Json::Num(self.compile_misses as f64)),
+                    ("machines_warm", Json::Num(self.machines_warm as f64)),
+                    ("machines_cold", Json::Num(self.machines_cold as f64)),
+                    ("machines_discarded", Json::Num(self.machines_discarded as f64)),
+                    ("cache_hit_rate", Json::Num(self.cache_hit_rate())),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// The serving core: program cache + machine pool + counters. Shared
+/// across request threads behind an `Arc`; all interior state is
+/// synchronized.
+pub struct Server {
+    programs: Mutex<HashMap<ProgramKey, Arc<Compiled>>>,
+    pool: Mutex<HashMap<(usize, usize), Vec<Machine>>>,
+    counters: Counters,
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The machine pool hands machines across threads; this pins the
+/// `Send` bound the pool relies on at compile time.
+fn _machines_cross_threads(m: Machine) -> impl Send {
+    m
+}
+
+impl Server {
+    /// An empty server: no cached programs, no warm machines.
+    pub fn new() -> Server {
+        Server {
+            programs: Mutex::new(HashMap::new()),
+            pool: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Handle one raw JSONL request line, returning one response line
+    /// (without the newline). Never panics: anything wrong with the
+    /// line, the program, or the run becomes a structured error
+    /// response.
+    pub fn handle_line(&self, line: &str) -> String {
+        let parsed = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                return Response::Err {
+                    id: None,
+                    kind: ErrorKind::BadRequest,
+                    message: format!("bad JSON: {e}"),
+                }
+                .to_json_line();
+            }
+        };
+        if parsed.get("cmd").and_then(Json::as_str) == Some("stats") {
+            return Response::Stats(self.stats()).to_json_line();
+        }
+        let id = parsed.get("id").and_then(Json::as_str).map(str::to_string);
+        let request = match Request::from_json(&parsed) {
+            Ok(r) => r,
+            Err(message) => {
+                self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                return Response::Err { id, kind: ErrorKind::BadRequest, message }.to_json_line();
+            }
+        };
+        self.handle(request).to_json_line()
+    }
+
+    /// Handle one parsed request.
+    pub fn handle(&self, req: Request) -> Response {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let resp = self.run_request(&req);
+        match &resp {
+            Response::Ok { .. } => self.counters.ok.fetch_add(1, Ordering::Relaxed),
+            _ => self.counters.errors.fetch_add(1, Ordering::Relaxed),
+        };
+        resp
+    }
+
+    fn run_request(&self, req: &Request) -> Response {
+        let id = req.id.clone();
+        let (compiled, cache_hit) = match self.compile_cached(req) {
+            Ok(pair) => pair,
+            Err(message) => {
+                return Response::Err { id, kind: ErrorKind::Compile, message };
+            }
+        };
+        let (machine, warm_machine) = match self.checkout_machine(req.mesh) {
+            Ok(pair) => pair,
+            Err(message) => {
+                return Response::Err { id, kind: ErrorKind::BadRequest, message };
+            }
+        };
+        // A structured failure (Err) leaves the machine clean — mailbox
+        // and stats state is rebuilt per run — so it goes back to the
+        // pool either way. Only a genuine panic unwinding out of the
+        // engine discards it.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            compiled.try_run_faults(req.engine, &machine, req.faults.as_ref())
+        }));
+        match outcome {
+            Ok(Ok(run)) => {
+                self.checkin_machine(req.mesh, machine);
+                Response::Ok { id, run, cache_hit, warm_machine }
+            }
+            Ok(Err(failure)) => {
+                self.checkin_machine(req.mesh, machine);
+                Response::Err { id, kind: ErrorKind::Runtime, message: failure.to_string() }
+            }
+            Err(payload) => {
+                drop(machine);
+                self.counters.machines_discarded.fetch_add(1, Ordering::Relaxed);
+                let what = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&'static str>().copied())
+                    .unwrap_or("non-string panic payload");
+                Response::Err {
+                    id,
+                    kind: ErrorKind::Internal,
+                    message: format!("engine panicked: {what}"),
+                }
+            }
+        }
+    }
+
+    /// Look the program up in the cache, compiling on a miss.
+    fn compile_cached(&self, req: &Request) -> Result<(Arc<Compiled>, bool), String> {
+        let key = ProgramKey {
+            src_hash: fnv1a64(req.program.as_bytes()),
+            cost_model: COST_MODEL,
+            opt_level: req.opt_level,
+            engine: req.engine,
+        };
+        if let Some(hit) = self.programs.lock().unwrap().get(&key) {
+            self.counters.compile_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(hit), true));
+        }
+        // Compile outside the lock: a slow compile must not stall
+        // cache hits on other threads. Two threads may race to compile
+        // the same program; the second insert wins harmlessly.
+        let compiled =
+            Arc::new(compile_opt(&req.program, req.opt_level).map_err(|e| e.to_string())?);
+        self.counters.compile_misses.fetch_add(1, Ordering::Relaxed);
+        self.programs.lock().unwrap().insert(key, Arc::clone(&compiled));
+        Ok((compiled, false))
+    }
+
+    /// Take a warm machine for `mesh` from the pool, or build a cold
+    /// one. The returned bool is `true` for warm.
+    fn checkout_machine(&self, mesh: (usize, usize)) -> Result<(Machine, bool), String> {
+        if let Some(m) = self.pool.lock().unwrap().get_mut(&mesh).and_then(Vec::pop) {
+            self.counters.machines_warm.fetch_add(1, Ordering::Relaxed);
+            return Ok((m, true));
+        }
+        let cfg = MachineConfig::mesh(mesh.0, mesh.1)
+            .map_err(|e| format!("bad mesh {}x{}: {e}", mesh.0, mesh.1))?;
+        self.counters.machines_cold.fetch_add(1, Ordering::Relaxed);
+        Ok((Machine::new(cfg), false))
+    }
+
+    /// Return a machine to the pool for reuse.
+    fn checkin_machine(&self, mesh: (usize, usize), machine: Machine) {
+        self.pool.lock().unwrap().entry(mesh).or_default().push(machine);
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let c = &self.counters;
+        StatsSnapshot {
+            requests: c.requests.load(Ordering::Relaxed),
+            ok: c.ok.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            compile_hits: c.compile_hits.load(Ordering::Relaxed),
+            compile_misses: c.compile_misses.load(Ordering::Relaxed),
+            machines_warm: c.machines_warm.load(Ordering::Relaxed),
+            machines_cold: c.machines_cold.load(Ordering::Relaxed),
+            machines_discarded: c.machines_discarded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of idle warm machines currently pooled (tests).
+    pub fn pooled_machines(&self) -> usize {
+        self.pool.lock().unwrap().values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HELLO: &str = "void main() { if (procId == 0) { print(procId + 7); } }";
+
+    /// A communicating program: distributed array fold, result 120.
+    const FOLD: &str = "int initf(Index ix) { return ix[0] + ix[1]; } \
+                        int conv(int v, Index ix) { return v; } \
+                        void main() { \
+                          array<int> a = array_create(1, {16,1}, {0,0}, {0-1,0-1}, initf, DISTR_DEFAULT); \
+                          int total = array_fold(conv, (+), a); \
+                          if (procId == 0) { print(total); } \
+                        }";
+
+    #[test]
+    fn caches_compiles_and_reuses_machines() {
+        let server = Server::new();
+        for round in 0..3 {
+            let resp = server.handle(Request::program(HELLO));
+            let Response::Ok { run, cache_hit, warm_machine, .. } = resp else {
+                panic!("round {round} failed");
+            };
+            assert_eq!(run.results[0], vec!["7".to_string()]);
+            assert_eq!(cache_hit, round > 0, "round {round}");
+            assert_eq!(warm_machine, round > 0, "round {round}");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.compile_misses, 1);
+        assert_eq!(stats.compile_hits, 2);
+        assert_eq!(stats.machines_cold, 1);
+        assert_eq!(stats.machines_warm, 2);
+        assert_eq!(server.pooled_machines(), 1);
+    }
+
+    #[test]
+    fn opt_level_and_engine_key_the_cache_separately() {
+        let server = Server::new();
+        for (engine, level) in
+            [(Engine::Vm, OptLevel::O2), (Engine::Vm, OptLevel::O0), (Engine::Ast, OptLevel::O2)]
+        {
+            let req = Request { engine, opt_level: level, ..Request::program(HELLO) };
+            assert!(matches!(server.handle(req), Response::Ok { cache_hit: false, .. }));
+        }
+        assert_eq!(server.stats().compile_misses, 3);
+    }
+
+    #[test]
+    fn runtime_errors_are_structured_and_keep_the_machine_warm() {
+        let server = Server::new();
+        // `procId - procId` defeats constant folding, so proc 0 really
+        // divides by zero at run time in both engines.
+        let faulty = "void main() { int z = procId - procId; print(100 / z); }";
+        for engine in [Engine::Ast, Engine::Vm] {
+            let req = Request { engine, ..Request::program(faulty) };
+            let Response::Err { kind, message, .. } = server.handle(req) else {
+                panic!("expected a runtime error ({engine:?})");
+            };
+            assert_eq!(kind, ErrorKind::Runtime, "{engine:?}");
+            assert!(message.contains("division by zero"), "{engine:?}: {message}");
+        }
+        // The failing runs must not have poisoned the pooled machine.
+        assert_eq!(server.stats().machines_discarded, 0);
+        let resp = server.handle(Request::program(HELLO));
+        assert!(matches!(resp, Response::Ok { warm_machine: true, .. }));
+    }
+
+    #[test]
+    fn crash_fault_plans_ride_per_request() {
+        let server = Server::new();
+        let crash = Request {
+            faults: Some(FaultPlan::parse("seed=7,crash=3@50").unwrap()),
+            ..Request::program(FOLD)
+        };
+        let Response::Err { kind, message, .. } = server.handle(crash) else {
+            panic!("crash plan should abort the run");
+        };
+        assert_eq!(kind, ErrorKind::Runtime);
+        assert!(message.contains("crash"), "{message}");
+        // Same machine, fault-free request: clean run, warm machine.
+        let resp = server.handle(Request::program(FOLD));
+        let Response::Ok { run, warm_machine, .. } = resp else {
+            panic!("fault-free follow-up should succeed");
+        };
+        assert!(warm_machine);
+        assert_eq!(run.results[0], vec!["120".to_string()]);
+    }
+
+    #[test]
+    fn bad_requests_and_bad_programs_are_rejected_cleanly() {
+        let server = Server::new();
+        let cases = [
+            ("{not json", "bad_request"),
+            (r#"{"program":"void main() {}","mesh":"0x4"}"#, "bad_request"),
+            (r#"{"program":"void main() {}","engine":"jit"}"#, "bad_request"),
+            (r#"{"program":"void main() {}","bogus":1}"#, "bad_request"),
+            (r#"{"mesh":"2x2"}"#, "bad_request"),
+            (r#"{"program":"int main() { return notdefined; }"}"#, "compile"),
+        ];
+        for (line, want_kind) in cases {
+            let resp = server.handle_line(line);
+            assert!(resp.contains("\"ok\":false"), "{line} -> {resp}");
+            assert!(resp.contains(&format!("\"kind\":\"{want_kind}\"")), "{line} -> {resp}");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.requests, cases.len() as u64);
+        assert_eq!(stats.errors, cases.len() as u64);
+    }
+
+    #[test]
+    fn stats_command_reports_counters_as_json() {
+        let server = Server::new();
+        server.handle(Request::program(HELLO));
+        let resp = server.handle_line(r#"{"cmd":"stats"}"#);
+        let v = json::parse(&resp).unwrap();
+        let stats = v.get("stats").expect("stats object");
+        assert_eq!(stats.get("requests").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("ok").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("compile_misses").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn response_lines_are_valid_json_with_per_proc_stats() {
+        let server = Server::new();
+        let line = obj(vec![
+            ("id", Json::Str("req-1".into())),
+            ("program", Json::Str(FOLD.into())),
+            ("mesh", Json::Str("2x2".into())),
+            ("engine", Json::Str("vm".into())),
+            ("opt_level", Json::Num(2.0)),
+        ])
+        .to_string();
+        let resp = server.handle_line(&line);
+        let v = json::parse(&resp).expect("response parses");
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("req-1"));
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("miss"));
+        let Some(Json::Arr(procs)) = v.get("procs") else { panic!("procs array") };
+        assert_eq!(procs.len(), 4);
+        assert!(procs[0].get("sends").and_then(Json::as_u64).is_some());
+        assert!(v.get("sim_cycles").and_then(Json::as_u64).unwrap() > 0);
+    }
+}

@@ -5,7 +5,7 @@ Compares a freshly generated JSON artifact (from `trace_report` or
 `lang_vm_report`) against its frozen counterpart committed in the repo:
 
   python3 scripts/bench_gate.py [--schema-only] [--threshold 1.25] \
-      FROZEN.json FRESH.json
+      [--max-ratio 2.0] FROZEN.json FRESH.json
 
 Two checks, both fatal:
 
@@ -23,9 +23,12 @@ Two checks, both fatal:
    fresh/frozen ratios over all matched `*_mean_ns` fields must stay
    at or below the threshold (default 1.25 = +25%). The geomean keeps
    one noisy workload from failing the gate while still catching a
-   broad slowdown.
+   broad slowdown. Additionally, no *single* timing may regress past
+   `--max-ratio` (default 2.0 = 2x): the geomean alone would let one
+   catastrophically regressed workload hide behind many flat ones.
 
 Exit codes: 0 pass, 1 gate failure, 2 usage/IO error.
+Self-test: scripts/bench_gate_selftest.py (run in CI).
 """
 
 import json
@@ -100,6 +103,7 @@ def workloads(node, out):
 def main(argv):
     schema_only = False
     threshold = 1.25
+    max_ratio = 2.0
     paths = []
     it = iter(argv)
     for arg in it:
@@ -110,6 +114,12 @@ def main(argv):
                 threshold = float(next(it))
             except (StopIteration, ValueError):
                 print("bench_gate: --threshold needs a number", file=sys.stderr)
+                return 2
+        elif arg == "--max-ratio":
+            try:
+                max_ratio = float(next(it))
+            except (StopIteration, ValueError):
+                print("bench_gate: --max-ratio needs a number", file=sys.stderr)
                 return 2
         elif arg.startswith("-"):
             print(__doc__, file=sys.stderr)
@@ -153,6 +163,7 @@ def main(argv):
         return 1
 
     ratios = []
+    offenders = []
     for name in sorted(frozen_w):
         for field in sorted(frozen_w[name]):
             if field not in fresh_w[name]:
@@ -167,18 +178,28 @@ def main(argv):
                 return 1
             ratio = new / old
             ratios.append(ratio)
+            if ratio > max_ratio:
+                offenders.append((name, field, ratio))
             print(f"  {name}.{field}: {old} -> {new} (x{ratio:.3f})")
     if not ratios:
         print("bench_gate: no *_mean_ns workloads found; nothing to gate")
         return 0
 
     geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
-    verdict = "PASS" if geomean <= threshold else "FAIL"
+    verdict = "PASS" if geomean <= threshold and not offenders else "FAIL"
     print(
         f"bench_gate: geomean fresh/frozen over {len(ratios)} timings: "
         f"{geomean:.3f} (threshold {threshold:.2f}) -> {verdict}"
     )
-    return 0 if geomean <= threshold else 1
+    if offenders:
+        print(
+            f"bench_gate: {len(offenders)} timing(s) over the per-timing "
+            f"cap x{max_ratio:.2f}:",
+            file=sys.stderr,
+        )
+        for name, field, ratio in offenders:
+            print(f"  {name}.{field}: x{ratio:.3f}", file=sys.stderr)
+    return 0 if verdict == "PASS" else 1
 
 
 if __name__ == "__main__":

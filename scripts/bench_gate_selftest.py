@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/bench_gate.py, run in CI before any real gate.
+
+Builds small synthetic frozen/fresh artifact pairs in a temp directory
+and asserts the gate's exit code for each scenario:
+
+  - identical artifacts                      -> pass
+  - schema drift (renamed key)               -> fail
+  - broad slowdown past the geomean          -> fail
+  - one timing past --max-ratio, flat geomean-> fail (the cap's job)
+  - the same spike with a raised --max-ratio -> pass
+  - --schema-only ignores timings entirely   -> pass
+
+Exit code: 0 when every scenario behaves, 1 otherwise.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+GATE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_gate.py")
+
+
+def doc(*means):
+    """An artifact with one workload per mean, named w0, w1, ..."""
+    return {
+        "schema": "selftest/v1",
+        "workloads": [
+            {"name": f"w{i}", "lat_mean_ns": m} for i, m in enumerate(means)
+        ],
+    }
+
+
+def run_gate(frozen, fresh, *flags):
+    with tempfile.TemporaryDirectory() as d:
+        fz, fr = os.path.join(d, "frozen.json"), os.path.join(d, "fresh.json")
+        with open(fz, "w") as f:
+            json.dump(frozen, f)
+        with open(fr, "w") as f:
+            json.dump(fresh, f)
+        proc = subprocess.run(
+            [sys.executable, GATE, *flags, fz, fr],
+            capture_output=True,
+            text=True,
+        )
+        return proc.returncode, proc.stdout + proc.stderr
+
+
+def main():
+    flat = doc(1000, 1000, 1000, 1000)
+    failures = []
+
+    def check(label, want_code, got_code, output):
+        if got_code != want_code:
+            failures.append(f"{label}: expected exit {want_code}, got {got_code}\n{output}")
+        else:
+            print(f"bench_gate_selftest: {label}: ok (exit {got_code})")
+
+    code, out = run_gate(flat, flat)
+    check("identical artifacts pass", 0, code, out)
+
+    drifted = json.loads(json.dumps(flat))
+    drifted["workloads"][0]["renamed_mean_ns"] = drifted["workloads"][0].pop("lat_mean_ns")
+    code, out = run_gate(flat, drifted)
+    check("schema drift fails", 1, code, out)
+    if "SCHEMA DRIFT" not in out:
+        failures.append(f"schema drift: missing diagnostic\n{out}")
+
+    code, out = run_gate(flat, doc(1500, 1500, 1500, 1500))
+    check("broad +50% slowdown fails the geomean", 1, code, out)
+
+    # One 3x spike among flat timings: geomean 3^(1/4) = 1.32 with the
+    # default 1.25 threshold would *also* fail, so raise the threshold
+    # to isolate the per-timing cap.
+    spiked = doc(3000, 1000, 1000, 1000)
+    code, out = run_gate(flat, spiked, "--threshold", "1.5")
+    check("single 3x spike fails the per-timing cap", 1, code, out)
+    if "per-timing cap" not in out or "w0.lat_mean_ns" not in out:
+        failures.append(f"spike: offender not named\n{out}")
+
+    code, out = run_gate(flat, spiked, "--threshold", "1.5", "--max-ratio", "4.0")
+    check("same spike passes with --max-ratio 4.0", 0, code, out)
+
+    code, out = run_gate(flat, doc(9000, 9000, 9000, 9000), "--schema-only")
+    check("--schema-only ignores timings", 0, code, out)
+
+    if failures:
+        print("bench_gate_selftest: FAILURES:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("bench_gate_selftest: all scenarios ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+//! Warm-machine reuse determinism for the serving layer.
+//!
+//! `skild` keeps [`Machine`]s warm in a pool and reruns compiled
+//! programs on them request after request. That is only sound if a
+//! reused machine is indistinguishable from a fresh one: the golden
+//! programs must produce **bit-identical** virtual time, output, and
+//! per-processor stats on the first run, on a rerun of the same warm
+//! machine, and after the machine absorbed a structured failure
+//! (runtime error or injected crash) in between — under both engines
+//! and both schedulers.
+
+use skil::lang::{compile, Compiled, Engine};
+use skil::runtime::{FaultPlan, Machine, MachineConfig, RunReport, SchedulerKind};
+use skil_serve::{ErrorKind, Request, Response, Server};
+
+/// Golden virtual run time of `shortest_paths.skil` on a 2x2 mesh,
+/// pinned repo-wide (ROADMAP.md, CI greps, `tests/golden_determinism`).
+const SHORTEST_PATHS_CYCLES: u64 = 2_397_316;
+
+fn shortest_paths() -> Compiled {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/skil/shortest_paths.skil");
+    let src = std::fs::read_to_string(path).expect("example exists");
+    compile(&src).expect("example compiles")
+}
+
+/// Per-processor fingerprint: finish time plus every activity counter.
+fn fingerprint(r: &RunReport) -> Vec<(u64, String)> {
+    r.procs.iter().map(|p| (p.finished_at, format!("{:?}", p.stats))).collect()
+}
+
+#[test]
+fn warm_reuse_is_bit_identical_across_engines_and_schedulers() {
+    let program = shortest_paths();
+    for scheduler in [SchedulerKind::Event, SchedulerKind::Threads] {
+        let machine = Machine::new(MachineConfig::square(2).unwrap().with_scheduler(scheduler));
+        for engine in [Engine::Vm, Engine::Ast] {
+            let first = program.try_run_with(engine, &machine).expect("clean run");
+            assert_eq!(
+                first.report.sim_cycles, SHORTEST_PATHS_CYCLES,
+                "{scheduler:?}/{engine:?} first run"
+            );
+            // Rerun on the SAME machine: worker pool and stacks are
+            // reused, results must not drift by a single cycle or byte.
+            let second = program.try_run_with(engine, &machine).expect("warm run");
+            assert_eq!(second.report.sim_cycles, SHORTEST_PATHS_CYCLES);
+            assert_eq!(first.results, second.results, "{scheduler:?}/{engine:?}");
+            assert_eq!(
+                fingerprint(&first.report),
+                fingerprint(&second.report),
+                "{scheduler:?}/{engine:?} per-proc stats drifted on reuse"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_reuse_survives_a_structured_failure_in_between() {
+    let program = shortest_paths();
+    let machine = Machine::new(MachineConfig::square(2).unwrap());
+    let before = program.try_run_with(Engine::Vm, &machine).expect("clean run");
+    assert_eq!(before.report.sim_cycles, SHORTEST_PATHS_CYCLES);
+
+    // Crash processor 3 mid-run via a per-request fault plan.
+    let plan = FaultPlan::parse("seed=7,crash=3@100000").unwrap();
+    let failure = program
+        .try_run_faults(Engine::Vm, &machine, Some(&plan))
+        .expect_err("crash plan must abort");
+    assert!(failure.to_string().contains("crashed by fault plan"), "{failure}");
+
+    // The machine must come back clean: same golden run as before.
+    let after = program.try_run_with(Engine::Vm, &machine).expect("post-failure run");
+    assert_eq!(after.report.sim_cycles, SHORTEST_PATHS_CYCLES);
+    assert_eq!(before.results, after.results);
+    assert_eq!(fingerprint(&before.report), fingerprint(&after.report));
+}
+
+#[test]
+fn server_pool_serves_golden_runs_from_warm_machines() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/skil/shortest_paths.skil");
+    let src = std::fs::read_to_string(path).expect("example exists");
+    let server = Server::new();
+    for round in 0..3 {
+        // Interleave a failing request so the pooled machine absorbs a
+        // runtime error between golden runs.
+        let faulty = Request::program("void main() { int z = procId - procId; print(100 / z); }");
+        let Response::Err { kind, .. } = server.handle(faulty) else {
+            panic!("divide by zero must fail");
+        };
+        assert_eq!(kind, ErrorKind::Runtime);
+
+        let Response::Ok { run, cache_hit, warm_machine, .. } =
+            server.handle(Request::program(&src))
+        else {
+            panic!("golden request failed (round {round})");
+        };
+        assert_eq!(run.report.sim_cycles, SHORTEST_PATHS_CYCLES, "round {round}");
+        assert_eq!(cache_hit, round > 0, "round {round}");
+        assert!(warm_machine, "round {round}: failing request warmed the pool");
+    }
+    assert_eq!(server.stats().machines_discarded, 0);
+}

@@ -93,6 +93,34 @@ impl ArraySpec {
         self.blocksize = blocksize;
         self
     }
+
+    /// Validate this spec and build the layout [`DistArray::create`]
+    /// will use on this processor. Exposed so engines can plan the
+    /// local index set (e.g. for bulk initialization) before the array
+    /// exists; `create` itself goes through here, so the error cases
+    /// are identical.
+    pub fn plan(&self, proc: &Proc<'_>) -> Result<(Layout, Option<Bounds>)> {
+        let shape = match self.ndim {
+            1 => Shape::d1(self.size[0]),
+            2 => Shape::d2(self.size[0], self.size[1]),
+            n => return Err(ArrayError::BadSpec(format!("ndim {n} not in 1..=2"))),
+        };
+        let grid = Layout::default_grid(shape, self.distr, proc.mesh());
+        let layout = Layout::new(shape, grid, self.distr, self.dist, self.blocksize)?;
+        let bounds = layout.part_bounds(proc.id()).ok();
+        if let (Some(b), Distribution::Block) = (&bounds, self.dist) {
+            for d in 0..2 {
+                if self.lowerbd[d] >= 0 && self.lowerbd[d] as usize != b.lower[d] {
+                    return Err(ArrayError::BadSpec(format!(
+                        "explicit lower bound {} in dimension {d} conflicts with the \
+                         grid tiling (expected {})",
+                        self.lowerbd[d], b.lower[d]
+                    )));
+                }
+            }
+        }
+        Ok((layout, bounds))
+    }
 }
 
 impl<T> DistArray<T> {
@@ -103,26 +131,8 @@ impl<T> DistArray<T> {
     where
         F: FnMut(Index) -> T,
     {
-        let shape = match spec.ndim {
-            1 => Shape::d1(spec.size[0]),
-            2 => Shape::d2(spec.size[0], spec.size[1]),
-            n => return Err(ArrayError::BadSpec(format!("ndim {n} not in 1..=2"))),
-        };
-        let grid = Layout::default_grid(shape, spec.distr, proc.mesh());
-        let layout = Layout::new(shape, grid, spec.distr, spec.dist, spec.blocksize)?;
+        let (layout, bounds) = spec.plan(proc)?;
         let me = proc.id();
-        let bounds = layout.part_bounds(me).ok();
-        if let (Some(b), Distribution::Block) = (&bounds, spec.dist) {
-            for d in 0..2 {
-                if spec.lowerbd[d] >= 0 && spec.lowerbd[d] as usize != b.lower[d] {
-                    return Err(ArrayError::BadSpec(format!(
-                        "explicit lower bound {} in dimension {d} conflicts with the \
-                         grid tiling (expected {})",
-                        spec.lowerbd[d], b.lower[d]
-                    )));
-                }
-            }
-        }
         let mut data = Vec::with_capacity(layout.local_count(me));
         for ix in layout.local_indices(me) {
             data.push(init(ix));

@@ -1,0 +1,229 @@
+//! Host wall-time report for the native engine (`BENCH_lang_native.json`).
+//!
+//! For every shipped `.skil` example, measures three phases separately:
+//!
+//! * `compile_cold_ns` — emit + `rustc` + `dlopen` with a fresh, empty
+//!   artifact cache directory (the price of the first request ever for
+//!   a program shape);
+//! * `compile_warm_ns` — the same call against the populated on-disk
+//!   cache (hash, hit, `dlopen` — what a restarted `skild` pays);
+//! * run time — `Engine::Native` vs `Engine::Ast` and the `-O2`
+//!   `Engine::Vm`, all timed run-only on the same warm machine, after
+//!   asserting identical print output and virtual time.
+//!
+//! Two headline gates are asserted in-binary, so the frozen artifact
+//! can't be regenerated with a regressed engine:
+//!
+//! * native >= 5x over the AST walker on `gauss`;
+//! * native >= 2x over the `-O2` VM on the geomean across the full
+//!   example suite (every shipped workload counts — including the
+//!   skeleton-machinery-bound ones where the engines tie).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p skil-bench --bin lang_native_report -- [--out FILE.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use skil_lang::{compile, Engine};
+use skil_runtime::{Machine, MachineConfig};
+
+struct Workload {
+    name: String,
+    src: String,
+}
+
+fn workloads() -> Vec<Workload> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/skil");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("examples/skil exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "skil") {
+            out.push(Workload {
+                name: path.file_stem().unwrap().to_string_lossy().into_owned(),
+                src: std::fs::read_to_string(&path).expect("readable"),
+            });
+        }
+    }
+    assert!(!out.is_empty(), "no .skil examples found");
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+fn time_ns<F: FnMut()>(repeats: usize, mut f: F) -> (f64, f64) {
+    f(); // untimed warmup
+    let mut total = 0.0;
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        f();
+        let ns = t0.elapsed().as_nanos() as f64;
+        total += ns;
+        best = best.min(ns);
+    }
+    (total / repeats as f64, best)
+}
+
+fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_lang_native.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    // a private cache dir so cold-compile numbers really are cold
+    let cache = std::env::temp_dir().join(format!("skil-native-bench-{}", std::process::id()));
+    std::env::set_var("SKIL_NATIVE_CACHE_DIR", &cache);
+
+    let machine = Machine::new(MachineConfig::square(2).unwrap());
+    let run_repeats = 15;
+
+    struct NatRow {
+        name: String,
+        sim_cycles: u64,
+        compile_cold_ns: f64,
+        compile_warm_ns: f64,
+        ast_run_mean_ns: f64,
+        vm_run_mean_ns: f64,
+        vm_run_min_ns: f64,
+        native_run_mean_ns: f64,
+        native_run_min_ns: f64,
+    }
+    let mut rows: Vec<NatRow> = Vec::new();
+
+    for w in workloads() {
+        let c = compile(&w.src).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+
+        // cold: fresh cache dir, nothing on disk, nothing in-process.
+        // (the in-process module registry is keyed by content hash and
+        // never evicts, so cold is measurable exactly once per program —
+        // a single sample, reported as such)
+        let _ = std::fs::remove_dir_all(&cache);
+        let t0 = Instant::now();
+        c.native_ready().unwrap_or_else(|e| panic!("{}: native engine unavailable: {e}", w.name));
+        let compile_cold_ns = t0.elapsed().as_nanos() as f64;
+        // warm: artifact on disk; hash + registry hit
+        let (compile_warm_ns, _) = time_ns(5, || {
+            c.native_ready().unwrap();
+        });
+
+        // correctness gate before timing anything
+        let ast = c.run_with(Engine::Ast, &machine);
+        let vm = c.run_with(Engine::Vm, &machine);
+        let native = c.run_with(Engine::Native, &machine);
+        assert_eq!(ast.results, native.results, "{}: native output differs", w.name);
+        assert_eq!(vm.results, native.results, "{}: native output differs from vm", w.name);
+        assert_eq!(
+            ast.report.sim_cycles, native.report.sim_cycles,
+            "{}: native virtual time differs",
+            w.name
+        );
+
+        let (ast_run_mean_ns, _) = time_ns(run_repeats, || {
+            std::hint::black_box(c.run_with(Engine::Ast, &machine).report.sim_cycles);
+        });
+        let (vm_run_mean_ns, vm_run_min_ns) = time_ns(run_repeats, || {
+            std::hint::black_box(c.run_with(Engine::Vm, &machine).report.sim_cycles);
+        });
+        let (native_run_mean_ns, native_run_min_ns) = time_ns(run_repeats, || {
+            std::hint::black_box(c.run_with(Engine::Native, &machine).report.sim_cycles);
+        });
+
+        println!(
+            "{:<18} cold {:>8.1} ms   warm {:>6.3} ms   ast {:>8.2} ms   vm {:>8.2} ms   \
+             native {:>8.2} ms   ({:.2}x vm, {:.2}x ast)",
+            w.name,
+            compile_cold_ns / 1e6,
+            compile_warm_ns / 1e6,
+            ast_run_mean_ns / 1e6,
+            vm_run_mean_ns / 1e6,
+            native_run_mean_ns / 1e6,
+            vm_run_mean_ns / native_run_mean_ns,
+            ast_run_mean_ns / native_run_mean_ns,
+        );
+        rows.push(NatRow {
+            name: w.name,
+            sim_cycles: native.report.sim_cycles,
+            compile_cold_ns,
+            compile_warm_ns,
+            ast_run_mean_ns,
+            vm_run_mean_ns,
+            vm_run_min_ns,
+            native_run_mean_ns,
+            native_run_min_ns,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&cache);
+
+    let gauss = rows.iter().find(|r| r.name == "gauss").expect("gauss workload");
+    let gauss_vs_ast = gauss.ast_run_mean_ns / gauss.native_run_mean_ns;
+    assert!(
+        gauss_vs_ast >= 5.0,
+        "native engine is only {gauss_vs_ast:.2}x over the AST walker on gauss (need >= 5x)"
+    );
+    let all_vs_vm: Vec<f64> =
+        rows.iter().map(|r| r.vm_run_mean_ns / r.native_run_mean_ns).collect();
+    let suite_geomean_vs_vm = geomean(&all_vs_vm);
+    assert!(
+        suite_geomean_vs_vm >= 2.0,
+        "native engine is only {suite_geomean_vs_vm:.2}x over the -O2 VM on the full-suite \
+         geomean (need >= 2x)"
+    );
+
+    let mut json = String::from("{\n  \"schema\": \"skil-bench/lang-native/v1\",\n");
+    let _ = writeln!(json, "  \"machine\": \"2x2\",");
+    let _ = writeln!(
+        json,
+        "  \"host_threads\": {},",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    let _ = writeln!(
+        json,
+        "  \"protocol\": \"run-only host wall time mean of {run_repeats}, warm artifact \
+         cache; compile_cold is one sample against an empty cache dir\","
+    );
+    let _ = writeln!(json, "  \"gauss_native_vs_ast\": {gauss_vs_ast:.2},");
+    let _ = writeln!(json, "  \"suite_geomean_native_vs_vm\": {suite_geomean_vs_vm:.2},");
+    json.push_str("  \"workloads\": [\n");
+    let nrows = rows.len();
+    for (i, r) in rows.into_iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\n      \"name\": \"{}\",\n      \"sim_cycles\": {},\n      \
+             \"compile_cold_ns\": {:.0},\n      \"compile_warm_mean_ns\": {:.0},\n      \
+             \"ast_run_mean_ns\": {:.0},\n      \
+             \"vm_run_mean_ns\": {:.0},\n      \"vm_run_min_ns\": {:.0},\n      \
+             \"native_run_mean_ns\": {:.0},\n      \"native_run_min_ns\": {:.0},\n      \
+             \"speedup_native_vs_vm\": {:.2},\n      \
+             \"speedup_native_vs_ast\": {:.2}\n    }}",
+            r.name,
+            r.sim_cycles,
+            r.compile_cold_ns,
+            r.compile_warm_ns,
+            r.ast_run_mean_ns,
+            r.vm_run_mean_ns,
+            r.vm_run_min_ns,
+            r.native_run_mean_ns,
+            r.native_run_min_ns,
+            r.vm_run_mean_ns / r.native_run_mean_ns,
+            r.ast_run_mean_ns / r.native_run_mean_ns,
+        );
+        json.push_str(if i + 1 < nrows { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("\ngauss native vs ast: {gauss_vs_ast:.2}x (gate >= 5x)");
+    println!("full-suite geomean native vs -O2 vm: {suite_geomean_vs_vm:.2}x (gate >= 2x)");
+    println!("wrote {out_path}");
+}

@@ -88,6 +88,52 @@ where
     combined.ok_or_else(|| ArrayError::BadSpec("array_fold over an empty array".into()))
 }
 
+/// [`array_fold`] whose fused local pass (convert each element, fold it
+/// into the running partition value) runs as **one** `local` call over
+/// the whole partition — the native engine's batch path, which crosses
+/// its FFI boundary once per skeleton instead of once per element.
+/// `local` must perform exactly the fused chain
+/// `fold(..fold(conv(v0,ix0), conv(v1,ix1)).., conv(vn,ixn))` (or
+/// return `None` for an empty partition); charges and the tree
+/// reduction are identical to `array_fold` with kernels of
+/// `conv_cycles` / `fold_cycles`.
+pub fn array_fold_bulk<T, U, FL, FF>(
+    proc: &mut Proc<'_>,
+    conv_cycles: u64,
+    fold_cycles: u64,
+    local: FL,
+    mut fold: FF,
+    a: &DistArray<T>,
+) -> Result<U>
+where
+    U: Wire + Clone,
+    FL: FnOnce(&[T], &[Index]) -> Option<U>,
+    FF: FnMut(U, U) -> U,
+{
+    let c = proc.cost();
+    let conv_cost = c.call + 2 * c.load + c.index_calc + conv_cycles;
+    let fold_cost = c.call + c.load + fold_cycles;
+
+    let span = proc.span_begin();
+    let ixs: Vec<Index> = a.layout().local_indices(a.proc_id()).collect();
+    let elems = ixs.len() as u64;
+    let acc = local(a.local_data(), &ixs);
+    proc.charge(conv_cost * elems + fold_cost * elems.saturating_sub(1));
+
+    let combined = proc.allreduce(
+        tags::FOLD,
+        acc,
+        |x, y| match (x, y) {
+            (Some(a), Some(b)) => Some(fold(a, b)),
+            (a, None) => a,
+            (None, b) => b,
+        },
+        fold_cost,
+    );
+    proc.span_end("fold", span);
+    combined.ok_or_else(|| ArrayError::BadSpec("array_fold over an empty array".into()))
+}
+
 /// Fold without the final broadcast: the result lands only on `root`
 /// (an ablation variant used to measure the cost of the paper's
 /// broadcast-to-all design; `None` elsewhere).

@@ -4,11 +4,12 @@
 //! skilc <file.skil>                  type-check and emit C to stdout
 //! skilc --run <file.skil>            run on a simulated 2x2 mesh
 //! skilc --run --mesh RxC <file.skil> choose the machine shape
-//! skilc --run --engine ast|vm ...    pick the execution engine
+//! skilc --run --engine ast|vm|native pick the execution engine
 //! skilc --opt-level 0|1|2 ...        bytecode optimizer level (default 2)
 //! skilc --check <file.skil>          parse + type check only
 //! skilc --emit-bytecode <file.skil>  disassemble the optimized bytecode
 //! skilc --emit-bytecode=raw ...      disassemble before optimization
+//! skilc --emit-rust <file.skil>      print the native engine's generated Rust
 //! skilc --run --trace <file.skil>    also print a virtual-time timeline
 //! skilc --run --trace-out FILE ...   write a Chrome trace_events JSON
 //! skilc --run --faults SPEC ...      inject seeded faults (see below)
@@ -29,18 +30,22 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: skilc [--check | --emit-bytecode[=raw|opt] | --run [--mesh RxC] \
-[--engine ast|vm] [--trace] [--faults SPEC]] [--opt-level 0|1|2] <file.skil>\n\
+        "usage: skilc [--check | --emit-bytecode[=raw|opt] | --emit-rust | --run [--mesh RxC] \
+[--engine ast|vm|native] [--trace] [--faults SPEC]] [--opt-level 0|1|2] <file.skil>\n\
          \n\
          default: emit the instantiated first-order C to stdout\n\
          --check: stop after the polymorphic type check\n\
          --emit-bytecode: print the slot-resolved bytecode listing\n\
                   (=opt, the default, after the optimizer; =raw before);\n\
                   per-pass optimizer stats go to stderr\n\
+         --emit-rust: print the self-contained Rust module the native\n\
+                  engine compiles (at the selected --opt-level)\n\
          --run:   execute SPMD on a simulated transputer mesh (default 2x2)\n\
          --mesh:  machine shape for --run, e.g. --mesh 4x4 or --mesh 8x4\n\
-         --engine: execution engine for --run: vm (default, bytecode) or\n\
-                  ast (reference walker); virtual time is identical\n\
+         --engine: execution engine for --run: vm (default, bytecode),\n\
+                  ast (reference walker), or native (rustc-compiled\n\
+                  machine code; falls back to vm if rustc is missing);\n\
+                  virtual time is identical across engines\n\
          --opt-level: bytecode optimizer level for the vm engine\n\
                   (0 raw, 1 local passes, 2 +inlining; default 2);\n\
                   virtual time is bit-identical at every level\n\
@@ -60,6 +65,7 @@ fn main() -> ExitCode {
     let mut check_only = false;
     let mut emit_bytecode = false;
     let mut emit_raw = false;
+    let mut emit_rust = false;
     let mut opt_level = OptLevel::default();
     let mut engine = Engine::Vm;
     let mut run = false;
@@ -78,6 +84,7 @@ fn main() -> ExitCode {
                 emit_bytecode = true;
                 emit_raw = true;
             }
+            "--emit-rust" => emit_rust = true,
             "--opt-level" => {
                 i += 1;
                 let parsed = args.get(i).and_then(|s| OptLevel::from_arg(s));
@@ -163,7 +170,19 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if emit_rust {
+        print!("{}", compiled.emit_rust());
+        eprintln!("skilc: {file}: opt level {}", compiled.opt_level);
+        return ExitCode::SUCCESS;
+    }
+
     if run {
+        if engine == Engine::Native {
+            if let Err(e) = compiled.native_ready() {
+                eprintln!("skilc: native engine unavailable ({e}); falling back to vm");
+                engine = Engine::Vm;
+            }
+        }
         let cfg = match MachineConfig::mesh(mesh.0, mesh.1) {
             Ok(c) => {
                 let c = if trace || trace_out.is_some() { c.with_trace() } else { c };

@@ -32,10 +32,12 @@
 //!    the C the paper's compiler would hand to its back end — or execute
 //!    it SPMD on a [`skil_runtime::Machine`] with skeleton calls
 //!    dispatched to `skil-core` and virtual cycles charged per IR
-//!    operation. Two engines exist: the bytecode VM
-//!    ([`vm::run_program_vm`], the default) and the AST walker
-//!    ([`interp::run_program`], the reference) — their virtual time is
-//!    bit-identical by construction.
+//!    operation. Three engines exist: the bytecode VM
+//!    ([`vm::run_program_vm`], the default), the AST walker
+//!    ([`interp::run_program`], the reference), and the native engine
+//!    ([`Engine::Native`]: [`emit_rust::emit_rust`] output compiled by
+//!    the host `rustc` to a `cdylib` and loaded with `dlopen`) — their
+//!    virtual time is bit-identical by construction.
 //!
 //! ```
 //! use skil_lang::compile;
@@ -64,9 +66,11 @@ pub mod bytecode;
 pub mod check;
 pub mod diag;
 pub mod emit_c;
+pub mod emit_rust;
 pub mod fo;
 pub mod instantiate;
 pub mod interp;
+mod native;
 pub mod opt;
 pub mod parser;
 pub mod token;
@@ -89,23 +93,30 @@ pub enum Engine {
     /// The bytecode VM — the fast engine, bit-identical virtual time.
     #[default]
     Vm,
+    /// Machine code: the program compiled to a `cdylib` by the host
+    /// `rustc` ([`emit_rust`]) and loaded with `dlopen`, still charging
+    /// bit-identical virtual time. Falls back to the VM when no `rustc`
+    /// is available.
+    Native,
 }
 
 impl Engine {
-    /// Parse a CLI/request spelling (`"ast"` / `"vm"`).
+    /// Parse a CLI/request spelling (`"ast"` / `"vm"` / `"native"`).
     pub fn from_arg(s: &str) -> Option<Engine> {
         match s {
             "ast" => Some(Engine::Ast),
             "vm" => Some(Engine::Vm),
+            "native" => Some(Engine::Native),
             _ => None,
         }
     }
 
-    /// The canonical spelling (`"ast"` / `"vm"`).
+    /// The canonical spelling (`"ast"` / `"vm"` / `"native"`).
     pub fn as_str(self) -> &'static str {
         match self {
             Engine::Ast => "ast",
             Engine::Vm => "vm",
+            Engine::Native => "native",
         }
     }
 }
@@ -124,6 +135,9 @@ pub struct Compiled {
     pub opt_level: OptLevel,
     /// Per-pass optimizer counters.
     pub opt_stats: OptStats,
+    /// Memo of the prepared native module (emit + hash + load happen
+    /// once per `Compiled`, not once per run).
+    native_cache: native::ModuleCache,
 }
 
 /// Compile Skil source through the full front end at the default opt
@@ -141,7 +155,7 @@ pub fn compile_opt(src: &str, level: OptLevel) -> diag::Result<Compiled> {
     let fo = instantiate::instantiate(&mut ck)?;
     let raw = bytecode::compile_program(&fo);
     let (code, opt_stats) = opt::optimize(&raw, level);
-    Ok(Compiled { fo, raw, code, opt_level: level, opt_stats })
+    Ok(Compiled { fo, raw, code, opt_level: level, opt_stats, native_cache: Default::default() })
 }
 
 impl Compiled {
@@ -164,6 +178,9 @@ impl Compiled {
         match engine {
             Engine::Ast => interp::run_program(&self.fo, machine),
             Engine::Vm => vm::run_program_vm(&self.fo, &self.code, machine),
+            Engine::Native => self
+                .try_run_with(Engine::Native, machine)
+                .unwrap_or_else(|failure| panic!("{failure}")),
         }
     }
 
@@ -193,7 +210,30 @@ impl Compiled {
         match engine {
             Engine::Ast => interp::try_run_program_faults(&self.fo, machine, faults),
             Engine::Vm => vm::try_run_program_vm_faults(&self.fo, &self.code, machine, faults),
+            Engine::Native => match self.native_cache.prepare(&self.code) {
+                Ok(module) => {
+                    native::try_run_native_faults(&module, &self.fo, &self.code, machine, faults)
+                }
+                // Unavailable host toolchain degrades, never fails: the
+                // VM computes the same results and virtual time.
+                Err(_) => vm::try_run_program_vm_faults(&self.fo, &self.code, machine, faults),
+            },
         }
+    }
+
+    /// Whether the native engine can actually run this program on this
+    /// host (emits, compiles, and loads the module — warm after the
+    /// first call thanks to the artifact cache). `Err` carries the
+    /// diagnostic; [`Compiled::try_run_faults`] with [`Engine::Native`]
+    /// silently falls back to the VM in that case.
+    pub fn native_ready(&self) -> Result<(), String> {
+        self.native_cache.prepare(&self.code).map(|_| ())
+    }
+
+    /// The generated Rust module the native engine compiles
+    /// (`skilc --emit-rust`).
+    pub fn emit_rust(&self) -> String {
+        emit_rust::emit_rust(&self.code)
     }
 
     /// Human-readable bytecode listing of the code the VM executes

@@ -1,0 +1,975 @@
+//! The native engine: load and drive machine code compiled from
+//! [`crate::emit_rust`] output.
+//!
+//! `prepare` turns optimized bytecode into a loaded `cdylib`: emit the
+//! Rust module, hash it (FNV-1a over the full source, so any change to
+//! program *or* prelude re-keys), and either `dlopen` a cached
+//! `lib{hash}.so` from the on-disk artifact cache
+//! (`SKIL_NATIVE_CACHE_DIR`, default `$TMPDIR/skil-native-cache`) or
+//! compile one with the host `rustc` (`SKIL_NATIVE_RUSTC` overrides;
+//! compiled to a temp name and `rename`d, so concurrent processes
+//! sharing a cache dir never observe a half-written artifact). Loaded
+//! modules are additionally memoized in-process by hash. Modules are
+//! never `dlclose`d — leaked handles are tiny and unloading a library
+//! with live generated `fn` pointers is never worth the risk.
+//!
+//! At run time the real [`Vm`] stays in charge host-side: the generated
+//! `skil_main` calls back through a `HostVt` vtable for charges, array
+//! access, printing, and whole skeleton dispatch (so virtual time and
+//! skeleton semantics are *shared* with the VM, not reimplemented), and
+//! the VM's kernel dispatch routes `General`-shape kernels back into
+//! the module through [`KernelBackend`]. Panics never cross the FFI
+//! boundary in either direction: host callbacks catch and stash their
+//! payload (resumed verbatim after the module returns failure, so
+//! `SimAbort` and `skil runtime:` classification in the runtime is
+//! engine-independent), and the generated module reports its own
+//! panics through `set_error`.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::env;
+use std::ffi::c_void;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use skil_array::{DistArray, Index};
+use skil_runtime::{Machine, Run, SimFailure};
+
+use crate::bytecode::Program;
+use crate::emit_rust::{emit_rust, ABI_VERSION};
+use crate::fo::FoProgram;
+use crate::interp::{kernel_cycles, to_uindex};
+use crate::value::Value;
+use crate::vm::{Host, KernelBackend, Sl, Vm};
+
+// ---------------------------------------------------------------------
+// FFI surface — layout-identical to the generated prelude.
+// ---------------------------------------------------------------------
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct FfiVal {
+    tag: u64,
+    a: u64,
+    b: u64,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct FfiBuf {
+    ptr: *const u8,
+    len: usize,
+}
+
+const T_UNIT: u64 = 0;
+const T_INT: u64 = 1;
+const T_FLT: u64 = 2;
+const T_ARR: u64 = 3;
+const T_IX: u64 = 4;
+const T_BYTES: u64 = 5;
+
+/// Host callback vtable handed to the generated module. Must stay
+/// layout-identical to `HostVt` in the `emit_rust` prelude.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct HostVt {
+    // the generated module accumulates charges locally and flushes a
+    // pre-summed cycle count at host-visible points
+    charge: extern "C" fn(*mut c_void, u64) -> i32,
+    get_elem: extern "C" fn(*mut c_void, u64, i64, i64, *mut FfiVal) -> i32,
+    put_elem: extern "C" fn(*mut c_void, u64, i64, i64, *const FfiVal, *const u8, usize) -> i32,
+    part_bounds: extern "C" fn(*mut c_void, u64, *mut i64) -> i32,
+    print: extern "C" fn(*mut c_void, *const FfiVal, *const u8, usize) -> i32,
+    skel: extern "C" fn(*mut c_void, u32, *const FfiVal, u32, *const u8, usize, *mut FfiVal) -> i32,
+    set_error: extern "C" fn(*mut c_void, *const u8, usize),
+}
+
+const HOST_VTABLE: HostVt = HostVt {
+    charge: cb_charge,
+    get_elem: cb_get_elem,
+    put_elem: cb_put_elem,
+    part_bounds: cb_part_bounds,
+    print: cb_print,
+    skel: cb_skel,
+    set_error: cb_set_error,
+};
+
+// ---------------------------------------------------------------------
+// Value wire codec (mirror of the generated prelude's `enc`/`dec`).
+// ---------------------------------------------------------------------
+
+/// Encode for sending: `T_BYTES` payloads carry an *offset* into `buf`.
+fn enc_value(v: &Value, buf: &mut Vec<u8>) -> FfiVal {
+    match v {
+        Value::Unit => FfiVal { tag: T_UNIT, a: 0, b: 0 },
+        Value::Int(x) => FfiVal { tag: T_INT, a: *x as u64, b: 0 },
+        Value::Float(x) => FfiVal { tag: T_FLT, a: x.to_bits(), b: 0 },
+        Value::Array(h) => FfiVal { tag: T_ARR, a: *h as u64, b: 0 },
+        Value::Index(ix) => FfiVal { tag: T_IX, a: ix[0] as u64, b: ix[1] as u64 },
+        other => {
+            let start = buf.len();
+            enc_value_bytes(other, buf);
+            FfiVal { tag: T_BYTES, a: start as u64, b: (buf.len() - start) as u64 }
+        }
+    }
+}
+
+fn enc_value_bytes(v: &Value, buf: &mut Vec<u8>) {
+    match v {
+        Value::Unit => buf.push(0),
+        Value::Int(x) => {
+            buf.push(1);
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Float(x) => {
+            buf.push(2);
+            buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Array(h) => {
+            buf.push(3);
+            buf.extend_from_slice(&(*h as u64).to_le_bytes());
+        }
+        Value::Index(ix) => {
+            buf.push(4);
+            for c in ix {
+                buf.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        Value::Bounds(lo, up) => {
+            buf.push(5);
+            for c in [lo[0], lo[1], up[0], up[1]] {
+                buf.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        Value::Struct(sid, fields) => {
+            buf.push(6);
+            buf.extend_from_slice(&sid.to_le_bytes());
+            buf.extend_from_slice(&(fields.len() as u32).to_le_bytes());
+            for f in fields {
+                enc_value_bytes(f, buf);
+            }
+        }
+        Value::List(items) => {
+            buf.push(7);
+            buf.extend_from_slice(&(items.len() as u64).to_le_bytes());
+            for item in items.iter() {
+                enc_value_bytes(item, buf);
+            }
+        }
+    }
+}
+
+/// Encode one value for *returning* to the module: absolute pointer.
+fn enc_value_abs(v: &Value, buf: &mut Vec<u8>) -> FfiVal {
+    buf.clear();
+    let mut fv = enc_value(v, buf);
+    if fv.tag == T_BYTES {
+        fv.a += buf.as_ptr() as u64;
+    }
+    fv
+}
+
+fn rd<const N: usize>(s: &[u8], p: &mut usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(&s[*p..*p + N]);
+    *p += N;
+    out
+}
+
+fn dec_value_bytes(s: &[u8], p: &mut usize) -> Value {
+    let tag = s[*p];
+    *p += 1;
+    match tag {
+        0 => Value::Unit,
+        1 => Value::Int(i64::from_le_bytes(rd(s, p))),
+        2 => Value::Float(f64::from_bits(u64::from_le_bytes(rd(s, p)))),
+        3 => Value::Array(u64::from_le_bytes(rd(s, p)) as usize),
+        4 => Value::Index([i64::from_le_bytes(rd(s, p)), i64::from_le_bytes(rd(s, p))]),
+        5 => {
+            let lo = [i64::from_le_bytes(rd(s, p)), i64::from_le_bytes(rd(s, p))];
+            let up = [i64::from_le_bytes(rd(s, p)), i64::from_le_bytes(rd(s, p))];
+            Value::Bounds(lo, up)
+        }
+        6 => {
+            let sid = u32::from_le_bytes(rd(s, p));
+            let n = u32::from_le_bytes(rd(s, p)) as usize;
+            let mut fields = Vec::with_capacity(n);
+            for _ in 0..n {
+                fields.push(dec_value_bytes(s, p));
+            }
+            Value::Struct(sid, fields)
+        }
+        7 => {
+            let n = u64::from_le_bytes(rd(s, p)) as usize;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(dec_value_bytes(s, p));
+            }
+            Value::List(crate::value::ConsList::from_vec(items))
+        }
+        other => panic!("skil native: bad wire tag {other}"),
+    }
+}
+
+/// Decode a value *received* from the module: `T_BYTES` payloads carry
+/// an offset into the caller-provided byte buffer.
+///
+/// # Safety
+/// `base`/`blen` must describe the module's live encode buffer.
+unsafe fn dec_value(fv: &FfiVal, base: *const u8, blen: usize) -> Value {
+    match fv.tag {
+        T_UNIT => Value::Unit,
+        T_INT => Value::Int(fv.a as i64),
+        T_FLT => Value::Float(f64::from_bits(fv.a)),
+        T_ARR => Value::Array(fv.a as usize),
+        T_IX => Value::Index([fv.a as i64, fv.b as i64]),
+        T_BYTES => {
+            let s = std::slice::from_raw_parts(base, blen);
+            let mut p = fv.a as usize;
+            dec_value_bytes(s, &mut p)
+        }
+        other => panic!("skil native: bad ffi tag {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The loaded module.
+// ---------------------------------------------------------------------
+
+type CtxNewFn = extern "C" fn(*mut c_void, *const HostVt, i64, i64, *const u64) -> *mut c_void;
+type CtxFreeFn = extern "C" fn(*mut c_void);
+type MainFn = extern "C" fn(*mut c_void) -> i32;
+type KernelFn =
+    extern "C" fn(*mut c_void, u32, *const FfiVal, u32, *mut FfiVal, *mut FfiBuf) -> i32;
+#[allow(clippy::type_complexity)]
+type KbulkFn = extern "C" fn(
+    *mut c_void,
+    u32,
+    u32,
+    u32,
+    *const FfiVal,
+    u32,
+    *const FfiVal,
+    u32,
+    *const FfiVal,
+    u32,
+    u32,
+    *mut FfiVal,
+    *mut FfiBuf,
+) -> i32;
+
+/// A loaded generated module: resolved entry points of one program.
+pub(crate) struct NativeModule {
+    ctx_new: CtxNewFn,
+    ctx_free: CtxFreeFn,
+    main: MainFn,
+    kernel: KernelFn,
+    kbulk: KbulkFn,
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn registry() -> &'static Mutex<HashMap<u64, Arc<NativeModule>>> {
+    static REG: OnceLock<Mutex<HashMap<u64, Arc<NativeModule>>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn cache_dir() -> PathBuf {
+    match env::var_os("SKIL_NATIVE_CACHE_DIR") {
+        Some(d) => PathBuf::from(d),
+        None => env::temp_dir().join("skil-native-cache"),
+    }
+}
+
+/// Emit, compile (or reuse the cached artifact), and load the native
+/// module for `code`. `Err` means the native engine is unavailable on
+/// this host or for this program — callers fall back to the VM.
+pub(crate) fn prepare(code: &Program) -> Result<Arc<NativeModule>, String> {
+    let src = emit_rust(code);
+    let hash = fnv1a64(src.as_bytes());
+    {
+        let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(m) = reg.get(&hash) {
+            return Ok(m.clone());
+        }
+    }
+    let m = Arc::new(load_or_build(&src, hash)?);
+    registry().lock().unwrap_or_else(|e| e.into_inner()).insert(hash, m.clone());
+    Ok(m)
+}
+
+#[cfg(not(unix))]
+fn load_or_build(_src: &str, _hash: u64) -> Result<NativeModule, String> {
+    Err("the native engine requires a Unix host (dlopen)".to_string())
+}
+
+#[cfg(unix)]
+mod dl {
+    use std::ffi::{c_char, c_int, c_void};
+    extern "C" {
+        pub fn dlopen(filename: *const c_char, flag: c_int) -> *mut c_void;
+        pub fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+        pub fn dlerror() -> *mut c_char;
+    }
+    pub const RTLD_NOW: c_int = 2;
+}
+
+#[cfg(unix)]
+fn dl_error() -> String {
+    let p = unsafe { dl::dlerror() };
+    if p.is_null() {
+        "unknown dlerror".to_string()
+    } else {
+        unsafe { std::ffi::CStr::from_ptr(p) }.to_string_lossy().into_owned()
+    }
+}
+
+#[cfg(unix)]
+fn dl_sym(handle: *mut c_void, name: &str) -> Result<*mut c_void, String> {
+    let cname = std::ffi::CString::new(name).expect("symbol name");
+    let p = unsafe { dl::dlsym(handle, cname.as_ptr()) };
+    if p.is_null() {
+        Err(format!("dlsym({name}) failed: {}", dl_error()))
+    } else {
+        Ok(p)
+    }
+}
+
+#[cfg(unix)]
+fn load_or_build(src: &str, hash: u64) -> Result<NativeModule, String> {
+    use std::os::unix::ffi::OsStrExt;
+
+    let dir = cache_dir();
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| format!("cannot create native cache dir {}: {e}", dir.display()))?;
+    let lib = dir.join(format!("lib{hash:016x}.so"));
+    if !lib.exists() {
+        let rs = dir.join(format!("{hash:016x}.rs"));
+        std::fs::write(&rs, src).map_err(|e| format!("cannot write {}: {e}", rs.display()))?;
+        let rustc = env::var("SKIL_NATIVE_RUSTC").unwrap_or_else(|_| "rustc".to_string());
+        // compile to a process-unique name, then rename into place:
+        // concurrent builders sharing the cache never see a torn .so
+        let tmp = dir.join(format!(".tmp-{}-{hash:016x}.so", std::process::id()));
+        let out = std::process::Command::new(&rustc)
+            .arg("--edition=2021")
+            .arg("--crate-type=cdylib")
+            .arg("-C")
+            .arg("opt-level=3")
+            .arg("-o")
+            .arg(&tmp)
+            .arg(&rs)
+            .output()
+            .map_err(|e| format!("cannot run `{rustc}`: {e}"))?;
+        if !out.status.success() {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(format!(
+                "native codegen failed ({}): {}",
+                out.status,
+                String::from_utf8_lossy(&out.stderr)
+            ));
+        }
+        std::fs::rename(&tmp, &lib).map_err(|e| format!("cannot install native artifact: {e}"))?;
+    }
+    let cpath = std::ffi::CString::new(lib.as_os_str().as_bytes()).expect("artifact path");
+    let handle = unsafe { dl::dlopen(cpath.as_ptr(), dl::RTLD_NOW) };
+    if handle.is_null() {
+        return Err(format!("dlopen({}) failed: {}", lib.display(), dl_error()));
+    }
+    // SAFETY: symbol signatures are fixed by the emitted prelude; the
+    // skil_abi version check below rejects any stale/stranger artifact.
+    unsafe {
+        type AbiFn = extern "C" fn() -> u64;
+        let abi: AbiFn = std::mem::transmute(dl_sym(handle, "skil_abi")?);
+        if abi() != ABI_VERSION {
+            return Err(format!(
+                "native module ABI {} != expected {ABI_VERSION} (stale cache?)",
+                abi()
+            ));
+        }
+        Ok(NativeModule {
+            ctx_new: std::mem::transmute::<*mut c_void, CtxNewFn>(dl_sym(handle, "skil_ctx_new")?),
+            ctx_free: std::mem::transmute::<*mut c_void, CtxFreeFn>(dl_sym(
+                handle,
+                "skil_ctx_free",
+            )?),
+            main: std::mem::transmute::<*mut c_void, MainFn>(dl_sym(handle, "skil_main")?),
+            kernel: std::mem::transmute::<*mut c_void, KernelFn>(dl_sym(handle, "skil_kernel")?),
+            kbulk: std::mem::transmute::<*mut c_void, KbulkFn>(dl_sym(handle, "skil_kbulk")?),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-processor host state and callbacks.
+// ---------------------------------------------------------------------
+
+type VmStatic = Vm<'static, 'static, 'static>;
+
+#[derive(Clone, Copy)]
+enum Mode {
+    /// `skil_main` is running: full VM delegation.
+    Full,
+    /// A kernel is running inside a host skeleton: read-only array
+    /// access against the skeleton's view, everything else is an error
+    /// — the same contract as the VM's kernel mode.
+    Kernel,
+}
+
+/// One processor's callback target. Shared (`&HostBox`) across
+/// reentrant FFI frames; interior mutability throughout.
+struct HostBox {
+    /// The type-erased `&mut Vm` this run executes under. Only
+    /// dereferenced in `Full` mode (during `cb_skel` the VM borrow is
+    /// live on the stack; kernel-mode callbacks never touch it).
+    vm: *mut VmStatic,
+    mode: Cell<Mode>,
+    /// `Kernel` mode's array view: the slice the skeleton handed to
+    /// [`KernelBackend::run_kernel`] (raw because its lifetime is the
+    /// duration of that one call).
+    karrays: Cell<(*const Option<DistArray<Value>>, usize)>,
+    /// Panic payload caught in a callback, resumed verbatim host-side
+    /// after the module reports failure.
+    stash: RefCell<Option<Box<dyn Any + Send>>>,
+    /// Diagnostic from the module's own panics (via `set_error`).
+    error: RefCell<Option<String>>,
+    /// Scratch operand stack + frame pool for skeleton dispatch.
+    scratch: RefCell<KScratch>,
+    /// Encode buffer for values returned to the module.
+    outbuf: RefCell<Vec<u8>>,
+    /// Encode buffers for kernel arguments.
+    kargbuf: RefCell<Vec<u8>>,
+    kargv: RefCell<Vec<FfiVal>>,
+}
+
+#[derive(Default)]
+struct KScratch {
+    stack: Vec<Sl>,
+    frames: Vec<Vec<Sl>>,
+}
+
+impl HostBox {
+    fn new(vm: *mut VmStatic) -> HostBox {
+        HostBox {
+            vm,
+            mode: Cell::new(Mode::Full),
+            karrays: Cell::new((std::ptr::null(), 0)),
+            stash: RefCell::new(None),
+            error: RefCell::new(None),
+            scratch: RefCell::new(KScratch::default()),
+            outbuf: RefCell::new(Vec::new()),
+            kargbuf: RefCell::new(Vec::new()),
+            kargv: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// After the module reported failure: re-raise what really
+    /// happened, preserving the payload for the runtime's classifier.
+    fn raise(&self) -> ! {
+        if let Some(p) = self.stash.borrow_mut().take() {
+            resume_unwind(p);
+        }
+        let msg = self
+            .error
+            .borrow_mut()
+            .take()
+            .unwrap_or_else(|| "skil native: module failed without a diagnostic".to_string());
+        panic!("{msg}");
+    }
+}
+
+/// Run a callback body; a panic is stashed (not propagated across the
+/// FFI boundary) and signalled to the module as a nonzero status.
+fn guard(hb: &HostBox, f: impl FnOnce()) -> i32 {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(()) => 0,
+        Err(p) => {
+            *hb.stash.borrow_mut() = Some(p);
+            1
+        }
+    }
+}
+
+fn hostbox(h: *mut c_void) -> &'static HostBox {
+    unsafe { &*(h as *const HostBox) }
+}
+
+extern "C" fn cb_charge(h: *mut c_void, sum: u64) -> i32 {
+    let hb = hostbox(h);
+    guard(hb, || {
+        // kernels never charge (their variants elide every Charge), so
+        // a flush can only arrive in full mode
+        if let Mode::Full = hb.mode.get() {
+            let vm = unsafe { &mut *hb.vm };
+            vm.proc.charge(sum);
+        }
+    })
+}
+
+extern "C" fn cb_get_elem(h: *mut c_void, arr: u64, i: i64, j: i64, out: *mut FfiVal) -> i32 {
+    let hb = hostbox(h);
+    guard(hb, || {
+        let ix = to_uindex([i, j]);
+        let v = match hb.mode.get() {
+            Mode::Full => {
+                let vm = unsafe { &mut *hb.vm };
+                vm.get_elem(arr as usize, ix)
+            }
+            Mode::Kernel => {
+                let (p, n) = hb.karrays.get();
+                let arrays = unsafe { std::slice::from_raw_parts(p, n) };
+                let a = arrays[arr as usize].as_ref().unwrap_or_else(|| {
+                    panic!(
+                        "skil runtime: use of an array being written by this skeleton or \
+                         already destroyed"
+                    )
+                });
+                match a.get(ix) {
+                    Ok(v) => v.clone(),
+                    Err(e) => panic!("skil runtime: {e}"),
+                }
+            }
+        };
+        let mut ob = hb.outbuf.borrow_mut();
+        let fv = enc_value_abs(&v, &mut ob);
+        unsafe {
+            *out = fv;
+        }
+    })
+}
+
+extern "C" fn cb_put_elem(
+    h: *mut c_void,
+    arr: u64,
+    i: i64,
+    j: i64,
+    fv: *const FfiVal,
+    base: *const u8,
+    blen: usize,
+) -> i32 {
+    let hb = hostbox(h);
+    guard(hb, || match hb.mode.get() {
+        Mode::Full => {
+            let v = unsafe { dec_value(&*fv, base, blen) };
+            let ix = to_uindex([i, j]);
+            let vm = unsafe { &mut *hb.vm };
+            let a = vm.arrays[arr as usize].as_mut().expect("array alive");
+            if let Err(e) = a.put(ix, v) {
+                panic!("skil runtime: {e}");
+            }
+        }
+        Mode::Kernel => {
+            panic!("skil runtime: array_put_elem inside a skeleton argument function")
+        }
+    })
+}
+
+extern "C" fn cb_part_bounds(h: *mut c_void, arr: u64, out: *mut i64) -> i32 {
+    let hb = hostbox(h);
+    guard(hb, || {
+        let b = match hb.mode.get() {
+            Mode::Full => {
+                let vm = unsafe { &mut *hb.vm };
+                let a = vm.arrays[arr as usize].as_ref().expect("array alive");
+                a.part_bounds()
+            }
+            Mode::Kernel => {
+                let (p, n) = hb.karrays.get();
+                let arrays = unsafe { std::slice::from_raw_parts(p, n) };
+                arrays[arr as usize].as_ref().expect("array alive").part_bounds()
+            }
+        }
+        .unwrap_or_else(|e| panic!("skil runtime: {e}"));
+        let vals = [b.lower[0] as i64, b.lower[1] as i64, b.upper[0] as i64, b.upper[1] as i64];
+        unsafe {
+            std::ptr::copy_nonoverlapping(vals.as_ptr(), out, 4);
+        }
+    })
+}
+
+extern "C" fn cb_print(h: *mut c_void, fv: *const FfiVal, base: *const u8, blen: usize) -> i32 {
+    let hb = hostbox(h);
+    guard(hb, || match hb.mode.get() {
+        Mode::Full => {
+            let v = unsafe { dec_value(&*fv, base, blen) };
+            let vm = unsafe { &mut *hb.vm };
+            vm.output.push(v.render());
+        }
+        Mode::Kernel => panic!("skil runtime: print inside a skeleton argument function"),
+    })
+}
+
+extern "C" fn cb_skel(
+    h: *mut c_void,
+    site: u32,
+    argv: *const FfiVal,
+    argc: u32,
+    base: *const u8,
+    blen: usize,
+    out: *mut FfiVal,
+) -> i32 {
+    let hb = hostbox(h);
+    guard(hb, || {
+        if let Mode::Kernel = hb.mode.get() {
+            panic!("skil runtime: skeleton call inside a skeleton argument function");
+        }
+        let args = unsafe { std::slice::from_raw_parts(argv, argc as usize) };
+        let res = {
+            let vm = unsafe { &mut *hb.vm };
+            let mut sc = hb.scratch.borrow_mut();
+            let KScratch { stack, frames } = &mut *sc;
+            stack.clear();
+            for fv in args {
+                stack.push(Sl::from_value(unsafe { dec_value(fv, base, blen) }));
+            }
+            vm.skel(site as usize, stack, frames);
+            stack.pop().expect("skeleton result").into_value()
+        };
+        let mut ob = hb.outbuf.borrow_mut();
+        let fv = enc_value_abs(&res, &mut ob);
+        unsafe {
+            *out = fv;
+        }
+    })
+}
+
+extern "C" fn cb_set_error(h: *mut c_void, ptr: *const u8, len: usize) {
+    let hb = hostbox(h);
+    let msg = unsafe { std::slice::from_raw_parts(ptr, len) };
+    *hb.error.borrow_mut() = Some(String::from_utf8_lossy(msg).into_owned());
+}
+
+// ---------------------------------------------------------------------
+// Kernel dispatch back into the module.
+// ---------------------------------------------------------------------
+
+/// The [`KernelBackend`] installed on the VM for native runs.
+struct NativeBackend {
+    module: Arc<NativeModule>,
+    gctx: Cell<*mut c_void>,
+    hb: Cell<*const HostBox>,
+    /// Encoded lifted-argument prefixes, keyed by the lifted slice's
+    /// address — stable for one skeleton call, cleared by `begin_skel`.
+    /// Without this, a lifted list or struct re-encodes per element
+    /// (quadratic for a skeleton mapping over n elements).
+    lifted: RefCell<Vec<LiftedEnc>>,
+}
+
+struct LiftedEnc {
+    key: (*const Value, usize),
+    vals: Vec<FfiVal>,
+    buf: Vec<u8>,
+}
+
+impl KernelBackend for NativeBackend {
+    fn begin_skel(&self) {
+        self.lifted.borrow_mut().clear();
+    }
+
+    fn run_kernel(
+        &self,
+        fid: usize,
+        lifted: &[Value],
+        extra: &[Value],
+        arrays: &[Option<DistArray<Value>>],
+    ) -> Value {
+        let hb = unsafe { &*self.hb.get() };
+        let mut buf = hb.kargbuf.borrow_mut();
+        let mut av = hb.kargv.borrow_mut();
+        buf.clear();
+        av.clear();
+        {
+            // lifted prefix: encoded once per skeleton call, not once
+            // per element (entry byte buffers never move — only the
+            // entry list itself grows)
+            let mut cache = self.lifted.borrow_mut();
+            let key = (lifted.as_ptr(), lifted.len());
+            let ent = match cache.iter().position(|e| e.key == key) {
+                Some(i) => &cache[i],
+                None => {
+                    let mut ebuf = Vec::new();
+                    let vals = lifted.iter().map(|v| enc_value(v, &mut ebuf)).collect();
+                    cache.push(LiftedEnc { key, vals, buf: ebuf });
+                    cache.last().expect("just pushed")
+                }
+            };
+            let base = ent.buf.as_ptr() as u64;
+            av.extend(ent.vals.iter().map(|fv| {
+                let mut fv = *fv;
+                if fv.tag == T_BYTES {
+                    fv.a += base;
+                }
+                fv
+            }));
+        }
+        let nl = av.len();
+        for v in extra {
+            let fv = enc_value(v, &mut buf);
+            av.push(fv);
+        }
+        // fix offsets to absolute pointers only after all extra
+        // arguments encoded — the buffer no longer reallocates
+        let base = buf.as_ptr() as u64;
+        for fv in av[nl..].iter_mut() {
+            if fv.tag == T_BYTES {
+                fv.a += base;
+            }
+        }
+        let prev = hb.mode.replace(Mode::Kernel);
+        hb.karrays.set((arrays.as_ptr(), arrays.len()));
+        let mut out = FfiVal { tag: 0, a: 0, b: 0 };
+        let mut ob = FfiBuf { ptr: std::ptr::null(), len: 0 };
+        let st = (self.module.kernel)(
+            self.gctx.get(),
+            fid as u32,
+            av.as_ptr(),
+            av.len() as u32,
+            &mut out,
+            &mut ob,
+        );
+        hb.mode.set(prev);
+        if st != 0 {
+            hb.raise();
+        }
+        unsafe { dec_value(&out, ob.ptr, ob.len) }
+    }
+
+    fn bulk_create(
+        &self,
+        fid: usize,
+        lifted: &[Value],
+        ixs: &[Index],
+        arrays: &[Option<DistArray<Value>>],
+    ) -> Vec<Value> {
+        if ixs.is_empty() {
+            return Vec::new();
+        }
+        self.bulk(BULK_CREATE, (fid, lifted), (0, &[]), None, ixs, arrays)
+    }
+
+    fn bulk_map(
+        &self,
+        fid: usize,
+        lifted: &[Value],
+        vals: &[Value],
+        ixs: &[Index],
+        arrays: &[Option<DistArray<Value>>],
+    ) -> Vec<Value> {
+        if ixs.is_empty() {
+            return Vec::new();
+        }
+        self.bulk(BULK_MAP, (fid, lifted), (0, &[]), Some(vals), ixs, arrays)
+    }
+
+    fn bulk_fold(
+        &self,
+        conv: (usize, &[Value]),
+        fold: (usize, &[Value]),
+        vals: &[Value],
+        ixs: &[Index],
+        arrays: &[Option<DistArray<Value>>],
+    ) -> Value {
+        self.bulk(BULK_FOLD, conv, fold, Some(vals), ixs, arrays).pop().expect("fold result")
+    }
+}
+
+const BULK_CREATE: u32 = 0;
+const BULK_MAP: u32 = 1;
+const BULK_FOLD: u32 = 2;
+
+impl NativeBackend {
+    /// One `skil_kbulk` call: the whole local pass of a skeleton in a
+    /// single FFI round trip. Per element the module receives the same
+    /// arguments — and makes host callbacks in the same order — as the
+    /// per-element [`KernelBackend::run_kernel`] path.
+    fn bulk(
+        &self,
+        op: u32,
+        f1: (usize, &[Value]),
+        f2: (usize, &[Value]),
+        vals: Option<&[Value]>,
+        ixs: &[Index],
+        arrays: &[Option<DistArray<Value>>],
+    ) -> Vec<Value> {
+        let hb = unsafe { &*self.hb.get() };
+        let mut buf = hb.kargbuf.borrow_mut();
+        buf.clear();
+        let mut l1v: Vec<FfiVal> = f1.1.iter().map(|v| enc_value(v, &mut buf)).collect();
+        let mut l2v: Vec<FfiVal> = f2.1.iter().map(|v| enc_value(v, &mut buf)).collect();
+        let ne = if vals.is_some() { 2 } else { 1 };
+        let mut ev: Vec<FfiVal> = Vec::with_capacity(ixs.len() * ne);
+        for (i, ix) in ixs.iter().enumerate() {
+            if let Some(vs) = vals {
+                ev.push(enc_value(&vs[i], &mut buf));
+            }
+            ev.push(FfiVal { tag: T_IX, a: ix[0] as u64, b: ix[1] as u64 });
+        }
+        // offsets become absolute only after everything is encoded —
+        // the buffer no longer reallocates
+        let base = buf.as_ptr() as u64;
+        for fv in l1v.iter_mut().chain(l2v.iter_mut()).chain(ev.iter_mut()) {
+            if fv.tag == T_BYTES {
+                fv.a += base;
+            }
+        }
+        let nout = if op == BULK_FOLD { 1 } else { ixs.len() };
+        let mut out = vec![FfiVal { tag: 0, a: 0, b: 0 }; nout];
+        let mut ob = FfiBuf { ptr: std::ptr::null(), len: 0 };
+        let prev = hb.mode.replace(Mode::Kernel);
+        hb.karrays.set((arrays.as_ptr(), arrays.len()));
+        let st = (self.module.kbulk)(
+            self.gctx.get(),
+            op,
+            f1.0 as u32,
+            f2.0 as u32,
+            l1v.as_ptr(),
+            l1v.len() as u32,
+            l2v.as_ptr(),
+            l2v.len() as u32,
+            ev.as_ptr(),
+            ixs.len() as u32,
+            ne as u32,
+            out.as_mut_ptr(),
+            &mut ob,
+        );
+        hb.mode.set(prev);
+        if st != 0 {
+            hb.raise();
+        }
+        out.iter().map(|fv| unsafe { dec_value(fv, ob.ptr, ob.len) }).collect()
+    }
+}
+
+/// Frees the generated context even when the run unwinds.
+struct CtxGuard {
+    free: extern "C" fn(*mut c_void),
+    gctx: *mut c_void,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        (self.free)(self.gctx);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry point.
+// ---------------------------------------------------------------------
+
+/// Per-[`crate::Compiled`] memo of the prepared module: emit + hash +
+/// load happen once per compiled program, not once per run. Clones
+/// share the memo (they are the same program).
+#[derive(Clone, Default)]
+pub(crate) struct ModuleCache(Arc<std::sync::OnceLock<Result<Arc<NativeModule>, String>>>);
+
+impl std::fmt::Debug for ModuleCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ModuleCache")
+    }
+}
+
+impl ModuleCache {
+    pub(crate) fn prepare(&self, code: &Program) -> Result<Arc<NativeModule>, String> {
+        self.0.get_or_init(|| prepare(code)).clone()
+    }
+}
+
+/// Execute a prepared native module on a machine — the native-engine
+/// mirror of [`crate::vm::try_run_program_vm_faults`], sharing its
+/// per-run setup (cost resolution, kernel cycle estimates, const pool)
+/// and the whole `Vm` host side.
+pub(crate) fn try_run_native_faults(
+    module: &Arc<NativeModule>,
+    prog: &FoProgram,
+    code: &Program,
+    machine: &Machine,
+    faults: Option<&skil_runtime::FaultPlan>,
+) -> Result<Run<Vec<String>>, SimFailure> {
+    let main = code.main.expect("instantiated program has main");
+    assert_eq!(code.funcs[main].nparams, 0, "main takes no arguments");
+    let kcode = crate::opt::strip_charges(code);
+    machine.try_run_faults(faults, |p| {
+        let cost = p.cost().clone();
+        let costs: Vec<u64> = code.costs.iter().map(|ce| ce.resolve(&cost)).collect();
+        let site_cycles: Vec<Vec<u64>> = code
+            .sites
+            .iter()
+            .map(|s| s.fns.iter().map(|f| kernel_cycles(&prog.funcs[f.fid], &cost)).collect())
+            .collect();
+        let consts: Vec<Sl> = code.consts.iter().map(|v| Sl::from_value(v.clone())).collect();
+        let me = p.id() as i64;
+        let np = p.nprocs() as i64;
+        let backend = NativeBackend {
+            module: module.clone(),
+            gctx: Cell::new(std::ptr::null_mut()),
+            hb: Cell::new(std::ptr::null()),
+            lifted: RefCell::new(Vec::new()),
+        };
+        let mut vm = Vm {
+            code,
+            kcode: &kcode,
+            costs,
+            site_cycles,
+            consts,
+            proc: p,
+            arrays: Vec::new(),
+            output: Vec::new(),
+            native: Some(&backend),
+        };
+        let costs_ptr = vm.costs.as_ptr();
+        let hb = HostBox::new(&mut vm as *mut Vm<'_, '_, '_> as *mut VmStatic);
+        backend.hb.set(&hb as *const HostBox);
+        let gctx =
+            (module.ctx_new)(&hb as *const HostBox as *mut c_void, &HOST_VTABLE, me, np, costs_ptr);
+        backend.gctx.set(gctx);
+        let _guard = CtxGuard { free: module.ctx_free, gctx };
+        let st = (module.main)(gctx);
+        if st != 0 {
+            hb.raise();
+        }
+        std::mem::take(&mut vm.output)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        // pinned so on-disk artifact keys survive refactors
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"skil"), fnv1a64(b"skil"));
+        assert_ne!(fnv1a64(b"skil"), fnv1a64(b"skim"));
+    }
+
+    #[test]
+    fn value_codec_roundtrips() {
+        use crate::value::ConsList;
+        let vals = [
+            Value::Unit,
+            Value::Int(-7),
+            Value::Float(2.5),
+            Value::Array(3),
+            Value::Index([4, -1]),
+            Value::Bounds([0, 0], [7, 7]),
+            Value::Struct(2, vec![Value::Int(1), Value::Float(0.5)]),
+            Value::List(ConsList::from_vec(vec![Value::Int(1), Value::Int(2)])),
+        ];
+        let mut buf = Vec::new();
+        let fvs: Vec<FfiVal> = vals.iter().map(|v| enc_value(v, &mut buf)).collect();
+        let base = buf.as_ptr();
+        for (v, fv) in vals.iter().zip(&fvs) {
+            let back = unsafe { dec_value(fv, base, buf.len()) };
+            assert_eq!(*v, back);
+        }
+    }
+}

@@ -28,8 +28,8 @@ use std::cell::RefCell;
 
 use skil_array::{ArraySpec, DistArray, Distribution, Index};
 use skil_core::{
-    array_broadcast_part, array_copy, array_create, array_fold, array_gen_mult, array_map,
-    array_map_inplace, array_permute_rows, Kernel,
+    array_broadcast_part, array_copy, array_create, array_fold, array_fold_bulk, array_gen_mult,
+    array_map, array_map_inplace, array_permute_rows, Kernel,
 };
 use skil_runtime::{Distr, Machine, Proc, Run};
 
@@ -94,6 +94,7 @@ pub fn try_run_program_vm_faults(
             proc: p,
             arrays: Vec::new(),
             output: Vec::new(),
+            native: None,
         };
         let mut stack = Vec::new();
         let mut frames = Vec::new();
@@ -108,14 +109,14 @@ pub fn try_run_program_vm_faults(
 /// Invariant: the `V` arm never holds `Value::Int` or `Value::Float` —
 /// every constructor normalizes through [`Sl::from_value`].
 #[derive(Debug, Clone)]
-enum Sl {
+pub(crate) enum Sl {
     I(i64),
     F(f64),
     V(Value),
 }
 
 impl Sl {
-    fn from_value(v: Value) -> Sl {
+    pub(crate) fn from_value(v: Value) -> Sl {
         match v {
             Value::Int(i) => Sl::I(i),
             Value::Float(f) => Sl::F(f),
@@ -131,7 +132,7 @@ impl Sl {
         }
     }
 
-    fn into_value(self) -> Value {
+    pub(crate) fn into_value(self) -> Value {
         match self {
             Sl::I(i) => Value::Int(i),
             Sl::F(f) => Value::Float(f),
@@ -240,7 +241,7 @@ fn field_sl(v: Sl, index: usize) -> Sl {
 
 /// What the dispatch loop defers to its execution mode. Monomorphized
 /// per host, so kernel-mode `charge_ix` compiles to nothing.
-trait Host {
+pub(crate) trait Host {
     fn charge_ix(&mut self, i: u32);
     /// The constant pool, pre-converted to slots.
     fn kconsts(&self) -> &[Sl];
@@ -444,20 +445,76 @@ fn exec<H: Host>(
     frames.push(frame);
 }
 
+/// The native engine's hook into kernel dispatch: `General`-shape
+/// skeleton argument functions are run by machine code compiled from
+/// the same (charge-stripped) bytecode. Trivial shapes (`Bin`,
+/// `Intrinsic`) never cross this boundary — the host fast paths in
+/// [`KernelVm`] stay in force under every engine.
+pub(crate) trait KernelBackend {
+    /// A skeleton call is starting: per-invocation caches (encoded
+    /// lifted arguments) reset here. Lifted values are immutable and
+    /// alive for the whole skeleton call, so anything keyed on their
+    /// address is valid until the next `begin_skel`.
+    fn begin_skel(&self) {}
+
+    fn run_kernel(
+        &self,
+        fid: usize,
+        lifted: &[Value],
+        extra: &[Value],
+        arrays: &[Option<DistArray<Value>>],
+    ) -> Value;
+
+    /// `array_create`'s local pass in one call: `fid(ix)` per index, in
+    /// order. Must behave exactly like `ixs.len()` `run_kernel` calls.
+    fn bulk_create(
+        &self,
+        fid: usize,
+        lifted: &[Value],
+        ixs: &[Index],
+        arrays: &[Option<DistArray<Value>>],
+    ) -> Vec<Value>;
+
+    /// `array_map`'s local pass in one call: `fid(v, ix)` per element.
+    fn bulk_map(
+        &self,
+        fid: usize,
+        lifted: &[Value],
+        vals: &[Value],
+        ixs: &[Index],
+        arrays: &[Option<DistArray<Value>>],
+    ) -> Vec<Value>;
+
+    /// `array_fold`'s fused local pass in one call: convert each
+    /// element and fold it into the running partition value. The caller
+    /// guarantees a non-empty partition.
+    fn bulk_fold(
+        &self,
+        conv: (usize, &[Value]),
+        fold: (usize, &[Value]),
+        vals: &[Value],
+        ixs: &[Index],
+        arrays: &[Option<DistArray<Value>>],
+    ) -> Value;
+}
+
 /// Full execution mode: one per processor, owns the arrays and output.
-struct Vm<'a, 'p, 'm> {
-    code: &'a Program,
+pub(crate) struct Vm<'a, 'p, 'm> {
+    pub(crate) code: &'a Program,
     /// `code` with `Charge`s stripped — what kernel execution runs.
-    kcode: &'a Program,
+    pub(crate) kcode: &'a Program,
     /// `code.costs` resolved to cycles under this machine's cost model.
-    costs: Vec<u64>,
+    pub(crate) costs: Vec<u64>,
     /// Per site, per argument function: the kernel charge per element.
-    site_cycles: Vec<Vec<u64>>,
+    pub(crate) site_cycles: Vec<Vec<u64>>,
     /// `code.consts`, pre-converted to slots.
-    consts: Vec<Sl>,
-    proc: &'p mut Proc<'m>,
-    arrays: Vec<Option<DistArray<Value>>>,
-    output: Vec<String>,
+    pub(crate) consts: Vec<Sl>,
+    pub(crate) proc: &'p mut Proc<'m>,
+    pub(crate) arrays: Vec<Option<DistArray<Value>>>,
+    pub(crate) output: Vec<String>,
+    /// `Some` when the native engine drives this VM: `General` kernels
+    /// are dispatched to compiled code instead of the interpreter.
+    pub(crate) native: Option<&'a dyn KernelBackend>,
 }
 
 impl Host for Vm<'_, '_, '_> {
@@ -512,6 +569,9 @@ impl Host for Vm<'_, '_, '_> {
     /// Dispatch a skeleton call site to `skil-core`, running argument
     /// functions under the kernel VM.
     fn skel(&mut self, site_ix: usize, stack: &mut Vec<Sl>, _frames: &mut Vec<Vec<Sl>>) {
+        if let Some(nb) = self.native {
+            nb.begin_skel();
+        }
         let site: &SkelSite = &self.code.sites[site_ix];
         let cost = self.proc.cost().clone();
         // stack layout: [value args..., fn0 lifted..., fn1 lifted...]
@@ -553,14 +613,27 @@ impl Host for Vm<'_, '_, '_> {
                 };
                 let handle = self.arrays.len();
                 let arr = {
-                    let kvm = kernel_vm(self.kcode, &self.consts, &self.arrays, me, np);
+                    let kvm =
+                        kernel_vm(self.kcode, &self.consts, &self.arrays, me, np, self.native);
+                    // Batch path: compiled initializer, one FFI round trip
+                    // for the whole partition. A spec `plan` error skips
+                    // the prefetch; `array_create` then reports the
+                    // identical error before any kernel call.
+                    let mut pre = batch_backend(self.native, site)
+                        .and_then(|nb| {
+                            let (layout, _) = spec.plan(self.proc).ok()?;
+                            let ixs: Vec<Index> = layout.local_indices(me).collect();
+                            Some(nb.bulk_create(site.fns[0].fid, &lifted[0], &ixs, &self.arrays))
+                        })
+                        .map(Vec::into_iter);
                     let init = Kernel::new(
-                        |ix: Index| {
-                            kvm.run(
+                        |ix: Index| match pre.as_mut() {
+                            Some(it) => it.next().expect("planned bulk element"),
+                            None => kvm.run(
                                 &site.fns[0],
                                 &lifted[0],
                                 &[Value::Index([ix[0] as i64, ix[1] as i64])],
-                            )
+                            ),
                         },
                         cycles[0],
                     );
@@ -583,15 +656,32 @@ impl Host for Vm<'_, '_, '_> {
                     // in-situ replacement, as the paper allows
                     let mut arr = self.arrays[from_h].take().expect("array alive");
                     {
-                        let kvm = kernel_vm(self.kcode, &self.consts, &self.arrays, me, np);
+                        let kvm =
+                            kernel_vm(self.kcode, &self.consts, &self.arrays, me, np, self.native);
+                        // batch path: the whole local pass in one FFI call,
+                        // reading the same pre-map snapshot
+                        let mut pre = batch_backend(self.native, site)
+                            .map(|nb| {
+                                let ixs: Vec<Index> =
+                                    arr.layout().local_indices(arr.proc_id()).collect();
+                                nb.bulk_map(
+                                    site.fns[0].fid,
+                                    &lifted[0],
+                                    arr.local_data(),
+                                    &ixs,
+                                    &self.arrays,
+                                )
+                            })
+                            .map(Vec::into_iter);
                         let k = Kernel::new(
-                            |v: &Value, ix: Index| {
-                                kvm.run2(
+                            |v: &Value, ix: Index| match pre.as_mut() {
+                                Some(it) => it.next().expect("prefetched map element"),
+                                None => kvm.run2(
                                     &site.fns[0],
                                     &lifted[0],
                                     v.clone(),
                                     Value::Index([ix[0] as i64, ix[1] as i64]),
-                                )
+                                ),
                             },
                             cycles[0],
                         );
@@ -603,15 +693,33 @@ impl Host for Vm<'_, '_, '_> {
                     let mut to = self.arrays[to_h].take().expect("array alive");
                     {
                         let from = self.arrays[from_h].as_ref().expect("array alive");
-                        let kvm = kernel_vm(self.kcode, &self.consts, &self.arrays, me, np);
+                        let kvm =
+                            kernel_vm(self.kcode, &self.consts, &self.arrays, me, np, self.native);
+                        // batch path, gated on the same conformability
+                        // check `array_map` makes before any kernel call
+                        let mut pre = batch_backend(self.native, site)
+                            .filter(|_| from.conformable(&to))
+                            .map(|nb| {
+                                let ixs: Vec<Index> =
+                                    from.layout().local_indices(from.proc_id()).collect();
+                                nb.bulk_map(
+                                    site.fns[0].fid,
+                                    &lifted[0],
+                                    from.local_data(),
+                                    &ixs,
+                                    &self.arrays,
+                                )
+                            })
+                            .map(Vec::into_iter);
                         let k = Kernel::new(
-                            |v: &Value, ix: Index| {
-                                kvm.run2(
+                            |v: &Value, ix: Index| match pre.as_mut() {
+                                Some(it) => it.next().expect("prefetched map element"),
+                                None => kvm.run2(
                                     &site.fns[0],
                                     &lifted[0],
                                     v.clone(),
                                     Value::Index([ix[0] as i64, ix[1] as i64]),
-                                )
+                                ),
                             },
                             cycles[0],
                         );
@@ -625,24 +733,51 @@ impl Host for Vm<'_, '_, '_> {
             SkelOp::Fold => {
                 let h = vals[0].as_array();
                 let arr = self.arrays[h].as_ref().expect("array alive");
-                let kvm = kernel_vm(self.kcode, &self.consts, &self.arrays, me, np);
-                let conv = Kernel::new(
-                    |v: &Value, ix: Index| {
-                        kvm.run2(
-                            &site.fns[0],
-                            &lifted[0],
-                            v.clone(),
-                            Value::Index([ix[0] as i64, ix[1] as i64]),
-                        )
-                    },
-                    cycles[0],
-                );
-                let fold = Kernel::new(
-                    |x: Value, y: Value| kvm.run2(&site.fns[1], &lifted[1], x, y),
-                    cycles[1],
-                );
-                array_fold(self.proc, conv, fold, arr)
+                let kvm = kernel_vm(self.kcode, &self.consts, &self.arrays, me, np, self.native);
+                if let Some(nb) = batch_backend(self.native, site) {
+                    // batch path: the fused convert+fold local pass runs
+                    // compiled in one FFI call; the tree reduction still
+                    // dispatches per hop
+                    array_fold_bulk(
+                        self.proc,
+                        cycles[0],
+                        cycles[1],
+                        |vs: &[Value], ixs: &[Index]| {
+                            if vs.is_empty() {
+                                None
+                            } else {
+                                Some(nb.bulk_fold(
+                                    (site.fns[0].fid, &lifted[0]),
+                                    (site.fns[1].fid, &lifted[1]),
+                                    vs,
+                                    ixs,
+                                    &self.arrays,
+                                ))
+                            }
+                        },
+                        |x, y| kvm.run2(&site.fns[1], &lifted[1], x, y),
+                        arr,
+                    )
                     .unwrap_or_else(|e| panic!("skil runtime: {e}"))
+                } else {
+                    let conv = Kernel::new(
+                        |v: &Value, ix: Index| {
+                            kvm.run2(
+                                &site.fns[0],
+                                &lifted[0],
+                                v.clone(),
+                                Value::Index([ix[0] as i64, ix[1] as i64]),
+                            )
+                        },
+                        cycles[0],
+                    );
+                    let fold = Kernel::new(
+                        |x: Value, y: Value| kvm.run2(&site.fns[1], &lifted[1], x, y),
+                        cycles[1],
+                    );
+                    array_fold(self.proc, conv, fold, arr)
+                        .unwrap_or_else(|e| panic!("skil runtime: {e}"))
+                }
             }
             SkelOp::Copy => {
                 let from_h = vals[0].as_array();
@@ -675,7 +810,8 @@ impl Host for Vm<'_, '_, '_> {
                     // `array_permute_rows` wants `Fn`, not `FnMut`; the
                     // kernel VM's scratch space is interior-mutable, so a
                     // shared borrow suffices
-                    let kvm = kernel_vm(self.kcode, &self.consts, &self.arrays, me, np);
+                    let kvm =
+                        kernel_vm(self.kcode, &self.consts, &self.arrays, me, np, self.native);
                     let perm = |r: usize| -> usize {
                         let v = kvm.run(&site.fns[0], &lifted[0], &[Value::Int(r as i64)]).as_int();
                         assert!(v >= 0, "skil runtime: negative permuted row {v}");
@@ -694,7 +830,8 @@ impl Host for Vm<'_, '_, '_> {
                 let mut to = self.arrays[to_h].take().expect("array alive");
                 {
                     let from = self.arrays[from_h].as_ref().expect("array alive");
-                    let kvm = kernel_vm(self.kcode, &self.consts, &self.arrays, me, np);
+                    let kvm =
+                        kernel_vm(self.kcode, &self.consts, &self.arrays, me, np, self.native);
                     let k = Kernel::new(
                         |x: Value, y: Value| kvm.run2(&site.fns[0], &lifted[0], x, y),
                         cycles[0],
@@ -708,7 +845,8 @@ impl Host for Vm<'_, '_, '_> {
             SkelOp::Dc => {
                 let problem = vals[0].clone();
                 let result = {
-                    let kvm = kernel_vm(self.kcode, &self.consts, &self.arrays, me, np);
+                    let kvm =
+                        kernel_vm(self.kcode, &self.consts, &self.arrays, me, np, self.native);
                     let mut ops = skil_core::DcOps {
                         is_trivial: Kernel::new(
                             |p: &Value| {
@@ -761,7 +899,8 @@ impl Host for Vm<'_, '_, '_> {
                     panic!("skil runtime: farm needs a task list");
                 };
                 let result = {
-                    let kvm = kernel_vm(self.kcode, &self.consts, &self.arrays, me, np);
+                    let kvm =
+                        kernel_vm(self.kcode, &self.consts, &self.arrays, me, np, self.native);
                     let worker = Kernel::new(
                         |t: &Value| kvm.run(&site.fns[0], &lifted[0], std::slice::from_ref(t)),
                         cycles[0],
@@ -789,7 +928,8 @@ impl Host for Vm<'_, '_, '_> {
                 {
                     let aarr = self.arrays[a_h].as_ref().expect("array alive");
                     let barr = self.arrays[b_h].as_ref().expect("array alive");
-                    let kvm = kernel_vm(self.kcode, &self.consts, &self.arrays, me, np);
+                    let kvm =
+                        kernel_vm(self.kcode, &self.consts, &self.arrays, me, np, self.native);
                     let add = Kernel::new(
                         |x: Value, y: Value| kvm.run2(&site.fns[0], &lifted[0], x, y),
                         cycles[0],
@@ -811,14 +951,26 @@ impl Host for Vm<'_, '_, '_> {
     }
 }
 
+/// The backend to batch a skeleton's local pass through — only when a
+/// compiled module drives kernels *and* at least one argument function
+/// is `General`-shaped. Trivial shapes never cross the FFI alone;
+/// their host fast paths are cheaper than any round trip.
+fn batch_backend<'a>(
+    native: Option<&'a dyn KernelBackend>,
+    site: &SkelSite,
+) -> Option<&'a dyn KernelBackend> {
+    native.filter(|_| site.fns.iter().any(|f| matches!(f.shape, KernelShape::General)))
+}
+
 fn kernel_vm<'a>(
     code: &'a Program,
     consts: &'a [Sl],
     arrays: &'a [Option<DistArray<Value>>],
     me: usize,
     nprocs: usize,
+    native: Option<&'a dyn KernelBackend>,
 ) -> KernelVm<'a> {
-    KernelVm { code, consts, arrays, me, nprocs, scratch: RefCell::new(Scratch::default()) }
+    KernelVm { code, consts, arrays, me, nprocs, native, scratch: RefCell::new(Scratch::default()) }
 }
 
 #[derive(Default)]
@@ -893,6 +1045,7 @@ struct KernelVm<'a> {
     arrays: &'a [Option<DistArray<Value>>],
     me: usize,
     nprocs: usize,
+    native: Option<&'a dyn KernelBackend>,
     scratch: RefCell<Scratch>,
 }
 
@@ -925,6 +1078,9 @@ impl KernelVm<'_> {
                 op.eval_pure(&args).expect("shape-classified intrinsic is pure")
             }
             KernelShape::General => {
+                if let Some(nb) = self.native {
+                    return nb.run_kernel(f.fid, lifted, extra, self.arrays);
+                }
                 let mut s = self.scratch.borrow_mut();
                 let Scratch { stack, frames } = &mut *s;
                 stack.extend(lifted.iter().map(Sl::from_value_ref));

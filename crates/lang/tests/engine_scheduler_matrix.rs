@@ -1,10 +1,11 @@
 //! Engine × scheduler differential matrix on real Skil programs.
 //!
 //! The runtime's scheduler swap must be invisible through the whole
-//! language stack: AST walker and bytecode VM, on the event scheduler
-//! and the thread scheduler, at any worker count, must print the same
-//! output and charge bit-identical virtual time. These tests run the
-//! paper's shortest-paths program through every cell of that matrix,
+//! language stack: AST walker, bytecode VM, and the machine-code
+//! native engine, on the event scheduler and the thread scheduler, at
+//! any worker count, must print the same output and charge
+//! bit-identical virtual time. These tests run the paper's
+//! shortest-paths program through every cell of that matrix,
 //! including a recoverable fault plan and a crash plan.
 
 use skil_lang::{compile, Engine};
@@ -25,7 +26,7 @@ fn machine(kind: SchedulerKind, workers: Option<usize>, faults: Option<&FaultPla
 
 fn cells(faults: Option<&FaultPlan>) -> Vec<(String, Engine, Machine)> {
     let mut out = Vec::new();
-    for engine in [Engine::Ast, Engine::Vm] {
+    for engine in [Engine::Ast, Engine::Vm, Engine::Native] {
         for kind in [SchedulerKind::Event, SchedulerKind::Threads] {
             for workers in [None, Some(1)] {
                 out.push((

@@ -1,0 +1,67 @@
+//! The native engine must degrade, never panic, on hosts without a
+//! working `rustc`. `SKIL_NATIVE_RUSTC` pointed at a nonexistent
+//! binary simulates such a host; both the library API and the `skilc`
+//! driver must fall back to the VM with correct results.
+//!
+//! Both checks live in one `#[test]` because the library check mutates
+//! process-global environment variables, which must not race a
+//! parallel test thread.
+
+use std::process::Command;
+
+use skil_lang::{compile, Engine};
+use skil_runtime::{Machine, MachineConfig};
+
+// A program no other test compiles, so neither the in-process module
+// registry nor a shared on-disk artifact cache can already hold it.
+const PROGRAM: &str = "int initf(Index ix) { return ix[0] * 31 + 7; }\n\
+                       int conv(int v, Index ix) { return v; }\n\
+                       void main() {\n\
+                         array<int> a = array_create(1, {48,1}, {0,0}, {0-1,0-1}, initf, DISTR_DEFAULT);\n\
+                         int s = array_fold(conv, (+), a);\n\
+                         if (procId == 0) { print(s); }\n\
+                       }";
+
+#[test]
+fn native_engine_falls_back_to_vm_when_rustc_is_unavailable() {
+    let dir = std::env::temp_dir().join(format!("skil-no-rustc-{}", std::process::id()));
+
+    // --- library API: Engine::Native silently degrades to the VM ---
+    std::env::set_var("SKIL_NATIVE_RUSTC", "/nonexistent/rustc");
+    std::env::set_var("SKIL_NATIVE_CACHE_DIR", &dir);
+    let compiled = compile(PROGRAM).expect("program compiles");
+    assert!(
+        compiled.native_ready().is_err(),
+        "a nonexistent rustc must make the native engine unavailable"
+    );
+    let machine = Machine::new(MachineConfig::square(2).unwrap());
+    let native = compiled.run_with(Engine::Native, &machine);
+    let vm = compiled.run_with(Engine::Vm, &machine);
+    assert_eq!(native.results, vm.results, "fallback run must still be correct");
+    assert_eq!(native.report.sim_cycles, vm.report.sim_cycles);
+    std::env::remove_var("SKIL_NATIVE_RUSTC");
+    std::env::remove_var("SKIL_NATIVE_CACHE_DIR");
+
+    // --- skilc driver: warns on stderr, still runs, still exits 0 ---
+    let src_path = dir.join("fallback.skil");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    std::fs::write(&src_path, PROGRAM).expect("write program");
+    let out = Command::new(env!("CARGO_BIN_EXE_skilc"))
+        .env("SKIL_NATIVE_RUSTC", "/nonexistent/rustc")
+        .env("SKIL_NATIVE_CACHE_DIR", &dir)
+        .arg("--run")
+        .arg("--engine")
+        .arg("native")
+        .arg("--mesh")
+        .arg("2x2")
+        .arg(&src_path)
+        .output()
+        .expect("run skilc");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "fallback must not fail the run: {stderr}");
+    assert!(!stderr.contains("panicked at"), "raw panic leaked: {stderr}");
+    assert!(stderr.contains("falling back to vm"), "fallback must be reported: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[proc 0]"), "program output still produced: {stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

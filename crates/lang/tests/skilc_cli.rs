@@ -185,6 +185,59 @@ fn emit_bytecode_prints_listing_and_stats() {
     assert!(listing.contains("binstore") || listing.contains("jnz.cmp"), "{listing}");
 }
 
+#[test]
+fn emit_rust_prints_native_module() {
+    let src = "int initf(Index ix) { return ix[0] * 3; }\n\
+               int conv(int v, Index ix) { return v; }\n\
+               void main() {\n\
+                 array<int> a = array_create(1, {64,1}, {0,0}, {0-1,0-1}, initf, DISTR_DEFAULT);\n\
+                 int s = array_fold(conv, (+), a);\n\
+                 if (procId == 0) { print(s); }\n\
+               }";
+    let path = write_temp("emitrust.skil", src);
+    let out = skilc().arg("--emit-rust").arg(&path).output().expect("run skilc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let rust = String::from_utf8_lossy(&out.stdout);
+    // the module must be self-contained: entry points, the FFI value
+    // codec, and the compiled kernels all in one listing
+    assert!(rust.contains("pub extern \"C\" fn skil_main"), "{rust}");
+    assert!(rust.contains("pub extern \"C\" fn skil_kernel"), "{rust}");
+    assert!(rust.contains("pub extern \"C\" fn skil_kbulk"), "{rust}");
+    assert!(rust.contains("pub extern \"C\" fn skil_abi"), "{rust}");
+    assert!(rust.contains("fn k0"), "compiled kernel bodies present: {rust}");
+}
+
+#[test]
+fn run_mode_with_native_engine_matches_vm() {
+    let src = "int initf(Index ix) { return ix[0] * 7 % 13; }\n\
+               int conv(int v, Index ix) { return v; }\n\
+               void main() {\n\
+                 array<int> a = array_create(1, {64,1}, {0,0}, {0-1,0-1}, initf, DISTR_DEFAULT);\n\
+                 int s = array_fold(conv, (+), a);\n\
+                 if (procId == 0) { print(s); }\n\
+               }";
+    let path = write_temp("native_run.skil", src);
+    let mut runs = Vec::new();
+    for engine in ["vm", "native"] {
+        let out = skilc()
+            .arg("--run")
+            .arg("--engine")
+            .arg(engine)
+            .arg("--mesh")
+            .arg("2x2")
+            .arg(&path)
+            .output()
+            .expect("run skilc");
+        assert!(out.status.success(), "engine {engine}: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+        // printed values and the simulated-cycles summary must agree
+        let cycles = stderr.split('(').nth(1).map(|s| s.to_string());
+        runs.push((stdout, cycles));
+    }
+    assert_eq!(runs[0], runs[1], "vm vs native CLI output");
+}
+
 /// `procId - procId` defeats constant folding, so the division really
 /// happens at run time under every engine and opt level.
 const DIV_ZERO: &str = "void main() { int z = procId - procId; print(100 / z); }";
@@ -197,11 +250,11 @@ const OOB_INDEX: &str = "int initf(Index ix) { return 0; }\n\
                          }";
 
 /// A Skil runtime error must surface as a structured diagnostic and
-/// exit code 3 — not a raw Rust panic — under both engines.
+/// exit code 3 — not a raw Rust panic — under every engine.
 #[test]
-fn runtime_division_by_zero_is_structured_under_both_engines() {
+fn runtime_division_by_zero_is_structured_under_every_engine() {
     let path = write_temp("div_zero.skil", DIV_ZERO);
-    for engine in ["ast", "vm"] {
+    for engine in ["ast", "vm", "native"] {
         let out = skilc()
             .arg("--run")
             .arg("--engine")
@@ -220,9 +273,9 @@ fn runtime_division_by_zero_is_structured_under_both_engines() {
 }
 
 #[test]
-fn runtime_out_of_bounds_index_is_structured_under_both_engines() {
+fn runtime_out_of_bounds_index_is_structured_under_every_engine() {
     let path = write_temp("oob_index.skil", OOB_INDEX);
-    for engine in ["ast", "vm"] {
+    for engine in ["ast", "vm", "native"] {
         let out = skilc()
             .arg("--run")
             .arg("--engine")

@@ -3,11 +3,15 @@
 //! throughput, and cache effectiveness.
 //!
 //! The mix deliberately includes every failure mode the daemon must
-//! absorb — Skil runtime errors (division by zero) under both engines
-//! and crash fault plans — interleaved with real skeleton programs
-//! (`shortest_paths.skil`, `gauss.skil`), whose golden `sim_cycles`
-//! are asserted on **every** run: warm pooled machines must be
-//! bit-identical with cold ones, request after request.
+//! absorb — Skil runtime errors (division by zero) under all three
+//! engines and crash fault plans — interleaved with real skeleton
+//! programs (`shortest_paths.skil`, `gauss.skil`), whose golden
+//! `sim_cycles` are asserted on **every** run: warm pooled machines
+//! must be bit-identical with cold ones, request after request. The
+//! mesh sweep (1x3 and 4x4 alongside the default 2x2) keeps several
+//! pool shapes warm at once, and the native-engine workloads must ride
+//! the same compiled-program cache as the VM's (the >= 90% hit-rate
+//! gate counts them).
 //!
 //! Emits `BENCH_serving.json` (schema `skil-bench/serving/v1`, gated
 //! by `scripts/bench_gate.py`).
@@ -67,6 +71,7 @@ struct Workload {
     name: &'static str,
     program: &'static str,
     engine: Engine,
+    mesh: (usize, usize),
     faults: Option<&'static str>,
     expect: Expect,
     /// Requests at the default 2,000-request volume.
@@ -79,30 +84,75 @@ fn mix() -> Vec<Workload> {
             name: "hello_vm",
             program: HELLO,
             engine: Engine::Vm,
+            mesh: (2, 2),
             faults: None,
             expect: Expect::Ok(None),
-            weight: 1000,
+            weight: 800,
         },
         Workload {
             name: "fold_vm",
             program: FOLD,
             engine: Engine::Vm,
+            mesh: (2, 2),
             faults: None,
             expect: Expect::Ok(None),
-            weight: 400,
+            weight: 300,
         },
         Workload {
             name: "fold_ast",
             program: FOLD,
             engine: Engine::Ast,
+            mesh: (2, 2),
             faults: None,
             expect: Expect::Ok(None),
-            weight: 200,
+            weight: 150,
+        },
+        // the native engine in the mix: compiled once (machine code is
+        // cached inside the Compiled entry), then served warm — the
+        // daemon-level cache-hit gate below covers these requests too
+        Workload {
+            name: "fold_native",
+            program: FOLD,
+            engine: Engine::Native,
+            mesh: (2, 2),
+            faults: None,
+            expect: Expect::Ok(None),
+            weight: 150,
+        },
+        Workload {
+            name: "shortest_paths_native",
+            program: SHORTEST_PATHS,
+            engine: Engine::Native,
+            mesh: (2, 2),
+            faults: None,
+            expect: Expect::Ok(Some(GOLDEN_SHORTEST_PATHS)),
+            weight: 12,
+        },
+        // mesh sweep: the pool must keep distinct shapes warm side by
+        // side (per-shape counters are asserted after the replay)
+        Workload {
+            name: "fold_vm_1x3",
+            program: FOLD,
+            engine: Engine::Vm,
+            mesh: (1, 3),
+            faults: None,
+            expect: Expect::Ok(None),
+            weight: 120,
+        },
+        Workload {
+            name: "fold_native_4x4",
+            program: FOLD,
+            engine: Engine::Native,
+            mesh: (4, 4),
+            faults: None,
+            expect: Expect::Ok(None),
+            weight: 100,
         },
         Workload {
             name: "shortest_paths_vm",
             program: SHORTEST_PATHS,
             engine: Engine::Vm,
+            mesh: (2, 2),
             faults: None,
             expect: Expect::Ok(Some(GOLDEN_SHORTEST_PATHS)),
             weight: 24,
@@ -111,6 +161,7 @@ fn mix() -> Vec<Workload> {
             name: "gauss_vm",
             program: GAUSS,
             engine: Engine::Vm,
+            mesh: (2, 2),
             faults: None,
             expect: Expect::Ok(Some(GOLDEN_GAUSS)),
             weight: 8,
@@ -119,25 +170,37 @@ fn mix() -> Vec<Workload> {
             name: "div_zero_vm",
             program: DIV_ZERO,
             engine: Engine::Vm,
+            mesh: (2, 2),
             faults: None,
             expect: Expect::RuntimeError("division by zero"),
-            weight: 150,
+            weight: 118,
+        },
+        Workload {
+            name: "div_zero_native",
+            program: DIV_ZERO,
+            engine: Engine::Native,
+            mesh: (2, 2),
+            faults: None,
+            expect: Expect::RuntimeError("division by zero"),
+            weight: 50,
         },
         Workload {
             name: "div_zero_ast",
             program: DIV_ZERO,
             engine: Engine::Ast,
+            mesh: (2, 2),
             faults: None,
             expect: Expect::RuntimeError("division by zero"),
-            weight: 100,
+            weight: 68,
         },
         Workload {
             name: "crash_fault_vm",
             program: FOLD,
             engine: Engine::Vm,
+            mesh: (2, 2),
             faults: Some("seed=7,crash=3@50"),
             expect: Expect::RuntimeError("crashed by fault plan"),
-            weight: 118,
+            weight: 100,
         },
     ]
 }
@@ -241,7 +304,7 @@ fn main() -> ExitCode {
                 let req = Request {
                     id: None,
                     program: w.program.to_string(),
-                    mesh: (2, 2),
+                    mesh: w.mesh,
                     engine: w.engine,
                     opt_level: OptLevel::default(),
                     faults: w.faults.map(|spec| FaultPlan::parse(spec).unwrap()),
@@ -350,6 +413,22 @@ fn main() -> ExitCode {
         eprintln!("bench_serving: FAIL: cache hit rate {:.3} below 0.90", hit_rate);
         return ExitCode::FAILURE;
     }
+    // Every mesh shape in the mix must show up in the per-shape pool
+    // counters, and each shape's machines must have been reused.
+    for mesh in [(2, 2), (1, 3), (4, 4)] {
+        let Some(p) = stats.pool.iter().find(|p| p.mesh == mesh) else {
+            eprintln!("bench_serving: FAIL: no pool counters for {}x{}", mesh.0, mesh.1);
+            return ExitCode::FAILURE;
+        };
+        eprintln!(
+            "bench_serving: pool {}x{}: {} warm / {} cold checkout(s), {} idle",
+            mesh.0, mesh.1, p.warm, p.cold, p.idle
+        );
+        if p.warm == 0 {
+            eprintln!("bench_serving: FAIL: {}x{} machines were never reused", mesh.0, mesh.1);
+            return ExitCode::FAILURE;
+        }
+    }
 
     let mut out = String::new();
     writeln!(out, "{{").unwrap();
@@ -364,6 +443,19 @@ fn main() -> ExitCode {
         .unwrap();
     writeln!(out, "  \"golden_shortest_paths_cycles\": {GOLDEN_SHORTEST_PATHS},").unwrap();
     writeln!(out, "  \"golden_gauss_cycles\": {GOLDEN_GAUSS},").unwrap();
+    writeln!(out, "  \"pool\": [").unwrap();
+    let pool_lines: Vec<String> = stats
+        .pool
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"mesh\": \"{}x{}\", \"warm\": {}, \"cold\": {}, \"idle\": {}}}",
+                p.mesh.0, p.mesh.1, p.warm, p.cold, p.idle
+            )
+        })
+        .collect();
+    writeln!(out, "{}", pool_lines.join(",\n")).unwrap();
+    writeln!(out, "  ],").unwrap();
     writeln!(out, "  \"p50_ns\": {},", percentile(&all, 50)).unwrap();
     writeln!(out, "  \"p99_ns\": {},", percentile(&all, 99)).unwrap();
     writeln!(out, "  \"runs_per_sec\": {:.2},", runs_per_sec).unwrap();

@@ -18,7 +18,7 @@
 //! {"id":"r1",                  optional, echoed back
 //!  "program":"<skil source>",  required
 //!  "mesh":"2x2",               optional, default 2x2
-//!  "engine":"vm",              optional, ast|vm, default vm
+//!  "engine":"vm",              optional, ast|vm|native, default vm
 //!  "opt_level":2,              optional, 0|1|2, default 2
 //!  "faults":"seed=7,crash=3@1000000"}   optional fault plan
 //! ```
@@ -142,6 +142,12 @@ fn main() -> ExitCode {
         s.machines_cold,
         s.machines_discarded,
     );
+    for p in &s.pool {
+        eprintln!(
+            "skild:   pool {}x{}: {} warm / {} cold checkout(s), {} idle",
+            p.mesh.0, p.mesh.1, p.warm, p.cold, p.idle
+        );
+    }
     if io_failed {
         ExitCode::FAILURE
     } else {

@@ -56,8 +56,10 @@ use skil_runtime::{FaultPlan, Machine, MachineConfig, Run};
 /// the serving contract — today every pooled machine uses the T800
 /// model, but a cached program must never outlive the model its cycles
 /// were validated against. The engine is included for the same
-/// forward-compatibility reason (both engines currently share one
-/// bytecode image).
+/// forward-compatibility reason (every engine currently shares one
+/// bytecode image; the native engine's compiled module rides inside
+/// [`Compiled`] keyed by content hash, so cached programs reuse the
+/// `dlopen`ed artifact across requests).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct ProgramKey {
     src_hash: u64,
@@ -144,9 +146,9 @@ impl Request {
         let engine = match map.get("engine") {
             None => Engine::Vm,
             Some(Json::Str(s)) => {
-                Engine::from_arg(s).ok_or(format!("bad \"engine\" \"{s}\" (ast|vm)"))?
+                Engine::from_arg(s).ok_or(format!("bad \"engine\" \"{s}\" (ast|vm|native)"))?
             }
-            Some(_) => return Err("\"engine\" must be \"ast\" or \"vm\"".to_string()),
+            Some(_) => return Err("\"engine\" must be \"ast\", \"vm\", or \"native\"".to_string()),
         };
         let opt_level = match map.get("opt_level") {
             None => OptLevel::default(),
@@ -315,8 +317,20 @@ struct Counters {
     machines_discarded: AtomicU64,
 }
 
-/// A point-in-time copy of the server's counters.
+/// Per-mesh-shape machine-pool counters: how often requests for this
+/// shape got a warm vs cold machine, and how many idle machines of the
+/// shape are pooled right now.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct PoolShapeStats {
+    pub mesh: (usize, usize),
+    pub warm: u64,
+    pub cold: u64,
+    pub idle: u64,
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub struct StatsSnapshot {
     pub requests: u64,
@@ -327,6 +341,8 @@ pub struct StatsSnapshot {
     pub machines_warm: u64,
     pub machines_cold: u64,
     pub machines_discarded: u64,
+    /// Pool counters per mesh shape, sorted by shape.
+    pub pool: Vec<PoolShapeStats>,
 }
 
 impl StatsSnapshot {
@@ -341,7 +357,20 @@ impl StatsSnapshot {
         }
     }
 
-    fn to_json(self) -> Json {
+    fn to_json(&self) -> Json {
+        let pool = Json::Arr(
+            self.pool
+                .iter()
+                .map(|p| {
+                    obj(vec![
+                        ("mesh", Json::Str(format!("{}x{}", p.mesh.0, p.mesh.1))),
+                        ("warm", Json::Num(p.warm as f64)),
+                        ("cold", Json::Num(p.cold as f64)),
+                        ("idle", Json::Num(p.idle as f64)),
+                    ])
+                })
+                .collect(),
+        );
         obj(vec![
             ("ok", Json::Bool(true)),
             (
@@ -356,6 +385,7 @@ impl StatsSnapshot {
                     ("machines_cold", Json::Num(self.machines_cold as f64)),
                     ("machines_discarded", Json::Num(self.machines_discarded as f64)),
                     ("cache_hit_rate", Json::Num(self.cache_hit_rate())),
+                    ("pool", pool),
                 ]),
             ),
         ])
@@ -368,6 +398,9 @@ impl StatsSnapshot {
 pub struct Server {
     programs: Mutex<HashMap<ProgramKey, Arc<Compiled>>>,
     pool: Mutex<HashMap<(usize, usize), Vec<Machine>>>,
+    /// Warm/cold checkout totals per mesh shape (the pool map itself
+    /// only knows the machines currently idle).
+    shape_counters: Mutex<HashMap<(usize, usize), (u64, u64)>>,
     counters: Counters,
 }
 
@@ -389,6 +422,7 @@ impl Server {
         Server {
             programs: Mutex::new(HashMap::new()),
             pool: Mutex::new(HashMap::new()),
+            shape_counters: Mutex::new(HashMap::new()),
             counters: Counters::default(),
         }
     }
@@ -511,11 +545,13 @@ impl Server {
     fn checkout_machine(&self, mesh: (usize, usize)) -> Result<(Machine, bool), String> {
         if let Some(m) = self.pool.lock().unwrap().get_mut(&mesh).and_then(Vec::pop) {
             self.counters.machines_warm.fetch_add(1, Ordering::Relaxed);
+            self.shape_counters.lock().unwrap().entry(mesh).or_default().0 += 1;
             return Ok((m, true));
         }
         let cfg = MachineConfig::mesh(mesh.0, mesh.1)
             .map_err(|e| format!("bad mesh {}x{}: {e}", mesh.0, mesh.1))?;
         self.counters.machines_cold.fetch_add(1, Ordering::Relaxed);
+        self.shape_counters.lock().unwrap().entry(mesh).or_default().1 += 1;
         Ok((Machine::new(cfg), false))
     }
 
@@ -527,6 +563,21 @@ impl Server {
     /// Snapshot the counters.
     pub fn stats(&self) -> StatsSnapshot {
         let c = &self.counters;
+        let idle: HashMap<(usize, usize), u64> =
+            self.pool.lock().unwrap().iter().map(|(&mesh, v)| (mesh, v.len() as u64)).collect();
+        let mut pool: Vec<PoolShapeStats> = self
+            .shape_counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&mesh, &(warm, cold))| PoolShapeStats {
+                mesh,
+                warm,
+                cold,
+                idle: idle.get(&mesh).copied().unwrap_or(0),
+            })
+            .collect();
+        pool.sort_by_key(|p| p.mesh);
         StatsSnapshot {
             requests: c.requests.load(Ordering::Relaxed),
             ok: c.ok.load(Ordering::Relaxed),
@@ -536,6 +587,7 @@ impl Server {
             machines_warm: c.machines_warm.load(Ordering::Relaxed),
             machines_cold: c.machines_cold.load(Ordering::Relaxed),
             machines_discarded: c.machines_discarded.load(Ordering::Relaxed),
+            pool,
         }
     }
 
@@ -664,6 +716,53 @@ mod tests {
         assert_eq!(stats.get("requests").and_then(Json::as_u64), Some(1));
         assert_eq!(stats.get("ok").and_then(Json::as_u64), Some(1));
         assert_eq!(stats.get("compile_misses").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn native_engine_requests_are_served_and_cached() {
+        let server = Server::new();
+        for round in 0..3 {
+            let req = Request { engine: Engine::Native, ..Request::program(FOLD) };
+            let Response::Ok { run, cache_hit, .. } = server.handle(req) else {
+                panic!("native round {round} failed");
+            };
+            assert_eq!(run.results[0], vec!["120".to_string()]);
+            assert_eq!(cache_hit, round > 0, "round {round}");
+        }
+        // The native result must match the VM's, served from a separate
+        // cache entry (the engine is part of the program key).
+        let vm = server.handle(Request::program(FOLD));
+        let Response::Ok { run, cache_hit: false, .. } = vm else {
+            panic!("vm run after native must be a fresh cache entry");
+        };
+        assert_eq!(run.results[0], vec!["120".to_string()]);
+    }
+
+    #[test]
+    fn stats_track_the_pool_per_mesh_shape() {
+        let server = Server::new();
+        for mesh in [(2, 2), (2, 2), (1, 3), (4, 4), (1, 3)] {
+            let req = Request { mesh, ..Request::program(HELLO) };
+            assert!(matches!(server.handle(req), Response::Ok { .. }), "{mesh:?}");
+        }
+        let stats = server.stats();
+        assert_eq!(
+            stats.pool,
+            vec![
+                PoolShapeStats { mesh: (1, 3), warm: 1, cold: 1, idle: 1 },
+                PoolShapeStats { mesh: (2, 2), warm: 1, cold: 1, idle: 1 },
+                PoolShapeStats { mesh: (4, 4), warm: 0, cold: 1, idle: 1 },
+            ]
+        );
+        // ... and the JSON stats reply carries the same breakdown.
+        let resp = server.handle_line(r#"{"cmd":"stats"}"#);
+        let v = json::parse(&resp).unwrap();
+        let Some(Json::Arr(pool)) = v.get("stats").and_then(|s| s.get("pool")) else {
+            panic!("stats must contain a pool array: {resp}");
+        };
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool[1].get("mesh").and_then(Json::as_str), Some("2x2"));
+        assert_eq!(pool[1].get("warm").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

@@ -1,16 +1,20 @@
 #!/usr/bin/env python3
 """CI smoke test for the `skild` serving daemon.
 
-Generates a mixed JSONL batch — clean programs, Skil runtime errors
-under both engines, crash fault plans, malformed requests, raw
-non-JSON garbage, and a stats query — streams it through one `skild`
-process, and asserts the daemon:
+Generates a mixed JSONL batch — clean programs on a sweep of mesh
+shapes (2x2, 1x3, 4x4), all three engines (ast, vm, native), Skil
+runtime errors, crash fault plans, malformed requests, raw non-JSON
+garbage, and a stats query — streams it through one `skild` process,
+and asserts the daemon:
 
   - stays alive to stdin EOF and exits 0 (no restart, no crash);
   - answers every request with exactly one structured JSON line;
   - classifies each outcome correctly (`ok` / `runtime` / `bad_request`),
     matched by echoed request id;
-  - serves >90% of compiles from the program cache at this volume.
+  - serves >90% of compiles from the program cache at this volume
+    (native requests included: machine code is compiled once per
+    program and reused);
+  - reports per-shape pool counters for every mesh in the sweep.
 
 Usage: python3 scripts/serving_smoke.py --bin target/release/skild \
            [--requests 1000] [--threads 4]
@@ -51,12 +55,20 @@ def build_batch(total):
     while len(lines) < total:
         slot = i % 20
         rid = f"r{i}"
-        if slot < 10:
+        if slot < 8:
             add(rid, "ok", {"program": HELLO})
-        elif slot < 13:
+        elif slot < 10:
             add(rid, "ok", {"program": FOLD, "engine": "vm"})
+        elif slot < 12:
+            add(rid, "ok", {"program": FOLD, "engine": "native"})
+        elif slot < 13:
+            add(rid, "ok", {"program": FOLD, "engine": "vm", "mesh": "1x3"})
+        elif slot < 14:
+            add(rid, "ok", {"program": FOLD, "engine": "native", "mesh": "4x4"})
         elif slot < 15:
             add(rid, "runtime", {"program": DIV_ZERO, "engine": "vm"})
+        elif slot < 16:
+            add(rid, "runtime", {"program": DIV_ZERO, "engine": "native"})
         elif slot < 17:
             add(rid, "runtime", {"program": DIV_ZERO, "engine": "ast"})
         elif slot < 18:
@@ -142,6 +154,12 @@ def main():
             failures.append(f"machines were discarded: {stats}")
         if stats["cache_hit_rate"] < 0.90:
             failures.append(f"cache hit rate {stats['cache_hit_rate']:.3f} below 0.90")
+        pool = {p["mesh"]: p for p in stats.get("pool", [])}
+        for mesh in ("2x2", "1x3", "4x4"):
+            if mesh not in pool:
+                failures.append(f"no per-shape pool counters for {mesh}: {stats}")
+            elif pool[mesh]["warm"] + pool[mesh]["cold"] == 0:
+                failures.append(f"pool counters for {mesh} recorded no checkouts")
 
     if failures:
         print("serving_smoke: FAILURES:", file=sys.stderr)

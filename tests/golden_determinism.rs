@@ -131,10 +131,11 @@ fn repeated_runs_on_one_machine_are_identical() {
 }
 
 /// The `.skil` frontend programs get the same treatment as the Rust
-/// apps: pinned virtual time, identical under both execution engines.
+/// apps: pinned virtual time, identical under every execution engine.
 /// These constants were captured from the AST walker before the
-/// bytecode VM existed; the VM (now the default engine) must hit them
-/// exactly — with and without tracing.
+/// bytecode VM existed; the VM (now the default engine) and the
+/// machine-code native engine must hit them exactly — with and
+/// without tracing.
 fn skil_example(name: &str) -> String {
     let path = format!(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/skil/{}"), name);
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
@@ -145,16 +146,18 @@ fn skil_shortest_paths_golden_under_both_engines() {
     let src = skil_example("shortest_paths.skil");
     let compiled = compile(&src).expect("shortest_paths.skil compiles");
     let m = Machine::new(MachineConfig::square(2).unwrap());
-    for engine in [Engine::Ast, Engine::Vm] {
+    for engine in [Engine::Ast, Engine::Vm, Engine::Native] {
         let out = compiled.run_with(engine, &m);
         assert_eq!(out.report.sim_cycles, 2_397_316, "{engine:?}");
         assert_byte_conservation(&out.report);
     }
     // fingerprints must match across engines, not just the total
     let ast = compiled.run_with(Engine::Ast, &m);
-    let vm = compiled.run_with(Engine::Vm, &m);
-    assert_eq!(fingerprint(&ast.report), fingerprint(&vm.report));
-    assert_eq!(ast.results, vm.results);
+    for engine in [Engine::Vm, Engine::Native] {
+        let other = compiled.run_with(engine, &m);
+        assert_eq!(fingerprint(&ast.report), fingerprint(&other.report), "{engine:?}");
+        assert_eq!(ast.results, other.results, "{engine:?}");
+    }
 }
 
 #[test]
@@ -162,15 +165,17 @@ fn skil_gauss_golden_under_both_engines() {
     let src = skil_example("gauss.skil");
     let compiled = compile(&src).expect("gauss.skil compiles");
     let m = Machine::new(MachineConfig::square(2).unwrap());
-    for engine in [Engine::Ast, Engine::Vm] {
+    for engine in [Engine::Ast, Engine::Vm, Engine::Native] {
         let out = compiled.run_with(engine, &m);
         assert_eq!(out.report.sim_cycles, 11_906_936, "{engine:?}");
         assert_byte_conservation(&out.report);
     }
     let ast = compiled.run_with(Engine::Ast, &m);
-    let vm = compiled.run_with(Engine::Vm, &m);
-    assert_eq!(fingerprint(&ast.report), fingerprint(&vm.report));
-    assert_eq!(ast.results, vm.results);
+    for engine in [Engine::Vm, Engine::Native] {
+        let other = compiled.run_with(engine, &m);
+        assert_eq!(fingerprint(&ast.report), fingerprint(&other.report), "{engine:?}");
+        assert_eq!(ast.results, other.results, "{engine:?}");
+    }
 }
 
 #[test]
@@ -178,7 +183,7 @@ fn skil_examples_golden_with_tracing_on() {
     let traced = Machine::new(MachineConfig::square(2).unwrap().with_trace());
     for (name, cycles) in [("shortest_paths.skil", 2_397_316u64), ("gauss.skil", 11_906_936u64)] {
         let compiled = compile(&skil_example(name)).expect("example compiles");
-        for engine in [Engine::Ast, Engine::Vm] {
+        for engine in [Engine::Ast, Engine::Vm, Engine::Native] {
             let out = compiled.run_with(engine, &traced);
             assert_eq!(out.report.sim_cycles, cycles, "{name} under {engine:?}");
             assert!(!out.report.procs[0].trace.is_empty(), "tracing recorded spans");
@@ -202,15 +207,20 @@ fn skil_goldens_bit_identical_at_every_opt_level() {
         assert_eq!(reference.report.sim_cycles, cycles, "{name} at -O0");
         for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
             let compiled = compile_opt(&src, level).expect("example compiles");
-            let out = compiled.run_with(Engine::Vm, &plain);
-            assert_eq!(out.report.sim_cycles, cycles, "{name} at -O{level}");
-            assert_eq!(
-                fingerprint(&out.report),
-                fingerprint(&reference.report),
-                "{name} at -O{level}: per-processor stats drifted"
-            );
-            assert_eq!(out.results, reference.results, "{name} at -O{level}: output drifted");
-            assert_byte_conservation(&out.report);
+            for engine in [Engine::Vm, Engine::Native] {
+                let out = compiled.run_with(engine, &plain);
+                assert_eq!(out.report.sim_cycles, cycles, "{name} at -O{level} ({engine:?})");
+                assert_eq!(
+                    fingerprint(&out.report),
+                    fingerprint(&reference.report),
+                    "{name} at -O{level} ({engine:?}): per-processor stats drifted"
+                );
+                assert_eq!(
+                    out.results, reference.results,
+                    "{name} at -O{level} ({engine:?}): output drifted"
+                );
+                assert_byte_conservation(&out.report);
+            }
 
             let t = compiled.run_with(Engine::Vm, &traced);
             assert_eq!(t.report.sim_cycles, cycles, "{name} at -O{level} traced");

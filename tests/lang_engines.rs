@@ -4,7 +4,9 @@
 //! indistinguishable from the AST walker: identical print output,
 //! identical `sim_cycles`, and identical per-processor `ProcStats` — on
 //! every shipped example and on randomly generated first-order
-//! programs. Host speed is the only permitted difference.
+//! programs. Host speed is the only permitted difference. The native
+//! engine rides the same assertions (on hosts without a working `rustc`
+//! it degrades to the VM, so the check never spuriously fails).
 
 use proptest::prelude::*;
 use skil::lang::{compile, compile_opt, Engine, OptLevel};
@@ -57,6 +59,17 @@ fn assert_engines_agree(name: &str, src: &str, machine: &Machine) {
             fingerprint(&ast.report),
             fingerprint(&vm.report),
             "{name} @ -O{level}: per-processor stats differ"
+        );
+        let native = c.run_with(Engine::Native, machine);
+        assert_eq!(ast.results, native.results, "{name} @ -O{level}: native output differs");
+        assert_eq!(
+            ast.report.sim_cycles, native.report.sim_cycles,
+            "{name} @ -O{level}: native virtual time differs"
+        );
+        assert_eq!(
+            fingerprint(&ast.report),
+            fingerprint(&native.report),
+            "{name} @ -O{level}: native per-processor stats differ"
         );
     }
 }
@@ -280,5 +293,21 @@ proptest! {
                 src
             );
         }
+        // the native engine once per case (each random program is a
+        // fresh `rustc` invocation; one opt level keeps the suite fast)
+        let native = compiled.run_with(Engine::Native, &machine);
+        prop_assert_eq!(&ast.results, &native.results, "native output differs for:\n{}", src);
+        prop_assert_eq!(
+            ast.report.sim_cycles,
+            native.report.sim_cycles,
+            "native virtual time differs for:\n{}",
+            src
+        );
+        prop_assert_eq!(
+            fingerprint(&ast.report),
+            fingerprint(&native.report),
+            "native stats differ for:\n{}",
+            src
+        );
     }
 }

@@ -1,0 +1,133 @@
+//! Mailbox data-plane micro-benchmarks: host-side send→recv cost and
+//! envelope allocation counts for inline (≤ 64-byte payload) versus heap
+//! envelopes, under both schedulers.
+//!
+//! Two sections:
+//!
+//! * Criterion timings (`mailbox_stream/*`): one 1×2 machine run
+//!   streaming `MSGS` point-to-point messages of a fixed payload class,
+//!   so the reported ns/iter tracks the per-message delivery cost the
+//!   data plane actually pays (plus a fixed per-run setup share that is
+//!   identical across the compared legs).
+//! * Allocation pinning (printed before the timings): a counting
+//!   `#[global_allocator]` measures allocations for two runs of
+//!   different message counts; the difference divided by the extra
+//!   messages is the steady-state allocations **per message**, with all
+//!   per-run setup cancelled. Inline envelopes ride the scratch-buffer
+//!   pool and must allocate strictly less per message than heap
+//!   envelopes (which pay at least the `Arc` control block); the bench
+//!   asserts that ordering so a regression fails `cargo bench` loudly.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skil_runtime::{Machine, MachineConfig, SchedulerKind};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// `Vec<u8>` lengths whose encodings (8-byte length prefix + data) land
+/// on either side of the 64-byte inline-envelope boundary.
+const INLINE_LEN: usize = 32; // 40-byte payload: inline
+const HEAP_LEN: usize = 120; // 128-byte payload: heap
+
+const MSGS: usize = 512;
+
+/// Stream `msgs` messages of `len`-byte vectors 0→1 on `m`, returning a
+/// checksum so the traffic cannot be optimized away.
+fn stream(m: &Machine, msgs: usize, len: usize) -> u64 {
+    let run = m.run(move |p| {
+        if p.id() == 0 {
+            let v = vec![0xA5u8; len];
+            for _ in 0..msgs {
+                p.send(1, 7, &v);
+            }
+            0u64
+        } else {
+            let mut acc = 0u64;
+            for _ in 0..msgs {
+                let v: Vec<u8> = p.recv(0, 7);
+                acc = acc.wrapping_add(v.len() as u64);
+            }
+            acc
+        }
+    });
+    run.results[1]
+}
+
+fn machine(kind: SchedulerKind) -> Machine {
+    Machine::new(MachineConfig::mesh(1, 2).unwrap().with_scheduler(kind))
+}
+
+/// Steady-state allocations per message: diff two runs so every
+/// per-run fixed cost (tasks, threads, mailboxes, reports) cancels.
+fn allocs_per_msg(m: &Machine, len: usize) -> f64 {
+    let count = |msgs: usize| {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        std::hint::black_box(stream(m, msgs, len));
+        ALLOCS.load(Ordering::Relaxed) - before
+    };
+    let _warm = count(MSGS); // populate the machine's run arena
+    let small = count(MSGS);
+    let large = count(8 * MSGS);
+    (large.saturating_sub(small)) as f64 / (7 * MSGS) as f64
+}
+
+fn pin_alloc_counts() {
+    for kind in [SchedulerKind::Event, SchedulerKind::Threads] {
+        let m = machine(kind);
+        let inline = allocs_per_msg(&m, INLINE_LEN);
+        let heap = allocs_per_msg(&m, HEAP_LEN);
+        println!(
+            "mailbox_allocs/{kind:?}: inline {inline:.2} allocs/msg, heap {heap:.2} allocs/msg"
+        );
+        // The receiver decodes a fresh Vec either way; the envelope
+        // itself must be alloc-free inline and ≥ 1 (the Arc) on heap.
+        assert!(
+            inline + 0.5 < heap,
+            "{kind:?}: inline envelopes ({inline:.2}/msg) must allocate less than heap ({heap:.2}/msg)"
+        );
+        assert!(inline <= 2.0, "{kind:?}: inline steady state regressed to {inline:.2} allocs/msg");
+    }
+}
+
+fn bench_streams(c: &mut Criterion) {
+    pin_alloc_counts();
+    let mut g = c.benchmark_group("mailbox_stream");
+    for kind in [SchedulerKind::Event, SchedulerKind::Threads] {
+        for (class, len) in [("inline", INLINE_LEN), ("heap", HEAP_LEN)] {
+            let m = machine(kind);
+            g.bench_function(format!("{kind:?}/{class}"), |b| b.iter(|| stream(&m, MSGS, len)));
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_streams);
+criterion_main!(benches);

@@ -1,31 +1,51 @@
-//! Host wall-time report for the simulator's data plane.
+//! Host wall-time report for the simulator's data plane (schema v2).
 //!
 //! Unlike the table binaries (which report *simulated* T800 seconds, a
 //! pure function of the cost model), this binary measures how fast the
 //! simulator itself runs on the host: wire flatten/unflatten, mailbox
-//! matching, envelope delivery, and worker management. It emits
-//! `BENCH_data_plane.json` so successive PRs can track the host-perf
-//! trajectory.
+//! matching, envelope delivery, scheduler wakeups, and per-run machine
+//! setup. It emits `BENCH_data_plane.json` so successive PRs can track
+//! the host-perf trajectory.
+//!
+//! v2 protocol (PR 9): every workload is measured as two *legs*, one
+//! per scheduler (`_event` / `_threads`), and carries a `set` label:
+//!
+//! * `message_bound` — `shortest_paths`, `table1`, `table2`, and the
+//!   collectives microbench: dominated by envelope delivery and
+//!   per-run setup, the workloads the scheduler-native delivery path
+//!   and inline envelopes target.
+//! * `kernel` — `gauss` and `mandelbrot` (VM `-O2`): dominated by
+//!   per-element compute; a guard set that data-plane changes must not
+//!   regress.
+//! * `aux` — bulk-payload rotations/broadcasts kept from v1 for
+//!   continuity of the zero-copy `Arc` path.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p skil-bench --bin bench_report -- \
-//!     [--out BENCH_data_plane.json] [--baseline old.json]
+//!     [--out BENCH_data_plane.json] [--baseline old.json] \
+//!     [--assert-targets]
 //! ```
 //!
 //! With `--baseline`, each bench also records the baseline mean and the
-//! speedup against it (used for before/after data-plane comparisons).
+//! speedup against it. `--assert-targets` (CI) additionally enforces
+//! the PR 9 acceptance bars: geomean speedup >= 1.5x over the
+//! message-bound event legs and < 5% regression on every kernel leg.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use skil_bench::{table1, table2};
-use skil_runtime::{Machine, MachineConfig};
+use skil_apps::{gauss_skil, shpaths_skil};
+use skil_bench::{table1_on, table2_on, SEED};
+use skil_lang::{compile_opt, Engine, OptLevel};
+use skil_runtime::{Machine, MachineConfig, SchedulerKind};
 
-/// One measured bench: mean and best-of-run nanoseconds per iteration.
+/// One measured bench leg: mean and best-of-run nanoseconds.
 struct Measurement {
-    name: &'static str,
+    name: String,
+    scheduler: &'static str,
+    set: &'static str,
     mean_ns: f64,
     min_ns: f64,
 }
@@ -45,13 +65,19 @@ fn time_ns<F: FnMut()>(repeats: usize, mut f: F) -> (f64, f64) {
     (total / repeats as f64, best)
 }
 
+const TAG: u64 = 0x0707;
+
+const SCHEDULERS: [(SchedulerKind, &str); 2] =
+    [(SchedulerKind::Event, "event"), (SchedulerKind::Threads, "threads")];
+
+fn machine(rows: usize, cols: usize, kind: SchedulerKind) -> Machine {
+    Machine::new(MachineConfig::mesh(rows, cols).expect("mesh").with_scheduler(kind))
+}
+
 /// gen_mult-shaped traffic: every processor repeatedly rotates its
 /// `Vec<f64>` partition around a ring, exactly the communication pattern
 /// of the `array_gen_mult` operand rotations.
-const TAG: u64 = 0x0707;
-
-fn rotate_f64(procs: usize, elems: usize, rounds: usize) -> u64 {
-    let m = Machine::new(MachineConfig::procs(procs).unwrap());
+fn rotate_f64(m: &Machine, elems: usize, rounds: usize) -> u64 {
     let run = m.run(|p| {
         let n = p.nprocs();
         let next = (p.id() + 1) % n;
@@ -71,8 +97,7 @@ fn rotate_f64(procs: usize, elems: usize, rounds: usize) -> u64 {
 
 /// Tree broadcast of a large `Vec<f64>` — the flatten-once/share-many
 /// path of `array_broadcast_part` and pivot-row distribution.
-fn broadcast_f64(procs: usize, elems: usize) -> u64 {
-    let m = Machine::new(MachineConfig::procs(procs).unwrap());
+fn broadcast_f64(m: &Machine, elems: usize) -> u64 {
     let run = m.run(|p| {
         let v = if p.id() == 0 {
             Some((0..elems).map(|i| i as f64).collect::<Vec<f64>>())
@@ -85,32 +110,47 @@ fn broadcast_f64(procs: usize, elems: usize) -> u64 {
     run.report.sim_cycles
 }
 
-/// Many repeated tiny runs on one machine — dominated by per-run worker
-/// management (thread spawn vs. pool dispatch).
-fn repeated_small_runs(procs: usize, repeats: usize) -> u64 {
-    let m = Machine::new(MachineConfig::procs(procs).unwrap());
+/// The collectives microbench: many repeated tiny runs, each a ladder
+/// of scalar allreduce/barrier hops — the rendezvous fast path plus the
+/// per-run setup floor, with essentially no payload movement.
+fn collectives_ladder(m: &Machine, repeats: usize) -> u64 {
     let mut acc = 0u64;
     for _ in 0..repeats {
         let run = m.run(|p| {
             p.charge(10);
-            p.allreduce(TAG, p.id() as u64, |a, b| a + b, 1)
+            let s = p.allreduce(TAG, p.id() as u64, |a, b| a + b, 1);
+            p.barrier(TAG + 1);
+            let mx = p.allreduce(TAG + 2, s + p.id() as u64, |a, b| a.max(b), 1);
+            p.barrier(TAG + 3);
+            s + mx
         });
         acc = acc.wrapping_add(run.report.sim_cycles);
     }
     acc
 }
 
+fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
 fn main() {
     let mut out_path = String::from("BENCH_data_plane.json");
     let mut baseline_path: Option<String> = None;
+    let mut assert_targets = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a path")),
+            "--assert-targets" => assert_targets = true,
             other => panic!("unknown argument: {other}"),
         }
     }
+    assert!(
+        !assert_targets || baseline_path.is_some(),
+        "--assert-targets needs --baseline to compare against"
+    );
     // Read the baseline up front so a bad path fails before the
     // multi-minute measurement sweep, not after it.
     let baseline = baseline_path.map(|p| {
@@ -119,58 +159,132 @@ fn main() {
         parse_means(&text)
     });
 
+    // Compiled once, outside every timer: only the run is the workload.
+    let mandelbrot_src = {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/skil/mandelbrot.skil");
+        std::fs::read_to_string(path).expect("mandelbrot example readable")
+    };
+    let mandelbrot = compile_opt(&mandelbrot_src, OptLevel::O2).expect("mandelbrot compiles");
+
     let mut results: Vec<Measurement> = Vec::new();
-    let mut run = |name: &'static str, repeats: usize, f: &mut dyn FnMut()| {
+    let mut run = |name: String,
+                   scheduler: &'static str,
+                   set: &'static str,
+                   repeats: usize,
+                   f: &mut dyn FnMut()| {
         let (mean_ns, min_ns) = time_ns(repeats, f);
-        println!("{name:<28} mean {:>10.2} ms   best {:>10.2} ms", mean_ns / 1e6, min_ns / 1e6);
-        results.push(Measurement { name, mean_ns, min_ns });
+        println!(
+            "{name:<34} [{set:>13}] mean {:>9.2} ms   best {:>9.2} ms",
+            mean_ns / 1e6,
+            min_ns / 1e6
+        );
+        results.push(Measurement { name, scheduler, set, mean_ns, min_ns });
     };
 
-    // -- data-plane microbenches ------------------------------------
-    run("rotate_f64_4p_32k_x8", 7, &mut || {
-        std::hint::black_box(rotate_f64(4, 32 * 1024, 8));
-    });
-    run("rotate_f64_8p_16k_x8", 7, &mut || {
-        std::hint::black_box(rotate_f64(8, 16 * 1024, 8));
-    });
-    run("broadcast_f64_16p_64k", 7, &mut || {
-        std::hint::black_box(broadcast_f64(16, 64 * 1024));
-    });
-    run("repeated_runs_8p_x200", 5, &mut || {
-        std::hint::black_box(repeated_small_runs(8, 200));
-    });
+    for (kind, leg) in SCHEDULERS {
+        // -- message-bound set (the PR 9 target) --------------------
+        run(format!("shortest_paths_n96_2x2_{leg}"), leg, "message_bound", 9, &mut || {
+            let m = machine(2, 2, kind);
+            std::hint::black_box(shpaths_skil(&m, 96, SEED).sim_seconds);
+        });
+        run(format!("table1_n64_2x2_4x4_{leg}"), leg, "message_bound", 9, &mut || {
+            std::hint::black_box(table1_on(64, &[2, 4], &[2], Some(kind)).len());
+        });
+        run(format!("table2_n32_64_2x2_{leg}"), leg, "message_bound", 9, &mut || {
+            std::hint::black_box(table2_on(&[(2, 2)], &[32, 64], Some(kind)).len());
+        });
+        {
+            let m = machine(2, 4, kind);
+            run(format!("collectives_8p_x200_{leg}"), leg, "message_bound", 9, &mut || {
+                std::hint::black_box(collectives_ladder(&m, 200));
+            });
+        }
 
-    // -- end-to-end paper workloads (reduced sweeps) ----------------
-    run("table1_n96_2x2_4x4", 3, &mut || {
-        std::hint::black_box(table1(96, &[2, 4], &[2, 4]).len());
-    });
-    run("table2_n32_64_2x2", 3, &mut || {
-        std::hint::black_box(table2(&[(2, 2)], &[32, 64]).len());
+        // -- kernel-heavy guard set ---------------------------------
+        run(format!("gauss_n96_2x2_{leg}"), leg, "kernel", 5, &mut || {
+            let m = machine(2, 2, kind);
+            std::hint::black_box(gauss_skil(&m, 96, SEED).sim_seconds);
+        });
+        {
+            let m = machine(2, 2, kind);
+            run(format!("mandelbrot_vm_o2_{leg}"), leg, "kernel", 5, &mut || {
+                std::hint::black_box(mandelbrot.run_with(Engine::Vm, &m).report.sim_cycles);
+            });
+        }
+
+        // -- bulk-payload aux set (v1 continuity) -------------------
+        {
+            let m = machine(2, 4, kind);
+            run(format!("rotate_f64_8p_16k_x8_{leg}"), leg, "aux", 9, &mut || {
+                std::hint::black_box(rotate_f64(&m, 16 * 1024, 8));
+            });
+        }
+        {
+            let m = machine(4, 4, kind);
+            run(format!("broadcast_f64_16p_64k_{leg}"), leg, "aux", 9, &mut || {
+                std::hint::black_box(broadcast_f64(&m, 64 * 1024));
+            });
+        }
+    }
+
+    // -- speedups vs the frozen baseline ----------------------------
+    let speedup_of = |m: &Measurement| -> Option<f64> {
+        let base = baseline.as_ref()?;
+        base.iter().find(|(n, _)| *n == m.name).map(|&(_, before)| before / m.mean_ns)
+    };
+    let summary = baseline.as_ref().map(|_| {
+        let by = |set: &str, leg: &str| -> Vec<f64> {
+            results
+                .iter()
+                .filter(|m| m.set == set && m.scheduler == leg)
+                .filter_map(&speedup_of)
+                .collect()
+        };
+        let mb_event = by("message_bound", "event");
+        let kernel_event = by("kernel", "event");
+        assert!(
+            !mb_event.is_empty() && !kernel_event.is_empty(),
+            "baseline names do not match this harness — regenerate it with the v2 protocol"
+        );
+        (
+            geomean(&mb_event),
+            kernel_event.iter().cloned().fold(f64::INFINITY, f64::min),
+            geomean(&by("message_bound", "threads")),
+        )
     });
 
     // -- report ------------------------------------------------------
-    let mut json = String::from("{\n  \"schema\": \"skil-bench/data-plane/v1\",\n");
+    let mut json = String::from("{\n  \"schema\": \"skil-bench/data-plane/v2\",\n");
     let _ = writeln!(
         json,
         "  \"host_threads\": {},",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     );
+    if let Some((mb_geo, kernel_min, mb_threads_geo)) = summary {
+        json.push_str("  \"speedup_summary\": {\n");
+        let _ = writeln!(json, "    \"message_bound_event_geomean\": {mb_geo:.2},");
+        let _ = writeln!(json, "    \"message_bound_threads_geomean\": {mb_threads_geo:.2},");
+        let _ = writeln!(json, "    \"kernel_event_min\": {kernel_min:.2}");
+        json.push_str("  },\n");
+    }
     json.push_str("  \"benches\": [\n");
     for (i, m) in results.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\n      \"name\": \"{}\",\n      \"mean_ns\": {:.0},\n      \"min_ns\": {:.0}",
-            m.name, m.mean_ns, m.min_ns
+            "    {{\n      \"name\": \"{}\",\n      \"scheduler\": \"{}\",\n      \
+             \"set\": \"{}\",\n      \"host_mean_ns\": {:.0},\n      \"min_ns\": {:.0}",
+            m.name, m.scheduler, m.set, m.mean_ns, m.min_ns
         );
-        if let Some(base) = &baseline {
-            if let Some(&before) = base.iter().find(|(n, _)| n == m.name).map(|(_, v)| v) {
-                let _ = write!(
-                    json,
-                    ",\n      \"baseline_mean_ns\": {:.0},\n      \"speedup\": {:.2}",
-                    before,
-                    before / m.mean_ns
-                );
-            }
+        if let Some(speedup) = speedup_of(m) {
+            let before = speedup * m.mean_ns;
+            // `baseline_ns`, not `*_mean_ns`: the bench_gate collector
+            // keys on the `_mean_ns` suffix, and the frozen baseline
+            // copy must not dilute the regression gate with constant
+            // 1.0 ratios.
+            let _ = write!(
+                json,
+                ",\n      \"baseline_ns\": {before:.0},\n      \"speedup\": {speedup:.2}"
+            );
         }
         json.push_str("\n    }");
         json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
@@ -178,12 +292,21 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("\nwrote {out_path}");
-    if let Some(base) = baseline.as_ref() {
-        for m in &results {
-            // Echo the speedups for the log.
-            if let Some(&before) = base.iter().find(|(n, _)| n == m.name).map(|(_, v)| v) {
-                println!("{:<28} speedup {:.2}x", m.name, before / m.mean_ns);
-            }
+
+    if let Some((mb_geo, kernel_min, mb_threads_geo)) = summary {
+        println!("message-bound event-leg geomean speedup:   {mb_geo:.2}x");
+        println!("message-bound threads-leg geomean speedup: {mb_threads_geo:.2}x");
+        println!("kernel event-leg worst speedup:            {kernel_min:.2}x");
+        if assert_targets {
+            assert!(
+                mb_geo >= 1.5,
+                "PR 9 target missed: message-bound event geomean {mb_geo:.2}x < 1.5x"
+            );
+            assert!(
+                kernel_min >= 0.95,
+                "kernel guard violated: a kernel leg regressed to {kernel_min:.2}x (< 0.95x)"
+            );
+            println!("targets met: geomean >= 1.5x message-bound, kernels within 5%");
         }
     }
 }
@@ -198,7 +321,7 @@ fn parse_means(text: &str) -> Vec<(String, f64)> {
         let line = line.trim().trim_end_matches(',');
         if let Some(rest) = line.strip_prefix("\"name\": \"") {
             name = rest.strip_suffix('"').map(str::to_string);
-        } else if let Some(rest) = line.strip_prefix("\"mean_ns\": ") {
+        } else if let Some(rest) = line.strip_prefix("\"host_mean_ns\": ") {
             if let (Some(n), Ok(v)) = (name.take(), rest.parse::<f64>()) {
                 out.push((n, v));
             }

@@ -6,7 +6,7 @@ use skil_apps::{
     gauss_dpfl, gauss_parix_c, gauss_skil, gauss_skil_pivot, matmul_c_opt, matmul_skil,
     shpaths_c_old, shpaths_dpfl, shpaths_skil,
 };
-use skil_runtime::{Machine, MachineConfig};
+use skil_runtime::{Machine, MachineConfig, SchedulerKind};
 
 /// The seed all reproduction runs use (results are deterministic).
 pub const SEED: u64 = 0x51_1996;
@@ -29,11 +29,27 @@ pub struct Table1Row {
 /// Run the Table 1 experiment: shortest paths with n ≈ `n_base` on
 /// `sides` × `sides` machines.
 pub fn table1(n_base: usize, sides: &[usize], compare_on: &[usize]) -> Vec<Table1Row> {
+    table1_on(n_base, sides, compare_on, None)
+}
+
+/// [`table1`] with an explicit scheduler, for data-plane benches that
+/// need event-vs-threads legs of the same experiment (`None` keeps the
+/// usual `SKIL_SCHEDULER`/default resolution).
+pub fn table1_on(
+    n_base: usize,
+    sides: &[usize],
+    compare_on: &[usize],
+    scheduler: Option<SchedulerKind>,
+) -> Vec<Table1Row> {
     sides
         .iter()
         .map(|&side| {
             let n = round_up_to_multiple(n_base, side);
-            let m = Machine::new(MachineConfig::square(side).expect("square machine"));
+            let mut cfg = MachineConfig::square(side).expect("square machine");
+            if let Some(kind) = scheduler {
+                cfg = cfg.with_scheduler(kind);
+            }
+            let m = Machine::new(cfg);
             let skil = shpaths_skil(&m, n, SEED).sim_seconds;
             let (dpfl, c_old) = if compare_on.contains(&side) {
                 (
@@ -78,9 +94,22 @@ impl Table2Cell {
 /// Run the Table 2 experiment: Gaussian elimination (no pivoting) for
 /// every mesh in `meshes` and size in `ns`.
 pub fn table2(meshes: &[(usize, usize)], ns: &[usize]) -> Vec<Table2Cell> {
+    table2_on(meshes, ns, None)
+}
+
+/// [`table2`] with an explicit scheduler (see [`table1_on`]).
+pub fn table2_on(
+    meshes: &[(usize, usize)],
+    ns: &[usize],
+    scheduler: Option<SchedulerKind>,
+) -> Vec<Table2Cell> {
     let mut out = Vec::new();
     for &(rows, cols) in meshes {
-        let m = Machine::new(MachineConfig::mesh(rows, cols).expect("mesh"));
+        let mut cfg = MachineConfig::mesh(rows, cols).expect("mesh");
+        if let Some(kind) = scheduler {
+            cfg = cfg.with_scheduler(kind);
+        }
+        let m = Machine::new(cfg);
         for &n in ns {
             let skil = gauss_skil(&m, n, SEED).sim_seconds;
             let dpfl = gauss_dpfl(&m, n, SEED).sim_seconds;

@@ -8,8 +8,6 @@
 //! but, as the paper specifies, only associative & commutative operators
 //! make the result independent of the machine shape.
 
-use std::sync::Arc;
-
 use crate::proc::Proc;
 use crate::topology::BinomialTree;
 use crate::wire::Wire;
@@ -30,9 +28,11 @@ impl Proc<'_> {
         children.reverse();
         // Flatten once: the root encodes the value a single time and
         // every interior node forwards the payload it received, so one
-        // buffer crosses the whole tree by pointer clones. The encoding
-        // is deterministic, so forwarded bytes are identical to what a
-        // re-flatten would produce.
+        // buffer crosses the whole tree by pointer clones (or, for the
+        // short payloads typical of fold results, by inline copies that
+        // never touch the heap). The encoding is deterministic, so
+        // forwarded bytes are identical to what a re-flatten would
+        // produce.
         let (v, payload) = if self.id() == root {
             let v = val.expect("broadcast root must supply a value");
             let payload = if children.is_empty() { None } else { Some(self.encode(&v)) };
@@ -46,7 +46,7 @@ impl Proc<'_> {
         };
         if let Some(payload) = payload {
             for child in children {
-                self.send_shared(child, tag, Arc::clone(&payload));
+                self.send_shared(child, tag, payload.clone());
             }
         }
         self.span_end("broadcast", span);

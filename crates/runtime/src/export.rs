@@ -102,6 +102,19 @@ impl RunReport {
             "  \"faults\": {{\"retries\": {retries}, \"drops\": {drops}, \"dups\": {dups}, \
              \"delays\": {delays}}},"
         );
+        // Host data-plane counters (additive to skil-metrics-v1). These
+        // describe how envelopes moved on the host — payload
+        // representation and delivery path — and are deterministic for a
+        // fixed machine configuration, so the byte-identity guarantee
+        // holds; they differ across *schedulers*, which the exports never
+        // compare.
+        let dp = self.data_plane();
+        let _ = writeln!(
+            out,
+            "  \"data_plane\": {{\"inline_msgs\": {}, \"heap_msgs\": {}, \
+             \"direct_deliveries\": {}, \"condvar_deliveries\": {}}},",
+            dp.inline_msgs, dp.heap_msgs, dp.direct_deliveries, dp.condvar_deliveries
+        );
         out.push_str("  \"procs\": [\n");
         for (id, p) in self.procs.iter().enumerate() {
             let s = p.stats;

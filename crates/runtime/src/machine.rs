@@ -1,6 +1,7 @@
 //! The machine: configuration and SPMD execution.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
@@ -161,6 +162,26 @@ pub struct Run<R> {
 pub struct Machine {
     cfg: MachineConfig,
     backend: Backend,
+    /// Parked per-run allocations (mailboxes, abort flags, event
+    /// scheduler) from completed runs, ready for the next run to reuse —
+    /// the warm-machine floor reduction. One entry per concurrently
+    /// finished run; `run` pops one entry or builds fresh state.
+    arena: Mutex<Vec<RunArena>>,
+    /// How many runs reused a parked arena instead of allocating.
+    reuse_hits: AtomicU64,
+}
+
+/// The per-run allocations a warm machine keeps between runs. Everything
+/// in here is *reset* (not rebuilt) at park time: mailboxes drain their
+/// queues and clear their park registrations, abort flags drop to
+/// `false`, and the event scheduler rearms with every task live — so a
+/// reused run starts from exactly the state a fresh allocation would
+/// have, which is what keeps warm reuse bit-identical.
+struct RunArena {
+    mailboxes: Vec<Mailbox>,
+    downs: Vec<AtomicBool>,
+    causes: Vec<Option<AbortCause>>,
+    sched: Option<Arc<EventSched>>,
 }
 
 /// The execution core a machine was built with.
@@ -230,8 +251,13 @@ impl Machine {
                     Some(cap) => workers.min(cap),
                     None => workers,
                 };
+                // The calling thread acts as one of the workers for the
+                // duration of a run (see `try_run_faults`), so the pool
+                // only needs `workers - 1` threads — on a single-worker
+                // host the event backend spawns no threads at all and a
+                // run involves zero cross-thread dispatch.
                 Backend::Event {
-                    pool: WorkerPool::new(workers, "sim-worker"),
+                    pool: WorkerPool::new(workers - 1, "sim-worker"),
                     stacks: StackPool::new(coro::stack_size()),
                     workers,
                 }
@@ -245,7 +271,14 @@ impl Machine {
                 Backend::Threads { pool: WorkerPool::new(n, "proc"), gate }
             }
         };
-        Machine { cfg, backend }
+        Machine { cfg, backend, arena: Mutex::new(Vec::new()), reuse_hits: AtomicU64::new(0) }
+    }
+
+    /// How many runs on this machine reused a parked run arena instead
+    /// of allocating mailboxes and scheduler state from scratch — the
+    /// warm-pool floor-reduction counter surfaced by the serving layer.
+    pub fn setup_reuse_hits(&self) -> u64 {
+        self.reuse_hits.load(Ordering::Relaxed)
     }
 
     /// Number of processors.
@@ -313,20 +346,36 @@ impl Machine {
     {
         install_quiet_panic_hook();
         let n = self.nprocs();
-        let sched = match &self.backend {
-            Backend::Event { workers, .. } => Some(Arc::new(EventSched::new(n, *workers))),
-            Backend::Threads { .. } => None,
+        // Per-run state: reuse a parked arena from a previous run when
+        // one exists (the warm-pool fast path — no allocation, no
+        // scheduler rebuild), otherwise allocate from scratch. Arenas
+        // are reset when parked, so both paths start identical.
+        let arena = lock(&self.arena).pop();
+        if arena.is_some() {
+            self.reuse_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let (mailboxes, downs, causes, sched) = match arena {
+            Some(a) => (a.mailboxes, a.downs, a.causes, a.sched),
+            None => (
+                (0..n).map(|_| Mailbox::default()).collect(),
+                (0..n).map(|_| AtomicBool::new(false)).collect(),
+                vec![None; n],
+                match &self.backend {
+                    Backend::Event { workers, .. } => Some(Arc::new(EventSched::new(n, *workers))),
+                    Backend::Threads { .. } => None,
+                },
+            ),
         };
         let shared = Shared {
             trace: self.cfg.trace,
             mesh: self.cfg.mesh,
             cost: self.cfg.cost.clone(),
             deadlock_timeout: self.cfg.deadlock_timeout,
-            mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
-            poison: std::sync::atomic::AtomicBool::new(false),
+            mailboxes,
+            poison: AtomicBool::new(false),
             faults: faults.unwrap_or(&self.cfg.faults).clone(),
-            downs: (0..n).map(|_| std::sync::atomic::AtomicBool::new(false)).collect(),
-            down_causes: Mutex::new(vec![None; n]),
+            downs,
+            down_causes: Mutex::new(causes),
             gate: match &self.backend {
                 Backend::Threads { gate, .. } => gate.clone(),
                 Backend::Event { .. } => None,
@@ -372,6 +421,7 @@ impl Machine {
             let report = ProcReport {
                 finished_at: proc.now(),
                 stats: proc.stats(),
+                data_plane: proc.data_plane(),
                 trace: proc.take_trace(),
                 comm: proc.take_comm(),
             };
@@ -440,27 +490,39 @@ impl Machine {
                     ev.push_ready(id, 0);
                 }
                 {
-                    let txs = lock(&pool.txs);
                     let latch = &latch;
                     let tasks = &tasks;
                     let mut wait = DispatchWait { latch, expect: 0 };
-                    for w in 0..*workers {
-                        let job = move || {
-                            // worker_loop is panic-free by construction
-                            // (task bodies contain their own unwinds);
-                            // the catch is a backstop so a bug cannot
-                            // kill the pool thread or hang the dispatch.
-                            let _ =
-                                catch_unwind(AssertUnwindSafe(|| worker_loop(ev, tasks, shared)));
-                            latch.count_up();
-                        };
-                        let job: Box<dyn FnOnce() + Send + '_> = Box::new(job);
-                        // SAFETY: as above; `DispatchWait` joins every
-                        // worker before the borrows go out of scope.
-                        let job: Job = unsafe { std::mem::transmute(job) };
-                        txs[w].send(job).expect("worker thread alive");
-                        wait.expect += 1;
+                    {
+                        let txs = lock(&pool.txs);
+                        for w in 0..*workers - 1 {
+                            let job = move || {
+                                // worker_loop is panic-free by
+                                // construction (task bodies contain
+                                // their own unwinds); the catch is a
+                                // backstop so a bug cannot kill the pool
+                                // thread or hang the dispatch.
+                                let _ = catch_unwind(AssertUnwindSafe(|| {
+                                    worker_loop(ev, tasks, shared)
+                                }));
+                                latch.count_up();
+                            };
+                            let job: Box<dyn FnOnce() + Send + '_> = Box::new(job);
+                            // SAFETY: as above; `DispatchWait` joins
+                            // every worker before the borrows go out of
+                            // scope.
+                            let job: Job = unsafe { std::mem::transmute(job) };
+                            txs[w].send(job).expect("worker thread alive");
+                            wait.expect += 1;
+                        }
                     }
+                    // The calling thread is the final worker: it drives
+                    // the ready heap until every task is done. On a
+                    // single-worker machine the whole simulation runs
+                    // right here — no dispatch, no latch wait, no
+                    // cross-thread handoff at all.
+                    let _ = catch_unwind(AssertUnwindSafe(|| worker_loop(ev, tasks, shared)));
+                    // `wait` drops here, joining the pool workers.
                 }
                 for t in tasks {
                     t.recycle(stacks);
@@ -486,7 +548,29 @@ impl Machine {
             }
         }
         if let Some(payload) = first_panic {
+            // Poisoned run: drop its state rather than park it — the
+            // next run allocates fresh.
             resume_unwind(payload);
+        }
+        // Park the run's allocations for the next run, reset to exactly
+        // the state a fresh allocation would have. Structured failures
+        // (`SimFailure`) park too: the abort flags and queues reset, and
+        // `runtime_error_is_structured_and_does_not_poison` pins that a
+        // machine stays usable after one.
+        {
+            let Shared { mailboxes, downs, down_causes, .. } = shared;
+            for mb in &mailboxes {
+                mb.reset();
+            }
+            for d in &downs {
+                d.store(false, Ordering::Relaxed);
+            }
+            let mut causes = down_causes.into_inner().unwrap_or_else(|e| e.into_inner());
+            causes.iter_mut().for_each(|c| *c = None);
+            if let Some(s) = &sched {
+                s.reset();
+            }
+            lock(&self.arena).push(RunArena { mailboxes, downs, causes, sched });
         }
         if !aborts.is_empty() {
             return Err(SimFailure { aborts });
@@ -1273,6 +1357,39 @@ mod tests {
             for (pa, pb) in a.report.procs.iter().zip(&b.report.procs) {
                 assert_eq!(pa.finished_at, pb.finished_at);
                 assert_eq!(pa.stats, pb.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_reuse_is_counted_and_data_plane_counters_are_deterministic() {
+        let program = |p: &mut Proc<'_>| {
+            if p.id() == 0 {
+                p.send(1, 1, &vec![7u8; 4]); // 12-byte payload: inline
+                p.send(1, 2, &vec![9u8; 80]); // 88-byte payload: heap
+            } else {
+                let _: Vec<u8> = p.recv(0, 1);
+                let _: Vec<u8> = p.recv(0, 2);
+            }
+        };
+        for kind in [SchedulerKind::Event, SchedulerKind::Threads] {
+            let m = Machine::new(MachineConfig::mesh(1, 2).unwrap().with_scheduler(kind));
+            assert_eq!(m.setup_reuse_hits(), 0);
+            let a = m.run(program);
+            assert_eq!(m.setup_reuse_hits(), 0, "first run is cold");
+            let b = m.run(program);
+            assert_eq!(m.setup_reuse_hits(), 1, "second run reuses the parked arena");
+            let (da, db) = (a.report.data_plane(), b.report.data_plane());
+            assert_eq!(da, db, "{kind:?}: counters must not depend on arena reuse");
+            assert_eq!(da.inline_msgs, 1, "{kind:?}");
+            assert_eq!(da.heap_msgs, 1, "{kind:?}");
+            match kind {
+                SchedulerKind::Event => {
+                    assert_eq!((da.direct_deliveries, da.condvar_deliveries), (2, 0));
+                }
+                SchedulerKind::Threads => {
+                    assert_eq!((da.direct_deliveries, da.condvar_deliveries), (0, 2));
+                }
             }
         }
     }

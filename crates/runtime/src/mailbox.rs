@@ -25,6 +25,92 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Payloads at most this long are stored inline in the [`Envelope`]
+/// with no heap allocation — covering virtually every scalar/tuple
+/// message the collectives send. The representation is a pure function
+/// of payload *length*, so it is identical across schedulers and runs.
+pub const INLINE_PAYLOAD: usize = 64;
+
+/// A flattened message payload with a small-buffer representation.
+///
+/// Short payloads (`len <= INLINE_PAYLOAD`) live inline in the envelope
+/// and are cloned by `memcpy`; longer ones are shared behind an `Arc`
+/// (a sender freezes its encode buffer by move, and collectives deliver
+/// one flattened buffer to many receivers by cloning the pointer).
+/// Which representation a payload gets depends only on its length,
+/// never on the scheduler or the delivery path, so byte streams — and
+/// therefore virtual time — cannot observe the difference.
+#[derive(Clone)]
+pub enum Payload {
+    /// Payload stored inline: no allocation, cloned by copy.
+    Inline {
+        /// Number of meaningful bytes in `buf`.
+        len: u8,
+        /// Inline storage; bytes past `len` are unspecified.
+        buf: [u8; INLINE_PAYLOAD],
+    },
+    /// Heap payload shared behind an `Arc`.
+    Heap(Arc<Vec<u8>>),
+}
+
+impl Payload {
+    /// Build a payload from a byte slice, inlining it when short.
+    pub fn copy_from(bytes: &[u8]) -> Payload {
+        if bytes.len() <= INLINE_PAYLOAD {
+            let mut buf = [0u8; INLINE_PAYLOAD];
+            buf[..bytes.len()].copy_from_slice(bytes);
+            Payload::Inline { len: bytes.len() as u8, buf }
+        } else {
+            Payload::Heap(Arc::new(bytes.to_vec()))
+        }
+    }
+
+    /// Build a payload from an owned buffer without copying large ones.
+    pub fn from_vec(bytes: Vec<u8>) -> Payload {
+        if bytes.len() <= INLINE_PAYLOAD {
+            Payload::copy_from(&bytes)
+        } else {
+            Payload::Heap(Arc::new(bytes))
+        }
+    }
+
+    /// Whether this payload is stored inline (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self, Payload::Inline { .. })
+    }
+
+    /// Reclaim the backing `Vec` of an exclusively-owned heap payload,
+    /// so receivers can recycle drained encode buffers back into a
+    /// sender-side pool. Inline and shared payloads have nothing to
+    /// reclaim.
+    pub fn reclaim_vec(self) -> Option<Vec<u8>> {
+        match self {
+            Payload::Heap(arc) => Arc::try_unwrap(arc).ok(),
+            Payload::Inline { .. } => None,
+        }
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            Payload::Inline { len, buf } => &buf[..*len as usize],
+            Payload::Heap(arc) => arc,
+        }
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Payload::Inline { len, .. } => write!(f, "Payload::Inline({len} bytes)"),
+            Payload::Heap(arc) => write!(f, "Payload::Heap({} bytes)", arc.len()),
+        }
+    }
+}
+
 /// One in-flight message.
 #[derive(Debug)]
 pub struct Envelope {
@@ -41,10 +127,8 @@ pub struct Envelope {
     /// Virtual time at which the message is fully available to the
     /// receiver.
     pub arrival: u64,
-    /// Flattened payload. Shared, not owned: a sender freezes its encode
-    /// buffer into the `Arc` by move, and collectives deliver one
-    /// flattened buffer to many receivers by cloning the pointer.
-    pub bytes: Arc<Vec<u8>>,
+    /// Flattened payload (inline when short, `Arc`-shared when large).
+    pub bytes: Payload,
 }
 
 /// A counted-permit gate bounding how many simulated processors run on
@@ -199,6 +283,25 @@ impl Mailbox {
     /// `(src, tag)` key was unparked by the deposit — the caller must
     /// then make that task ready (see the event core in `sched.rs`).
     pub fn put(&self, env: Envelope) -> bool {
+        let woke = self.deposit(env);
+        // The condvar broadcast is for thread-scheduler receivers parked
+        // in `get`; whether an event task was unparked is orthogonal.
+        self.cond.notify_all();
+        woke
+    }
+
+    /// Scheduler-native deposit: like [`put`](Mailbox::put) but without
+    /// the condvar broadcast. Only valid when the receiving processor is
+    /// an event-scheduler task — such tasks never wait on the condvar
+    /// (they park via [`park`](Mailbox::park) and are woken through the
+    /// ready heap), so the broadcast would be pure overhead on the
+    /// per-message fast path.
+    pub(crate) fn put_direct(&self, env: Envelope) -> bool {
+        self.deposit(env)
+    }
+
+    /// Queue an envelope and clear a matching parked-task registration.
+    fn deposit(&self, env: Envelope) -> bool {
         let mut b = lock(&self.buckets);
         let key = (env.src, env.tag);
         b.push(env);
@@ -206,8 +309,6 @@ impl Mailbox {
         if woke {
             b.parked = None;
         }
-        drop(b);
-        self.cond.notify_all();
         woke
     }
 
@@ -305,6 +406,25 @@ impl Mailbox {
         }
     }
 
+    /// Reset for reuse by the next run on a warm machine: drop leftover
+    /// envelopes (a failed or aborted run may leave some queued) and any
+    /// stale wait registration, keeping the bucket map and recycled
+    /// queue allocations — the per-run setup floor this shaves is the
+    /// point of the machine's run arena.
+    pub(crate) fn reset(&self) {
+        let mut b = lock(&self.buckets);
+        let keys: Vec<(usize, u64)> = b.queues.keys().copied().collect();
+        for key in keys {
+            let mut q = b.queues.remove(&key).expect("key just listed");
+            q.clear();
+            if b.spare.len() < SPARE_QUEUES {
+                b.spare.push(q);
+            }
+        }
+        b.len = 0;
+        b.parked = None;
+    }
+
     /// Wake every blocked receiver so it can re-check the poison flag.
     /// Taking the lock before notifying closes the race with a receiver
     /// that has checked the flag but not yet parked on the condvar.
@@ -339,7 +459,7 @@ mod tests {
     use super::*;
 
     fn env(src: usize, tag: u64, arrival: u64) -> Envelope {
-        Envelope { src, tag, seq: 0, arrival, bytes: Arc::new(Vec::new()) }
+        Envelope { src, tag, seq: 0, arrival, bytes: Payload::from_vec(Vec::new()) }
     }
 
     fn ctl(poison: &AtomicBool, deadline: Duration) -> WaitCtl<'_> {
@@ -491,7 +611,13 @@ mod tests {
         let mb2 = Arc::clone(&mb);
         let t = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(30));
-            mb2.put(Envelope { src: 3, tag: 7, seq: 0, arrival: 42, bytes: Arc::new(vec![1, 2]) });
+            mb2.put(Envelope {
+                src: 3,
+                tag: 7,
+                seq: 0,
+                arrival: 42,
+                bytes: Payload::from_vec(vec![1, 2]),
+            });
         });
         match mb.get(3, 7, ctl(&poison, Duration::from_secs(5))) {
             RecvOutcome::Message(e) => {
@@ -576,7 +702,13 @@ mod tests {
             let (gate, mb) = (Arc::clone(&gate), Arc::clone(&mb));
             std::thread::spawn(move || {
                 let _permit = gate.permit(); // must not deadlock
-                mb.put(Envelope { src: 5, tag: 5, seq: 0, arrival: 1, bytes: Arc::new(vec![]) });
+                mb.put(Envelope {
+                    src: 5,
+                    tag: 5,
+                    seq: 0,
+                    arrival: 1,
+                    bytes: Payload::from_vec(vec![]),
+                });
             })
         };
         sender.join().unwrap();

@@ -9,11 +9,16 @@ use crate::coro::{TaskFrame, WakeKind};
 use crate::cost::CostModel;
 use crate::error::{AbortCause, SimAbort};
 use crate::fault::{Fate, FaultPlan};
-use crate::mailbox::{Envelope, Gate, Mailbox, RecvOutcome, WaitCtl};
-use crate::report::{CommRow, ProcStats, TraceEvent, TraceKind};
+use crate::mailbox::{Envelope, Gate, Mailbox, Payload, RecvOutcome, WaitCtl, INLINE_PAYLOAD};
+use crate::report::{CommRow, DataPlaneStats, ProcStats, TraceEvent, TraceKind};
 use crate::sched::EventSched;
 use crate::topology::Mesh;
 use crate::wire::Wire;
+
+/// How many drained encode buffers a processor keeps for reuse. Two is
+/// enough for ping-pong traffic; a little slack covers skeletons that
+/// hold a few payloads at once (e.g. a fold combining child results).
+const SCRATCH_BUFS: usize = 4;
 
 /// Snapshot of a processor's clock and traffic counters at the start of
 /// a traced span (see [`Proc::span_begin`]). The matching
@@ -112,6 +117,14 @@ pub struct Proc<'m> {
     /// exchanges) flattens straight into a right-sized buffer with no
     /// growth reallocations.
     encode_cap: usize,
+    /// Reusable encode buffers. Inline sends return their buffer here
+    /// immediately; heap payloads come back through
+    /// [`recycle`](Proc::recycle) once the receiver has drained them and
+    /// the `Arc` is unique again — steady-state traffic then allocates
+    /// nothing per message.
+    scratch: Vec<Vec<u8>>,
+    /// Host data-plane counters (delivery path, payload representation).
+    dp: DataPlaneStats,
     /// Whether a fault plan is active (cached off the shared state so
     /// the hot paths branch on a local bool).
     faults_active: bool,
@@ -147,6 +160,8 @@ impl<'m> Proc<'m> {
             trace: Vec::new(),
             comm,
             encode_cap: 0,
+            scratch: Vec::new(),
+            dp: DataPlaneStats::default(),
             faults_active,
             crash_limit,
             send_seq: HashMap::new(),
@@ -244,6 +259,11 @@ impl<'m> Proc<'m> {
         self.stats
     }
 
+    /// Host data-plane counters so far.
+    pub(crate) fn data_plane(&self) -> DataPlaneStats {
+        self.dp
+    }
+
     /// Advance the virtual clock by `cycles` of computation.
     #[inline]
     pub fn charge(&mut self, cycles: u64) {
@@ -305,24 +325,67 @@ impl<'m> Proc<'m> {
         assert_ne!(peer, self.id, "processor {} attempted a self-send", self.id);
     }
 
-    /// Flatten `val` once and freeze the buffer into a shareable payload
-    /// by move — no copy between encoding and sharing.
-    pub(crate) fn encode<T: Wire>(&mut self, val: &T) -> Arc<Vec<u8>> {
-        let mut buf = Vec::with_capacity(self.encode_cap);
+    /// Flatten `val` once and freeze it into a payload: short results
+    /// are copied inline into the envelope (no allocation, and the
+    /// encode buffer is reused immediately), long ones move into a
+    /// shared heap buffer — no copy between encoding and sharing.
+    pub(crate) fn encode<T: Wire>(&mut self, val: &T) -> Payload {
+        let mut buf = self.scratch.pop().unwrap_or_else(|| Vec::with_capacity(self.encode_cap));
         val.flatten(&mut buf);
         self.encode_cap = buf.len();
-        Arc::new(buf)
+        if buf.len() <= INLINE_PAYLOAD {
+            let payload = Payload::copy_from(&buf);
+            buf.clear();
+            self.scratch.push(buf);
+            payload
+        } else {
+            Payload::Heap(Arc::new(buf))
+        }
     }
 
-    /// Deposit `env` into `dst`'s mailbox; if the deposit matched a
-    /// parked event task, hand the receiver to the ready queue at the
-    /// later of the envelope's arrival and the receiver's own clock.
-    fn put_and_wake(&self, dst: usize, env: Envelope) {
+    /// Return a drained payload's heap buffer to the encode pool, if it
+    /// had one and this receiver was its last holder. Closes the loop
+    /// with [`encode`](Proc::encode): in steady-state ping-pong traffic
+    /// the same buffers shuttle between the peers' pools instead of
+    /// being allocated and freed per message.
+    fn recycle(&mut self, bytes: Payload) {
+        if self.scratch.len() < SCRATCH_BUFS {
+            if let Some(mut buf) = bytes.reclaim_vec() {
+                buf.clear();
+                self.scratch.push(buf);
+            }
+        }
+    }
+
+    /// Deposit `env` into `dst`'s mailbox and wake the receiver.
+    ///
+    /// Under the event scheduler this is the scheduler-native path: the
+    /// envelope goes straight into the receiver's queue and a parked
+    /// receiver task is handed to the ready heap at the later of the
+    /// envelope's arrival and its own clock — no condvar is touched,
+    /// because every receiver in an event-mode run is a coroutine task
+    /// (never a thread parked in `Mailbox::get`). The thread scheduler
+    /// keeps the condvar broadcast. Either way the arrival timestamp was
+    /// fixed analytically above, so the choice of path is invisible to
+    /// virtual time.
+    fn put_and_wake(&mut self, dst: usize, env: Envelope) {
+        if env.bytes.is_inline() {
+            self.dp.inline_msgs += 1;
+        } else {
+            self.dp.heap_msgs += 1;
+        }
         let arrival = env.arrival;
-        if self.shared.mailboxes[dst].put(env) {
-            let sched =
-                self.shared.sched.as_ref().expect("a parked task implies the event scheduler");
-            sched.push_ready(dst, arrival.max(sched.vnow_hint(dst)));
+        match &self.shared.sched {
+            Some(sched) => {
+                self.dp.direct_deliveries += 1;
+                if self.shared.mailboxes[dst].put_direct(env) {
+                    sched.push_ready(dst, arrival.max(sched.vnow_hint(dst)));
+                }
+            }
+            None => {
+                self.dp.condvar_deliveries += 1;
+                self.shared.mailboxes[dst].put(env);
+            }
         }
     }
 
@@ -332,7 +395,7 @@ impl<'m> Proc<'m> {
     /// regardless of how many physical transmission attempts the fault
     /// plan forces, so `sends`/`bytes_sent` (and machine-wide byte
     /// conservation) are identical with and without faults.
-    fn deposit(&mut self, dst: usize, tag: u64, bytes: Arc<Vec<u8>>, transit: u64) -> u64 {
+    fn deposit(&mut self, dst: usize, tag: u64, bytes: Payload, transit: u64) -> u64 {
         self.stats.sends += 1;
         self.stats.bytes_sent += bytes.len() as u64;
         if let Some(comm) = &mut self.comm {
@@ -361,7 +424,7 @@ impl<'m> Proc<'m> {
     /// the sender nothing: faults perturb *when* messages arrive (wait
     /// time), never how much anyone computes or how many logical
     /// messages flow.
-    fn deliver_reliably(&mut self, dst: usize, tag: u64, bytes: Arc<Vec<u8>>, transit: u64) -> u64 {
+    fn deliver_reliably(&mut self, dst: usize, tag: u64, bytes: Payload, transit: u64) -> u64 {
         let plan = &self.shared.faults;
         let seq = {
             let s = self.send_seq.entry((dst, tag)).or_insert(0);
@@ -394,7 +457,7 @@ impl<'m> Proc<'m> {
                     let arrival = fire + transit + extra_delay;
                     self.put_and_wake(
                         dst,
-                        Envelope { src: self.id, tag, seq, arrival, bytes: Arc::clone(&bytes) },
+                        Envelope { src: self.id, tag, seq, arrival, bytes: bytes.clone() },
                     );
                     if duplicate {
                         // The duplicate trails the original on the same
@@ -422,7 +485,7 @@ impl<'m> Proc<'m> {
     /// route to `dst`. Charges exactly what [`send`](Proc::send) charges
     /// for the same bytes; collectives use it to flatten once and share
     /// the payload across every downstream link.
-    pub(crate) fn send_shared(&mut self, dst: usize, tag: u64, bytes: Arc<Vec<u8>>) {
+    pub(crate) fn send_shared(&mut self, dst: usize, tag: u64, bytes: Payload) {
         self.check_peer(dst);
         let hops = self.shared.mesh.hops(self.id, dst);
         self.charge(self.shared.cost.send_cpu);
@@ -624,7 +687,9 @@ impl<'m> Proc<'m> {
     /// the link overhead instead of the full software receive cost.
     pub fn recv_raw<T: Wire>(&mut self, src: usize, tag: u64) -> T {
         let env = self.recv_envelope(src, tag, self.shared.cost.raw_link_overhead);
-        self.decode_or_panic(&env)
+        let v = self.decode_or_panic(&env);
+        self.recycle(env.bytes);
+        v
     }
 
     /// Receive the next message from `src` carrying `tag`, advancing the
@@ -637,7 +702,9 @@ impl<'m> Proc<'m> {
     pub fn recv<T: Wire>(&mut self, src: usize, tag: u64) -> T {
         // Receiver-side software cost of accepting the message.
         let env = self.recv_envelope(src, tag, self.shared.cost.recv_cpu);
-        self.decode_or_panic(&env)
+        let v = self.decode_or_panic(&env);
+        self.recycle(env.bytes);
+        v
     }
 
     /// Raise the local clock to `t` if it is in the future (used by

@@ -101,6 +101,43 @@ impl ProcStats {
     }
 }
 
+/// Host data-plane counters for one processor: how its messages moved on
+/// the *host*, as opposed to the virtual-time traffic in [`ProcStats`].
+/// Kept out of `ProcStats` deliberately — these depend on the payload
+/// representation and the scheduler's delivery path, while `ProcStats`
+/// is pinned bit-identical across schedulers by the differential tests.
+/// For a fixed machine configuration the counters are still fully
+/// deterministic (the payload representation is a pure function of the
+/// encoded length, and the delivery path is a pure function of the
+/// scheduler), so exports that embed them stay byte-identical across
+/// runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataPlaneStats {
+    /// Envelopes whose payload travelled inline in the envelope
+    /// (≤ [`INLINE_PAYLOAD`](crate::mailbox::INLINE_PAYLOAD) bytes, no
+    /// heap allocation).
+    pub inline_msgs: u64,
+    /// Envelopes whose payload travelled as a shared heap buffer.
+    pub heap_msgs: u64,
+    /// Envelopes deposited over the scheduler-native path: straight into
+    /// the receiver's queue, waking the parked task through the event
+    /// scheduler's ready heap — no condvar broadcast.
+    pub direct_deliveries: u64,
+    /// Envelopes deposited through the condvar mailbox path (the thread
+    /// scheduler's delivery mechanism).
+    pub condvar_deliveries: u64,
+}
+
+impl DataPlaneStats {
+    /// Merge another processor's counters into this one.
+    pub fn absorb(&mut self, other: &DataPlaneStats) {
+        self.inline_msgs += other.inline_msgs;
+        self.heap_msgs += other.heap_msgs;
+        self.direct_deliveries += other.direct_deliveries;
+        self.condvar_deliveries += other.condvar_deliveries;
+    }
+}
+
 /// One processor's row of the communication matrix: per-peer message and
 /// byte counts, indexed by peer processor id. Recorded only while
 /// tracing is enabled, so the data plane stays zero-cost otherwise.
@@ -177,6 +214,8 @@ pub struct ProcReport {
     pub finished_at: u64,
     /// Activity counters.
     pub stats: ProcStats,
+    /// Host data-plane counters (delivery path, payload representation).
+    pub data_plane: DataPlaneStats,
     /// Traced spans (empty unless tracing was enabled).
     pub trace: Vec<TraceEvent>,
     /// Per-peer traffic row (`None` unless tracing was enabled).
@@ -224,6 +263,15 @@ impl RunReport {
     /// Total wait cycles over all processors.
     pub fn total_wait(&self) -> u64 {
         self.procs.iter().map(|p| p.stats.wait).sum()
+    }
+
+    /// Machine-wide host data-plane counters, summed over processors.
+    pub fn data_plane(&self) -> DataPlaneStats {
+        let mut out = DataPlaneStats::default();
+        for p in &self.procs {
+            out.absorb(&p.data_plane);
+        }
+        out
     }
 
     /// Parallel efficiency proxy: average compute share of the critical
@@ -362,6 +410,7 @@ mod tests {
                         bytes_recvd: 16,
                         ..ProcStats::default()
                     },
+                    data_plane: DataPlaneStats::default(),
                     trace: vec![TraceEvent {
                         kind: TraceKind::Span,
                         label: "map".into(),
@@ -385,6 +434,7 @@ mod tests {
                         bytes_recvd: 64,
                         ..ProcStats::default()
                     },
+                    data_plane: DataPlaneStats::default(),
                     trace: vec![],
                     comm: None,
                 },

@@ -83,10 +83,22 @@ impl EventSched {
         }
     }
 
-    /// Make task `id` runnable at virtual time `at`.
+    /// Make task `id` runnable at virtual time `at`. The condvar signal
+    /// is skipped when no worker is parked in `next_ready` — `idle` is
+    /// only ever changed under the state lock, and a worker that is
+    /// about to park re-checks the heap under that lock, so a push it
+    /// could observe is a push it will pop. On a single-worker run
+    /// (sends happen *on* the only worker) every push takes this
+    /// lock-only path.
     pub(crate) fn push_ready(&self, id: usize, at: u64) {
-        lock(&self.state).ready.push(Reverse((at, id)));
-        self.cond.notify_one();
+        let notify = {
+            let mut st = lock(&self.state);
+            st.ready.push(Reverse((at, id)));
+            st.idle > 0
+        };
+        if notify {
+            self.cond.notify_one();
+        }
     }
 
     /// The clock task `id` published at its last block.
@@ -135,6 +147,20 @@ impl EventSched {
             }
             st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
             st.idle -= 1;
+        }
+    }
+
+    /// Rearm a scheduler kept in a machine's run arena for another run
+    /// of the same shape: every task live again, empty heap, clocks at
+    /// zero. Callers only invoke this between runs, when no worker is
+    /// active on the scheduler.
+    pub(crate) fn reset(&self) {
+        let mut st = lock(&self.state);
+        st.ready.clear();
+        st.live = self.vnow.len();
+        st.idle = 0;
+        for v in &self.vnow {
+            v.store(0, Ordering::Relaxed);
         }
     }
 

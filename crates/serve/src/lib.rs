@@ -341,6 +341,10 @@ pub struct StatsSnapshot {
     pub machines_warm: u64,
     pub machines_cold: u64,
     pub machines_discarded: u64,
+    /// Runs across all currently idle pooled machines that reused a
+    /// parked run arena (mailboxes, scheduler state) instead of
+    /// allocating — the per-run setup-floor reduction at work.
+    pub setup_reuse_hits: u64,
     /// Pool counters per mesh shape, sorted by shape.
     pub pool: Vec<PoolShapeStats>,
 }
@@ -384,6 +388,7 @@ impl StatsSnapshot {
                     ("machines_warm", Json::Num(self.machines_warm as f64)),
                     ("machines_cold", Json::Num(self.machines_cold as f64)),
                     ("machines_discarded", Json::Num(self.machines_discarded as f64)),
+                    ("setup_reuse_hits", Json::Num(self.setup_reuse_hits as f64)),
                     ("cache_hit_rate", Json::Num(self.cache_hit_rate())),
                     ("pool", pool),
                 ]),
@@ -563,8 +568,13 @@ impl Server {
     /// Snapshot the counters.
     pub fn stats(&self) -> StatsSnapshot {
         let c = &self.counters;
-        let idle: HashMap<(usize, usize), u64> =
-            self.pool.lock().unwrap().iter().map(|(&mesh, v)| (mesh, v.len() as u64)).collect();
+        let (idle, setup_reuse_hits) = {
+            let pool = self.pool.lock().unwrap();
+            let idle: HashMap<(usize, usize), u64> =
+                pool.iter().map(|(&mesh, v)| (mesh, v.len() as u64)).collect();
+            let hits = pool.values().flatten().map(Machine::setup_reuse_hits).sum::<u64>();
+            (idle, hits)
+        };
         let mut pool: Vec<PoolShapeStats> = self
             .shape_counters
             .lock()
@@ -587,6 +597,7 @@ impl Server {
             machines_warm: c.machines_warm.load(Ordering::Relaxed),
             machines_cold: c.machines_cold.load(Ordering::Relaxed),
             machines_discarded: c.machines_discarded.load(Ordering::Relaxed),
+            setup_reuse_hits,
             pool,
         }
     }

@@ -27,6 +27,17 @@ Two checks, both fatal:
    `--max-ratio` (default 2.0 = 2x): the geomean alone would let one
    catastrophically regressed workload hide behind many flat ones.
 
+A third, purely informational mode:
+
+  python3 scripts/bench_gate.py --compare A.json B.json
+
+prints the per-timing ratio B/A for every workload present in both
+files (workloads only in one file are listed, not fatal) and the
+geometric mean over the matched timings. It never fails on the numbers
+— use it to eyeball two artifacts (e.g. an event-scheduler leg against
+its threads twin, or this PR's bench against the frozen baseline)
+without the gate semantics.
+
 Exit codes: 0 pass, 1 gate failure, 2 usage/IO error.
 Self-test: scripts/bench_gate_selftest.py (run in CI).
 """
@@ -100,8 +111,40 @@ def workloads(node, out):
     return out
 
 
+def compare(a_path, b_path, a_doc, b_doc):
+    """Informational A-vs-B ratio report; only usage/IO errors are fatal."""
+    a_w = workloads(a_doc, {})
+    b_w = workloads(b_doc, {})
+    only_a = sorted(a_w.keys() - b_w.keys())
+    only_b = sorted(b_w.keys() - a_w.keys())
+    for name in only_a:
+        print(f"  {name}: only in {a_path}")
+    for name in only_b:
+        print(f"  {name}: only in {b_path}")
+    ratios = []
+    for name in sorted(a_w.keys() & b_w.keys()):
+        for field in sorted(a_w[name].keys() & b_w[name].keys()):
+            old, new = a_w[name][field], b_w[name][field]
+            if old <= 0 or new <= 0:
+                print(f"  {name}.{field}: non-positive timing (a={old}, b={new}); skipped")
+                continue
+            ratio = new / old
+            ratios.append(ratio)
+            print(f"  {name}.{field}: {old} -> {new} (x{ratio:.3f})")
+    if not ratios:
+        print("bench_gate: no overlapping *_mean_ns timings to compare")
+        return 0
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    print(
+        f"bench_gate: compare geomean b/a over {len(ratios)} timings: "
+        f"{geomean:.3f} ({b_path} vs {a_path})"
+    )
+    return 0
+
+
 def main(argv):
     schema_only = False
+    compare_mode = False
     threshold = 1.25
     max_ratio = 2.0
     paths = []
@@ -109,6 +152,8 @@ def main(argv):
     for arg in it:
         if arg == "--schema-only":
             schema_only = True
+        elif arg == "--compare":
+            compare_mode = True
         elif arg == "--threshold":
             try:
                 threshold = float(next(it))
@@ -140,6 +185,9 @@ def main(argv):
             print(f"bench_gate: cannot load {p}: {e}", file=sys.stderr)
             return 2
     frozen, fresh = docs
+
+    if compare_mode:
+        return compare(frozen_path, fresh_path, frozen, fresh)
 
     drift = list(diff_shapes(shape(frozen), shape(fresh)))
     if drift:

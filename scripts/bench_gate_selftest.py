@@ -10,6 +10,8 @@ and asserts the gate's exit code for each scenario:
   - one timing past --max-ratio, flat geomean-> fail (the cap's job)
   - the same spike with a raised --max-ratio -> pass
   - --schema-only ignores timings entirely   -> pass
+  - --compare prints per-timing ratios + geomean, never fails on
+    numbers, and tolerates disjoint workload name sets
 
 Exit code: 0 when every scenario behaves, 1 otherwise.
 """
@@ -85,6 +87,26 @@ def main():
 
     code, out = run_gate(flat, doc(9000, 9000, 9000, 9000), "--schema-only")
     check("--schema-only ignores timings", 0, code, out)
+
+    # --compare is informational: a 9x regression still exits 0, but the
+    # per-timing ratios and the geomean must be printed.
+    code, out = run_gate(flat, doc(9000, 9000, 9000, 9000), "--compare")
+    check("--compare never fails on numbers", 0, code, out)
+    if "w0.lat_mean_ns: 1000 -> 9000 (x9.000)" not in out:
+        failures.append(f"--compare: per-timing ratio not printed\n{out}")
+    if "compare geomean b/a over 4 timings: 9.000" not in out:
+        failures.append(f"--compare: geomean not printed\n{out}")
+
+    # Disjoint name sets are reported, not fatal; the overlap is ratioed.
+    half = doc(1000, 1000)
+    other = json.loads(json.dumps(half))
+    other["workloads"][1]["name"] = "w9"
+    code, out = run_gate(half, other, "--compare")
+    check("--compare tolerates workload set drift", 0, code, out)
+    if "w1: only in" not in out or "w9: only in" not in out:
+        failures.append(f"--compare: unmatched workloads not listed\n{out}")
+    if "w0.lat_mean_ns: 1000 -> 1000 (x1.000)" not in out:
+        failures.append(f"--compare: overlapping workload not ratioed\n{out}")
 
     if failures:
         print("bench_gate_selftest: FAILURES:", file=sys.stderr)

@@ -382,4 +382,66 @@ proptest! {
             prop_assert_eq!(back, v);
         }
     }
+
+    /// The envelope representation is invisible. Fixed lengths 55/56/57
+    /// encode (with the 8-byte `Vec` length prefix) to 63/64/65 payload
+    /// bytes — straddling the inline-envelope boundary — and the random
+    /// tail mixes inline and heap envelopes through the same mailbox
+    /// flow. Both schedulers must decode every payload byte-identically
+    /// and agree on virtual time, per-proc stats, and the inline/heap
+    /// split (a pure function of encoded length).
+    #[test]
+    fn inline_envelope_boundary_is_invisible(
+        extra in proptest::collection::vec(0usize..200, 0..10),
+        seed in any::<u64>(),
+    ) {
+        use skil::runtime::SchedulerKind;
+        let lens: Vec<usize> = [55usize, 56, 57].into_iter().chain(extra).collect();
+        let payloads: Vec<Vec<u8>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                (0..l)
+                    .map(|j| seed.wrapping_mul(i as u64 + 1).wrapping_add(j as u64) as u8)
+                    .collect()
+            })
+            .collect();
+        let mut runs = Vec::new();
+        for kind in [SchedulerKind::Event, SchedulerKind::Threads] {
+            let m = Machine::new(MachineConfig::mesh(1, 2).unwrap().with_scheduler(kind));
+            let ps = payloads.clone();
+            let run = m.run(move |p| {
+                if p.id() == 0 {
+                    // One (src, tag) flow: inline and heap envelopes
+                    // interleave through a single mailbox bucket in FIFO
+                    // order.
+                    for v in &ps {
+                        p.send(1, 7, v);
+                    }
+                    Vec::new()
+                } else {
+                    (0..ps.len()).map(|_| p.recv::<Vec<u8>>(0, 7)).collect::<Vec<_>>()
+                }
+            });
+            prop_assert_eq!(&run.results[1], &payloads);
+            runs.push(run);
+        }
+        let (a, b) = (&runs[0].report, &runs[1].report);
+        prop_assert_eq!(a.sim_cycles, b.sim_cycles);
+        for (pa, pb) in a.procs.iter().zip(&b.procs) {
+            prop_assert_eq!(pa.finished_at, pb.finished_at);
+            prop_assert_eq!(&pa.stats, &pb.stats);
+        }
+        let (da, db) = (a.data_plane(), b.data_plane());
+        prop_assert_eq!(da.inline_msgs, db.inline_msgs);
+        prop_assert_eq!(da.heap_msgs, db.heap_msgs);
+        // 55- and 56-byte vectors ride inline; the 57-byte one is heap.
+        prop_assert!(da.inline_msgs >= 2 && da.heap_msgs >= 1);
+        // Delivery routing is where the schedulers legitimately differ:
+        // event mode is all direct wakes, thread mode all condvar.
+        prop_assert_eq!(da.direct_deliveries, da.inline_msgs + da.heap_msgs);
+        prop_assert_eq!(da.condvar_deliveries, 0);
+        prop_assert_eq!(db.condvar_deliveries, db.inline_msgs + db.heap_msgs);
+        prop_assert_eq!(db.direct_deliveries, 0);
+    }
 }

@@ -20,7 +20,7 @@
 //! gap and the smaller latency-bound gaps (Table 2's 8×8 column).
 
 use skil_array::{ArraySpec, DistArray, Index, Result};
-use skil_runtime::{Proc, Torus2d, Wire};
+use skil_runtime::{Proc, Wire};
 
 /// An immutable DPFL array: a `DistArray` under functional discipline.
 #[derive(Debug, Clone)]
@@ -183,7 +183,7 @@ where
     let nb = n / s;
     let me = proc.id();
     let [gr, gc] = a.inner.layout().grid_coords(me);
-    let torus = Torus2d::new(proc.mesh(), true);
+    let torus = proc.torus(true);
 
     let mut a_loc: Vec<T> = a.inner.local_data().to_vec();
     let mut b_loc: Vec<T> = b.inner.local_data().to_vec();

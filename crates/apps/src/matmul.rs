@@ -5,7 +5,7 @@
 
 use skil_array::{ArraySpec, Index};
 use skil_core::{array_create, array_gen_mult, Kernel};
-use skil_runtime::{Distr, Machine, Torus2d};
+use skil_runtime::{Distr, Machine};
 
 use crate::costs;
 use crate::outcome::{assemble_matrix, run_timed, AppOutcome};
@@ -65,7 +65,7 @@ pub fn matmul_c_opt(machine: &Machine, n: usize, seed: u64) -> Product {
             let nb = n / s;
             let me = p.id();
             let (gr, gc) = mesh.coords(me);
-            let torus = Torus2d::new(mesh, true);
+            let torus = p.torus(true);
             let inner = costs::c_opt_matmul_inner(&cost);
 
             let mut a_loc: Vec<f64> =

@@ -7,7 +7,7 @@
 
 use skil_array::{ArraySpec, Index};
 use skil_core::{array_copy, array_create, array_gen_mult, Kernel};
-use skil_runtime::{Machine, Proc, Torus2d};
+use skil_runtime::{Machine, Proc};
 
 use crate::costs;
 use crate::dpfl::{fcreate, fgen_mult};
@@ -87,7 +87,7 @@ fn run_shpaths_c(machine: &Machine, n: usize, seed: u64, optimized: bool) -> Dis
             let nb = n / s;
             let me = p.id();
             let (gr, gc) = mesh.coords(me);
-            let torus = Torus2d::new(mesh, optimized);
+            let torus = p.torus(optimized);
             let inner = if optimized {
                 costs::c_opt_minplus_inner(&cost)
             } else {

@@ -1,0 +1,285 @@
+//! Cross-topology collective and application report.
+//!
+//! Runs the allreduce/allgather algorithm variants (ring vs recursive
+//! doubling) on every topology in the zoo at 16 processors, plus the
+//! two reproduction applications (shortest paths, Gaussian elimination)
+//! per topology, and emits `BENCH_topology.json` (schema
+//! `skil-bench/topology/v1`, gated by `scripts/bench_gate.py`).
+//!
+//! The report is also an executable claim about the hop-metric
+//! algorithm selection: for every (topology, collective) pair the
+//! variant chosen by `select_allreduce`/`select_allgather` must cost no
+//! more simulated cycles than the rejected variant, and it must be
+//! strictly cheaper on at least two pairs — otherwise the selection
+//! rule would be dead weight and this binary fails.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p skil-bench --bin bench_topology -- \
+//!     [--out BENCH_topology.json] [--quick]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use skil_apps::workload::round_up_to_multiple;
+use skil_apps::{gauss_skil, shpaths_skil};
+use skil_bench::experiments::SEED;
+use skil_runtime::{
+    select_allgather, select_allreduce, CollectiveAlgo, CostModel, Machine, MachineConfig, Topology,
+};
+
+/// The topology zoo of the report, all hosting 16 processors.
+const TOPOLOGIES: [&str; 4] =
+    ["mesh2d:4x4", "hypercube:16", "fattree:2,4", "hetero:mesh2d:4x4:slowlinks=col2*64"];
+
+/// Simulated runs per host-wall sample, to keep one sample above the
+/// timer noise floor.
+const RUNS_PER_SAMPLE: usize = 8;
+
+/// Problem size of the per-topology application rows.
+const APP_N: usize = 64;
+
+/// One measured (topology, collective, algorithm) cell.
+struct CollectivePoint {
+    name: String,
+    topology: String,
+    collective: &'static str,
+    algo: &'static str,
+    selected: bool,
+    sim_cycles: u64,
+    wall_mean_ns: f64,
+    wall_min_ns: f64,
+}
+
+/// One per-topology application row.
+struct AppPoint {
+    name: String,
+    topology: String,
+    app: &'static str,
+    n: usize,
+    sim_cycles: u64,
+    sim_seconds: f64,
+    wall_mean_ns: f64,
+}
+
+/// One allreduce over a 16-byte payload — the nominal message size the
+/// hop-metric selection prices — so `sim_cycles` is the single-shot
+/// latency the closed-form estimates model (chaining collectives would
+/// pipeline the ring and measure throughput instead).
+fn allreduce_cycles(m: &Machine, algo: CollectiveAlgo) -> u64 {
+    m.run(move |p| {
+        let mine = [p.id() as u64 + 1, p.id() as u64 * 3];
+        p.allreduce_with(
+            algo,
+            20,
+            mine,
+            |a, b| [a[0].wrapping_add(b[0]), a[1].wrapping_add(b[1])],
+            2,
+        )
+    })
+    .report
+    .sim_cycles
+}
+
+/// One allgather of a 16-byte contribution per processor (see
+/// [`allreduce_cycles`] for why single-shot).
+fn allgather_cycles(m: &Machine, algo: CollectiveAlgo) -> u64 {
+    m.run(move |p| p.allgather_with(algo, 21, [p.id() as u64 + 1, p.id() as u64 * 3]))
+        .report
+        .sim_cycles
+}
+
+fn slug(spec: &str) -> String {
+    spec.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+fn measure_collective(
+    topo: Topology,
+    collective: &'static str,
+    algo: CollectiveAlgo,
+    selected: bool,
+    repeats: usize,
+) -> CollectivePoint {
+    let m = Machine::new(MachineConfig::on_topology(topo).expect("zoo topology"));
+    let bench = |m: &Machine| match collective {
+        "allreduce" => allreduce_cycles(m, algo),
+        "allgather" => allgather_cycles(m, algo),
+        other => panic!("unknown collective {other}"),
+    };
+    let sim_cycles = bench(&m); // warmup + golden capture
+    let mut total = 0.0;
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        for _ in 0..RUNS_PER_SAMPLE {
+            let cycles = bench(&m);
+            assert_eq!(
+                cycles,
+                sim_cycles,
+                "non-deterministic virtual time: {collective}/{} on {topo}",
+                algo.as_str()
+            );
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / RUNS_PER_SAMPLE as f64;
+        total += ns;
+        best = best.min(ns);
+    }
+    let spec = topo.spec();
+    CollectivePoint {
+        name: format!("{collective}_{}_{}", algo.as_str(), slug(&spec)),
+        topology: spec,
+        collective,
+        algo: algo.as_str(),
+        selected,
+        sim_cycles,
+        wall_mean_ns: total / repeats as f64,
+        wall_min_ns: best,
+    }
+}
+
+fn measure_app(topo: Topology, app: &'static str, repeats: usize) -> AppPoint {
+    let m = Machine::new(MachineConfig::on_topology(topo).expect("zoo topology"));
+    let n = round_up_to_multiple(APP_N, topo.grid().rows.max(1));
+    let run = |m: &Machine| match app {
+        "shpaths_skil" => {
+            let out = shpaths_skil(m, n, SEED);
+            (out.sim_cycles, out.sim_seconds)
+        }
+        "gauss_skil" => {
+            let out = gauss_skil(m, n, SEED);
+            (out.sim_cycles, out.sim_seconds)
+        }
+        other => panic!("unknown app {other}"),
+    };
+    let (sim_cycles, sim_seconds) = run(&m); // warmup + golden capture
+    let mut total = 0.0;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let (cycles, _) = run(&m);
+        assert_eq!(cycles, sim_cycles, "non-deterministic virtual time: {app} on {topo}");
+        total += t0.elapsed().as_nanos() as f64;
+    }
+    let spec = topo.spec();
+    AppPoint {
+        name: format!("{app}_{}", slug(&spec)),
+        topology: spec,
+        app,
+        n,
+        sim_cycles,
+        sim_seconds,
+        wall_mean_ns: total / repeats as f64,
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_topology.json");
+    let mut repeats = 5usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--quick" => repeats = 2,
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let cost = CostModel::t800();
+    let mut cells: Vec<CollectivePoint> = Vec::new();
+    let mut strict_wins = 0usize;
+    for spec in TOPOLOGIES {
+        let topo = Topology::parse(spec).expect("zoo spec");
+        for (collective, selected_algo) in [
+            ("allreduce", select_allreduce(&topo, &cost)),
+            ("allgather", select_allgather(&topo, &cost)),
+        ] {
+            let mut pair: Vec<CollectivePoint> = [CollectiveAlgo::Ring, CollectiveAlgo::RecDouble]
+                .into_iter()
+                .map(|algo| {
+                    measure_collective(topo, collective, algo, algo == selected_algo, repeats)
+                })
+                .collect();
+            pair.sort_by_key(|c| !c.selected); // selected first
+            let (sel, other) = (&pair[0], &pair[1]);
+            assert!(sel.selected && !other.selected, "selection must pick ring or rd");
+            println!(
+                "{:<12} {:<42} selected {:<4} {:>12} cycles vs {:<4} {:>12} cycles",
+                collective, spec, sel.algo, sel.sim_cycles, other.algo, other.sim_cycles
+            );
+            assert!(
+                sel.sim_cycles <= other.sim_cycles,
+                "{collective} on {spec}: selected {} ({} cycles) loses to {} ({} cycles)",
+                sel.algo,
+                sel.sim_cycles,
+                other.algo,
+                other.sim_cycles
+            );
+            if sel.sim_cycles < other.sim_cycles {
+                strict_wins += 1;
+            }
+            cells.extend(pair);
+        }
+    }
+    assert!(
+        strict_wins >= 2,
+        "hop-metric selection must strictly win on >= 2 (topology, collective) pairs, \
+         got {strict_wins}"
+    );
+    println!("\nselection strictly cheaper on {strict_wins}/8 (topology, collective) pairs");
+
+    let mut apps: Vec<AppPoint> = Vec::new();
+    for spec in TOPOLOGIES {
+        let topo = Topology::parse(spec).expect("zoo spec");
+        for app in ["shpaths_skil", "gauss_skil"] {
+            let p = measure_app(topo, app, repeats);
+            println!(
+                "{:<14} {:<42} n {:>3}  {:>12} cycles  {:>9.2} ms",
+                p.app,
+                p.topology,
+                p.n,
+                p.sim_cycles,
+                p.wall_mean_ns / 1e6
+            );
+            apps.push(p);
+        }
+    }
+
+    let mut json = String::from("{\n  \"schema\": \"skil-bench/topology/v1\",\n");
+    let _ = writeln!(json, "  \"procs\": 16,");
+    let _ = writeln!(json, "  \"runs_per_sample\": {RUNS_PER_SAMPLE},");
+    let _ = writeln!(json, "  \"selection_strict_wins\": {strict_wins},");
+    json.push_str("  \"collectives\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\n      \"name\": \"{}\",\n      \"topology\": \"{}\",\n      \
+             \"collective\": \"{}\",\n      \"algo\": \"{}\",\n      \"selected\": {},\n      \
+             \"sim_cycles\": {},\n      \"wall_mean_ns\": {:.0},\n      \
+             \"wall_min_ns\": {:.0}\n    }}",
+            c.name,
+            c.topology,
+            c.collective,
+            c.algo,
+            c.selected,
+            c.sim_cycles,
+            c.wall_mean_ns,
+            c.wall_min_ns
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"apps\": [\n");
+    for (i, a) in apps.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\n      \"name\": \"{}\",\n      \"topology\": \"{}\",\n      \
+             \"app\": \"{}\",\n      \"n\": {},\n      \"sim_cycles\": {},\n      \
+             \"sim_seconds\": {:.6},\n      \"wall_mean_ns\": {:.0}\n    }}",
+            a.name, a.topology, a.app, a.n, a.sim_cycles, a.sim_seconds, a.wall_mean_ns
+        );
+        json.push_str(if i + 1 < apps.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

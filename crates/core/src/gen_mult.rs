@@ -14,7 +14,7 @@
 //! "infinity" for `min` — exactly as the paper's `shpaths` does).
 
 use skil_array::{ArrayError, DistArray, Result};
-use skil_runtime::{Proc, Torus2d, Wire};
+use skil_runtime::{Proc, Wire};
 
 use crate::kernel::Kernel;
 use crate::tags;
@@ -73,7 +73,7 @@ where
     let nb = n / s;
     let me = proc.id();
     let [gr, gc] = a.layout().grid_coords(me);
-    let torus = Torus2d::new(proc.mesh(), true);
+    let torus = proc.torus(true);
     let cost = proc.cost().clone();
 
     let span = proc.span_begin();

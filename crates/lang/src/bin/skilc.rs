@@ -4,6 +4,11 @@
 //! skilc <file.skil>                  type-check and emit C to stdout
 //! skilc --run <file.skil>            run on a simulated 2x2 mesh
 //! skilc --run --mesh RxC <file.skil> choose the machine shape
+//! skilc --run --topology SPEC        choose the physical topology, e.g.
+//!                                    mesh2d:4x4, hypercube:16, fattree:2,4,
+//!                                    hetero:mesh2d:4x4:slowlinks=col2*64
+//! skilc --run --collective-algo A    force a collective algorithm:
+//!                                    tree | ring | rd | auto
 //! skilc --run --engine ast|vm|native pick the execution engine
 //! skilc --opt-level 0|1|2 ...        bytecode optimizer level (default 2)
 //! skilc --check <file.skil>          parse + type check only
@@ -25,13 +30,14 @@
 //! surfaces as a structured `PeerDown` failure with exit code 3.
 
 use skil_lang::{compile_opt, Engine, OptLevel};
-use skil_runtime::{FaultPlan, Machine, MachineConfig};
+use skil_runtime::{CollectiveAlgo, FaultPlan, Machine, MachineConfig, Topology};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: skilc [--check | --emit-bytecode[=raw|opt] | --emit-rust | --run [--mesh RxC] \
-[--engine ast|vm|native] [--trace] [--faults SPEC]] [--opt-level 0|1|2] <file.skil>\n\
+[--topology SPEC] [--collective-algo tree|ring|rd|auto] [--engine ast|vm|native] [--trace] \
+[--faults SPEC]] [--opt-level 0|1|2] <file.skil>\n\
          \n\
          default: emit the instantiated first-order C to stdout\n\
          --check: stop after the polymorphic type check\n\
@@ -42,6 +48,14 @@ fn usage() -> ExitCode {
                   engine compiles (at the selected --opt-level)\n\
          --run:   execute SPMD on a simulated transputer mesh (default 2x2)\n\
          --mesh:  machine shape for --run, e.g. --mesh 4x4 or --mesh 8x4\n\
+         --topology: physical topology for --run (subsumes --mesh):\n\
+                  mesh2d:RxC | hypercube:N | fattree:LEVELS,ARITY |\n\
+                  hetero:mesh2d:RxC:slowlinks=colK*F; the hop metric\n\
+                  prices every message and steers collective selection\n\
+         --collective-algo: collective algorithm override for --run:\n\
+                  tree | ring | rd | auto (auto picks the cheaper of\n\
+                  ring/rd from the topology's hop metric; also settable\n\
+                  via SKIL_COLLECTIVE_ALGO)\n\
          --engine: execution engine for --run: vm (default, bytecode),\n\
                   ast (reference walker), or native (rustc-compiled\n\
                   machine code; falls back to vm if rustc is missing);\n\
@@ -73,6 +87,8 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut faults: Option<FaultPlan> = None;
     let mut mesh = (2usize, 2usize);
+    let mut topology: Option<Topology> = None;
+    let mut collective_algo: Option<CollectiveAlgo> = None;
     let mut file: Option<String> = None;
 
     let mut i = 0;
@@ -123,6 +139,26 @@ fn main() -> ExitCode {
                     (Ok(r), Ok(c)) => mesh = (r, c),
                     _ => return usage(),
                 }
+            }
+            "--topology" => {
+                i += 1;
+                let Some(spec) = args.get(i) else { return usage() };
+                match Topology::parse(spec) {
+                    Ok(t) => topology = Some(t),
+                    Err(e) => {
+                        eprintln!("skilc: bad --topology spec: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--collective-algo" => {
+                i += 1;
+                let parsed = args.get(i).and_then(|s| CollectiveAlgo::parse(s));
+                let Some(algo) = parsed else {
+                    eprintln!("skilc: --collective-algo takes tree | ring | rd | auto");
+                    return ExitCode::from(2);
+                };
+                collective_algo = Some(algo);
             }
             "--help" | "-h" => return usage(),
             other if !other.starts_with('-') && file.is_none() => {
@@ -183,16 +219,24 @@ fn main() -> ExitCode {
                 engine = Engine::Vm;
             }
         }
-        let cfg = match MachineConfig::mesh(mesh.0, mesh.1) {
+        let base = match topology {
+            Some(t) => MachineConfig::on_topology(t),
+            None => MachineConfig::mesh(mesh.0, mesh.1),
+        };
+        let cfg = match base {
             Ok(c) => {
                 let c = if trace || trace_out.is_some() { c.with_trace() } else { c };
+                let c = match collective_algo {
+                    Some(algo) => c.with_collective_algo(algo),
+                    None => c,
+                };
                 match &faults {
                     Some(plan) => c.with_faults(plan.clone()),
                     None => c,
                 }
             }
             Err(e) => {
-                eprintln!("skilc: bad mesh: {e}");
+                eprintln!("skilc: bad machine shape: {e}");
                 return ExitCode::FAILURE;
             }
         };

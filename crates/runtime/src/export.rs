@@ -81,6 +81,7 @@ impl RunReport {
         let _ = writeln!(out, "  \"sim_seconds\": {},", num(self.sim_seconds));
         let _ = writeln!(out, "  \"clock_hz\": {},", num(self.clock_hz));
         let _ = writeln!(out, "  \"nprocs\": {},", self.procs.len());
+        let _ = writeln!(out, "  \"topology\": \"{}\",", esc(&self.topology.spec()));
         let _ = writeln!(
             out,
             "  \"totals\": {{\"msgs\": {}, \"bytes_sent\": {}, \"bytes_recvd\": {}, \
@@ -153,11 +154,18 @@ impl RunReport {
         out.push_str(if skel.is_empty() { "},\n" } else { "\n  },\n" });
         match self.comm_matrix() {
             Some(cm) => {
+                // The hop metric of the run's topology for every src→dst
+                // pair — what the cost model charged routed traffic with.
+                let hops: Vec<u64> = (0..cm.n)
+                    .flat_map(|src| (0..cm.n).map(move |dst| (src, dst)))
+                    .map(|(src, dst)| self.topology.hops(src, dst) as u64)
+                    .collect();
                 let _ = writeln!(
                     out,
-                    "  \"comm_matrix\": {{\"msgs\": {}, \"bytes\": {}}}",
+                    "  \"comm_matrix\": {{\"msgs\": {}, \"bytes\": {}, \"hops\": {}}}",
                     matrix_json(cm.n, &cm.msgs),
-                    matrix_json(cm.n, &cm.bytes)
+                    matrix_json(cm.n, &cm.bytes),
+                    matrix_json(cm.n, &hops)
                 );
             }
             None => out.push_str("  \"comm_matrix\": null\n"),
@@ -273,11 +281,13 @@ mod tests {
         let j = traced_run().metrics_json();
         for key in [
             "skil-metrics-v1",
+            "\"topology\": \"mesh2d:1x2\"",
             "\"totals\"",
             "\"procs\"",
             "\"skeletons\"",
             "\"xchg\"",
             "\"comm_matrix\"",
+            "\"hops\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }

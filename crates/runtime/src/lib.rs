@@ -45,6 +45,9 @@ pub(crate) mod sched;
 pub mod topology;
 pub mod wire;
 
+pub use collective::{
+    estimate_allgather, estimate_allreduce, select_allgather, select_allreduce, CollectiveAlgo,
+};
 pub use cost::CostModel;
 pub use error::{
     runtime_error_message, AbortCause, RtError, SimAbort, SimFailure, WireError, RT_ERROR_PREFIX,
@@ -55,5 +58,5 @@ pub use proc::{Proc, SpanStart};
 pub use report::{
     CommMatrix, CommRow, ProcReport, ProcStats, RunReport, SkeletonMetrics, TraceEvent, TraceKind,
 };
-pub use topology::{BinomialTree, Distr, Mesh, Ring, Torus2d};
+pub use topology::{BinomialTree, Distr, Mesh, Ring, Topology, Torus2d};
 pub use wire::{Wire, WireReader};

@@ -6,6 +6,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
+use crate::collective::CollectiveAlgo;
 use crate::coro::{self, StackPool, Task, TaskBody, TaskFrame};
 use crate::cost::CostModel;
 use crate::error::{runtime_error_message, AbortCause, RtError, SimAbort, SimFailure};
@@ -14,7 +15,7 @@ use crate::mailbox::{Gate, Mailbox};
 use crate::proc::{Proc, Shared};
 use crate::report::{ProcReport, RunReport};
 use crate::sched::{worker_loop, EventSched};
-use crate::topology::Mesh;
+use crate::topology::{Mesh, Topology};
 
 /// Which execution core drives the simulated processors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,8 +34,17 @@ pub enum SchedulerKind {
 /// Configuration of a simulated machine.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
-    /// The physical 2-D mesh.
+    /// The logical process grid (row-major ids; arrays are laid out on
+    /// it). Always equal to `topology.grid()`.
     pub mesh: Mesh,
+    /// The physical interconnect. Defaults to [`Topology::Mesh2d`] of
+    /// `mesh`, which reproduces the seed simulator bit for bit; other
+    /// topologies change only the hop metric messages are priced with.
+    pub topology: Topology,
+    /// Which allreduce algorithm the collectives use.
+    /// [`CollectiveAlgo::Tree`] (the paper's binomial tree) by default;
+    /// `None` here resolves from `SKIL_COLLECTIVE_ALGO`.
+    pub collective_algo: Option<CollectiveAlgo>,
     /// Cost model (defaults to the calibrated T800).
     pub cost: CostModel,
     /// Real-time budget before a blocked `recv` reports a deadlock
@@ -61,8 +71,11 @@ pub struct MachineConfig {
 impl MachineConfig {
     /// A `rows x cols` mesh with the default cost model.
     pub fn mesh(rows: usize, cols: usize) -> Result<Self, RtError> {
+        let mesh = Mesh::new(rows, cols)?;
         Ok(MachineConfig {
-            mesh: Mesh::new(rows, cols)?,
+            mesh,
+            topology: Topology::Mesh2d(mesh),
+            collective_algo: None,
             cost: CostModel::t800(),
             deadlock_timeout: Duration::from_secs(20),
             trace: false,
@@ -79,7 +92,29 @@ impl MachineConfig {
 
     /// `n` processors on the most nearly square mesh.
     pub fn procs(n: usize) -> Result<Self, RtError> {
-        Ok(MachineConfig { mesh: Mesh::near_square(n)?, ..Self::mesh(1, 1)? })
+        let mesh = Mesh::near_square(n)?;
+        Ok(MachineConfig { mesh, topology: Topology::Mesh2d(mesh), ..Self::mesh(1, 1)? })
+    }
+
+    /// A machine wired as `topology`; the logical process grid becomes
+    /// [`Topology::grid`] of it.
+    pub fn on_topology(topology: Topology) -> Result<Self, RtError> {
+        let grid = topology.grid();
+        Ok(MachineConfig { mesh: grid, topology, ..Self::mesh(1, 1)? })
+    }
+
+    /// Replace the physical interconnect (and the process grid with the
+    /// topology's).
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.mesh = topology.grid();
+        self.topology = topology;
+        self
+    }
+
+    /// Force a collective algorithm, overriding `SKIL_COLLECTIVE_ALGO`.
+    pub fn with_collective_algo(mut self, algo: CollectiveAlgo) -> Self {
+        self.collective_algo = Some(algo);
+        self
     }
 
     /// Replace the cost model.
@@ -286,6 +321,17 @@ impl Machine {
         self.cfg.mesh.procs()
     }
 
+    /// The collective algorithm runs on this machine use: the config
+    /// override, then `SKIL_COLLECTIVE_ALGO` (`tree` | `ring` | `rd` |
+    /// `auto`). `None` leaves each collective its own default
+    /// (binomial tree for the paper's allreduce, hop-metric
+    /// auto-selection for the new allgather).
+    fn resolved_collective_algo(&self) -> Option<CollectiveAlgo> {
+        self.cfg.collective_algo.or_else(|| {
+            std::env::var("SKIL_COLLECTIVE_ALGO").ok().as_deref().and_then(CollectiveAlgo::parse)
+        })
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
@@ -369,6 +415,8 @@ impl Machine {
         let shared = Shared {
             trace: self.cfg.trace,
             mesh: self.cfg.mesh,
+            topo: self.cfg.topology,
+            collective_algo: self.resolved_collective_algo(),
             cost: self.cfg.cost.clone(),
             deadlock_timeout: self.cfg.deadlock_timeout,
             mailboxes,
@@ -583,6 +631,7 @@ impl Machine {
                 sim_cycles,
                 sim_seconds: self.cfg.cost.seconds(sim_cycles),
                 clock_hz: self.cfg.cost.clock_hz,
+                topology: self.cfg.topology,
                 procs,
             },
         })

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use crate::collective::CollectiveAlgo;
 use crate::coro::{TaskFrame, WakeKind};
 use crate::cost::CostModel;
 use crate::error::{AbortCause, SimAbort};
@@ -12,7 +13,7 @@ use crate::fault::{Fate, FaultPlan};
 use crate::mailbox::{Envelope, Gate, Mailbox, Payload, RecvOutcome, WaitCtl, INLINE_PAYLOAD};
 use crate::report::{CommRow, DataPlaneStats, ProcStats, TraceEvent, TraceKind};
 use crate::sched::EventSched;
-use crate::topology::Mesh;
+use crate::topology::{Mesh, Ring, Topology, Torus2d};
 use crate::wire::Wire;
 
 /// How many drained encode buffers a processor keeps for reuse. Two is
@@ -38,6 +39,8 @@ pub struct SpanStart {
 pub(crate) struct Shared {
     pub(crate) trace: bool,
     pub(crate) mesh: Mesh,
+    pub(crate) topo: Topology,
+    pub(crate) collective_algo: Option<CollectiveAlgo>,
     pub(crate) cost: CostModel,
     pub(crate) deadlock_timeout: Duration,
     pub(crate) mailboxes: Vec<Mailbox>,
@@ -234,9 +237,40 @@ impl<'m> Proc<'m> {
         self.shared.mesh.procs()
     }
 
-    /// The physical mesh.
+    /// The logical process grid (equal to the physical mesh on
+    /// mesh-shaped machines).
     pub fn mesh(&self) -> Mesh {
         self.shared.mesh
+    }
+
+    /// The physical interconnect.
+    pub fn topology(&self) -> Topology {
+        self.shared.topo
+    }
+
+    /// Weighted hop distance from this processor to `dst` on the
+    /// physical interconnect.
+    pub fn hops_to(&self, dst: usize) -> usize {
+        self.shared.topo.hops(self.id, dst)
+    }
+
+    /// The machine-wide collective-algorithm selection (config /
+    /// `SKIL_COLLECTIVE_ALGO`); `None` leaves each collective its own
+    /// default.
+    pub fn collective_algo(&self) -> Option<CollectiveAlgo> {
+        self.shared.collective_algo
+    }
+
+    /// The ring virtual topology over this machine, priced by the
+    /// physical topology's hop metric.
+    pub fn ring(&self, virtual_links: bool) -> Ring {
+        Ring::on(self.shared.topo, virtual_links)
+    }
+
+    /// The 2-D torus virtual topology over this machine, priced by the
+    /// physical topology's hop metric.
+    pub fn torus(&self, virtual_links: bool) -> Torus2d {
+        Torus2d::on(self.shared.topo, virtual_links)
     }
 
     /// The machine's cost model.
@@ -487,7 +521,7 @@ impl<'m> Proc<'m> {
     /// the payload across every downstream link.
     pub(crate) fn send_shared(&mut self, dst: usize, tag: u64, bytes: Payload) {
         self.check_peer(dst);
-        let hops = self.shared.mesh.hops(self.id, dst);
+        let hops = self.shared.topo.hops(self.id, dst);
         self.charge(self.shared.cost.send_cpu);
         let transit = self.shared.cost.transit(bytes.len(), hops);
         self.deposit(dst, tag, bytes, transit);
@@ -500,7 +534,7 @@ impl<'m> Proc<'m> {
     /// The message becomes available to the receiver at
     /// `now + send_cpu + transit(bytes, mesh hops)`.
     pub fn send<T: Wire>(&mut self, dst: usize, tag: u64, val: &T) {
-        let hops = self.shared.mesh.hops(self.id, dst);
+        let hops = self.shared.topo.hops(self.id, dst);
         self.send_hops(dst, hops, tag, val);
     }
 
@@ -519,7 +553,7 @@ impl<'m> Proc<'m> {
     /// asynchronous communication). The sender's clock advances by the
     /// full transit time.
     pub fn send_sync<T: Wire>(&mut self, dst: usize, tag: u64, val: &T) {
-        let hops = self.shared.mesh.hops(self.id, dst);
+        let hops = self.shared.topo.hops(self.id, dst);
         self.send_sync_hops(dst, hops, tag, val);
     }
 

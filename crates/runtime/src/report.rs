@@ -233,6 +233,10 @@ pub struct RunReport {
     /// The machine's virtual clock rate in Hz (maps cycles to wall time
     /// in the exports).
     pub clock_hz: f64,
+    /// The physical topology the machine ran on. Exports carry its
+    /// canonical spec, and the comm-matrix export annotates every
+    /// src→dst pair with the topology's hop metric.
+    pub topology: crate::topology::Topology,
     /// Per-processor details, indexed by processor id.
     pub procs: Vec<ProcReport>,
 }
@@ -398,6 +402,7 @@ mod tests {
             sim_cycles: 100,
             sim_seconds: 100.0 / 20e6,
             clock_hz: 20e6,
+            topology: crate::topology::Topology::default_for(2).unwrap(),
             procs: vec![
                 ProcReport {
                     finished_at: 100,
@@ -462,7 +467,13 @@ mod tests {
 
     #[test]
     fn efficiency_degenerate() {
-        let r = RunReport { sim_cycles: 0, sim_seconds: 0.0, clock_hz: 20e6, procs: vec![] };
+        let r = RunReport {
+            sim_cycles: 0,
+            sim_seconds: 0.0,
+            clock_hz: 20e6,
+            topology: crate::topology::Topology::default_for(1).unwrap(),
+            procs: vec![],
+        };
         assert_eq!(r.efficiency(), 1.0);
         assert!(r.render_timeline(40).contains("empty"));
     }

@@ -25,7 +25,7 @@ pub enum Distr {
 }
 
 /// The physical 2-D mesh.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Mesh {
     /// Number of mesh rows.
     pub rows: usize,
@@ -84,6 +84,270 @@ impl Mesh {
     }
 }
 
+/// The physical interconnect of the simulated machine.
+///
+/// The paper's machine is a 2-D mesh; the zoo adds a hypercube, a
+/// `k`-ary fat tree, and a heterogeneous mesh with a slow vertical cut.
+/// Every variant exposes the same two facts the rest of the simulator
+/// needs: the processor count and a **weighted hop metric** per
+/// `src → dst` pair. The hop metric is the *only* topology-dependent
+/// input to message cost ([`CostModel::transit`](crate::CostModel)
+/// charges `per_hop * hops`), so `Topology::Mesh2d` reproduces the
+/// seed simulator bit for bit.
+///
+/// Processor ids stay row-major over a logical process grid
+/// ([`Topology::grid`]) regardless of the physical wiring — arrays are
+/// laid out on the grid, the interconnect only prices the messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// The paper's 2-D mesh (Manhattan hop metric). The default.
+    Mesh2d(Mesh),
+    /// A `dims`-dimensional hypercube of `2^dims` processors; the hop
+    /// metric is the Hamming distance between ids.
+    Hypercube {
+        /// log2 of the processor count.
+        dims: u32,
+    },
+    /// A fat tree with `levels` switch levels of down-arity `arity`;
+    /// `arity^levels` leaves (processors). Leaves whose base-`arity`
+    /// ids share a longer prefix meet at a lower switch: the hop metric
+    /// is `2 * (levels - common prefix length)` (up to the meeting
+    /// switch and back down).
+    FatTree {
+        /// Number of switch levels above the leaves.
+        levels: u32,
+        /// Down-links per switch.
+        arity: usize,
+    },
+    /// A 2-D mesh whose links crossing the vertical cut left of column
+    /// `cut_col` are `factor`× slower: each crossing counts as `factor`
+    /// hops instead of 1 (think one oversubscribed cable tray between
+    /// two halves of the machine room).
+    Hetero {
+        /// The underlying mesh.
+        mesh: Mesh,
+        /// Links between columns `cut_col - 1` and `cut_col` are slow.
+        cut_col: usize,
+        /// Weight of one slow-link crossing, in ordinary hops.
+        factor: usize,
+    },
+}
+
+impl Topology {
+    /// The default physical topology for `n` processors: the most
+    /// nearly square 2-D mesh, exactly as the seed simulator built it.
+    pub fn default_for(n: usize) -> Result<Self, RtError> {
+        Ok(Topology::Mesh2d(Mesh::near_square(n)?))
+    }
+
+    /// Parse a `--topology` spec:
+    ///
+    /// * `mesh2d:RxC`
+    /// * `hypercube:N` (N a power of two)
+    /// * `fattree:L,A` (L switch levels, down-arity A ⇒ `A^L` procs)
+    /// * `hetero:mesh2d:RxC:slowlinks=colK*F` (crossing the vertical
+    ///   cut left of column K costs F hops)
+    pub fn parse(spec: &str) -> Result<Self, RtError> {
+        let bad = |msg: String| RtError::BadConfig(format!("topology `{spec}`: {msg}"));
+        let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+        match kind {
+            "mesh2d" => {
+                let (r, c) = parse_mesh_shape(rest).map_err(&bad)?;
+                Ok(Topology::Mesh2d(Mesh::new(r, c)?))
+            }
+            "hypercube" => {
+                let n: usize =
+                    rest.parse().map_err(|_| bad(format!("bad processor count `{rest}`")))?;
+                if n == 0 || !n.is_power_of_two() {
+                    return Err(bad(format!("{n} processors is not a power of two")));
+                }
+                Ok(Topology::Hypercube { dims: n.trailing_zeros() })
+            }
+            "fattree" => {
+                let (l, a) = rest
+                    .split_once(',')
+                    .ok_or_else(|| bad("expected `fattree:LEVELS,ARITY`".into()))?;
+                let levels: u32 =
+                    l.trim().parse().map_err(|_| bad(format!("bad level count `{l}`")))?;
+                let arity: usize = a.trim().parse().map_err(|_| bad(format!("bad arity `{a}`")))?;
+                if levels == 0 || arity < 2 {
+                    return Err(bad("need >= 1 level and arity >= 2".into()));
+                }
+                let leaves = arity
+                    .checked_pow(levels)
+                    .filter(|&n| n <= 1 << 20)
+                    .ok_or_else(|| bad("fat tree too large".into()))?;
+                let _ = leaves;
+                Ok(Topology::FatTree { levels, arity })
+            }
+            "hetero" => {
+                // hetero:mesh2d:RxC:slowlinks=colK*F
+                let mut parts = rest.splitn(3, ':');
+                let base = parts.next().unwrap_or("");
+                if base != "mesh2d" {
+                    return Err(bad(format!("unknown hetero base `{base}` (want mesh2d)")));
+                }
+                let shape = parts.next().ok_or_else(|| bad("missing mesh shape".into()))?;
+                let (r, c) = parse_mesh_shape(shape).map_err(&bad)?;
+                let slow = parts.next().ok_or_else(|| bad("missing slowlinks=...".into()))?;
+                let slow = slow
+                    .strip_prefix("slowlinks=col")
+                    .ok_or_else(|| bad("expected `slowlinks=colK*F`".into()))?;
+                let (k, f) = slow
+                    .split_once('*')
+                    .ok_or_else(|| bad("expected `slowlinks=colK*F`".into()))?;
+                let cut_col: usize = k.parse().map_err(|_| bad(format!("bad cut column `{k}`")))?;
+                let factor: usize = f.parse().map_err(|_| bad(format!("bad slow factor `{f}`")))?;
+                if cut_col == 0 || cut_col >= c {
+                    return Err(bad(format!("cut column {cut_col} outside 1..{c}")));
+                }
+                if factor < 1 {
+                    return Err(bad("slow factor must be >= 1".into()));
+                }
+                Ok(Topology::Hetero { mesh: Mesh::new(r, c)?, cut_col, factor })
+            }
+            other => Err(bad(format!(
+                "unknown kind `{other}` (want mesh2d | hypercube | fattree | hetero)"
+            ))),
+        }
+    }
+
+    /// Total processor count.
+    pub fn procs(&self) -> usize {
+        match *self {
+            Topology::Mesh2d(m) => m.procs(),
+            Topology::Hypercube { dims } => 1usize << dims,
+            Topology::FatTree { levels, arity } => arity.pow(levels),
+            Topology::Hetero { mesh, .. } => mesh.procs(),
+        }
+    }
+
+    /// The logical process grid arrays are laid out on. For mesh-backed
+    /// topologies this is the mesh itself; for the others, the most
+    /// nearly square factorization of the processor count.
+    pub fn grid(&self) -> Mesh {
+        match *self {
+            Topology::Mesh2d(m) => m,
+            Topology::Hetero { mesh, .. } => mesh,
+            _ => Mesh::near_square(self.procs()).expect("non-zero processor count"),
+        }
+    }
+
+    /// Weighted hop distance from `a` to `b` — the number the cost
+    /// model multiplies by `per_hop` (and raw links store-and-forward
+    /// through). Symmetric; zero iff `a == b`.
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        match *self {
+            Topology::Mesh2d(m) => m.hops(a, b),
+            Topology::Hypercube { .. } => (a ^ b).count_ones() as usize,
+            Topology::FatTree { levels, arity } => {
+                if a == b {
+                    return 0;
+                }
+                // Climb both leaves until they land under the same
+                // switch; each level climbed is one up-hop + one
+                // down-hop on the way back.
+                let (mut x, mut y, mut up) = (a, b, 0usize);
+                while x != y {
+                    x /= arity;
+                    y /= arity;
+                    up += 1;
+                }
+                debug_assert!(up as u32 <= levels);
+                2 * up
+            }
+            Topology::Hetero { mesh, cut_col, factor } => {
+                let base = mesh.hops(a, b);
+                let (_, ac) = mesh.coords(a);
+                let (_, bc) = mesh.coords(b);
+                // A Manhattan route crosses the vertical cut exactly
+                // once iff the endpoints lie on opposite sides.
+                let crosses = (ac < cut_col) != (bc < cut_col);
+                base + if crosses { factor - 1 } else { 0 }
+            }
+        }
+    }
+
+    /// The largest hop distance between any two processors.
+    pub fn diameter(&self) -> usize {
+        match *self {
+            Topology::Mesh2d(m) => m.rows - 1 + m.cols - 1,
+            Topology::Hypercube { dims } => dims as usize,
+            Topology::FatTree { levels, .. } => 2 * levels as usize,
+            Topology::Hetero { mesh, factor, .. } => {
+                mesh.rows - 1 + mesh.cols - 1 + factor.saturating_sub(1)
+            }
+        }
+    }
+
+    /// The physical neighbours of `id`, ascending: mesh/hetero N-E-S-W
+    /// links, hypercube bit flips, fat-tree leaves under the same
+    /// bottom switch. This is what `neighbor_exchange` exchanges with.
+    pub fn neighbors(&self, id: usize) -> Vec<usize> {
+        let mut out = match *self {
+            Topology::Mesh2d(m) | Topology::Hetero { mesh: m, .. } => {
+                let (r, c) = m.coords(id);
+                let mut v = Vec::with_capacity(4);
+                if r > 0 {
+                    v.push(m.id(r - 1, c));
+                }
+                if r + 1 < m.rows {
+                    v.push(m.id(r + 1, c));
+                }
+                if c > 0 {
+                    v.push(m.id(r, c - 1));
+                }
+                if c + 1 < m.cols {
+                    v.push(m.id(r, c + 1));
+                }
+                v
+            }
+            Topology::Hypercube { dims } => (0..dims).map(|d| id ^ (1usize << d)).collect(),
+            Topology::FatTree { arity, .. } => {
+                let base = id - id % arity;
+                (base..base + arity).filter(|&p| p != id).collect()
+            }
+        };
+        out.sort_unstable();
+        out
+    }
+
+    /// The canonical spec string (`parse` round-trips it).
+    pub fn spec(&self) -> String {
+        match *self {
+            Topology::Mesh2d(m) => format!("mesh2d:{}x{}", m.rows, m.cols),
+            Topology::Hypercube { dims } => format!("hypercube:{}", 1usize << dims),
+            Topology::FatTree { levels, arity } => format!("fattree:{levels},{arity}"),
+            Topology::Hetero { mesh, cut_col, factor } => {
+                format!("hetero:mesh2d:{}x{}:slowlinks=col{cut_col}*{factor}", mesh.rows, mesh.cols)
+            }
+        }
+    }
+
+    /// Short kind name (`mesh2d`, `hypercube`, `fattree`, `hetero`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Topology::Mesh2d(_) => "mesh2d",
+            Topology::Hypercube { .. } => "hypercube",
+            Topology::FatTree { .. } => "fattree",
+            Topology::Hetero { .. } => "hetero",
+        }
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.spec())
+    }
+}
+
+fn parse_mesh_shape(s: &str) -> Result<(usize, usize), String> {
+    let (r, c) = s.split_once('x').ok_or_else(|| format!("bad mesh shape `{s}` (want RxC)"))?;
+    let rows = r.trim().parse().map_err(|_| format!("bad row count `{r}`"))?;
+    let cols = c.trim().parse().map_err(|_| format!("bad column count `{c}`"))?;
+    Ok((rows, cols))
+}
+
 /// A ring over all processors of the machine.
 ///
 /// With `virtual_links` (Parix virtual topologies) every ring step costs
@@ -91,19 +355,26 @@ impl Mesh {
 /// back to the first costs the full mesh distance.
 #[derive(Debug, Clone, Copy)]
 pub struct Ring {
-    mesh: Mesh,
+    topo: Topology,
     virtual_links: bool,
 }
 
 impl Ring {
     /// Build the ring view of a mesh.
     pub fn new(mesh: Mesh, virtual_links: bool) -> Self {
-        Ring { mesh, virtual_links }
+        Ring { topo: Topology::Mesh2d(mesh), virtual_links }
+    }
+
+    /// Build the ring view of an arbitrary physical topology, so ring
+    /// steps are priced by that topology's hop metric instead of
+    /// assuming a mesh.
+    pub fn on(topo: Topology, virtual_links: bool) -> Self {
+        Ring { topo, virtual_links }
     }
 
     /// Ring size.
     pub fn len(&self) -> usize {
-        self.mesh.procs()
+        self.topo.procs()
     }
 
     /// Whether the ring is empty (never true for a valid mesh).
@@ -129,9 +400,9 @@ impl Ring {
         if self.virtual_links {
             // Folded/snake embedding: a Hamiltonian ring on a mesh has
             // dilation <= 2 everywhere.
-            self.mesh.hops(a, b).clamp(1, 2)
+            self.topo.hops(a, b).clamp(1, 2)
         } else {
-            self.mesh.hops(a, b)
+            self.topo.hops(a, b)
         }
     }
 }
@@ -142,13 +413,19 @@ pub struct Torus2d {
     /// The process-grid shape (usually equal to the physical mesh).
     pub grid: Mesh,
     virtual_links: bool,
-    mesh: Mesh,
+    topo: Topology,
 }
 
 impl Torus2d {
     /// View the machine's mesh as a torus of the same shape.
     pub fn new(mesh: Mesh, virtual_links: bool) -> Self {
-        Torus2d { grid: mesh, virtual_links, mesh }
+        Torus2d { grid: mesh, virtual_links, topo: Topology::Mesh2d(mesh) }
+    }
+
+    /// View an arbitrary physical topology as a torus over its logical
+    /// process grid; steps are priced by the topology's hop metric.
+    pub fn on(topo: Topology, virtual_links: bool) -> Self {
+        Torus2d { grid: topo.grid(), virtual_links, topo }
     }
 
     /// Grid coordinates of a processor.
@@ -169,9 +446,9 @@ impl Torus2d {
         let dst = self.at(r as isize + drow, c as isize + dcol);
         let hops = if self.virtual_links {
             // Folded torus embedding: dilation 2.
-            self.mesh.hops(id, dst).clamp(1, 2)
+            self.topo.hops(id, dst).clamp(1, 2)
         } else {
-            self.mesh.hops(id, dst)
+            self.topo.hops(id, dst)
         };
         (dst, hops)
     }
@@ -410,6 +687,178 @@ mod tests {
             total += t.children(id).len();
         }
         assert_eq!(total, 5, "5 edges span 6 nodes");
+    }
+
+    #[test]
+    fn topology_parse_roundtrips() {
+        for spec in [
+            "mesh2d:4x4",
+            "mesh2d:8x4",
+            "hypercube:16",
+            "hypercube:2",
+            "fattree:2,4",
+            "fattree:3,2",
+            "hetero:mesh2d:4x4:slowlinks=col2*8",
+        ] {
+            let t = Topology::parse(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(t.spec(), spec);
+            assert_eq!(Topology::parse(&t.spec()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn topology_parse_rejects_malformed() {
+        for spec in [
+            "mesh2d:0x4",
+            "mesh2d:4",
+            "hypercube:12",
+            "hypercube:0",
+            "fattree:2",
+            "fattree:0,4",
+            "fattree:2,1",
+            "hetero:mesh2d:4x4",
+            "hetero:mesh2d:4x4:slowlinks=col0*8",
+            "hetero:mesh2d:4x4:slowlinks=col4*8",
+            "hetero:ring:4x4:slowlinks=col2*8",
+            "dragonfly:16",
+        ] {
+            assert!(Topology::parse(spec).is_err(), "{spec} should be rejected");
+        }
+    }
+
+    #[test]
+    fn mesh2d_topology_matches_mesh_exactly() {
+        let m = Mesh::new(4, 4).unwrap();
+        let t = Topology::Mesh2d(m);
+        assert_eq!(t.procs(), 16);
+        assert_eq!(t.grid(), m);
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(t.hops(a, b), m.hops(a, b));
+            }
+        }
+        assert_eq!(t.diameter(), 6);
+    }
+
+    #[test]
+    fn hypercube_hops_are_hamming() {
+        let t = Topology::parse("hypercube:16").unwrap();
+        assert_eq!(t.procs(), 16);
+        // corner routes: opposite corners differ in every bit
+        assert_eq!(t.hops(0, 15), 4);
+        assert_eq!(t.hops(0, 1), 1);
+        assert_eq!(t.hops(5, 10), 4); // 0101 vs 1010
+        assert_eq!(t.hops(3, 3), 0);
+        assert_eq!(t.diameter(), 4);
+        // the grid is the near-square factorization
+        assert_eq!(t.grid(), Mesh { rows: 4, cols: 4 });
+        // every id has exactly `dims` neighbours, one per flipped bit
+        assert_eq!(t.neighbors(0), vec![1, 2, 4, 8]);
+        assert_eq!(t.neighbors(15), vec![7, 11, 13, 14]);
+    }
+
+    #[test]
+    fn fattree_hops_climb_to_common_switch() {
+        let t = Topology::parse("fattree:2,4").unwrap();
+        assert_eq!(t.procs(), 16);
+        // same bottom switch: up one level and back down
+        assert_eq!(t.hops(0, 1), 2);
+        assert_eq!(t.hops(0, 3), 2);
+        // different bottom switch: through the root
+        assert_eq!(t.hops(0, 4), 4);
+        assert_eq!(t.hops(0, 15), 4); // corner route
+        assert_eq!(t.hops(3, 12), 4);
+        assert_eq!(t.hops(7, 7), 0);
+        assert_eq!(t.diameter(), 4);
+        // deep binary fat tree corner route
+        let d = Topology::parse("fattree:3,2").unwrap();
+        assert_eq!(d.procs(), 8);
+        assert_eq!(d.hops(0, 1), 2);
+        assert_eq!(d.hops(0, 7), 6);
+        assert_eq!(d.hops(3, 4), 6);
+        // leaf-switch siblings are the neighbourhood
+        assert_eq!(t.neighbors(5), vec![4, 6, 7]);
+        assert_eq!(d.neighbors(6), vec![7]);
+    }
+
+    #[test]
+    fn hetero_cut_weights_crossings() {
+        let t = Topology::parse("hetero:mesh2d:4x4:slowlinks=col2*8").unwrap();
+        let m = Mesh::new(4, 4).unwrap();
+        assert_eq!(t.procs(), 16);
+        assert_eq!(t.grid(), m);
+        // same side of the cut: plain Manhattan
+        assert_eq!(t.hops(0, 1), 1);
+        assert_eq!(t.hops(2, 3), 1);
+        // one crossing: the slow link counts as `factor` hops
+        assert_eq!(t.hops(1, 2), 1 + 7);
+        assert_eq!(t.hops(0, 15), 6 + 7);
+        // symmetric
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(t.hops(a, b), t.hops(b, a));
+            }
+        }
+        assert_eq!(t.diameter(), 6 + 7);
+        // factor 1 degenerates to the plain mesh
+        let flat = Topology::parse("hetero:mesh2d:4x4:slowlinks=col2*1").unwrap();
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(flat.hops(a, b), m.hops(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn topology_hops_symmetric_zero_diagonal() {
+        for spec in
+            ["mesh2d:3x5", "hypercube:8", "fattree:2,3", "hetero:mesh2d:3x5:slowlinks=col3*4"]
+        {
+            let t = Topology::parse(spec).unwrap();
+            let n = t.procs();
+            let d = t.diameter();
+            for a in 0..n {
+                assert_eq!(t.hops(a, a), 0, "{spec}");
+                for b in 0..n {
+                    assert_eq!(t.hops(a, b), t.hops(b, a), "{spec}");
+                    assert!(t.hops(a, b) <= d, "{spec}: hops({a},{b}) > diameter");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_mutual_and_sorted() {
+        for spec in
+            ["mesh2d:3x4", "hypercube:16", "fattree:2,4", "hetero:mesh2d:4x4:slowlinks=col2*8"]
+        {
+            let t = Topology::parse(spec).unwrap();
+            for id in 0..t.procs() {
+                let ns = t.neighbors(id);
+                let mut sorted = ns.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(ns, sorted, "{spec}: neighbours of {id} sorted+unique");
+                for nb in ns {
+                    assert_ne!(nb, id);
+                    assert!(t.neighbors(nb).contains(&id), "{spec}: {id}<->{nb} mutual");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_on_topology_prices_links_by_metric() {
+        let hc = Topology::parse("hypercube:8").unwrap();
+        let r = Ring::on(hc, false);
+        // 3 -> 4 flips every bit of a 3-cube
+        assert_eq!(r.next(3), (4, 3));
+        // virtual links still clamp to the folded embedding
+        let rv = Ring::on(hc, true);
+        assert!(rv.next(3).1 <= 2);
+        let het = Topology::parse("hetero:mesh2d:2x4:slowlinks=col2*8").unwrap();
+        let rh = Ring::on(het, false);
+        assert_eq!(rh.next(1), (2, 8)); // crosses the slow cut
     }
 
     #[test]

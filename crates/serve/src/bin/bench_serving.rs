@@ -305,6 +305,8 @@ fn main() -> ExitCode {
                     id: None,
                     program: w.program.to_string(),
                     mesh: w.mesh,
+                    topology: None,
+                    collective_algo: None,
                     engine: w.engine,
                     opt_level: OptLevel::default(),
                     faults: w.faults.map(|spec| FaultPlan::parse(spec).unwrap()),

@@ -144,8 +144,8 @@ fn main() -> ExitCode {
     );
     for p in &s.pool {
         eprintln!(
-            "skild:   pool {}x{}: {} warm / {} cold checkout(s), {} idle",
-            p.mesh.0, p.mesh.1, p.warm, p.cold, p.idle
+            "skild:   pool {} (algo {}): {} warm / {} cold checkout(s), {} idle",
+            p.topology, p.algo, p.warm, p.cold, p.idle
         );
     }
     if io_failed {

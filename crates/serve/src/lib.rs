@@ -50,7 +50,7 @@ use std::sync::{Arc, Mutex};
 
 use json::{obj, Json};
 use skil_lang::{compile_opt, Compiled, Engine, OptLevel};
-use skil_runtime::{FaultPlan, Machine, MachineConfig, Run};
+use skil_runtime::{CollectiveAlgo, FaultPlan, Machine, MachineConfig, Mesh, Run, Topology};
 
 /// Compiled-program cache key. The cost model is part of the key per
 /// the serving contract — today every pooled machine uses the T800
@@ -92,6 +92,11 @@ pub struct Request {
     pub program: String,
     /// Mesh shape.
     pub mesh: (usize, usize),
+    /// Physical topology (`None` = 2-D mesh of the `mesh` shape). When
+    /// set, it subsumes `mesh`: the process grid is the topology's.
+    pub topology: Option<Topology>,
+    /// Collective-algorithm override (`None` = per-collective default).
+    pub collective_algo: Option<CollectiveAlgo>,
     /// Execution engine.
     pub engine: Engine,
     /// Bytecode optimizer level.
@@ -107,10 +112,18 @@ impl Request {
             id: None,
             program: src.to_string(),
             mesh: (2, 2),
+            topology: None,
+            collective_algo: None,
             engine: Engine::Vm,
             opt_level: OptLevel::default(),
             faults: None,
         }
+    }
+
+    /// The topology this request's machine runs on: the explicit
+    /// `topology` when present, otherwise a 2-D mesh of `mesh`.
+    pub fn effective_topology(&self) -> Topology {
+        self.topology.unwrap_or(Topology::Mesh2d(Mesh { rows: self.mesh.0, cols: self.mesh.1 }))
     }
 
     /// Parse the JSON-object form of a request. Unknown fields are
@@ -123,7 +136,13 @@ impl Request {
         for key in map.keys() {
             if !matches!(
                 key.as_str(),
-                "id" | "program" | "mesh" | "engine" | "opt_level" | "faults"
+                "id" | "program"
+                    | "mesh"
+                    | "topology"
+                    | "collective_algo"
+                    | "engine"
+                    | "opt_level"
+                    | "faults"
             ) {
                 return Err(format!("unknown request field \"{key}\""));
             }
@@ -142,6 +161,25 @@ impl Request {
             None => (2, 2),
             Some(Json::Str(spec)) => parse_mesh(spec)?,
             Some(_) => return Err("\"mesh\" must be a string like \"2x2\"".to_string()),
+        };
+        let topology = match map.get("topology") {
+            None => None,
+            Some(Json::Str(spec)) => {
+                Some(Topology::parse(spec).map_err(|e| format!("bad \"topology\" spec: {e}"))?)
+            }
+            Some(_) => {
+                return Err("\"topology\" must be a spec string like \"hypercube:16\"".to_string())
+            }
+        };
+        let collective_algo = match map.get("collective_algo") {
+            None => None,
+            Some(Json::Str(s)) => Some(
+                CollectiveAlgo::parse(s)
+                    .ok_or(format!("bad \"collective_algo\" \"{s}\" (tree|ring|rd|auto)"))?,
+            ),
+            Some(_) => {
+                return Err("\"collective_algo\" must be tree, ring, rd, or auto".to_string())
+            }
         };
         let engine = match map.get("engine") {
             None => Engine::Vm,
@@ -164,7 +202,7 @@ impl Request {
             }
             Some(_) => return Err("\"faults\" must be a fault-spec string".to_string()),
         };
-        Ok(Request { id, program, mesh, engine, opt_level, faults })
+        Ok(Request { id, program, mesh, topology, collective_algo, engine, opt_level, faults })
     }
 }
 
@@ -317,13 +355,35 @@ struct Counters {
     machines_discarded: AtomicU64,
 }
 
-/// Per-mesh-shape machine-pool counters: how often requests for this
-/// shape got a warm vs cold machine, and how many idle machines of the
-/// shape are pooled right now.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// What a pooled machine is built on: its physical topology plus any
+/// collective-algorithm override baked into its config. Machines are
+/// only reused across requests that agree on both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PoolKey {
+    topo: Topology,
+    algo: Option<CollectiveAlgo>,
+}
+
+impl PoolKey {
+    fn of(req: &Request) -> PoolKey {
+        PoolKey { topo: req.effective_topology(), algo: req.collective_algo }
+    }
+}
+
+/// Per-machine-shape pool counters: how often requests for this shape
+/// got a warm vs cold machine, and how many idle machines of the shape
+/// are pooled right now. `mesh` is the shape's process grid;
+/// `topology` is the full canonical spec (distinct topologies can share
+/// a grid, e.g. `mesh2d:4x4` and `hypercube:16`).
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub struct PoolShapeStats {
     pub mesh: (usize, usize),
+    /// Canonical topology spec, e.g. `"mesh2d:2x2"`, `"hypercube:16"`.
+    pub topology: String,
+    /// Collective-algorithm override baked into the pooled machines
+    /// (`"default"` when none).
+    pub algo: &'static str,
     pub warm: u64,
     pub cold: u64,
     pub idle: u64,
@@ -368,6 +428,8 @@ impl StatsSnapshot {
                 .map(|p| {
                     obj(vec![
                         ("mesh", Json::Str(format!("{}x{}", p.mesh.0, p.mesh.1))),
+                        ("topology", Json::Str(p.topology.clone())),
+                        ("algo", Json::Str(p.algo.into())),
                         ("warm", Json::Num(p.warm as f64)),
                         ("cold", Json::Num(p.cold as f64)),
                         ("idle", Json::Num(p.idle as f64)),
@@ -402,10 +464,10 @@ impl StatsSnapshot {
 /// synchronized.
 pub struct Server {
     programs: Mutex<HashMap<ProgramKey, Arc<Compiled>>>,
-    pool: Mutex<HashMap<(usize, usize), Vec<Machine>>>,
-    /// Warm/cold checkout totals per mesh shape (the pool map itself
+    pool: Mutex<HashMap<PoolKey, Vec<Machine>>>,
+    /// Warm/cold checkout totals per machine shape (the pool map itself
     /// only knows the machines currently idle).
-    shape_counters: Mutex<HashMap<(usize, usize), (u64, u64)>>,
+    shape_counters: Mutex<HashMap<PoolKey, (u64, u64)>>,
     counters: Counters,
 }
 
@@ -484,7 +546,8 @@ impl Server {
                 return Response::Err { id, kind: ErrorKind::Compile, message };
             }
         };
-        let (machine, warm_machine) = match self.checkout_machine(req.mesh) {
+        let key = PoolKey::of(req);
+        let (machine, warm_machine) = match self.checkout_machine(key) {
             Ok(pair) => pair,
             Err(message) => {
                 return Response::Err { id, kind: ErrorKind::BadRequest, message };
@@ -499,11 +562,11 @@ impl Server {
         }));
         match outcome {
             Ok(Ok(run)) => {
-                self.checkin_machine(req.mesh, machine);
+                self.checkin_machine(key, machine);
                 Response::Ok { id, run, cache_hit, warm_machine }
             }
             Ok(Err(failure)) => {
-                self.checkin_machine(req.mesh, machine);
+                self.checkin_machine(key, machine);
                 Response::Err { id, kind: ErrorKind::Runtime, message: failure.to_string() }
             }
             Err(payload) => {
@@ -545,24 +608,28 @@ impl Server {
         Ok((compiled, false))
     }
 
-    /// Take a warm machine for `mesh` from the pool, or build a cold
+    /// Take a warm machine for `key` from the pool, or build a cold
     /// one. The returned bool is `true` for warm.
-    fn checkout_machine(&self, mesh: (usize, usize)) -> Result<(Machine, bool), String> {
-        if let Some(m) = self.pool.lock().unwrap().get_mut(&mesh).and_then(Vec::pop) {
+    fn checkout_machine(&self, key: PoolKey) -> Result<(Machine, bool), String> {
+        if let Some(m) = self.pool.lock().unwrap().get_mut(&key).and_then(Vec::pop) {
             self.counters.machines_warm.fetch_add(1, Ordering::Relaxed);
-            self.shape_counters.lock().unwrap().entry(mesh).or_default().0 += 1;
+            self.shape_counters.lock().unwrap().entry(key).or_default().0 += 1;
             return Ok((m, true));
         }
-        let cfg = MachineConfig::mesh(mesh.0, mesh.1)
-            .map_err(|e| format!("bad mesh {}x{}: {e}", mesh.0, mesh.1))?;
+        let cfg = MachineConfig::on_topology(key.topo)
+            .map_err(|e| format!("bad machine shape {}: {e}", key.topo.spec()))?;
+        let cfg = match key.algo {
+            Some(algo) => cfg.with_collective_algo(algo),
+            None => cfg,
+        };
         self.counters.machines_cold.fetch_add(1, Ordering::Relaxed);
-        self.shape_counters.lock().unwrap().entry(mesh).or_default().1 += 1;
+        self.shape_counters.lock().unwrap().entry(key).or_default().1 += 1;
         Ok((Machine::new(cfg), false))
     }
 
     /// Return a machine to the pool for reuse.
-    fn checkin_machine(&self, mesh: (usize, usize), machine: Machine) {
-        self.pool.lock().unwrap().entry(mesh).or_default().push(machine);
+    fn checkin_machine(&self, key: PoolKey, machine: Machine) {
+        self.pool.lock().unwrap().entry(key).or_default().push(machine);
     }
 
     /// Snapshot the counters.
@@ -570,8 +637,8 @@ impl Server {
         let c = &self.counters;
         let (idle, setup_reuse_hits) = {
             let pool = self.pool.lock().unwrap();
-            let idle: HashMap<(usize, usize), u64> =
-                pool.iter().map(|(&mesh, v)| (mesh, v.len() as u64)).collect();
+            let idle: HashMap<PoolKey, u64> =
+                pool.iter().map(|(&key, v)| (key, v.len() as u64)).collect();
             let hits = pool.values().flatten().map(Machine::setup_reuse_hits).sum::<u64>();
             (idle, hits)
         };
@@ -580,14 +647,19 @@ impl Server {
             .lock()
             .unwrap()
             .iter()
-            .map(|(&mesh, &(warm, cold))| PoolShapeStats {
-                mesh,
-                warm,
-                cold,
-                idle: idle.get(&mesh).copied().unwrap_or(0),
+            .map(|(&key, &(warm, cold))| {
+                let grid = key.topo.grid();
+                PoolShapeStats {
+                    mesh: (grid.rows, grid.cols),
+                    topology: key.topo.spec(),
+                    algo: key.algo.map_or("default", |a| a.as_str()),
+                    warm,
+                    cold,
+                    idle: idle.get(&key).copied().unwrap_or(0),
+                }
             })
             .collect();
-        pool.sort_by_key(|p| p.mesh);
+        pool.sort_by(|a, b| (&a.topology, a.algo).cmp(&(&b.topology, b.algo)));
         StatsSnapshot {
             requests: c.requests.load(Ordering::Relaxed),
             ok: c.ok.load(Ordering::Relaxed),
@@ -757,12 +829,20 @@ mod tests {
             assert!(matches!(server.handle(req), Response::Ok { .. }), "{mesh:?}");
         }
         let stats = server.stats();
+        let shape = |mesh, spec: &str, warm, cold, idle| PoolShapeStats {
+            mesh,
+            topology: spec.to_string(),
+            algo: "default",
+            warm,
+            cold,
+            idle,
+        };
         assert_eq!(
             stats.pool,
             vec![
-                PoolShapeStats { mesh: (1, 3), warm: 1, cold: 1, idle: 1 },
-                PoolShapeStats { mesh: (2, 2), warm: 1, cold: 1, idle: 1 },
-                PoolShapeStats { mesh: (4, 4), warm: 0, cold: 1, idle: 1 },
+                shape((1, 3), "mesh2d:1x3", 1, 1, 1),
+                shape((2, 2), "mesh2d:2x2", 1, 1, 1),
+                shape((4, 4), "mesh2d:4x4", 0, 1, 1),
             ]
         );
         // ... and the JSON stats reply carries the same breakdown.
@@ -774,6 +854,66 @@ mod tests {
         assert_eq!(pool.len(), 3);
         assert_eq!(pool[1].get("mesh").and_then(Json::as_str), Some("2x2"));
         assert_eq!(pool[1].get("warm").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn topology_requests_pool_separately_from_mesh_requests() {
+        let server = Server::new();
+        // hypercube:16 and mesh2d:4x4 share a 4x4 process grid but are
+        // distinct machines; collective_algo splits the pool further.
+        let cube = Request {
+            topology: Some(Topology::parse("hypercube:16").unwrap()),
+            ..Request::program(FOLD)
+        };
+        let mesh44 = Request { mesh: (4, 4), ..Request::program(FOLD) };
+        let cube_rd = Request { collective_algo: Some(CollectiveAlgo::RecDouble), ..cube.clone() };
+        let mut cycles = Vec::new();
+        for req in [cube.clone(), cube, mesh44, cube_rd] {
+            let Response::Ok { run, .. } = server.handle(req) else {
+                panic!("topology request failed");
+            };
+            assert_eq!(run.results[0], vec!["120".to_string()]);
+            cycles.push(run.report.sim_cycles);
+        }
+        // Warm reuse only within the same (topology, algo) shape.
+        assert_eq!(server.stats().machines_warm, 1);
+        assert_eq!(server.stats().machines_cold, 3);
+        // Identical requests are cycle-identical; the forced rd variant
+        // runs the same program in different virtual time.
+        assert_eq!(cycles[0], cycles[1]);
+        assert_ne!(cycles[0], cycles[3]);
+        let pool = server.stats().pool;
+        let specs: Vec<(String, &str)> =
+            pool.iter().map(|p| (p.topology.clone(), p.algo)).collect();
+        assert_eq!(
+            specs,
+            vec![
+                ("hypercube:16".to_string(), "default"),
+                ("hypercube:16".to_string(), "rd"),
+                ("mesh2d:4x4".to_string(), "default"),
+            ]
+        );
+    }
+
+    #[test]
+    fn topology_and_algo_parse_from_json_requests() {
+        let server = Server::new();
+        let line = format!(
+            r#"{{"program":{},"topology":"fattree:2,4","collective_algo":"ring"}}"#,
+            Json::Str(FOLD.into())
+        );
+        let resp = server.handle_line(&line);
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        assert!(resp.contains("\"120\""), "{resp}");
+        for (line, needle) in [
+            (r#"{"program":"void main() {}","topology":"donut:9"}"#, "unknown kind"),
+            (r#"{"program":"void main() {}","collective_algo":"bogo"}"#, "tree|ring|rd|auto"),
+            (r#"{"program":"void main() {}","topology":"hypercube:15"}"#, "power of two"),
+        ] {
+            let resp = server.handle_line(line);
+            assert!(resp.contains("\"kind\":\"bad_request\""), "{line} -> {resp}");
+            assert!(resp.contains(needle), "{line} -> {resp}");
+        }
     }
 
     #[test]
